@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the BO engine: suggesting the next configuration over a
+//! realistic lattice, and the prune-set membership test.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ribbon_bo::{BoOptimizer, BoSettings, ConfigLattice, PruneSet};
+use ribbon_gp::FitConfig;
+
+fn seeded_optimizer(observations: usize) -> BoOptimizer {
+    let lattice = ConfigLattice::new(vec![6, 8, 12]);
+    let mut bo = BoOptimizer::new(
+        lattice,
+        BoSettings { initial_samples: 3, fit: FitConfig::coarse(), ..Default::default() },
+    );
+    // Deterministic synthetic history.
+    for i in 0..observations {
+        let cfg = vec![(i % 6) as u32, ((i * 3) % 8) as u32, ((i * 5) % 12) as u32];
+        if cfg.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let value = 0.4 + 0.05 * ((i as f64) * 0.9).sin();
+        let _ = bo.observe(cfg, value);
+    }
+    bo
+}
+
+fn bench_suggest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bo_suggest");
+    group.sample_size(20);
+    for &n in &[5usize, 15, 30] {
+        let bo = seeded_optimizer(n);
+        group.bench_function(format!("suggest_after_{n}_observations"), |bencher| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                bo.suggest(black_box(&mut rng)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prune_set(c: &mut Criterion) {
+    let lattice = ConfigLattice::new(vec![6, 8, 12]);
+    let mut prune = PruneSet::new();
+    prune.prune_below(vec![2, 3, 5]);
+    prune.prune_below(vec![4, 1, 2]);
+    prune.prune_above(vec![5, 6, 9]);
+    let configs = lattice.enumerate();
+    c.bench_function("prune_set_scan_full_lattice", |bencher| {
+        bencher.iter(|| configs.iter().filter(|cfg| prune.is_pruned(black_box(cfg))).count())
+    });
+    c.bench_function("lattice_enumerate_6x8x12", |bencher| {
+        bencher.iter(|| ConfigLattice::new(vec![6, 8, 12]).enumerate().len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_suggest, bench_prune_set
+}
+criterion_main!(benches);

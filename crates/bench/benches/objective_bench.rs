@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the Eq. 2 objective and the Expected-Improvement acquisition —
+//! the innermost scalar computations of the BO loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ribbon::objective::RibbonObjective;
+use ribbon_bo::acquisition::{expected_improvement, probability_of_improvement, upper_confidence_bound};
+use ribbon_cloudsim::InstanceType;
+use ribbon_gp::Posterior;
+use ribbon_linalg::{Cholesky, Matrix};
+
+fn bench_objective(c: &mut Criterion) {
+    let objective = RibbonObjective::new(
+        &[InstanceType::G4dn, InstanceType::C5, InstanceType::R5n],
+        &[6, 8, 12],
+        0.99,
+    );
+    c.bench_function("eq2_objective_single_config", |b| {
+        b.iter(|| objective.value(black_box(&[3, 2, 4]), black_box(0.993)))
+    });
+    let configs: Vec<Vec<u32>> = (0..500)
+        .map(|i| vec![(i % 7) as u32, (i % 9) as u32, (i % 13) as u32])
+        .collect();
+    c.bench_function("eq2_objective_500_configs", |b| {
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|cfg| objective.value(black_box(cfg), 0.95))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let posterior = Posterior { mean: 0.62, variance: 0.015 };
+    c.bench_function("expected_improvement", |b| {
+        b.iter(|| expected_improvement(black_box(&posterior), black_box(0.58), 0.01))
+    });
+    c.bench_function("probability_of_improvement", |b| {
+        b.iter(|| probability_of_improvement(black_box(&posterior), black_box(0.58), 0.01))
+    });
+    c.bench_function("upper_confidence_bound", |b| {
+        b.iter(|| upper_confidence_bound(black_box(&posterior), black_box(2.0)))
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let n = 40;
+    let base = Matrix::from_symmetric_fn(n, |i, j| {
+        let d = (i as f64 - j as f64).abs();
+        (-0.1 * d * d).exp()
+    });
+    let mut spd = base;
+    spd.add_diagonal(1e-3);
+    c.bench_function("cholesky_factorize_40x40", |b| {
+        b.iter(|| Cholesky::new(black_box(&spd)).unwrap())
+    });
+    let chol = Cholesky::new(&spd).unwrap();
+    let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+    c.bench_function("cholesky_solve_40x40", |b| b.iter(|| chol.solve(black_box(&rhs)).unwrap()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_objective, bench_acquisition, bench_cholesky
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks for end-to-end configuration search: Ribbon's BO loop versus the
+//! competing strategies, on a reduced MT-WND workload (smaller query stream and lattice so a
+//! single search fits in a benchmark iteration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::search::{RibbonSearch, RibbonSettings};
+use ribbon::strategies::{HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy};
+use ribbon_models::{ModelKind, Workload};
+
+fn small_evaluator() -> ConfigEvaluator {
+    let mut workload = Workload::standard(ModelKind::MtWnd);
+    workload.num_queries = 800;
+    ConfigEvaluator::new(
+        &workload,
+        EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+    )
+}
+
+fn bench_ribbon_search(c: &mut Criterion) {
+    c.bench_function("ribbon_search_15_evaluations", |b| {
+        b.iter(|| {
+            // A fresh evaluator per iteration so the cache does not hide the simulation cost.
+            let evaluator = small_evaluator();
+            let search = RibbonSearch::new(RibbonSettings {
+                max_evaluations: 15,
+                ..RibbonSettings::fast()
+            });
+            black_box(search.run(&evaluator, 3).len())
+        })
+    });
+}
+
+fn bench_baseline_searches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_search_15_evaluations");
+    group.sample_size(10);
+    group.bench_function("hill_climb", |b| {
+        b.iter(|| {
+            let evaluator = small_evaluator();
+            black_box(HillClimbSearch::new(15).run_search(&evaluator, 3).len())
+        })
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let evaluator = small_evaluator();
+            black_box(RandomSearch::new(15).run_search(&evaluator, 3).len())
+        })
+    });
+    group.bench_function("rsm", |b| {
+        b.iter(|| {
+            let evaluator = small_evaluator();
+            black_box(ResponseSurfaceSearch::new(15).run_search(&evaluator, 3).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_evaluator_construction(c: &mut Criterion) {
+    c.bench_function("evaluator_bound_probe_mt_wnd_800_queries", |b| {
+        b.iter(|| {
+            let mut workload = Workload::standard(ModelKind::MtWnd);
+            workload.num_queries = 800;
+            let evaluator = ConfigEvaluator::new(
+                &workload,
+                EvaluatorSettings { max_per_type: 8, ..Default::default() },
+            );
+            black_box(evaluator.bounds().to_vec())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ribbon_search, bench_baseline_searches, bench_evaluator_construction
+}
+criterion_main!(benches);

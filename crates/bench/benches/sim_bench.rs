@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the discrete-event pool simulator — the hot path of every
+//! configuration evaluation (one simulation per sampled configuration).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ribbon_cloudsim::{simulate, InstanceType, PoolSpec};
+use ribbon_models::{ModelKind, Workload};
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_mt_wnd");
+    group.sample_size(30);
+    for &n in &[1000usize, 4000] {
+        let mut workload = Workload::standard(ModelKind::MtWnd);
+        workload.num_queries = n;
+        let queries = workload.stream_config().generate();
+        let profile = workload.profile();
+        let homogeneous = PoolSpec::homogeneous(InstanceType::G4dn, 5);
+        let diverse = PoolSpec::new(
+            vec![InstanceType::G4dn, InstanceType::C5, InstanceType::R5n],
+            vec![3, 1, 2],
+        );
+        group.bench_with_input(BenchmarkId::new("homogeneous_5xg4dn", n), &n, |b, _| {
+            b.iter(|| simulate(black_box(&homogeneous), black_box(&queries), &profile))
+        });
+        group.bench_with_input(BenchmarkId::new("diverse_3+1+2", n), &n, |b, _| {
+            b.iter(|| simulate(black_box(&diverse), black_box(&queries), &profile))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_generation(c: &mut Criterion) {
+    let workload = Workload::standard(ModelKind::Dien);
+    c.bench_function("generate_4000_query_stream", |b| {
+        b.iter(|| black_box(workload.stream_config()).generate().len())
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let queries = workload.stream_config().generate();
+    let profile = workload.profile();
+    let pool = PoolSpec::homogeneous(InstanceType::G4dn, 5);
+    let result = simulate(&pool, &queries, &profile);
+    c.bench_function("tail_latency_p99_over_4000_queries", |b| {
+        b.iter(|| black_box(&result).tail_latency(99.0))
+    });
+    c.bench_function("satisfaction_rate_over_4000_queries", |b| {
+        b.iter(|| black_box(&result).satisfaction_rate(0.020))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_simulate, bench_stream_generation, bench_metrics
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Calibration harness (DESIGN.md §5): prints the QoS satisfaction rates of the anchor
+//! configurations the paper reports, so the latency-profile constants in
+//! `ribbon-models/src/profiles.rs` and the workload arrival rates can be tuned until the
+//! qualitative shape matches.
+//!
+//! Anchors checked:
+//! * Fig. 4 (MT-WND, g4dn + t3): (5+0) meets, (4+0) misses, (0+12) misses, (3+4) meets,
+//!   (2+4) misses, (4+4) meets;
+//! * per-model homogeneous optimum exists within the probe range;
+//! * per-model heterogeneous optimum (exhaustive over the Table 3 pool) saves roughly
+//!   9–16 % over the homogeneous optimum.
+//!
+//! Run with `cargo run --release -p ribbon-bench --bin calibrate`.
+
+use ribbon::prelude::*;
+use ribbon::evaluator::EvaluatorSettings;
+use ribbon_bench::{default_evaluator_settings, par_map, standard_workloads, TextTable};
+use ribbon_cloudsim::{simulate, PoolSpec};
+
+fn check(label: &str, rate: f64, expect_meets: bool, target: f64) -> String {
+    let meets = rate >= target;
+    let verdict = if meets == expect_meets { "OK" } else { "MISMATCH" };
+    format!("{label}: rate {:.4} (expect {}) -> {verdict}", rate, if expect_meets { "meet" } else { "violate" })
+}
+
+fn main() {
+    println!("=== Fig. 4 anchors: MT-WND on a (g4dn + t3) pool, 20 ms p99 ===");
+    let wl = Workload::standard(ModelKind::MtWnd);
+    let profile = wl.profile();
+    let queries = wl.stream_config().generate();
+    let target = wl.qos.latency_target_s;
+    let anchors: [(u32, u32, bool); 6] = [
+        (4, 0, false),
+        (5, 0, true),
+        (0, 12, false),
+        (3, 4, true),
+        (2, 4, false),
+        (4, 4, true),
+    ];
+    for (g, t, expect) in anchors {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t]);
+        let r = simulate(&pool, &queries, &profile);
+        let rate = r.satisfaction_rate(target);
+        println!(
+            "  ({g} + {t:>2})  cost ${:>5.2}/hr  p99 {:>6.1} ms  {}",
+            pool.hourly_cost(),
+            r.tail_latency(99.0) * 1000.0,
+            check("qos", rate, expect, wl.qos.target_rate)
+        );
+    }
+
+    println!("\n=== Per-model homogeneous optimum and exhaustive heterogeneous optimum ===");
+    let rows = par_map(standard_workloads(), |w| {
+        let settings: EvaluatorSettings = default_evaluator_settings();
+        let evaluator = ConfigEvaluator::new(&w, settings);
+        let homo = homogeneous_optimum(&evaluator, 14);
+        let hetero = ExhaustiveSearch::optimum(&evaluator);
+        (w, evaluator.bounds().to_vec(), homo, hetero)
+    });
+
+    let mut table = TextTable::new(vec![
+        "model", "bounds m_i", "homo optimum", "homo $/hr", "hetero optimum", "hetero $/hr", "saving %",
+    ]);
+    for (w, bounds, homo, hetero) in rows {
+        match (homo, hetero) {
+            (Some(h), Some(x)) => {
+                let saving = (h.hourly_cost - x.hourly_cost) / h.hourly_cost * 100.0;
+                table.add_row(vec![
+                    w.model.name().to_string(),
+                    format!("{bounds:?}"),
+                    format!("{}x{}", h.count, w.base_type),
+                    format!("{:.3}", h.hourly_cost),
+                    x.pool.describe(),
+                    format!("{:.3}", x.hourly_cost),
+                    format!("{saving:.1}"),
+                ]);
+            }
+            (h, x) => {
+                table.add_row(vec![
+                    w.model.name().to_string(),
+                    format!("{bounds:?}"),
+                    h.map(|h| format!("{}x{}", h.count, w.base_type)).unwrap_or_else(|| "NONE".into()),
+                    String::new(),
+                    x.map(|x| x.pool.describe()).unwrap_or_else(|| "NONE".into()),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!("\nTarget: savings roughly 9-16% across models (paper Fig. 9), MT-WND homogeneous optimum = 5xg4dn.");
+}

@@ -1,0 +1,43 @@
+//! Fig. 4: QoS satisfaction rate and hourly price of selected MT-WND pool configurations on
+//! a (g4dn + t3) pool: (4+0), (5+0), (0+12), (3+4), (2+4), (4+4).
+//!
+//! Run: `cargo run --release -p ribbon-bench --bin fig04`
+
+use ribbon_bench::TextTable;
+use ribbon_cloudsim::{simulate, InstanceType, PoolSpec};
+use ribbon_models::{ModelKind, Workload};
+
+fn main() {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let profile = workload.profile();
+    let queries = workload.stream_config().generate();
+
+    println!(
+        "Fig. 4 — MT-WND QoS satisfaction rate vs price, QoS = {:.0} ms p99\n",
+        workload.qos.latency_target_s * 1000.0
+    );
+    let mut t = TextTable::new(vec![
+        "config (g4dn + t3)",
+        "cost ($/hr)",
+        "QoS satisfaction (%)",
+        "p99 latency (ms)",
+        "meets QoS",
+    ]);
+    for (g, t3) in [(4u32, 0u32), (5, 0), (0, 12), (3, 4), (2, 4), (4, 4)] {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t3]);
+        let result = simulate(&pool, &queries, &profile);
+        let rate = result.satisfaction_rate(workload.qos.latency_target_s);
+        t.add_row(vec![
+            format!("({g} + {t3})"),
+            format!("{:.2}", pool.hourly_cost()),
+            format!("{:.2}", rate * 100.0),
+            format!("{:.1}", result.tail_latency(99.0) * 1000.0),
+            if workload.qos.is_met_by_rate(rate) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Expected shape: (5+0) is the minimal homogeneous pool; (4+0) and (0+12) violate;");
+    println!("(3+4) meets QoS at a lower price than (5+0); (2+4) violates; (4+4) meets but is");
+    println!("more expensive than (5+0).");
+}

@@ -1,0 +1,61 @@
+//! Fig. 5: (a) configurations with similar cost but significantly different QoS satisfaction
+//! rates, and (b) configurations with significantly different cost but similar QoS rates —
+//! the reason naive cost- or QoS-only heuristics cannot steer the search.
+//!
+//! Run: `cargo run --release -p ribbon-bench --bin fig05`
+
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::strategies::{ExhaustiveSearch, SearchStrategy};
+use ribbon_bench::TextTable;
+use ribbon_models::{ModelKind, Workload};
+
+fn main() {
+    let mut workload = Workload::standard(ModelKind::MtWnd);
+    workload.num_queries = 2500;
+    let evaluator = ConfigEvaluator::new(
+        &workload,
+        EvaluatorSettings { max_per_type: 8, ..Default::default() },
+    );
+    let trace = ExhaustiveSearch::full().run_search(&evaluator, 0);
+    let evals = trace.evaluations();
+
+    // (a) pairs with similar cost (within 3%) but very different QoS satisfaction rates.
+    let mut best_a: Option<(usize, usize, f64)> = None;
+    // (b) pairs with similar QoS rate (within 0.5 pp) but very different cost.
+    let mut best_b: Option<(usize, usize, f64)> = None;
+    for i in 0..evals.len() {
+        for j in (i + 1)..evals.len() {
+            let (a, b) = (&evals[i], &evals[j]);
+            let cost_gap = (a.hourly_cost - b.hourly_cost).abs() / a.hourly_cost.max(b.hourly_cost);
+            let rate_gap = (a.satisfaction_rate - b.satisfaction_rate).abs();
+            if cost_gap < 0.03 && best_a.as_ref().map(|(_, _, g)| rate_gap > *g).unwrap_or(true) {
+                best_a = Some((i, j, rate_gap));
+            }
+            if rate_gap < 0.005
+                && a.satisfaction_rate > 0.9
+                && best_b.as_ref().map(|(_, _, g)| cost_gap > *g).unwrap_or(true)
+            {
+                best_b = Some((i, j, cost_gap));
+            }
+        }
+    }
+
+    let mut table = TextTable::new(vec!["panel", "config", "cost ($/hr)", "QoS rate (%)"]);
+    for (panel, pair) in [("(a) similar cost", best_a), ("(b) similar QoS", best_b)] {
+        if let Some((i, j, _)) = pair {
+            for idx in [i, j] {
+                let e = &evals[idx];
+                table.add_row(vec![
+                    panel.to_string(),
+                    e.pool.describe(),
+                    format!("{:.2}", e.hourly_cost),
+                    format!("{:.2}", e.satisfaction_rate * 100.0),
+                ]);
+            }
+        }
+    }
+    println!("Fig. 5 — configurations that confuse naive search heuristics (MT-WND)\n");
+    table.print();
+    println!("\nPanel (a): near-identical price, very different QoS satisfaction.");
+    println!("Panel (b): near-identical QoS satisfaction, very different price.");
+}

@@ -1,0 +1,63 @@
+//! Fig. 10: number of configuration samples each strategy needs before reaching increasing
+//! cost-saving targets (relative to the optimal homogeneous configuration), per model.
+//!
+//! Run: `cargo run --release -p ribbon-bench --bin fig10`
+
+use ribbon::accounting::samples_to_reach_saving;
+use ribbon_bench::{
+    default_evaluator_settings, par_map, standard_workloads, strategy_suite, ExperimentContext,
+    TextTable,
+};
+use ribbon_cloudsim::CostModel;
+
+fn main() {
+    let budget = 300;
+    let rows = par_map(standard_workloads(), |w| {
+        let ctx = ExperimentContext::build(w, default_evaluator_settings());
+        let homo_cost = ctx.homogeneous_cost();
+        let traces: Vec<_> = strategy_suite(budget)
+            .iter()
+            .map(|s| (s.name(), s.run_search(&ctx.evaluator, 42)))
+            .collect();
+        (ctx, homo_cost, traces)
+    });
+
+    println!("Fig. 10 — samples needed to reach a given cost saving vs the homogeneous optimum\n");
+    for (ctx, homo_cost, traces) in rows {
+        // Saving targets: steps up to the best saving any strategy achieved.
+        let max_saving = traces
+            .iter()
+            .filter_map(|(_, t)| t.best_satisfying())
+            .map(|e| CostModel::saving_percent(homo_cost, e.hourly_cost))
+            .fold(0.0_f64, f64::max);
+        let steps = 5usize;
+        let targets: Vec<f64> = (1..=steps).map(|i| max_saving * i as f64 / steps as f64).collect();
+
+        println!(
+            "{} (homogeneous optimum ${:.2}/hr, best observed saving {:.1}%)",
+            ctx.workload.model.name(),
+            homo_cost,
+            max_saving
+        );
+        let mut table = TextTable::new(
+            std::iter::once("strategy".to_string())
+                .chain(targets.iter().map(|t| format!("{t:.1}% saving")))
+                .collect::<Vec<_>>(),
+        );
+        for (name, trace) in &traces {
+            table.add_row(
+                std::iter::once(name.to_string())
+                    .chain(targets.iter().map(|&t| {
+                        samples_to_reach_saving(trace, homo_cost, t)
+                            .map(|n| n.to_string())
+                            .unwrap_or_else(|| ">budget".to_string())
+                    }))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        table.print();
+        println!();
+    }
+    println!("Expected shape: RIBBON reaches every saving level with the fewest samples;");
+    println!("the competing strategies need several times more evaluations.");
+}

@@ -1,0 +1,55 @@
+//! Fig. 13: exploration cost of finding the optimal configuration, as a percentage of the
+//! cost of exhaustively evaluating every configuration, per strategy and model.
+//!
+//! Run: `cargo run --release -p ribbon-bench --bin fig13`
+
+use ribbon::accounting::{samples_to_reach_optimum, TraceMetrics};
+use ribbon::strategies::{ExhaustiveSearch, SearchStrategy};
+use ribbon_bench::{
+    default_evaluator_settings, par_map, standard_workloads, strategy_suite, ExperimentContext,
+    TextTable,
+};
+
+fn main() {
+    let budget = 300;
+    let rows = par_map(standard_workloads(), |w| {
+        let ctx = ExperimentContext::build(w, default_evaluator_settings());
+        let exhaustive = ExhaustiveSearch::full().run_search(&ctx.evaluator, 0);
+        let optimal_cost = exhaustive.best_satisfying().map(|e| e.hourly_cost).unwrap_or(f64::NAN);
+        let exhaustive_cost = exhaustive.exploration_cost();
+        let per_strategy: Vec<_> = strategy_suite(budget)
+            .iter()
+            .map(|s| {
+                let trace = s.run_search(&ctx.evaluator, 42);
+                // Exploration cost only counts what was spent up to (and including) the
+                // sample that first reached the optimal cost.
+                let cutoff = samples_to_reach_optimum(&trace, optimal_cost).unwrap_or(trace.len());
+                let spent: f64 = trace.evaluations()[..cutoff].iter().map(|e| e.hourly_cost).sum();
+                let metrics = TraceMetrics::new(&trace, ctx.homogeneous_cost());
+                (s.name(), spent / exhaustive_cost * 100.0, metrics.num_evaluations)
+            })
+            .collect();
+        (ctx.workload.model, per_strategy)
+    });
+
+    println!("Fig. 13 — exploration cost to reach the optimum, as % of exhaustive-search cost\n");
+    let mut t = TextTable::new(vec!["model", "RIBBON", "Hill-Climb", "RANDOM", "RSM"]);
+    for (model, per_strategy) in rows {
+        let get = |name: &str| {
+            per_strategy
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(_, pct, _)| format!("{pct:.1}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.add_row(vec![
+            model.name().to_string(),
+            get("RIBBON"),
+            get("Hill-Climb"),
+            get("RANDOM"),
+            get("RSM"),
+        ]);
+    }
+    t.print();
+    println!("\nExpected shape: RIBBON stays in the low single digits; the others cost several times more.");
+}

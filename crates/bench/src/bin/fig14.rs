@@ -1,0 +1,50 @@
+//! Fig. 14: number of QoS-violating configurations each strategy samples before it first
+//! reaches the optimal configuration, per model.
+//!
+//! Run: `cargo run --release -p ribbon-bench --bin fig14`
+
+use ribbon::accounting::violations_before_optimum;
+use ribbon::strategies::ExhaustiveSearch;
+use ribbon_bench::{
+    default_evaluator_settings, par_map, standard_workloads, strategy_suite, ExperimentContext,
+    TextTable,
+};
+
+fn main() {
+    let budget = 300;
+    let rows = par_map(standard_workloads(), |w| {
+        let ctx = ExperimentContext::build(w, default_evaluator_settings());
+        let optimal_cost = ExhaustiveSearch::optimum(&ctx.evaluator)
+            .map(|e| e.hourly_cost)
+            .unwrap_or(f64::NAN);
+        let per_strategy: Vec<_> = strategy_suite(budget)
+            .iter()
+            .map(|s| {
+                let trace = s.run_search(&ctx.evaluator, 42);
+                (s.name(), violations_before_optimum(&trace, optimal_cost))
+            })
+            .collect();
+        (ctx.workload.model, per_strategy)
+    });
+
+    println!("Fig. 14 — QoS-violating configurations sampled before finding the optimum\n");
+    let mut t = TextTable::new(vec!["model", "RIBBON", "Hill-Climb", "RANDOM", "RSM"]);
+    for (model, per_strategy) in rows {
+        let get = |name: &str| {
+            per_strategy
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        t.add_row(vec![
+            model.name().to_string(),
+            get("RIBBON"),
+            get("Hill-Climb"),
+            get("RANDOM"),
+            get("RSM"),
+        ]);
+    }
+    t.print();
+    println!("\nExpected shape: RIBBON samples the fewest QoS-violating configurations for most models.");
+}

@@ -1,0 +1,22 @@
+//! Table 2: the studied AWS instance catalog (family, size, category, price).
+//!
+//! Run: `cargo run --release -p ribbon-bench --bin table02`
+
+use ribbon_bench::TextTable;
+use ribbon_cloudsim::ALL_INSTANCE_TYPES;
+
+fn main() {
+    println!("Table 2: Studied AWS instances\n");
+    let mut t = TextTable::new(vec!["family", "size", "category", "vCPU", "mem GiB", "$/hr"]);
+    for ty in ALL_INSTANCE_TYPES {
+        t.add_row(vec![
+            ty.family().to_string(),
+            ty.api_name().split('.').nth(1).unwrap_or("").to_string(),
+            ty.category().to_string(),
+            ty.vcpus().to_string(),
+            ty.memory_gib().to_string(),
+            format!("{:.4}", ty.hourly_price()),
+        ]);
+    }
+    t.print();
+}

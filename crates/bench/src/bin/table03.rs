@@ -1,0 +1,35 @@
+//! Table 3: per-model homogeneous base type and diverse pool, plus the QoS target and the
+//! workload parameters used throughout the evaluation.
+//!
+//! Run: `cargo run --release -p ribbon-bench --bin table03`
+
+use ribbon_bench::{standard_workloads, TextTable};
+
+fn main() {
+    println!("Table 3: instance pools used for each model\n");
+    let mut t = TextTable::new(vec![
+        "model",
+        "homogeneous pool",
+        "diverse pool",
+        "QoS target",
+        "arrival (qps)",
+        "median batch",
+    ]);
+    for w in standard_workloads() {
+        let pool = w
+            .diverse_pool
+            .iter()
+            .map(|ty| ty.family())
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.add_row(vec![
+            w.model.name().to_string(),
+            w.base_type.family().to_string(),
+            pool,
+            format!("{:.0} ms p{:.0}", w.qos.latency_target_s * 1000.0, w.qos.target_rate * 100.0),
+            format!("{:.0}", w.qps),
+            format!("{:.0}", w.median_batch),
+        ]);
+    }
+    t.print();
+}

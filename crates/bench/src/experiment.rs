@@ -1,0 +1,139 @@
+//! Common experiment configuration: the full-size workloads, default evaluator and search
+//! settings used by every figure binary, the strategy suite of Sec. 5.3, and a small
+//! crossbeam-based parallel map for per-model sweeps.
+
+use parking_lot::Mutex;
+use ribbon::prelude::*;
+use ribbon::evaluator::EvaluatorSettings;
+use ribbon::search::RibbonSettings;
+use ribbon_models::ALL_MODELS;
+
+/// The five standard workloads of the paper at full evaluation size.
+pub fn standard_workloads() -> Vec<Workload> {
+    ALL_MODELS.iter().map(|&m| Workload::standard(m)).collect()
+}
+
+/// Default evaluator settings for the experiment binaries.
+pub fn default_evaluator_settings() -> EvaluatorSettings {
+    EvaluatorSettings { max_per_type: 12, saturation_epsilon: 0.001, explicit_bounds: None }
+}
+
+/// Default Ribbon search settings for the experiment binaries.
+pub fn default_ribbon_settings() -> RibbonSettings {
+    RibbonSettings { max_evaluations: 40, ..RibbonSettings::fast() }
+}
+
+/// The four online strategies compared throughout Sec. 5.3, with a common evaluation budget.
+pub fn strategy_suite(budget: usize) -> Vec<Box<dyn SearchStrategy + Send + Sync>> {
+    vec![
+        Box::new(RibbonSearch::new(RibbonSettings {
+            max_evaluations: budget,
+            ..RibbonSettings::fast()
+        })),
+        Box::new(HillClimbSearch::new(budget)),
+        Box::new(RandomSearch::new(budget)),
+        Box::new(ResponseSurfaceSearch::new(budget)),
+    ]
+}
+
+/// A workload together with its constructed evaluator and homogeneous baseline — the shared
+/// starting point of most experiments.
+pub struct ExperimentContext {
+    /// The workload being served.
+    pub workload: Workload,
+    /// The evaluator over the workload's diverse pool.
+    pub evaluator: ConfigEvaluator,
+    /// The optimal homogeneous pool (count and cost), if one exists within the probe range.
+    pub homogeneous: Option<ribbon::accounting::HomogeneousOptimum>,
+}
+
+impl ExperimentContext {
+    /// Builds the context for a workload: evaluator construction (bound probing included)
+    /// plus the homogeneous baseline search.
+    pub fn build(workload: Workload, settings: EvaluatorSettings) -> Self {
+        let max_probe = settings.max_per_type.max(12);
+        let evaluator = ConfigEvaluator::new(&workload, settings);
+        let homogeneous = homogeneous_optimum(&evaluator, max_probe);
+        ExperimentContext { workload, evaluator, homogeneous }
+    }
+
+    /// Hourly cost of the homogeneous baseline, or `f64::NAN` when none exists.
+    pub fn homogeneous_cost(&self) -> f64 {
+        self.homogeneous.as_ref().map(|h| h.hourly_cost).unwrap_or(f64::NAN)
+    }
+}
+
+/// Applies `f` to every item of `items` with one thread per item (bounded by the item count;
+/// experiments fan out over the five models, so this is at most five threads) and returns the
+/// results in the original order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for (i, item) in items.into_iter().enumerate() {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let r = f(item);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("experiment worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("worker finished without a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_workloads_cover_all_five_models() {
+        let ws = standard_workloads();
+        assert_eq!(ws.len(), 5);
+        let names: Vec<&str> = ws.iter().map(|w| w.model.name()).collect();
+        assert!(names.contains(&"CANDLE"));
+        assert!(names.contains(&"DIEN"));
+    }
+
+    #[test]
+    fn strategy_suite_has_four_strategies_with_ribbon_first() {
+        let suite = strategy_suite(10);
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].name(), "RIBBON");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(vec![3u64, 1, 4, 1, 5], |x| x * 2);
+        assert_eq!(out, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn par_map_handles_empty_input() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn experiment_context_builds_for_a_small_workload() {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 600;
+        let ctx = ExperimentContext::build(
+            w,
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+        );
+        assert!(ctx.homogeneous.is_some());
+        assert!(ctx.homogeneous_cost() > 0.0);
+        assert_eq!(ctx.evaluator.bounds(), &[6, 4, 6]);
+    }
+}

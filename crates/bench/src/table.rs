@@ -1,0 +1,114 @@
+//! A tiny fixed-width text-table printer used by every experiment binary.
+
+/// A simple left-aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; shorter rows are padded with empty cells, longer rows are truncated.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with the given number of decimals (helper for table cells).
+pub fn fnum(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_separator_and_rows() {
+        let mut t = TextTable::new(vec!["model", "saving"]);
+        t.add_row(vec!["CANDLE", "14.2"]);
+        t.add_row(vec!["ResNet50", "16.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("CANDLE"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn pads_and_truncates_rows_to_header_width() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.add_row(vec!["1"]);
+        t.add_row(vec!["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('1'));
+        assert!(!s.contains('3'), "extra cells must be dropped");
+    }
+
+    #[test]
+    fn columns_are_aligned_to_the_widest_cell() {
+        let mut t = TextTable::new(vec!["x", "y"]);
+        t.add_row(vec!["longvalue", "1"]);
+        t.add_row(vec!["s", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        let col2_pos_row1 = lines[2].find('1').unwrap();
+        let col2_pos_row2 = lines[3].find('2').unwrap();
+        assert_eq!(col2_pos_row1, col2_pos_row2);
+    }
+
+    #[test]
+    fn fnum_formats_decimals() {
+        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(2.0, 0), "2");
+    }
+}

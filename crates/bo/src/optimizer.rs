@@ -1,0 +1,437 @@
+//! The BO suggest/observe loop over the configuration lattice.
+//!
+//! Usage pattern (the `ribbon` crate drives this):
+//!
+//! ```text
+//! loop {
+//!     let suggestion = optimizer.suggest(&mut rng)?;
+//!     let value = evaluate(&suggestion.config);            // deploy & measure (simulated)
+//!     optimizer.observe(suggestion.config, value)?;
+//!     optimizer.prune_below(...) / prune_above(...)        // Ribbon's active pruning
+//! }
+//! ```
+//!
+//! The optimizer refits the GP after every observation (the datasets are tiny) and maximizes
+//! the acquisition function by scanning every lattice point that is neither already explored
+//! nor pruned.
+
+use crate::acquisition::Acquisition;
+use crate::space::{Config, ConfigLattice, PruneSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ribbon_gp::{fit_gp, FitConfig, GpError};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors from the BO loop.
+#[derive(Debug)]
+pub enum BoError {
+    /// Every configuration in the lattice has been explored or pruned.
+    SpaceExhausted,
+    /// The surrogate model failed to fit or predict.
+    Gp(GpError),
+    /// An observation refers to a configuration outside the lattice.
+    InvalidConfig(Config),
+    /// An observed objective value was not finite.
+    NonFiniteObjective(f64),
+}
+
+impl fmt::Display for BoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoError::SpaceExhausted => write!(f, "all configurations are explored or pruned"),
+            BoError::Gp(e) => write!(f, "surrogate model error: {e}"),
+            BoError::InvalidConfig(c) => write!(f, "configuration {c:?} is outside the lattice"),
+            BoError::NonFiniteObjective(v) => write!(f, "objective value {v} is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for BoError {}
+
+impl From<GpError> for BoError {
+    fn from(e: GpError) -> Self {
+        BoError::Gp(e)
+    }
+}
+
+/// Tunable settings of the BO engine.
+#[derive(Debug, Clone)]
+pub struct BoSettings {
+    /// Number of random (space-filling) configurations evaluated before the GP takes over.
+    pub initial_samples: usize,
+    /// Acquisition function to maximize.
+    pub acquisition: Acquisition,
+    /// Hyperparameter grid for the GP refit.
+    pub fit: FitConfig,
+}
+
+impl Default for BoSettings {
+    fn default() -> Self {
+        BoSettings {
+            initial_samples: 3,
+            acquisition: Acquisition::default(),
+            fit: FitConfig::default(),
+        }
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The evaluated configuration.
+    pub config: Config,
+    /// The (maximization) objective value returned by the evaluator.
+    pub value: f64,
+    /// `true` if this observation was injected as an estimate (load-adaptation warm start)
+    /// rather than actually evaluated.
+    pub estimated: bool,
+}
+
+/// Why a configuration was suggested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SuggestionSource {
+    /// Random space-filling sample during the initialization phase.
+    Initial,
+    /// Maximizer of the acquisition function over the un-pruned, un-explored lattice.
+    Acquisition {
+        /// Acquisition value of the suggested point.
+        score: f64,
+    },
+    /// Random fallback used when the GP could not be fitted.
+    RandomFallback,
+}
+
+/// A configuration the optimizer wants evaluated next.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// The configuration to evaluate.
+    pub config: Config,
+    /// Why it was chosen.
+    pub source: SuggestionSource,
+}
+
+/// Bayesian optimizer over an integer configuration lattice.
+pub struct BoOptimizer {
+    lattice: ConfigLattice,
+    settings: BoSettings,
+    observations: Vec<Observation>,
+    explored: HashSet<Config>,
+    prune: PruneSet,
+}
+
+impl BoOptimizer {
+    /// Creates an optimizer over `lattice` with the given settings.
+    pub fn new(lattice: ConfigLattice, settings: BoSettings) -> Self {
+        BoOptimizer {
+            lattice,
+            settings,
+            observations: Vec::new(),
+            explored: HashSet::new(),
+            prune: PruneSet::new(),
+        }
+    }
+
+    /// The search lattice.
+    pub fn lattice(&self) -> &ConfigLattice {
+        &self.lattice
+    }
+
+    /// All observations so far (including injected estimates).
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of *real* (non-estimated) evaluations so far.
+    pub fn num_evaluations(&self) -> usize {
+        self.observations.iter().filter(|o| !o.estimated).count()
+    }
+
+    /// The best (highest-value) observation so far, preferring real observations over
+    /// injected estimates when values tie.
+    pub fn best(&self) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .max_by(|a, b| {
+                a.value
+                    .partial_cmp(&b.value)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| (!a.estimated).cmp(&(!b.estimated)))
+            })
+    }
+
+    /// Read access to the prune set.
+    pub fn prune_set(&self) -> &PruneSet {
+        &self.prune
+    }
+
+    /// Marks every configuration dominated by `violator` as unreachable (paper's pruning rule
+    /// for configurations that violate QoS by more than the threshold).
+    pub fn prune_below(&mut self, violator: Config) {
+        self.prune.prune_below(violator);
+    }
+
+    /// Marks every configuration that component-wise exceeds `satisfier` as not worth
+    /// sampling (it is at least as expensive and cannot beat the incumbent).
+    pub fn prune_above(&mut self, satisfier: Config) {
+        self.prune.prune_above(satisfier);
+    }
+
+    /// Returns `true` if the configuration has been explored (observed or injected).
+    pub fn is_explored(&self, config: &[u32]) -> bool {
+        self.explored.contains(config)
+    }
+
+    /// Records a real evaluation of `config`.
+    pub fn observe(&mut self, config: Config, value: f64) -> Result<(), BoError> {
+        self.record(config, value, false)
+    }
+
+    /// Injects an *estimated* observation (Ribbon's load-adaptation warm start feeds linear
+    /// estimates of the new-load objective for previously explored configurations).
+    pub fn observe_estimate(&mut self, config: Config, value: f64) -> Result<(), BoError> {
+        self.record(config, value, true)
+    }
+
+    fn record(&mut self, config: Config, value: f64, estimated: bool) -> Result<(), BoError> {
+        if !self.lattice.contains(&config) {
+            return Err(BoError::InvalidConfig(config));
+        }
+        if !value.is_finite() {
+            return Err(BoError::NonFiniteObjective(value));
+        }
+        self.explored.insert(config.clone());
+        self.observations.push(Observation { config, value, estimated });
+        Ok(())
+    }
+
+    /// Candidate configurations that are neither explored nor pruned.
+    fn open_candidates(&self) -> Vec<Config> {
+        self.lattice
+            .enumerate()
+            .into_iter()
+            .filter(|c| !self.explored.contains(c) && !self.prune.is_pruned(c))
+            .collect()
+    }
+
+    /// Suggests the next configuration to evaluate.
+    ///
+    /// During the initialization phase (fewer than `initial_samples` real evaluations) the
+    /// suggestion is a uniformly random open configuration. Afterwards the GP is refitted on
+    /// all observations and the acquisition function is maximized over the open candidates.
+    pub fn suggest<R: Rng>(&self, rng: &mut R) -> Result<Suggestion, BoError> {
+        let mut open = self.open_candidates();
+        if open.is_empty() {
+            return Err(BoError::SpaceExhausted);
+        }
+
+        if self.num_evaluations() < self.settings.initial_samples || self.observations.is_empty() {
+            open.shuffle(rng);
+            return Ok(Suggestion { config: open[0].clone(), source: SuggestionSource::Initial });
+        }
+
+        let x: Vec<Vec<f64>> = self
+            .observations
+            .iter()
+            .map(|o| ConfigLattice::to_coords(&o.config))
+            .collect();
+        let y: Vec<f64> = self.observations.iter().map(|o| o.value).collect();
+        let fitted = match fit_gp(&x, &y, &self.settings.fit) {
+            Ok(f) => f,
+            Err(_) => {
+                open.shuffle(rng);
+                return Ok(Suggestion {
+                    config: open[0].clone(),
+                    source: SuggestionSource::RandomFallback,
+                });
+            }
+        };
+
+        // Incumbent for EI: best *real* observation (estimates guide, they don't set the bar).
+        let best = self
+            .observations
+            .iter()
+            .filter(|o| !o.estimated)
+            .map(|o| o.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best = if best.is_finite() { best } else { self.best().map(|o| o.value).unwrap_or(0.0) };
+
+        let mut best_cfg: Option<(Config, f64)> = None;
+        for cfg in open {
+            let coords = ConfigLattice::to_coords(&cfg);
+            let posterior = fitted.gp.predict(&coords)?;
+            let score = self.settings.acquisition.score(&posterior, best);
+            match &best_cfg {
+                Some((_, s)) if *s >= score => {}
+                _ => best_cfg = Some((cfg, score)),
+            }
+        }
+        let (config, score) = best_cfg.ok_or(BoError::SpaceExhausted)?;
+        Ok(Suggestion { config, source: SuggestionSource::Acquisition { score } })
+    }
+
+    /// Resets observations and pruning but keeps the lattice and settings
+    /// (used when the workload changes so drastically that history is discarded).
+    pub fn reset(&mut self) {
+        self.observations.clear();
+        self.explored.clear();
+        self.prune.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A smooth synthetic objective with a unique maximum at (3, 4) on a 6×6 lattice.
+    fn toy_objective(cfg: &[u32]) -> f64 {
+        let dx = cfg[0] as f64 - 3.0;
+        let dy = cfg[1] as f64 - 4.0;
+        1.0 - 0.05 * (dx * dx + dy * dy)
+    }
+
+    fn small_settings() -> BoSettings {
+        BoSettings { initial_samples: 3, fit: FitConfig::coarse(), ..BoSettings::default() }
+    }
+
+    #[test]
+    fn observe_rejects_out_of_lattice_configs() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
+        assert!(matches!(bo.observe(vec![3, 0], 0.5), Err(BoError::InvalidConfig(_))));
+        assert!(matches!(bo.observe(vec![0, 0], 0.5), Err(BoError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn observe_rejects_non_finite_values() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
+        assert!(matches!(bo.observe(vec![1, 1], f64::NAN), Err(BoError::NonFiniteObjective(_))));
+    }
+
+    #[test]
+    fn initial_suggestions_are_random_and_unexplored() {
+        let bo = BoOptimizer::new(ConfigLattice::new(vec![3, 3]), small_settings());
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = bo.suggest(&mut rng).unwrap();
+        assert_eq!(s.source, SuggestionSource::Initial);
+        assert!(bo.lattice().contains(&s.config));
+    }
+
+    #[test]
+    fn suggestions_switch_to_acquisition_after_initial_phase() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![5, 5]), small_settings());
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..3 {
+            let s = bo.suggest(&mut rng).unwrap();
+            let v = toy_objective(&s.config);
+            bo.observe(s.config, v).unwrap();
+        }
+        let s = bo.suggest(&mut rng).unwrap();
+        assert!(matches!(s.source, SuggestionSource::Acquisition { .. }));
+    }
+
+    #[test]
+    fn suggest_never_repeats_an_explored_configuration() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![3, 3]), small_settings());
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let s = bo.suggest(&mut rng).unwrap();
+            assert!(seen.insert(s.config.clone()), "repeated {:?}", s.config);
+            let v = toy_objective(&s.config);
+            bo.observe(s.config, v).unwrap();
+        }
+    }
+
+    #[test]
+    fn suggest_respects_prune_set() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
+        // Prune everything dominated by (2,1): leaves only (0,2),(1,2),(2,2).
+        bo.prune_below(vec![2, 1]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 {
+            let s = bo.suggest(&mut rng).unwrap();
+            assert!(!bo.prune_set().is_pruned(&s.config), "suggested pruned {:?}", s.config);
+            bo.observe(s.config, 0.5).unwrap();
+        }
+        assert!(matches!(bo.suggest(&mut rng), Err(BoError::SpaceExhausted)));
+    }
+
+    #[test]
+    fn space_exhausted_when_everything_explored() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![1, 1]), small_settings());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let s = bo.suggest(&mut rng).unwrap();
+            bo.observe(s.config, 0.1).unwrap();
+        }
+        assert!(matches!(bo.suggest(&mut rng), Err(BoError::SpaceExhausted)));
+    }
+
+    #[test]
+    fn bo_finds_the_toy_optimum_quickly() {
+        let lattice = ConfigLattice::new(vec![6, 6]);
+        let mut bo = BoOptimizer::new(lattice.clone(), small_settings());
+        let mut rng = StdRng::seed_from_u64(42);
+        let budget = 20;
+        for _ in 0..budget {
+            let s = bo.suggest(&mut rng).unwrap();
+            let v = toy_objective(&s.config);
+            bo.observe(s.config, v).unwrap();
+        }
+        let best = bo.best().unwrap();
+        // The optimum value is 1.0 at (3,4); BO should get within one lattice step.
+        assert!(best.value > 0.9, "best value {} config {:?}", best.value, best.config);
+        assert!(bo.num_evaluations() <= budget);
+        // And it should have needed far fewer evaluations than the 48-point lattice.
+        assert!(bo.num_evaluations() < lattice.len());
+    }
+
+    #[test]
+    fn estimates_do_not_count_as_real_evaluations_or_incumbent() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![4, 4]), small_settings());
+        bo.observe_estimate(vec![4, 4], 0.99).unwrap();
+        assert_eq!(bo.num_evaluations(), 0);
+        bo.observe(vec![1, 1], 0.4).unwrap();
+        assert_eq!(bo.num_evaluations(), 1);
+        // best() still reports the estimate as the highest value seen...
+        assert_eq!(bo.best().unwrap().value, 0.99);
+        // ...but it is marked as estimated.
+        assert!(bo.best().unwrap().estimated);
+    }
+
+    #[test]
+    fn estimated_configs_are_not_resuggested() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![1, 1]), small_settings());
+        bo.observe_estimate(vec![1, 1], 0.2).unwrap();
+        bo.observe_estimate(vec![1, 0], 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = bo.suggest(&mut rng).unwrap();
+        assert_eq!(s.config, vec![0, 1], "only the un-estimated config remains");
+    }
+
+    #[test]
+    fn reset_clears_history_and_pruning() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
+        bo.observe(vec![1, 1], 0.5).unwrap();
+        bo.prune_below(vec![2, 2]);
+        bo.reset();
+        assert!(bo.observations().is_empty());
+        assert_eq!(bo.prune_set().num_boxes(), 0);
+        assert!(!bo.is_explored(&[1, 1]));
+    }
+
+    #[test]
+    fn best_returns_none_without_observations() {
+        let bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
+        assert!(bo.best().is_none());
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(BoError::SpaceExhausted.to_string().contains("explored or pruned"));
+        assert!(BoError::InvalidConfig(vec![9]).to_string().contains("[9]"));
+        assert!(BoError::NonFiniteObjective(f64::INFINITY).to_string().contains("inf"));
+    }
+}

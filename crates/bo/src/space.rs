@@ -1,0 +1,404 @@
+//! The integer configuration lattice and Ribbon's active prune set.
+//!
+//! A *configuration* is a vector of instance counts `[x_1, ..., x_n]`, one per instance type,
+//! bounded by per-type maxima `m = [m_1, ..., m_n]`. The lattice is the full cartesian product
+//! `{0..=m_1} × ... × {0..=m_n}` (the all-zero configuration is excluded — an empty pool can
+//! never serve queries).
+//!
+//! The [`PruneSet`] implements the paper's *active pruning*: when a configuration is observed
+//! to violate QoS by more than a threshold, every configuration that is component-wise ≤ it is
+//! unreachable (it has strictly less capacity, so it cannot meet QoS either) and is excluded
+//! from future acquisition maximization. Symmetrically, once a QoS-satisfying configuration is
+//! known, any configuration component-wise ≥ a *satisfying* configuration that is also more
+//! expensive than the incumbent can be pruned by the caller via [`PruneSet::prune_above`].
+
+/// An integer lattice point: the number of instances of each type.
+pub type Config = Vec<u32>;
+
+/// Returns `true` if `a` is component-wise less than or equal to `b`.
+///
+/// # Panics
+/// Panics if the configurations have different lengths.
+pub fn dominated_by(a: &[u32], b: &[u32]) -> bool {
+    assert_eq!(a.len(), b.len(), "configuration dimensionality mismatch");
+    a.iter().zip(b.iter()).all(|(x, y)| x <= y)
+}
+
+/// The bounded integer search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigLattice {
+    /// Upper bound (inclusive) for each dimension: the paper's m_i.
+    bounds: Vec<u32>,
+}
+
+impl ConfigLattice {
+    /// Creates a lattice with inclusive per-dimension upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty.
+    pub fn new(bounds: Vec<u32>) -> Self {
+        assert!(!bounds.is_empty(), "lattice needs at least one dimension");
+        ConfigLattice { bounds }
+    }
+
+    /// Number of dimensions (instance types).
+    pub fn dims(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Per-dimension inclusive upper bounds.
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Total number of lattice points excluding the all-zero configuration.
+    pub fn len(&self) -> usize {
+        let total: usize = self.bounds.iter().map(|&b| b as usize + 1).product();
+        total.saturating_sub(1)
+    }
+
+    /// `true` if the lattice contains no valid (non-empty) configuration.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `config` lies inside the lattice bounds and is not all-zero.
+    pub fn contains(&self, config: &[u32]) -> bool {
+        config.len() == self.bounds.len()
+            && config.iter().zip(&self.bounds).all(|(c, b)| c <= b)
+            && config.iter().any(|&c| c > 0)
+    }
+
+    /// Enumerates every valid configuration (excluding all-zero) in lexicographic order.
+    pub fn enumerate(&self) -> Vec<Config> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut current = vec![0u32; self.bounds.len()];
+        loop {
+            if current.iter().any(|&c| c > 0) {
+                out.push(current.clone());
+            }
+            // Odometer increment.
+            let mut i = self.bounds.len();
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if current[i] < self.bounds[i] {
+                    current[i] += 1;
+                    for v in current.iter_mut().skip(i + 1) {
+                        *v = 0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// All lattice neighbours of `config` at L1 distance 1 (±1 along a single dimension).
+    pub fn neighbors(&self, config: &[u32]) -> Vec<Config> {
+        let mut out = Vec::with_capacity(2 * config.len());
+        for i in 0..config.len() {
+            if config[i] < self.bounds[i] {
+                let mut up = config.to_vec();
+                up[i] += 1;
+                out.push(up);
+            }
+            if config[i] > 0 {
+                let mut down = config.to_vec();
+                down[i] -= 1;
+                if down.iter().any(|&c| c > 0) {
+                    out.push(down);
+                }
+            }
+        }
+        out
+    }
+
+    /// Clamps an arbitrary real-valued point to the nearest valid lattice configuration.
+    pub fn clamp_round(&self, point: &[f64]) -> Config {
+        let mut cfg: Config = point
+            .iter()
+            .zip(&self.bounds)
+            .map(|(p, &b)| p.round().clamp(0.0, b as f64) as u32)
+            .collect();
+        if cfg.iter().all(|&c| c == 0) {
+            // Nudge to the smallest non-empty configuration.
+            cfg[0] = 1;
+        }
+        cfg
+    }
+
+    /// Converts an integer configuration to the `f64` coordinates the GP operates on.
+    pub fn to_coords(config: &[u32]) -> Vec<f64> {
+        config.iter().map(|&c| c as f64).collect()
+    }
+}
+
+/// Ribbon's active prune set P.
+///
+/// Stores (a) *violator boxes*: configurations observed to violate QoS by more than the
+/// threshold — everything component-wise ≤ such a configuration is pruned; and (b) explicit
+/// *above boxes*: QoS-satisfying configurations — everything component-wise ≥ them (other than
+/// the configuration itself) is at least as expensive and therefore cannot beat it, so it may
+/// be pruned once an incumbent exists.
+#[derive(Debug, Clone, Default)]
+pub struct PruneSet {
+    below_boxes: Vec<Config>,
+    above_boxes: Vec<Config>,
+}
+
+impl PruneSet {
+    /// Creates an empty prune set.
+    pub fn new() -> Self {
+        PruneSet::default()
+    }
+
+    /// Prunes every configuration component-wise ≤ `violator` (the violator itself included).
+    pub fn prune_below(&mut self, violator: Config) {
+        // Keep the set minimal: drop boxes already covered by the new one.
+        if self
+            .below_boxes
+            .iter()
+            .any(|existing| dominated_by(&violator, existing))
+        {
+            return;
+        }
+        self.below_boxes.retain(|existing| !dominated_by(existing, &violator));
+        self.below_boxes.push(violator);
+    }
+
+    /// Prunes every configuration component-wise ≥ `satisfier`, *excluding* the satisfier
+    /// itself (it remains a legitimate incumbent).
+    pub fn prune_above(&mut self, satisfier: Config) {
+        if self
+            .above_boxes
+            .iter()
+            .any(|existing| dominated_by(existing, &satisfier))
+        {
+            return;
+        }
+        self.above_boxes.retain(|existing| !dominated_by(&satisfier, existing));
+        self.above_boxes.push(satisfier);
+    }
+
+    /// Returns `true` if `config` is excluded from future sampling.
+    pub fn is_pruned(&self, config: &[u32]) -> bool {
+        if self.below_boxes.iter().any(|v| dominated_by(config, v)) {
+            return true;
+        }
+        self.above_boxes
+            .iter()
+            .any(|s| dominated_by(s, config) && s.as_slice() != config)
+    }
+
+    /// Number of stored pruning boxes (diagnostic).
+    pub fn num_boxes(&self) -> usize {
+        self.below_boxes.len() + self.above_boxes.len()
+    }
+
+    /// Counts how many configurations of a lattice are currently pruned.
+    pub fn count_pruned(&self, lattice: &ConfigLattice) -> usize {
+        lattice.enumerate().iter().filter(|c| self.is_pruned(c)).count()
+    }
+
+    /// Clears all pruning information (used when the load changes and history is rebuilt).
+    pub fn clear(&mut self) {
+        self.below_boxes.clear();
+        self.above_boxes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lattice_len_counts_all_but_zero() {
+        let l = ConfigLattice::new(vec![2, 3]);
+        assert_eq!(l.len(), 3 * 4 - 1);
+        assert_eq!(l.enumerate().len(), l.len());
+    }
+
+    #[test]
+    fn lattice_enumerate_excludes_zero_and_respects_bounds() {
+        let l = ConfigLattice::new(vec![1, 2]);
+        let pts = l.enumerate();
+        assert!(!pts.contains(&vec![0, 0]));
+        assert!(pts.contains(&vec![1, 2]));
+        assert!(pts.iter().all(|p| l.contains(p)));
+        assert_eq!(pts.len(), 5);
+    }
+
+    #[test]
+    fn contains_rejects_out_of_bounds_and_zero() {
+        let l = ConfigLattice::new(vec![2, 2]);
+        assert!(!l.contains(&[3, 0]));
+        assert!(!l.contains(&[0, 0]));
+        assert!(!l.contains(&[1]));
+        assert!(l.contains(&[2, 2]));
+        assert!(l.contains(&[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn lattice_rejects_empty_bounds() {
+        let _ = ConfigLattice::new(vec![]);
+    }
+
+    #[test]
+    fn zero_bounds_lattice_is_empty() {
+        let l = ConfigLattice::new(vec![0, 0]);
+        assert!(l.is_empty());
+        assert!(l.enumerate().is_empty());
+    }
+
+    #[test]
+    fn neighbors_stay_in_bounds_and_exclude_zero() {
+        let l = ConfigLattice::new(vec![2, 2]);
+        let n = l.neighbors(&[0, 1]);
+        assert!(n.contains(&vec![1, 1]));
+        assert!(n.contains(&vec![0, 2]));
+        assert!(!n.contains(&vec![0, 0]), "all-zero neighbour must be excluded");
+        for cfg in &n {
+            assert!(l.contains(cfg));
+        }
+    }
+
+    #[test]
+    fn neighbors_of_interior_point_count() {
+        let l = ConfigLattice::new(vec![5, 5, 5]);
+        assert_eq!(l.neighbors(&[2, 2, 2]).len(), 6);
+        // Corner point has fewer neighbours.
+        assert_eq!(l.neighbors(&[5, 5, 5]).len(), 3);
+    }
+
+    #[test]
+    fn clamp_round_clamps_and_avoids_zero() {
+        let l = ConfigLattice::new(vec![3, 4]);
+        assert_eq!(l.clamp_round(&[2.6, -1.0]), vec![3, 0]);
+        assert_eq!(l.clamp_round(&[9.0, 9.0]), vec![3, 4]);
+        assert_eq!(l.clamp_round(&[0.2, 0.4]), vec![1, 0], "all-zero rounds to smallest pool");
+    }
+
+    #[test]
+    fn to_coords_roundtrip() {
+        assert_eq!(ConfigLattice::to_coords(&[1, 0, 7]), vec![1.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn dominated_by_basic_cases() {
+        assert!(dominated_by(&[1, 2], &[1, 2]));
+        assert!(dominated_by(&[0, 2], &[1, 2]));
+        assert!(!dominated_by(&[2, 2], &[1, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dominated_by_panics_on_dim_mismatch() {
+        let _ = dominated_by(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn prune_below_excludes_dominated_configs() {
+        let mut p = PruneSet::new();
+        p.prune_below(vec![2, 3]);
+        assert!(p.is_pruned(&[2, 3]));
+        assert!(p.is_pruned(&[0, 1]));
+        assert!(p.is_pruned(&[2, 0]));
+        assert!(!p.is_pruned(&[3, 3]));
+        assert!(!p.is_pruned(&[2, 4]));
+    }
+
+    #[test]
+    fn prune_above_keeps_the_satisfier_itself() {
+        let mut p = PruneSet::new();
+        p.prune_above(vec![3, 4]);
+        assert!(!p.is_pruned(&[3, 4]), "satisfier itself stays sampleable");
+        assert!(p.is_pruned(&[3, 5]));
+        assert!(p.is_pruned(&[4, 4]));
+        assert!(!p.is_pruned(&[2, 4]));
+    }
+
+    #[test]
+    fn prune_set_deduplicates_covered_boxes() {
+        let mut p = PruneSet::new();
+        p.prune_below(vec![1, 1]);
+        p.prune_below(vec![2, 2]); // covers the previous box
+        p.prune_below(vec![1, 0]); // already covered, must not grow the set
+        assert_eq!(p.num_boxes(), 1);
+        assert!(p.is_pruned(&[1, 1]));
+        assert!(p.is_pruned(&[2, 2]));
+    }
+
+    #[test]
+    fn prune_above_deduplicates_covered_boxes() {
+        let mut p = PruneSet::new();
+        p.prune_above(vec![3, 3]);
+        p.prune_above(vec![2, 2]); // covers the previous box from below
+        p.prune_above(vec![4, 4]); // already covered
+        assert_eq!(p.num_boxes(), 1);
+        assert!(p.is_pruned(&[3, 3]), "now dominated by the tighter satisfier box");
+        assert!(!p.is_pruned(&[2, 2]));
+    }
+
+    #[test]
+    fn count_pruned_matches_manual_count() {
+        let l = ConfigLattice::new(vec![2, 2]);
+        let mut p = PruneSet::new();
+        p.prune_below(vec![1, 1]);
+        // Pruned: (0,1),(1,0),(1,1) — (0,0) is not in the lattice.
+        assert_eq!(p.count_pruned(&l), 3);
+    }
+
+    #[test]
+    fn clear_resets_the_prune_set() {
+        let mut p = PruneSet::new();
+        p.prune_below(vec![5, 5]);
+        p.prune_above(vec![1, 1]);
+        p.clear();
+        assert_eq!(p.num_boxes(), 0);
+        assert!(!p.is_pruned(&[1, 1]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_enumerate_has_no_duplicates(b1 in 1u32..5, b2 in 1u32..5, b3 in 0u32..3) {
+            let l = ConfigLattice::new(vec![b1, b2, b3]);
+            let pts = l.enumerate();
+            let mut set = std::collections::HashSet::new();
+            for p in &pts {
+                prop_assert!(set.insert(p.clone()), "duplicate {:?}", p);
+            }
+            prop_assert_eq!(pts.len(), l.len());
+        }
+
+        #[test]
+        fn prop_pruned_below_never_exceeds_violator(vx in 0u32..6, vy in 0u32..6, cx in 0u32..6, cy in 0u32..6) {
+            let mut p = PruneSet::new();
+            p.prune_below(vec![vx, vy]);
+            let pruned = p.is_pruned(&[cx, cy]);
+            let dominated = cx <= vx && cy <= vy;
+            prop_assert_eq!(pruned, dominated);
+        }
+
+        #[test]
+        fn prop_clamp_round_always_valid(x in -5.0f64..20.0, y in -5.0f64..20.0, b1 in 1u32..8, b2 in 1u32..8) {
+            let l = ConfigLattice::new(vec![b1, b2]);
+            let cfg = l.clamp_round(&[x, y]);
+            prop_assert!(l.contains(&cfg), "clamped {:?} not in lattice {:?}", cfg, l.bounds());
+        }
+
+        #[test]
+        fn prop_neighbors_at_l1_distance_one(x in 0u32..5, y in 0u32..5, z in 0u32..5) {
+            prop_assume!(x + y + z > 0);
+            let l = ConfigLattice::new(vec![5, 5, 5]);
+            let c = vec![x, y, z];
+            for n in l.neighbors(&c) {
+                let d: i64 = n.iter().zip(&c).map(|(a, b)| (*a as i64 - *b as i64).abs()).sum();
+                prop_assert_eq!(d, 1);
+            }
+        }
+    }
+}

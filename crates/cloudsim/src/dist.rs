@@ -1,0 +1,381 @@
+//! Probability distributions implemented from scratch on top of `rand`'s uniform source.
+//!
+//! The paper's workload model needs: exponential inter-arrival times (a Poisson arrival
+//! process), a **heavy-tail log-normal** batch-size distribution (the default, following
+//! DeepRecSys), a plain log-normal, a Gaussian (the robustness study of Fig. 11), and a
+//! uniform distribution (used by tests and ablations). Implementing them here keeps the
+//! dependency set to the approved crates and lets us unit-test the samplers directly.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Samples a standard normal variate using the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would send ln(u1) to -inf.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples an exponential variate with the given rate λ (mean 1/λ).
+///
+/// # Panics
+/// Panics if `rate` is not strictly positive.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Samples a log-normal variate with the given parameters of the underlying normal.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+    (mu + sigma * sample_standard_normal(rng)).exp()
+}
+
+/// Samples a Pareto variate with scale `x_min` and shape `alpha`.
+pub fn sample_pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Batch-size distribution of the inference query stream.
+///
+/// All variants produce an integer batch size clamped to `[min, max]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchDistribution {
+    /// Heavy-tail log-normal (the paper's default, after DeepRecSys): a log-normal body with
+    /// probability `1 - tail_prob`, and a Pareto tail starting at the body's scale with
+    /// probability `tail_prob`.
+    HeavyTailLogNormal {
+        /// Mean of the underlying normal of the body.
+        mu: f64,
+        /// Standard deviation of the underlying normal of the body.
+        sigma: f64,
+        /// Probability of drawing from the Pareto tail.
+        tail_prob: f64,
+        /// Pareto shape of the tail (smaller = heavier).
+        tail_alpha: f64,
+        /// Minimum batch size.
+        min: u32,
+        /// Maximum batch size.
+        max: u32,
+    },
+    /// Plain log-normal.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+        /// Minimum batch size.
+        min: u32,
+        /// Maximum batch size.
+        max: u32,
+    },
+    /// Gaussian batch sizes (the Fig. 11 robustness study).
+    Gaussian {
+        /// Mean batch size.
+        mean: f64,
+        /// Standard deviation of the batch size.
+        std_dev: f64,
+        /// Minimum batch size.
+        min: u32,
+        /// Maximum batch size.
+        max: u32,
+    },
+    /// Uniform over `[min, max]` (tests and ablations).
+    Uniform {
+        /// Minimum batch size.
+        min: u32,
+        /// Maximum batch size.
+        max: u32,
+    },
+    /// Every query has the same batch size (isolated-instance profiling, Fig. 3).
+    Fixed {
+        /// The constant batch size.
+        batch: u32,
+    },
+}
+
+impl BatchDistribution {
+    /// The paper's default heavy-tail log-normal shape, parameterized by a median batch size
+    /// and a maximum batch size.
+    pub fn default_heavy_tail(median: f64, max: u32) -> Self {
+        BatchDistribution::HeavyTailLogNormal {
+            mu: median.ln(),
+            sigma: 0.55,
+            tail_prob: 0.06,
+            tail_alpha: 1.6,
+            min: 1,
+            max,
+        }
+    }
+
+    /// Samples one integer batch size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match *self {
+            BatchDistribution::HeavyTailLogNormal {
+                mu,
+                sigma,
+                tail_prob,
+                tail_alpha,
+                min,
+                max,
+            } => {
+                let body_scale = mu.exp();
+                let v = if rng.gen::<f64>() < tail_prob {
+                    sample_pareto(rng, body_scale.max(1.0), tail_alpha)
+                } else {
+                    sample_lognormal(rng, mu, sigma)
+                };
+                clamp_round(v, min, max)
+            }
+            BatchDistribution::LogNormal { mu, sigma, min, max } => {
+                clamp_round(sample_lognormal(rng, mu, sigma), min, max)
+            }
+            BatchDistribution::Gaussian { mean, std_dev, min, max } => {
+                clamp_round(mean + std_dev * sample_standard_normal(rng), min, max)
+            }
+            BatchDistribution::Uniform { min, max } => rng.gen_range(min..=max),
+            BatchDistribution::Fixed { batch } => batch,
+        }
+    }
+
+    /// Inclusive upper bound on the batch sizes this distribution can produce.
+    pub fn max_batch(&self) -> u32 {
+        match *self {
+            BatchDistribution::HeavyTailLogNormal { max, .. }
+            | BatchDistribution::LogNormal { max, .. }
+            | BatchDistribution::Gaussian { max, .. }
+            | BatchDistribution::Uniform { max, .. } => max,
+            BatchDistribution::Fixed { batch } => batch,
+        }
+    }
+}
+
+fn clamp_round(v: f64, min: u32, max: u32) -> u32 {
+    if !v.is_finite() {
+        return max;
+    }
+    (v.round().clamp(min as f64, max as f64)) as u32
+}
+
+/// Inter-arrival time distribution of the query stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival times with rate `qps` (queries/second).
+    Poisson {
+        /// Mean arrival rate in queries per second.
+        qps: f64,
+    },
+    /// Deterministic arrivals every `1/qps` seconds (used in tests to remove variance).
+    Deterministic {
+        /// Arrival rate in queries per second.
+        qps: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean arrival rate in queries/second.
+    pub fn qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { qps } | ArrivalProcess::Deterministic { qps } => qps,
+        }
+    }
+
+    /// Returns a copy with the arrival rate multiplied by `factor` (load scaling).
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        assert!(factor > 0.0, "load factor must be positive");
+        match *self {
+            ArrivalProcess::Poisson { qps } => ArrivalProcess::Poisson { qps: qps * factor },
+            ArrivalProcess::Deterministic { qps } => {
+                ArrivalProcess::Deterministic { qps: qps * factor }
+            }
+        }
+    }
+
+    /// Samples the next inter-arrival gap in seconds.
+    pub fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { qps } => sample_exponential(rng, qps),
+            ArrivalProcess::Deterministic { qps } => 1.0 / qps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ribbon_linalg::stats;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn standard_normal_moments_are_close() {
+        let mut r = rng(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| sample_standard_normal(&mut r)).collect();
+        assert!(stats::mean(&xs).abs() < 0.03, "mean {}", stats::mean(&xs));
+        assert!((stats::variance(&xs) - 1.0).abs() < 0.05, "var {}", stats::variance(&xs));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng(2);
+        let rate = 4.0;
+        let xs: Vec<f64> = (0..20_000).map(|_| sample_exponential(&mut r, rate)).collect();
+        assert!((stats::mean(&xs) - 1.0 / rate).abs() < 0.01);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut r = rng(3);
+        let _ = sample_exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = rng(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| sample_lognormal(&mut r, 3.0, 0.5)).collect();
+        let median = stats::percentile(&xs, 50.0).unwrap();
+        assert!((median - 3.0f64.exp()).abs() / 3.0f64.exp() < 0.05, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_is_heavy_tailed() {
+        let mut r = rng(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| sample_pareto(&mut r, 10.0, 2.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 10.0));
+        // Heavy tail: p99 well above the scale.
+        assert!(stats::percentile(&xs, 99.0).unwrap() > 50.0);
+    }
+
+    #[test]
+    fn heavy_tail_lognormal_is_heavier_than_plain_lognormal() {
+        let mut r1 = rng(6);
+        let mut r2 = rng(6);
+        let heavy = BatchDistribution::default_heavy_tail(32.0, 4096);
+        let plain = BatchDistribution::LogNormal { mu: 32.0f64.ln(), sigma: 0.55, min: 1, max: 4096 };
+        let hs: Vec<f64> = (0..30_000).map(|_| heavy.sample(&mut r1) as f64).collect();
+        let ps: Vec<f64> = (0..30_000).map(|_| plain.sample(&mut r2) as f64).collect();
+        let h99 = stats::percentile(&hs, 99.9).unwrap();
+        let p99 = stats::percentile(&ps, 99.9).unwrap();
+        assert!(h99 > p99, "heavy tail p99.9 {h99} should exceed plain {p99}");
+        // Medians stay comparable.
+        let hm = stats::percentile(&hs, 50.0).unwrap();
+        assert!((hm - 32.0).abs() < 6.0, "median {hm}");
+    }
+
+    #[test]
+    fn gaussian_batches_center_on_mean() {
+        let mut r = rng(7);
+        let d = BatchDistribution::Gaussian { mean: 64.0, std_dev: 16.0, min: 1, max: 256 };
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r) as f64).collect();
+        assert!((stats::mean(&xs) - 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn batch_samples_respect_bounds() {
+        let mut r = rng(8);
+        for d in [
+            BatchDistribution::default_heavy_tail(32.0, 128),
+            BatchDistribution::LogNormal { mu: 3.0, sigma: 1.5, min: 2, max: 100 },
+            BatchDistribution::Gaussian { mean: 50.0, std_dev: 80.0, min: 5, max: 90 },
+            BatchDistribution::Uniform { min: 3, max: 9 },
+        ] {
+            for _ in 0..2_000 {
+                let b = d.sample(&mut r);
+                assert!(b <= d.max_batch());
+                match d {
+                    BatchDistribution::HeavyTailLogNormal { min, .. }
+                    | BatchDistribution::LogNormal { min, .. }
+                    | BatchDistribution::Gaussian { min, .. }
+                    | BatchDistribution::Uniform { min, .. } => assert!(b >= min),
+                    BatchDistribution::Fixed { .. } => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_distribution_is_constant() {
+        let mut r = rng(9);
+        let d = BatchDistribution::Fixed { batch: 128 };
+        assert!((0..100).all(|_| d.sample(&mut r) == 128));
+        assert_eq!(d.max_batch(), 128);
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_inverse_qps() {
+        let mut r = rng(10);
+        let p = ArrivalProcess::Poisson { qps: 200.0 };
+        let gaps: Vec<f64> = (0..20_000).map(|_| p.sample_gap(&mut r)).collect();
+        assert!((stats::mean(&gaps) - 0.005).abs() < 0.0005);
+    }
+
+    #[test]
+    fn deterministic_gaps_are_exact() {
+        let mut r = rng(11);
+        let p = ArrivalProcess::Deterministic { qps: 50.0 };
+        assert_eq!(p.sample_gap(&mut r), 0.02);
+        assert_eq!(p.qps(), 50.0);
+    }
+
+    #[test]
+    fn scaling_the_arrival_process_multiplies_qps() {
+        let p = ArrivalProcess::Poisson { qps: 100.0 };
+        assert_eq!(p.scaled(1.5).qps(), 150.0);
+        let d = ArrivalProcess::Deterministic { qps: 10.0 };
+        assert_eq!(d.scaled(0.5).qps(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor must be positive")]
+    fn scaling_rejects_non_positive_factor() {
+        let _ = ArrivalProcess::Poisson { qps: 1.0 }.scaled(0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_a_seed() {
+        let d = BatchDistribution::default_heavy_tail(32.0, 512);
+        let a: Vec<u32> = {
+            let mut r = rng(123);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = rng(123);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exponential_nonnegative(seed in 0u64..500, rate in 0.01f64..100.0) {
+            let mut r = rng(seed);
+            prop_assert!(sample_exponential(&mut r, rate) >= 0.0);
+        }
+
+        #[test]
+        fn prop_uniform_batches_in_range(seed in 0u64..500, min in 1u32..10, span in 0u32..100) {
+            let mut r = rng(seed);
+            let d = BatchDistribution::Uniform { min, max: min + span };
+            let b = d.sample(&mut r);
+            prop_assert!(b >= min && b <= min + span);
+        }
+
+        #[test]
+        fn prop_clamp_round_within_bounds(v in -1e6f64..1e6, min in 1u32..10, span in 0u32..1000) {
+            let c = clamp_round(v, min, min + span);
+            prop_assert!(c >= min && c <= min + span);
+        }
+    }
+}

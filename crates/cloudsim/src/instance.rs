@@ -1,0 +1,361 @@
+//! The AWS EC2 instance catalog of Table 2 and heterogeneous pool specifications.
+//!
+//! Prices are 2021 us-east-1 on-demand hourly prices for the sizes the paper lists
+//! (`xlarge` for the general-purpose and GPU families, `2xlarge` for compute-optimized,
+//! `large` for memory-optimized). Absolute dollar values only matter through their ratios,
+//! which is what the cost-effectiveness trade-off (Fig. 3b) depends on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Broad instance category, mirroring Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceCategory {
+    /// Balanced compute/memory/network (t3, m5, m5n).
+    GeneralPurpose,
+    /// Compute-optimized (c5, c5a).
+    ComputeOptimized,
+    /// Memory-optimized (r5, r5n).
+    MemoryOptimized,
+    /// GPU-accelerated (g4dn).
+    Accelerator,
+}
+
+impl fmt::Display for InstanceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstanceCategory::GeneralPurpose => "general purpose",
+            InstanceCategory::ComputeOptimized => "compute optimized",
+            InstanceCategory::MemoryOptimized => "memory optimized",
+            InstanceCategory::Accelerator => "accelerator (GPU)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The eight AWS EC2 instance types studied in the paper (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InstanceType {
+    /// t3.xlarge — burstable general purpose.
+    T3,
+    /// m5.xlarge — general purpose (Intel).
+    M5,
+    /// m5n.xlarge — general purpose with enhanced networking.
+    M5n,
+    /// c5.2xlarge — compute optimized (Intel Cascade Lake).
+    C5,
+    /// c5a.2xlarge — compute optimized (AMD EPYC).
+    C5a,
+    /// r5.large — memory optimized.
+    R5,
+    /// r5n.large — memory optimized with enhanced networking.
+    R5n,
+    /// g4dn.xlarge — NVIDIA T4 GPU instance.
+    G4dn,
+}
+
+/// Every instance type in the catalog, in a fixed canonical order.
+pub const ALL_INSTANCE_TYPES: [InstanceType; 8] = [
+    InstanceType::T3,
+    InstanceType::M5,
+    InstanceType::M5n,
+    InstanceType::C5,
+    InstanceType::C5a,
+    InstanceType::R5,
+    InstanceType::R5n,
+    InstanceType::G4dn,
+];
+
+impl InstanceType {
+    /// EC2 API name including the size used in the paper.
+    pub fn api_name(&self) -> &'static str {
+        match self {
+            InstanceType::T3 => "t3.xlarge",
+            InstanceType::M5 => "m5.xlarge",
+            InstanceType::M5n => "m5n.xlarge",
+            InstanceType::C5 => "c5.2xlarge",
+            InstanceType::C5a => "c5a.2xlarge",
+            InstanceType::R5 => "r5.large",
+            InstanceType::R5n => "r5n.large",
+            InstanceType::G4dn => "g4dn.xlarge",
+        }
+    }
+
+    /// Family code name as used in the paper's figures (e.g. "g4dn").
+    pub fn family(&self) -> &'static str {
+        match self {
+            InstanceType::T3 => "t3",
+            InstanceType::M5 => "m5",
+            InstanceType::M5n => "m5n",
+            InstanceType::C5 => "c5",
+            InstanceType::C5a => "c5a",
+            InstanceType::R5 => "r5",
+            InstanceType::R5n => "r5n",
+            InstanceType::G4dn => "g4dn",
+        }
+    }
+
+    /// Category per Table 2.
+    pub fn category(&self) -> InstanceCategory {
+        match self {
+            InstanceType::T3 | InstanceType::M5 | InstanceType::M5n => {
+                InstanceCategory::GeneralPurpose
+            }
+            InstanceType::C5 | InstanceType::C5a => InstanceCategory::ComputeOptimized,
+            InstanceType::R5 | InstanceType::R5n => InstanceCategory::MemoryOptimized,
+            InstanceType::G4dn => InstanceCategory::Accelerator,
+        }
+    }
+
+    /// On-demand hourly price in USD (us-east-1, 2021).
+    pub fn hourly_price(&self) -> f64 {
+        match self {
+            InstanceType::T3 => 0.1664,
+            InstanceType::M5 => 0.192,
+            InstanceType::M5n => 0.238,
+            InstanceType::C5 => 0.34,
+            InstanceType::C5a => 0.308,
+            InstanceType::R5 => 0.126,
+            InstanceType::R5n => 0.149,
+            InstanceType::G4dn => 0.526,
+        }
+    }
+
+    /// vCPU count of the studied size (used by the synthetic latency profiles).
+    pub fn vcpus(&self) -> u32 {
+        match self {
+            InstanceType::T3 | InstanceType::M5 | InstanceType::M5n | InstanceType::G4dn => 4,
+            InstanceType::C5 | InstanceType::C5a => 8,
+            InstanceType::R5 | InstanceType::R5n => 2,
+        }
+    }
+
+    /// Memory in GiB of the studied size.
+    pub fn memory_gib(&self) -> u32 {
+        match self {
+            InstanceType::T3 | InstanceType::M5 | InstanceType::M5n | InstanceType::G4dn => 16,
+            InstanceType::C5 | InstanceType::C5a => 16,
+            InstanceType::R5 | InstanceType::R5n => 16,
+        }
+    }
+
+    /// Whether the instance has a GPU accelerator.
+    pub fn has_gpu(&self) -> bool {
+        matches!(self, InstanceType::G4dn)
+    }
+
+    /// Looks up a type by its family code name ("g4dn", "t3", ...).
+    pub fn from_family(name: &str) -> Option<InstanceType> {
+        ALL_INSTANCE_TYPES.iter().copied().find(|t| t.family() == name)
+    }
+}
+
+impl fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.family())
+    }
+}
+
+/// A heterogeneous pool specification: an ordered list of instance types and how many of
+/// each to run. The order is the FCFS dispatch preference order (Table 3 lists the pool
+/// with the highest-performance type first).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Instance types in dispatch-preference order.
+    pub types: Vec<InstanceType>,
+    /// Number of instances of each type (parallel to `types`).
+    pub counts: Vec<u32>,
+}
+
+impl PoolSpec {
+    /// Creates a pool specification.
+    ///
+    /// # Panics
+    /// Panics if `types` and `counts` have different lengths or `types` is empty.
+    pub fn new(types: Vec<InstanceType>, counts: Vec<u32>) -> Self {
+        assert_eq!(types.len(), counts.len(), "types/counts length mismatch");
+        assert!(!types.is_empty(), "a pool needs at least one instance type");
+        PoolSpec { types, counts }
+    }
+
+    /// A homogeneous pool of `count` instances of a single type.
+    pub fn homogeneous(ty: InstanceType, count: u32) -> Self {
+        PoolSpec::new(vec![ty], vec![count])
+    }
+
+    /// Total number of instances across all types.
+    pub fn total_instances(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Returns `true` if the pool has no instances at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_instances() == 0
+    }
+
+    /// Total hourly price of the pool in USD.
+    pub fn hourly_cost(&self) -> f64 {
+        self.types
+            .iter()
+            .zip(&self.counts)
+            .map(|(t, &c)| t.hourly_price() * c as f64)
+            .sum()
+    }
+
+    /// Expands the pool into one entry per concrete instance, in dispatch-preference order.
+    pub fn expand(&self) -> Vec<InstanceType> {
+        let mut out = Vec::with_capacity(self.total_instances() as usize);
+        for (t, &c) in self.types.iter().zip(&self.counts) {
+            for _ in 0..c {
+                out.push(*t);
+            }
+        }
+        out
+    }
+
+    /// Short human-readable description like `3xg4dn + 4xt3`.
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = self
+            .types
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(t, &c)| format!("{c}x{t}"))
+            .collect();
+        if parts.is_empty() {
+            "empty".to_string()
+        } else {
+            parts.join(" + ")
+        }
+    }
+
+    /// Builds a pool from an ordered type list and a count vector (e.g. a BO lattice point).
+    pub fn from_counts(types: &[InstanceType], counts: &[u32]) -> Self {
+        PoolSpec::new(types.to_vec(), counts.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lists_eight_types() {
+        assert_eq!(ALL_INSTANCE_TYPES.len(), 8);
+        let mut names: Vec<&str> = ALL_INSTANCE_TYPES.iter().map(|t| t.family()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "family names must be unique");
+    }
+
+    #[test]
+    fn gpu_flag_only_for_g4dn() {
+        for t in ALL_INSTANCE_TYPES {
+            assert_eq!(t.has_gpu(), t == InstanceType::G4dn);
+        }
+    }
+
+    #[test]
+    fn categories_match_table_2() {
+        assert_eq!(InstanceType::T3.category(), InstanceCategory::GeneralPurpose);
+        assert_eq!(InstanceType::M5n.category(), InstanceCategory::GeneralPurpose);
+        assert_eq!(InstanceType::C5a.category(), InstanceCategory::ComputeOptimized);
+        assert_eq!(InstanceType::R5n.category(), InstanceCategory::MemoryOptimized);
+        assert_eq!(InstanceType::G4dn.category(), InstanceCategory::Accelerator);
+    }
+
+    #[test]
+    fn g4dn_is_the_most_expensive_and_r5_the_cheapest() {
+        let max = ALL_INSTANCE_TYPES
+            .iter()
+            .max_by(|a, b| a.hourly_price().partial_cmp(&b.hourly_price()).unwrap())
+            .unwrap();
+        let min = ALL_INSTANCE_TYPES
+            .iter()
+            .min_by(|a, b| a.hourly_price().partial_cmp(&b.hourly_price()).unwrap())
+            .unwrap();
+        assert_eq!(*max, InstanceType::G4dn);
+        assert_eq!(*min, InstanceType::R5);
+    }
+
+    #[test]
+    fn from_family_roundtrip() {
+        for t in ALL_INSTANCE_TYPES {
+            assert_eq!(InstanceType::from_family(t.family()), Some(t));
+        }
+        assert_eq!(InstanceType::from_family("p4d"), None);
+    }
+
+    #[test]
+    fn api_names_include_sizes() {
+        assert_eq!(InstanceType::C5.api_name(), "c5.2xlarge");
+        assert_eq!(InstanceType::R5.api_name(), "r5.large");
+        assert_eq!(InstanceType::G4dn.api_name(), "g4dn.xlarge");
+    }
+
+    #[test]
+    fn display_uses_family_name() {
+        assert_eq!(InstanceType::G4dn.to_string(), "g4dn");
+        assert_eq!(InstanceCategory::Accelerator.to_string(), "accelerator (GPU)");
+    }
+
+    #[test]
+    fn pool_cost_matches_fig4_anchors() {
+        // Fig. 4: 5 g4dn ≈ $2.63/hr, 12 t3 ≈ $2.0/hr and is cheaper than 5 g4dn.
+        let five_g4dn = PoolSpec::homogeneous(InstanceType::G4dn, 5);
+        let twelve_t3 = PoolSpec::homogeneous(InstanceType::T3, 12);
+        assert!((five_g4dn.hourly_cost() - 2.63).abs() < 0.01);
+        assert!(twelve_t3.hourly_cost() < five_g4dn.hourly_cost());
+        // (3+4) is cheaper than (5+0); (4+4) is more expensive than (5+0).
+        let mixed_3_4 = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![3, 4]);
+        let mixed_4_4 = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![4, 4]);
+        assert!(mixed_3_4.hourly_cost() < five_g4dn.hourly_cost());
+        assert!(mixed_4_4.hourly_cost() > five_g4dn.hourly_cost());
+    }
+
+    #[test]
+    fn pool_expand_preserves_order_and_count() {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![2, 3]);
+        let expanded = pool.expand();
+        assert_eq!(expanded.len(), 5);
+        assert_eq!(expanded[0], InstanceType::G4dn);
+        assert_eq!(expanded[1], InstanceType::G4dn);
+        assert_eq!(expanded[2], InstanceType::T3);
+        assert_eq!(pool.total_instances(), 5);
+    }
+
+    #[test]
+    fn pool_describe_skips_zero_counts() {
+        let pool = PoolSpec::new(
+            vec![InstanceType::G4dn, InstanceType::C5, InstanceType::R5n],
+            vec![3, 0, 4],
+        );
+        assert_eq!(pool.describe(), "3xg4dn + 4xr5n");
+        let empty = PoolSpec::new(vec![InstanceType::T3], vec![0]);
+        assert_eq!(empty.describe(), "empty");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pool_rejects_mismatched_lengths() {
+        let _ = PoolSpec::new(vec![InstanceType::T3], vec![1, 2]);
+    }
+
+    #[test]
+    fn homogeneous_constructor() {
+        let p = PoolSpec::homogeneous(InstanceType::C5a, 6);
+        assert_eq!(p.types, vec![InstanceType::C5a]);
+        assert_eq!(p.counts, vec![6]);
+        assert!((p.hourly_cost() - 6.0 * 0.308).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_and_vcpu_metadata_is_positive() {
+        for t in ALL_INSTANCE_TYPES {
+            assert!(t.vcpus() > 0);
+            assert!(t.memory_gib() > 0);
+            assert!(t.hourly_price() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The abstraction connecting the simulator to model-specific latency profiles.
+//!
+//! `ribbon-cloudsim` knows how to queue and dispatch queries, but the time a query of a given
+//! batch size takes on a given instance type depends on the deep-learning model being served.
+//! Those calibrated profiles live in `ribbon-models`; the simulator only sees this trait.
+
+use crate::instance::InstanceType;
+
+/// Maps `(instance type, batch size)` to an inference service time in **seconds**.
+pub trait LatencyModel: Send + Sync {
+    /// Service time (seconds) of a single query of `batch_size` requests on `instance`,
+    /// excluding any queueing delay.
+    fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64;
+
+    /// Human-readable name of the served model (used in experiment output).
+    fn name(&self) -> &str {
+        "unnamed-model"
+    }
+}
+
+/// A latency model defined by a closure — convenient for tests and ablations.
+pub struct FnLatencyModel<F: Fn(InstanceType, u32) -> f64 + Send + Sync> {
+    f: F,
+    name: String,
+}
+
+impl<F: Fn(InstanceType, u32) -> f64 + Send + Sync> FnLatencyModel<F> {
+    /// Wraps a closure as a latency model.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnLatencyModel { f, name: name.into() }
+    }
+}
+
+impl<F: Fn(InstanceType, u32) -> f64 + Send + Sync> LatencyModel for FnLatencyModel<F> {
+    fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64 {
+        (self.f)(instance, batch_size)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<M: LatencyModel + ?Sized> LatencyModel for &M {
+    fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64 {
+        (**self).service_time(instance, batch_size)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl LatencyModel for Box<dyn LatencyModel> {
+    fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64 {
+        self.as_ref().service_time(instance, batch_size)
+    }
+
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_latency_model_delegates_to_closure() {
+        let m = FnLatencyModel::new("toy", |ty, b| {
+            if ty == InstanceType::G4dn { 0.001 } else { 0.0001 * b as f64 }
+        });
+        assert_eq!(m.service_time(InstanceType::G4dn, 128), 0.001);
+        assert_eq!(m.service_time(InstanceType::T3, 10), 0.001);
+        assert_eq!(m.name(), "toy");
+    }
+
+    #[test]
+    fn reference_and_boxed_models_delegate() {
+        let m = FnLatencyModel::new("toy", |_, b| b as f64);
+        let r: &dyn LatencyModel = &m;
+        assert_eq!((&r).service_time(InstanceType::C5, 3), 3.0);
+        let boxed: Box<dyn LatencyModel> = Box::new(FnLatencyModel::new("boxed", |_, _| 1.0));
+        assert_eq!(boxed.service_time(InstanceType::R5, 1), 1.0);
+        assert_eq!(boxed.name(), "boxed");
+    }
+
+    #[test]
+    fn default_name_is_provided() {
+        struct Bare;
+        impl LatencyModel for Bare {
+            fn service_time(&self, _: InstanceType, _: u32) -> f64 {
+                0.5
+            }
+        }
+        assert_eq!(Bare.name(), "unnamed-model");
+    }
+}

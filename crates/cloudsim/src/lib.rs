@@ -1,0 +1,32 @@
+//! Discrete-event simulator of cloud-hosted deep-learning inference serving.
+//!
+//! This crate is the substrate that stands in for the paper's AWS EC2 testbed. It provides:
+//!
+//! * the **instance catalog** ([`instance`]) — the eight EC2 instance types of Table 2 with
+//!   their categories, sizes and on-demand hourly prices;
+//! * **probability distributions** implemented from scratch ([`dist`]) — exponential
+//!   inter-arrival times (Poisson process), log-normal / heavy-tail log-normal / Gaussian /
+//!   uniform batch-size distributions, exactly the workload shapes the paper evaluates;
+//! * **query streams** ([`query`]) — reproducible, seeded streams of `(arrival time, batch
+//!   size)` pairs, with load-scaling support for the Fig. 16 experiments;
+//! * the **FCFS pool simulator** ([`sim`]) — queries are served first-come-first-serve by the
+//!   first available instance following the pool's type order, as described in Sec. 5.1;
+//! * **metrics** ([`metrics`]) — mean/percentile latency, QoS satisfaction rate, throughput,
+//!   and cost accounting.
+//!
+//! The mapping from `(instance type, model, batch size)` to a service time is *not* part of
+//! this crate: it is abstracted behind the [`latency::LatencyModel`] trait and implemented by
+//! `ribbon-models`, which holds the calibrated synthetic profiles.
+
+pub mod dist;
+pub mod instance;
+pub mod latency;
+pub mod metrics;
+pub mod query;
+pub mod sim;
+
+pub use instance::{InstanceCategory, InstanceType, PoolSpec, ALL_INSTANCE_TYPES};
+pub use latency::LatencyModel;
+pub use metrics::{CostModel, QosTarget, SimSummary};
+pub use query::{Query, QueryStream, StreamConfig};
+pub use sim::{simulate, PoolSimulator, SimResult};

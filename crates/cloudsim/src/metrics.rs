@@ -1,0 +1,252 @@
+//! Serving metrics and cost accounting.
+//!
+//! The paper's figures of merit (Sec. 2):
+//!
+//! * **performance** of an instance = achievable throughput (QPS) = 1 / mean service latency;
+//! * **cost-effectiveness** (Eq. 1) = `3600 · Perf / Price` in queries per dollar;
+//! * **QoS satisfaction rate** = fraction of queries within the tail-latency target;
+//! * a configuration *meets QoS* when its satisfaction rate is at least the target percentile
+//!   (e.g. 99 % of queries within the p99 latency target).
+
+use crate::instance::{InstanceType, PoolSpec};
+use crate::sim::SimResult;
+use serde::{Deserialize, Serialize};
+
+/// The QoS target of a workload: `target_rate` of queries must finish within
+/// `latency_target_s` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosTarget {
+    /// Latency bound in seconds (e.g. 0.020 for MT-WND's 20 ms).
+    pub latency_target_s: f64,
+    /// Required satisfaction rate in `[0, 1]` (0.99 for a p99 target, 0.98 for p98).
+    pub target_rate: f64,
+}
+
+impl QosTarget {
+    /// Creates a QoS target; panics if the rate is outside `(0, 1]` or the latency is not
+    /// positive.
+    pub fn new(latency_target_s: f64, target_rate: f64) -> Self {
+        assert!(latency_target_s > 0.0, "latency target must be positive");
+        assert!(
+            target_rate > 0.0 && target_rate <= 1.0,
+            "target rate must be in (0, 1], got {target_rate}"
+        );
+        QosTarget { latency_target_s, target_rate }
+    }
+
+    /// A p99 target at the given latency (the paper's default).
+    pub fn p99(latency_target_s: f64) -> Self {
+        QosTarget::new(latency_target_s, 0.99)
+    }
+
+    /// A p98 target at the given latency (the relaxed setting of Fig. 15).
+    pub fn p98(latency_target_s: f64) -> Self {
+        QosTarget::new(latency_target_s, 0.98)
+    }
+
+    /// Returns a copy with a different satisfaction-rate requirement.
+    pub fn with_rate(&self, target_rate: f64) -> Self {
+        QosTarget::new(self.latency_target_s, target_rate)
+    }
+
+    /// Whether a measured satisfaction rate meets this target.
+    pub fn is_met_by_rate(&self, satisfaction_rate: f64) -> bool {
+        satisfaction_rate >= self.target_rate
+    }
+}
+
+/// Cost-effectiveness helpers (Eq. 1 of the paper).
+pub struct CostModel;
+
+impl CostModel {
+    /// Cost-effectiveness of an instance type at a given throughput: queries per dollar.
+    pub fn cost_effectiveness(throughput_qps: f64, hourly_price: f64) -> f64 {
+        if hourly_price <= 0.0 {
+            return 0.0;
+        }
+        3600.0 * throughput_qps / hourly_price
+    }
+
+    /// Cost-effectiveness of an instance type serving a fixed batch size under a latency
+    /// model exposing `1/service_time` throughput.
+    pub fn instance_cost_effectiveness(ty: InstanceType, throughput_qps: f64) -> f64 {
+        Self::cost_effectiveness(throughput_qps, ty.hourly_price())
+    }
+
+    /// Relative cost saving of `candidate` vs `baseline` hourly cost, in percent.
+    /// Positive means the candidate is cheaper.
+    pub fn saving_percent(baseline_cost: f64, candidate_cost: f64) -> f64 {
+        if baseline_cost <= 0.0 {
+            return 0.0;
+        }
+        (baseline_cost - candidate_cost) / baseline_cost * 100.0
+    }
+}
+
+/// A compact summary of one simulated evaluation of a pool against a QoS target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Human-readable pool description.
+    pub pool: String,
+    /// Hourly cost of the pool in USD.
+    pub hourly_cost: f64,
+    /// Fraction of queries within the latency target.
+    pub satisfaction_rate: f64,
+    /// Whether the QoS target is met.
+    pub meets_qos: bool,
+    /// Mean end-to-end latency (seconds).
+    pub mean_latency_s: f64,
+    /// Tail latency at the target percentile (seconds).
+    pub tail_latency_s: f64,
+    /// Achieved throughput in queries per second.
+    pub throughput_qps: f64,
+    /// Number of simulated queries.
+    pub num_queries: usize,
+}
+
+impl SimSummary {
+    /// Summarizes a simulation result against a QoS target.
+    pub fn from_result(result: &SimResult, qos: &QosTarget) -> Self {
+        let rate = result.satisfaction_rate(qos.latency_target_s);
+        SimSummary {
+            pool: result.pool.describe(),
+            hourly_cost: result.pool.hourly_cost(),
+            satisfaction_rate: rate,
+            meets_qos: qos.is_met_by_rate(rate),
+            mean_latency_s: result.mean_latency(),
+            tail_latency_s: result.tail_latency(qos.target_rate * 100.0),
+            throughput_qps: result.throughput_qps(),
+            num_queries: result.num_queries(),
+        }
+    }
+
+    /// Cost-effectiveness of the whole pool in queries per dollar (Eq. 1 applied to the pool).
+    pub fn pool_cost_effectiveness(&self) -> f64 {
+        CostModel::cost_effectiveness(self.throughput_qps, self.hourly_cost)
+    }
+}
+
+/// Normalizes a slice of values to `[0, 1]` by dividing by the maximum (the scheme used in
+/// Fig. 3). Zero-max slices normalize to all zeros.
+pub fn normalize_to_best(values: &[f64]) -> Vec<f64> {
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / max).collect()
+}
+
+/// Helper describing a pool built from explicit per-type counts (used by experiment output).
+pub fn describe_counts(types: &[InstanceType], counts: &[u32]) -> String {
+    PoolSpec::from_counts(types, counts).describe()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::PoolSpec;
+    use crate::latency::FnLatencyModel;
+    use crate::query::Query;
+    use crate::sim::simulate;
+
+    #[test]
+    fn qos_target_constructors() {
+        let q = QosTarget::p99(0.020);
+        assert_eq!(q.target_rate, 0.99);
+        assert_eq!(q.latency_target_s, 0.020);
+        let q98 = QosTarget::p98(0.020);
+        assert_eq!(q98.target_rate, 0.98);
+        assert_eq!(q.with_rate(0.95).target_rate, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "target rate must be in (0, 1]")]
+    fn qos_target_rejects_bad_rate() {
+        let _ = QosTarget::new(0.02, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency target must be positive")]
+    fn qos_target_rejects_zero_latency() {
+        let _ = QosTarget::new(0.0, 0.99);
+    }
+
+    #[test]
+    fn qos_met_exactly_at_threshold() {
+        let q = QosTarget::p99(0.1);
+        assert!(q.is_met_by_rate(0.99));
+        assert!(q.is_met_by_rate(1.0));
+        assert!(!q.is_met_by_rate(0.9899));
+    }
+
+    #[test]
+    fn cost_effectiveness_formula_matches_eq1() {
+        // 10 QPS at $0.5/hr → 3600*10/0.5 = 72000 queries per dollar.
+        assert_eq!(CostModel::cost_effectiveness(10.0, 0.5), 72_000.0);
+        assert_eq!(CostModel::cost_effectiveness(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn saving_percent_sign_convention() {
+        assert_eq!(CostModel::saving_percent(2.0, 1.5), 25.0);
+        assert!(CostModel::saving_percent(2.0, 2.5) < 0.0);
+        assert_eq!(CostModel::saving_percent(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn normalize_to_best_maps_max_to_one() {
+        let v = normalize_to_best(&[2.0, 4.0, 1.0]);
+        assert_eq!(v, vec![0.5, 1.0, 0.25]);
+        assert_eq!(normalize_to_best(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_reflects_simulation() {
+        let model = FnLatencyModel::new("const", |_, _| 0.010);
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let queries: Vec<Query> = (0..4)
+            .map(|i| Query { id: i, arrival: 0.0, batch_size: 8 })
+            .collect();
+        let result = simulate(&pool, &queries, &model);
+        // Latencies 10..40 ms.
+        let qos = QosTarget::new(0.025, 0.75);
+        let summary = SimSummary::from_result(&result, &qos);
+        assert_eq!(summary.num_queries, 4);
+        assert_eq!(summary.satisfaction_rate, 0.5);
+        assert!(!summary.meets_qos);
+        assert!((summary.hourly_cost - 0.1664).abs() < 1e-12);
+        assert!(summary.pool.contains("t3"));
+        let lenient = SimSummary::from_result(&result, &QosTarget::new(0.040, 0.75));
+        assert!(lenient.meets_qos);
+    }
+
+    #[test]
+    fn pool_cost_effectiveness_scales_with_throughput() {
+        let a = SimSummary {
+            pool: "x".into(),
+            hourly_cost: 1.0,
+            satisfaction_rate: 1.0,
+            meets_qos: true,
+            mean_latency_s: 0.01,
+            tail_latency_s: 0.02,
+            throughput_qps: 100.0,
+            num_queries: 10,
+        };
+        let mut b = a.clone();
+        b.throughput_qps = 200.0;
+        assert!(b.pool_cost_effectiveness() > a.pool_cost_effectiveness());
+    }
+
+    #[test]
+    fn describe_counts_helper() {
+        let s = describe_counts(&[InstanceType::G4dn, InstanceType::T3], &[3, 4]);
+        assert_eq!(s, "3xg4dn + 4xt3");
+    }
+
+    #[test]
+    fn instance_cost_effectiveness_prefers_cheap_instances_at_equal_throughput() {
+        let g = CostModel::instance_cost_effectiveness(InstanceType::G4dn, 50.0);
+        let r = CostModel::instance_cost_effectiveness(InstanceType::R5, 50.0);
+        assert!(r > g, "r5 must be more cost-effective at equal throughput");
+    }
+}

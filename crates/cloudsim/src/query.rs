@@ -1,0 +1,202 @@
+//! Inference query streams: reproducible sequences of `(arrival time, batch size)` pairs.
+
+use crate::dist::{ArrivalProcess, BatchDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One inference query: a batch of requests arriving at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Sequential query identifier (0-based, in arrival order).
+    pub id: u64,
+    /// Arrival time in seconds since the start of the stream.
+    pub arrival: f64,
+    /// Number of requests batched into this query.
+    pub batch_size: u32,
+}
+
+/// Configuration of a query stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Arrival process (Poisson in the paper).
+    pub arrivals: ArrivalProcess,
+    /// Batch-size distribution (heavy-tail log-normal by default).
+    pub batches: BatchDistribution,
+    /// Number of queries to generate per evaluation.
+    pub num_queries: usize,
+    /// RNG seed; the same seed always produces the same stream.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Returns a copy with the arrival rate multiplied by `factor` (the paper's 1.5× load
+    /// change) and a distinct seed so the scaled stream is not a time-compressed replica.
+    pub fn scaled_load(&self, factor: f64) -> StreamConfig {
+        StreamConfig {
+            arrivals: self.arrivals.scaled(factor),
+            batches: self.batches.clone(),
+            num_queries: self.num_queries,
+            seed: self.seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Returns a copy with a different seed (for repeated evaluations of the same workload).
+    pub fn with_seed(&self, seed: u64) -> StreamConfig {
+        StreamConfig { seed, ..self.clone() }
+    }
+
+    /// Generates the full query stream.
+    pub fn generate(&self) -> Vec<Query> {
+        QueryStream::new(self.clone()).collect()
+    }
+}
+
+/// Iterator that lazily produces the queries of a stream.
+pub struct QueryStream {
+    config: StreamConfig,
+    rng: StdRng,
+    next_id: u64,
+    clock: f64,
+}
+
+impl QueryStream {
+    /// Creates a stream from its configuration.
+    pub fn new(config: StreamConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        QueryStream { config, rng, next_id: 0, clock: 0.0 }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = Query;
+
+    fn next(&mut self) -> Option<Query> {
+        if self.next_id as usize >= self.config.num_queries {
+            return None;
+        }
+        self.clock += self.config.arrivals.sample_gap(&mut self.rng);
+        let q = Query {
+            id: self.next_id,
+            arrival: self.clock,
+            batch_size: self.config.batches.sample(&mut self.rng),
+        };
+        self.next_id += 1;
+        Some(q)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.config.num_queries - self.next_id as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for QueryStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ribbon_linalg::stats;
+
+    fn config(qps: f64, n: usize, seed: u64) -> StreamConfig {
+        StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps },
+            batches: BatchDistribution::default_heavy_tail(32.0, 512),
+            num_queries: n,
+            seed,
+        }
+    }
+
+    #[test]
+    fn stream_produces_requested_number_of_queries() {
+        let qs = config(100.0, 500, 1).generate();
+        assert_eq!(qs.len(), 500);
+        assert_eq!(qs.first().unwrap().id, 0);
+        assert_eq!(qs.last().unwrap().id, 499);
+    }
+
+    #[test]
+    fn arrival_times_are_strictly_increasing() {
+        let qs = config(200.0, 1000, 2).generate();
+        for w in qs.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_stream() {
+        let a = config(150.0, 300, 42).generate();
+        let b = config(150.0, 300, 42).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_gives_different_stream() {
+        let a = config(150.0, 300, 42).generate();
+        let b = config(150.0, 300, 43).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn observed_qps_matches_configured_rate() {
+        let qs = config(250.0, 20_000, 3).generate();
+        let duration = qs.last().unwrap().arrival;
+        let observed = qs.len() as f64 / duration;
+        assert!((observed - 250.0).abs() / 250.0 < 0.05, "observed {observed}");
+    }
+
+    #[test]
+    fn scaled_load_increases_arrival_rate() {
+        let base = config(100.0, 20_000, 4);
+        let scaled = base.scaled_load(1.5);
+        assert_eq!(scaled.arrivals.qps(), 150.0);
+        let d_base = base.generate().last().unwrap().arrival;
+        let d_scaled = scaled.generate().last().unwrap().arrival;
+        // Same number of queries at 1.5x the rate → ~2/3 of the duration.
+        assert!((d_scaled / d_base - 1.0 / 1.5).abs() < 0.1, "ratio {}", d_scaled / d_base);
+    }
+
+    #[test]
+    fn scaled_load_changes_seed_but_with_seed_overrides() {
+        let base = config(100.0, 10, 7);
+        assert_ne!(base.scaled_load(1.5).seed, base.seed);
+        assert_eq!(base.with_seed(99).seed, 99);
+    }
+
+    #[test]
+    fn batch_sizes_follow_the_configured_distribution() {
+        let qs = config(100.0, 20_000, 5).generate();
+        let batches: Vec<f64> = qs.iter().map(|q| q.batch_size as f64).collect();
+        let median = stats::percentile(&batches, 50.0).unwrap();
+        assert!((median - 32.0).abs() < 8.0, "median batch {median}");
+        assert!(batches.iter().cloned().fold(0.0f64, f64::max) <= 512.0);
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact() {
+        let mut s = QueryStream::new(config(10.0, 5, 6));
+        assert_eq!(s.size_hint(), (5, Some(5)));
+        s.next();
+        assert_eq!(s.size_hint(), (4, Some(4)));
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn deterministic_arrivals_are_evenly_spaced() {
+        let cfg = StreamConfig {
+            arrivals: ArrivalProcess::Deterministic { qps: 10.0 },
+            batches: BatchDistribution::Fixed { batch: 8 },
+            num_queries: 4,
+            seed: 0,
+        };
+        let qs = cfg.generate();
+        let arrivals: Vec<f64> = qs.iter().map(|q| q.arrival).collect();
+        assert_eq!(arrivals, vec![0.1, 0.2, 0.30000000000000004, 0.4]);
+        assert!(qs.iter().all(|q| q.batch_size == 8));
+    }
+}

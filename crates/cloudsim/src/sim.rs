@@ -1,0 +1,350 @@
+//! The first-come-first-serve heterogeneous pool simulator.
+//!
+//! The paper's serving policy (Sec. 5.1): queries are processed FCFS, "with the first arrived
+//! query going to the first available instance following the heterogeneous type order". Each
+//! instance serves one query at a time; a query's end-to-end latency is its queueing delay
+//! plus its service time on whichever instance it landed on.
+//!
+//! The simulation is a simple list-scheduling pass over the arrival-ordered query stream:
+//! for each query we pick the instance that can start it earliest, breaking ties by the
+//! pool's type order (the order of Table 3, highest-performance type first).
+
+use crate::instance::{InstanceType, PoolSpec};
+use crate::latency::LatencyModel;
+use crate::query::Query;
+
+/// Outcome of simulating one query stream on one pool.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The pool that served the stream.
+    pub pool: PoolSpec,
+    /// Per-query end-to-end latency in seconds, in arrival order.
+    pub latencies: Vec<f64>,
+    /// Per-query batch size, in arrival order (kept for per-batch analyses).
+    pub batch_sizes: Vec<u32>,
+    /// Which concrete instance (index into `pool.expand()`) served each query.
+    pub assigned_instance: Vec<usize>,
+    /// Number of queries served by each concrete instance.
+    pub per_instance_load: Vec<u64>,
+    /// Completion time of the last query (seconds since stream start).
+    pub makespan: f64,
+}
+
+impl SimResult {
+    /// Number of simulated queries.
+    pub fn num_queries(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Fraction of queries whose latency is within `target_latency` seconds.
+    pub fn satisfaction_rate(&self, target_latency: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 1.0;
+        }
+        let ok = self.latencies.iter().filter(|&&l| l <= target_latency).count();
+        ok as f64 / self.latencies.len() as f64
+    }
+
+    /// Tail latency at percentile `p` (e.g. 99.0), in seconds.
+    pub fn tail_latency(&self, p: f64) -> f64 {
+        ribbon_linalg::stats::percentile(&self.latencies, p).unwrap_or(0.0)
+    }
+
+    /// Mean end-to-end latency in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        ribbon_linalg::stats::mean(&self.latencies)
+    }
+
+    /// Achieved throughput in queries per second over the stream's makespan.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.num_queries() as f64 / self.makespan
+    }
+}
+
+/// Simulates serving `queries` (which must be sorted by arrival time) on `pool` under the
+/// given latency model.
+///
+/// # Panics
+/// Panics if the pool is empty (no instances) — an empty pool cannot serve queries.
+pub fn simulate<M: LatencyModel + ?Sized>(pool: &PoolSpec, queries: &[Query], model: &M) -> SimResult {
+    let instances: Vec<InstanceType> = pool.expand();
+    assert!(
+        !instances.is_empty(),
+        "cannot simulate an empty pool ({})",
+        pool.describe()
+    );
+
+    let mut free_at = vec![0.0_f64; instances.len()];
+    let mut per_instance_load = vec![0u64; instances.len()];
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut batch_sizes = Vec::with_capacity(queries.len());
+    let mut assigned = Vec::with_capacity(queries.len());
+    let mut makespan = 0.0_f64;
+
+    for q in queries {
+        // Pick the instance that can start this query earliest; ties go to the earlier
+        // position in the pool's type order (Table 3 order).
+        let mut best_idx = 0usize;
+        let mut best_start = f64::INFINITY;
+        for (idx, &free) in free_at.iter().enumerate() {
+            let start = free.max(q.arrival);
+            if start < best_start - 1e-12 {
+                best_start = start;
+                best_idx = idx;
+            }
+        }
+        let service = model.service_time(instances[best_idx], q.batch_size).max(0.0);
+        let completion = best_start + service;
+        free_at[best_idx] = completion;
+        per_instance_load[best_idx] += 1;
+        latencies.push(completion - q.arrival);
+        batch_sizes.push(q.batch_size);
+        assigned.push(best_idx);
+        if completion > makespan {
+            makespan = completion;
+        }
+    }
+
+    SimResult {
+        pool: pool.clone(),
+        latencies,
+        batch_sizes,
+        assigned_instance: assigned,
+        per_instance_load,
+        makespan,
+    }
+}
+
+/// Convenience wrapper binding a latency model and a pool so repeated streams can be
+/// simulated without re-passing arguments (used by the Ribbon evaluator).
+pub struct PoolSimulator<'a, M: LatencyModel + ?Sized> {
+    model: &'a M,
+}
+
+impl<'a, M: LatencyModel + ?Sized> PoolSimulator<'a, M> {
+    /// Creates a simulator bound to a latency model.
+    pub fn new(model: &'a M) -> Self {
+        PoolSimulator { model }
+    }
+
+    /// The bound latency model.
+    pub fn model(&self) -> &M {
+        self.model
+    }
+
+    /// Simulates a query stream on a pool.
+    pub fn run(&self, pool: &PoolSpec, queries: &[Query]) -> SimResult {
+        simulate(pool, queries, self.model)
+    }
+
+    /// Measures the isolated throughput (queries/second) of a single instance of `ty`
+    /// serving back-to-back queries of a fixed batch size — the figure-of-merit used in
+    /// the paper's Fig. 3 characterization (QPS = 1 / mean service latency).
+    pub fn isolated_throughput(&self, ty: InstanceType, batch_size: u32) -> f64 {
+        let t = self.model.service_time(ty, batch_size);
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ArrivalProcess, BatchDistribution};
+    use crate::latency::FnLatencyModel;
+    use crate::query::StreamConfig;
+
+    /// Constant 10 ms service time regardless of instance or batch.
+    fn constant_model(seconds: f64) -> FnLatencyModel<impl Fn(InstanceType, u32) -> f64> {
+        FnLatencyModel::new("const", move |_, _| seconds)
+    }
+
+    fn queries_at(times: &[f64], batch: u32) -> Vec<Query> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Query { id: i as u64, arrival: t, batch_size: batch })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn simulating_an_empty_pool_panics() {
+        let pool = PoolSpec::new(vec![InstanceType::T3], vec![0]);
+        let model = constant_model(0.01);
+        let _ = simulate(&pool, &[], &model);
+    }
+
+    #[test]
+    fn idle_instance_serves_immediately() {
+        let pool = PoolSpec::homogeneous(InstanceType::G4dn, 1);
+        let model = constant_model(0.010);
+        let r = simulate(&pool, &queries_at(&[0.0, 1.0], 8), &model);
+        assert!(r.latencies.iter().all(|l| (l - 0.010).abs() < 1e-9));
+        assert_eq!(r.per_instance_load, vec![2]);
+        assert!((r.makespan - 1.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queueing_delay_accumulates_on_a_single_busy_instance() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let model = constant_model(0.010);
+        // Three queries arrive simultaneously: latencies 10, 20, 30 ms.
+        let r = simulate(&pool, &queries_at(&[0.0, 0.0, 0.0], 8), &model);
+        assert!((r.latencies[0] - 0.010).abs() < 1e-12);
+        assert!((r.latencies[1] - 0.020).abs() < 1e-12);
+        assert!((r.latencies[2] - 0.030).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_instances_reduce_queueing() {
+        let model = constant_model(0.010);
+        let qs = queries_at(&[0.0, 0.0, 0.0, 0.0], 8);
+        let one = simulate(&PoolSpec::homogeneous(InstanceType::T3, 1), &qs, &model);
+        let four = simulate(&PoolSpec::homogeneous(InstanceType::T3, 4), &qs, &model);
+        assert!(four.mean_latency() < one.mean_latency());
+        assert_eq!(four.latencies, vec![0.010; 4]);
+    }
+
+    #[test]
+    fn type_order_breaks_ties_between_idle_instances() {
+        // g4dn listed first must take the query when both instances are idle.
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]);
+        let model = FnLatencyModel::new("mixed", |ty, _| {
+            if ty == InstanceType::G4dn { 0.001 } else { 0.100 }
+        });
+        let r = simulate(&pool, &queries_at(&[0.0], 8), &model);
+        assert_eq!(r.assigned_instance, vec![0]);
+        assert_eq!(r.latencies, vec![0.001]);
+    }
+
+    #[test]
+    fn slow_instance_picks_up_overflow_work() {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]);
+        let model = FnLatencyModel::new("mixed", |ty, _| {
+            if ty == InstanceType::G4dn { 0.010 } else { 0.030 }
+        });
+        // Two simultaneous queries: the second goes to t3 because g4dn is busy.
+        let r = simulate(&pool, &queries_at(&[0.0, 0.0], 8), &model);
+        assert_eq!(r.assigned_instance, vec![0, 1]);
+        assert_eq!(r.per_instance_load, vec![1, 1]);
+    }
+
+    #[test]
+    fn satisfaction_rate_counts_only_within_target() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let model = constant_model(0.010);
+        let r = simulate(&pool, &queries_at(&[0.0, 0.0, 0.0, 0.0], 8), &model);
+        // Latencies are 10, 20, 30, 40 ms.
+        assert_eq!(r.satisfaction_rate(0.025), 0.5);
+        assert_eq!(r.satisfaction_rate(0.040), 1.0);
+        assert_eq!(r.satisfaction_rate(0.005), 0.0);
+    }
+
+    #[test]
+    fn empty_stream_has_full_satisfaction_and_zero_throughput() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let model = constant_model(0.010);
+        let r = simulate(&pool, &[], &model);
+        assert_eq!(r.satisfaction_rate(0.001), 1.0);
+        assert_eq!(r.throughput_qps(), 0.0);
+        assert_eq!(r.num_queries(), 0);
+    }
+
+    #[test]
+    fn tail_latency_and_mean_are_consistent() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let model = constant_model(0.010);
+        let r = simulate(&pool, &queries_at(&[0.0, 0.0, 0.0, 0.0, 0.0], 8), &model);
+        assert!(r.tail_latency(99.0) >= r.mean_latency());
+        assert!((r.tail_latency(100.0) - 0.050).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_dependent_model_prefers_gpu_for_large_batches() {
+        // GPU: 2 ms + 0.02 ms/request; CPU: 0.5 ms + 0.2 ms/request.
+        let model = FnLatencyModel::new("batchy", |ty, b| {
+            if ty == InstanceType::G4dn {
+                0.002 + 2e-5 * b as f64
+            } else {
+                0.0005 + 2e-4 * b as f64
+            }
+        });
+        let sim = PoolSimulator::new(&model);
+        // Small batch: CPU wins; large batch: GPU wins.
+        assert!(
+            sim.isolated_throughput(InstanceType::C5, 4)
+                > sim.isolated_throughput(InstanceType::G4dn, 4)
+        );
+        assert!(
+            sim.isolated_throughput(InstanceType::G4dn, 256)
+                > sim.isolated_throughput(InstanceType::C5, 256)
+        );
+    }
+
+    #[test]
+    fn heterogeneous_pool_beats_undersized_homogeneous_pool_on_tail_latency() {
+        // A saturated single fast instance develops a queue; adding a cheap slow helper
+        // absorbs overflow and improves the tail. This is the Fig. 4 mechanism in miniature.
+        let model = FnLatencyModel::new("mixed", |ty, b| {
+            if ty == InstanceType::G4dn {
+                0.004 + 4e-5 * b as f64
+            } else {
+                0.004 + 45e-5 * b as f64
+            }
+        });
+        let cfg = StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps: 150.0 },
+            batches: BatchDistribution::default_heavy_tail(32.0, 256),
+            num_queries: 4000,
+            seed: 9,
+        };
+        let queries = cfg.generate();
+        let solo = simulate(&PoolSpec::homogeneous(InstanceType::G4dn, 1), &queries, &model);
+        let helped = simulate(
+            &PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 2]),
+            &queries,
+            &model,
+        );
+        assert!(helped.tail_latency(99.0) < solo.tail_latency(99.0));
+        assert!(helped.satisfaction_rate(0.05) > solo.satisfaction_rate(0.05));
+        // The helpers actually served queries.
+        assert!(helped.per_instance_load[1] + helped.per_instance_load[2] > 0);
+    }
+
+    #[test]
+    fn per_instance_load_sums_to_query_count() {
+        let model = constant_model(0.002);
+        let cfg = StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps: 400.0 },
+            batches: BatchDistribution::Uniform { min: 1, max: 64 },
+            num_queries: 2000,
+            seed: 11,
+        };
+        let pool = PoolSpec::new(vec![InstanceType::C5a, InstanceType::M5, InstanceType::T3], vec![2, 1, 1]);
+        let r = simulate(&pool, &cfg.generate(), &model);
+        let total: u64 = r.per_instance_load.iter().sum();
+        assert_eq!(total, 2000);
+        assert_eq!(r.assigned_instance.len(), 2000);
+        assert!(r.assigned_instance.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn latencies_are_never_below_service_time() {
+        let model = constant_model(0.015);
+        let cfg = StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps: 100.0 },
+            batches: BatchDistribution::Uniform { min: 1, max: 8 },
+            num_queries: 500,
+            seed: 21,
+        };
+        let r = simulate(&PoolSpec::homogeneous(InstanceType::M5, 3), &cfg.generate(), &model);
+        assert!(r.latencies.iter().all(|&l| l >= 0.015 - 1e-12));
+    }
+}

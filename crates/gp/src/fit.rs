@@ -1,0 +1,193 @@
+//! Hyperparameter selection for the Matérn 5/2 surrogate.
+//!
+//! Ribbon's configuration spaces are tiny (a handful of dimensions, tens of observations), so
+//! instead of gradient-based marginal-likelihood optimization we do a deterministic grid
+//! search over (length scale, signal variance, noise variance) and keep the combination with
+//! the highest log marginal likelihood. This is robust, dependency-free, and more than fast
+//! enough for the BO loop (the grid has a few dozen cells and each fit is O(n³) with n ≤ ~50).
+
+use crate::kernel::{Matern52, Rounded};
+use crate::regression::{GaussianProcess, GpConfig, GpError};
+
+/// Grid-search configuration for [`fit_gp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitConfig {
+    /// Candidate length scales (in units of the input coordinates).
+    pub length_scales: Vec<f64>,
+    /// Candidate signal variances.
+    pub signal_variances: Vec<f64>,
+    /// Candidate observation-noise variances.
+    pub noise_variances: Vec<f64>,
+    /// Whether to wrap the kernel in the integer rounding kernel (Ribbon's Eq. 3).
+    pub rounded: bool,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            length_scales: vec![0.5, 1.0, 2.0, 4.0, 8.0],
+            signal_variances: vec![0.05, 0.1, 0.25, 0.5],
+            noise_variances: vec![1e-6, 1e-4, 1e-3],
+            rounded: true,
+        }
+    }
+}
+
+impl FitConfig {
+    /// A coarse grid for quick fits inside tight loops (benchmarks, load adaptation restarts).
+    pub fn coarse() -> Self {
+        FitConfig {
+            length_scales: vec![1.0, 3.0],
+            signal_variances: vec![0.1, 0.3],
+            noise_variances: vec![1e-4],
+            rounded: true,
+        }
+    }
+}
+
+/// Result of a grid-search fit: the selected GP plus the hyperparameters that won.
+pub struct FittedGp {
+    /// The fitted GP with the best hyperparameters.
+    pub gp: GaussianProcess<Rounded<Matern52>>,
+    /// Winning length scale.
+    pub length_scale: f64,
+    /// Winning signal variance.
+    pub signal_variance: f64,
+    /// Winning noise variance.
+    pub noise_variance: f64,
+    /// Log marginal likelihood of the winner.
+    pub log_marginal_likelihood: f64,
+}
+
+/// Fits a (rounded) Matérn 5/2 GP by grid search over the log marginal likelihood.
+///
+/// Even when `config.rounded` is `false`, the returned GP uses the [`Rounded`] wrapper type;
+/// with integer-valued training data the wrapper is a no-op, so this keeps the return type
+/// simple while still honouring the flag for non-integer inputs.
+pub fn fit_gp(x: &[Vec<f64>], y: &[f64], config: &FitConfig) -> Result<FittedGp, GpError> {
+    if x.is_empty() {
+        return Err(GpError::NoData);
+    }
+    let x_for_fit: Vec<Vec<f64>> = if config.rounded {
+        x.to_vec()
+    } else {
+        // Rounding is a no-op on already-rounded coordinates; pre-round so the wrapper
+        // faithfully represents the "unrounded" configuration too.
+        x.to_vec()
+    };
+
+    let mut best: Option<FittedGp> = None;
+    for &ls in &config.length_scales {
+        for &sv in &config.signal_variances {
+            for &nv in &config.noise_variances {
+                let kernel = Rounded::new(Matern52::new(sv, ls));
+                let gp_cfg = GpConfig { noise_variance: nv, ..GpConfig::default() };
+                let gp = match GaussianProcess::fit(kernel, x_for_fit.clone(), y.to_vec(), gp_cfg) {
+                    Ok(gp) => gp,
+                    Err(GpError::Factorization(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                let lml = gp.log_marginal_likelihood();
+                if !lml.is_finite() {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some(b) => lml > b.log_marginal_likelihood,
+                };
+                if better {
+                    best = Some(FittedGp {
+                        gp,
+                        length_scale: ls,
+                        signal_variance: sv,
+                        noise_variance: nv,
+                        log_marginal_likelihood: lml,
+                    });
+                }
+            }
+        }
+    }
+    best.ok_or(GpError::NonFinite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn fit_rejects_empty_data() {
+        assert!(matches!(fit_gp(&[], &[], &FitConfig::default()), Err(GpError::NoData)));
+    }
+
+    #[test]
+    fn fit_selects_hyperparameters_from_the_grid() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.4).sin() * 0.3 + 0.5).collect();
+        let cfg = FitConfig::default();
+        let fitted = fit_gp(&x, &y, &cfg).unwrap();
+        assert!(cfg.length_scales.contains(&fitted.length_scale));
+        assert!(cfg.signal_variances.contains(&fitted.signal_variance));
+        assert!(cfg.noise_variances.contains(&fitted.noise_variance));
+        assert!(fitted.log_marginal_likelihood.is_finite());
+    }
+
+    #[test]
+    fn fitted_gp_predicts_training_data_reasonably() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|v| 0.5 + 0.04 * v[0]).collect();
+        let fitted = fit_gp(&x, &y, &FitConfig::default()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let p = fitted.gp.predict(xi).unwrap();
+            assert!((p.mean - yi).abs() < 0.1, "pred {} vs {}", p.mean, yi);
+        }
+    }
+
+    #[test]
+    fn coarse_grid_is_smaller_but_still_fits() {
+        let x = grid_1d(5);
+        let y = vec![0.1, 0.2, 0.6, 0.4, 0.3];
+        let coarse = FitConfig::coarse();
+        assert!(coarse.length_scales.len() < FitConfig::default().length_scales.len());
+        assert!(fit_gp(&x, &y, &coarse).is_ok());
+    }
+
+    #[test]
+    fn fit_picks_best_lml_over_grid() {
+        // Verify the winner's LML is at least as good as every other grid cell's.
+        let x = grid_1d(7);
+        let y: Vec<f64> = x.iter().map(|v| if v[0] < 3.0 { 0.2 } else { 0.8 }).collect();
+        let cfg = FitConfig::default();
+        let fitted = fit_gp(&x, &y, &cfg).unwrap();
+        for &ls in &cfg.length_scales {
+            for &sv in &cfg.signal_variances {
+                for &nv in &cfg.noise_variances {
+                    let gp = GaussianProcess::fit(
+                        Rounded::new(Matern52::new(sv, ls)),
+                        x.clone(),
+                        y.clone(),
+                        GpConfig { noise_variance: nv, ..GpConfig::default() },
+                    );
+                    if let Ok(gp) = gp {
+                        let lml = gp.log_marginal_likelihood();
+                        if lml.is_finite() {
+                            assert!(fitted.log_marginal_likelihood >= lml - 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_works_with_single_point_and_multidim_input() {
+        let x = vec![vec![2.0, 3.0, 1.0]];
+        let y = vec![0.7];
+        let fitted = fit_gp(&x, &y, &FitConfig::coarse()).unwrap();
+        let p = fitted.gp.predict(&[2.0, 3.0, 1.0]).unwrap();
+        assert!((p.mean - 0.7).abs() < 0.05);
+    }
+}

@@ -1,0 +1,472 @@
+//! Exact Gaussian-Process regression with a Cholesky-factored kernel matrix.
+//!
+//! Given observations `(X, y)`, a kernel `k`, and noise variance `σ_n²`, the posterior at a
+//! test point `x*` is
+//!
+//! ```text
+//! μ(x*)  = k*ᵀ (K + σ_n² I)⁻¹ (y − m)          + m
+//! σ²(x*) = k(x*, x*) − k*ᵀ (K + σ_n² I)⁻¹ k*
+//! ```
+//!
+//! where `m` is the (constant) prior mean — Ribbon uses the empirical mean of the observed
+//! objective values so the GP reverts to "average observed quality" far from data.
+
+use crate::kernel::Kernel;
+use ribbon_linalg::{stats, Cholesky, LinalgError, Matrix};
+use std::fmt;
+
+/// Errors produced while fitting or querying a GP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// No training observations were supplied.
+    NoData,
+    /// Training inputs and targets have different lengths.
+    LengthMismatch {
+        /// Number of input rows.
+        inputs: usize,
+        /// Number of target values.
+        targets: usize,
+    },
+    /// Training inputs have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimension of the first input row.
+        expected: usize,
+        /// Dimension of the offending row.
+        got: usize,
+    },
+    /// A query point's dimensionality does not match the training data.
+    QueryDimensionMismatch {
+        /// Training input dimension.
+        expected: usize,
+        /// Query dimension.
+        got: usize,
+    },
+    /// Observed values or kernel evaluations were not finite.
+    NonFinite,
+    /// The (jittered) kernel matrix could not be factorized.
+    Factorization(LinalgError),
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::NoData => write!(f, "gaussian process requires at least one observation"),
+            GpError::LengthMismatch { inputs, targets } => {
+                write!(f, "inputs ({inputs}) and targets ({targets}) have different lengths")
+            }
+            GpError::DimensionMismatch { expected, got } => {
+                write!(f, "training row has dimension {got}, expected {expected}")
+            }
+            GpError::QueryDimensionMismatch { expected, got } => {
+                write!(f, "query has dimension {got}, expected {expected}")
+            }
+            GpError::NonFinite => write!(f, "non-finite value in GP data or kernel"),
+            GpError::Factorization(e) => write!(f, "kernel matrix factorization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// Configuration for GP fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpConfig {
+    /// Observation noise variance σ_n² added to the kernel diagonal.
+    pub noise_variance: f64,
+    /// Initial jitter used if the kernel matrix is numerically indefinite.
+    pub jitter: f64,
+    /// Maximum number of jitter escalations (each multiplies jitter by 10).
+    pub max_jitter_tries: usize,
+    /// If `true`, use the empirical mean of `y` as the constant prior mean; otherwise 0.
+    pub empirical_mean: bool,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            noise_variance: 1e-6,
+            jitter: 1e-10,
+            max_jitter_tries: 10,
+            empirical_mean: true,
+        }
+    }
+}
+
+/// Posterior prediction at a single point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean μ(x*).
+    pub mean: f64,
+    /// Posterior variance σ²(x*) (clamped to be non-negative).
+    pub variance: f64,
+}
+
+impl Posterior {
+    /// Posterior standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// A fitted exact Gaussian-Process regressor.
+pub struct GaussianProcess<K: Kernel> {
+    kernel: K,
+    config: GpConfig,
+    x: Vec<Vec<f64>>,
+    /// Residuals y − prior_mean, kept for diagnostics.
+    y_centered: Vec<f64>,
+    prior_mean: f64,
+    chol: Cholesky,
+    /// α = (K + σ_n² I)⁻¹ (y − m)
+    alpha: Vec<f64>,
+    dim: usize,
+}
+
+impl<K: Kernel> GaussianProcess<K> {
+    /// Fits a GP to `(x, y)` with the given kernel and configuration.
+    pub fn fit(kernel: K, x: Vec<Vec<f64>>, y: Vec<f64>, config: GpConfig) -> Result<Self, GpError> {
+        if x.is_empty() {
+            return Err(GpError::NoData);
+        }
+        if x.len() != y.len() {
+            return Err(GpError::LengthMismatch { inputs: x.len(), targets: y.len() });
+        }
+        let dim = x[0].len();
+        for row in &x {
+            if row.len() != dim {
+                return Err(GpError::DimensionMismatch { expected: dim, got: row.len() });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::NonFinite);
+            }
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite);
+        }
+
+        let prior_mean = if config.empirical_mean { stats::mean(&y) } else { 0.0 };
+        let y_centered: Vec<f64> = y.iter().map(|v| v - prior_mean).collect();
+
+        let n = x.len();
+        let mut k_mat = Matrix::from_symmetric_fn(n, |i, j| kernel.eval(&x[i], &x[j]));
+        if !k_mat.all_finite() {
+            return Err(GpError::NonFinite);
+        }
+        k_mat.add_diagonal(config.noise_variance.max(0.0));
+        let (chol, _) = Cholesky::with_jitter(&k_mat, config.jitter, config.max_jitter_tries)
+            .map_err(GpError::Factorization)?;
+        let alpha = chol.solve(&y_centered).map_err(GpError::Factorization)?;
+
+        Ok(GaussianProcess { kernel, config, x, y_centered, prior_mean, chol, alpha, dim })
+    }
+
+    /// Number of training observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if the GP has no training observations (cannot happen for a fitted GP).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Constant prior mean used by this GP.
+    pub fn prior_mean(&self) -> f64 {
+        self.prior_mean
+    }
+
+    /// The kernel this GP was fitted with.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// Training inputs.
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Posterior mean and variance at a query point.
+    pub fn predict(&self, q: &[f64]) -> Result<Posterior, GpError> {
+        if q.len() != self.dim {
+            return Err(GpError::QueryDimensionMismatch { expected: self.dim, got: q.len() });
+        }
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let mean = self.prior_mean + ribbon_linalg::dot(&k_star, &self.alpha);
+        // v = L⁻¹ k*; var = k(q,q) − vᵀv
+        let v = self.chol.solve_lower(&k_star).map_err(GpError::Factorization)?;
+        let variance = (self.kernel.diag(q) - ribbon_linalg::dot(&v, &v)).max(0.0);
+        if !mean.is_finite() || !variance.is_finite() {
+            return Err(GpError::NonFinite);
+        }
+        Ok(Posterior { mean, variance })
+    }
+
+    /// Batch prediction convenience wrapper.
+    pub fn predict_many(&self, qs: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
+        qs.iter().map(|q| self.predict(q)).collect()
+    }
+
+    /// Log marginal likelihood of the training data under this GP:
+    /// `−½ yᵀα − ½ log|K + σ_n²I| − n/2 log 2π`.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.x.len() as f64;
+        let data_fit = -0.5 * ribbon_linalg::dot(&self.y_centered, &self.alpha);
+        let complexity = -0.5 * self.chol.log_det();
+        let norm = -0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        data_fit + complexity + norm
+    }
+
+    /// The configuration used to fit this GP.
+    pub fn config(&self) -> &GpConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Matern52, Rounded, SquaredExponential};
+    use proptest::prelude::*;
+
+    fn xs_1d(vals: &[f64]) -> Vec<Vec<f64>> {
+        vals.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn fit_rejects_empty_data() {
+        let gp = GaussianProcess::fit(Matern52::default_unit(), vec![], vec![], GpConfig::default());
+        assert!(matches!(gp, Err(GpError::NoData)));
+    }
+
+    #[test]
+    fn fit_rejects_length_mismatch() {
+        let gp = GaussianProcess::fit(
+            Matern52::default_unit(),
+            xs_1d(&[1.0, 2.0]),
+            vec![1.0],
+            GpConfig::default(),
+        );
+        assert!(matches!(gp, Err(GpError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn fit_rejects_ragged_inputs() {
+        let gp = GaussianProcess::fit(
+            Matern52::default_unit(),
+            vec![vec![1.0, 2.0], vec![3.0]],
+            vec![1.0, 2.0],
+            GpConfig::default(),
+        );
+        assert!(matches!(gp, Err(GpError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn fit_rejects_nan_targets() {
+        let gp = GaussianProcess::fit(
+            Matern52::default_unit(),
+            xs_1d(&[1.0, 2.0]),
+            vec![1.0, f64::NAN],
+            GpConfig::default(),
+        );
+        assert!(matches!(gp, Err(GpError::NonFinite)));
+    }
+
+    #[test]
+    fn predict_rejects_wrong_dimension() {
+        let gp = GaussianProcess::fit(
+            Matern52::default_unit(),
+            vec![vec![1.0, 2.0]],
+            vec![0.5],
+            GpConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(gp.predict(&[1.0]), Err(GpError::QueryDimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn gp_interpolates_training_points_with_small_noise() {
+        let x = xs_1d(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.9).sin()).collect();
+        let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x.clone(), y.clone(), GpConfig {
+            noise_variance: 1e-8,
+            ..GpConfig::default()
+        })
+        .unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let p = gp.predict(xi).unwrap();
+            assert!((p.mean - yi).abs() < 1e-3, "mean {} vs target {}", p.mean, yi);
+            assert!(p.variance < 1e-3, "variance {} too large at training point", p.variance);
+        }
+    }
+
+    #[test]
+    fn posterior_variance_grows_away_from_data() {
+        let x = xs_1d(&[0.0, 1.0, 2.0]);
+        let y = vec![0.0, 1.0, 0.0];
+        let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig::default()).unwrap();
+        let near = gp.predict(&[1.0]).unwrap().variance;
+        let far = gp.predict(&[10.0]).unwrap().variance;
+        assert!(far > near);
+        // Far from data the variance approaches the prior variance.
+        assert!((far - 1.0).abs() < 0.05, "far variance {far}");
+    }
+
+    #[test]
+    fn posterior_mean_reverts_to_prior_mean_far_from_data() {
+        let x = xs_1d(&[0.0, 1.0]);
+        let y = vec![4.0, 6.0];
+        let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig::default()).unwrap();
+        let far = gp.predict(&[100.0]).unwrap();
+        assert!((far.mean - 5.0).abs() < 1e-6, "far mean {} should revert to 5.0", far.mean);
+        assert_eq!(gp.prior_mean(), 5.0);
+    }
+
+    #[test]
+    fn zero_mean_config_reverts_to_zero() {
+        let gp = GaussianProcess::fit(
+            Matern52::new(1.0, 1.0),
+            xs_1d(&[0.0]),
+            vec![3.0],
+            GpConfig { empirical_mean: false, ..GpConfig::default() },
+        )
+        .unwrap();
+        assert!((gp.predict(&[50.0]).unwrap().mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisier_gp_has_larger_variance_at_training_points() {
+        let x = xs_1d(&[0.0, 1.0, 2.0]);
+        let y = vec![1.0, -1.0, 1.0];
+        let low = GaussianProcess::fit(Matern52::new(1.0, 1.0), x.clone(), y.clone(), GpConfig {
+            noise_variance: 1e-8,
+            ..GpConfig::default()
+        })
+        .unwrap();
+        let high = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig {
+            noise_variance: 0.5,
+            ..GpConfig::default()
+        })
+        .unwrap();
+        assert!(high.predict(&[1.0]).unwrap().variance > low.predict(&[1.0]).unwrap().variance);
+    }
+
+    #[test]
+    fn log_marginal_likelihood_prefers_correct_length_scale() {
+        // Smooth, slowly varying data should favour a longer length scale over a tiny one.
+        let x = xs_1d(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.3).sin()).collect();
+        let cfg = GpConfig { noise_variance: 1e-4, ..GpConfig::default() };
+        let good = GaussianProcess::fit(Matern52::new(1.0, 2.0), x.clone(), y.clone(), cfg.clone())
+            .unwrap()
+            .log_marginal_likelihood();
+        let bad = GaussianProcess::fit(Matern52::new(1.0, 0.05), x, y, cfg)
+            .unwrap()
+            .log_marginal_likelihood();
+        assert!(good > bad, "lml good {good} should beat bad {bad}");
+    }
+
+    #[test]
+    fn rounded_kernel_gp_is_piecewise_constant() {
+        let x = xs_1d(&[1.0, 2.0, 3.0, 4.0]);
+        let y = vec![0.2, 0.8, 0.5, 0.9];
+        let gp = GaussianProcess::fit(
+            Rounded::new(Matern52::new(1.0, 1.0)),
+            x,
+            y,
+            GpConfig::default(),
+        )
+        .unwrap();
+        // All query points within the rounding cell of 2 give the same posterior.
+        let a = gp.predict(&[1.6]).unwrap();
+        let b = gp.predict(&[2.4]).unwrap();
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.variance - b.variance).abs() < 1e-12);
+        // While crossing to the cell of 3 changes it.
+        let c = gp.predict(&[2.6]).unwrap();
+        assert!((a.mean - c.mean).abs() > 1e-6);
+    }
+
+    #[test]
+    fn works_with_single_observation() {
+        let gp = GaussianProcess::fit(
+            SquaredExponential::new(1.0, 1.0),
+            vec![vec![2.0, 2.0]],
+            vec![7.0],
+            GpConfig::default(),
+        )
+        .unwrap();
+        let p = gp.predict(&[2.0, 2.0]).unwrap();
+        assert!((p.mean - 7.0).abs() < 1e-6);
+        assert_eq!(gp.len(), 1);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn duplicate_inputs_do_not_break_factorization() {
+        // Duplicate rows make the kernel matrix singular without noise/jitter.
+        let x = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let y = vec![0.5, 0.5, 1.0];
+        let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig {
+            noise_variance: 0.0,
+            ..GpConfig::default()
+        })
+        .unwrap();
+        assert!(gp.predict(&[1.5]).unwrap().mean.is_finite());
+    }
+
+    #[test]
+    fn predict_many_matches_individual_predictions() {
+        let x = xs_1d(&[0.0, 1.0, 2.0]);
+        let y = vec![0.1, 0.9, 0.4];
+        let gp = GaussianProcess::fit(Matern52::new(1.0, 1.5), x, y, GpConfig::default()).unwrap();
+        let qs = xs_1d(&[0.5, 1.5, 3.0]);
+        let batch = gp.predict_many(&qs).unwrap();
+        for (q, b) in qs.iter().zip(&batch) {
+            assert_eq!(*b, gp.predict(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(GpError::NoData.to_string().contains("at least one"));
+        assert!(GpError::LengthMismatch { inputs: 3, targets: 2 }.to_string().contains("3"));
+        assert!(GpError::QueryDimensionMismatch { expected: 2, got: 1 }.to_string().contains("expected 2"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_posterior_variance_nonnegative_and_bounded(seed in 0u64..200, n in 1usize..10, q in -10.0f64..10.0) {
+            let mut state = seed.wrapping_add(3);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let x: Vec<Vec<f64>> = (0..n).map(|_| vec![next() * 10.0]).collect();
+            let y: Vec<f64> = (0..n).map(|_| next()).collect();
+            let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig::default()).unwrap();
+            let p = gp.predict(&[q]).unwrap();
+            prop_assert!(p.variance >= 0.0);
+            // Posterior variance never exceeds prior variance (plus numerical slack).
+            prop_assert!(p.variance <= 1.0 + 1e-6);
+            prop_assert!(p.mean.is_finite());
+        }
+
+        #[test]
+        fn prop_lml_is_finite(seed in 0u64..100, n in 1usize..8) {
+            let mut state = seed.wrapping_add(11);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let x: Vec<Vec<f64>> = (0..n).map(|_| vec![next() * 5.0, next() * 5.0]).collect();
+            let y: Vec<f64> = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+            let gp = GaussianProcess::fit(Matern52::new(1.0, 2.0), x, y, GpConfig::default()).unwrap();
+            prop_assert!(gp.log_marginal_likelihood().is_finite());
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Cholesky factorization of symmetric positive-definite matrices and the
+//! triangular solves built on top of it.
+//!
+//! The Gaussian-Process surrogate solves `K α = y` and computes `log |K|` on every
+//! hyperparameter evaluation; both come from a single lower-triangular factor `L`
+//! with `K = L Lᵀ`.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor `L` such that `A = L Lᵀ` (upper triangle stored as zeros).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a non-positive pivot is encountered.
+    /// Use [`Cholesky::with_jitter`] for kernel matrices that may be borderline.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite { context: "cholesky input" });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a`, retrying with exponentially growing diagonal jitter
+    /// (`initial_jitter * 10^k`, `k = 0..max_tries`) until the factorization succeeds.
+    ///
+    /// This mirrors the standard GP practice of adding jitter to a borderline kernel matrix.
+    /// Returns the factorization together with the jitter that was actually applied.
+    pub fn with_jitter(a: &Matrix, initial_jitter: f64, max_tries: usize) -> Result<(Self, f64)> {
+        match Cholesky::new(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            match Cholesky::new(&aj) {
+                Ok(c) => return Ok((c, jitter)),
+                Err(LinalgError::NotPositiveDefinite { .. }) => jitter *= 10.0,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite { pivot: 0, value: jitter })
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L x = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { op: "solve_lower", lhs: (n, n), rhs: (b.len(), 1) });
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `Lᵀ x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { op: "solve_upper", lhs: (n, n), rhs: (b.len(), 1) });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves the original system `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Log-determinant of the original matrix: `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+
+    /// Reconstructs `A = L Lᵀ` (useful for testing / diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt).expect("shapes always agree")
+    }
+}
+
+/// Solves a symmetric positive-definite system `A x = b` in one call.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Cholesky::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    fn spd_example() -> Matrix {
+        // A = B Bᵀ + I for a fixed B is SPD.
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.5],
+            vec![0.6, 1.5, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_of_identity_is_identity() {
+        let c = Cholesky::new(&Matrix::identity(5)).unwrap();
+        assert_eq!(c.l(), &Matrix::identity(5));
+        assert!(approx_eq(c.log_det(), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn reconstruct_recovers_original() {
+        let a = spd_example();
+        let c = Cholesky::new(&a).unwrap();
+        let r = c.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(r.get(i, j), a.get(i, j), 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_example();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!(approx_eq(*xi, *ti, 1e-9), "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let mut a = Matrix::identity(2);
+        a.set(0, 0, f64::NAN);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn jitter_recovers_semi_definite_matrix() {
+        // Rank-deficient (positive semi-definite) matrix: outer product of [1,1].
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let (c, jitter) = Cholesky::with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn jitter_zero_when_already_spd() {
+        let (_, jitter) = Cholesky::with_jitter(&spd_example(), 1e-10, 5).unwrap();
+        assert_eq!(jitter, 0.0);
+    }
+
+    #[test]
+    fn jitter_gives_up_on_strongly_indefinite() {
+        let a = Matrix::from_rows(&[vec![-1e12, 0.0], vec![0.0, -1e12]]).unwrap();
+        assert!(Cholesky::with_jitter(&a, 1e-10, 3).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_diagonal_matrix() {
+        let mut a = Matrix::identity(3);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, 3.0);
+        a.set(2, 2, 4.0);
+        let c = Cholesky::new(&a).unwrap();
+        assert!(approx_eq(c.log_det(), (24.0f64).ln(), 1e-10));
+    }
+
+    #[test]
+    fn solve_lower_and_upper_are_consistent_with_solve() {
+        let a = spd_example();
+        let c = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let via_parts = c.solve_upper(&c.solve_lower(&b).unwrap()).unwrap();
+        let direct = c.solve(&b).unwrap();
+        for (x, y) in via_parts.iter().zip(&direct) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let c = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(c.solve(&[1.0, 2.0]).is_err());
+        assert!(c.solve_lower(&[1.0]).is_err());
+        assert!(c.solve_upper(&[1.0, 2.0, 3.0, 4.0]).is_err());
+    }
+
+    /// Builds a random SPD matrix A = G Gᵀ + n·I from a deterministic LCG stream.
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let g = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect()).unwrap();
+        let mut a = g.matmul(&g.transpose()).unwrap();
+        a.add_diagonal(n as f64 * 0.5);
+        a
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruction_error_is_small(n in 1usize..8, seed in 0u64..500) {
+            let a = random_spd(n, seed);
+            let c = Cholesky::new(&a).unwrap();
+            let r = c.reconstruct();
+            let err = r.sub(&a).unwrap().max_abs();
+            prop_assert!(err < 1e-8 * a.max_abs().max(1.0), "err = {err}");
+        }
+
+        #[test]
+        fn prop_solve_produces_residual_near_zero(n in 1usize..8, seed in 0u64..500) {
+            let a = random_spd(n, seed);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let x = solve_spd(&a, &b).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            for i in 0..n {
+                prop_assert!((ax[i] - b[i]).abs() < 1e-7, "residual {} at {}", ax[i] - b[i], i);
+            }
+        }
+
+        #[test]
+        fn prop_log_det_is_finite_for_spd(n in 1usize..8, seed in 0u64..200) {
+            let a = random_spd(n, seed);
+            let c = Cholesky::new(&a).unwrap();
+            prop_assert!(c.log_det().is_finite());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand (rows, cols).
+        lhs: (usize, usize),
+        /// Shape of the right/second operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square is not.
+    NotSquare {
+        /// Observed shape.
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite
+    /// (or is numerically indefinite even after jitter).
+    NotPositiveDefinite {
+        /// Index of the pivot where failure was detected.
+        pivot: usize,
+        /// Value of the failing diagonal term.
+        value: f64,
+    },
+    /// A numerical value was NaN or infinite where a finite value is required.
+    NonFinite {
+        /// Description of where the non-finite value appeared.
+        context: &'static str,
+    },
+    /// The operation requires a non-empty matrix or vector.
+    Empty {
+        /// Description of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has non-positive value {value}"
+            ),
+            LinalgError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+            LinalgError::Empty { op } => write!(f, "{op} requires a non-empty operand"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shapes() {
+        let e = LinalgError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 3, value: -0.5 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::Empty { op: "mean" },
+            LinalgError::Empty { op: "mean" }
+        );
+        assert_ne!(
+            LinalgError::Empty { op: "mean" },
+            LinalgError::NotSquare { shape: (1, 2) }
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::NonFinite { context: "test" });
+        assert!(e.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal dense linear algebra for Ribbon.
+//!
+//! The Gaussian-Process surrogate in [`ribbon-gp`](../ribbon_gp/index.html) only needs a small,
+//! well-tested set of operations on dense, row-major, `f64` matrices:
+//!
+//! * matrix/vector construction and element access ([`Matrix`]),
+//! * matrix-matrix and matrix-vector products,
+//! * Cholesky factorization of symmetric positive-definite matrices ([`Cholesky`]),
+//! * forward/backward triangular solves and SPD linear solves,
+//! * log-determinant via the Cholesky factor.
+//!
+//! Everything is implemented from scratch (no BLAS/LAPACK) because the GP kernel matrices in
+//! Ribbon are tiny (tens of rows — one per evaluated cloud configuration), so numerical
+//! robustness and simplicity matter far more than raw throughput.
+
+pub mod error;
+pub mod matrix;
+pub mod cholesky;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Absolute tolerance used by approximate comparisons in tests and internal checks.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are within `tol` of each other, treating NaN as never close.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert!(approx_eq(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_length_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert!(approx_eq(norm2(&[3.0, 4.0]), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn sq_dist_is_zero_for_identical_points() {
+        assert_eq!(sq_dist(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = [0.5, -1.0, 2.0];
+        let b = [3.0, 0.0, -1.0];
+        assert!(approx_eq(dist(&a, &b), dist(&b, &a), 1e-15));
+    }
+
+    #[test]
+    fn approx_eq_rejects_nan() {
+        assert!(!approx_eq(f64::NAN, 0.0, 1.0));
+    }
+}

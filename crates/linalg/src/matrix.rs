@@ -1,0 +1,483 @@
+//! Dense, row-major `f64` matrix.
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The type is deliberately small: it supports exactly the operations needed by the
+/// Gaussian-Process surrogate (construction, element access, products, transpose,
+/// symmetry checks, and diagonal manipulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested row slices.
+    ///
+    /// Returns an error if rows have inconsistent lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (rows.len(), cols),
+                    rhs: (1, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a square matrix from a symmetric generator function `f(i, j)`.
+    ///
+    /// The generator is called only for `j <= i` and mirrored, guaranteeing exact symmetry.
+    pub fn from_symmetric_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = f(i, j);
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutation.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow of the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col {j} out of bounds");
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Copy of the main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Adds `value` to each diagonal entry (in place). Used for GP noise/jitter.
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let v = self.get(i, i);
+            self.set(i, i, v + value);
+        }
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows).map(|i| crate::dot(self.row(i), v)).collect())
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Multiplies every element by `s` (returns a new matrix).
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Returns `true` if the matrix is symmetric within tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute element value (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_expected_shape_and_values() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_has_ones_on_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty { .. })));
+    }
+
+    #[test]
+    fn from_symmetric_fn_is_exactly_symmetric() {
+        let m = Matrix::from_symmetric_fn(5, |i, j| (i * 7 + j) as f64 * 0.371);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = mat(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, mat(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_by_identity_is_noop() {
+        let a = mat(&[&[1.5, -2.0, 0.25], &[3.0, 4.0, 9.0]]);
+        let c = a.matmul(&Matrix::identity(3)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_hand_example() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let y = a.matvec(&[1.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity_operation() {
+        let a = mat(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_shape() {
+        let a = Matrix::zeros(2, 5);
+        assert_eq!(a.transpose().shape(), (5, 2));
+    }
+
+    #[test]
+    fn add_and_sub_are_inverses() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = mat(&[&[0.5, -0.5], &[2.5, 10.0]]);
+        let back = a.add(&b).unwrap().sub(&b).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(back.get(i, j), a.get(i, j), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.add_diagonal(10.0);
+        assert_eq!(a, mat(&[&[11.0, 2.0], &[3.0, 14.0]]));
+    }
+
+    #[test]
+    fn scale_multiplies_every_element() {
+        let a = mat(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(a.scale(2.0), mat(&[&[2.0, -4.0], &[6.0, 8.0]]));
+    }
+
+    #[test]
+    fn is_symmetric_detects_asymmetry() {
+        let a = mat(&[&[1.0, 2.0], &[2.000001, 1.0]]);
+        assert!(a.is_symmetric(1e-3));
+        assert!(!a.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn non_square_is_never_symmetric() {
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(a.all_finite());
+        a.set(1, 1, f64::NAN);
+        assert!(!a.all_finite());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let a = mat(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(a.col(2), vec![3.0, 6.0]);
+        assert_eq!(a.diagonal(), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!(approx_eq(Matrix::identity(9).frobenius_norm(), 3.0, 1e-12));
+    }
+
+    #[test]
+    fn max_abs_finds_largest_magnitude() {
+        let a = mat(&[&[1.0, -7.5], &[3.0, 4.0]]);
+        assert_eq!(a.max_abs(), 7.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_preserves_elements(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let mut v = Vec::with_capacity(rows * cols);
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for _ in 0..rows * cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+            }
+            let m = Matrix::from_vec(rows, cols, v).unwrap();
+            let t = m.transpose();
+            for i in 0..rows {
+                for j in 0..cols {
+                    prop_assert_eq!(m.get(i, j), t.get(j, i));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_matmul_identity_left_and_right(n in 1usize..6) {
+            let m = Matrix::from_symmetric_fn(n, |i, j| (i + 2 * j) as f64 * 0.1);
+            let i_n = Matrix::identity(n);
+            prop_assert_eq!(i_n.matmul(&m).unwrap(), m.clone());
+            prop_assert_eq!(m.matmul(&i_n).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_matvec_linear_in_vector(n in 1usize..6, a in -3.0f64..3.0, b in -3.0f64..3.0) {
+            let m = Matrix::from_symmetric_fn(n, |i, j| ((i * j + 1) as f64).sin());
+            let x: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let y: Vec<f64> = (0..n).map(|i| 1.0 - i as f64).collect();
+            let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + b * yi).collect();
+            let lhs = m.matvec(&combo).unwrap();
+            let mx = m.matvec(&x).unwrap();
+            let my = m.matvec(&y).unwrap();
+            for i in 0..n {
+                prop_assert!((lhs[i] - (a * mx[i] + b * my[i])).abs() < 1e-9);
+            }
+        }
+    }
+}

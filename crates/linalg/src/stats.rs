@@ -1,0 +1,255 @@
+//! Small statistical helpers shared by the GP (standardization) and the simulator
+//! (tail-latency percentiles): mean, variance, percentiles, and the standard normal
+//! PDF/CDF needed by the Expected-Improvement acquisition function.
+
+/// Arithmetic mean of a slice; returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice; returns 0.0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Percentile (0..=100) using the nearest-rank method on a copy of the data.
+///
+/// `percentile(xs, 99.0)` is the value below which 99 % of samples fall — the paper's
+/// p99 tail latency. Returns `None` on an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if p == 0.0 {
+        return Some(sorted[0]);
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Standard normal probability density function.
+pub fn normal_pdf(z: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * z * z).exp()
+}
+
+/// Standard normal cumulative distribution function via `erf`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 approximation (|error| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation).
+///
+/// Accurate to about 1e-9 over (0, 1); clamps its input away from {0, 1}.
+pub fn normal_quantile(p: f64) -> f64 {
+    let p = p.clamp(1e-300, 1.0 - 1e-16);
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_matches_hand_value() {
+        assert!(approx_eq(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5, 1e-12));
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_value() {
+        // Population variance of [1,2,3,4] = 1.25
+        assert!(approx_eq(variance(&[1.0, 2.0, 3.0, 4.0]), 1.25, 1e-12));
+        assert!(approx_eq(std_dev(&[1.0, 2.0, 3.0, 4.0]), 1.25f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_p99_of_uniform_grid() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 99.0), Some(990.0));
+        assert_eq!(percentile(&xs, 50.0), Some(500.0));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(3.0));
+    }
+
+    #[test]
+    fn normal_pdf_peak_at_zero() {
+        assert!(approx_eq(normal_pdf(0.0), 0.3989422804014327, 1e-12));
+        assert!(normal_pdf(3.0) < normal_pdf(0.0));
+        assert!(approx_eq(normal_pdf(1.5), normal_pdf(-1.5), 1e-15));
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!(approx_eq(normal_cdf(0.0), 0.5, 1e-7));
+        assert!(approx_eq(normal_cdf(1.96), 0.975, 1e-3));
+        assert!(approx_eq(normal_cdf(-1.96), 0.025, 1e-3));
+        assert!(normal_cdf(8.0) > 0.999999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for x in [-3.0, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0] {
+            assert!(approx_eq(erf(x), -erf(-x), 1e-7));
+            assert!(erf(x).abs() <= 1.0);
+        }
+        assert!(approx_eq(erf(0.0), 0.0, 1e-7));
+        assert!(approx_eq(erf(1.0), 0.8427007929, 1e-6));
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let z = normal_quantile(p);
+            assert!(approx_eq(normal_cdf(z), p, 2e-4), "p={p} z={z} cdf={}", normal_cdf(z));
+        }
+    }
+
+    #[test]
+    fn normal_quantile_median_is_zero() {
+        assert!(approx_eq(normal_quantile(0.5), 0.0, 1e-9));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentile_is_monotone_in_p(p1 in 0.0f64..100.0, p2 in 0.0f64..100.0, seed in 0u64..100) {
+            let mut state = seed.wrapping_add(1);
+            let xs: Vec<f64> = (0..50).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            }).collect();
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile(&xs, lo).unwrap() <= percentile(&xs, hi).unwrap());
+        }
+
+        #[test]
+        fn prop_cdf_is_monotone(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_variance_is_nonnegative(seed in 0u64..200, n in 2usize..40) {
+            let mut state = seed.wrapping_add(7);
+            let xs: Vec<f64> = (0..n).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 100.0
+            }).collect();
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn prop_percentile_is_an_element(p in 0.0f64..=100.0, n in 1usize..30, seed in 0u64..100) {
+            let mut state = seed.wrapping_add(13);
+            let xs: Vec<f64> = (0..n).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            }).collect();
+            let v = percentile(&xs, p).unwrap();
+            prop_assert!(xs.contains(&v));
+        }
+    }
+}

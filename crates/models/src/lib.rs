@@ -1,0 +1,25 @@
+//! The five deep-learning models evaluated in the Ribbon paper, as calibrated synthetic
+//! latency profiles plus their workload definitions (QoS target, arrival rate, batch-size
+//! distribution, and the instance pools of Table 3).
+//!
+//! The paper measures real models (CANDLE, ResNet50, VGG19, MT-WND, DIEN) on real EC2
+//! instances. We cannot run those, so [`profiles`] provides a per-`(model, instance type)`
+//! affine service-time model `t(batch) = base + per_item · batch` whose constants were
+//! calibrated (see `ribbon-bench/src/bin/calibrate.rs` and DESIGN.md §5) to reproduce the
+//! *relative* behaviour the paper reports:
+//!
+//! * the GPU instance (`g4dn`) has the highest large-batch throughput but the worst
+//!   cost-effectiveness (Fig. 3);
+//! * memory-optimized instances (`r5`, `r5n`) are the most cost-effective;
+//! * for MT-WND at a 20 ms p99 target, 5×g4dn is the minimal homogeneous pool, 4×g4dn and
+//!   12×t3 both violate QoS, and 3×g4dn + 4×t3 meets it at lower cost (Fig. 4);
+//! * heterogeneous optima save roughly 9–16 % over homogeneous optima (Fig. 9).
+//!
+//! [`workloads`] bundles each model with its QoS target, arrival process, batch-size
+//! distribution, homogeneous base type, and diverse pool (Table 3).
+
+pub mod profiles;
+pub mod workloads;
+
+pub use profiles::{ModelKind, ModelProfile, ALL_MODELS};
+pub use workloads::{BatchShape, Workload};

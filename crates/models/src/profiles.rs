@@ -1,0 +1,386 @@
+//! Calibrated affine latency profiles for the five models on the eight instance types.
+//!
+//! Service time is modelled as `t(instance, batch) = base_ms + per_item_ms · batch`
+//! milliseconds. The GPU instance has a comparatively high `base_ms` (kernel-launch and
+//! host↔device transfer overhead) and a very small `per_item_ms` (massive parallelism), which
+//! is what produces the paper's Fig. 3 crossover: CPU instances are competitive at small
+//! batches, the GPU dominates at large batches, while cheap memory-optimized instances remain
+//! the most cost-effective throughout.
+
+use ribbon_cloudsim::{InstanceType, LatencyModel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five models of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// CANDLE: large fully-connected DNN predicting tumor cell line drug-pair response.
+    Candle,
+    /// ResNet50: residual CNN for image classification.
+    ResNet50,
+    /// VGG19: deep CNN for image recognition.
+    Vgg19,
+    /// MT-WND: Multi-Task Wide & Deep recommendation model (YouTube).
+    MtWnd,
+    /// DIEN: Deep Interest Evolution Network recommendation model (Alibaba).
+    Dien,
+}
+
+/// All five models in the paper's presentation order.
+pub const ALL_MODELS: [ModelKind; 5] = [
+    ModelKind::Candle,
+    ModelKind::ResNet50,
+    ModelKind::Vgg19,
+    ModelKind::MtWnd,
+    ModelKind::Dien,
+];
+
+impl ModelKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Candle => "CANDLE",
+            ModelKind::ResNet50 => "ResNet50",
+            ModelKind::Vgg19 => "VGG19",
+            ModelKind::MtWnd => "MT-WND",
+            ModelKind::Dien => "DIEN",
+        }
+    }
+
+    /// `true` for the recommendation-category models (embedding-table hybrids).
+    pub fn is_recommendation(&self) -> bool {
+        matches!(self, ModelKind::MtWnd | ModelKind::Dien)
+    }
+
+    /// Looks a model up by its paper name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ModelKind> {
+        ALL_MODELS
+            .iter()
+            .copied()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Service-time coefficients for one `(model, instance type)` pair.
+///
+/// `t(batch) = base_ms + per_item_ms · batch + quad_ms · batch²`. The quadratic term is zero
+/// for the GPU (its streaming multiprocessors absorb large batches) and small but positive
+/// for CPU instances, modelling the cache/memory-bandwidth saturation that makes them fall
+/// behind on large batches — the source of the paper's Fig. 3 performance crossover and of
+/// the tail-latency violations that keep cheap-instance-only pools from meeting QoS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCoefficients {
+    /// Fixed per-query overhead in milliseconds.
+    pub base_ms: f64,
+    /// Additional milliseconds per request in the batch.
+    pub per_item_ms: f64,
+    /// Additional milliseconds per squared request count (CPU saturation term).
+    pub quad_ms: f64,
+}
+
+impl LatencyCoefficients {
+    /// Service time in milliseconds for a batch.
+    pub fn latency_ms(&self, batch: u32) -> f64 {
+        let b = batch as f64;
+        self.base_ms + self.per_item_ms * b + self.quad_ms * b * b
+    }
+}
+
+/// Calibrated coefficients for a `(model, instance)` pair.
+///
+/// The constants below are the calibration shipped with the reproduction; they were tuned
+/// with `cargo run -p ribbon-bench --bin calibrate` against the anchors listed in the crate
+/// documentation.
+pub fn coefficients(model: ModelKind, instance: InstanceType) -> LatencyCoefficients {
+    use InstanceType::*;
+    let (base_ms, per_item_ms, quad_ms) = match model {
+        // Recommendation models: memory-bound embedding lookups + small DNN. The GPU has a
+        // noticeable launch overhead but tiny marginal cost per request; CPU instances are
+        // competitive on small batches but saturate on the heavy-tail large batches, which
+        // pushes their tail latency past the 20/30 ms targets.
+        ModelKind::MtWnd => match instance {
+            G4dn => (2.0, 0.016, 0.0),
+            C5 => (0.9, 0.030, 0.000_20),
+            C5a => (1.0, 0.032, 0.000_22),
+            M5 => (1.2, 0.042, 0.000_12),
+            M5n => (1.2, 0.040, 0.000_11),
+            T3 => (1.3, 0.050, 0.000_12),
+            R5 => (1.6, 0.066, 0.000_28),
+            R5n => (1.5, 0.062, 0.000_26),
+        },
+        ModelKind::Dien => match instance {
+            // GRU sequence processing makes DIEN heavier than MT-WND across the board.
+            G4dn => (2.6, 0.020, 0.0),
+            C5 => (1.2, 0.040, 0.000_30),
+            C5a => (1.3, 0.042, 0.000_32),
+            M5 => (1.6, 0.055, 0.000_18),
+            M5n => (1.6, 0.052, 0.000_17),
+            T3 => (1.7, 0.065, 0.000_19),
+            R5 => (2.1, 0.085, 0.000_54),
+            R5n => (2.0, 0.080, 0.000_50),
+        },
+        // CANDLE: very large fully-connected layers; the compute-optimized c5a handles even
+        // the largest batch within the 40 ms target, the cheaper general-purpose helpers
+        // only violate it on the tail batches.
+        ModelKind::Candle => match instance {
+            G4dn => (3.5, 0.10, 0.0),
+            C5 => (2.8, 0.43, 0.0),
+            C5a => (3.0, 0.45, 0.0),
+            M5 => (3.0, 0.30, 0.0045),
+            M5n => (3.0, 0.29, 0.0042),
+            T3 => (3.2, 0.30, 0.0050),
+            R5 => (3.4, 0.32, 0.0052),
+            R5n => (3.3, 0.31, 0.0050),
+        },
+        // ResNet50: convolution-heavy; per-image CPU cost is roughly an order of magnitude
+        // above CANDLE's per-sample cost, with the same relative instance ranking.
+        ModelKind::ResNet50 => match instance {
+            G4dn => (35.0, 1.0, 0.0),
+            C5 => (28.0, 4.3, 0.0),
+            C5a => (30.0, 4.5, 0.0),
+            M5 => (30.0, 3.0, 0.045),
+            M5n => (30.0, 2.9, 0.042),
+            T3 => (32.0, 3.0, 0.050),
+            R5 => (34.0, 3.2, 0.052),
+            R5n => (33.0, 3.1, 0.050),
+        },
+        // VGG19: the heaviest CNN of the set (~2x ResNet50); its cheap helpers are relatively
+        // less favourable, which is why the paper reports the smallest saving for VGG19.
+        ModelKind::Vgg19 => match instance {
+            G4dn => (70.0, 2.0, 0.0),
+            C5 => (56.0, 8.6, 0.0),
+            C5a => (60.0, 9.0, 0.0),
+            M5 => (69.0, 6.9, 0.104),
+            M5n => (69.0, 6.7, 0.097),
+            T3 => (73.6, 6.9, 0.115),
+            R5 => (78.2, 7.4, 0.120),
+            R5n => (75.9, 7.1, 0.115),
+        },
+    };
+    LatencyCoefficients { base_ms, per_item_ms, quad_ms }
+}
+
+/// A [`LatencyModel`] for one of the five paper models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelProfile {
+    kind: ModelKind,
+}
+
+impl ModelProfile {
+    /// Creates the profile for a model.
+    pub fn new(kind: ModelKind) -> Self {
+        ModelProfile { kind }
+    }
+
+    /// Which model this profile describes.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Service time in milliseconds (convenience wrapper used by experiment output).
+    pub fn latency_ms(&self, instance: InstanceType, batch: u32) -> f64 {
+        coefficients(self.kind, instance).latency_ms(batch)
+    }
+
+    /// Isolated throughput (queries per second) of one instance at a fixed batch size —
+    /// the paper's "performance" figure of merit.
+    pub fn throughput_qps(&self, instance: InstanceType, batch: u32) -> f64 {
+        1000.0 / self.latency_ms(instance, batch)
+    }
+
+    /// Cost-effectiveness (queries per dollar, Eq. 1) at a fixed batch size.
+    pub fn cost_effectiveness(&self, instance: InstanceType, batch: u32) -> f64 {
+        3600.0 * self.throughput_qps(instance, batch) / instance.hourly_price()
+    }
+}
+
+impl LatencyModel for ModelProfile {
+    fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64 {
+        self.latency_ms(instance, batch_size) / 1000.0
+    }
+
+    fn name(&self) -> &str {
+        self.kind.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ribbon_cloudsim::ALL_INSTANCE_TYPES;
+
+    #[test]
+    fn model_names_roundtrip() {
+        for m in ALL_MODELS {
+            assert_eq!(ModelKind::from_name(m.name()), Some(m));
+            assert_eq!(ModelKind::from_name(&m.name().to_lowercase()), Some(m));
+        }
+        assert_eq!(ModelKind::from_name("bert"), None);
+    }
+
+    #[test]
+    fn recommendation_category_is_mt_wnd_and_dien() {
+        assert!(ModelKind::MtWnd.is_recommendation());
+        assert!(ModelKind::Dien.is_recommendation());
+        assert!(!ModelKind::Candle.is_recommendation());
+        assert!(!ModelKind::ResNet50.is_recommendation());
+        assert!(!ModelKind::Vgg19.is_recommendation());
+    }
+
+    #[test]
+    fn all_coefficients_are_positive_and_finite() {
+        for m in ALL_MODELS {
+            for t in ALL_INSTANCE_TYPES {
+                let c = coefficients(m, t);
+                assert!(c.base_ms > 0.0 && c.base_ms.is_finite(), "{m} {t}");
+                assert!(c.per_item_ms > 0.0 && c.per_item_ms.is_finite(), "{m} {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_batch_size() {
+        for m in ALL_MODELS {
+            let p = ModelProfile::new(m);
+            for t in ALL_INSTANCE_TYPES {
+                assert!(p.latency_ms(t, 128) > p.latency_ms(t, 1), "{m} {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn service_time_is_latency_ms_in_seconds() {
+        let p = ModelProfile::new(ModelKind::MtWnd);
+        let ms = p.latency_ms(InstanceType::G4dn, 64);
+        let s = p.service_time(InstanceType::G4dn, 64);
+        assert!((ms / 1000.0 - s).abs() < 1e-15);
+        assert_eq!(p.name(), "MT-WND");
+        assert_eq!(p.kind(), ModelKind::MtWnd);
+    }
+
+    #[test]
+    fn gpu_wins_on_large_batches_for_every_model() {
+        for m in ALL_MODELS {
+            let p = ModelProfile::new(m);
+            for t in ALL_INSTANCE_TYPES {
+                if t == InstanceType::G4dn {
+                    continue;
+                }
+                assert!(
+                    p.throughput_qps(InstanceType::G4dn, 128) > p.throughput_qps(t, 128),
+                    "{m}: g4dn should beat {t} at batch 128"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_instances_are_competitive_at_small_batches_for_recommendation_models() {
+        // Fig. 3a: at batch 32 the compute-optimized CPU instance is at least on par with
+        // the GPU for MT-WND.
+        let p = ModelProfile::new(ModelKind::MtWnd);
+        assert!(p.throughput_qps(InstanceType::C5, 32) >= p.throughput_qps(InstanceType::G4dn, 32) * 0.95);
+    }
+
+    #[test]
+    fn g4dn_is_least_cost_effective_for_mt_wnd_at_small_batches() {
+        // Fig. 3b: despite its performance, the GPU has the worst queries-per-dollar. At
+        // batch 32 every other instance beats it; at batch 128 the CPU instances whose
+        // saturation term has not yet kicked in hard (t3, m5, r5) still beat it, while the
+        // compute-optimized c5 falls to a similar level (a documented deviation from the
+        // paper's exact Fig. 3b ranking — see EXPERIMENTS.md).
+        let p = ModelProfile::new(ModelKind::MtWnd);
+        let g32 = p.cost_effectiveness(InstanceType::G4dn, 32);
+        for t in [
+            InstanceType::T3,
+            InstanceType::M5,
+            InstanceType::M5n,
+            InstanceType::C5,
+            InstanceType::R5,
+            InstanceType::R5n,
+        ] {
+            assert!(
+                p.cost_effectiveness(t, 32) > g32,
+                "batch 32: {t} should be more cost-effective than g4dn"
+            );
+        }
+        let g128 = p.cost_effectiveness(InstanceType::G4dn, 128);
+        for t in [InstanceType::T3, InstanceType::M5, InstanceType::R5, InstanceType::R5n] {
+            assert!(
+                p.cost_effectiveness(t, 128) > g128,
+                "batch 128: {t} should be more cost-effective than g4dn"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_optimized_instances_are_among_the_most_cost_effective_for_mt_wnd() {
+        // Fig. 3b: r5 / r5n sit at the top of the cost-effectiveness ranking, well above the
+        // GPU and the compute-optimized instances.
+        let p = ModelProfile::new(ModelKind::MtWnd);
+        for batch in [32, 128] {
+            let r5 = p.cost_effectiveness(InstanceType::R5, batch);
+            for t in [InstanceType::G4dn, InstanceType::C5, InstanceType::M5n] {
+                assert!(r5 > p.cost_effectiveness(t, batch), "batch {batch} vs {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn qos_targets_are_reachable_on_the_homogeneous_base_type() {
+        // The largest batch the workload generates must fit within the QoS target on the
+        // homogeneous base instance, otherwise no homogeneous pool could ever meet QoS.
+        let cases = [
+            (ModelKind::MtWnd, InstanceType::G4dn, 512, 20.0),
+            (ModelKind::Dien, InstanceType::G4dn, 512, 30.0),
+            (ModelKind::Candle, InstanceType::C5a, 64, 40.0),
+            (ModelKind::ResNet50, InstanceType::C5a, 32, 400.0),
+            (ModelKind::Vgg19, InstanceType::C5a, 32, 800.0),
+        ];
+        for (m, ty, max_batch, target_ms) in cases {
+            let p = ModelProfile::new(m);
+            assert!(
+                p.latency_ms(ty, max_batch) < target_ms,
+                "{m}: largest batch {max_batch} takes {:.1} ms on {ty}, target {target_ms} ms",
+                p.latency_ms(ty, max_batch)
+            );
+        }
+    }
+
+    #[test]
+    fn cheap_helpers_violate_only_on_large_batches() {
+        // The Fig. 4 mechanism requires t3 to satisfy small MT-WND batches but break the
+        // 20 ms target on the largest ones.
+        let p = ModelProfile::new(ModelKind::MtWnd);
+        assert!(p.latency_ms(InstanceType::T3, 32) < 20.0);
+        assert!(p.latency_ms(InstanceType::T3, 256) > 20.0);
+        // Same structure for CANDLE's m5/t3 helpers against the 40 ms target.
+        let c = ModelProfile::new(ModelKind::Candle);
+        assert!(c.latency_ms(InstanceType::T3, 16) < 40.0);
+        assert!(c.latency_ms(InstanceType::T3, 64) > 40.0);
+    }
+
+    #[test]
+    fn dien_is_uniformly_heavier_than_mt_wnd() {
+        let d = ModelProfile::new(ModelKind::Dien);
+        let w = ModelProfile::new(ModelKind::MtWnd);
+        for t in ALL_INSTANCE_TYPES {
+            assert!(d.latency_ms(t, 64) > w.latency_ms(t, 64), "{t}");
+        }
+    }
+
+    #[test]
+    fn vgg_is_heavier_than_resnet() {
+        let v = ModelProfile::new(ModelKind::Vgg19);
+        let r = ModelProfile::new(ModelKind::ResNet50);
+        for t in ALL_INSTANCE_TYPES {
+            assert!(v.latency_ms(t, 16) > r.latency_ms(t, 16), "{t}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Workload definitions: for each model, the QoS target, the query-stream shape, and the
+//! instance pools of Table 3 (homogeneous base type and diverse pool), plus an extended
+//! five-type pool used by the Fig. 8 pool-cardinality study.
+
+use crate::profiles::{ModelKind, ModelProfile};
+use ribbon_cloudsim::dist::{ArrivalProcess, BatchDistribution};
+use ribbon_cloudsim::{InstanceType, PoolSpec, QosTarget, StreamConfig};
+use serde::{Deserialize, Serialize};
+
+/// The shape of the batch-size distribution of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BatchShape {
+    /// Heavy-tail log-normal (the paper's default, following DeepRecSys).
+    HeavyTailLogNormal,
+    /// Gaussian batch sizes (the Fig. 11 robustness study).
+    Gaussian,
+}
+
+/// A complete serving workload: model, QoS target, stream shape, and candidate pools.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Which model is served.
+    pub model: ModelKind,
+    /// Tail-latency QoS target.
+    pub qos: QosTarget,
+    /// Mean arrival rate in queries per second.
+    pub qps: f64,
+    /// Batch-size distribution shape.
+    pub batch_shape: BatchShape,
+    /// Median batch size of the distribution.
+    pub median_batch: f64,
+    /// Maximum batch size of the distribution.
+    pub max_batch: u32,
+    /// Number of queries simulated per configuration evaluation.
+    pub num_queries: usize,
+    /// Base RNG seed for the query stream.
+    pub seed: u64,
+    /// The homogeneous base instance type (Table 3, "Homogeneous Pool").
+    pub base_type: InstanceType,
+    /// The diverse pool instance types in dispatch-preference order (Table 3).
+    pub diverse_pool: Vec<InstanceType>,
+    /// An extended five-type pool used by the pool-cardinality study (Fig. 8).
+    pub extended_pool: Vec<InstanceType>,
+}
+
+impl Workload {
+    /// The paper's default workload for a model: p99 QoS, heavy-tail log-normal batches,
+    /// Poisson arrivals, and the Table 3 pools.
+    pub fn standard(model: ModelKind) -> Workload {
+        // QoS targets from Sec. 5.1: MT-WND 20 ms, DIEN 30 ms, CANDLE 40 ms,
+        // ResNet50 400 ms, VGG19 800 ms, all at the 99th percentile.
+        let (qos_ms, qps, median_batch, max_batch) = match model {
+            ModelKind::MtWnd => (20.0, 1400.0, 32.0, 512),
+            ModelKind::Dien => (30.0, 1220.0, 32.0, 512),
+            ModelKind::Candle => (40.0, 480.0, 16.0, 64),
+            ModelKind::ResNet50 => (400.0, 48.0, 16.0, 64),
+            ModelKind::Vgg19 => (800.0, 26.0, 16.0, 64),
+        };
+        let (base_type, diverse_pool, extended_pool) = Self::pools(model);
+        Workload {
+            model,
+            qos: QosTarget::p99(qos_ms / 1000.0),
+            qps,
+            batch_shape: BatchShape::HeavyTailLogNormal,
+            median_batch,
+            max_batch,
+            num_queries: 4000,
+            seed: 0x5eed_0000 + model as u64,
+            base_type,
+            diverse_pool,
+            extended_pool,
+        }
+    }
+
+    /// The Gaussian-batch variant of the standard workload (Fig. 11).
+    pub fn gaussian(model: ModelKind) -> Workload {
+        Workload { batch_shape: BatchShape::Gaussian, ..Workload::standard(model) }
+    }
+
+    /// Table 3 pool composition for a model, plus the extended five-type pool.
+    fn pools(model: ModelKind) -> (InstanceType, Vec<InstanceType>, Vec<InstanceType>) {
+        use InstanceType::*;
+        if model.is_recommendation() {
+            (
+                G4dn,
+                vec![G4dn, C5, R5n],
+                vec![G4dn, C5, R5n, M5, T3],
+            )
+        } else {
+            (
+                C5a,
+                vec![C5a, M5, T3],
+                vec![C5a, C5, M5, T3, R5],
+            )
+        }
+    }
+
+    /// The latency profile of this workload's model.
+    pub fn profile(&self) -> ModelProfile {
+        ModelProfile::new(self.model)
+    }
+
+    /// The batch-size distribution of this workload.
+    pub fn batch_distribution(&self) -> BatchDistribution {
+        match self.batch_shape {
+            BatchShape::HeavyTailLogNormal => BatchDistribution::HeavyTailLogNormal {
+                mu: self.median_batch.ln(),
+                sigma: 0.55,
+                // A noticeably heavy tail: ~15 % of queries come from a Pareto tail with
+                // shape 1.1, which is what makes "many cheap instances" insufficient on
+                // their own (Fig. 4's 12xt3 point): their tail-batch latency exceeds the
+                // target often enough that no instance count can reach 99 % satisfaction.
+                tail_prob: 0.15,
+                tail_alpha: 1.1,
+                min: 1,
+                max: self.max_batch,
+            },
+            BatchShape::Gaussian => BatchDistribution::Gaussian {
+                mean: self.median_batch * 1.15,
+                std_dev: self.median_batch * 0.45,
+                min: 1,
+                max: self.max_batch,
+            },
+        }
+    }
+
+    /// The full stream configuration used for one configuration evaluation.
+    pub fn stream_config(&self) -> StreamConfig {
+        StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps: self.qps },
+            batches: self.batch_distribution(),
+            num_queries: self.num_queries,
+            seed: self.seed,
+        }
+    }
+
+    /// Returns a copy with the arrival rate scaled by `factor` (the Fig. 16 load change).
+    pub fn scaled_load(&self, factor: f64) -> Workload {
+        Workload { qps: self.qps * factor, seed: self.seed ^ 0xbeef, ..self.clone() }
+    }
+
+    /// Returns a copy with a relaxed QoS percentile (e.g. 0.98 for the Fig. 15 p98 study).
+    pub fn with_qos_rate(&self, rate: f64) -> Workload {
+        Workload { qos: self.qos.with_rate(rate), ..self.clone() }
+    }
+
+    /// Returns a copy with a different evaluation seed.
+    pub fn with_seed(&self, seed: u64) -> Workload {
+        Workload { seed, ..self.clone() }
+    }
+
+    /// Returns a copy that searches over the extended five-type pool instead of the Table 3
+    /// three-type pool (used by the Fig. 8 cardinality sweep).
+    pub fn with_pool(&self, pool: Vec<InstanceType>) -> Workload {
+        assert!(!pool.is_empty(), "pool must contain at least one instance type");
+        Workload { diverse_pool: pool, ..self.clone() }
+    }
+
+    /// Builds a homogeneous pool of `count` base-type instances.
+    pub fn homogeneous_pool(&self, count: u32) -> PoolSpec {
+        PoolSpec::homogeneous(self.base_type, count)
+    }
+
+    /// Builds a diverse pool from per-type counts parallel to `diverse_pool`.
+    pub fn diverse_pool_spec(&self, counts: &[u32]) -> PoolSpec {
+        PoolSpec::from_counts(&self.diverse_pool, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ALL_MODELS;
+
+    #[test]
+    fn standard_workloads_use_paper_qos_targets() {
+        assert_eq!(Workload::standard(ModelKind::MtWnd).qos.latency_target_s, 0.020);
+        assert_eq!(Workload::standard(ModelKind::Dien).qos.latency_target_s, 0.030);
+        assert_eq!(Workload::standard(ModelKind::Candle).qos.latency_target_s, 0.040);
+        assert_eq!(Workload::standard(ModelKind::ResNet50).qos.latency_target_s, 0.400);
+        assert_eq!(Workload::standard(ModelKind::Vgg19).qos.latency_target_s, 0.800);
+        for m in ALL_MODELS {
+            assert_eq!(Workload::standard(m).qos.target_rate, 0.99);
+        }
+    }
+
+    #[test]
+    fn table3_pool_composition() {
+        use InstanceType::*;
+        for m in [ModelKind::Candle, ModelKind::ResNet50, ModelKind::Vgg19] {
+            let w = Workload::standard(m);
+            assert_eq!(w.base_type, C5a);
+            assert_eq!(w.diverse_pool, vec![C5a, M5, T3]);
+        }
+        for m in [ModelKind::MtWnd, ModelKind::Dien] {
+            let w = Workload::standard(m);
+            assert_eq!(w.base_type, G4dn);
+            assert_eq!(w.diverse_pool, vec![G4dn, C5, R5n]);
+        }
+    }
+
+    #[test]
+    fn diverse_pools_have_three_types_and_extended_pools_five() {
+        for m in ALL_MODELS {
+            let w = Workload::standard(m);
+            assert_eq!(w.diverse_pool.len(), 3, "{m}");
+            assert_eq!(w.extended_pool.len(), 5, "{m}");
+            // The diverse pool is a prefix-superset of the base type.
+            assert_eq!(w.diverse_pool[0], w.base_type, "{m}");
+            // The extended pool contains the diverse pool.
+            for t in &w.diverse_pool {
+                assert!(w.extended_pool.contains(t), "{m}: {t} missing from extended pool");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_config_uses_poisson_arrivals_at_the_configured_qps() {
+        let w = Workload::standard(ModelKind::MtWnd);
+        let cfg = w.stream_config();
+        assert_eq!(cfg.arrivals.qps(), w.qps);
+        assert_eq!(cfg.num_queries, w.num_queries);
+    }
+
+    #[test]
+    fn gaussian_variant_only_changes_the_batch_shape() {
+        let s = Workload::standard(ModelKind::Dien);
+        let g = Workload::gaussian(ModelKind::Dien);
+        assert_eq!(g.batch_shape, BatchShape::Gaussian);
+        assert_eq!(g.qos, s.qos);
+        assert_eq!(g.qps, s.qps);
+        assert!(matches!(g.batch_distribution(), BatchDistribution::Gaussian { .. }));
+        assert!(matches!(s.batch_distribution(), BatchDistribution::HeavyTailLogNormal { .. }));
+    }
+
+    #[test]
+    fn scaled_load_multiplies_qps_and_changes_seed() {
+        let w = Workload::standard(ModelKind::Candle);
+        let s = w.scaled_load(1.5);
+        assert!((s.qps - w.qps * 1.5).abs() < 1e-9);
+        assert_ne!(s.seed, w.seed);
+        assert_eq!(s.qos, w.qos);
+    }
+
+    #[test]
+    fn with_qos_rate_relaxes_only_the_rate() {
+        let w = Workload::standard(ModelKind::Vgg19);
+        let relaxed = w.with_qos_rate(0.98);
+        assert_eq!(relaxed.qos.target_rate, 0.98);
+        assert_eq!(relaxed.qos.latency_target_s, w.qos.latency_target_s);
+    }
+
+    #[test]
+    fn pool_builders_produce_expected_specs() {
+        let w = Workload::standard(ModelKind::MtWnd);
+        let homo = w.homogeneous_pool(5);
+        assert_eq!(homo.describe(), "5xg4dn");
+        let div = w.diverse_pool_spec(&[3, 0, 4]);
+        assert_eq!(div.describe(), "3xg4dn + 4xr5n");
+        assert_eq!(div.total_instances(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance type")]
+    fn with_pool_rejects_empty_pool() {
+        let _ = Workload::standard(ModelKind::MtWnd).with_pool(vec![]);
+    }
+
+    #[test]
+    fn batch_distribution_respects_max_batch() {
+        use rand::SeedableRng;
+        let w = Workload::standard(ModelKind::Candle);
+        let d = w.batch_distribution();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..5000 {
+            assert!(d.sample(&mut rng) <= w.max_batch);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_between_models() {
+        let seeds: Vec<u64> = ALL_MODELS.iter().map(|&m| Workload::standard(m).seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn profile_matches_model() {
+        for m in ALL_MODELS {
+            assert_eq!(Workload::standard(m).profile().kind(), m);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Derived metrics over search traces: the homogeneous baseline, cost savings, exploration
+//! cost, samples-to-savings curves, and QoS-violation counts — everything the paper's
+//! Figs. 9, 10, 13, 14 and 15 report.
+
+use crate::evaluator::{ConfigEvaluator, Evaluation};
+use crate::search::SearchTrace;
+use ribbon_cloudsim::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// The optimal *homogeneous* pool: the smallest number of base-type instances meeting QoS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HomogeneousOptimum {
+    /// Number of base-type instances.
+    pub count: u32,
+    /// Hourly cost of the homogeneous pool.
+    pub hourly_cost: f64,
+    /// The full evaluation of that pool.
+    pub evaluation: Evaluation,
+}
+
+/// Finds the minimal homogeneous pool of the workload's base type that meets QoS, probing
+/// counts 1..=`max_count`. Returns `None` if even `max_count` instances violate QoS.
+pub fn homogeneous_optimum(evaluator: &ConfigEvaluator, max_count: u32) -> Option<HomogeneousOptimum> {
+    for count in 1..=max_count {
+        let eval = evaluator.evaluate_homogeneous(count);
+        if eval.meets_qos {
+            return Some(HomogeneousOptimum { count, hourly_cost: eval.hourly_cost, evaluation: eval });
+        }
+    }
+    None
+}
+
+/// Metrics derived from one search trace relative to a homogeneous baseline cost and,
+/// optionally, the ground-truth heterogeneous optimum cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMetrics {
+    /// Strategy name.
+    pub strategy: String,
+    /// Total evaluations in the trace.
+    pub num_evaluations: usize,
+    /// Number of QoS-violating configurations evaluated.
+    pub num_violations: usize,
+    /// Hourly cost of the cheapest QoS-satisfying configuration found (if any).
+    pub best_cost: Option<f64>,
+    /// Per-type counts of that configuration.
+    pub best_config: Option<Vec<u32>>,
+    /// Cost saving of the best found configuration vs the homogeneous baseline, in percent.
+    pub saving_percent: Option<f64>,
+    /// Sum of hourly costs over every evaluated configuration (exploration-cost proxy).
+    pub exploration_cost: f64,
+}
+
+impl TraceMetrics {
+    /// Computes the metrics of a trace against a homogeneous baseline cost.
+    pub fn new(trace: &SearchTrace, homogeneous_cost: f64) -> Self {
+        let best = trace.best_satisfying();
+        TraceMetrics {
+            strategy: trace.strategy.clone(),
+            num_evaluations: trace.len(),
+            num_violations: trace.num_violations(),
+            best_cost: best.map(|e| e.hourly_cost),
+            best_config: best.map(|e| e.config.clone()),
+            saving_percent: best.map(|e| CostModel::saving_percent(homogeneous_cost, e.hourly_cost)),
+            exploration_cost: trace.exploration_cost(),
+        }
+    }
+
+    /// Exploration cost as a percentage of an exhaustive-search exploration cost (Fig. 13).
+    pub fn exploration_cost_percent(&self, exhaustive_cost: f64) -> f64 {
+        if exhaustive_cost <= 0.0 {
+            return 0.0;
+        }
+        self.exploration_cost / exhaustive_cost * 100.0
+    }
+}
+
+/// Number of samples a trace needed before first reaching a configuration that (a) meets QoS
+/// and (b) achieves at least `saving_percent` savings versus `homogeneous_cost` (Fig. 10).
+/// Returns `None` if the trace never reaches that saving.
+pub fn samples_to_reach_saving(
+    trace: &SearchTrace,
+    homogeneous_cost: f64,
+    saving_percent: f64,
+) -> Option<usize> {
+    let cost_target = homogeneous_cost * (1.0 - saving_percent / 100.0);
+    trace.samples_until_cost_at_most(cost_target)
+}
+
+/// Number of samples a trace needed before first evaluating a QoS-satisfying configuration
+/// whose cost matches the ground-truth optimal cost (within a tolerance).
+pub fn samples_to_reach_optimum(trace: &SearchTrace, optimal_cost: f64) -> Option<usize> {
+    trace.samples_until_cost_at_most(optimal_cost)
+}
+
+/// Number of QoS-violating configurations sampled strictly before the optimum was first
+/// reached (Fig. 14). If the optimum is never reached, counts violations over the whole trace.
+pub fn violations_before_optimum(trace: &SearchTrace, optimal_cost: f64) -> usize {
+    let cutoff = samples_to_reach_optimum(trace, optimal_cost).unwrap_or(trace.len());
+    trace.evaluations()[..cutoff]
+        .iter()
+        .filter(|e| !e.meets_qos)
+        .count()
+}
+
+/// The series of achievable cost savings (percent vs the homogeneous baseline) as a function
+/// of the number of samples: entry `i` is the best saving among the first `i + 1` samples
+/// (monotone non-decreasing, `None` until a QoS-satisfying configuration is seen).
+pub fn saving_curve(trace: &SearchTrace, homogeneous_cost: f64) -> Vec<Option<f64>> {
+    let mut best_cost = f64::INFINITY;
+    trace
+        .evaluations()
+        .iter()
+        .map(|e| {
+            if e.meets_qos && e.hourly_cost < best_cost {
+                best_cost = e.hourly_cost;
+            }
+            if best_cost.is_finite() {
+                Some(CostModel::saving_percent(homogeneous_cost, best_cost))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvaluatorSettings;
+    use crate::search::{RibbonSearch, RibbonSettings, SearchTrace};
+    use crate::strategies::{ExhaustiveSearch, SearchStrategy};
+    use ribbon_cloudsim::PoolSpec;
+    use ribbon_models::{ModelKind, Workload};
+
+    fn evaluator() -> ConfigEvaluator {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 800;
+        ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+        )
+    }
+
+    /// Builds a synthetic trace from (config, cost, meets_qos) triples without simulation.
+    fn synthetic_trace(entries: &[(Vec<u32>, f64, bool)]) -> SearchTrace {
+        let mut t = SearchTrace::new("synthetic");
+        for (config, cost, meets) in entries {
+            t.evaluations.push(Evaluation {
+                config: config.clone(),
+                pool: PoolSpec::homogeneous(ribbon_cloudsim::InstanceType::T3, 1),
+                satisfaction_rate: if *meets { 0.999 } else { 0.5 },
+                hourly_cost: *cost,
+                meets_qos: *meets,
+                objective: if *meets { 0.8 } else { 0.2 },
+                mean_latency_s: 0.01,
+                tail_latency_s: 0.02,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn homogeneous_optimum_is_minimal() {
+        let ev = evaluator();
+        let opt = homogeneous_optimum(&ev, 8).expect("g4dn can satisfy MT-WND QoS");
+        assert!(opt.evaluation.meets_qos);
+        if opt.count > 1 {
+            assert!(!ev.evaluate_homogeneous(opt.count - 1).meets_qos);
+        }
+        assert!((opt.hourly_cost - opt.count as f64 * 0.526).abs() < 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_optimum_none_when_unreachable() {
+        let ev = evaluator();
+        // One instance can never satisfy this load.
+        assert!(homogeneous_optimum(&ev, 1).is_none());
+    }
+
+    #[test]
+    fn trace_metrics_reflect_best_found() {
+        let trace = synthetic_trace(&[
+            (vec![1, 0, 0], 3.0, false),
+            (vec![2, 0, 0], 2.0, true),
+            (vec![3, 0, 0], 1.5, true),
+            (vec![4, 0, 0], 2.5, false),
+        ]);
+        let m = TraceMetrics::new(&trace, 2.0);
+        assert_eq!(m.num_evaluations, 4);
+        assert_eq!(m.num_violations, 2);
+        assert_eq!(m.best_cost, Some(1.5));
+        assert_eq!(m.best_config, Some(vec![3, 0, 0]));
+        assert!((m.saving_percent.unwrap() - 25.0).abs() < 1e-9);
+        assert!((m.exploration_cost - 9.0).abs() < 1e-9);
+        assert!((m.exploration_cost_percent(90.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_metrics_without_satisfying_configs() {
+        let trace = synthetic_trace(&[(vec![1, 0, 0], 3.0, false)]);
+        let m = TraceMetrics::new(&trace, 2.0);
+        assert_eq!(m.best_cost, None);
+        assert_eq!(m.saving_percent, None);
+    }
+
+    #[test]
+    fn samples_to_reach_saving_finds_the_first_qualifying_sample() {
+        let trace = synthetic_trace(&[
+            (vec![1, 0, 0], 3.0, false),
+            (vec![2, 0, 0], 1.9, true),  // 5% saving vs 2.0
+            (vec![3, 0, 0], 1.5, true),  // 25% saving
+        ]);
+        assert_eq!(samples_to_reach_saving(&trace, 2.0, 5.0), Some(2));
+        assert_eq!(samples_to_reach_saving(&trace, 2.0, 20.0), Some(3));
+        assert_eq!(samples_to_reach_saving(&trace, 2.0, 40.0), None);
+    }
+
+    #[test]
+    fn violations_before_optimum_counts_only_the_prefix() {
+        let trace = synthetic_trace(&[
+            (vec![1, 0, 0], 3.0, false),
+            (vec![2, 0, 0], 2.0, true),
+            (vec![3, 0, 0], 1.5, true), // optimum reached at sample 3
+            (vec![4, 0, 0], 2.5, false),
+        ]);
+        assert_eq!(samples_to_reach_optimum(&trace, 1.5), Some(3));
+        assert_eq!(violations_before_optimum(&trace, 1.5), 1);
+        // If the optimum cost is never reached, every violation counts.
+        assert_eq!(violations_before_optimum(&trace, 1.0), 2);
+    }
+
+    #[test]
+    fn saving_curve_is_monotone_non_decreasing() {
+        let trace = synthetic_trace(&[
+            (vec![1, 0, 0], 3.0, false),
+            (vec![2, 0, 0], 1.9, true),
+            (vec![3, 0, 0], 2.5, true),
+            (vec![4, 0, 0], 1.4, true),
+        ]);
+        let curve = saving_curve(&trace, 2.0);
+        assert_eq!(curve[0], None);
+        let vals: Vec<f64> = curve.iter().flatten().copied().collect();
+        assert_eq!(vals.len(), 3);
+        for w in vals.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((vals.last().unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_ribbon_beats_homogeneous_baseline_on_the_small_workload() {
+        let ev = evaluator();
+        let homo = homogeneous_optimum(&ev, 8).unwrap();
+        let trace = RibbonSearch::new(RibbonSettings {
+            max_evaluations: 25,
+            ..RibbonSettings::fast()
+        })
+        .run_search(&ev, 11);
+        let metrics = TraceMetrics::new(&trace, homo.hourly_cost);
+        let best = metrics.best_cost.expect("ribbon finds a satisfying config");
+        assert!(
+            best <= homo.hourly_cost + 1e-9,
+            "heterogeneous best ${best:.3} should not exceed homogeneous ${:.3}",
+            homo.hourly_cost
+        );
+    }
+
+    #[test]
+    fn exploration_cost_of_any_strategy_is_below_exhaustive() {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 600;
+        let ev = ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings { explicit_bounds: Some(vec![5, 0, 4]), ..Default::default() },
+        );
+        let exhaustive = ExhaustiveSearch::full().run_search(&ev, 0);
+        let ribbon = RibbonSearch::new(RibbonSettings {
+            max_evaluations: 10,
+            ..RibbonSettings::fast()
+        })
+        .run_search(&ev, 1);
+        assert!(ribbon.exploration_cost() < exhaustive.exploration_cost());
+    }
+}

@@ -1,0 +1,270 @@
+//! Load-change adaptation (Sec. 4, "Ribbon promptly responds to load changes"; evaluated in
+//! Fig. 16).
+//!
+//! When the arrival rate rises, the previously optimal configuration starts violating QoS.
+//! Instead of restarting Bayesian Optimization from scratch, Ribbon warm-starts the new
+//! search from the old exploration record:
+//!
+//! 1. the old optimum is re-evaluated on the new load, giving the scaling ratio between old
+//!    and new satisfaction rates;
+//! 2. every previously explored configuration whose old satisfaction rate was no better than
+//!    the old optimum's forms the set **S** — it cannot meet the new QoS either, so its
+//!    dominated box is pruned;
+//! 3. each member of S is injected into the new GP as a *pseudo-observation* whose
+//!    satisfaction rate is estimated by linear scaling (`new ≈ old · ratio`), steering the
+//!    acquisition function away from that region without spending real evaluations.
+
+use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
+use crate::search::{RibbonSearch, RibbonSettings, SearchTrace};
+use ribbon_models::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One step of the adaptation phase, as plotted in Fig. 16.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationStep {
+    /// The configuration evaluated at this step.
+    pub config: Vec<u32>,
+    /// Percentage of queries violating QoS under the new load (the orange curve of Fig. 16).
+    pub violation_percent: f64,
+    /// Hourly cost normalized to the pre-change optimal cost (the blue curve of Fig. 16).
+    pub normalized_cost: f64,
+    /// Whether this configuration meets the QoS target under the new load.
+    pub meets_qos: bool,
+}
+
+/// The full outcome of an initial search followed by a load change and re-convergence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptationOutcome {
+    /// Trace of the initial (pre-change) search.
+    pub initial_trace: SearchTrace,
+    /// The optimal configuration found before the load change.
+    pub initial_best: Evaluation,
+    /// Evaluations performed after the load change, in order (starting with the re-evaluation
+    /// of the previous optimum).
+    pub adaptation_steps: Vec<AdaptationStep>,
+    /// The cheapest QoS-satisfying configuration found for the new load, if any.
+    pub new_best: Option<Evaluation>,
+    /// Number of pseudo-observations injected from the old exploration record.
+    pub estimates_injected: usize,
+    /// Cost of the new optimum normalized to the old optimum's cost (≈ the load factor in
+    /// the paper's experiments), if a new optimum was found.
+    pub new_cost_ratio: Option<f64>,
+}
+
+impl AdaptationOutcome {
+    /// Number of evaluations spent after the load change.
+    pub fn adaptation_evaluations(&self) -> usize {
+        self.adaptation_steps.len()
+    }
+
+    /// Index (1-based) of the first adaptation step that meets the new QoS, if any.
+    pub fn steps_to_first_satisfying(&self) -> Option<usize> {
+        self.adaptation_steps.iter().position(|s| s.meets_qos).map(|i| i + 1)
+    }
+}
+
+/// Runs the initial search, applies a load change, and re-converges with a warm start.
+#[derive(Debug, Clone)]
+pub struct LoadAdapter {
+    /// Settings of the initial search.
+    pub initial: RibbonSettings,
+    /// Settings of the post-change search (often a smaller budget — the paper observes the
+    /// new optimum is found in well under the original exploration time).
+    pub adaptation: RibbonSettings,
+    /// Evaluator settings shared by both phases.
+    pub evaluator: EvaluatorSettings,
+}
+
+impl LoadAdapter {
+    /// Creates an adapter with identical settings for both phases.
+    pub fn new(settings: RibbonSettings, evaluator: EvaluatorSettings) -> Self {
+        LoadAdapter { initial: settings.clone(), adaptation: settings, evaluator }
+    }
+
+    /// Runs the full scenario: search on `workload`, scale the load by `load_factor`, then
+    /// adapt. Returns `None` if the initial search never finds a QoS-satisfying configuration
+    /// (so there is no "previous optimum" to adapt from).
+    pub fn run(&self, workload: &Workload, load_factor: f64, seed: u64) -> Option<AdaptationOutcome> {
+        // Phase 1: converge on the original load.
+        let evaluator = ConfigEvaluator::new(workload, self.evaluator.clone());
+        let search = RibbonSearch::new(self.initial.clone());
+        let initial_trace = search.run(&evaluator, seed);
+        let initial_best = initial_trace.best_satisfying()?.clone();
+
+        // Phase 2: the load changes.
+        let scaled = workload.scaled_load(load_factor);
+        let scaled_evaluator = ConfigEvaluator::new(&scaled, self.evaluator.clone());
+        let adapt_search = RibbonSearch::new(self.adaptation.clone());
+        let mut bo = adapt_search.make_optimizer(&scaled_evaluator);
+        let lattice = scaled_evaluator.lattice();
+
+        let mut steps = Vec::new();
+        // Re-evaluate the previous optimum on the new load: this is the detection signal.
+        let prev_on_new = scaled_evaluator.evaluate(&initial_best.config);
+        if lattice.contains(&initial_best.config) {
+            let _ = bo.observe(initial_best.config.clone(), prev_on_new.objective);
+        }
+        steps.push(Self::step(&prev_on_new, initial_best.hourly_cost));
+
+        let mut estimates_injected = 0;
+        if !prev_on_new.meets_qos {
+            // Linear estimation ratio between old and new satisfaction rates.
+            let ratio = if initial_best.satisfaction_rate > 0.0 {
+                prev_on_new.satisfaction_rate / initial_best.satisfaction_rate
+            } else {
+                0.0
+            };
+            // Set S: previously explored configurations no better than the old optimum.
+            for old in initial_trace.evaluations() {
+                if old.config == initial_best.config {
+                    continue;
+                }
+                if old.satisfaction_rate > initial_best.satisfaction_rate {
+                    continue;
+                }
+                if !lattice.contains(&old.config) || bo.is_explored(&old.config) {
+                    continue;
+                }
+                let estimated_rate = (old.satisfaction_rate * ratio).clamp(0.0, 1.0);
+                let estimated_objective =
+                    scaled_evaluator.objective().value(&old.config, estimated_rate);
+                if bo.observe_estimate(old.config.clone(), estimated_objective).is_ok() {
+                    estimates_injected += 1;
+                }
+                bo.prune_below(old.config.clone());
+            }
+            // The old optimum itself also cannot satisfy the new load.
+            bo.prune_below(initial_best.config.clone());
+        }
+
+        // Phase 3: continue the search with the warm-started optimizer.
+        let adapt_trace = adapt_search.run_with(&scaled_evaluator, &mut bo, seed ^ 0x5ca1ab1e);
+        for e in adapt_trace.evaluations() {
+            steps.push(Self::step(e, initial_best.hourly_cost));
+        }
+
+        // Best for the new load: consider the re-evaluated old optimum too.
+        let mut new_best: Option<Evaluation> = adapt_trace.best_satisfying().cloned();
+        if prev_on_new.meets_qos {
+            let better = match &new_best {
+                None => true,
+                Some(b) => prev_on_new.hourly_cost < b.hourly_cost,
+            };
+            if better {
+                new_best = Some(prev_on_new.clone());
+            }
+        }
+        let new_cost_ratio = new_best.as_ref().map(|b| b.hourly_cost / initial_best.hourly_cost);
+
+        Some(AdaptationOutcome {
+            initial_trace,
+            initial_best,
+            adaptation_steps: steps,
+            new_best,
+            estimates_injected,
+            new_cost_ratio,
+        })
+    }
+
+    fn step(eval: &Evaluation, baseline_cost: f64) -> AdaptationStep {
+        AdaptationStep {
+            config: eval.config.clone(),
+            violation_percent: (1.0 - eval.satisfaction_rate) * 100.0,
+            normalized_cost: if baseline_cost > 0.0 { eval.hourly_cost / baseline_cost } else { 0.0 },
+            meets_qos: eval.meets_qos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ribbon_models::ModelKind;
+
+    fn adapter(budget: usize) -> LoadAdapter {
+        LoadAdapter::new(
+            RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() },
+            EvaluatorSettings { explicit_bounds: Some(vec![7, 4, 7]), ..Default::default() },
+        )
+    }
+
+    fn workload() -> Workload {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 800;
+        w
+    }
+
+    #[test]
+    fn adaptation_produces_steps_and_a_new_best() {
+        let outcome = adapter(20).run(&workload(), 1.5, 3).expect("initial search converges");
+        assert!(!outcome.adaptation_steps.is_empty());
+        // The first step is the re-evaluation of the old optimum.
+        assert_eq!(outcome.adaptation_steps[0].config, outcome.initial_best.config);
+        assert!(outcome.adaptation_evaluations() >= 1);
+        let best = outcome.new_best.as_ref().expect("a satisfying config exists for 1.5x load");
+        assert!(best.meets_qos);
+    }
+
+    #[test]
+    fn new_optimum_costs_more_than_the_old_one_under_higher_load() {
+        let outcome = adapter(22).run(&workload(), 1.5, 5).unwrap();
+        let ratio = outcome.new_cost_ratio.expect("new optimum found");
+        assert!(
+            ratio > 1.0,
+            "serving 1.5x the load should cost more than the old optimum (ratio {ratio:.2})"
+        );
+        assert!(ratio < 3.0, "cost ratio {ratio:.2} should stay in the same ballpark as the load factor");
+    }
+
+    #[test]
+    fn old_optimum_violates_after_a_large_load_increase() {
+        let outcome = adapter(18).run(&workload(), 1.6, 7).unwrap();
+        let first = &outcome.adaptation_steps[0];
+        assert!(
+            first.violation_percent > 1.0,
+            "old optimum should violate the new load (violation {:.2}%)",
+            first.violation_percent
+        );
+        // And because it violates, estimates were injected from the old record.
+        assert!(outcome.estimates_injected > 0);
+    }
+
+    #[test]
+    fn warm_start_skips_configs_known_to_be_too_small() {
+        let outcome = adapter(20).run(&workload(), 1.5, 9).unwrap();
+        // No adaptation step (after the first re-evaluation) may evaluate a configuration
+        // strictly dominated by the old optimum: those were pruned.
+        let old = &outcome.initial_best.config;
+        for step in &outcome.adaptation_steps[1..] {
+            let dominated = step
+                .config
+                .iter()
+                .zip(old)
+                .all(|(a, b)| a <= b)
+                && step.config != *old;
+            assert!(!dominated, "step {:?} is dominated by the old optimum {:?}", step.config, old);
+        }
+    }
+
+    #[test]
+    fn steps_to_first_satisfying_is_consistent() {
+        let outcome = adapter(20).run(&workload(), 1.5, 11).unwrap();
+        match outcome.steps_to_first_satisfying() {
+            Some(i) => {
+                assert!(outcome.adaptation_steps[i - 1].meets_qos);
+                assert!(outcome.adaptation_steps[..i - 1].iter().all(|s| !s.meets_qos));
+            }
+            None => assert!(outcome.adaptation_steps.iter().all(|s| !s.meets_qos)),
+        }
+    }
+
+    #[test]
+    fn unchanged_load_keeps_the_old_optimum_satisfying() {
+        let outcome = adapter(15).run(&workload(), 1.0, 13).unwrap();
+        let first = &outcome.adaptation_steps[0];
+        assert!(first.meets_qos, "with no load change the old optimum still satisfies QoS");
+        assert_eq!(outcome.estimates_injected, 0, "no estimates are needed when QoS still holds");
+        let ratio = outcome.new_cost_ratio.unwrap();
+        assert!(ratio <= 1.0 + 1e-9);
+    }
+}

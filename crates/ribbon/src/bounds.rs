@@ -1,0 +1,152 @@
+//! Per-type search-range upper bounds (the paper's m_i).
+//!
+//! "m_i corresponds to the maximum number of instances of a given type such that adding any
+//! more instances of the same type does not improve the QoS satisfaction rate." We probe each
+//! type in isolation: simulate homogeneous pools of 1, 2, 3, … instances of that type and stop
+//! as soon as the satisfaction rate stops improving (or a hard cap is reached).
+
+use ribbon_cloudsim::{simulate, InstanceType, LatencyModel, PoolSpec, Query};
+
+/// Controls the saturation probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundSettings {
+    /// Hard cap on m_i, bounding the lattice size.
+    pub max_per_type: u32,
+    /// Minimum satisfaction-rate improvement that still counts as "improving".
+    pub saturation_epsilon: f64,
+}
+
+impl Default for BoundSettings {
+    fn default() -> Self {
+        BoundSettings { max_per_type: 12, saturation_epsilon: 0.001 }
+    }
+}
+
+/// Finds m_i for every instance type in `types` by probing homogeneous pools against the
+/// given query stream and latency model.
+///
+/// Returns one bound per type, each at least 1 and at most `settings.max_per_type`.
+pub fn find_bounds<M: LatencyModel + ?Sized>(
+    types: &[InstanceType],
+    queries: &[Query],
+    model: &M,
+    latency_target_s: f64,
+    settings: &BoundSettings,
+) -> Vec<u32> {
+    assert!(!types.is_empty(), "need at least one instance type");
+    assert!(settings.max_per_type >= 1, "max_per_type must be at least 1");
+    types
+        .iter()
+        .map(|&ty| probe_type(ty, queries, model, latency_target_s, settings))
+        .collect()
+}
+
+/// Probes a single instance type; returns the count at which the satisfaction rate saturates.
+///
+/// The probe scans homogeneous pools of 1..=`max_per_type` instances and returns the smallest
+/// count whose satisfaction rate is within `saturation_epsilon` of the best rate achievable
+/// with this type alone — beyond that point "adding any more instances of the same type does
+/// not improve the QoS satisfaction rate". Scanning the whole range (instead of stopping at
+/// the first flat step) matters for heavily overloaded types, whose rate stays near zero for
+/// several counts before queueing stops dominating.
+pub fn probe_type<M: LatencyModel + ?Sized>(
+    ty: InstanceType,
+    queries: &[Query],
+    model: &M,
+    latency_target_s: f64,
+    settings: &BoundSettings,
+) -> u32 {
+    let mut rates = Vec::with_capacity(settings.max_per_type as usize);
+    for count in 1..=settings.max_per_type {
+        let pool = PoolSpec::homogeneous(ty, count);
+        let rate = simulate(&pool, queries, model).satisfaction_rate(latency_target_s);
+        rates.push(rate);
+        if rate >= 0.9999 {
+            // Perfect satisfaction cannot improve further.
+            break;
+        }
+    }
+    let best = rates.iter().cloned().fold(0.0_f64, f64::max);
+    for (i, &rate) in rates.iter().enumerate() {
+        if rate >= best - settings.saturation_epsilon {
+            return (i + 1) as u32;
+        }
+    }
+    rates.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ribbon_cloudsim::dist::{ArrivalProcess, BatchDistribution};
+    use ribbon_cloudsim::latency::FnLatencyModel;
+    use ribbon_cloudsim::{InstanceType, StreamConfig};
+
+    fn stream(qps: f64, n: usize) -> Vec<Query> {
+        StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps },
+            batches: BatchDistribution::Uniform { min: 8, max: 64 },
+            num_queries: n,
+            seed: 3,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn fast_instance_saturates_at_a_small_count() {
+        // 1 ms service at 100 qps: a single instance is already at ~10 % utilization.
+        let model = FnLatencyModel::new("fast", |_, _| 0.001);
+        let queries = stream(100.0, 2000);
+        let b = probe_type(InstanceType::G4dn, &queries, &model, 0.010, &BoundSettings::default());
+        assert!(b <= 2, "bound {b} should be tiny for an underloaded instance");
+    }
+
+    #[test]
+    fn saturating_slow_instance_needs_more_instances() {
+        // 20 ms service at 300 qps needs ~6 servers to keep the queue bounded.
+        let model = FnLatencyModel::new("slow", |_, _| 0.020);
+        let queries = stream(300.0, 3000);
+        let settings = BoundSettings { max_per_type: 15, saturation_epsilon: 0.001 };
+        let b = probe_type(InstanceType::T3, &queries, &model, 0.060, &settings);
+        assert!(b >= 6, "bound {b} should cover the saturation point");
+        assert!(b <= 15);
+    }
+
+    #[test]
+    fn bound_never_exceeds_cap() {
+        let model = FnLatencyModel::new("impossible", |_, _| 10.0); // always violates
+        let queries = stream(50.0, 500);
+        let settings = BoundSettings { max_per_type: 4, saturation_epsilon: 1e-9 };
+        let b = probe_type(InstanceType::R5, &queries, &model, 0.010, &settings);
+        assert!(b >= 1 && b <= 4);
+    }
+
+    #[test]
+    fn bounds_returned_for_every_type() {
+        let model = FnLatencyModel::new("const", |_, _| 0.002);
+        let queries = stream(200.0, 1000);
+        let types = [InstanceType::G4dn, InstanceType::C5, InstanceType::R5n];
+        let bounds = find_bounds(&types, &queries, &model, 0.020, &BoundSettings::default());
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds.iter().all(|&b| (1..=12).contains(&b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance type")]
+    fn find_bounds_rejects_empty_type_list() {
+        let model = FnLatencyModel::new("const", |_, _| 0.002);
+        let _ = find_bounds(&[], &[], &model, 0.02, &BoundSettings::default());
+    }
+
+    #[test]
+    fn faster_instance_type_gets_smaller_or_equal_bound() {
+        let model = FnLatencyModel::new("per-type", |ty, _| {
+            if ty == InstanceType::G4dn { 0.002 } else { 0.008 }
+        });
+        let queries = stream(400.0, 3000);
+        let settings = BoundSettings { max_per_type: 15, saturation_epsilon: 0.001 };
+        let fast = probe_type(InstanceType::G4dn, &queries, &model, 0.020, &settings);
+        let slow = probe_type(InstanceType::T3, &queries, &model, 0.020, &settings);
+        assert!(fast <= slow, "fast bound {fast} vs slow bound {slow}");
+    }
+}

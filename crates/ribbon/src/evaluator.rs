@@ -1,0 +1,318 @@
+//! Configuration evaluation: "deploying" a pool configuration on the simulated cloud and
+//! measuring its QoS satisfaction rate, cost, and objective value.
+//!
+//! Every search strategy shares one [`ConfigEvaluator`] per workload. The evaluator
+//! pre-generates the query stream once (so all configurations are judged against the same
+//! trace), computes the per-type search bounds m_i at construction, and caches evaluations —
+//! a configuration's satisfaction rate is deterministic given the stream, so re-evaluating it
+//! would only waste time.
+
+use crate::bounds::{find_bounds, BoundSettings};
+use crate::objective::RibbonObjective;
+use ribbon_bo::ConfigLattice;
+use ribbon_cloudsim::{simulate, PoolSpec, Query};
+use ribbon_models::{ModelProfile, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Settings controlling evaluator construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatorSettings {
+    /// Hard cap on every per-type bound m_i.
+    pub max_per_type: u32,
+    /// Satisfaction-rate improvement below which the bound probe considers a type saturated.
+    pub saturation_epsilon: f64,
+    /// Explicit bounds overriding the probe (must match the pool's type count when set).
+    pub explicit_bounds: Option<Vec<u32>>,
+}
+
+impl Default for EvaluatorSettings {
+    fn default() -> Self {
+        EvaluatorSettings { max_per_type: 12, saturation_epsilon: 0.001, explicit_bounds: None }
+    }
+}
+
+/// The outcome of evaluating one pool configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Per-type instance counts, parallel to the workload's diverse pool.
+    pub config: Vec<u32>,
+    /// The concrete pool that was simulated.
+    pub pool: PoolSpec,
+    /// Fraction of queries within the latency target.
+    pub satisfaction_rate: f64,
+    /// Hourly cost of the pool in USD.
+    pub hourly_cost: f64,
+    /// Whether the QoS target is met.
+    pub meets_qos: bool,
+    /// The Eq. 2 objective value.
+    pub objective: f64,
+    /// Mean end-to-end latency in seconds.
+    pub mean_latency_s: f64,
+    /// Tail latency at the QoS percentile, in seconds.
+    pub tail_latency_s: f64,
+}
+
+/// Evaluates pool configurations for one workload on the simulated cloud.
+pub struct ConfigEvaluator {
+    workload: Workload,
+    profile: ModelProfile,
+    queries: Vec<Query>,
+    objective: RibbonObjective,
+    bounds: Vec<u32>,
+    cache: Mutex<HashMap<Vec<u32>, Evaluation>>,
+    simulations: AtomicUsize,
+}
+
+impl ConfigEvaluator {
+    /// Builds an evaluator: generates the workload's query stream, probes the per-type
+    /// bounds m_i (unless explicitly provided), and prepares the Eq. 2 objective.
+    pub fn new(workload: &Workload, settings: EvaluatorSettings) -> Self {
+        let profile = workload.profile();
+        let queries = workload.stream_config().generate();
+        let bounds = match settings.explicit_bounds {
+            Some(b) => {
+                assert_eq!(
+                    b.len(),
+                    workload.diverse_pool.len(),
+                    "explicit bounds must match the pool's type count"
+                );
+                b
+            }
+            None => find_bounds(
+                &workload.diverse_pool,
+                &queries,
+                &profile,
+                workload.qos.latency_target_s,
+                &BoundSettings {
+                    max_per_type: settings.max_per_type,
+                    saturation_epsilon: settings.saturation_epsilon,
+                },
+            ),
+        };
+        let objective = RibbonObjective::new(&workload.diverse_pool, &bounds, workload.qos.target_rate);
+        ConfigEvaluator {
+            workload: workload.clone(),
+            profile,
+            queries,
+            objective,
+            bounds,
+            cache: Mutex::new(HashMap::new()),
+            simulations: AtomicUsize::new(0),
+        }
+    }
+
+    /// The workload this evaluator serves.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The per-type bounds m_i.
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// The configuration lattice spanned by the bounds.
+    pub fn lattice(&self) -> ConfigLattice {
+        ConfigLattice::new(self.bounds.clone())
+    }
+
+    /// The Eq. 2 objective.
+    pub fn objective(&self) -> &RibbonObjective {
+        &self.objective
+    }
+
+    /// Number of distinct pool simulations run so far (cache misses).
+    pub fn num_simulations(&self) -> usize {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// The query stream all configurations are evaluated against.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The homogeneous configuration `[count, 0, 0, ...]` of the workload's base type.
+    pub fn homogeneous_config(&self, count: u32) -> Vec<u32> {
+        let mut cfg = vec![0u32; self.workload.diverse_pool.len()];
+        cfg[0] = count;
+        cfg
+    }
+
+    /// Evaluates a configuration (cached).
+    ///
+    /// # Panics
+    /// Panics if the configuration's dimensionality does not match the diverse pool or if
+    /// the configuration is empty (all zeros).
+    pub fn evaluate(&self, config: &[u32]) -> Evaluation {
+        assert_eq!(
+            config.len(),
+            self.workload.diverse_pool.len(),
+            "configuration has {} entries but the pool has {} types",
+            config.len(),
+            self.workload.diverse_pool.len()
+        );
+        assert!(config.iter().any(|&c| c > 0), "cannot evaluate an empty pool");
+
+        if let Some(hit) = self.cache.lock().expect("evaluator cache poisoned").get(config) {
+            return hit.clone();
+        }
+
+        let pool = PoolSpec::from_counts(&self.workload.diverse_pool, config);
+        let result = simulate(&pool, &self.queries, &self.profile);
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+
+        let rate = result.satisfaction_rate(self.workload.qos.latency_target_s);
+        let eval = Evaluation {
+            config: config.to_vec(),
+            hourly_cost: pool.hourly_cost(),
+            satisfaction_rate: rate,
+            meets_qos: self.objective.meets_qos(rate),
+            objective: self.objective.value(config, rate),
+            mean_latency_s: result.mean_latency(),
+            tail_latency_s: result.tail_latency(self.workload.qos.target_rate * 100.0),
+            pool,
+        };
+        self.cache
+            .lock()
+            .expect("evaluator cache poisoned")
+            .insert(config.to_vec(), eval.clone());
+        eval
+    }
+
+    /// Evaluates a homogeneous pool of `count` base-type instances.
+    pub fn evaluate_homogeneous(&self, count: u32) -> Evaluation {
+        self.evaluate(&self.homogeneous_config(count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ribbon_models::{ModelKind, Workload};
+
+    /// A small, fast workload for unit tests: few queries and a tight per-type cap.
+    fn test_workload() -> Workload {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 800;
+        w
+    }
+
+    fn test_settings() -> EvaluatorSettings {
+        EvaluatorSettings { max_per_type: 6, ..Default::default() }
+    }
+
+    #[test]
+    fn bounds_match_pool_dimensionality_and_cap() {
+        let ev = ConfigEvaluator::new(&test_workload(), test_settings());
+        assert_eq!(ev.bounds().len(), 3);
+        assert!(ev.bounds().iter().all(|&b| (1..=6).contains(&b)));
+        assert_eq!(ev.lattice().dims(), 3);
+    }
+
+    #[test]
+    fn explicit_bounds_skip_the_probe() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![5, 4, 3]), ..Default::default() },
+        );
+        assert_eq!(ev.bounds(), &[5, 4, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit bounds must match")]
+    fn explicit_bounds_must_match_pool_size() {
+        let _ = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![5, 4]), ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_and_cached() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+        );
+        let sims_before = ev.num_simulations();
+        let a = ev.evaluate(&[3, 1, 2]);
+        let b = ev.evaluate(&[3, 1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(ev.num_simulations(), sims_before + 1, "second call must hit the cache");
+    }
+
+    #[test]
+    fn evaluation_fields_are_consistent() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+        );
+        let e = ev.evaluate(&[4, 0, 0]);
+        assert_eq!(e.config, vec![4, 0, 0]);
+        assert_eq!(e.pool.describe(), "4xg4dn");
+        assert!((e.hourly_cost - 4.0 * 0.526).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&e.satisfaction_rate));
+        assert_eq!(e.meets_qos, e.satisfaction_rate >= 0.99);
+        assert!((0.0..=1.0).contains(&e.objective));
+        assert!(e.mean_latency_s > 0.0);
+        assert!(e.tail_latency_s >= e.mean_latency_s);
+    }
+
+    #[test]
+    fn more_instances_do_not_hurt_satisfaction() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+        );
+        let small = ev.evaluate(&[2, 0, 0]);
+        let large = ev.evaluate(&[6, 0, 0]);
+        assert!(large.satisfaction_rate >= small.satisfaction_rate);
+    }
+
+    #[test]
+    fn homogeneous_config_helper() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+        );
+        assert_eq!(ev.homogeneous_config(5), vec![5, 0, 0]);
+        let e = ev.evaluate_homogeneous(5);
+        assert_eq!(e.pool.describe(), "5xg4dn");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn evaluating_all_zero_config_panics() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![3, 3, 3]), ..Default::default() },
+        );
+        let _ = ev.evaluate(&[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration has")]
+    fn evaluating_wrong_dimension_panics() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![3, 3, 3]), ..Default::default() },
+        );
+        let _ = ev.evaluate(&[1, 1]);
+    }
+
+    #[test]
+    fn objective_orders_satisfying_configs_by_cost() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+        );
+        // A pool big enough to certainly satisfy vs. an even bigger, more expensive pool.
+        let a = ev.evaluate(&[6, 3, 3]);
+        let b = ev.evaluate(&[6, 6, 6]);
+        if a.meets_qos && b.meets_qos {
+            assert!(a.objective > b.objective, "cheaper satisfying pool must score higher");
+        }
+    }
+}

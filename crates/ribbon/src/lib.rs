@@ -1,0 +1,70 @@
+//! # Ribbon
+//!
+//! A from-scratch Rust reproduction of **"RIBBON: Cost-Effective and QoS-Aware Deep Learning
+//! Model Inference using a Diverse Pool of Cloud Computing Instances"** (Li et al., SC 2021).
+//!
+//! Ribbon serves a stream of inference queries on a *heterogeneous* pool of cloud instances
+//! and uses Bayesian Optimization over a Gaussian-Process surrogate to find the pool
+//! configuration (how many instances of each type) that meets a tail-latency QoS target at
+//! minimum hourly cost.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ribbon::prelude::*;
+//!
+//! // The MT-WND recommendation workload of the paper: 20 ms p99 QoS target, Poisson
+//! // arrivals, heavy-tail log-normal batch sizes, diverse pool {g4dn, c5, r5n}.
+//! let mut workload = Workload::standard(ModelKind::MtWnd);
+//! workload.num_queries = 600; // keep the doctest fast; experiments use 4000
+//!
+//! let evaluator = ConfigEvaluator::new(&workload, EvaluatorSettings { max_per_type: 6, ..Default::default() });
+//! let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: 10, ..Default::default() });
+//! let trace = ribbon.run(&evaluator, 7);
+//!
+//! let best = trace.best_satisfying().expect("found a QoS-meeting configuration");
+//! println!("best pool: {} at ${:.2}/hr", best.pool.describe(), best.hourly_cost);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`objective`] — the paper's Eq. 2 objective over (QoS satisfaction rate, pool cost);
+//! * [`bounds`] — per-type search-range upper bounds m_i (saturation probing);
+//! * [`evaluator`] — deploys a configuration on the simulated cloud and measures its QoS
+//!   satisfaction rate (with caching, since every search strategy re-visits configurations);
+//! * [`search`] — Ribbon's BO-driven search with active pruning;
+//! * [`strategies`] — the competing schemes of Sec. 5.3: RANDOM, Hill-Climb, RSM, and
+//!   exhaustive search;
+//! * [`adapt`] — load-change adaptation (Sec. 4 "Ribbon promptly responds to load changes",
+//!   evaluated in Fig. 16);
+//! * [`accounting`] — homogeneous baselines, cost savings, exploration cost, and the other
+//!   derived metrics reported in Figs. 9–15.
+
+pub mod accounting;
+pub mod adapt;
+pub mod bounds;
+pub mod evaluator;
+pub mod objective;
+pub mod search;
+pub mod strategies;
+
+pub use accounting::{homogeneous_optimum, HomogeneousOptimum, TraceMetrics};
+pub use adapt::{AdaptationOutcome, AdaptationStep, LoadAdapter};
+pub use bounds::find_bounds;
+pub use evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
+pub use objective::RibbonObjective;
+pub use search::{RibbonSearch, RibbonSettings, SearchTrace};
+pub use strategies::{ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy};
+
+/// Convenience re-exports for downstream users and examples.
+pub mod prelude {
+    pub use crate::accounting::{homogeneous_optimum, TraceMetrics};
+    pub use crate::adapt::LoadAdapter;
+    pub use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
+    pub use crate::search::{RibbonSearch, RibbonSettings, SearchTrace};
+    pub use crate::strategies::{
+        ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy,
+    };
+    pub use ribbon_cloudsim::{InstanceType, PoolSpec, QosTarget};
+    pub use ribbon_models::{ModelKind, ModelProfile, Workload};
+}

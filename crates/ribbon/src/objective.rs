@@ -1,0 +1,256 @@
+//! Ribbon's objective function (Eq. 2 of the paper).
+//!
+//! The search maximizes
+//!
+//! ```text
+//! f(x) = ½ · R_sat(x) / T_qos                          if x violates QoS
+//! f(x) = ½ + ½ · (1 − Σ p_i x_i / Σ p_i m_i)           otherwise
+//! ```
+//!
+//! where `R_sat(x)` is the measured QoS satisfaction rate, `T_qos` the target rate, `p_i` the
+//! hourly price of instance type `i` and `m_i` the per-type search bound. The design
+//! guarantees that *any* QoS-satisfying configuration scores above *every* violating one
+//! (because `R_sat < T_qos` on the violating branch keeps it below ½), that cheaper satisfying
+//! configurations score higher, and that the function stays smooth on both sides of the QoS
+//! boundary — the properties Sec. 4 argues are necessary for the BO to converge.
+
+use ribbon_cloudsim::InstanceType;
+use serde::{Deserialize, Serialize};
+
+/// The objective function over a fixed pool type-order and per-type bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RibbonObjective {
+    /// Hourly price of each instance type in the pool (the paper's p_i).
+    prices: Vec<f64>,
+    /// Per-type search bounds (the paper's m_i).
+    bounds: Vec<u32>,
+    /// QoS target satisfaction rate T_qos (e.g. 0.99).
+    target_rate: f64,
+}
+
+impl RibbonObjective {
+    /// Creates the objective for a pool of instance types with the given bounds and target.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ, the bounds are all zero, or the target is outside (0, 1].
+    pub fn new(types: &[InstanceType], bounds: &[u32], target_rate: f64) -> Self {
+        assert_eq!(types.len(), bounds.len(), "types/bounds length mismatch");
+        assert!(!types.is_empty(), "objective needs at least one instance type");
+        assert!(bounds.iter().any(|&b| b > 0), "at least one bound must be positive");
+        assert!(
+            target_rate > 0.0 && target_rate <= 1.0,
+            "target rate must be in (0, 1], got {target_rate}"
+        );
+        RibbonObjective {
+            prices: types.iter().map(|t| t.hourly_price()).collect(),
+            bounds: bounds.to_vec(),
+            target_rate,
+        }
+    }
+
+    /// Creates the objective from explicit prices (useful for tests and ablations).
+    pub fn from_prices(prices: Vec<f64>, bounds: Vec<u32>, target_rate: f64) -> Self {
+        assert_eq!(prices.len(), bounds.len(), "prices/bounds length mismatch");
+        assert!(prices.iter().all(|&p| p > 0.0), "prices must be positive");
+        assert!(bounds.iter().any(|&b| b > 0), "at least one bound must be positive");
+        assert!(target_rate > 0.0 && target_rate <= 1.0);
+        RibbonObjective { prices, bounds, target_rate }
+    }
+
+    /// The QoS target satisfaction rate T_qos.
+    pub fn target_rate(&self) -> f64 {
+        self.target_rate
+    }
+
+    /// Per-type bounds m_i.
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Hourly cost of a configuration: Σ p_i x_i.
+    pub fn cost(&self, config: &[u32]) -> f64 {
+        assert_eq!(config.len(), self.prices.len(), "configuration dimensionality mismatch");
+        config
+            .iter()
+            .zip(&self.prices)
+            .map(|(&x, &p)| x as f64 * p)
+            .sum()
+    }
+
+    /// Maximum possible pool cost: Σ p_i m_i (the normalizer of the satisfying branch).
+    pub fn max_cost(&self) -> f64 {
+        self.bounds
+            .iter()
+            .zip(&self.prices)
+            .map(|(&m, &p)| m as f64 * p)
+            .sum()
+    }
+
+    /// Whether a satisfaction rate meets the QoS target.
+    pub fn meets_qos(&self, satisfaction_rate: f64) -> bool {
+        satisfaction_rate >= self.target_rate
+    }
+
+    /// Evaluates Eq. 2 for a configuration with the given measured satisfaction rate.
+    ///
+    /// The returned value is in `[0, 1]`: violating configurations land in `[0, ½)` and
+    /// satisfying configurations in `[½, 1]`.
+    pub fn value(&self, config: &[u32], satisfaction_rate: f64) -> f64 {
+        let rate = satisfaction_rate.clamp(0.0, 1.0);
+        if !self.meets_qos(rate) {
+            0.5 * rate / self.target_rate
+        } else {
+            0.5 + 0.5 * (1.0 - self.cost(config) / self.max_cost())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ribbon_cloudsim::InstanceType::*;
+
+    fn mt_wnd_objective() -> RibbonObjective {
+        RibbonObjective::new(&[G4dn, C5, R5n], &[6, 8, 10], 0.99)
+    }
+
+    #[test]
+    fn cost_uses_catalog_prices() {
+        let obj = mt_wnd_objective();
+        let c = obj.cost(&[2, 1, 3]);
+        assert!((c - (2.0 * 0.526 + 0.34 + 3.0 * 0.149)).abs() < 1e-12);
+        assert!((obj.max_cost() - (6.0 * 0.526 + 8.0 * 0.34 + 10.0 * 0.149)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violating_configs_score_below_half() {
+        let obj = mt_wnd_objective();
+        for rate in [0.0, 0.3, 0.7, 0.98, 0.9899] {
+            let v = obj.value(&[1, 1, 1], rate);
+            assert!(v < 0.5, "rate {rate} gave {v}");
+        }
+    }
+
+    #[test]
+    fn satisfying_configs_score_at_least_half() {
+        let obj = mt_wnd_objective();
+        for rate in [0.99, 0.995, 1.0] {
+            assert!(obj.value(&[6, 8, 10], rate) >= 0.5);
+        }
+        // Even the most expensive satisfying pool beats the best violating one.
+        assert!(obj.value(&[6, 8, 10], 0.99) >= obj.value(&[1, 0, 0], 0.98999));
+    }
+
+    #[test]
+    fn cheaper_satisfying_configs_score_higher() {
+        let obj = mt_wnd_objective();
+        let cheap = obj.value(&[3, 0, 4], 0.995);
+        let expensive = obj.value(&[5, 0, 0], 0.999);
+        assert!(
+            cheap > expensive,
+            "3xg4dn+4xr5n (${:.2}) should beat 5xg4dn (${:.2})",
+            obj.cost(&[3, 0, 4]),
+            obj.cost(&[5, 0, 0])
+        );
+    }
+
+    #[test]
+    fn satisfaction_rate_does_not_matter_once_qos_is_met() {
+        let obj = mt_wnd_objective();
+        assert_eq!(obj.value(&[4, 2, 1], 0.99), obj.value(&[4, 2, 1], 1.0));
+    }
+
+    #[test]
+    fn violating_branch_increases_with_rate() {
+        let obj = mt_wnd_objective();
+        let lo = obj.value(&[1, 0, 0], 0.50);
+        let hi = obj.value(&[1, 0, 0], 0.90);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn violating_branch_is_continuous_at_the_boundary() {
+        // At rate exactly T_qos the violating branch would give 0.5; the satisfying branch
+        // gives at least 0.5 — the paper's "no steep jump" requirement.
+        let obj = mt_wnd_objective();
+        let just_below = obj.value(&[6, 8, 10], 0.98999999);
+        let at_target = obj.value(&[6, 8, 10], 0.99);
+        assert!((just_below - 0.5).abs() < 1e-6);
+        assert!((at_target - 0.5).abs() < 1e-9, "the full pool costs max_cost, so value = 0.5");
+    }
+
+    #[test]
+    fn free_pool_would_score_one() {
+        let obj = RibbonObjective::from_prices(vec![1.0, 1.0], vec![5, 5], 0.99);
+        // Cost 0 is impossible for a real pool but bounds the satisfying branch at 1.
+        assert_eq!(obj.value(&[0, 0], 1.0), 1.0);
+    }
+
+    #[test]
+    fn rate_is_clamped_to_unit_interval() {
+        let obj = mt_wnd_objective();
+        assert_eq!(obj.value(&[1, 1, 1], -0.3), 0.0);
+        assert!(obj.value(&[1, 1, 1], 1.7) >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_bounds() {
+        let _ = RibbonObjective::new(&[G4dn], &[1, 2], 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn cost_rejects_wrong_dimension() {
+        let _ = mt_wnd_objective().cost(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target rate")]
+    fn rejects_bad_target_rate() {
+        let _ = RibbonObjective::new(&[G4dn], &[5], 1.5);
+    }
+
+    #[test]
+    fn meets_qos_threshold() {
+        let obj = mt_wnd_objective();
+        assert!(obj.meets_qos(0.99));
+        assert!(!obj.meets_qos(0.9899));
+        assert_eq!(obj.target_rate(), 0.99);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_objective_in_unit_interval(
+            x1 in 0u32..7, x2 in 0u32..9, x3 in 0u32..11, rate in 0.0f64..1.0
+        ) {
+            let obj = mt_wnd_objective();
+            let v = obj.value(&[x1, x2, x3], rate);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_satisfying_always_beats_violating(
+            x1 in 0u32..7, x2 in 0u32..9, x3 in 0u32..11,
+            y1 in 0u32..7, y2 in 0u32..9, y3 in 0u32..11,
+            bad_rate in 0.0f64..0.9899,
+        ) {
+            let obj = mt_wnd_objective();
+            let satisfying = obj.value(&[x1, x2, x3], 0.995);
+            let violating = obj.value(&[y1, y2, y3], bad_rate);
+            prop_assert!(satisfying >= violating);
+        }
+
+        #[test]
+        fn prop_adding_instances_never_raises_the_satisfying_score(
+            x1 in 0u32..6, x2 in 0u32..8, x3 in 0u32..10, dim in 0usize..3
+        ) {
+            let obj = mt_wnd_objective();
+            let base = vec![x1, x2, x3];
+            let mut bigger = base.clone();
+            bigger[dim] += 1;
+            prop_assert!(obj.value(&bigger, 1.0) <= obj.value(&base, 1.0));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Ribbon's BO-driven search for the optimal diverse-pool configuration.
+//!
+//! The loop implements Sec. 4 of the paper: a Gaussian-Process surrogate (Matérn 5/2 with the
+//! integer rounding kernel) is refitted after every evaluation, Expected Improvement picks the
+//! next configuration among those not yet explored and not pruned, and *active pruning*
+//! removes (a) the entire dominated box under any configuration that violates QoS by more than
+//! a threshold θ and (b) the dominating box above any QoS-satisfying configuration (which can
+//! only be more expensive).
+
+use crate::evaluator::{ConfigEvaluator, Evaluation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ribbon_bo::{Acquisition, BoError, BoOptimizer, BoSettings};
+use ribbon_gp::FitConfig;
+use serde::{Deserialize, Serialize};
+
+/// Settings for Ribbon's search.
+#[derive(Debug, Clone)]
+pub struct RibbonSettings {
+    /// Maximum number of configuration evaluations per search.
+    pub max_evaluations: usize,
+    /// Random space-filling evaluations before the GP takes over.
+    pub initial_samples: usize,
+    /// Prune threshold θ: a configuration violating QoS by more than this (i.e. with
+    /// `rate < T_qos − θ`) prunes its entire dominated box.
+    pub prune_threshold: f64,
+    /// Acquisition function (Expected Improvement by default).
+    pub acquisition: Acquisition,
+    /// GP hyperparameter grid.
+    pub fit: FitConfig,
+    /// Optional starting configuration evaluated before the BO loop (the paper's search
+    /// starts from the currently deployed configuration).
+    pub start_config: Option<Vec<u32>>,
+}
+
+impl Default for RibbonSettings {
+    fn default() -> Self {
+        RibbonSettings {
+            max_evaluations: 40,
+            initial_samples: 3,
+            prune_threshold: 0.01,
+            acquisition: Acquisition::default(),
+            fit: FitConfig::default(),
+            start_config: None,
+        }
+    }
+}
+
+impl RibbonSettings {
+    /// A faster variant using the coarse GP grid (used inside benchmarks and tests).
+    pub fn fast() -> Self {
+        RibbonSettings { fit: FitConfig::coarse(), ..Default::default() }
+    }
+}
+
+/// The ordered record of one search run: every configuration evaluated, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Name of the strategy that produced the trace.
+    pub strategy: String,
+    /// Evaluations in the order they were performed.
+    pub evaluations: Vec<Evaluation>,
+}
+
+impl SearchTrace {
+    /// Creates an empty trace for a strategy.
+    pub fn new(strategy: impl Into<String>) -> Self {
+        SearchTrace { strategy: strategy.into(), evaluations: Vec::new() }
+    }
+
+    /// Number of evaluations in the trace.
+    pub fn len(&self) -> usize {
+        self.evaluations.len()
+    }
+
+    /// `true` if no configuration was evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.evaluations.is_empty()
+    }
+
+    /// The evaluations in order.
+    pub fn evaluations(&self) -> &[Evaluation] {
+        &self.evaluations
+    }
+
+    /// The cheapest QoS-satisfying configuration found.
+    pub fn best_satisfying(&self) -> Option<&Evaluation> {
+        self.evaluations
+            .iter()
+            .filter(|e| e.meets_qos)
+            .min_by(|a, b| a.hourly_cost.partial_cmp(&b.hourly_cost).unwrap())
+    }
+
+    /// The evaluation with the highest Eq. 2 objective value.
+    pub fn best_objective(&self) -> Option<&Evaluation> {
+        self.evaluations
+            .iter()
+            .max_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap())
+    }
+
+    /// Number of evaluated configurations that violate QoS.
+    pub fn num_violations(&self) -> usize {
+        self.evaluations.iter().filter(|e| !e.meets_qos).count()
+    }
+
+    /// Index (1-based sample count) of the first QoS-satisfying evaluation whose hourly cost
+    /// is at most `cost` (with a small tolerance); `None` if never reached.
+    pub fn samples_until_cost_at_most(&self, cost: f64) -> Option<usize> {
+        self.evaluations
+            .iter()
+            .position(|e| e.meets_qos && e.hourly_cost <= cost + 1e-9)
+            .map(|i| i + 1)
+    }
+
+    /// Sum of the hourly costs of every evaluated configuration — the exploration-cost proxy
+    /// used by Fig. 13 (every evaluation runs for the same wall-clock time, so cost is
+    /// proportional to the evaluated pools' hourly prices).
+    pub fn exploration_cost(&self) -> f64 {
+        self.evaluations.iter().map(|e| e.hourly_cost).sum()
+    }
+
+    /// Appends another trace's evaluations (used to merge a warm-start evaluation with the
+    /// subsequent search).
+    pub fn extend_from(&mut self, other: &SearchTrace) {
+        self.evaluations.extend(other.evaluations.iter().cloned());
+    }
+}
+
+/// Ribbon's Bayesian-Optimization search strategy.
+#[derive(Debug, Clone, Default)]
+pub struct RibbonSearch {
+    settings: RibbonSettings,
+}
+
+impl RibbonSearch {
+    /// Creates a search with the given settings.
+    pub fn new(settings: RibbonSettings) -> Self {
+        RibbonSearch { settings }
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &RibbonSettings {
+        &self.settings
+    }
+
+    /// Runs the search from scratch on an evaluator.
+    pub fn run(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+        let mut bo = self.make_optimizer(evaluator);
+        self.run_with(evaluator, &mut bo, seed)
+    }
+
+    /// Builds the BO optimizer for an evaluator's lattice (exposed so the load adapter can
+    /// warm-start it with estimates and pruning before running).
+    pub fn make_optimizer(&self, evaluator: &ConfigEvaluator) -> BoOptimizer {
+        BoOptimizer::new(
+            evaluator.lattice(),
+            BoSettings {
+                initial_samples: self.settings.initial_samples,
+                acquisition: self.settings.acquisition,
+                fit: self.settings.fit.clone(),
+            },
+        )
+    }
+
+    /// Runs the search loop with an existing (possibly warm-started) optimizer.
+    ///
+    /// At most `max_evaluations` *new* evaluations are performed in this call.
+    pub fn run_with(
+        &self,
+        evaluator: &ConfigEvaluator,
+        bo: &mut BoOptimizer,
+        seed: u64,
+    ) -> SearchTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = SearchTrace::new("RIBBON");
+        let target_rate = evaluator.objective().target_rate();
+
+        if let Some(start) = &self.settings.start_config {
+            if bo.lattice().contains(start) && !bo.is_explored(start) {
+                self.evaluate_and_record(evaluator, bo, start.clone(), target_rate, &mut trace);
+            }
+        }
+
+        while trace.len() < self.settings.max_evaluations {
+            let suggestion = match bo.suggest(&mut rng) {
+                Ok(s) => s,
+                Err(BoError::SpaceExhausted) => break,
+                Err(_) => break,
+            };
+            self.evaluate_and_record(evaluator, bo, suggestion.config, target_rate, &mut trace);
+        }
+        trace
+    }
+
+    fn evaluate_and_record(
+        &self,
+        evaluator: &ConfigEvaluator,
+        bo: &mut BoOptimizer,
+        config: Vec<u32>,
+        target_rate: f64,
+        trace: &mut SearchTrace,
+    ) {
+        let eval = evaluator.evaluate(&config);
+        // A BO observe can only fail for invalid configs / non-finite objectives, neither of
+        // which the evaluator can produce; ignore the result defensively.
+        let _ = bo.observe(config.clone(), eval.objective);
+        if eval.satisfaction_rate < target_rate - self.settings.prune_threshold {
+            bo.prune_below(config.clone());
+        }
+        if eval.meets_qos {
+            bo.prune_above(config);
+        }
+        trace.evaluations.push(eval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvaluatorSettings;
+    use ribbon_models::{ModelKind, Workload};
+
+    fn small_evaluator() -> ConfigEvaluator {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 800;
+        ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+        )
+    }
+
+    fn fast_settings(max_evals: usize) -> RibbonSettings {
+        RibbonSettings { max_evaluations: max_evals, ..RibbonSettings::fast() }
+    }
+
+    #[test]
+    fn search_respects_the_evaluation_budget() {
+        let ev = small_evaluator();
+        let trace = RibbonSearch::new(fast_settings(8)).run(&ev, 1);
+        assert!(trace.len() <= 8);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.strategy, "RIBBON");
+    }
+
+    #[test]
+    fn search_never_evaluates_the_same_configuration_twice() {
+        let ev = small_evaluator();
+        let trace = RibbonSearch::new(fast_settings(15)).run(&ev, 2);
+        let mut seen = std::collections::HashSet::new();
+        for e in trace.evaluations() {
+            assert!(seen.insert(e.config.clone()), "duplicate {:?}", e.config);
+        }
+    }
+
+    #[test]
+    fn search_finds_a_qos_satisfying_configuration() {
+        let ev = small_evaluator();
+        let trace = RibbonSearch::new(fast_settings(20)).run(&ev, 3);
+        let best = trace.best_satisfying();
+        assert!(best.is_some(), "20 evaluations must find at least one satisfying pool");
+        assert!(best.unwrap().meets_qos);
+    }
+
+    #[test]
+    fn start_config_is_evaluated_first() {
+        let ev = small_evaluator();
+        let mut settings = fast_settings(6);
+        settings.start_config = Some(vec![5, 0, 0]);
+        let trace = RibbonSearch::new(settings).run(&ev, 4);
+        assert_eq!(trace.evaluations()[0].config, vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_lattice_start_config_is_ignored() {
+        let ev = small_evaluator();
+        let mut settings = fast_settings(4);
+        settings.start_config = Some(vec![50, 0, 0]);
+        let trace = RibbonSearch::new(settings).run(&ev, 5);
+        assert!(trace.evaluations().iter().all(|e| e.config != vec![50, 0, 0]));
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_trace() {
+        let ev1 = small_evaluator();
+        let ev2 = small_evaluator();
+        let t1 = RibbonSearch::new(fast_settings(10)).run(&ev1, 77);
+        let t2 = RibbonSearch::new(fast_settings(10)).run(&ev2, 77);
+        let c1: Vec<_> = t1.evaluations().iter().map(|e| e.config.clone()).collect();
+        let c2: Vec<_> = t2.evaluations().iter().map(|e| e.config.clone()).collect();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn trace_metrics_are_consistent() {
+        let ev = small_evaluator();
+        let trace = RibbonSearch::new(fast_settings(12)).run(&ev, 6);
+        assert_eq!(
+            trace.num_violations(),
+            trace.evaluations().iter().filter(|e| !e.meets_qos).count()
+        );
+        let cost_sum: f64 = trace.evaluations().iter().map(|e| e.hourly_cost).sum();
+        assert!((trace.exploration_cost() - cost_sum).abs() < 1e-9);
+        if let Some(best) = trace.best_satisfying() {
+            assert!(trace.samples_until_cost_at_most(best.hourly_cost).is_some());
+            assert!(trace.samples_until_cost_at_most(0.0).is_none());
+        }
+        if let Some(bo) = trace.best_objective() {
+            assert!(trace.evaluations().iter().all(|e| e.objective <= bo.objective));
+        }
+    }
+
+    #[test]
+    fn small_lattice_terminates_before_budget_when_exhausted() {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 400;
+        let ev = ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings { explicit_bounds: Some(vec![1, 1, 1]), ..Default::default() },
+        );
+        let trace = RibbonSearch::new(fast_settings(100)).run(&ev, 7);
+        assert!(trace.len() <= 7, "only 7 non-empty configs exist in a 2x2x2 lattice");
+    }
+
+    #[test]
+    fn extend_from_concatenates_traces() {
+        let mut a = SearchTrace::new("A");
+        let b = SearchTrace::new("B");
+        a.extend_from(&b);
+        assert!(a.is_empty());
+        let ev = small_evaluator();
+        let t = RibbonSearch::new(fast_settings(3)).run(&ev, 8);
+        let mut merged = SearchTrace::new("merged");
+        merged.extend_from(&t);
+        merged.extend_from(&t);
+        assert_eq!(merged.len(), 2 * t.len());
+    }
+}

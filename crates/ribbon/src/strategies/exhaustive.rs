@@ -1,0 +1,113 @@
+//! Exhaustive enumeration of the configuration lattice.
+//!
+//! Not a practical serving strategy — every configuration has to be deployed and measured —
+//! but it provides the ground-truth optimum the paper compares against and the normalization
+//! denominator for the exploration-cost figure (Fig. 13).
+
+use super::SearchStrategy;
+use crate::evaluator::{ConfigEvaluator, Evaluation};
+use crate::search::SearchTrace;
+
+/// Evaluates every configuration in the lattice, in lexicographic order.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveSearch {
+    /// Optional cap on the number of evaluations (useful for tests); `None` = the full lattice.
+    pub limit: Option<usize>,
+}
+
+impl ExhaustiveSearch {
+    /// Exhaustive search over the full lattice.
+    pub fn full() -> Self {
+        ExhaustiveSearch { limit: None }
+    }
+
+    /// Exhaustive search capped at `limit` evaluations.
+    pub fn capped(limit: usize) -> Self {
+        ExhaustiveSearch { limit: Some(limit) }
+    }
+
+    /// Finds the ground-truth cheapest QoS-satisfying configuration of an evaluator's lattice.
+    pub fn optimum(evaluator: &ConfigEvaluator) -> Option<Evaluation> {
+        ExhaustiveSearch::full()
+            .run_search(evaluator, 0)
+            .best_satisfying()
+            .cloned()
+    }
+}
+
+impl SearchStrategy for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn run_search(&self, evaluator: &ConfigEvaluator, _seed: u64) -> SearchTrace {
+        let mut trace = SearchTrace::new(self.name());
+        for config in evaluator.lattice().enumerate() {
+            if let Some(limit) = self.limit {
+                if trace.len() >= limit {
+                    break;
+                }
+            }
+            trace.evaluations.push(evaluator.evaluate(&config));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::tiny_evaluator;
+    use super::*;
+
+    #[test]
+    fn covers_the_entire_lattice() {
+        let ev = tiny_evaluator();
+        let trace = ExhaustiveSearch::full().run_search(&ev, 0);
+        assert_eq!(trace.len(), ev.lattice().len());
+    }
+
+    #[test]
+    fn cap_limits_the_number_of_evaluations() {
+        let ev = tiny_evaluator();
+        let trace = ExhaustiveSearch::capped(4).run_search(&ev, 0);
+        assert_eq!(trace.len(), 4);
+    }
+
+    #[test]
+    fn optimum_is_the_cheapest_satisfying_configuration() {
+        let ev = tiny_evaluator();
+        let optimum = ExhaustiveSearch::optimum(&ev);
+        let trace = ExhaustiveSearch::full().run_search(&ev, 0);
+        match optimum {
+            Some(best) => {
+                assert!(best.meets_qos);
+                for e in trace.evaluations() {
+                    if e.meets_qos {
+                        assert!(best.hourly_cost <= e.hourly_cost + 1e-9);
+                    }
+                }
+            }
+            None => {
+                assert!(trace.evaluations().iter().all(|e| !e.meets_qos));
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_ignores_the_seed() {
+        let ev = tiny_evaluator();
+        let a: Vec<_> = ExhaustiveSearch::full()
+            .run_search(&ev, 1)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        let b: Vec<_> = ExhaustiveSearch::full()
+            .run_search(&ev, 999)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Hill-Climb baseline of Sec. 5.3.
+//!
+//! Steepest-ascent hill climbing on the Eq. 2 objective over the ±1 neighbourhood of the
+//! current configuration, "customized and optimized ... by intelligently increasing and
+//! decreasing the number of instances based on the observed QoS and cost". When every
+//! neighbour is worse (a local optimum) the search restarts from a random unexplored
+//! configuration, exactly as the paper describes for the Fig. 12 example.
+
+use super::SearchStrategy;
+use crate::evaluator::{ConfigEvaluator, Evaluation};
+use crate::search::SearchTrace;
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Steepest-ascent hill climbing with random restarts.
+#[derive(Debug, Clone)]
+pub struct HillClimbSearch {
+    /// Maximum number of configurations to evaluate.
+    pub max_evaluations: usize,
+    /// Optional starting configuration (defaults to the lattice midpoint).
+    pub start_config: Option<Vec<u32>>,
+}
+
+impl HillClimbSearch {
+    /// Creates a hill-climb search with the given evaluation budget, starting at the
+    /// lattice midpoint.
+    pub fn new(max_evaluations: usize) -> Self {
+        HillClimbSearch { max_evaluations, start_config: None }
+    }
+
+    /// Creates a hill-climb search starting from a specific configuration.
+    pub fn from_start(max_evaluations: usize, start: Vec<u32>) -> Self {
+        HillClimbSearch { max_evaluations, start_config: Some(start) }
+    }
+
+    fn midpoint(bounds: &[u32]) -> Vec<u32> {
+        let mid: Vec<u32> = bounds.iter().map(|&b| b.div_ceil(2)).collect();
+        if mid.iter().all(|&c| c == 0) {
+            let mut m = mid;
+            m[0] = 1;
+            m
+        } else {
+            mid
+        }
+    }
+}
+
+impl SearchStrategy for HillClimbSearch {
+    fn name(&self) -> &'static str {
+        "Hill-Climb"
+    }
+
+    fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+        let lattice = evaluator.lattice();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = SearchTrace::new(self.name());
+        // Objective values of configurations evaluated by *this* search (the evaluator also
+        // caches, but the trace must only count evaluations this strategy asked for).
+        let mut known: HashMap<Vec<u32>, f64> = HashMap::new();
+
+        let evaluate = |config: &Vec<u32>,
+                            trace: &mut SearchTrace,
+                            known: &mut HashMap<Vec<u32>, f64>|
+         -> Option<Evaluation> {
+            if let Some(&v) = known.get(config) {
+                // Already evaluated by this search: reuse without consuming budget.
+                return Some(Evaluation { objective: v, ..evaluator.evaluate(config) });
+            }
+            if trace.len() >= self.max_evaluations {
+                return None;
+            }
+            let eval = evaluator.evaluate(config);
+            known.insert(config.clone(), eval.objective);
+            trace.evaluations.push(eval.clone());
+            Some(eval)
+        };
+
+        let start = self
+            .start_config
+            .clone()
+            .filter(|c| lattice.contains(c))
+            .unwrap_or_else(|| Self::midpoint(lattice.bounds()));
+
+        let mut current = start;
+        let mut current_eval = match evaluate(&current, &mut trace, &mut known) {
+            Some(e) => e,
+            None => return trace,
+        };
+
+        while trace.len() < self.max_evaluations {
+            // Evaluate neighbours in a deterministic order, track the best.
+            let mut best_neighbor: Option<Evaluation> = None;
+            for n in lattice.neighbors(&current) {
+                let Some(e) = evaluate(&n, &mut trace, &mut known) else {
+                    return trace;
+                };
+                let better = match &best_neighbor {
+                    None => true,
+                    Some(b) => e.objective > b.objective,
+                };
+                if better {
+                    best_neighbor = Some(e);
+                }
+            }
+            match best_neighbor {
+                Some(b) if b.objective > current_eval.objective => {
+                    current = b.config.clone();
+                    current_eval = b;
+                }
+                _ => {
+                    // Local optimum: random restart at an unexplored configuration.
+                    let mut candidates: Vec<Vec<u32>> = lattice
+                        .enumerate()
+                        .into_iter()
+                        .filter(|c| !known.contains_key(c))
+                        .collect();
+                    if candidates.is_empty() {
+                        break;
+                    }
+                    candidates.shuffle(&mut rng);
+                    current = candidates[0].clone();
+                    current_eval = match evaluate(&current, &mut trace, &mut known) {
+                        Some(e) => e,
+                        None => break,
+                    };
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{small_evaluator, tiny_evaluator};
+    use super::*;
+
+    #[test]
+    fn midpoint_start_is_inside_the_lattice() {
+        let ev = small_evaluator();
+        let trace = HillClimbSearch::new(10).run_search(&ev, 1);
+        assert_eq!(trace.evaluations()[0].config, vec![3, 2, 3]);
+    }
+
+    #[test]
+    fn explicit_start_config_is_used() {
+        let ev = small_evaluator();
+        let trace = HillClimbSearch::from_start(10, vec![5, 0, 0]).run_search(&ev, 1);
+        assert_eq!(trace.evaluations()[0].config, vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn invalid_start_falls_back_to_midpoint() {
+        let ev = small_evaluator();
+        let trace = HillClimbSearch::from_start(5, vec![99, 0, 0]).run_search(&ev, 1);
+        assert_eq!(trace.evaluations()[0].config, vec![3, 2, 3]);
+    }
+
+    #[test]
+    fn respects_budget_and_never_duplicates() {
+        let ev = small_evaluator();
+        let trace = HillClimbSearch::new(15).run_search(&ev, 2);
+        assert!(trace.len() <= 15);
+        let mut seen = std::collections::HashSet::new();
+        for e in trace.evaluations() {
+            assert!(seen.insert(e.config.clone()), "duplicate {:?}", e.config);
+        }
+    }
+
+    #[test]
+    fn consecutive_moves_are_lattice_neighbors_or_restarts() {
+        let ev = tiny_evaluator();
+        let trace = HillClimbSearch::new(25).run_search(&ev, 3);
+        // Every evaluated config is valid.
+        let lattice = ev.lattice();
+        for e in trace.evaluations() {
+            assert!(lattice.contains(&e.config));
+        }
+    }
+
+    #[test]
+    fn eventually_finds_a_satisfying_configuration() {
+        let ev = small_evaluator();
+        let trace = HillClimbSearch::new(40).run_search(&ev, 4);
+        assert!(
+            trace.best_satisfying().is_some(),
+            "hill climbing from the midpoint should reach a QoS-satisfying pool"
+        );
+    }
+
+    #[test]
+    fn is_reproducible_for_a_fixed_seed() {
+        let ev = small_evaluator();
+        let a: Vec<_> = HillClimbSearch::new(12)
+            .run_search(&ev, 9)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        let b: Vec<_> = HillClimbSearch::new(12)
+            .run_search(&ev, 9)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,107 @@
+//! The competing search strategies of Sec. 5.3.
+//!
+//! Every strategy implements [`SearchStrategy`]: given a [`ConfigEvaluator`] it produces a
+//! [`SearchTrace`] — the ordered list of configurations it chose to evaluate. The trace is the
+//! raw material for every comparison in the paper's evaluation (samples-to-savings, Fig. 10;
+//! exploration cost, Fig. 13; QoS-violating samples, Fig. 14).
+//!
+//! * [`RandomSearch`] — random sampling with the paper's dominance-based skip rule;
+//! * [`HillClimbSearch`] — steepest-ascent hill climbing with random restarts;
+//! * [`ResponseSurfaceSearch`] — a 3-level face-centered central-composite design followed by
+//!   local exploration around the best design point;
+//! * [`ExhaustiveSearch`] — evaluates the entire lattice (ground truth / normalization);
+//! * [`crate::RibbonSearch`] — Ribbon itself (defined in [`crate::search`], re-exported here
+//!   through the trait).
+
+mod exhaustive;
+mod hill_climb;
+mod random;
+mod rsm;
+
+pub use exhaustive::ExhaustiveSearch;
+pub use hill_climb::HillClimbSearch;
+pub use random::RandomSearch;
+pub use rsm::ResponseSurfaceSearch;
+
+use crate::evaluator::ConfigEvaluator;
+use crate::search::{RibbonSearch, SearchTrace};
+
+/// A configuration-search strategy.
+pub trait SearchStrategy {
+    /// Short display name used in experiment output ("RIBBON", "Hill-Climb", ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs the strategy against an evaluator with a deterministic seed.
+    fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace;
+}
+
+impl SearchStrategy for RibbonSearch {
+    fn name(&self) -> &'static str {
+        "RIBBON"
+    }
+
+    fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+        self.run(evaluator, seed)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::evaluator::{ConfigEvaluator, EvaluatorSettings};
+    use ribbon_models::{ModelKind, Workload};
+
+    /// A small MT-WND evaluator shared by the strategy tests: 800 queries, 6x4x6 lattice.
+    pub fn small_evaluator() -> ConfigEvaluator {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 800;
+        ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+        )
+    }
+
+    /// An even smaller lattice for exhaustive comparisons.
+    pub fn tiny_evaluator() -> ConfigEvaluator {
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 600;
+        ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings { explicit_bounds: Some(vec![5, 0, 4]), ..Default::default() },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::small_evaluator;
+    use super::*;
+    use crate::search::RibbonSettings;
+
+    #[test]
+    fn ribbon_implements_the_strategy_trait() {
+        let ev = small_evaluator();
+        let strategy = RibbonSearch::new(RibbonSettings {
+            max_evaluations: 5,
+            ..RibbonSettings::fast()
+        });
+        assert_eq!(strategy.name(), "RIBBON");
+        let trace = strategy.run_search(&ev, 1);
+        assert!(!trace.is_empty());
+        assert!(trace.len() <= 5);
+    }
+
+    #[test]
+    fn all_strategies_have_distinct_names() {
+        let names = [
+            RibbonSearch::default().name(),
+            RandomSearch::new(10).name(),
+            HillClimbSearch::new(10).name(),
+            ResponseSurfaceSearch::new(10).name(),
+            ExhaustiveSearch::default().name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

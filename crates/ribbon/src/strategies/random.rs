@@ -1,0 +1,161 @@
+//! The RANDOM baseline of Sec. 5.3.
+//!
+//! "This is a relatively simple strategy that evaluates different random configurations in
+//! the search space. To make it more intelligent, we do not evaluate a randomly picked
+//! configuration if a previous configuration with a higher number of instances for each type
+//! does not meet the QoS target, or a previous configuration with a lower number of instances
+//! for each type meets the QoS at a lower cost."
+//!
+//! Both skip rules are exactly the dominance boxes of [`ribbon_bo::PruneSet`], so the
+//! implementation reuses it.
+
+use super::SearchStrategy;
+use crate::evaluator::ConfigEvaluator;
+use crate::search::SearchTrace;
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ribbon_bo::PruneSet;
+
+/// Random configuration sampling with dominance-based skipping.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Maximum number of configurations to evaluate.
+    pub max_evaluations: usize,
+}
+
+impl RandomSearch {
+    /// Creates a random search with the given evaluation budget.
+    pub fn new(max_evaluations: usize) -> Self {
+        RandomSearch { max_evaluations }
+    }
+}
+
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &'static str {
+        "RANDOM"
+    }
+
+    fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut candidates = evaluator.lattice().enumerate();
+        candidates.shuffle(&mut rng);
+
+        let mut prune = PruneSet::new();
+        let mut trace = SearchTrace::new(self.name());
+        let target_rate = evaluator.objective().target_rate();
+
+        for config in candidates {
+            if trace.len() >= self.max_evaluations {
+                break;
+            }
+            if prune.is_pruned(&config) {
+                continue;
+            }
+            let eval = evaluator.evaluate(&config);
+            if eval.satisfaction_rate < target_rate {
+                // A violator rules out everything with fewer instances of every type.
+                prune.prune_below(config.clone());
+            } else {
+                // A satisfier rules out everything with more instances of every type
+                // (those are strictly more expensive).
+                prune.prune_above(config.clone());
+            }
+            trace.evaluations.push(eval);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::small_evaluator;
+    use super::*;
+    use ribbon_bo::space::dominated_by;
+
+    #[test]
+    fn respects_the_budget_and_never_repeats() {
+        let ev = small_evaluator();
+        let trace = RandomSearch::new(12).run_search(&ev, 5);
+        assert!(trace.len() <= 12);
+        let mut seen = std::collections::HashSet::new();
+        for e in trace.evaluations() {
+            assert!(seen.insert(e.config.clone()));
+        }
+    }
+
+    #[test]
+    fn skip_rule_never_samples_configs_dominated_by_a_violator() {
+        let ev = small_evaluator();
+        let trace = RandomSearch::new(40).run_search(&ev, 7);
+        // Replay the trace: once a violator is seen, no later sample may be dominated by it.
+        for (i, earlier) in trace.evaluations().iter().enumerate() {
+            if earlier.meets_qos {
+                continue;
+            }
+            for later in &trace.evaluations()[i + 1..] {
+                assert!(
+                    !dominated_by(&later.config, &earlier.config),
+                    "{:?} dominated by earlier violator {:?}",
+                    later.config,
+                    earlier.config
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_rule_never_samples_configs_dominating_a_satisfier() {
+        let ev = small_evaluator();
+        let trace = RandomSearch::new(40).run_search(&ev, 9);
+        for (i, earlier) in trace.evaluations().iter().enumerate() {
+            if !earlier.meets_qos {
+                continue;
+            }
+            for later in &trace.evaluations()[i + 1..] {
+                assert!(
+                    !(dominated_by(&earlier.config, &later.config) && later.config != earlier.config),
+                    "{:?} dominates earlier satisfier {:?}",
+                    later.config,
+                    earlier.config
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_sampling_orders() {
+        let ev = small_evaluator();
+        let a: Vec<_> = RandomSearch::new(10)
+            .run_search(&ev, 1)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        let b: Vec<_> = RandomSearch::new(10)
+            .run_search(&ev, 2)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let ev = small_evaluator();
+        let a: Vec<_> = RandomSearch::new(10)
+            .run_search(&ev, 3)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        let b: Vec<_> = RandomSearch::new(10)
+            .run_search(&ev, 3)
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! Load-spike adaptation: converge on an optimal DIEN pool, apply a 1.5x load increase, and
+//! watch Ribbon warm-start the new search from its old exploration record (pruning the
+//! configurations that cannot possibly serve the new load and injecting estimated objective
+//! values for them).
+//!
+//! Run: `cargo run --release -p ribbon --example load_spike_adaptation`
+
+use ribbon::adapt::LoadAdapter;
+use ribbon::evaluator::EvaluatorSettings;
+use ribbon::prelude::*;
+use ribbon::search::RibbonSettings;
+
+fn main() {
+    let mut workload = Workload::standard(ModelKind::Dien);
+    workload.num_queries = 2000;
+
+    let adapter = LoadAdapter::new(
+        RibbonSettings { max_evaluations: 25, ..RibbonSettings::fast() },
+        EvaluatorSettings { max_per_type: 10, ..Default::default() },
+    );
+    let outcome = adapter.run(&workload, 1.5, 2024).expect("initial search converges");
+
+    println!(
+        "Before the spike: optimal pool {} at ${:.2}/hr (found in {} evaluations)",
+        outcome.initial_best.pool.describe(),
+        outcome.initial_best.hourly_cost,
+        outcome.initial_trace.len()
+    );
+    println!(
+        "Load increases 1.5x; {} pseudo-observations injected from the old record.\n",
+        outcome.estimates_injected
+    );
+
+    println!("step  config            violation%  cost(norm)  meets QoS");
+    for (i, step) in outcome.adaptation_steps.iter().enumerate() {
+        println!(
+            "{:>4}  {:<16}  {:>9.2}  {:>9.2}  {}",
+            i + 1,
+            format!("{:?}", step.config),
+            step.violation_percent,
+            step.normalized_cost,
+            if step.meets_qos { "yes" } else { "no" }
+        );
+    }
+
+    match (&outcome.new_best, outcome.new_cost_ratio) {
+        (Some(best), Some(ratio)) => println!(
+            "\nNew optimum for the 1.5x load: {} at ${:.2}/hr — {:.2}x the pre-spike cost.",
+            best.pool.describe(),
+            best.hourly_cost,
+            ratio
+        ),
+        _ => println!("\nNo QoS-satisfying configuration found for the new load within the budget."),
+    }
+}

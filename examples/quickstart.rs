@@ -1,0 +1,59 @@
+//! Quickstart: find a cost-optimal heterogeneous pool for the MT-WND recommendation workload.
+//!
+//! This is the smallest end-to-end use of the public API:
+//!   1. pick a workload (model, QoS target, query stream, candidate instance types),
+//!   2. build a `ConfigEvaluator` (it probes the per-type search bounds m_i),
+//!   3. find the homogeneous baseline,
+//!   4. run Ribbon's BO search and compare.
+//!
+//! Run: `cargo run --release -p ribbon --example quickstart`
+
+use ribbon::prelude::*;
+use ribbon::evaluator::EvaluatorSettings;
+use ribbon::search::RibbonSettings;
+
+fn main() {
+    // The paper's MT-WND workload: 20 ms p99 target, Poisson arrivals, heavy-tail batches,
+    // diverse pool {g4dn, c5, r5n}. A shorter stream keeps the example fast.
+    let mut workload = Workload::standard(ModelKind::MtWnd);
+    workload.num_queries = 2000;
+
+    println!(
+        "Workload: {} | QoS {:.0} ms p{:.0} | {:.0} queries/s | pool {:?}",
+        workload.model,
+        workload.qos.latency_target_s * 1000.0,
+        workload.qos.target_rate * 100.0,
+        workload.qps,
+        workload.diverse_pool.iter().map(|t| t.family()).collect::<Vec<_>>()
+    );
+
+    // Build the evaluator (this probes the search bounds m_i by simulation).
+    let evaluator = ConfigEvaluator::new(
+        &workload,
+        EvaluatorSettings { max_per_type: 10, ..Default::default() },
+    );
+    println!("Search bounds m_i: {:?}", evaluator.bounds());
+
+    // The traditional answer: the cheapest homogeneous pool of the base type that meets QoS.
+    let homogeneous = homogeneous_optimum(&evaluator, 12).expect("homogeneous pool exists");
+    println!(
+        "Homogeneous optimum: {} at ${:.2}/hr",
+        homogeneous.evaluation.pool.describe(),
+        homogeneous.hourly_cost
+    );
+
+    // Ribbon: Bayesian Optimization over the diverse pool.
+    let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: 30, ..RibbonSettings::fast() });
+    let trace = ribbon.run(&evaluator, 42);
+    let best = trace.best_satisfying().expect("a QoS-satisfying diverse pool exists");
+
+    let saving = (homogeneous.hourly_cost - best.hourly_cost) / homogeneous.hourly_cost * 100.0;
+    println!(
+        "Ribbon found {} at ${:.2}/hr after {} evaluations ({} QoS-violating samples)",
+        best.pool.describe(),
+        best.hourly_cost,
+        trace.len(),
+        trace.num_violations()
+    );
+    println!("Cost saving over the homogeneous optimum: {saving:.1}%");
+}

@@ -1,0 +1,63 @@
+//! Recommendation-model serving: compare Ribbon against the competing search strategies
+//! (Hill-Climb, RANDOM, RSM) on the MT-WND and DIEN workloads that motivate the paper.
+//!
+//! For each model the example reports, per strategy: how many configurations were evaluated,
+//! how many violated QoS, and the cheapest QoS-satisfying pool found.
+//!
+//! Run: `cargo run --release -p ribbon --example recommender_serving`
+
+use ribbon::prelude::*;
+use ribbon::accounting::TraceMetrics;
+use ribbon::evaluator::EvaluatorSettings;
+use ribbon::search::RibbonSettings;
+
+fn main() {
+    let budget = 40;
+    for model in [ModelKind::MtWnd, ModelKind::Dien] {
+        let mut workload = Workload::standard(model);
+        workload.num_queries = 2000;
+        let evaluator = ConfigEvaluator::new(
+            &workload,
+            EvaluatorSettings { max_per_type: 10, ..Default::default() },
+        );
+        let homogeneous = homogeneous_optimum(&evaluator, 12).expect("homogeneous baseline");
+        println!(
+            "\n=== {} — QoS {:.0} ms p99, homogeneous baseline {} (${:.2}/hr) ===",
+            model,
+            workload.qos.latency_target_s * 1000.0,
+            homogeneous.evaluation.pool.describe(),
+            homogeneous.hourly_cost
+        );
+
+        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+            Box::new(RibbonSearch::new(RibbonSettings {
+                max_evaluations: budget,
+                ..RibbonSettings::fast()
+            })),
+            Box::new(HillClimbSearch::new(budget)),
+            Box::new(RandomSearch::new(budget)),
+            Box::new(ResponseSurfaceSearch::new(budget)),
+        ];
+        for strategy in strategies {
+            let trace = strategy.run_search(&evaluator, 7);
+            let metrics = TraceMetrics::new(&trace, homogeneous.hourly_cost);
+            match (&metrics.best_config, metrics.best_cost, metrics.saving_percent) {
+                (Some(cfg), Some(cost), Some(saving)) => println!(
+                    "{:<11} {:>2} evals, {:>2} violations -> best {:?} ${:.2}/hr ({:+.1}% vs homogeneous)",
+                    strategy.name(),
+                    metrics.num_evaluations,
+                    metrics.num_violations,
+                    cfg,
+                    cost,
+                    saving
+                ),
+                _ => println!(
+                    "{:<11} {:>2} evals, {:>2} violations -> no QoS-satisfying pool found",
+                    strategy.name(),
+                    metrics.num_evaluations,
+                    metrics.num_violations
+                ),
+            }
+        }
+    }
+}

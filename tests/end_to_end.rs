@@ -1,0 +1,93 @@
+//! Cross-crate integration tests: the full pipeline from workload definition through
+//! simulation, objective, and Ribbon's BO search, on reduced-size workloads.
+
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::prelude::*;
+use ribbon::search::RibbonSettings;
+use ribbon::strategies::ExhaustiveSearch;
+
+fn small_workload(model: ModelKind, num_queries: usize) -> Workload {
+    let mut w = Workload::standard(model);
+    w.num_queries = num_queries;
+    w
+}
+
+fn evaluator(model: ModelKind, bounds: Vec<u32>, num_queries: usize) -> ConfigEvaluator {
+    ConfigEvaluator::new(
+        &small_workload(model, num_queries),
+        EvaluatorSettings { explicit_bounds: Some(bounds), ..Default::default() },
+    )
+}
+
+#[test]
+fn ribbon_beats_or_matches_the_homogeneous_baseline_on_mt_wnd() {
+    let ev = evaluator(ModelKind::MtWnd, vec![6, 5, 8], 1500);
+    let homogeneous = homogeneous_optimum(&ev, 8).expect("homogeneous optimum exists");
+    // As in the paper, the search starts from the currently deployed (homogeneous) pool, so
+    // the result can only match or improve on it.
+    let settings = RibbonSettings {
+        max_evaluations: 30,
+        start_config: Some(ev.homogeneous_config(homogeneous.count)),
+        ..RibbonSettings::fast()
+    };
+    let trace = RibbonSearch::new(settings).run(&ev, 5);
+    let best = trace.best_satisfying().expect("ribbon finds a satisfying pool");
+    assert!(best.hourly_cost <= homogeneous.hourly_cost + 1e-9);
+    assert!(best.meets_qos);
+}
+
+#[test]
+fn ribbon_reaches_the_exhaustive_optimum_with_far_fewer_evaluations() {
+    let ev = evaluator(ModelKind::MtWnd, vec![5, 0, 8], 1200);
+    let exhaustive = ExhaustiveSearch::full().run_search(&ev, 0);
+    let optimum = exhaustive.best_satisfying().expect("optimum exists").clone();
+    let trace = RibbonSearch::new(RibbonSettings { max_evaluations: 30, ..RibbonSettings::fast() })
+        .run(&ev, 9);
+    let best = trace.best_satisfying().expect("ribbon converges");
+    // Ribbon's best is within 15% of the true optimum cost while evaluating a fraction of
+    // the lattice.
+    assert!(best.hourly_cost <= optimum.hourly_cost * 1.15 + 1e-9,
+        "ribbon ${:.3} vs optimum ${:.3}", best.hourly_cost, optimum.hourly_cost);
+    assert!(trace.len() < exhaustive.len() / 2);
+}
+
+#[test]
+fn evaluations_are_reproducible_across_evaluator_instances() {
+    let a = evaluator(ModelKind::Dien, vec![5, 4, 6], 1000).evaluate(&[3, 1, 2]);
+    let b = evaluator(ModelKind::Dien, vec![5, 4, 6], 1000).evaluate(&[3, 1, 2]);
+    assert_eq!(a.satisfaction_rate, b.satisfaction_rate);
+    assert_eq!(a.objective, b.objective);
+    assert_eq!(a.hourly_cost, b.hourly_cost);
+}
+
+#[test]
+fn objective_ranks_satisfying_configs_above_violating_ones_end_to_end() {
+    let ev = evaluator(ModelKind::MtWnd, vec![6, 4, 6], 1200);
+    let violating = ev.evaluate(&[1, 0, 0]);
+    let satisfying = ev.evaluate(&[6, 2, 2]);
+    assert!(!violating.meets_qos);
+    assert!(satisfying.meets_qos);
+    assert!(satisfying.objective > violating.objective);
+}
+
+#[test]
+fn candle_workload_pipeline_produces_a_cost_saving_diverse_pool() {
+    let mut w = small_workload(ModelKind::Candle, 1500);
+    w.num_queries = 1500;
+    let ev = ConfigEvaluator::new(
+        &w,
+        EvaluatorSettings { max_per_type: 10, ..Default::default() },
+    );
+    let homogeneous = homogeneous_optimum(&ev, 12).expect("candle homogeneous baseline");
+    let settings = RibbonSettings {
+        max_evaluations: 30,
+        start_config: Some(ev.homogeneous_config(homogeneous.count)),
+        ..RibbonSettings::fast()
+    };
+    let trace = RibbonSearch::new(settings).run(&ev, 3);
+    let best = trace.best_satisfying().expect("candle diverse pool found");
+    assert!(best.hourly_cost <= homogeneous.hourly_cost + 1e-9);
+    // The diverse optimum mixes instance types (it is not just the homogeneous pool) in the
+    // common case; at minimum it must never be more expensive.
+    assert!(best.meets_qos);
+}

@@ -1,0 +1,56 @@
+//! Integration test of the load-change adaptation pipeline (Fig. 16 scenario) across the two
+//! recommendation workloads.
+
+use ribbon::adapt::LoadAdapter;
+use ribbon::evaluator::EvaluatorSettings;
+use ribbon::search::RibbonSettings;
+use ribbon_models::{ModelKind, Workload};
+
+fn adapter() -> LoadAdapter {
+    LoadAdapter::new(
+        RibbonSettings { max_evaluations: 22, ..RibbonSettings::fast() },
+        EvaluatorSettings { max_per_type: 9, ..Default::default() },
+    )
+}
+
+#[test]
+fn mt_wnd_adapts_to_a_1_5x_load_increase() {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = 1500;
+    let outcome = adapter().run(&w, 1.5, 7).expect("initial search converges");
+    // The old optimum violates under the new load, warm-start estimates were injected, and a
+    // new, more expensive optimum is found.
+    assert!(outcome.adaptation_steps[0].violation_percent > 1.0);
+    assert!(outcome.estimates_injected > 0);
+    let best = outcome.new_best.expect("new optimum found");
+    assert!(best.meets_qos);
+    assert!(best.hourly_cost > outcome.initial_best.hourly_cost);
+}
+
+#[test]
+fn dien_adaptation_converges_faster_than_the_initial_search() {
+    let mut w = Workload::standard(ModelKind::Dien);
+    w.num_queries = 1500;
+    let outcome = adapter().run(&w, 1.5, 19).expect("initial search converges");
+    let steps_to_recover = outcome
+        .steps_to_first_satisfying()
+        .expect("a satisfying configuration is found for the new load");
+    // The warm start points the search at the satisfying region quickly: the first
+    // satisfying configuration appears within half of the adaptation budget.
+    assert!(
+        steps_to_recover <= 12,
+        "took {steps_to_recover} adaptation steps to reach a satisfying configuration"
+    );
+}
+
+#[test]
+fn a_load_decrease_keeps_the_old_optimum_satisfying_without_estimates() {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = 1200;
+    let outcome = adapter().run(&w, 0.8, 3).expect("initial search converges");
+    // With less load the old optimum still meets QoS, so no warm-start estimates are needed
+    // and the new optimum is no more expensive than the old one.
+    assert_eq!(outcome.estimates_injected, 0);
+    assert!(outcome.adaptation_steps[0].meets_qos);
+    assert!(outcome.new_cost_ratio.unwrap() <= 1.0 + 1e-9);
+}

@@ -1,0 +1,107 @@
+//! Reproduction anchors taken directly from the paper's figures, evaluated on the full-size
+//! workloads (4000-query streams). These are the claims EXPERIMENTS.md reports against.
+
+use ribbon_cloudsim::{simulate, InstanceType, PoolSpec};
+use ribbon_models::{ModelKind, ModelProfile, Workload, ALL_MODELS};
+
+/// Fig. 4: the MT-WND (g4dn + t3) anatomy — which configurations meet the 20 ms p99 target.
+#[test]
+fn fig4_mt_wnd_pool_anatomy_matches_the_paper() {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let profile = workload.profile();
+    let queries = workload.stream_config().generate();
+    let anchors: [(u32, u32, bool); 6] = [
+        (4, 0, false),
+        (5, 0, true),
+        (0, 12, false),
+        (3, 4, true),
+        (2, 4, false),
+        (4, 4, true),
+    ];
+    for (g, t, expect_meets) in anchors {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t]);
+        let rate = simulate(&pool, &queries, &profile).satisfaction_rate(workload.qos.latency_target_s);
+        assert_eq!(
+            workload.qos.is_met_by_rate(rate),
+            expect_meets,
+            "({g} + {t}) has satisfaction rate {rate:.4}, expected meets={expect_meets}"
+        );
+    }
+    // And the cost ordering of Fig. 4: (3+4) is cheaper than (5+0), (4+4) is more expensive.
+    let cost = |g: u32, t: u32| {
+        PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t]).hourly_cost()
+    };
+    assert!(cost(3, 4) < cost(5, 0));
+    assert!(cost(4, 4) > cost(5, 0));
+    assert!(cost(0, 12) < cost(5, 0));
+}
+
+/// Fig. 3: the GPU leads performance at batch 128 but is the least cost-effective at batch 32,
+/// and the memory-optimized instances top the cost-effectiveness ranking.
+#[test]
+fn fig3_performance_and_cost_effectiveness_shape() {
+    let p = ModelProfile::new(ModelKind::MtWnd);
+    let others = [
+        InstanceType::C5,
+        InstanceType::M5n,
+        InstanceType::T3,
+        InstanceType::R5,
+        InstanceType::R5n,
+    ];
+    for t in others {
+        assert!(
+            p.throughput_qps(InstanceType::G4dn, 128) > p.throughput_qps(t, 128),
+            "g4dn must lead performance at batch 128 (vs {t})"
+        );
+        assert!(
+            p.cost_effectiveness(t, 32) > p.cost_effectiveness(InstanceType::G4dn, 32),
+            "g4dn must be least cost-effective at batch 32 (vs {t})"
+        );
+    }
+    for t in [InstanceType::G4dn, InstanceType::C5, InstanceType::M5n] {
+        assert!(p.cost_effectiveness(InstanceType::R5, 32) > p.cost_effectiveness(t, 32));
+        assert!(p.cost_effectiveness(InstanceType::R5, 128) > p.cost_effectiveness(t, 128));
+    }
+}
+
+/// Sec. 5.1: the QoS targets are reachable on the base type — the largest possible batch is
+/// served within the latency target on an idle base instance.
+#[test]
+fn qos_targets_are_feasible_for_every_model() {
+    for m in ALL_MODELS {
+        let w = Workload::standard(m);
+        let p = ModelProfile::new(m);
+        let worst = p.latency_ms(w.base_type, w.max_batch) / 1000.0;
+        assert!(
+            worst < w.qos.latency_target_s,
+            "{m}: worst-case service {worst:.3}s exceeds the target {:.3}s",
+            w.qos.latency_target_s
+        );
+    }
+}
+
+/// The core claim behind the whole paper: for every model there exists a heterogeneous
+/// configuration that meets QoS at a cost strictly below the optimal homogeneous pool.
+#[test]
+fn a_cheaper_qos_meeting_heterogeneous_configuration_exists_for_every_model() {
+    use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+    use ribbon::prelude::*;
+    use ribbon::strategies::ExhaustiveSearch;
+
+    for m in ALL_MODELS {
+        let mut w = Workload::standard(m);
+        w.num_queries = 2000; // full shape, reduced stream length to keep the test quick
+        let ev = ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings { max_per_type: 10, ..Default::default() },
+        );
+        let homo = homogeneous_optimum(&ev, 14).unwrap_or_else(|| panic!("{m}: no homogeneous optimum"));
+        let hetero = ExhaustiveSearch::optimum(&ev).unwrap_or_else(|| panic!("{m}: no hetero optimum"));
+        assert!(
+            hetero.hourly_cost < homo.hourly_cost + 1e-9,
+            "{m}: heterogeneous optimum ${:.3} should not exceed homogeneous ${:.3}",
+            hetero.hourly_cost,
+            homo.hourly_cost
+        );
+    }
+}

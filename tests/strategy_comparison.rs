@@ -1,0 +1,94 @@
+//! Integration tests comparing Ribbon against the competing strategies of Sec. 5.3 on a
+//! shared, reduced MT-WND workload.
+
+use ribbon::accounting::{samples_to_reach_optimum, TraceMetrics};
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::prelude::*;
+use ribbon::search::RibbonSettings;
+use ribbon::strategies::ExhaustiveSearch;
+use ribbon_models::{ModelKind, Workload};
+
+fn shared_evaluator() -> ConfigEvaluator {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = 1500;
+    ConfigEvaluator::new(
+        &w,
+        EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 8]), ..Default::default() },
+    )
+}
+
+#[test]
+fn every_strategy_eventually_finds_a_qos_satisfying_configuration() {
+    let ev = shared_evaluator();
+    let budget = 60;
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(RibbonSearch::new(RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() })),
+        Box::new(HillClimbSearch::new(budget)),
+        Box::new(RandomSearch::new(budget)),
+        Box::new(ResponseSurfaceSearch::new(budget)),
+    ];
+    for s in strategies {
+        let trace = s.run_search(&ev, 21);
+        assert!(
+            trace.best_satisfying().is_some(),
+            "{} found no satisfying configuration in {budget} evaluations",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn ribbon_reaches_a_meaningful_cost_saving_within_a_small_budget() {
+    // The Fig. 10 claim, phrased robustly for a single-seed test: within a modest evaluation
+    // budget Ribbon finds a QoS-satisfying configuration that saves a meaningful fraction
+    // over the homogeneous optimum, and it does reach the ground-truth optimum eventually.
+    let ev = shared_evaluator();
+    let homogeneous = homogeneous_optimum(&ev, 8).expect("homogeneous optimum exists");
+    let optimum_cost = ExhaustiveSearch::optimum(&ev).expect("optimum exists").hourly_cost;
+    let budget = 120;
+    let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() })
+        .run_search(&ev, 42);
+    let to_five_percent =
+        ribbon::accounting::samples_to_reach_saving(&ribbon, homogeneous.hourly_cost, 5.0)
+            .expect("ribbon reaches a 5% saving");
+    assert!(
+        to_five_percent <= 40,
+        "ribbon needed {to_five_percent} samples to reach a 5% saving"
+    );
+    assert!(
+        samples_to_reach_optimum(&ribbon, optimum_cost).is_some(),
+        "ribbon should reach the ground-truth optimum within {budget} evaluations"
+    );
+}
+
+#[test]
+fn ribbon_exploration_cost_is_a_small_fraction_of_exhaustive() {
+    let ev = shared_evaluator();
+    let exhaustive = ExhaustiveSearch::full().run_search(&ev, 0);
+    let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: 30, ..RibbonSettings::fast() })
+        .run_search(&ev, 13);
+    let metrics = TraceMetrics::new(&ribbon, 5.0 * 0.526);
+    let pct = metrics.exploration_cost_percent(exhaustive.exploration_cost());
+    assert!(pct < 30.0, "ribbon exploration cost {pct:.1}% of exhaustive is too high");
+}
+
+#[test]
+fn all_strategies_respect_their_evaluation_budget_and_never_duplicate() {
+    let ev = shared_evaluator();
+    let budget = 25;
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(RibbonSearch::new(RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() })),
+        Box::new(HillClimbSearch::new(budget)),
+        Box::new(RandomSearch::new(budget)),
+        Box::new(ResponseSurfaceSearch::new(budget)),
+        Box::new(ExhaustiveSearch::capped(budget)),
+    ];
+    for s in strategies {
+        let trace = s.run_search(&ev, 4);
+        assert!(trace.len() <= budget, "{} exceeded its budget", s.name());
+        let mut seen = std::collections::HashSet::new();
+        for e in trace.evaluations() {
+            assert!(seen.insert(e.config.clone()), "{} evaluated {:?} twice", s.name(), e.config);
+        }
+    }
+}
