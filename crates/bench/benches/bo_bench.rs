@@ -11,7 +11,11 @@ fn seeded_optimizer(observations: usize) -> BoOptimizer {
     let lattice = ConfigLattice::new(vec![6, 8, 12]);
     let mut bo = BoOptimizer::new(
         lattice,
-        BoSettings { initial_samples: 3, fit: FitConfig::coarse(), ..Default::default() },
+        BoSettings {
+            initial_samples: 3,
+            fit: FitConfig::coarse(),
+            ..Default::default()
+        },
     );
     // Deterministic synthetic history.
     for i in 0..observations {
@@ -48,7 +52,12 @@ fn bench_prune_set(c: &mut Criterion) {
     prune.prune_above(vec![5, 6, 9]);
     let configs = lattice.enumerate();
     c.bench_function("prune_set_scan_full_lattice", |bencher| {
-        bencher.iter(|| configs.iter().filter(|cfg| prune.is_pruned(black_box(cfg))).count())
+        bencher.iter(|| {
+            configs
+                .iter()
+                .filter(|cfg| prune.is_pruned(black_box(cfg)))
+                .count()
+        })
     });
     c.bench_function("lattice_enumerate_6x8x12", |bencher| {
         bencher.iter(|| ConfigLattice::new(vec![6, 8, 12]).enumerate().len())

@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the batch-evaluation engine: `evaluate_many` serial vs.
+//! parallel on a 16-configuration batch (the acceptance workload for the parallel engine),
+//! plus the parallel bound probe.
+//!
+//! Each iteration constructs a fresh evaluator so the cache starts cold; construction cost
+//! (query-stream generation, no bound probe thanks to explicit bounds) is identical in both
+//! arms and small against the 16 pool simulations being measured. The stream is longer than
+//! the experiments' default (20k queries) so per-simulation work dominates thread-pool
+//! overhead and the measured ratio reflects the engine, not spawn costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon_models::{ModelKind, Workload};
+
+fn workload() -> Workload {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = 20_000;
+    w
+}
+
+fn evaluator(threads: usize) -> ConfigEvaluator {
+    ConfigEvaluator::new(
+        &workload(),
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![8, 6, 8]),
+            threads: Some(threads),
+            ..Default::default()
+        },
+    )
+}
+
+fn batch16() -> Vec<Vec<u32>> {
+    vec![
+        vec![1, 0, 0],
+        vec![2, 0, 0],
+        vec![3, 0, 0],
+        vec![4, 0, 0],
+        vec![5, 0, 0],
+        vec![6, 0, 0],
+        vec![3, 1, 0],
+        vec![3, 2, 0],
+        vec![3, 0, 2],
+        vec![3, 0, 4],
+        vec![2, 2, 2],
+        vec![4, 2, 2],
+        vec![4, 4, 4],
+        vec![6, 4, 6],
+        vec![1, 1, 1],
+        vec![2, 1, 3],
+    ]
+}
+
+fn bench_evaluate_many(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let configs = batch16();
+    let mut group = c.benchmark_group("evaluate_many_16_configs");
+    group.sample_size(10);
+    group.bench_function("serial_1_thread", |b| {
+        b.iter(|| evaluator(1).evaluate_many(black_box(&configs)).len())
+    });
+    group.bench_function(format!("parallel_{}_threads", cores.max(4)), |b| {
+        b.iter(|| {
+            evaluator(cores.max(4))
+                .evaluate_many(black_box(&configs))
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_bound_probe(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("bound_probe_3_types");
+    group.sample_size(10);
+    for threads in [1usize, 3] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                ConfigEvaluator::new(
+                    &w,
+                    EvaluatorSettings {
+                        max_per_type: 6,
+                        threads: Some(threads),
+                        ..Default::default()
+                    },
+                )
+                .bounds()
+                .to_vec()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_evaluate_many, bench_bound_probe
+}
+criterion_main!(benches);

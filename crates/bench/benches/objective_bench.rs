@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ribbon::objective::RibbonObjective;
-use ribbon_bo::acquisition::{expected_improvement, probability_of_improvement, upper_confidence_bound};
+use ribbon_bo::acquisition::{
+    expected_improvement, probability_of_improvement, upper_confidence_bound,
+};
 use ribbon_cloudsim::InstanceType;
 use ribbon_gp::Posterior;
 use ribbon_linalg::{Cholesky, Matrix};
@@ -31,7 +33,10 @@ fn bench_objective(c: &mut Criterion) {
 }
 
 fn bench_acquisition(c: &mut Criterion) {
-    let posterior = Posterior { mean: 0.62, variance: 0.015 };
+    let posterior = Posterior {
+        mean: 0.62,
+        variance: 0.015,
+    };
     c.bench_function("expected_improvement", |b| {
         b.iter(|| expected_improvement(black_box(&posterior), black_box(0.58), 0.01))
     });
@@ -56,7 +61,9 @@ fn bench_cholesky(c: &mut Criterion) {
     });
     let chol = Cholesky::new(&spd).unwrap();
     let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
-    c.bench_function("cholesky_solve_40x40", |b| b.iter(|| chol.solve(black_box(&rhs)).unwrap()));
+    c.bench_function("cholesky_solve_40x40", |b| {
+        b.iter(|| chol.solve(black_box(&rhs)).unwrap())
+    });
 }
 
 criterion_group! {

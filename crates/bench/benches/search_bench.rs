@@ -13,7 +13,10 @@ fn small_evaluator() -> ConfigEvaluator {
     workload.num_queries = 800;
     ConfigEvaluator::new(
         &workload,
-        EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 4, 6]),
+            ..Default::default()
+        },
     )
 }
 
@@ -49,7 +52,11 @@ fn bench_baseline_searches(c: &mut Criterion) {
     group.bench_function("rsm", |b| {
         b.iter(|| {
             let evaluator = small_evaluator();
-            black_box(ResponseSurfaceSearch::new(15).run_search(&evaluator, 3).len())
+            black_box(
+                ResponseSurfaceSearch::new(15)
+                    .run_search(&evaluator, 3)
+                    .len(),
+            )
         })
     });
     group.finish();
@@ -62,7 +69,10 @@ fn bench_evaluator_construction(c: &mut Criterion) {
             workload.num_queries = 800;
             let evaluator = ConfigEvaluator::new(
                 &workload,
-                EvaluatorSettings { max_per_type: 8, ..Default::default() },
+                EvaluatorSettings {
+                    max_per_type: 8,
+                    ..Default::default()
+                },
             );
             black_box(evaluator.bounds().to_vec())
         })

@@ -12,15 +12,23 @@
 //!
 //! Run with `cargo run --release -p ribbon-bench --bin calibrate`.
 
-use ribbon::prelude::*;
 use ribbon::evaluator::EvaluatorSettings;
+use ribbon::prelude::*;
 use ribbon_bench::{default_evaluator_settings, par_map, standard_workloads, TextTable};
 use ribbon_cloudsim::{simulate, PoolSpec};
 
 fn check(label: &str, rate: f64, expect_meets: bool, target: f64) -> String {
     let meets = rate >= target;
-    let verdict = if meets == expect_meets { "OK" } else { "MISMATCH" };
-    format!("{label}: rate {:.4} (expect {}) -> {verdict}", rate, if expect_meets { "meet" } else { "violate" })
+    let verdict = if meets == expect_meets {
+        "OK"
+    } else {
+        "MISMATCH"
+    };
+    format!(
+        "{label}: rate {:.4} (expect {}) -> {verdict}",
+        rate,
+        if expect_meets { "meet" } else { "violate" }
+    )
 }
 
 fn main() {
@@ -59,7 +67,13 @@ fn main() {
     });
 
     let mut table = TextTable::new(vec![
-        "model", "bounds m_i", "homo optimum", "homo $/hr", "hetero optimum", "hetero $/hr", "saving %",
+        "model",
+        "bounds m_i",
+        "homo optimum",
+        "homo $/hr",
+        "hetero optimum",
+        "hetero $/hr",
+        "saving %",
     ]);
     for (w, bounds, homo, hetero) in rows {
         match (homo, hetero) {
@@ -79,9 +93,11 @@ fn main() {
                 table.add_row(vec![
                     w.model.name().to_string(),
                     format!("{bounds:?}"),
-                    h.map(|h| format!("{}x{}", h.count, w.base_type)).unwrap_or_else(|| "NONE".into()),
+                    h.map(|h| format!("{}x{}", h.count, w.base_type))
+                        .unwrap_or_else(|| "NONE".into()),
                     String::new(),
-                    x.map(|x| x.pool.describe()).unwrap_or_else(|| "NONE".into()),
+                    x.map(|x| x.pool.describe())
+                        .unwrap_or_else(|| "NONE".into()),
                     String::new(),
                     String::new(),
                 ]);

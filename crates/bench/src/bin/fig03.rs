@@ -21,8 +21,14 @@ fn main() {
     let profile = ModelProfile::new(ModelKind::MtWnd);
 
     for batch in [32u32, 128] {
-        let perf: Vec<f64> = types.iter().map(|&t| profile.throughput_qps(t, batch)).collect();
-        let cost_eff: Vec<f64> = types.iter().map(|&t| profile.cost_effectiveness(t, batch)).collect();
+        let perf: Vec<f64> = types
+            .iter()
+            .map(|&t| profile.throughput_qps(t, batch))
+            .collect();
+        let cost_eff: Vec<f64> = types
+            .iter()
+            .map(|&t| profile.cost_effectiveness(t, batch))
+            .collect();
         let perf_n = normalize_to_best(&perf);
         let ce_n = normalize_to_best(&cost_eff);
 

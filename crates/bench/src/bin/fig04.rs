@@ -32,7 +32,12 @@ fn main() {
             format!("{:.2}", pool.hourly_cost()),
             format!("{:.2}", rate * 100.0),
             format!("{:.1}", result.tail_latency(99.0) * 1000.0),
-            if workload.qos.is_met_by_rate(rate) { "yes" } else { "no" }.to_string(),
+            if workload.qos.is_met_by_rate(rate) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     t.print();

@@ -14,7 +14,10 @@ fn main() {
     workload.num_queries = 2500;
     let evaluator = ConfigEvaluator::new(
         &workload,
-        EvaluatorSettings { max_per_type: 8, ..Default::default() },
+        EvaluatorSettings {
+            max_per_type: 8,
+            ..Default::default()
+        },
     );
     let trace = ExhaustiveSearch::full().run_search(&evaluator, 0);
     let evals = trace.evaluations();
@@ -28,12 +31,20 @@ fn main() {
             let (a, b) = (&evals[i], &evals[j]);
             let cost_gap = (a.hourly_cost - b.hourly_cost).abs() / a.hourly_cost.max(b.hourly_cost);
             let rate_gap = (a.satisfaction_rate - b.satisfaction_rate).abs();
-            if cost_gap < 0.03 && best_a.as_ref().map(|(_, _, g)| rate_gap > *g).unwrap_or(true) {
+            if cost_gap < 0.03
+                && best_a
+                    .as_ref()
+                    .map(|(_, _, g)| rate_gap > *g)
+                    .unwrap_or(true)
+            {
                 best_a = Some((i, j, rate_gap));
             }
             if rate_gap < 0.005
                 && a.satisfaction_rate > 0.9
-                && best_b.as_ref().map(|(_, _, g)| cost_gap > *g).unwrap_or(true)
+                && best_b
+                    .as_ref()
+                    .map(|(_, _, g)| cost_gap > *g)
+                    .unwrap_or(true)
             {
                 best_b = Some((i, j, cost_gap));
             }

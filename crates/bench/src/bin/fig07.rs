@@ -14,16 +14,29 @@ use ribbon_gp::{GaussianProcess, GpConfig, Kernel, Matern52, Rounded};
 use ribbon_models::{ModelKind, Workload};
 
 fn fit_and_tabulate<K: Kernel>(kernel: K, x: &[Vec<f64>], y: &[f64], label: &str) -> TextTable {
-    let gp = GaussianProcess::fit(kernel, x.to_vec(), y.to_vec(), GpConfig {
-        noise_variance: 1e-5,
-        ..GpConfig::default()
-    })
+    let gp = GaussianProcess::fit(
+        kernel,
+        x.to_vec(),
+        y.to_vec(),
+        GpConfig {
+            noise_variance: 1e-5,
+            ..GpConfig::default()
+        },
+    )
     .expect("GP fit");
-    let mut t = TextTable::new(vec!["num g4dn", &format!("{label} mean"), &format!("{label} std")]);
+    let mut t = TextTable::new(vec![
+        "num g4dn",
+        &format!("{label} mean"),
+        &format!("{label} std"),
+    ]);
     let mut q = 1.0;
     while q <= 8.01 {
         let p = gp.predict(&[q]).expect("predict");
-        t.add_row(vec![format!("{q:.2}"), format!("{:.3}", p.mean), format!("{:.3}", p.std_dev())]);
+        t.add_row(vec![
+            format!("{q:.2}"),
+            format!("{:.3}", p.mean),
+            format!("{:.3}", p.std_dev()),
+        ]);
         q += 0.5;
     }
     t
@@ -34,7 +47,10 @@ fn main() {
     workload.num_queries = 2500;
     let evaluator = ConfigEvaluator::new(
         &workload,
-        EvaluatorSettings { explicit_bounds: Some(vec![8, 0, 0]), ..Default::default() },
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![8, 0, 0]),
+            ..Default::default()
+        },
     );
 
     // Observations at a few integer configurations (homogeneous g4dn axis).
@@ -44,7 +60,10 @@ fn main() {
     println!("Observed configurations (true Eq. 2 objective):");
     for &n in &sampled {
         let e = evaluator.evaluate(&[n, 0, 0]);
-        println!("  {} g4dn -> objective {:.3} (QoS rate {:.3})", n, e.objective, e.satisfaction_rate);
+        println!(
+            "  {} g4dn -> objective {:.3} (QoS rate {:.3})",
+            n, e.objective, e.satisfaction_rate
+        );
         x.push(vec![n as f64]);
         y.push(e.objective);
     }

@@ -24,7 +24,10 @@ fn main() {
             let wk = w.with_pool(pool);
             let evaluator = ConfigEvaluator::new(
                 &wk,
-                EvaluatorSettings { max_per_type, ..Default::default() },
+                EvaluatorSettings {
+                    max_per_type,
+                    ..Default::default()
+                },
             );
             let homo = homogeneous_optimum(&evaluator, 14);
             let trace = ExhaustiveSearch::full().run_search(&evaluator, 0);
@@ -49,7 +52,9 @@ fn main() {
     });
 
     println!("Fig. 8 — heterogeneity benefit vs number of unique instance types in the pool\n");
-    let mut a = TextTable::new(vec!["model", "1 type", "2 types", "3 types", "4 types", "5 types"]);
+    let mut a = TextTable::new(vec![
+        "model", "1 type", "2 types", "3 types", "4 types", "5 types",
+    ]);
     let mut b = a.clone();
     for (model, series) in rows {
         a.add_row(

@@ -4,7 +4,9 @@
 //! Run: `cargo run --release -p ribbon-bench --bin fig09`
 
 use ribbon::strategies::{ExhaustiveSearch, SearchStrategy};
-use ribbon_bench::{default_evaluator_settings, par_map, standard_workloads, ExperimentContext, TextTable};
+use ribbon_bench::{
+    default_evaluator_settings, par_map, standard_workloads, ExperimentContext, TextTable,
+};
 use ribbon_cloudsim::CostModel;
 
 fn main() {
@@ -35,9 +37,15 @@ fn main() {
                 format!("{:.3}", h.hourly_cost),
                 x.pool.describe(),
                 format!("{:.3}", x.hourly_cost),
-                format!("{:.1}", CostModel::saving_percent(h.hourly_cost, x.hourly_cost)),
+                format!(
+                    "{:.1}",
+                    CostModel::saving_percent(h.hourly_cost, x.hourly_cost)
+                ),
             ]),
-            _ => t.add_row(vec![ctx.workload.model.name().to_string(), "unresolved".to_string()]),
+            _ => t.add_row(vec![
+                ctx.workload.model.name().to_string(),
+                "unresolved".to_string(),
+            ]),
         }
     }
     t.print();

@@ -31,7 +31,9 @@ fn main() {
             .map(|e| CostModel::saving_percent(homo_cost, e.hourly_cost))
             .fold(0.0_f64, f64::max);
         let steps = 5usize;
-        let targets: Vec<f64> = (1..=steps).map(|i| max_saving * i as f64 / steps as f64).collect();
+        let targets: Vec<f64> = (1..=steps)
+            .map(|i| max_saving * i as f64 / steps as f64)
+            .collect();
 
         println!(
             "{} (homogeneous optimum ${:.2}/hr, best observed saving {:.1}%)",

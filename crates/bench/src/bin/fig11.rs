@@ -20,7 +20,13 @@ fn main() {
     });
 
     println!("Fig. 11 — cost savings with a Gaussian batch-size distribution\n");
-    let mut t = TextTable::new(vec!["model", "homo $/hr", "hetero optimum", "hetero $/hr", "saving (%)"]);
+    let mut t = TextTable::new(vec![
+        "model",
+        "homo $/hr",
+        "hetero optimum",
+        "hetero $/hr",
+        "saving (%)",
+    ]);
     for (ctx, hetero) in rows {
         let name: &str = ModelKind::name(&ctx.workload.model);
         match (ctx.homogeneous.as_ref(), hetero) {
@@ -29,7 +35,10 @@ fn main() {
                 format!("{:.3}", h.hourly_cost),
                 x.pool.describe(),
                 format!("{:.3}", x.hourly_cost),
-                format!("{:.1}", CostModel::saving_percent(h.hourly_cost, x.hourly_cost)),
+                format!(
+                    "{:.1}",
+                    CostModel::saving_percent(h.hourly_cost, x.hourly_cost)
+                ),
             ]),
             _ => t.add_row(vec![name.to_string(), "unresolved".to_string()]),
         }

@@ -5,7 +5,9 @@
 
 use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
 use ribbon::search::{RibbonSearch, RibbonSettings};
-use ribbon::strategies::{ExhaustiveSearch, HillClimbSearch, ResponseSurfaceSearch, SearchStrategy};
+use ribbon::strategies::{
+    ExhaustiveSearch, HillClimbSearch, ResponseSurfaceSearch, SearchStrategy,
+};
 use ribbon_bench::TextTable;
 use ribbon_cloudsim::InstanceType;
 use ribbon_models::{ModelKind, Workload};
@@ -17,7 +19,10 @@ fn main() {
     workload.diverse_pool = vec![InstanceType::G4dn, InstanceType::T3];
     let evaluator = ConfigEvaluator::new(
         &workload,
-        EvaluatorSettings { explicit_bounds: Some(vec![5, 12]), ..Default::default() },
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![5, 12]),
+            ..Default::default()
+        },
     );
 
     let optimum = ExhaustiveSearch::optimum(&evaluator);
@@ -41,13 +46,22 @@ fn main() {
                 ..RibbonSettings::fast()
             })),
         ),
-        ("Hill-Climb", Box::new(HillClimbSearch::from_start(25, start.clone()))),
+        (
+            "Hill-Climb",
+            Box::new(HillClimbSearch::from_start(25, start.clone())),
+        ),
         ("RSM", Box::new(ResponseSurfaceSearch::new(25))),
     ];
 
     for (name, strategy) in strategies {
         let trace = strategy.run_search(&evaluator, 17);
-        let mut t = TextTable::new(vec!["step", "(g4dn, t3)", "cost ($/hr)", "QoS rate (%)", "meets"]);
+        let mut t = TextTable::new(vec![
+            "step",
+            "(g4dn, t3)",
+            "cost ($/hr)",
+            "QoS rate (%)",
+            "meets",
+        ]);
         let mut reached = None;
         for (i, e) in trace.evaluations().iter().enumerate() {
             if reached.is_none() {
@@ -68,7 +82,9 @@ fn main() {
         println!(
             "{name}: {} evaluations, optimum reached after {} samples",
             trace.len(),
-            reached.map(|n| n.to_string()).unwrap_or_else(|| "not reached".into())
+            reached
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "not reached".into())
         );
         t.print();
         println!();

@@ -15,7 +15,10 @@ fn main() {
     let rows = par_map(standard_workloads(), |w| {
         let ctx = ExperimentContext::build(w, default_evaluator_settings());
         let exhaustive = ExhaustiveSearch::full().run_search(&ctx.evaluator, 0);
-        let optimal_cost = exhaustive.best_satisfying().map(|e| e.hourly_cost).unwrap_or(f64::NAN);
+        let optimal_cost = exhaustive
+            .best_satisfying()
+            .map(|e| e.hourly_cost)
+            .unwrap_or(f64::NAN);
         let exhaustive_cost = exhaustive.exploration_cost();
         let per_strategy: Vec<_> = strategy_suite(budget)
             .iter()
@@ -24,9 +27,16 @@ fn main() {
                 // Exploration cost only counts what was spent up to (and including) the
                 // sample that first reached the optimal cost.
                 let cutoff = samples_to_reach_optimum(&trace, optimal_cost).unwrap_or(trace.len());
-                let spent: f64 = trace.evaluations()[..cutoff].iter().map(|e| e.hourly_cost).sum();
+                let spent: f64 = trace.evaluations()[..cutoff]
+                    .iter()
+                    .map(|e| e.hourly_cost)
+                    .sum();
                 let metrics = TraceMetrics::new(&trace, ctx.homogeneous_cost());
-                (s.name(), spent / exhaustive_cost * 100.0, metrics.num_evaluations)
+                (
+                    s.name(),
+                    spent / exhaustive_cost * 100.0,
+                    metrics.num_evaluations,
+                )
             })
             .collect();
         (ctx.workload.model, per_strategy)

@@ -46,5 +46,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nExpected shape: RIBBON samples the fewest QoS-violating configurations for most models.");
+    println!(
+        "\nExpected shape: RIBBON samples the fewest QoS-violating configurations for most models."
+    );
 }

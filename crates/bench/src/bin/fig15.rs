@@ -13,7 +13,10 @@ fn saving_at_rate(workload: &ribbon_models::Workload, rate: f64) -> Option<(Stri
     let w = workload.with_qos_rate(rate);
     let evaluator = ConfigEvaluator::new(&w, default_evaluator_settings());
     let homo = homogeneous_optimum(&evaluator, 14)?;
-    let hetero = ExhaustiveSearch::full().run_search(&evaluator, 0).best_satisfying().cloned()?;
+    let hetero = ExhaustiveSearch::full()
+        .run_search(&evaluator, 0)
+        .best_satisfying()
+        .cloned()?;
     Some((
         hetero.pool.describe(),
         CostModel::saving_percent(homo.hourly_cost, hetero.hourly_cost),
@@ -38,10 +41,18 @@ fn main() {
     for (w, p99, p98) in rows {
         t.add_row(vec![
             w.model.name().to_string(),
-            p99.as_ref().map(|(d, _)| d.clone()).unwrap_or_else(|| "-".into()),
-            p99.as_ref().map(|(_, s)| format!("{s:.1}")).unwrap_or_else(|| "-".into()),
-            p98.as_ref().map(|(d, _)| d.clone()).unwrap_or_else(|| "-".into()),
-            p98.as_ref().map(|(_, s)| format!("{s:.1}")).unwrap_or_else(|| "-".into()),
+            p99.as_ref()
+                .map(|(d, _)| d.clone())
+                .unwrap_or_else(|| "-".into()),
+            p99.as_ref()
+                .map(|(_, s)| format!("{s:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            p98.as_ref()
+                .map(|(d, _)| d.clone())
+                .unwrap_or_else(|| "-".into()),
+            p98.as_ref()
+                .map(|(_, s)| format!("{s:.1}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     t.print();

@@ -11,7 +11,10 @@ use ribbon_bench::{default_evaluator_settings, par_map, standard_workloads, Text
 fn main() {
     let rows = par_map(standard_workloads(), |w| {
         let adapter = LoadAdapter::new(
-            RibbonSettings { max_evaluations: 30, ..RibbonSettings::fast() },
+            RibbonSettings {
+                max_evaluations: 30,
+                ..RibbonSettings::fast()
+            },
             default_evaluator_settings(),
         );
         let outcome = adapter.run(&w, 1.5, 1234);
@@ -59,7 +62,9 @@ fn main() {
             _ => println!("no QoS-satisfying configuration found for the new load within the budget\n"),
         }
     }
-    println!("Expected shape: the old optimum violates heavily right after the load change; Ribbon");
+    println!(
+        "Expected shape: the old optimum violates heavily right after the load change; Ribbon"
+    );
     println!("moves to satisfying configurations within a few steps and settles on a new optimum");
     println!("roughly 1.5x as expensive as the old one.");
 }

@@ -7,7 +7,9 @@ use ribbon_cloudsim::ALL_INSTANCE_TYPES;
 
 fn main() {
     println!("Table 2: Studied AWS instances\n");
-    let mut t = TextTable::new(vec!["family", "size", "category", "vCPU", "mem GiB", "$/hr"]);
+    let mut t = TextTable::new(vec![
+        "family", "size", "category", "vCPU", "mem GiB", "$/hr",
+    ]);
     for ty in ALL_INSTANCE_TYPES {
         t.add_row(vec![
             ty.family().to_string(),

@@ -26,7 +26,11 @@ fn main() {
             w.model.name().to_string(),
             w.base_type.family().to_string(),
             pool,
-            format!("{:.0} ms p{:.0}", w.qos.latency_target_s * 1000.0, w.qos.target_rate * 100.0),
+            format!(
+                "{:.0} ms p{:.0}",
+                w.qos.latency_target_s * 1000.0,
+                w.qos.target_rate * 100.0
+            ),
             format!("{:.0}", w.qps),
             format!("{:.0}", w.median_batch),
         ]);

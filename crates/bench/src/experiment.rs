@@ -1,10 +1,9 @@
 //! Common experiment configuration: the full-size workloads, default evaluator and search
-//! settings used by every figure binary, the strategy suite of Sec. 5.3, and a small
-//! crossbeam-based parallel map for per-model sweeps.
+//! settings used by every figure binary, the strategy suite of Sec. 5.3, and a parallel map
+//! for per-model sweeps (delegating to the workspace's parallel engine).
 
-use parking_lot::Mutex;
-use ribbon::prelude::*;
 use ribbon::evaluator::EvaluatorSettings;
+use ribbon::prelude::*;
 use ribbon::search::RibbonSettings;
 use ribbon_models::ALL_MODELS;
 
@@ -15,12 +14,20 @@ pub fn standard_workloads() -> Vec<Workload> {
 
 /// Default evaluator settings for the experiment binaries.
 pub fn default_evaluator_settings() -> EvaluatorSettings {
-    EvaluatorSettings { max_per_type: 12, saturation_epsilon: 0.001, explicit_bounds: None }
+    EvaluatorSettings {
+        max_per_type: 12,
+        saturation_epsilon: 0.001,
+        explicit_bounds: None,
+        threads: None,
+    }
 }
 
 /// Default Ribbon search settings for the experiment binaries.
 pub fn default_ribbon_settings() -> RibbonSettings {
-    RibbonSettings { max_evaluations: 40, ..RibbonSettings::fast() }
+    RibbonSettings {
+        max_evaluations: 40,
+        ..RibbonSettings::fast()
+    }
 }
 
 /// The four online strategies compared throughout Sec. 5.3, with a common evaluation budget.
@@ -54,42 +61,34 @@ impl ExperimentContext {
         let max_probe = settings.max_per_type.max(12);
         let evaluator = ConfigEvaluator::new(&workload, settings);
         let homogeneous = homogeneous_optimum(&evaluator, max_probe);
-        ExperimentContext { workload, evaluator, homogeneous }
+        ExperimentContext {
+            workload,
+            evaluator,
+            homogeneous,
+        }
     }
 
     /// Hourly cost of the homogeneous baseline, or `f64::NAN` when none exists.
     pub fn homogeneous_cost(&self) -> f64 {
-        self.homogeneous.as_ref().map(|h| h.hourly_cost).unwrap_or(f64::NAN)
+        self.homogeneous
+            .as_ref()
+            .map(|h| h.hourly_cost)
+            .unwrap_or(f64::NAN)
     }
 }
 
 /// Applies `f` to every item of `items` with one thread per item (bounded by the item count;
 /// experiments fan out over the five models, so this is at most five threads) and returns the
-/// results in the original order.
+/// results in the original order. Thin wrapper over the workspace parallel engine
+/// ([`ribbon_cloudsim::parallel`]).
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for (i, item) in items.into_iter().enumerate() {
-            let results = &results;
-            let f = &f;
-            scope.spawn(move |_| {
-                let r = f(item);
-                results.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("experiment worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("worker finished without a result"))
-        .collect()
+    let threads = items.len();
+    ribbon_cloudsim::parallel::par_map_vec(items, threads, f)
 }
 
 #[cfg(test)]
@@ -130,7 +129,10 @@ mod tests {
         w.num_queries = 600;
         let ctx = ExperimentContext::build(
             w,
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 4, 6]),
+                ..Default::default()
+            },
         );
         assert!(ctx.homogeneous.is_some());
         assert!(ctx.homogeneous_cost() > 0.0);

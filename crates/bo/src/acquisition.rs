@@ -44,9 +44,7 @@ impl Acquisition {
             Acquisition::ProbabilityOfImprovement { xi } => {
                 probability_of_improvement(posterior, best, xi)
             }
-            Acquisition::UpperConfidenceBound { kappa } => {
-                upper_confidence_bound(posterior, kappa)
-            }
+            Acquisition::UpperConfidenceBound { kappa } => upper_confidence_bound(posterior, kappa),
         }
     }
 }
@@ -175,7 +173,10 @@ mod tests {
 
     #[test]
     fn default_acquisition_is_ei() {
-        assert!(matches!(Acquisition::default(), Acquisition::ExpectedImprovement { .. }));
+        assert!(matches!(
+            Acquisition::default(),
+            Acquisition::ExpectedImprovement { .. }
+        ));
     }
 
     proptest! {

@@ -14,9 +14,11 @@
 //! simulation — those live in the `ribbon` crate, which supplies the objective values.
 
 pub mod acquisition;
-pub mod space;
 pub mod optimizer;
+pub mod space;
 
-pub use acquisition::{expected_improvement, probability_of_improvement, upper_confidence_bound, Acquisition};
+pub use acquisition::{
+    expected_improvement, probability_of_improvement, upper_confidence_bound, Acquisition,
+};
 pub use optimizer::{BoError, BoOptimizer, BoSettings, Observation, Suggestion};
 pub use space::{ConfigLattice, PruneSet};

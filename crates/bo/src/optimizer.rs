@@ -150,14 +150,12 @@ impl BoOptimizer {
     /// The best (highest-value) observation so far, preferring real observations over
     /// injected estimates when values tie.
     pub fn best(&self) -> Option<&Observation> {
-        self.observations
-            .iter()
-            .max_by(|a, b| {
-                a.value
-                    .partial_cmp(&b.value)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| (!a.estimated).cmp(&(!b.estimated)))
-            })
+        self.observations.iter().max_by(|a, b| {
+            a.value
+                .partial_cmp(&b.value)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (!a.estimated).cmp(&(!b.estimated)))
+        })
     }
 
     /// Read access to the prune set.
@@ -201,7 +199,11 @@ impl BoOptimizer {
             return Err(BoError::NonFiniteObjective(value));
         }
         self.explored.insert(config.clone());
-        self.observations.push(Observation { config, value, estimated });
+        self.observations.push(Observation {
+            config,
+            value,
+            estimated,
+        });
         Ok(())
     }
 
@@ -227,7 +229,10 @@ impl BoOptimizer {
 
         if self.num_evaluations() < self.settings.initial_samples || self.observations.is_empty() {
             open.shuffle(rng);
-            return Ok(Suggestion { config: open[0].clone(), source: SuggestionSource::Initial });
+            return Ok(Suggestion {
+                config: open[0].clone(),
+                source: SuggestionSource::Initial,
+            });
         }
 
         let x: Vec<Vec<f64>> = self
@@ -254,7 +259,11 @@ impl BoOptimizer {
             .filter(|o| !o.estimated)
             .map(|o| o.value)
             .fold(f64::NEG_INFINITY, f64::max);
-        let best = if best.is_finite() { best } else { self.best().map(|o| o.value).unwrap_or(0.0) };
+        let best = if best.is_finite() {
+            best
+        } else {
+            self.best().map(|o| o.value).unwrap_or(0.0)
+        };
 
         let mut best_cfg: Option<(Config, f64)> = None;
         for cfg in open {
@@ -267,7 +276,10 @@ impl BoOptimizer {
             }
         }
         let (config, score) = best_cfg.ok_or(BoError::SpaceExhausted)?;
-        Ok(Suggestion { config, source: SuggestionSource::Acquisition { score } })
+        Ok(Suggestion {
+            config,
+            source: SuggestionSource::Acquisition { score },
+        })
     }
 
     /// Resets observations and pruning but keeps the lattice and settings
@@ -293,20 +305,33 @@ mod tests {
     }
 
     fn small_settings() -> BoSettings {
-        BoSettings { initial_samples: 3, fit: FitConfig::coarse(), ..BoSettings::default() }
+        BoSettings {
+            initial_samples: 3,
+            fit: FitConfig::coarse(),
+            ..BoSettings::default()
+        }
     }
 
     #[test]
     fn observe_rejects_out_of_lattice_configs() {
         let mut bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
-        assert!(matches!(bo.observe(vec![3, 0], 0.5), Err(BoError::InvalidConfig(_))));
-        assert!(matches!(bo.observe(vec![0, 0], 0.5), Err(BoError::InvalidConfig(_))));
+        assert!(matches!(
+            bo.observe(vec![3, 0], 0.5),
+            Err(BoError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            bo.observe(vec![0, 0], 0.5),
+            Err(BoError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn observe_rejects_non_finite_values() {
         let mut bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
-        assert!(matches!(bo.observe(vec![1, 1], f64::NAN), Err(BoError::NonFiniteObjective(_))));
+        assert!(matches!(
+            bo.observe(vec![1, 1], f64::NAN),
+            Err(BoError::NonFiniteObjective(_))
+        ));
     }
 
     #[test]
@@ -352,7 +377,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..3 {
             let s = bo.suggest(&mut rng).unwrap();
-            assert!(!bo.prune_set().is_pruned(&s.config), "suggested pruned {:?}", s.config);
+            assert!(
+                !bo.prune_set().is_pruned(&s.config),
+                "suggested pruned {:?}",
+                s.config
+            );
             bo.observe(s.config, 0.5).unwrap();
         }
         assert!(matches!(bo.suggest(&mut rng), Err(BoError::SpaceExhausted)));
@@ -382,7 +411,12 @@ mod tests {
         }
         let best = bo.best().unwrap();
         // The optimum value is 1.0 at (3,4); BO should get within one lattice step.
-        assert!(best.value > 0.9, "best value {} config {:?}", best.value, best.config);
+        assert!(
+            best.value > 0.9,
+            "best value {} config {:?}",
+            best.value,
+            best.config
+        );
         assert!(bo.num_evaluations() <= budget);
         // And it should have needed far fewer evaluations than the 48-point lattice.
         assert!(bo.num_evaluations() < lattice.len());
@@ -430,8 +464,12 @@ mod tests {
 
     #[test]
     fn error_display_strings() {
-        assert!(BoError::SpaceExhausted.to_string().contains("explored or pruned"));
+        assert!(BoError::SpaceExhausted
+            .to_string()
+            .contains("explored or pruned"));
         assert!(BoError::InvalidConfig(vec![9]).to_string().contains("[9]"));
-        assert!(BoError::NonFiniteObjective(f64::INFINITY).to_string().contains("inf"));
+        assert!(BoError::NonFiniteObjective(f64::INFINITY)
+            .to_string()
+            .contains("inf"));
     }
 }

@@ -164,7 +164,8 @@ impl PruneSet {
         {
             return;
         }
-        self.below_boxes.retain(|existing| !dominated_by(existing, &violator));
+        self.below_boxes
+            .retain(|existing| !dominated_by(existing, &violator));
         self.below_boxes.push(violator);
     }
 
@@ -178,7 +179,8 @@ impl PruneSet {
         {
             return;
         }
-        self.above_boxes.retain(|existing| !dominated_by(&satisfier, existing));
+        self.above_boxes
+            .retain(|existing| !dominated_by(&satisfier, existing));
         self.above_boxes.push(satisfier);
     }
 
@@ -199,7 +201,11 @@ impl PruneSet {
 
     /// Counts how many configurations of a lattice are currently pruned.
     pub fn count_pruned(&self, lattice: &ConfigLattice) -> usize {
-        lattice.enumerate().iter().filter(|c| self.is_pruned(c)).count()
+        lattice
+            .enumerate()
+            .iter()
+            .filter(|c| self.is_pruned(c))
+            .count()
     }
 
     /// Clears all pruning information (used when the load changes and history is rebuilt).
@@ -260,7 +266,10 @@ mod tests {
         let n = l.neighbors(&[0, 1]);
         assert!(n.contains(&vec![1, 1]));
         assert!(n.contains(&vec![0, 2]));
-        assert!(!n.contains(&vec![0, 0]), "all-zero neighbour must be excluded");
+        assert!(
+            !n.contains(&vec![0, 0]),
+            "all-zero neighbour must be excluded"
+        );
         for cfg in &n {
             assert!(l.contains(cfg));
         }
@@ -279,7 +288,11 @@ mod tests {
         let l = ConfigLattice::new(vec![3, 4]);
         assert_eq!(l.clamp_round(&[2.6, -1.0]), vec![3, 0]);
         assert_eq!(l.clamp_round(&[9.0, 9.0]), vec![3, 4]);
-        assert_eq!(l.clamp_round(&[0.2, 0.4]), vec![1, 0], "all-zero rounds to smallest pool");
+        assert_eq!(
+            l.clamp_round(&[0.2, 0.4]),
+            vec![1, 0],
+            "all-zero rounds to smallest pool"
+        );
     }
 
     #[test]
@@ -339,7 +352,10 @@ mod tests {
         p.prune_above(vec![2, 2]); // covers the previous box from below
         p.prune_above(vec![4, 4]); // already covered
         assert_eq!(p.num_boxes(), 1);
-        assert!(p.is_pruned(&[3, 3]), "now dominated by the tighter satisfier box");
+        assert!(
+            p.is_pruned(&[3, 3]),
+            "now dominated by the tighter satisfier box"
+        );
         assert!(!p.is_pruned(&[2, 2]));
     }
 

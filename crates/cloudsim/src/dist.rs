@@ -35,7 +35,10 @@ pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f6
 
 /// Samples a Pareto variate with scale `x_min` and shape `alpha`.
 pub fn sample_pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
-    assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+    assert!(
+        x_min > 0.0 && alpha > 0.0,
+        "pareto parameters must be positive"
+    );
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     x_min / u.powf(1.0 / alpha)
 }
@@ -131,12 +134,18 @@ impl BatchDistribution {
                 };
                 clamp_round(v, min, max)
             }
-            BatchDistribution::LogNormal { mu, sigma, min, max } => {
-                clamp_round(sample_lognormal(rng, mu, sigma), min, max)
-            }
-            BatchDistribution::Gaussian { mean, std_dev, min, max } => {
-                clamp_round(mean + std_dev * sample_standard_normal(rng), min, max)
-            }
+            BatchDistribution::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => clamp_round(sample_lognormal(rng, mu, sigma), min, max),
+            BatchDistribution::Gaussian {
+                mean,
+                std_dev,
+                min,
+                max,
+            } => clamp_round(mean + std_dev * sample_standard_normal(rng), min, max),
             BatchDistribution::Uniform { min, max } => rng.gen_range(min..=max),
             BatchDistribution::Fixed { batch } => batch,
         }
@@ -219,16 +228,24 @@ mod tests {
     #[test]
     fn standard_normal_moments_are_close() {
         let mut r = rng(1);
-        let xs: Vec<f64> = (0..20_000).map(|_| sample_standard_normal(&mut r)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_standard_normal(&mut r))
+            .collect();
         assert!(stats::mean(&xs).abs() < 0.03, "mean {}", stats::mean(&xs));
-        assert!((stats::variance(&xs) - 1.0).abs() < 0.05, "var {}", stats::variance(&xs));
+        assert!(
+            (stats::variance(&xs) - 1.0).abs() < 0.05,
+            "var {}",
+            stats::variance(&xs)
+        );
     }
 
     #[test]
     fn exponential_mean_matches_rate() {
         let mut r = rng(2);
         let rate = 4.0;
-        let xs: Vec<f64> = (0..20_000).map(|_| sample_exponential(&mut r, rate)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_exponential(&mut r, rate))
+            .collect();
         assert!((stats::mean(&xs) - 1.0 / rate).abs() < 0.01);
         assert!(xs.iter().all(|&x| x >= 0.0));
     }
@@ -243,16 +260,23 @@ mod tests {
     #[test]
     fn lognormal_median_is_exp_mu() {
         let mut r = rng(4);
-        let xs: Vec<f64> = (0..20_000).map(|_| sample_lognormal(&mut r, 3.0, 0.5)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_lognormal(&mut r, 3.0, 0.5))
+            .collect();
         let median = stats::percentile(&xs, 50.0).unwrap();
-        assert!((median - 3.0f64.exp()).abs() / 3.0f64.exp() < 0.05, "median {median}");
+        assert!(
+            (median - 3.0f64.exp()).abs() / 3.0f64.exp() < 0.05,
+            "median {median}"
+        );
         assert!(xs.iter().all(|&x| x > 0.0));
     }
 
     #[test]
     fn pareto_respects_scale_and_is_heavy_tailed() {
         let mut r = rng(5);
-        let xs: Vec<f64> = (0..20_000).map(|_| sample_pareto(&mut r, 10.0, 2.0)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_pareto(&mut r, 10.0, 2.0))
+            .collect();
         assert!(xs.iter().all(|&x| x >= 10.0));
         // Heavy tail: p99 well above the scale.
         assert!(stats::percentile(&xs, 99.0).unwrap() > 50.0);
@@ -263,12 +287,20 @@ mod tests {
         let mut r1 = rng(6);
         let mut r2 = rng(6);
         let heavy = BatchDistribution::default_heavy_tail(32.0, 4096);
-        let plain = BatchDistribution::LogNormal { mu: 32.0f64.ln(), sigma: 0.55, min: 1, max: 4096 };
+        let plain = BatchDistribution::LogNormal {
+            mu: 32.0f64.ln(),
+            sigma: 0.55,
+            min: 1,
+            max: 4096,
+        };
         let hs: Vec<f64> = (0..30_000).map(|_| heavy.sample(&mut r1) as f64).collect();
         let ps: Vec<f64> = (0..30_000).map(|_| plain.sample(&mut r2) as f64).collect();
         let h99 = stats::percentile(&hs, 99.9).unwrap();
         let p99 = stats::percentile(&ps, 99.9).unwrap();
-        assert!(h99 > p99, "heavy tail p99.9 {h99} should exceed plain {p99}");
+        assert!(
+            h99 > p99,
+            "heavy tail p99.9 {h99} should exceed plain {p99}"
+        );
         // Medians stay comparable.
         let hm = stats::percentile(&hs, 50.0).unwrap();
         assert!((hm - 32.0).abs() < 6.0, "median {hm}");
@@ -277,7 +309,12 @@ mod tests {
     #[test]
     fn gaussian_batches_center_on_mean() {
         let mut r = rng(7);
-        let d = BatchDistribution::Gaussian { mean: 64.0, std_dev: 16.0, min: 1, max: 256 };
+        let d = BatchDistribution::Gaussian {
+            mean: 64.0,
+            std_dev: 16.0,
+            min: 1,
+            max: 256,
+        };
         let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r) as f64).collect();
         assert!((stats::mean(&xs) - 64.0).abs() < 1.0);
     }
@@ -287,8 +324,18 @@ mod tests {
         let mut r = rng(8);
         for d in [
             BatchDistribution::default_heavy_tail(32.0, 128),
-            BatchDistribution::LogNormal { mu: 3.0, sigma: 1.5, min: 2, max: 100 },
-            BatchDistribution::Gaussian { mean: 50.0, std_dev: 80.0, min: 5, max: 90 },
+            BatchDistribution::LogNormal {
+                mu: 3.0,
+                sigma: 1.5,
+                min: 2,
+                max: 100,
+            },
+            BatchDistribution::Gaussian {
+                mean: 50.0,
+                std_dev: 80.0,
+                min: 5,
+                max: 90,
+            },
             BatchDistribution::Uniform { min: 3, max: 9 },
         ] {
             for _ in 0..2_000 {

@@ -146,7 +146,10 @@ impl InstanceType {
 
     /// Looks up a type by its family code name ("g4dn", "t3", ...).
     pub fn from_family(name: &str) -> Option<InstanceType> {
-        ALL_INSTANCE_TYPES.iter().copied().find(|t| t.family() == name)
+        ALL_INSTANCE_TYPES
+            .iter()
+            .copied()
+            .find(|t| t.family() == name)
     }
 }
 
@@ -257,10 +260,22 @@ mod tests {
 
     #[test]
     fn categories_match_table_2() {
-        assert_eq!(InstanceType::T3.category(), InstanceCategory::GeneralPurpose);
-        assert_eq!(InstanceType::M5n.category(), InstanceCategory::GeneralPurpose);
-        assert_eq!(InstanceType::C5a.category(), InstanceCategory::ComputeOptimized);
-        assert_eq!(InstanceType::R5n.category(), InstanceCategory::MemoryOptimized);
+        assert_eq!(
+            InstanceType::T3.category(),
+            InstanceCategory::GeneralPurpose
+        );
+        assert_eq!(
+            InstanceType::M5n.category(),
+            InstanceCategory::GeneralPurpose
+        );
+        assert_eq!(
+            InstanceType::C5a.category(),
+            InstanceCategory::ComputeOptimized
+        );
+        assert_eq!(
+            InstanceType::R5n.category(),
+            InstanceCategory::MemoryOptimized
+        );
         assert_eq!(InstanceType::G4dn.category(), InstanceCategory::Accelerator);
     }
 
@@ -296,7 +311,10 @@ mod tests {
     #[test]
     fn display_uses_family_name() {
         assert_eq!(InstanceType::G4dn.to_string(), "g4dn");
-        assert_eq!(InstanceCategory::Accelerator.to_string(), "accelerator (GPU)");
+        assert_eq!(
+            InstanceCategory::Accelerator.to_string(),
+            "accelerator (GPU)"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct FnLatencyModel<F: Fn(InstanceType, u32) -> f64 + Send + Sync> {
 impl<F: Fn(InstanceType, u32) -> f64 + Send + Sync> FnLatencyModel<F> {
     /// Wraps a closure as a latency model.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnLatencyModel { f, name: name.into() }
+        FnLatencyModel {
+            f,
+            name: name.into(),
+        }
     }
 }
 
@@ -68,7 +71,11 @@ mod tests {
     #[test]
     fn fn_latency_model_delegates_to_closure() {
         let m = FnLatencyModel::new("toy", |ty, b| {
-            if ty == InstanceType::G4dn { 0.001 } else { 0.0001 * b as f64 }
+            if ty == InstanceType::G4dn {
+                0.001
+            } else {
+                0.0001 * b as f64
+            }
         });
         assert_eq!(m.service_time(InstanceType::G4dn, 128), 0.001);
         assert_eq!(m.service_time(InstanceType::T3, 10), 0.001);

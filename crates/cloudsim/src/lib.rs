@@ -12,7 +12,10 @@
 //! * the **FCFS pool simulator** ([`sim`]) — queries are served first-come-first-serve by the
 //!   first available instance following the pool's type order, as described in Sec. 5.1;
 //! * **metrics** ([`metrics`]) — mean/percentile latency, QoS satisfaction rate, throughput,
-//!   and cost accounting.
+//!   and cost accounting;
+//! * the **parallel engine** ([`parallel`]) — an order-preserving, deterministic parallel map
+//!   over OS threads that every batch evaluation in the workspace funnels through
+//!   ([`simulate_many`] is the simulator-level entry point).
 //!
 //! The mapping from `(instance type, model, batch size)` to a service time is *not* part of
 //! this crate: it is abstracted behind the [`latency::LatencyModel`] trait and implemented by
@@ -22,6 +25,7 @@ pub mod dist;
 pub mod instance;
 pub mod latency;
 pub mod metrics;
+pub mod parallel;
 pub mod query;
 pub mod sim;
 
@@ -29,4 +33,4 @@ pub use instance::{InstanceCategory, InstanceType, PoolSpec, ALL_INSTANCE_TYPES}
 pub use latency::LatencyModel;
 pub use metrics::{CostModel, QosTarget, SimSummary};
 pub use query::{Query, QueryStream, StreamConfig};
-pub use sim::{simulate, PoolSimulator, SimResult};
+pub use sim::{simulate, simulate_many, PoolSimulator, SimResult};

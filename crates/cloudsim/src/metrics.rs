@@ -31,7 +31,10 @@ impl QosTarget {
             target_rate > 0.0 && target_rate <= 1.0,
             "target rate must be in (0, 1], got {target_rate}"
         );
-        QosTarget { latency_target_s, target_rate }
+        QosTarget {
+            latency_target_s,
+            target_rate,
+        }
     }
 
     /// A p99 target at the given latency (the paper's default).
@@ -205,7 +208,11 @@ mod tests {
         let model = FnLatencyModel::new("const", |_, _| 0.010);
         let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
         let queries: Vec<Query> = (0..4)
-            .map(|i| Query { id: i, arrival: 0.0, batch_size: 8 })
+            .map(|i| Query {
+                id: i,
+                arrival: 0.0,
+                batch_size: 8,
+            })
             .collect();
         let result = simulate(&pool, &queries, &model);
         // Latencies 10..40 ms.

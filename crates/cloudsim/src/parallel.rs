@@ -1,0 +1,221 @@
+//! The workspace's parallel-evaluation engine: ordered, deterministic fan-out
+//! of independent work items over OS threads.
+//!
+//! Ribbon's search loop spends essentially all of its time in repeated pool
+//! simulations that are pure functions of their inputs, so they parallelize
+//! perfectly. This module provides the one primitive everything batches
+//! through — an *order-preserving* parallel map built on `std::thread::scope`
+//! with an atomic work-stealing index:
+//!
+//! * results come back in input order, so callers' traces are byte-identical
+//!   to a serial run regardless of thread count or scheduling;
+//! * items are pulled from a shared atomic counter, so uneven item costs
+//!   (large pools simulate slower than small ones) still balance;
+//! * `threads <= 1` (or a single item) short-circuits to a plain serial loop
+//!   with zero thread overhead.
+//!
+//! Consumers: `ConfigEvaluator::evaluate_many`, the per-type bound probe, the
+//! batch phases of every baseline search strategy, and the experiment
+//! binaries' per-model sweeps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` and returns the results **in input
+/// order**, fanning out over at most `threads` worker threads.
+///
+/// `f` must be a pure function of its input for the parallel run to be
+/// indistinguishable from a serial one; every caller in this workspace
+/// satisfies that by construction (simulations are deterministic given the
+/// pre-generated query stream).
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// By-value variant of [`par_map`]: consumes `items`, handing each one to `f`.
+///
+/// Used where the work items are not cheaply borrowable (e.g. whole workload
+/// values in the experiment sweeps).
+pub fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = inputs.get(i) else { break };
+                let item = slot
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("input slot taken twice");
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// Derives a per-work-item RNG seed from a base seed and the item's integer
+/// coordinates, via SplitMix64 finalization over an FNV-1a combine.
+///
+/// Any stochastic per-configuration component (measurement noise, per-config
+/// stream jitter, …) must draw from an RNG seeded with this — never from a
+/// shared mutable RNG — so that a batch evaluated in parallel produces
+/// bit-identical results to the same batch evaluated serially, in any order.
+/// The mapping is stable across platforms and releases.
+pub fn stable_seed(base: u64, coords: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+    for &c in coords {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finalizer: spreads low-entropy inputs over the full range.
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, 8, |&x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            assert_eq!(
+                par_map(&items, threads, |&x| x * x + 1),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[5u32], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_map_vec_consumes_items_in_order() {
+        let items: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
+        let expected: Vec<String> = items.iter().map(|s| s.to_uppercase()).collect();
+        let out = par_map_vec(items, 4, |s| s.to_uppercase());
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_balances_uneven_work() {
+        // Items with wildly different costs must still come back in order.
+        let items: Vec<u64> = vec![200_000, 1, 1, 100_000, 1, 50_000, 1, 1];
+        let slow_sum = |&n: &u64| (0..n).fold(0u64, |a, x| a.wrapping_add(x ^ a));
+        let serial: Vec<u64> = items.iter().map(slow_sum).collect();
+        assert_eq!(par_map(&items, 4, slow_sum), serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn par_map_propagates_worker_panics() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map(&items, 4, |&x| {
+            if x == 7 {
+                panic!("deliberate");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn stable_seed_is_deterministic_and_spreads() {
+        assert_eq!(stable_seed(1, &[3, 1, 2]), stable_seed(1, &[3, 1, 2]));
+        assert_ne!(stable_seed(1, &[3, 1, 2]), stable_seed(2, &[3, 1, 2]));
+        assert_ne!(stable_seed(1, &[3, 1, 2]), stable_seed(1, &[2, 1, 3]));
+        assert_ne!(stable_seed(1, &[1]), stable_seed(1, &[1, 0]));
+        // Low-entropy inputs must not collide in the low bits.
+        let seeds: Vec<u64> = (0..64u32).map(|i| stable_seed(0, &[i])).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

@@ -43,7 +43,10 @@ impl StreamConfig {
 
     /// Returns a copy with a different seed (for repeated evaluations of the same workload).
     pub fn with_seed(&self, seed: u64) -> StreamConfig {
-        StreamConfig { seed, ..self.clone() }
+        StreamConfig {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// Generates the full query stream.
@@ -64,7 +67,12 @@ impl QueryStream {
     /// Creates a stream from its configuration.
     pub fn new(config: StreamConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        QueryStream { config, rng, next_id: 0, clock: 0.0 }
+        QueryStream {
+            config,
+            rng,
+            next_id: 0,
+            clock: 0.0,
+        }
     }
 
     /// The stream's configuration.
@@ -147,7 +155,10 @@ mod tests {
         let qs = config(250.0, 20_000, 3).generate();
         let duration = qs.last().unwrap().arrival;
         let observed = qs.len() as f64 / duration;
-        assert!((observed - 250.0).abs() / 250.0 < 0.05, "observed {observed}");
+        assert!(
+            (observed - 250.0).abs() / 250.0 < 0.05,
+            "observed {observed}"
+        );
     }
 
     #[test]
@@ -158,7 +169,11 @@ mod tests {
         let d_base = base.generate().last().unwrap().arrival;
         let d_scaled = scaled.generate().last().unwrap().arrival;
         // Same number of queries at 1.5x the rate → ~2/3 of the duration.
-        assert!((d_scaled / d_base - 1.0 / 1.5).abs() < 0.1, "ratio {}", d_scaled / d_base);
+        assert!(
+            (d_scaled / d_base - 1.0 / 1.5).abs() < 0.1,
+            "ratio {}",
+            d_scaled / d_base
+        );
     }
 
     #[test]

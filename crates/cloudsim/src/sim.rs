@@ -41,7 +41,11 @@ impl SimResult {
         if self.latencies.is_empty() {
             return 1.0;
         }
-        let ok = self.latencies.iter().filter(|&&l| l <= target_latency).count();
+        let ok = self
+            .latencies
+            .iter()
+            .filter(|&&l| l <= target_latency)
+            .count();
         ok as f64 / self.latencies.len() as f64
     }
 
@@ -69,7 +73,11 @@ impl SimResult {
 ///
 /// # Panics
 /// Panics if the pool is empty (no instances) — an empty pool cannot serve queries.
-pub fn simulate<M: LatencyModel + ?Sized>(pool: &PoolSpec, queries: &[Query], model: &M) -> SimResult {
+pub fn simulate<M: LatencyModel + ?Sized>(
+    pool: &PoolSpec,
+    queries: &[Query],
+    model: &M,
+) -> SimResult {
     let instances: Vec<InstanceType> = pool.expand();
     assert!(
         !instances.is_empty(),
@@ -96,7 +104,9 @@ pub fn simulate<M: LatencyModel + ?Sized>(pool: &PoolSpec, queries: &[Query], mo
                 best_idx = idx;
             }
         }
-        let service = model.service_time(instances[best_idx], q.batch_size).max(0.0);
+        let service = model
+            .service_time(instances[best_idx], q.batch_size)
+            .max(0.0);
         let completion = best_start + service;
         free_at[best_idx] = completion;
         per_instance_load[best_idx] += 1;
@@ -116,6 +126,20 @@ pub fn simulate<M: LatencyModel + ?Sized>(pool: &PoolSpec, queries: &[Query], mo
         per_instance_load,
         makespan,
     }
+}
+
+/// Simulates serving the same query stream on several independent pools, fanning the pools
+/// out over at most `threads` worker threads (see [`crate::parallel`]).
+///
+/// Results come back in `pools` order and are bit-identical to calling [`simulate`] on each
+/// pool serially: the simulator is a pure function of `(pool, queries, model)`.
+pub fn simulate_many<M: LatencyModel + Sync + ?Sized>(
+    pools: &[PoolSpec],
+    queries: &[Query],
+    model: &M,
+    threads: usize,
+) -> Vec<SimResult> {
+    crate::parallel::par_map(pools, threads, |pool| simulate(pool, queries, model))
 }
 
 /// Convenience wrapper binding a latency model and a pool so repeated streams can be
@@ -169,7 +193,11 @@ mod tests {
         times
             .iter()
             .enumerate()
-            .map(|(i, &t)| Query { id: i as u64, arrival: t, batch_size: batch })
+            .map(|(i, &t)| Query {
+                id: i as u64,
+                arrival: t,
+                batch_size: batch,
+            })
             .collect()
     }
 
@@ -217,7 +245,11 @@ mod tests {
         // g4dn listed first must take the query when both instances are idle.
         let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]);
         let model = FnLatencyModel::new("mixed", |ty, _| {
-            if ty == InstanceType::G4dn { 0.001 } else { 0.100 }
+            if ty == InstanceType::G4dn {
+                0.001
+            } else {
+                0.100
+            }
         });
         let r = simulate(&pool, &queries_at(&[0.0], 8), &model);
         assert_eq!(r.assigned_instance, vec![0]);
@@ -228,7 +260,11 @@ mod tests {
     fn slow_instance_picks_up_overflow_work() {
         let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]);
         let model = FnLatencyModel::new("mixed", |ty, _| {
-            if ty == InstanceType::G4dn { 0.010 } else { 0.030 }
+            if ty == InstanceType::G4dn {
+                0.010
+            } else {
+                0.030
+            }
         });
         // Two simultaneous queries: the second goes to t3 because g4dn is busy.
         let r = simulate(&pool, &queries_at(&[0.0, 0.0], 8), &model);
@@ -306,7 +342,11 @@ mod tests {
             seed: 9,
         };
         let queries = cfg.generate();
-        let solo = simulate(&PoolSpec::homogeneous(InstanceType::G4dn, 1), &queries, &model);
+        let solo = simulate(
+            &PoolSpec::homogeneous(InstanceType::G4dn, 1),
+            &queries,
+            &model,
+        );
         let helped = simulate(
             &PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 2]),
             &queries,
@@ -327,7 +367,10 @@ mod tests {
             num_queries: 2000,
             seed: 11,
         };
-        let pool = PoolSpec::new(vec![InstanceType::C5a, InstanceType::M5, InstanceType::T3], vec![2, 1, 1]);
+        let pool = PoolSpec::new(
+            vec![InstanceType::C5a, InstanceType::M5, InstanceType::T3],
+            vec![2, 1, 1],
+        );
         let r = simulate(&pool, &cfg.generate(), &model);
         let total: u64 = r.per_instance_load.iter().sum();
         assert_eq!(total, 2000);
@@ -344,7 +387,11 @@ mod tests {
             num_queries: 500,
             seed: 21,
         };
-        let r = simulate(&PoolSpec::homogeneous(InstanceType::M5, 3), &cfg.generate(), &model);
+        let r = simulate(
+            &PoolSpec::homogeneous(InstanceType::M5, 3),
+            &cfg.generate(),
+            &model,
+        );
         assert!(r.latencies.iter().all(|&l| l >= 0.015 - 1e-12));
     }
 }

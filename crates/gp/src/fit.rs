@@ -81,7 +81,10 @@ pub fn fit_gp(x: &[Vec<f64>], y: &[f64], config: &FitConfig) -> Result<FittedGp,
         for &sv in &config.signal_variances {
             for &nv in &config.noise_variances {
                 let kernel = Rounded::new(Matern52::new(sv, ls));
-                let gp_cfg = GpConfig { noise_variance: nv, ..GpConfig::default() };
+                let gp_cfg = GpConfig {
+                    noise_variance: nv,
+                    ..GpConfig::default()
+                };
                 let gp = match GaussianProcess::fit(kernel, x_for_fit.clone(), y.to_vec(), gp_cfg) {
                     Ok(gp) => gp,
                     Err(GpError::Factorization(_)) => continue,
@@ -120,7 +123,10 @@ mod tests {
 
     #[test]
     fn fit_rejects_empty_data() {
-        assert!(matches!(fit_gp(&[], &[], &FitConfig::default()), Err(GpError::NoData)));
+        assert!(matches!(
+            fit_gp(&[], &[], &FitConfig::default()),
+            Err(GpError::NoData)
+        ));
     }
 
     #[test]
@@ -159,7 +165,10 @@ mod tests {
     fn fit_picks_best_lml_over_grid() {
         // Verify the winner's LML is at least as good as every other grid cell's.
         let x = grid_1d(7);
-        let y: Vec<f64> = x.iter().map(|v| if v[0] < 3.0 { 0.2 } else { 0.8 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] < 3.0 { 0.2 } else { 0.8 })
+            .collect();
         let cfg = FitConfig::default();
         let fitted = fit_gp(&x, &y, &cfg).unwrap();
         for &ls in &cfg.length_scales {
@@ -169,7 +178,10 @@ mod tests {
                         Rounded::new(Matern52::new(sv, ls)),
                         x.clone(),
                         y.clone(),
-                        GpConfig { noise_variance: nv, ..GpConfig::default() },
+                        GpConfig {
+                            noise_variance: nv,
+                            ..GpConfig::default()
+                        },
                     );
                     if let Ok(gp) = gp {
                         let lml = gp.log_marginal_likelihood();

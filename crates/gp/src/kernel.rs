@@ -43,8 +43,14 @@ impl Matern52 {
     /// Creates a Matérn 5/2 kernel; panics on non-positive hyperparameters.
     pub fn new(variance: f64, length_scale: f64) -> Self {
         assert!(variance > 0.0, "variance must be positive, got {variance}");
-        assert!(length_scale > 0.0, "length_scale must be positive, got {length_scale}");
-        Matern52 { variance, length_scale }
+        assert!(
+            length_scale > 0.0,
+            "length_scale must be positive, got {length_scale}"
+        );
+        Matern52 {
+            variance,
+            length_scale,
+        }
     }
 
     /// Unit-variance, unit-length-scale kernel.
@@ -83,7 +89,10 @@ impl SquaredExponential {
     pub fn new(variance: f64, length_scale: f64) -> Self {
         assert!(variance > 0.0, "variance must be positive");
         assert!(length_scale > 0.0, "length_scale must be positive");
-        SquaredExponential { variance, length_scale }
+        SquaredExponential {
+            variance,
+            length_scale,
+        }
     }
 }
 
@@ -119,7 +128,11 @@ impl RationalQuadratic {
     /// Creates a rational-quadratic kernel; panics on non-positive hyperparameters.
     pub fn new(variance: f64, length_scale: f64, alpha: f64) -> Self {
         assert!(variance > 0.0 && length_scale > 0.0 && alpha > 0.0);
-        RationalQuadratic { variance, length_scale, alpha }
+        RationalQuadratic {
+            variance,
+            length_scale,
+            alpha,
+        }
     }
 }
 
@@ -351,7 +364,9 @@ mod tests {
 
     #[test]
     fn gram_matrices_are_positive_semi_definite() {
-        let pts: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.7, (i as f64).sin()]).collect();
+        let pts: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![i as f64 * 0.7, (i as f64).sin()])
+            .collect();
         for k in kernels() {
             assert!(gram_is_psd(k.as_ref(), &pts), "kernel {}", k.name());
         }

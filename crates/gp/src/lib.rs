@@ -15,10 +15,10 @@
 //! * simple, dependency-free hyperparameter selection ([`fit`]) by grid search over the
 //!   log marginal likelihood — adequate for the tiny (≤ a few dozen points) datasets BO sees.
 
+pub mod fit;
 pub mod kernel;
 pub mod regression;
-pub mod fit;
 
+pub use fit::{fit_gp, FitConfig};
 pub use kernel::{DotProduct, Kernel, Matern52, RationalQuadratic, Rounded, SquaredExponential};
 pub use regression::{GaussianProcess, GpConfig, GpError, Posterior};
-pub use fit::{fit_gp, FitConfig};

@@ -52,7 +52,10 @@ impl fmt::Display for GpError {
         match self {
             GpError::NoData => write!(f, "gaussian process requires at least one observation"),
             GpError::LengthMismatch { inputs, targets } => {
-                write!(f, "inputs ({inputs}) and targets ({targets}) have different lengths")
+                write!(
+                    f,
+                    "inputs ({inputs}) and targets ({targets}) have different lengths"
+                )
             }
             GpError::DimensionMismatch { expected, got } => {
                 write!(f, "training row has dimension {got}, expected {expected}")
@@ -124,17 +127,28 @@ pub struct GaussianProcess<K: Kernel> {
 
 impl<K: Kernel> GaussianProcess<K> {
     /// Fits a GP to `(x, y)` with the given kernel and configuration.
-    pub fn fit(kernel: K, x: Vec<Vec<f64>>, y: Vec<f64>, config: GpConfig) -> Result<Self, GpError> {
+    pub fn fit(
+        kernel: K,
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        config: GpConfig,
+    ) -> Result<Self, GpError> {
         if x.is_empty() {
             return Err(GpError::NoData);
         }
         if x.len() != y.len() {
-            return Err(GpError::LengthMismatch { inputs: x.len(), targets: y.len() });
+            return Err(GpError::LengthMismatch {
+                inputs: x.len(),
+                targets: y.len(),
+            });
         }
         let dim = x[0].len();
         for row in &x {
             if row.len() != dim {
-                return Err(GpError::DimensionMismatch { expected: dim, got: row.len() });
+                return Err(GpError::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                });
             }
             if row.iter().any(|v| !v.is_finite()) {
                 return Err(GpError::NonFinite);
@@ -144,7 +158,11 @@ impl<K: Kernel> GaussianProcess<K> {
             return Err(GpError::NonFinite);
         }
 
-        let prior_mean = if config.empirical_mean { stats::mean(&y) } else { 0.0 };
+        let prior_mean = if config.empirical_mean {
+            stats::mean(&y)
+        } else {
+            0.0
+        };
         let y_centered: Vec<f64> = y.iter().map(|v| v - prior_mean).collect();
 
         let n = x.len();
@@ -157,7 +175,16 @@ impl<K: Kernel> GaussianProcess<K> {
             .map_err(GpError::Factorization)?;
         let alpha = chol.solve(&y_centered).map_err(GpError::Factorization)?;
 
-        Ok(GaussianProcess { kernel, config, x, y_centered, prior_mean, chol, alpha, dim })
+        Ok(GaussianProcess {
+            kernel,
+            config,
+            x,
+            y_centered,
+            prior_mean,
+            chol,
+            alpha,
+            dim,
+        })
     }
 
     /// Number of training observations.
@@ -193,12 +220,18 @@ impl<K: Kernel> GaussianProcess<K> {
     /// Posterior mean and variance at a query point.
     pub fn predict(&self, q: &[f64]) -> Result<Posterior, GpError> {
         if q.len() != self.dim {
-            return Err(GpError::QueryDimensionMismatch { expected: self.dim, got: q.len() });
+            return Err(GpError::QueryDimensionMismatch {
+                expected: self.dim,
+                got: q.len(),
+            });
         }
         let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
         let mean = self.prior_mean + ribbon_linalg::dot(&k_star, &self.alpha);
         // v = L⁻¹ k*; var = k(q,q) − vᵀv
-        let v = self.chol.solve_lower(&k_star).map_err(GpError::Factorization)?;
+        let v = self
+            .chol
+            .solve_lower(&k_star)
+            .map_err(GpError::Factorization)?;
         let variance = (self.kernel.diag(q) - ribbon_linalg::dot(&v, &v)).max(0.0);
         if !mean.is_finite() || !variance.is_finite() {
             return Err(GpError::NonFinite);
@@ -239,7 +272,12 @@ mod tests {
 
     #[test]
     fn fit_rejects_empty_data() {
-        let gp = GaussianProcess::fit(Matern52::default_unit(), vec![], vec![], GpConfig::default());
+        let gp = GaussianProcess::fit(
+            Matern52::default_unit(),
+            vec![],
+            vec![],
+            GpConfig::default(),
+        );
         assert!(matches!(gp, Err(GpError::NoData)));
     }
 
@@ -285,22 +323,39 @@ mod tests {
             GpConfig::default(),
         )
         .unwrap();
-        assert!(matches!(gp.predict(&[1.0]), Err(GpError::QueryDimensionMismatch { .. })));
+        assert!(matches!(
+            gp.predict(&[1.0]),
+            Err(GpError::QueryDimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn gp_interpolates_training_points_with_small_noise() {
         let x = xs_1d(&[0.0, 1.0, 2.0, 3.0, 4.0]);
         let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.9).sin()).collect();
-        let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x.clone(), y.clone(), GpConfig {
-            noise_variance: 1e-8,
-            ..GpConfig::default()
-        })
+        let gp = GaussianProcess::fit(
+            Matern52::new(1.0, 1.0),
+            x.clone(),
+            y.clone(),
+            GpConfig {
+                noise_variance: 1e-8,
+                ..GpConfig::default()
+            },
+        )
         .unwrap();
         for (xi, yi) in x.iter().zip(&y) {
             let p = gp.predict(xi).unwrap();
-            assert!((p.mean - yi).abs() < 1e-3, "mean {} vs target {}", p.mean, yi);
-            assert!(p.variance < 1e-3, "variance {} too large at training point", p.variance);
+            assert!(
+                (p.mean - yi).abs() < 1e-3,
+                "mean {} vs target {}",
+                p.mean,
+                yi
+            );
+            assert!(
+                p.variance < 1e-3,
+                "variance {} too large at training point",
+                p.variance
+            );
         }
     }
 
@@ -322,7 +377,11 @@ mod tests {
         let y = vec![4.0, 6.0];
         let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig::default()).unwrap();
         let far = gp.predict(&[100.0]).unwrap();
-        assert!((far.mean - 5.0).abs() < 1e-6, "far mean {} should revert to 5.0", far.mean);
+        assert!(
+            (far.mean - 5.0).abs() < 1e-6,
+            "far mean {} should revert to 5.0",
+            far.mean
+        );
         assert_eq!(gp.prior_mean(), 5.0);
     }
 
@@ -332,7 +391,10 @@ mod tests {
             Matern52::new(1.0, 1.0),
             xs_1d(&[0.0]),
             vec![3.0],
-            GpConfig { empirical_mean: false, ..GpConfig::default() },
+            GpConfig {
+                empirical_mean: false,
+                ..GpConfig::default()
+            },
         )
         .unwrap();
         assert!((gp.predict(&[50.0]).unwrap().mean).abs() < 1e-9);
@@ -342,15 +404,25 @@ mod tests {
     fn noisier_gp_has_larger_variance_at_training_points() {
         let x = xs_1d(&[0.0, 1.0, 2.0]);
         let y = vec![1.0, -1.0, 1.0];
-        let low = GaussianProcess::fit(Matern52::new(1.0, 1.0), x.clone(), y.clone(), GpConfig {
-            noise_variance: 1e-8,
-            ..GpConfig::default()
-        })
+        let low = GaussianProcess::fit(
+            Matern52::new(1.0, 1.0),
+            x.clone(),
+            y.clone(),
+            GpConfig {
+                noise_variance: 1e-8,
+                ..GpConfig::default()
+            },
+        )
         .unwrap();
-        let high = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig {
-            noise_variance: 0.5,
-            ..GpConfig::default()
-        })
+        let high = GaussianProcess::fit(
+            Matern52::new(1.0, 1.0),
+            x,
+            y,
+            GpConfig {
+                noise_variance: 0.5,
+                ..GpConfig::default()
+            },
+        )
         .unwrap();
         assert!(high.predict(&[1.0]).unwrap().variance > low.predict(&[1.0]).unwrap().variance);
     }
@@ -360,7 +432,10 @@ mod tests {
         // Smooth, slowly varying data should favour a longer length scale over a tiny one.
         let x = xs_1d(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.3).sin()).collect();
-        let cfg = GpConfig { noise_variance: 1e-4, ..GpConfig::default() };
+        let cfg = GpConfig {
+            noise_variance: 1e-4,
+            ..GpConfig::default()
+        };
         let good = GaussianProcess::fit(Matern52::new(1.0, 2.0), x.clone(), y.clone(), cfg.clone())
             .unwrap()
             .log_marginal_likelihood();
@@ -411,10 +486,15 @@ mod tests {
         // Duplicate rows make the kernel matrix singular without noise/jitter.
         let x = vec![vec![1.0], vec![1.0], vec![2.0]];
         let y = vec![0.5, 0.5, 1.0];
-        let gp = GaussianProcess::fit(Matern52::new(1.0, 1.0), x, y, GpConfig {
-            noise_variance: 0.0,
-            ..GpConfig::default()
-        })
+        let gp = GaussianProcess::fit(
+            Matern52::new(1.0, 1.0),
+            x,
+            y,
+            GpConfig {
+                noise_variance: 0.0,
+                ..GpConfig::default()
+            },
+        )
         .unwrap();
         assert!(gp.predict(&[1.5]).unwrap().mean.is_finite());
     }
@@ -434,8 +514,18 @@ mod tests {
     #[test]
     fn error_display_messages() {
         assert!(GpError::NoData.to_string().contains("at least one"));
-        assert!(GpError::LengthMismatch { inputs: 3, targets: 2 }.to_string().contains("3"));
-        assert!(GpError::QueryDimensionMismatch { expected: 2, got: 1 }.to_string().contains("expected 2"));
+        assert!(GpError::LengthMismatch {
+            inputs: 3,
+            targets: 2
+        }
+        .to_string()
+        .contains("3"));
+        assert!(GpError::QueryDimensionMismatch {
+            expected: 2,
+            got: 1
+        }
+        .to_string()
+        .contains("expected 2"));
     }
 
     proptest! {

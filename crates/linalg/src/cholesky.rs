@@ -24,7 +24,9 @@ impl Cholesky {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         if !a.all_finite() {
-            return Err(LinalgError::NonFinite { context: "cholesky input" });
+            return Err(LinalgError::NonFinite {
+                context: "cholesky input",
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -36,7 +38,10 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l.set(i, j, sum.sqrt());
                 } else {
@@ -68,7 +73,10 @@ impl Cholesky {
                 Err(e) => return Err(e),
             }
         }
-        Err(LinalgError::NotPositiveDefinite { pivot: 0, value: jitter })
+        Err(LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: jitter,
+        })
     }
 
     /// Borrow of the lower-triangular factor `L`.
@@ -85,9 +93,14 @@ impl Cholesky {
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { op: "solve_lower", lhs: (n, n), rhs: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
         }
         let mut x = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -102,9 +115,14 @@ impl Cholesky {
     pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { op: "solve_upper", lhs: (n, n), rhs: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_upper",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
         }
         let mut x = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
         for i in (0..n).rev() {
             let mut sum = b[i];
             for k in (i + 1)..n {
@@ -205,7 +223,10 @@ mod tests {
     fn rejects_nan_input() {
         let mut a = Matrix::identity(2);
         a.set(0, 0, f64::NAN);
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NonFinite { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
     }
 
     #[test]
@@ -261,9 +282,13 @@ mod tests {
 
     /// Builds a random SPD matrix A = G Gᵀ + n·I from a deterministic LCG stream.
     fn random_spd(n: usize, seed: u64) -> Matrix {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let g = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect()).unwrap();

@@ -70,7 +70,11 @@ mod tests {
 
     #[test]
     fn display_mentions_shapes() {
-        let e = LinalgError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
         let s = e.to_string();
         assert!(s.contains("matmul"));
         assert!(s.contains("2x3"));
@@ -79,7 +83,10 @@ mod tests {
 
     #[test]
     fn display_not_positive_definite() {
-        let e = LinalgError::NotPositiveDefinite { pivot: 3, value: -0.5 };
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 3,
+            value: -0.5,
+        };
         assert!(e.to_string().contains("pivot 3"));
     }
 

@@ -13,9 +13,9 @@
 //! Ribbon are tiny (tens of rows — one per evaluated cloud configuration), so numerical
 //! robustness and simplicity matter far more than raw throughput.
 
+pub mod cholesky;
 pub mod error;
 pub mod matrix;
-pub mod cholesky;
 pub mod stats;
 
 pub use cholesky::Cholesky;
@@ -40,7 +40,13 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
@@ -77,7 +83,11 @@ mod tests {
 
     #[test]
     fn dot_matches_hand_computation() {
-        assert!(approx_eq(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0, 1e-12));
+        assert!(approx_eq(
+            dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]),
+            32.0,
+            1e-12
+        ));
     }
 
     #[test]

@@ -74,24 +74,19 @@ impl Workload {
 
     /// The Gaussian-batch variant of the standard workload (Fig. 11).
     pub fn gaussian(model: ModelKind) -> Workload {
-        Workload { batch_shape: BatchShape::Gaussian, ..Workload::standard(model) }
+        Workload {
+            batch_shape: BatchShape::Gaussian,
+            ..Workload::standard(model)
+        }
     }
 
     /// Table 3 pool composition for a model, plus the extended five-type pool.
     fn pools(model: ModelKind) -> (InstanceType, Vec<InstanceType>, Vec<InstanceType>) {
         use InstanceType::*;
         if model.is_recommendation() {
-            (
-                G4dn,
-                vec![G4dn, C5, R5n],
-                vec![G4dn, C5, R5n, M5, T3],
-            )
+            (G4dn, vec![G4dn, C5, R5n], vec![G4dn, C5, R5n, M5, T3])
         } else {
-            (
-                C5a,
-                vec![C5a, M5, T3],
-                vec![C5a, C5, M5, T3, R5],
-            )
+            (C5a, vec![C5a, M5, T3], vec![C5a, C5, M5, T3, R5])
         }
     }
 
@@ -136,24 +131,40 @@ impl Workload {
 
     /// Returns a copy with the arrival rate scaled by `factor` (the Fig. 16 load change).
     pub fn scaled_load(&self, factor: f64) -> Workload {
-        Workload { qps: self.qps * factor, seed: self.seed ^ 0xbeef, ..self.clone() }
+        Workload {
+            qps: self.qps * factor,
+            seed: self.seed ^ 0xbeef,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a relaxed QoS percentile (e.g. 0.98 for the Fig. 15 p98 study).
     pub fn with_qos_rate(&self, rate: f64) -> Workload {
-        Workload { qos: self.qos.with_rate(rate), ..self.clone() }
+        Workload {
+            qos: self.qos.with_rate(rate),
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different evaluation seed.
     pub fn with_seed(&self, seed: u64) -> Workload {
-        Workload { seed, ..self.clone() }
+        Workload {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy that searches over the extended five-type pool instead of the Table 3
     /// three-type pool (used by the Fig. 8 cardinality sweep).
     pub fn with_pool(&self, pool: Vec<InstanceType>) -> Workload {
-        assert!(!pool.is_empty(), "pool must contain at least one instance type");
-        Workload { diverse_pool: pool, ..self.clone() }
+        assert!(
+            !pool.is_empty(),
+            "pool must contain at least one instance type"
+        );
+        Workload {
+            diverse_pool: pool,
+            ..self.clone()
+        }
     }
 
     /// Builds a homogeneous pool of `count` base-type instances.
@@ -174,11 +185,26 @@ mod tests {
 
     #[test]
     fn standard_workloads_use_paper_qos_targets() {
-        assert_eq!(Workload::standard(ModelKind::MtWnd).qos.latency_target_s, 0.020);
-        assert_eq!(Workload::standard(ModelKind::Dien).qos.latency_target_s, 0.030);
-        assert_eq!(Workload::standard(ModelKind::Candle).qos.latency_target_s, 0.040);
-        assert_eq!(Workload::standard(ModelKind::ResNet50).qos.latency_target_s, 0.400);
-        assert_eq!(Workload::standard(ModelKind::Vgg19).qos.latency_target_s, 0.800);
+        assert_eq!(
+            Workload::standard(ModelKind::MtWnd).qos.latency_target_s,
+            0.020
+        );
+        assert_eq!(
+            Workload::standard(ModelKind::Dien).qos.latency_target_s,
+            0.030
+        );
+        assert_eq!(
+            Workload::standard(ModelKind::Candle).qos.latency_target_s,
+            0.040
+        );
+        assert_eq!(
+            Workload::standard(ModelKind::ResNet50).qos.latency_target_s,
+            0.400
+        );
+        assert_eq!(
+            Workload::standard(ModelKind::Vgg19).qos.latency_target_s,
+            0.800
+        );
         for m in ALL_MODELS {
             assert_eq!(Workload::standard(m).qos.target_rate, 0.99);
         }
@@ -209,7 +235,10 @@ mod tests {
             assert_eq!(w.diverse_pool[0], w.base_type, "{m}");
             // The extended pool contains the diverse pool.
             for t in &w.diverse_pool {
-                assert!(w.extended_pool.contains(t), "{m}: {t} missing from extended pool");
+                assert!(
+                    w.extended_pool.contains(t),
+                    "{m}: {t} missing from extended pool"
+                );
             }
         }
     }
@@ -229,8 +258,14 @@ mod tests {
         assert_eq!(g.batch_shape, BatchShape::Gaussian);
         assert_eq!(g.qos, s.qos);
         assert_eq!(g.qps, s.qps);
-        assert!(matches!(g.batch_distribution(), BatchDistribution::Gaussian { .. }));
-        assert!(matches!(s.batch_distribution(), BatchDistribution::HeavyTailLogNormal { .. }));
+        assert!(matches!(
+            g.batch_distribution(),
+            BatchDistribution::Gaussian { .. }
+        ));
+        assert!(matches!(
+            s.batch_distribution(),
+            BatchDistribution::HeavyTailLogNormal { .. }
+        ));
     }
 
     #[test]
@@ -279,7 +314,10 @@ mod tests {
 
     #[test]
     fn seeds_differ_between_models() {
-        let seeds: Vec<u64> = ALL_MODELS.iter().map(|&m| Workload::standard(m).seed).collect();
+        let seeds: Vec<u64> = ALL_MODELS
+            .iter()
+            .map(|&m| Workload::standard(m).seed)
+            .collect();
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -20,11 +20,31 @@ pub struct HomogeneousOptimum {
 
 /// Finds the minimal homogeneous pool of the workload's base type that meets QoS, probing
 /// counts 1..=`max_count`. Returns `None` if even `max_count` instances violate QoS.
-pub fn homogeneous_optimum(evaluator: &ConfigEvaluator, max_count: u32) -> Option<HomogeneousOptimum> {
-    for count in 1..=max_count {
-        let eval = evaluator.evaluate_homogeneous(count);
-        if eval.meets_qos {
-            return Some(HomogeneousOptimum { count, hourly_cost: eval.hourly_cost, evaluation: eval });
+///
+/// Counts are probed in windows of the evaluator's parallelism through
+/// [`ConfigEvaluator::evaluate_many`]: a window evaluates concurrently, then the replay
+/// stops at the first satisfying count — the same answer as the serial scan, at the cost of
+/// speculatively simulating at most one window past it (cached for later use). A 1-thread
+/// evaluator degenerates to the exact serial probe.
+pub fn homogeneous_optimum(
+    evaluator: &ConfigEvaluator,
+    max_count: u32,
+) -> Option<HomogeneousOptimum> {
+    let window = evaluator.parallelism().max(1) as u32;
+    let mut count = 1u32;
+    while count <= max_count {
+        let configs: Vec<Vec<u32>> = (count..=max_count.min(count + window - 1))
+            .map(|c| evaluator.homogeneous_config(c))
+            .collect();
+        for eval in evaluator.evaluate_many(&configs) {
+            if eval.meets_qos {
+                return Some(HomogeneousOptimum {
+                    count,
+                    hourly_cost: eval.hourly_cost,
+                    evaluation: eval,
+                });
+            }
+            count += 1;
         }
     }
     None
@@ -60,7 +80,8 @@ impl TraceMetrics {
             num_violations: trace.num_violations(),
             best_cost: best.map(|e| e.hourly_cost),
             best_config: best.map(|e| e.config.clone()),
-            saving_percent: best.map(|e| CostModel::saving_percent(homogeneous_cost, e.hourly_cost)),
+            saving_percent: best
+                .map(|e| CostModel::saving_percent(homogeneous_cost, e.hourly_cost)),
             exploration_cost: trace.exploration_cost(),
         }
     }
@@ -137,7 +158,10 @@ mod tests {
         w.num_queries = 800;
         ConfigEvaluator::new(
             &w,
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 4, 6]),
+                ..Default::default()
+            },
         )
     }
 
@@ -207,8 +231,8 @@ mod tests {
     fn samples_to_reach_saving_finds_the_first_qualifying_sample() {
         let trace = synthetic_trace(&[
             (vec![1, 0, 0], 3.0, false),
-            (vec![2, 0, 0], 1.9, true),  // 5% saving vs 2.0
-            (vec![3, 0, 0], 1.5, true),  // 25% saving
+            (vec![2, 0, 0], 1.9, true), // 5% saving vs 2.0
+            (vec![3, 0, 0], 1.5, true), // 25% saving
         ]);
         assert_eq!(samples_to_reach_saving(&trace, 2.0, 5.0), Some(2));
         assert_eq!(samples_to_reach_saving(&trace, 2.0, 20.0), Some(3));
@@ -271,7 +295,10 @@ mod tests {
         w.num_queries = 600;
         let ev = ConfigEvaluator::new(
             &w,
-            EvaluatorSettings { explicit_bounds: Some(vec![5, 0, 4]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![5, 0, 4]),
+                ..Default::default()
+            },
         );
         let exhaustive = ExhaustiveSearch::full().run_search(&ev, 0);
         let ribbon = RibbonSearch::new(RibbonSettings {

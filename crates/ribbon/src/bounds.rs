@@ -4,8 +4,14 @@
 //! more instances of the same type does not improve the QoS satisfaction rate." We probe each
 //! type in isolation: simulate homogeneous pools of 1, 2, 3, … instances of that type and stop
 //! as soon as the satisfaction rate stops improving (or a hard cap is reached).
+//!
+//! The per-type probes are independent of each other, so [`find_bounds`] fans them out over
+//! the workspace parallel engine ([`ribbon_cloudsim::parallel`]) — one worker per type, with
+//! results returned in type order, bit-identical to a serial probe. Within a type the scan
+//! stays sequential because its early-exit (stop at perfect satisfaction) depends on the
+//! previous count's result.
 
-use ribbon_cloudsim::{simulate, InstanceType, LatencyModel, PoolSpec, Query};
+use ribbon_cloudsim::{parallel, simulate, InstanceType, LatencyModel, PoolSpec, Query};
 
 /// Controls the saturation probe.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -14,19 +20,25 @@ pub struct BoundSettings {
     pub max_per_type: u32,
     /// Minimum satisfaction-rate improvement that still counts as "improving".
     pub saturation_epsilon: f64,
+    /// Worker threads for probing the types in parallel (1 = serial).
+    pub threads: usize,
 }
 
 impl Default for BoundSettings {
     fn default() -> Self {
-        BoundSettings { max_per_type: 12, saturation_epsilon: 0.001 }
+        BoundSettings {
+            max_per_type: 12,
+            saturation_epsilon: 0.001,
+            threads: parallel::default_threads(),
+        }
     }
 }
 
 /// Finds m_i for every instance type in `types` by probing homogeneous pools against the
-/// given query stream and latency model.
+/// given query stream and latency model, one parallel worker per type.
 ///
 /// Returns one bound per type, each at least 1 and at most `settings.max_per_type`.
-pub fn find_bounds<M: LatencyModel + ?Sized>(
+pub fn find_bounds<M: LatencyModel + Sync + ?Sized>(
     types: &[InstanceType],
     queries: &[Query],
     model: &M,
@@ -34,11 +46,13 @@ pub fn find_bounds<M: LatencyModel + ?Sized>(
     settings: &BoundSettings,
 ) -> Vec<u32> {
     assert!(!types.is_empty(), "need at least one instance type");
-    assert!(settings.max_per_type >= 1, "max_per_type must be at least 1");
-    types
-        .iter()
-        .map(|&ty| probe_type(ty, queries, model, latency_target_s, settings))
-        .collect()
+    assert!(
+        settings.max_per_type >= 1,
+        "max_per_type must be at least 1"
+    );
+    parallel::par_map(types, settings.threads, |&ty| {
+        probe_type(ty, queries, model, latency_target_s, settings)
+    })
 }
 
 /// Probes a single instance type; returns the count at which the satisfaction rate saturates.
@@ -97,8 +111,17 @@ mod tests {
         // 1 ms service at 100 qps: a single instance is already at ~10 % utilization.
         let model = FnLatencyModel::new("fast", |_, _| 0.001);
         let queries = stream(100.0, 2000);
-        let b = probe_type(InstanceType::G4dn, &queries, &model, 0.010, &BoundSettings::default());
-        assert!(b <= 2, "bound {b} should be tiny for an underloaded instance");
+        let b = probe_type(
+            InstanceType::G4dn,
+            &queries,
+            &model,
+            0.010,
+            &BoundSettings::default(),
+        );
+        assert!(
+            b <= 2,
+            "bound {b} should be tiny for an underloaded instance"
+        );
     }
 
     #[test]
@@ -106,7 +129,10 @@ mod tests {
         // 20 ms service at 300 qps needs ~6 servers to keep the queue bounded.
         let model = FnLatencyModel::new("slow", |_, _| 0.020);
         let queries = stream(300.0, 3000);
-        let settings = BoundSettings { max_per_type: 15, saturation_epsilon: 0.001 };
+        let settings = BoundSettings {
+            max_per_type: 15,
+            ..Default::default()
+        };
         let b = probe_type(InstanceType::T3, &queries, &model, 0.060, &settings);
         assert!(b >= 6, "bound {b} should cover the saturation point");
         assert!(b <= 15);
@@ -116,9 +142,13 @@ mod tests {
     fn bound_never_exceeds_cap() {
         let model = FnLatencyModel::new("impossible", |_, _| 10.0); // always violates
         let queries = stream(50.0, 500);
-        let settings = BoundSettings { max_per_type: 4, saturation_epsilon: 1e-9 };
+        let settings = BoundSettings {
+            max_per_type: 4,
+            saturation_epsilon: 1e-9,
+            ..Default::default()
+        };
         let b = probe_type(InstanceType::R5, &queries, &model, 0.010, &settings);
-        assert!(b >= 1 && b <= 4);
+        assert!((1..=4).contains(&b));
     }
 
     #[test]
@@ -141,10 +171,17 @@ mod tests {
     #[test]
     fn faster_instance_type_gets_smaller_or_equal_bound() {
         let model = FnLatencyModel::new("per-type", |ty, _| {
-            if ty == InstanceType::G4dn { 0.002 } else { 0.008 }
+            if ty == InstanceType::G4dn {
+                0.002
+            } else {
+                0.008
+            }
         });
         let queries = stream(400.0, 3000);
-        let settings = BoundSettings { max_per_type: 15, saturation_epsilon: 0.001 };
+        let settings = BoundSettings {
+            max_per_type: 15,
+            ..Default::default()
+        };
         let fast = probe_type(InstanceType::G4dn, &queries, &model, 0.020, &settings);
         let slow = probe_type(InstanceType::T3, &queries, &model, 0.020, &settings);
         assert!(fast <= slow, "fast bound {fast} vs slow bound {slow}");

@@ -6,16 +6,33 @@
 //! trace), computes the per-type search bounds m_i at construction, and caches evaluations —
 //! a configuration's satisfaction rate is deterministic given the stream, so re-evaluating it
 //! would only waste time.
+//!
+//! # Batch evaluation and parallelism
+//!
+//! [`ConfigEvaluator::evaluate_many`] evaluates a batch of *independent* configurations,
+//! fanning the cache misses out over the workspace's parallel engine
+//! ([`ribbon_cloudsim::parallel`]) behind the shared, thread-safe evaluation cache. The
+//! contract every caller relies on:
+//!
+//! * **order-preserving** — results come back parallel to the input batch;
+//! * **bit-identical to serial** — the simulation is a pure function of
+//!   `(pool, queries, model)`, and any *stochastic* per-configuration component added in the
+//!   future must seed its RNG from [`ConfigEvaluator::config_seed`] (a stable per-config
+//!   derivation) rather than a shared RNG, so scheduling order can never leak into results;
+//! * **single-simulation** — duplicates inside a batch, and configurations already cached,
+//!   are simulated at most once; the cache is shared with the serial [`evaluate`] path.
+//!
+//! [`evaluate`]: ConfigEvaluator::evaluate
 
 use crate::bounds::{find_bounds, BoundSettings};
 use crate::objective::RibbonObjective;
+use parking_lot::Mutex;
 use ribbon_bo::ConfigLattice;
-use ribbon_cloudsim::{simulate, PoolSpec, Query};
+use ribbon_cloudsim::{parallel, simulate, PoolSpec, Query};
 use ribbon_models::{ModelProfile, Workload};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Settings controlling evaluator construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,11 +43,19 @@ pub struct EvaluatorSettings {
     pub saturation_epsilon: f64,
     /// Explicit bounds overriding the probe (must match the pool's type count when set).
     pub explicit_bounds: Option<Vec<u32>>,
+    /// Worker threads for batch evaluation (`None` = the machine's available parallelism;
+    /// `Some(1)` forces fully serial evaluation, useful for differential tests).
+    pub threads: Option<usize>,
 }
 
 impl Default for EvaluatorSettings {
     fn default() -> Self {
-        EvaluatorSettings { max_per_type: 12, saturation_epsilon: 0.001, explicit_bounds: None }
+        EvaluatorSettings {
+            max_per_type: 12,
+            saturation_epsilon: 0.001,
+            explicit_bounds: None,
+            threads: None,
+        }
     }
 }
 
@@ -62,6 +87,7 @@ pub struct ConfigEvaluator {
     queries: Vec<Query>,
     objective: RibbonObjective,
     bounds: Vec<u32>,
+    threads: usize,
     cache: Mutex<HashMap<Vec<u32>, Evaluation>>,
     simulations: AtomicUsize,
 }
@@ -72,6 +98,10 @@ impl ConfigEvaluator {
     pub fn new(workload: &Workload, settings: EvaluatorSettings) -> Self {
         let profile = workload.profile();
         let queries = workload.stream_config().generate();
+        let threads = settings
+            .threads
+            .unwrap_or_else(parallel::default_threads)
+            .max(1);
         let bounds = match settings.explicit_bounds {
             Some(b) => {
                 assert_eq!(
@@ -89,16 +119,19 @@ impl ConfigEvaluator {
                 &BoundSettings {
                     max_per_type: settings.max_per_type,
                     saturation_epsilon: settings.saturation_epsilon,
+                    threads,
                 },
             ),
         };
-        let objective = RibbonObjective::new(&workload.diverse_pool, &bounds, workload.qos.target_rate);
+        let objective =
+            RibbonObjective::new(&workload.diverse_pool, &bounds, workload.qos.target_rate);
         ConfigEvaluator {
             workload: workload.clone(),
             profile,
             queries,
             objective,
             bounds,
+            threads,
             cache: Mutex::new(HashMap::new()),
             simulations: AtomicUsize::new(0),
         }
@@ -129,6 +162,23 @@ impl ConfigEvaluator {
         self.simulations.load(Ordering::Relaxed)
     }
 
+    /// Worker threads used for batch evaluation (at least 1).
+    pub fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    /// The deterministic RNG seed for any stochastic per-configuration component.
+    ///
+    /// Derived stably from the workload's stream seed and the configuration's coordinates
+    /// (see [`ribbon_cloudsim::parallel::stable_seed`]), so a configuration's randomness is
+    /// a function of *what* is evaluated, never of *when* or *on which thread* — the
+    /// invariant that keeps [`ConfigEvaluator::evaluate_many`] bit-identical to serial
+    /// evaluation. Today's simulator is fully deterministic and does not consume it, but
+    /// extensions (per-config measurement noise, replicated streams) must draw from here.
+    pub fn config_seed(&self, config: &[u32]) -> u64 {
+        parallel::stable_seed(self.workload.seed, config)
+    }
+
     /// The query stream all configurations are evaluated against.
     pub fn queries(&self) -> &[Query] {
         &self.queries
@@ -141,12 +191,8 @@ impl ConfigEvaluator {
         cfg
     }
 
-    /// Evaluates a configuration (cached).
-    ///
-    /// # Panics
-    /// Panics if the configuration's dimensionality does not match the diverse pool or if
-    /// the configuration is empty (all zeros).
-    pub fn evaluate(&self, config: &[u32]) -> Evaluation {
+    /// Panics unless `config` matches the pool's dimensionality and is non-empty.
+    fn validate(&self, config: &[u32]) {
         assert_eq!(
             config.len(),
             self.workload.diverse_pool.len(),
@@ -154,18 +200,19 @@ impl ConfigEvaluator {
             config.len(),
             self.workload.diverse_pool.len()
         );
-        assert!(config.iter().any(|&c| c > 0), "cannot evaluate an empty pool");
+        assert!(
+            config.iter().any(|&c| c > 0),
+            "cannot evaluate an empty pool"
+        );
+    }
 
-        if let Some(hit) = self.cache.lock().expect("evaluator cache poisoned").get(config) {
-            return hit.clone();
-        }
-
+    /// Runs the actual pool simulation for one configuration — a pure function of the
+    /// evaluator's immutable state, shared by the serial and batch paths.
+    fn simulate_config(&self, config: &[u32]) -> Evaluation {
         let pool = PoolSpec::from_counts(&self.workload.diverse_pool, config);
         let result = simulate(&pool, &self.queries, &self.profile);
-        self.simulations.fetch_add(1, Ordering::Relaxed);
-
         let rate = result.satisfaction_rate(self.workload.qos.latency_target_s);
-        let eval = Evaluation {
+        Evaluation {
             config: config.to_vec(),
             hourly_cost: pool.hourly_cost(),
             satisfaction_rate: rate,
@@ -174,12 +221,81 @@ impl ConfigEvaluator {
             mean_latency_s: result.mean_latency(),
             tail_latency_s: result.tail_latency(self.workload.qos.target_rate * 100.0),
             pool,
-        };
-        self.cache
-            .lock()
-            .expect("evaluator cache poisoned")
-            .insert(config.to_vec(), eval.clone());
+        }
+    }
+
+    /// Evaluates a configuration (cached).
+    ///
+    /// # Panics
+    /// Panics if the configuration's dimensionality does not match the diverse pool or if
+    /// the configuration is empty (all zeros).
+    pub fn evaluate(&self, config: &[u32]) -> Evaluation {
+        self.validate(config);
+
+        if let Some(hit) = self.cache.lock().get(config) {
+            return hit.clone();
+        }
+
+        let eval = self.simulate_config(config);
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(config.to_vec(), eval.clone());
         eval
+    }
+
+    /// Evaluates a batch of configurations, fanning cache misses out across worker threads,
+    /// and returns the evaluations **in input order**.
+    ///
+    /// Semantically identical to calling [`ConfigEvaluator::evaluate`] on each configuration
+    /// in order — same `Evaluation`s bit for bit, same cache contents afterwards — but cache
+    /// misses are simulated concurrently on up to [`ConfigEvaluator::parallelism`] threads.
+    /// Duplicate configurations within the batch are simulated once.
+    ///
+    /// # Panics
+    /// Panics if any configuration has the wrong dimensionality or is empty (all zeros),
+    /// before any simulation runs.
+    pub fn evaluate_many(&self, configs: &[Vec<u32>]) -> Vec<Evaluation> {
+        for c in configs {
+            self.validate(c);
+        }
+
+        // Partition into cache hits and distinct misses (first-seen order) under one lock.
+        let mut results: Vec<Option<Evaluation>> = vec![None; configs.len()];
+        let mut misses: Vec<Vec<u32>> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            let mut queued: HashSet<&[u32]> = HashSet::new();
+            for (slot, config) in results.iter_mut().zip(configs) {
+                if let Some(hit) = cache.get(config.as_slice()) {
+                    *slot = Some(hit.clone());
+                } else if queued.insert(config.as_slice()) {
+                    misses.push(config.clone());
+                }
+            }
+        }
+
+        // Simulate the misses outside the lock; the engine preserves input order.
+        let fresh = parallel::par_map(&misses, self.threads, |c| self.simulate_config(c));
+        self.simulations.fetch_add(fresh.len(), Ordering::Relaxed);
+        {
+            let mut cache = self.cache.lock();
+            for eval in &fresh {
+                cache.insert(eval.config.clone(), eval.clone());
+            }
+        }
+
+        let by_config: HashMap<&[u32], &Evaluation> =
+            fresh.iter().map(|e| (e.config.as_slice(), e)).collect();
+        results
+            .into_iter()
+            .zip(configs)
+            .map(|(slot, config)| match slot {
+                Some(eval) => eval,
+                None => (*by_config
+                    .get(config.as_slice())
+                    .expect("every miss was simulated"))
+                .clone(),
+            })
+            .collect()
     }
 
     /// Evaluates a homogeneous pool of `count` base-type instances.
@@ -201,7 +317,10 @@ mod tests {
     }
 
     fn test_settings() -> EvaluatorSettings {
-        EvaluatorSettings { max_per_type: 6, ..Default::default() }
+        EvaluatorSettings {
+            max_per_type: 6,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -216,7 +335,10 @@ mod tests {
     fn explicit_bounds_skip_the_probe() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![5, 4, 3]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![5, 4, 3]),
+                ..Default::default()
+            },
         );
         assert_eq!(ev.bounds(), &[5, 4, 3]);
     }
@@ -226,7 +348,10 @@ mod tests {
     fn explicit_bounds_must_match_pool_size() {
         let _ = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![5, 4]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![5, 4]),
+                ..Default::default()
+            },
         );
     }
 
@@ -234,20 +359,30 @@ mod tests {
     fn evaluate_is_deterministic_and_cached() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
         );
         let sims_before = ev.num_simulations();
         let a = ev.evaluate(&[3, 1, 2]);
         let b = ev.evaluate(&[3, 1, 2]);
         assert_eq!(a, b);
-        assert_eq!(ev.num_simulations(), sims_before + 1, "second call must hit the cache");
+        assert_eq!(
+            ev.num_simulations(),
+            sims_before + 1,
+            "second call must hit the cache"
+        );
     }
 
     #[test]
     fn evaluation_fields_are_consistent() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
         );
         let e = ev.evaluate(&[4, 0, 0]);
         assert_eq!(e.config, vec![4, 0, 0]);
@@ -264,7 +399,10 @@ mod tests {
     fn more_instances_do_not_hurt_satisfaction() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
         );
         let small = ev.evaluate(&[2, 0, 0]);
         let large = ev.evaluate(&[6, 0, 0]);
@@ -275,7 +413,10 @@ mod tests {
     fn homogeneous_config_helper() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
         );
         assert_eq!(ev.homogeneous_config(5), vec![5, 0, 0]);
         let e = ev.evaluate_homogeneous(5);
@@ -287,7 +428,10 @@ mod tests {
     fn evaluating_all_zero_config_panics() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![3, 3, 3]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![3, 3, 3]),
+                ..Default::default()
+            },
         );
         let _ = ev.evaluate(&[0, 0, 0]);
     }
@@ -297,7 +441,10 @@ mod tests {
     fn evaluating_wrong_dimension_panics() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![3, 3, 3]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![3, 3, 3]),
+                ..Default::default()
+            },
         );
         let _ = ev.evaluate(&[1, 1]);
     }
@@ -306,13 +453,19 @@ mod tests {
     fn objective_orders_satisfying_configs_by_cost() {
         let ev = ConfigEvaluator::new(
             &test_workload(),
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 6, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
         );
         // A pool big enough to certainly satisfy vs. an even bigger, more expensive pool.
         let a = ev.evaluate(&[6, 3, 3]);
         let b = ev.evaluate(&[6, 6, 6]);
         if a.meets_qos && b.meets_qos {
-            assert!(a.objective > b.objective, "cheaper satisfying pool must score higher");
+            assert!(
+                a.objective > b.objective,
+                "cheaper satisfying pool must score higher"
+            );
         }
     }
 }

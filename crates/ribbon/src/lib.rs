@@ -54,7 +54,9 @@ pub use bounds::find_bounds;
 pub use evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
 pub use objective::RibbonObjective;
 pub use search::{RibbonSearch, RibbonSettings, SearchTrace};
-pub use strategies::{ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy};
+pub use strategies::{
+    ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy,
+};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {

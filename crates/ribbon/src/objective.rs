@@ -35,8 +35,14 @@ impl RibbonObjective {
     /// Panics if the lengths differ, the bounds are all zero, or the target is outside (0, 1].
     pub fn new(types: &[InstanceType], bounds: &[u32], target_rate: f64) -> Self {
         assert_eq!(types.len(), bounds.len(), "types/bounds length mismatch");
-        assert!(!types.is_empty(), "objective needs at least one instance type");
-        assert!(bounds.iter().any(|&b| b > 0), "at least one bound must be positive");
+        assert!(
+            !types.is_empty(),
+            "objective needs at least one instance type"
+        );
+        assert!(
+            bounds.iter().any(|&b| b > 0),
+            "at least one bound must be positive"
+        );
         assert!(
             target_rate > 0.0 && target_rate <= 1.0,
             "target rate must be in (0, 1], got {target_rate}"
@@ -52,9 +58,16 @@ impl RibbonObjective {
     pub fn from_prices(prices: Vec<f64>, bounds: Vec<u32>, target_rate: f64) -> Self {
         assert_eq!(prices.len(), bounds.len(), "prices/bounds length mismatch");
         assert!(prices.iter().all(|&p| p > 0.0), "prices must be positive");
-        assert!(bounds.iter().any(|&b| b > 0), "at least one bound must be positive");
+        assert!(
+            bounds.iter().any(|&b| b > 0),
+            "at least one bound must be positive"
+        );
         assert!(target_rate > 0.0 && target_rate <= 1.0);
-        RibbonObjective { prices, bounds, target_rate }
+        RibbonObjective {
+            prices,
+            bounds,
+            target_rate,
+        }
     }
 
     /// The QoS target satisfaction rate T_qos.
@@ -69,7 +82,11 @@ impl RibbonObjective {
 
     /// Hourly cost of a configuration: Σ p_i x_i.
     pub fn cost(&self, config: &[u32]) -> f64 {
-        assert_eq!(config.len(), self.prices.len(), "configuration dimensionality mismatch");
+        assert_eq!(
+            config.len(),
+            self.prices.len(),
+            "configuration dimensionality mismatch"
+        );
         config
             .iter()
             .zip(&self.prices)
@@ -177,7 +194,10 @@ mod tests {
         let just_below = obj.value(&[6, 8, 10], 0.98999999);
         let at_target = obj.value(&[6, 8, 10], 0.99);
         assert!((just_below - 0.5).abs() < 1e-6);
-        assert!((at_target - 0.5).abs() < 1e-9, "the full pool costs max_cost, so value = 0.5");
+        assert!(
+            (at_target - 0.5).abs() < 1e-9,
+            "the full pool costs max_cost, so value = 0.5"
+        );
     }
 
     #[test]

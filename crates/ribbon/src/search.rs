@@ -49,7 +49,10 @@ impl Default for RibbonSettings {
 impl RibbonSettings {
     /// A faster variant using the coarse GP grid (used inside benchmarks and tests).
     pub fn fast() -> Self {
-        RibbonSettings { fit: FitConfig::coarse(), ..Default::default() }
+        RibbonSettings {
+            fit: FitConfig::coarse(),
+            ..Default::default()
+        }
     }
 }
 
@@ -65,7 +68,10 @@ pub struct SearchTrace {
 impl SearchTrace {
     /// Creates an empty trace for a strategy.
     pub fn new(strategy: impl Into<String>) -> Self {
-        SearchTrace { strategy: strategy.into(), evaluations: Vec::new() }
+        SearchTrace {
+            strategy: strategy.into(),
+            evaluations: Vec::new(),
+        }
     }
 
     /// Number of evaluations in the trace.
@@ -225,12 +231,18 @@ mod tests {
         w.num_queries = 800;
         ConfigEvaluator::new(
             &w,
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 4, 6]),
+                ..Default::default()
+            },
         )
     }
 
     fn fast_settings(max_evals: usize) -> RibbonSettings {
-        RibbonSettings { max_evaluations: max_evals, ..RibbonSettings::fast() }
+        RibbonSettings {
+            max_evaluations: max_evals,
+            ..RibbonSettings::fast()
+        }
     }
 
     #[test]
@@ -257,7 +269,10 @@ mod tests {
         let ev = small_evaluator();
         let trace = RibbonSearch::new(fast_settings(20)).run(&ev, 3);
         let best = trace.best_satisfying();
-        assert!(best.is_some(), "20 evaluations must find at least one satisfying pool");
+        assert!(
+            best.is_some(),
+            "20 evaluations must find at least one satisfying pool"
+        );
         assert!(best.unwrap().meets_qos);
     }
 
@@ -276,7 +291,10 @@ mod tests {
         let mut settings = fast_settings(4);
         settings.start_config = Some(vec![50, 0, 0]);
         let trace = RibbonSearch::new(settings).run(&ev, 5);
-        assert!(trace.evaluations().iter().all(|e| e.config != vec![50, 0, 0]));
+        assert!(trace
+            .evaluations()
+            .iter()
+            .all(|e| e.config != vec![50, 0, 0]));
     }
 
     #[test]
@@ -305,7 +323,10 @@ mod tests {
             assert!(trace.samples_until_cost_at_most(0.0).is_none());
         }
         if let Some(bo) = trace.best_objective() {
-            assert!(trace.evaluations().iter().all(|e| e.objective <= bo.objective));
+            assert!(trace
+                .evaluations()
+                .iter()
+                .all(|e| e.objective <= bo.objective));
         }
     }
 
@@ -315,10 +336,16 @@ mod tests {
         w.num_queries = 400;
         let ev = ConfigEvaluator::new(
             &w,
-            EvaluatorSettings { explicit_bounds: Some(vec![1, 1, 1]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![1, 1, 1]),
+                ..Default::default()
+            },
         );
         let trace = RibbonSearch::new(fast_settings(100)).run(&ev, 7);
-        assert!(trace.len() <= 7, "only 7 non-empty configs exist in a 2x2x2 lattice");
+        assert!(
+            trace.len() <= 7,
+            "only 7 non-empty configs exist in a 2x2x2 lattice"
+        );
     }
 
     #[test]

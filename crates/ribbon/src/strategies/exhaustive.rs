@@ -42,14 +42,13 @@ impl SearchStrategy for ExhaustiveSearch {
 
     fn run_search(&self, evaluator: &ConfigEvaluator, _seed: u64) -> SearchTrace {
         let mut trace = SearchTrace::new(self.name());
-        for config in evaluator.lattice().enumerate() {
-            if let Some(limit) = self.limit {
-                if trace.len() >= limit {
-                    break;
-                }
-            }
-            trace.evaluations.push(evaluator.evaluate(&config));
+        let mut configs = evaluator.lattice().enumerate();
+        if let Some(limit) = self.limit {
+            configs.truncate(limit);
         }
+        // The whole lattice is one independent batch: evaluate it through the parallel
+        // engine. Order and results are identical to the serial per-config loop.
+        trace.evaluations = evaluator.evaluate_many(&configs);
         trace
     }
 }

@@ -9,8 +9,8 @@
 use super::SearchStrategy;
 use crate::evaluator::{ConfigEvaluator, Evaluation};
 use crate::search::SearchTrace;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
 
@@ -27,12 +27,18 @@ impl HillClimbSearch {
     /// Creates a hill-climb search with the given evaluation budget, starting at the
     /// lattice midpoint.
     pub fn new(max_evaluations: usize) -> Self {
-        HillClimbSearch { max_evaluations, start_config: None }
+        HillClimbSearch {
+            max_evaluations,
+            start_config: None,
+        }
     }
 
     /// Creates a hill-climb search starting from a specific configuration.
     pub fn from_start(max_evaluations: usize, start: Vec<u32>) -> Self {
-        HillClimbSearch { max_evaluations, start_config: Some(start) }
+        HillClimbSearch {
+            max_evaluations,
+            start_config: Some(start),
+        }
     }
 
     fn midpoint(bounds: &[u32]) -> Vec<u32> {
@@ -61,12 +67,15 @@ impl SearchStrategy for HillClimbSearch {
         let mut known: HashMap<Vec<u32>, f64> = HashMap::new();
 
         let evaluate = |config: &Vec<u32>,
-                            trace: &mut SearchTrace,
-                            known: &mut HashMap<Vec<u32>, f64>|
+                        trace: &mut SearchTrace,
+                        known: &mut HashMap<Vec<u32>, f64>|
          -> Option<Evaluation> {
             if let Some(&v) = known.get(config) {
                 // Already evaluated by this search: reuse without consuming budget.
-                return Some(Evaluation { objective: v, ..evaluator.evaluate(config) });
+                return Some(Evaluation {
+                    objective: v,
+                    ..evaluator.evaluate(config)
+                });
             }
             if trace.len() >= self.max_evaluations {
                 return None;
@@ -90,11 +99,33 @@ impl SearchStrategy for HillClimbSearch {
         };
 
         while trace.len() < self.max_evaluations {
-            // Evaluate neighbours in a deterministic order, track the best.
+            // The neighbourhood's not-yet-evaluated points are independent: evaluate them as
+            // one parallel batch (truncated to the remaining budget, replicating the serial
+            // per-neighbour budget check), then pick the best neighbour in the serial scan
+            // order over the full neighbourhood.
+            let neighbors = lattice.neighbors(&current);
+            let fresh: Vec<Vec<u32>> = neighbors
+                .iter()
+                .filter(|n| !known.contains_key(*n))
+                .cloned()
+                .collect();
+            let remaining = self.max_evaluations - trace.len();
+            let truncated = fresh.len() > remaining;
+            let batch: Vec<Vec<u32>> = fresh.into_iter().take(remaining).collect();
+            for eval in evaluator.evaluate_many(&batch) {
+                known.insert(eval.config.clone(), eval.objective);
+                trace.evaluations.push(eval);
+            }
+            if truncated {
+                return trace;
+            }
+
             let mut best_neighbor: Option<Evaluation> = None;
-            for n in lattice.neighbors(&current) {
-                let Some(e) = evaluate(&n, &mut trace, &mut known) else {
-                    return trace;
+            for n in &neighbors {
+                // Every neighbour is in `known` by now, so this is a pure cache read.
+                let e = Evaluation {
+                    objective: known[n],
+                    ..evaluator.evaluate(n)
                 };
                 let better = match &best_neighbor {
                     None => true,

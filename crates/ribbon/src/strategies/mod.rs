@@ -56,7 +56,10 @@ pub(crate) mod test_support {
         w.num_queries = 800;
         ConfigEvaluator::new(
             &w,
-            EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 6]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 4, 6]),
+                ..Default::default()
+            },
         )
     }
 
@@ -66,7 +69,10 @@ pub(crate) mod test_support {
         w.num_queries = 600;
         ConfigEvaluator::new(
             &w,
-            EvaluatorSettings { explicit_bounds: Some(vec![5, 0, 4]), ..Default::default() },
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![5, 0, 4]),
+                ..Default::default()
+            },
         )
     }
 }

@@ -12,8 +12,8 @@
 use super::SearchStrategy;
 use crate::evaluator::ConfigEvaluator;
 use crate::search::SearchTrace;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use ribbon_bo::PruneSet;
 
@@ -45,23 +45,47 @@ impl SearchStrategy for RandomSearch {
         let mut trace = SearchTrace::new(self.name());
         let target_rate = evaluator.objective().target_rate();
 
-        for config in candidates {
-            if trace.len() >= self.max_evaluations {
-                break;
+        // The skip rule makes this search inherently sequential: whether a candidate is
+        // evaluated depends on every earlier result. To still batch through the parallel
+        // engine we *speculate*: gather a window of candidates that are open under the
+        // current prune set, evaluate them concurrently, then replay the window serially —
+        // a member invalidated by an earlier member of its own window is discarded exactly
+        // where the serial loop would have skipped it (its evaluation was wasted speculation,
+        // but it is cached, and the resulting trace is identical to the serial one). With a
+        // serial evaluator (1 thread) the window is 1 and no speculation happens at all.
+        let window = match evaluator.parallelism() {
+            0 | 1 => 1,
+            n => n * 2,
+        };
+
+        let mut idx = 0;
+        'outer: while idx < candidates.len() && trace.len() < self.max_evaluations {
+            let mut batch: Vec<Vec<u32>> = Vec::new();
+            while idx < candidates.len() && batch.len() < window {
+                let config = &candidates[idx];
+                idx += 1;
+                if !prune.is_pruned(config) {
+                    batch.push(config.clone());
+                }
             }
-            if prune.is_pruned(&config) {
-                continue;
+            for eval in evaluator.evaluate_many(&batch) {
+                if trace.len() >= self.max_evaluations {
+                    break 'outer;
+                }
+                if prune.is_pruned(&eval.config) {
+                    // Invalidated by an earlier member of this window.
+                    continue;
+                }
+                if eval.satisfaction_rate < target_rate {
+                    // A violator rules out everything with fewer instances of every type.
+                    prune.prune_below(eval.config.clone());
+                } else {
+                    // A satisfier rules out everything with more instances of every type
+                    // (those are strictly more expensive).
+                    prune.prune_above(eval.config.clone());
+                }
+                trace.evaluations.push(eval);
             }
-            let eval = evaluator.evaluate(&config);
-            if eval.satisfaction_rate < target_rate {
-                // A violator rules out everything with fewer instances of every type.
-                prune.prune_below(config.clone());
-            } else {
-                // A satisfier rules out everything with more instances of every type
-                // (those are strictly more expensive).
-                prune.prune_above(config.clone());
-            }
-            trace.evaluations.push(eval);
         }
         trace
     }
@@ -114,7 +138,8 @@ mod tests {
             }
             for later in &trace.evaluations()[i + 1..] {
                 assert!(
-                    !(dominated_by(&earlier.config, &later.config) && later.config != earlier.config),
+                    !(dominated_by(&earlier.config, &later.config)
+                        && later.config != earlier.config),
                     "{:?} dominates earlier satisfier {:?}",
                     later.config,
                     earlier.config

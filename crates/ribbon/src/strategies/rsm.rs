@@ -52,7 +52,13 @@ impl ResponseSurfaceSearch {
         // Factorial corners.
         for mask in 0..(1u32 << n) {
             let corner: Vec<u32> = (0..n)
-                .map(|i| if mask & (1 << i) != 0 { high[i] } else { low[i] })
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        high[i]
+                    } else {
+                        low[i]
+                    }
+                })
                 .collect();
             points.push(corner);
         }
@@ -75,40 +81,51 @@ impl SearchStrategy for ResponseSurfaceSearch {
         let mut trace = SearchTrace::new(self.name());
         let mut explored: HashSet<Vec<u32>> = HashSet::new();
 
-        // Phase 1: evaluate the design.
-        for p in Self::design_points(&lattice) {
-            if trace.len() >= self.max_evaluations {
-                return trace;
-            }
-            let eval = evaluator.evaluate(&p);
-            explored.insert(p);
-            trace.evaluations.push(eval);
+        // Phase 1: evaluate the design as one parallel batch (truncated to the budget —
+        // identical to the serial loop, which stops at the budget check before each point).
+        let mut design = Self::design_points(&lattice);
+        let design_exceeds_budget = design.len() > self.max_evaluations;
+        design.truncate(self.max_evaluations);
+        trace.evaluations = evaluator.evaluate_many(&design);
+        explored.extend(design);
+        if design_exceeds_budget {
+            return trace;
         }
 
-        // Phase 2: local steepest-ascent exploration around the best point so far.
+        // Phase 2: local steepest-ascent exploration around the best point so far. Each
+        // neighbourhood's unexplored points are independent, so they evaluate as one batch;
+        // order, budget cut-off and best-neighbour tie-breaking replicate the serial scan.
         let Some(best) = trace.best_objective().cloned() else {
             return trace;
         };
         let mut current = best.config.clone();
         let mut current_obj = best.objective;
         while trace.len() < self.max_evaluations {
+            let fresh: Vec<Vec<u32>> = lattice
+                .neighbors(&current)
+                .into_iter()
+                .filter(|n| !explored.contains(n))
+                .collect();
+            let remaining = self.max_evaluations - trace.len();
+            let truncated = fresh.len() > remaining;
+            let batch: Vec<Vec<u32>> = fresh.into_iter().take(remaining).collect();
+
             let mut best_neighbor: Option<(Vec<u32>, f64)> = None;
-            let mut advanced = false;
-            for n in lattice.neighbors(&current) {
-                if explored.contains(&n) {
-                    continue;
-                }
-                if trace.len() >= self.max_evaluations {
-                    return trace;
-                }
-                let eval = evaluator.evaluate(&n);
-                explored.insert(n.clone());
+            let advanced = !batch.is_empty();
+            for eval in evaluator.evaluate_many(&batch) {
+                explored.insert(eval.config.clone());
                 let obj = eval.objective;
-                trace.evaluations.push(eval);
-                advanced = true;
-                if best_neighbor.as_ref().map(|(_, o)| obj > *o).unwrap_or(true) {
-                    best_neighbor = Some((n, obj));
+                if best_neighbor
+                    .as_ref()
+                    .map(|(_, o)| obj > *o)
+                    .unwrap_or(true)
+                {
+                    best_neighbor = Some((eval.config.clone(), obj));
                 }
+                trace.evaluations.push(eval);
+            }
+            if truncated {
+                return trace;
             }
             match best_neighbor {
                 Some((cfg, obj)) if obj > current_obj => {
@@ -123,7 +140,10 @@ impl SearchStrategy for ResponseSurfaceSearch {
                         .iter()
                         .filter(|e| e.config != current)
                         .filter(|e| {
-                            lattice.neighbors(&e.config).iter().any(|n| !explored.contains(n))
+                            lattice
+                                .neighbors(&e.config)
+                                .iter()
+                                .any(|n| !explored.contains(n))
                         })
                         .max_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap());
                     match next {
@@ -140,7 +160,10 @@ impl SearchStrategy for ResponseSurfaceSearch {
                         .evaluations()
                         .iter()
                         .filter(|e| {
-                            lattice.neighbors(&e.config).iter().any(|n| !explored.contains(n))
+                            lattice
+                                .neighbors(&e.config)
+                                .iter()
+                                .any(|n| !explored.contains(n))
                         })
                         .max_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap());
                     match next {
@@ -199,7 +222,10 @@ mod tests {
             .take(design.len())
             .map(|e| e.config.clone())
             .collect();
-        assert_eq!(prefix, design, "the first evaluations must be the design points in order");
+        assert_eq!(
+            prefix, design,
+            "the first evaluations must be the design points in order"
+        );
         assert!(trace.len() <= 20);
     }
 

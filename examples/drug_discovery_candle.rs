@@ -4,17 +4,23 @@
 //!
 //! Run: `cargo run --release -p ribbon --example drug_discovery_candle`
 
-use ribbon::prelude::*;
 use ribbon::evaluator::EvaluatorSettings;
+use ribbon::prelude::*;
 use ribbon::search::RibbonSettings;
 
 fn search_at(workload: &Workload, label: &str) {
     let evaluator = ConfigEvaluator::new(
         workload,
-        EvaluatorSettings { max_per_type: 10, ..Default::default() },
+        EvaluatorSettings {
+            max_per_type: 10,
+            ..Default::default()
+        },
     );
     let homogeneous = homogeneous_optimum(&evaluator, 12).expect("homogeneous baseline");
-    let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: 35, ..RibbonSettings::fast() });
+    let ribbon = RibbonSearch::new(RibbonSettings {
+        max_evaluations: 35,
+        ..RibbonSettings::fast()
+    });
     let trace = ribbon.run(&evaluator, 11);
     match trace.best_satisfying() {
         Some(best) => {
@@ -40,7 +46,11 @@ fn main() {
     println!(
         "CANDLE drug-response inference, {:.0} queries/s, diverse pool {:?}\n",
         workload.qps,
-        workload.diverse_pool.iter().map(|t| t.family()).collect::<Vec<_>>()
+        workload
+            .diverse_pool
+            .iter()
+            .map(|t| t.family())
+            .collect::<Vec<_>>()
     );
 
     search_at(&workload, "p99 target (default)");

@@ -15,10 +15,18 @@ fn main() {
     workload.num_queries = 2000;
 
     let adapter = LoadAdapter::new(
-        RibbonSettings { max_evaluations: 25, ..RibbonSettings::fast() },
-        EvaluatorSettings { max_per_type: 10, ..Default::default() },
+        RibbonSettings {
+            max_evaluations: 25,
+            ..RibbonSettings::fast()
+        },
+        EvaluatorSettings {
+            max_per_type: 10,
+            ..Default::default()
+        },
     );
-    let outcome = adapter.run(&workload, 1.5, 2024).expect("initial search converges");
+    let outcome = adapter
+        .run(&workload, 1.5, 2024)
+        .expect("initial search converges");
 
     println!(
         "Before the spike: optimal pool {} at ${:.2}/hr (found in {} evaluations)",
@@ -50,6 +58,8 @@ fn main() {
             best.hourly_cost,
             ratio
         ),
-        _ => println!("\nNo QoS-satisfying configuration found for the new load within the budget."),
+        _ => {
+            println!("\nNo QoS-satisfying configuration found for the new load within the budget.")
+        }
     }
 }

@@ -8,8 +8,8 @@
 //!
 //! Run: `cargo run --release -p ribbon --example quickstart`
 
-use ribbon::prelude::*;
 use ribbon::evaluator::EvaluatorSettings;
+use ribbon::prelude::*;
 use ribbon::search::RibbonSettings;
 
 fn main() {
@@ -24,13 +24,20 @@ fn main() {
         workload.qos.latency_target_s * 1000.0,
         workload.qos.target_rate * 100.0,
         workload.qps,
-        workload.diverse_pool.iter().map(|t| t.family()).collect::<Vec<_>>()
+        workload
+            .diverse_pool
+            .iter()
+            .map(|t| t.family())
+            .collect::<Vec<_>>()
     );
 
     // Build the evaluator (this probes the search bounds m_i by simulation).
     let evaluator = ConfigEvaluator::new(
         &workload,
-        EvaluatorSettings { max_per_type: 10, ..Default::default() },
+        EvaluatorSettings {
+            max_per_type: 10,
+            ..Default::default()
+        },
     );
     println!("Search bounds m_i: {:?}", evaluator.bounds());
 
@@ -43,9 +50,14 @@ fn main() {
     );
 
     // Ribbon: Bayesian Optimization over the diverse pool.
-    let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: 30, ..RibbonSettings::fast() });
+    let ribbon = RibbonSearch::new(RibbonSettings {
+        max_evaluations: 30,
+        ..RibbonSettings::fast()
+    });
     let trace = ribbon.run(&evaluator, 42);
-    let best = trace.best_satisfying().expect("a QoS-satisfying diverse pool exists");
+    let best = trace
+        .best_satisfying()
+        .expect("a QoS-satisfying diverse pool exists");
 
     let saving = (homogeneous.hourly_cost - best.hourly_cost) / homogeneous.hourly_cost * 100.0;
     println!(

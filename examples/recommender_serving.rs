@@ -6,9 +6,9 @@
 //!
 //! Run: `cargo run --release -p ribbon --example recommender_serving`
 
-use ribbon::prelude::*;
 use ribbon::accounting::TraceMetrics;
 use ribbon::evaluator::EvaluatorSettings;
+use ribbon::prelude::*;
 use ribbon::search::RibbonSettings;
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
         workload.num_queries = 2000;
         let evaluator = ConfigEvaluator::new(
             &workload,
-            EvaluatorSettings { max_per_type: 10, ..Default::default() },
+            EvaluatorSettings {
+                max_per_type: 10,
+                ..Default::default()
+            },
         );
         let homogeneous = homogeneous_optimum(&evaluator, 12).expect("homogeneous baseline");
         println!(

@@ -15,7 +15,10 @@ fn small_workload(model: ModelKind, num_queries: usize) -> Workload {
 fn evaluator(model: ModelKind, bounds: Vec<u32>, num_queries: usize) -> ConfigEvaluator {
     ConfigEvaluator::new(
         &small_workload(model, num_queries),
-        EvaluatorSettings { explicit_bounds: Some(bounds), ..Default::default() },
+        EvaluatorSettings {
+            explicit_bounds: Some(bounds),
+            ..Default::default()
+        },
     )
 }
 
@@ -31,7 +34,9 @@ fn ribbon_beats_or_matches_the_homogeneous_baseline_on_mt_wnd() {
         ..RibbonSettings::fast()
     };
     let trace = RibbonSearch::new(settings).run(&ev, 5);
-    let best = trace.best_satisfying().expect("ribbon finds a satisfying pool");
+    let best = trace
+        .best_satisfying()
+        .expect("ribbon finds a satisfying pool");
     assert!(best.hourly_cost <= homogeneous.hourly_cost + 1e-9);
     assert!(best.meets_qos);
 }
@@ -40,14 +45,24 @@ fn ribbon_beats_or_matches_the_homogeneous_baseline_on_mt_wnd() {
 fn ribbon_reaches_the_exhaustive_optimum_with_far_fewer_evaluations() {
     let ev = evaluator(ModelKind::MtWnd, vec![5, 0, 8], 1200);
     let exhaustive = ExhaustiveSearch::full().run_search(&ev, 0);
-    let optimum = exhaustive.best_satisfying().expect("optimum exists").clone();
-    let trace = RibbonSearch::new(RibbonSettings { max_evaluations: 30, ..RibbonSettings::fast() })
-        .run(&ev, 9);
+    let optimum = exhaustive
+        .best_satisfying()
+        .expect("optimum exists")
+        .clone();
+    let trace = RibbonSearch::new(RibbonSettings {
+        max_evaluations: 30,
+        ..RibbonSettings::fast()
+    })
+    .run(&ev, 9);
     let best = trace.best_satisfying().expect("ribbon converges");
     // Ribbon's best is within 15% of the true optimum cost while evaluating a fraction of
     // the lattice.
-    assert!(best.hourly_cost <= optimum.hourly_cost * 1.15 + 1e-9,
-        "ribbon ${:.3} vs optimum ${:.3}", best.hourly_cost, optimum.hourly_cost);
+    assert!(
+        best.hourly_cost <= optimum.hourly_cost * 1.15 + 1e-9,
+        "ribbon ${:.3} vs optimum ${:.3}",
+        best.hourly_cost,
+        optimum.hourly_cost
+    );
     assert!(trace.len() < exhaustive.len() / 2);
 }
 
@@ -76,7 +91,10 @@ fn candle_workload_pipeline_produces_a_cost_saving_diverse_pool() {
     w.num_queries = 1500;
     let ev = ConfigEvaluator::new(
         &w,
-        EvaluatorSettings { max_per_type: 10, ..Default::default() },
+        EvaluatorSettings {
+            max_per_type: 10,
+            ..Default::default()
+        },
     );
     let homogeneous = homogeneous_optimum(&ev, 12).expect("candle homogeneous baseline");
     let settings = RibbonSettings {

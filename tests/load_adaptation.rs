@@ -8,8 +8,14 @@ use ribbon_models::{ModelKind, Workload};
 
 fn adapter() -> LoadAdapter {
     LoadAdapter::new(
-        RibbonSettings { max_evaluations: 22, ..RibbonSettings::fast() },
-        EvaluatorSettings { max_per_type: 9, ..Default::default() },
+        RibbonSettings {
+            max_evaluations: 22,
+            ..RibbonSettings::fast()
+        },
+        EvaluatorSettings {
+            max_per_type: 9,
+            ..Default::default()
+        },
     )
 }
 
@@ -31,7 +37,9 @@ fn mt_wnd_adapts_to_a_1_5x_load_increase() {
 fn dien_adaptation_converges_faster_than_the_initial_search() {
     let mut w = Workload::standard(ModelKind::Dien);
     w.num_queries = 1500;
-    let outcome = adapter().run(&w, 1.5, 19).expect("initial search converges");
+    let outcome = adapter()
+        .run(&w, 1.5, 19)
+        .expect("initial search converges");
     let steps_to_recover = outcome
         .steps_to_first_satisfying()
         .expect("a satisfying configuration is found for the new load");

@@ -20,7 +20,8 @@ fn fig4_mt_wnd_pool_anatomy_matches_the_paper() {
     ];
     for (g, t, expect_meets) in anchors {
         let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t]);
-        let rate = simulate(&pool, &queries, &profile).satisfaction_rate(workload.qos.latency_target_s);
+        let rate =
+            simulate(&pool, &queries, &profile).satisfaction_rate(workload.qos.latency_target_s);
         assert_eq!(
             workload.qos.is_met_by_rate(rate),
             expect_meets,
@@ -93,10 +94,15 @@ fn a_cheaper_qos_meeting_heterogeneous_configuration_exists_for_every_model() {
         w.num_queries = 2000; // full shape, reduced stream length to keep the test quick
         let ev = ConfigEvaluator::new(
             &w,
-            EvaluatorSettings { max_per_type: 10, ..Default::default() },
+            EvaluatorSettings {
+                max_per_type: 10,
+                ..Default::default()
+            },
         );
-        let homo = homogeneous_optimum(&ev, 14).unwrap_or_else(|| panic!("{m}: no homogeneous optimum"));
-        let hetero = ExhaustiveSearch::optimum(&ev).unwrap_or_else(|| panic!("{m}: no hetero optimum"));
+        let homo =
+            homogeneous_optimum(&ev, 14).unwrap_or_else(|| panic!("{m}: no homogeneous optimum"));
+        let hetero =
+            ExhaustiveSearch::optimum(&ev).unwrap_or_else(|| panic!("{m}: no hetero optimum"));
         assert!(
             hetero.hourly_cost < homo.hourly_cost + 1e-9,
             "{m}: heterogeneous optimum ${:.3} should not exceed homogeneous ${:.3}",

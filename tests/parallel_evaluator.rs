@@ -1,0 +1,278 @@
+//! Differential tests for the parallel batch-evaluation engine: `evaluate_many` must be
+//! indistinguishable from serial evaluation — bit-identical `Evaluation`s, identical caching
+//! behaviour, identical strategy traces — and measurably faster on multi-core hosts.
+
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::prelude::*;
+use ribbon::search::RibbonSettings;
+use ribbon::strategies::ExhaustiveSearch;
+use ribbon_models::{ModelKind, Workload};
+use std::time::Instant;
+
+fn workload(num_queries: usize) -> Workload {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = num_queries;
+    w
+}
+
+fn evaluator_with_threads(num_queries: usize, threads: usize) -> ConfigEvaluator {
+    ConfigEvaluator::new(
+        &workload(num_queries),
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 4, 6]),
+            threads: Some(threads),
+            ..Default::default()
+        },
+    )
+}
+
+/// A 16-configuration batch spread over the 6x4x6 lattice.
+fn batch16() -> Vec<Vec<u32>> {
+    vec![
+        vec![1, 0, 0],
+        vec![2, 0, 0],
+        vec![3, 0, 0],
+        vec![4, 0, 0],
+        vec![5, 0, 0],
+        vec![6, 0, 0],
+        vec![3, 1, 0],
+        vec![3, 2, 0],
+        vec![3, 0, 2],
+        vec![3, 0, 4],
+        vec![2, 2, 2],
+        vec![4, 2, 2],
+        vec![4, 4, 4],
+        vec![6, 4, 6],
+        vec![1, 1, 1],
+        vec![2, 1, 3],
+    ]
+}
+
+/// Asserts two evaluations are equal down to the bit patterns of their floats
+/// (stricter than `PartialEq`, which would conflate 0.0 and -0.0).
+fn assert_bit_identical(a: &Evaluation, b: &Evaluation) {
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.pool.describe(), b.pool.describe());
+    assert_eq!(a.meets_qos, b.meets_qos);
+    for (x, y, field) in [
+        (
+            a.satisfaction_rate,
+            b.satisfaction_rate,
+            "satisfaction_rate",
+        ),
+        (a.hourly_cost, b.hourly_cost, "hourly_cost"),
+        (a.objective, b.objective, "objective"),
+        (a.mean_latency_s, b.mean_latency_s, "mean_latency_s"),
+        (a.tail_latency_s, b.tail_latency_s, "tail_latency_s"),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{field}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn evaluate_many_is_bit_identical_to_serial_evaluation() {
+    let parallel = evaluator_with_threads(1200, 8);
+    let serial = evaluator_with_threads(1200, 1);
+    let configs = batch16();
+
+    let batch = parallel.evaluate_many(&configs);
+    let reference: Vec<Evaluation> = configs.iter().map(|c| serial.evaluate(c)).collect();
+
+    assert_eq!(batch.len(), configs.len());
+    for (b, r) in batch.iter().zip(&reference) {
+        assert_bit_identical(b, r);
+    }
+}
+
+#[test]
+fn evaluate_many_returns_results_in_input_order() {
+    let ev = evaluator_with_threads(800, 8);
+    let configs = batch16();
+    let evals = ev.evaluate_many(&configs);
+    let returned: Vec<Vec<u32>> = evals.into_iter().map(|e| e.config).collect();
+    assert_eq!(returned, configs);
+}
+
+#[test]
+fn revisited_configurations_hit_the_cache_and_are_not_resimulated() {
+    let ev = evaluator_with_threads(800, 8);
+    let configs = batch16();
+
+    let first = ev.evaluate_many(&configs);
+    let sims_after_first = ev.num_simulations();
+    assert_eq!(
+        sims_after_first,
+        configs.len(),
+        "every distinct config simulated exactly once"
+    );
+
+    // The whole batch again: all cache hits.
+    let second = ev.evaluate_many(&configs);
+    assert_eq!(
+        ev.num_simulations(),
+        sims_after_first,
+        "revisit must not re-simulate"
+    );
+    for (a, b) in first.iter().zip(&second) {
+        assert_bit_identical(a, b);
+    }
+
+    // And the serial path shares the same cache.
+    let one = ev.evaluate(&configs[3]);
+    assert_eq!(ev.num_simulations(), sims_after_first);
+    assert_bit_identical(&one, &first[3]);
+}
+
+#[test]
+fn duplicates_within_a_batch_are_simulated_once() {
+    let ev = evaluator_with_threads(800, 8);
+    let configs = vec![vec![2, 1, 1], vec![3, 0, 0], vec![2, 1, 1], vec![2, 1, 1]];
+    let evals = ev.evaluate_many(&configs);
+    assert_eq!(
+        ev.num_simulations(),
+        2,
+        "two distinct configs, two simulations"
+    );
+    assert_bit_identical(&evals[0], &evals[2]);
+    assert_bit_identical(&evals[0], &evals[3]);
+}
+
+#[test]
+fn mixed_cache_states_are_assembled_correctly() {
+    let ev = evaluator_with_threads(800, 8);
+    let warm = ev.evaluate(&[3, 1, 0]);
+    let configs = vec![vec![1, 0, 0], vec![3, 1, 0], vec![2, 0, 2]];
+    let evals = ev.evaluate_many(&configs);
+    assert_bit_identical(&evals[1], &warm);
+    assert_eq!(ev.num_simulations(), 3, "one warm hit + two fresh misses");
+}
+
+#[test]
+fn bound_probing_is_identical_across_thread_counts() {
+    let make = |threads: usize| {
+        ConfigEvaluator::new(
+            &workload(800),
+            EvaluatorSettings {
+                max_per_type: 6,
+                threads: Some(threads),
+                ..Default::default()
+            },
+        )
+    };
+    assert_eq!(make(1).bounds(), make(8).bounds());
+}
+
+#[test]
+fn homogeneous_optimum_is_identical_across_thread_counts() {
+    let serial = evaluator_with_threads(1200, 1);
+    let parallel = evaluator_with_threads(1200, 8);
+    let a = homogeneous_optimum(&serial, 8);
+    let b = homogeneous_optimum(&parallel, 8);
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.hourly_cost.to_bits(), y.hourly_cost.to_bits());
+        }
+        (x, y) => assert_eq!(x.is_none(), y.is_none()),
+    }
+}
+
+#[test]
+fn every_strategy_trace_is_identical_across_thread_counts() {
+    let serial = evaluator_with_threads(1000, 1);
+    let parallel = evaluator_with_threads(1000, 8);
+
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(RibbonSearch::new(RibbonSettings {
+            max_evaluations: 15,
+            ..RibbonSettings::fast()
+        })),
+        Box::new(HillClimbSearch::new(25)),
+        Box::new(RandomSearch::new(25)),
+        Box::new(ResponseSurfaceSearch::new(25)),
+        Box::new(ExhaustiveSearch::capped(30)),
+    ];
+    for s in strategies {
+        let a = s.run_search(&serial, 11);
+        let b = s.run_search(&parallel, 11);
+        assert_eq!(a.len(), b.len(), "{}: trace lengths differ", s.name());
+        for (x, y) in a.evaluations().iter().zip(b.evaluations()) {
+            assert_bit_identical(x, y);
+        }
+    }
+}
+
+#[test]
+fn config_seed_is_stable_and_per_configuration() {
+    let a = evaluator_with_threads(800, 1);
+    let b = evaluator_with_threads(800, 8);
+    // Same workload => same seed, regardless of evaluator parallelism or call order.
+    assert_eq!(a.config_seed(&[3, 1, 2]), b.config_seed(&[3, 1, 2]));
+    assert_ne!(a.config_seed(&[3, 1, 2]), a.config_seed(&[2, 1, 3]));
+    // Different workload seeds decorrelate.
+    let other = ConfigEvaluator::new(
+        &workload(800).with_seed(999),
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 4, 6]),
+            ..Default::default()
+        },
+    );
+    assert_ne!(a.config_seed(&[3, 1, 2]), other.config_seed(&[3, 1, 2]));
+}
+
+/// The acceptance demonstration: a 16-configuration batch on >=4 threads vs. serial.
+/// Timings (best of 3, cache-cold per attempt) are always printed
+/// (`cargo test parallel_speedup -- --nocapture`); results are always asserted
+/// bit-identical. The >=2x speedup bound is asserted only when `RIBBON_REQUIRE_SPEEDUP`
+/// is set *and* the host has at least 4 cores: wall-clock ratios on shared CI runners and
+/// hyperthreaded shards are too noisy to gate every push on (the Criterion
+/// `evaluator_bench` is the reproducible demonstration on real hardware).
+#[test]
+fn parallel_speedup_on_a_16_config_batch() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let configs = batch16();
+    let attempts = 3;
+
+    let mut serial_best = f64::INFINITY;
+    let mut parallel_best = f64::INFINITY;
+    let mut serial_evals = Vec::new();
+    let mut parallel_evals = Vec::new();
+    for _ in 0..attempts {
+        // Fresh evaluators so every attempt starts cache-cold on identical state.
+        let serial = evaluator_with_threads(4000, 1);
+        let parallel = evaluator_with_threads(4000, cores.max(4));
+
+        let t0 = Instant::now();
+        serial_evals = serial.evaluate_many(&configs);
+        serial_best = serial_best.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        parallel_evals = parallel.evaluate_many(&configs);
+        parallel_best = parallel_best.min(t1.elapsed().as_secs_f64());
+    }
+
+    for (a, b) in serial_evals.iter().zip(&parallel_evals) {
+        assert_bit_identical(a, b);
+    }
+
+    let speedup = serial_best / parallel_best.max(1e-9);
+    println!(
+        "evaluate_many 16 configs x 4000 queries (best of {attempts}): serial {:.1} ms, \
+         parallel ({} threads on {cores} cores) {:.1} ms, speedup {speedup:.2}x",
+        serial_best * 1e3,
+        cores.max(4),
+        parallel_best * 1e3,
+    );
+
+    if std::env::var_os("RIBBON_REQUIRE_SPEEDUP").is_some() && cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x speedup on {cores} cores, got {speedup:.2}x"
+        );
+    }
+    // Otherwise the run is informational: identity is what's asserted unconditionally.
+    // (Below 4 cores — often hyperthread siblings of one physical core — and on shared
+    // CI runners, wall-clock ratios are pure noise.)
+}

@@ -13,7 +13,10 @@ fn shared_evaluator() -> ConfigEvaluator {
     w.num_queries = 1500;
     ConfigEvaluator::new(
         &w,
-        EvaluatorSettings { explicit_bounds: Some(vec![6, 4, 8]), ..Default::default() },
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 4, 8]),
+            ..Default::default()
+        },
     )
 }
 
@@ -22,7 +25,10 @@ fn every_strategy_eventually_finds_a_qos_satisfying_configuration() {
     let ev = shared_evaluator();
     let budget = 60;
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(RibbonSearch::new(RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() })),
+        Box::new(RibbonSearch::new(RibbonSettings {
+            max_evaluations: budget,
+            ..RibbonSettings::fast()
+        })),
         Box::new(HillClimbSearch::new(budget)),
         Box::new(RandomSearch::new(budget)),
         Box::new(ResponseSurfaceSearch::new(budget)),
@@ -44,10 +50,15 @@ fn ribbon_reaches_a_meaningful_cost_saving_within_a_small_budget() {
     // over the homogeneous optimum, and it does reach the ground-truth optimum eventually.
     let ev = shared_evaluator();
     let homogeneous = homogeneous_optimum(&ev, 8).expect("homogeneous optimum exists");
-    let optimum_cost = ExhaustiveSearch::optimum(&ev).expect("optimum exists").hourly_cost;
+    let optimum_cost = ExhaustiveSearch::optimum(&ev)
+        .expect("optimum exists")
+        .hourly_cost;
     let budget = 120;
-    let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() })
-        .run_search(&ev, 42);
+    let ribbon = RibbonSearch::new(RibbonSettings {
+        max_evaluations: budget,
+        ..RibbonSettings::fast()
+    })
+    .run_search(&ev, 42);
     let to_five_percent =
         ribbon::accounting::samples_to_reach_saving(&ribbon, homogeneous.hourly_cost, 5.0)
             .expect("ribbon reaches a 5% saving");
@@ -65,11 +76,17 @@ fn ribbon_reaches_a_meaningful_cost_saving_within_a_small_budget() {
 fn ribbon_exploration_cost_is_a_small_fraction_of_exhaustive() {
     let ev = shared_evaluator();
     let exhaustive = ExhaustiveSearch::full().run_search(&ev, 0);
-    let ribbon = RibbonSearch::new(RibbonSettings { max_evaluations: 30, ..RibbonSettings::fast() })
-        .run_search(&ev, 13);
+    let ribbon = RibbonSearch::new(RibbonSettings {
+        max_evaluations: 30,
+        ..RibbonSettings::fast()
+    })
+    .run_search(&ev, 13);
     let metrics = TraceMetrics::new(&ribbon, 5.0 * 0.526);
     let pct = metrics.exploration_cost_percent(exhaustive.exploration_cost());
-    assert!(pct < 30.0, "ribbon exploration cost {pct:.1}% of exhaustive is too high");
+    assert!(
+        pct < 30.0,
+        "ribbon exploration cost {pct:.1}% of exhaustive is too high"
+    );
 }
 
 #[test]
@@ -77,7 +94,10 @@ fn all_strategies_respect_their_evaluation_budget_and_never_duplicate() {
     let ev = shared_evaluator();
     let budget = 25;
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(RibbonSearch::new(RibbonSettings { max_evaluations: budget, ..RibbonSettings::fast() })),
+        Box::new(RibbonSearch::new(RibbonSettings {
+            max_evaluations: budget,
+            ..RibbonSettings::fast()
+        })),
         Box::new(HillClimbSearch::new(budget)),
         Box::new(RandomSearch::new(budget)),
         Box::new(ResponseSurfaceSearch::new(budget)),
@@ -88,7 +108,12 @@ fn all_strategies_respect_their_evaluation_budget_and_never_duplicate() {
         assert!(trace.len() <= budget, "{} exceeded its budget", s.name());
         let mut seen = std::collections::HashSet::new();
         for e in trace.evaluations() {
-            assert!(seen.insert(e.config.clone()), "{} evaluated {:?} twice", s.name(), e.config);
+            assert!(
+                seen.insert(e.config.clone()),
+                "{} evaluated {:?} twice",
+                s.name(),
+                e.config
+            );
         }
     }
 }

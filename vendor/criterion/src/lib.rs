@@ -1,0 +1,308 @@
+//! Offline shim of `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros
+//! (both the simple and the `name/config/targets` forms).
+//!
+//! Measurement model: each benchmark is calibrated with a single warm-up call,
+//! then timed over `sample_size` samples of `iters_per_sample` calls each,
+//! where `iters_per_sample` targets roughly one millisecond per sample. The
+//! report prints min/median/mean per-iteration times. This is deliberately
+//! simple — good enough for the relative comparisons the experiment benches
+//! make, and for keeping `cargo bench --no-run` meaningful in CI — and the CLI
+//! accepts (and ignores) the arguments cargo forwards, plus an optional
+//! substring filter like upstream.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`, printed as `name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Collected per-iteration durations (one entry per sample).
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration wall-clock times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration call.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+
+        // Aim for ~1 ms per sample so fast routines still get timer resolution,
+        // without letting slow routines run thousands of times.
+        let target = Duration::from_millis(1);
+        let iters = if first.is_zero() {
+            1_000
+        } else {
+            (target.as_nanos() / first.as_nanos().max(1)).clamp(1, 10_000) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder form, used by
+    /// `criterion_group!`'s `config = ...` clause).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Returns `true` when `id` passes the CLI substring filter.
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.selected(id) {
+            return;
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{id:<50} min {:>10}   median {:>10}   mean {:>10}",
+            format_duration(min),
+            format_duration(median),
+            format_duration(mean)
+        );
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn run_grouped<F: FnMut(&mut Bencher)>(&mut self, id: String, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let saved = self.parent.sample_size;
+        if let Some(n) = self.sample_size {
+            self.parent.sample_size = n;
+        }
+        self.parent.run_one(&full, f);
+        self.parent.sample_size = saved;
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) -> &mut Self {
+        self.run_grouped(id.to_string(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_grouped(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; printing is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("fit", 30).to_string(), "fit/30");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        c.bench_function("counter", |b| b.iter(|| calls += 1));
+        assert!(calls >= 3, "routine ran {calls} times");
+    }
+
+    #[test]
+    fn groups_respect_sample_size_and_inputs() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| b.iter(|| seen = x));
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn filter_skips_unmatched_benchmarks() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("match-me-please", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting_covers_all_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline shim of `proptest` (see `vendor/README.md`).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro over functions whose arguments are drawn from numeric
+//! range strategies (`lo..hi`, `lo..=hi`), plus [`prop_assert!`] and
+//! [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is no shrinking and no persistence: each test
+//! runs a fixed number of uniformly sampled cases (default 64, override with
+//! the `PROPTEST_CASES` environment variable) from a seed derived
+//! deterministically from the test name, so failures reproduce exactly on
+//! re-run.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of test-case values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut test_runner::PtRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::PtRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::PtRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+/// Fixed value sets also work as strategies (e.g. `[1u32, 2, 3]` by value is
+/// not supported by real proptest; this mirrors `prop::sample::select` for
+/// slices in the simplest form the shim needs).
+impl<T: Clone> Strategy for &[T] {
+    type Value = T;
+
+    fn sample(&self, rng: &mut test_runner::PtRng) -> T {
+        assert!(!self.is_empty(), "cannot sample from an empty slice");
+        let i = rand::Rng::gen_range(&mut rng.0, 0..self.len());
+        self[i].clone()
+    }
+}
+
+/// Test-runner plumbing used by the generated code.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// RNG handed to strategies, seeded per test.
+    pub struct PtRng(pub StdRng);
+
+    impl PtRng {
+        /// Builds the RNG for a named test: deterministic per name.
+        pub fn new(name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            PtRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    /// Number of cases each property test runs.
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`test_runner::cases`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __pt_rng = $crate::test_runner::PtRng::new(stringify!($name));
+                for __pt_case in 0..$crate::test_runner::cases() {
+                    let _ = __pt_case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __pt_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Shim behaviour: expands to `continue` on the case loop, so it must be used
+/// at the top level of a `proptest!` body (which is how real proptest is used
+/// here too). Unlike upstream there is no "too many rejected cases" budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::test_runner;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..10, y in -2.5f64..2.5, n in 1usize..=4) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn multiple_tests_in_one_block_work(a in 0u64..100, b in 0u64..100) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips_unwanted_cases(a in 0u64..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = test_runner::PtRng::new("some_test");
+        let mut b = test_runner::PtRng::new("some_test");
+        let sa = (0u32..5)
+            .map(|_| (0u32..1000).sample(&mut a))
+            .collect::<Vec<_>>();
+        let sb = (0u32..5)
+            .map(|_| (0u32..1000).sample(&mut b))
+            .collect::<Vec<_>>();
+        assert_eq!(sa, sb);
+        let mut c = test_runner::PtRng::new("other_test");
+        let sc = (0u32..5)
+            .map(|_| (0u32..1000).sample(&mut c))
+            .collect::<Vec<_>>();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn case_count_defaults_to_64() {
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(test_runner::cases(), 64);
+        }
+    }
+}

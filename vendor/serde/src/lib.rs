@@ -1,0 +1,51 @@
+//! Offline shim of the `serde` crate (see `vendor/README.md`).
+//!
+//! `Serialize` and `Deserialize` are blanket-implemented marker traits and the
+//! re-exported derives expand to nothing. Annotating a type therefore compiles
+//! exactly as with real serde, but no wire format exists yet; swapping in the
+//! real crates requires no source changes in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (no-op shim).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no-op shim).
+///
+/// The lifetime mirrors real serde's `Deserialize<'de>` so trait bounds
+/// written against the real crate keep compiling.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing (no-op shim).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: f64,
+        y: f64,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    #[allow(dead_code)]
+    enum Shape {
+        Dot,
+        Line { from: Point, to: Point },
+    }
+
+    fn assert_serializable<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derived_types_satisfy_the_marker_traits() {
+        assert_serializable::<Point>();
+        assert_serializable::<Shape>();
+        assert_serializable::<Vec<Point>>();
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline shim of `serde_derive` (see `vendor/README.md`).
+//!
+//! The derives expand to nothing: the sibling `serde` shim defines
+//! `Serialize`/`Deserialize` as blanket-implemented marker traits, so an empty
+//! expansion leaves every annotated type "serializable" without generating
+//! code. This keeps `#[derive(Serialize, Deserialize)]` and serde-style trait
+//! bounds compiling unchanged until a real serialization backend is wired in.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
