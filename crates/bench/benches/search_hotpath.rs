@@ -1,0 +1,67 @@
+//! End-to-end hot-path benchmarks on the large-pool scenario (six instance types, per-type
+//! bounds of 10 — a ~1.77 M-point lattice — and 20 000-query streams): the perf-trajectory
+//! counterpart of the one-shot `perfsnap` binary, for tracking regressions over time.
+//!
+//! `search_hotpath/baseline_full_refit_30_evals` replays the pre-incremental hot path
+//! (lattice re-enumeration + full GP grid refit + allocating per-candidate prediction per
+//! iteration) and takes **minutes per iteration** — run it deliberately, e.g.
+//! `cargo bench --bench search_hotpath -- incremental` to skip it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ribbon_bench::perf::{hotpath_evaluator, hotpath_workload, run_hotpath_search};
+use ribbon_cloudsim::{sim, simulate_stats, PoolSpec};
+
+fn bench_simulate_large_pool(c: &mut Criterion) {
+    let workload = hotpath_workload();
+    let profile = workload.profile();
+    let queries = workload.stream_config().generate();
+    let pool = PoolSpec::from_counts(&workload.diverse_pool, &[30, 35, 30, 40, 35, 30]);
+    let target = workload.qos.latency_target_s;
+
+    let mut group = c.benchmark_group("simulate_200_instances_20k_queries");
+    group.sample_size(20);
+    group.bench_function("reference_scan", |b| {
+        b.iter(|| black_box(sim::reference::simulate(&pool, &queries, &profile)).makespan)
+    });
+    group.bench_function("event_driven", |b| {
+        b.iter(|| black_box(sim::simulate(&pool, &queries, &profile)).makespan)
+    });
+    group.bench_function("lean_stats", |b| {
+        b.iter(|| black_box(simulate_stats(&pool, &queries, &profile, target, 99.0)).makespan)
+    });
+    group.finish();
+}
+
+fn bench_search_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_hotpath");
+    group.sample_size(10);
+    group.bench_function("incremental_30_evals", |b| {
+        b.iter(|| black_box(run_hotpath_search(true)).len())
+    });
+    group.bench_function("baseline_full_refit_30_evals", |b| {
+        b.iter(|| black_box(run_hotpath_search(false)).len())
+    });
+    group.finish();
+}
+
+fn bench_evaluate_many_batch(c: &mut Criterion) {
+    let configs: Vec<Vec<u32>> = (0..16u32)
+        .map(|i| vec![1 + i % 5, i % 4, (i * 3) % 5, i % 3, (i * 7) % 4, 1 + i % 6])
+        .collect();
+    let mut group = c.benchmark_group("evaluate_many_16_configs_20k_queries");
+    group.sample_size(10);
+    group.bench_function("parallel_batch", |b| {
+        b.iter(|| {
+            let evaluator = hotpath_evaluator();
+            black_box(evaluator.evaluate_many(&configs)).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulate_large_pool, bench_evaluate_many_batch, bench_search_hotpath
+}
+criterion_main!(benches);

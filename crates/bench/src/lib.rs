@@ -6,6 +6,7 @@
 //! corresponding paper figure; EXPERIMENTS.md records the paper-vs-measured comparison.
 
 pub mod experiment;
+pub mod perf;
 pub mod table;
 
 pub use experiment::{

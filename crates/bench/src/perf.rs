@@ -1,0 +1,125 @@
+//! The fixed perf-trajectory scenarios shared by the `search_hotpath` Criterion bench and
+//! the `perfsnap` binary (which writes `BENCH_PR2.json`).
+//!
+//! The scenario is deliberately *large* — six instance types, per-type bounds of 10
+//! (a ~1.77 M-point lattice), 20 000-query streams — so the hot paths this PR rebuilt
+//! (event-driven simulation, incremental GP fits, batched acquisition scans over a
+//! maintained open set) dominate the wall time the way they would in a production-scale
+//! deployment, rather than being hidden behind fixed costs.
+
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::search::{RibbonSearch, RibbonSettings, SearchTrace};
+use ribbon_cloudsim::InstanceType;
+use ribbon_gp::FitConfig;
+use ribbon_models::{ModelKind, Workload};
+
+/// Number of queries per simulated stream in the hot-path scenario.
+pub const HOTPATH_QUERIES: usize = 20_000;
+
+/// Per-type bound m_i of the hot-path lattice (applied to all six types).
+pub const HOTPATH_BOUND: u32 = 10;
+
+/// Evaluation budget of the hot-path search scenario.
+pub const HOTPATH_EVALUATIONS: usize = 30;
+
+/// Seed for the hot-path search runs (fixed so traces are comparable across machines).
+pub const HOTPATH_SEED: u64 = 2;
+
+/// The six-type MT-WND workload of the hot-path scenario: the Table 3 diverse pool widened
+/// with a second compute-optimized type and a general-purpose/burstable tail.
+pub fn hotpath_workload() -> Workload {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.diverse_pool = vec![
+        InstanceType::G4dn,
+        InstanceType::C5,
+        InstanceType::C5a,
+        InstanceType::M5,
+        InstanceType::R5n,
+        InstanceType::T3,
+    ];
+    w.num_queries = HOTPATH_QUERIES;
+    w
+}
+
+/// Builds the hot-path evaluator with explicit bounds (the bound probe is not what this
+/// scenario measures).
+pub fn hotpath_evaluator() -> ConfigEvaluator {
+    ConfigEvaluator::new(
+        &hotpath_workload(),
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![HOTPATH_BOUND; 6]),
+            ..Default::default()
+        },
+    )
+}
+
+/// Search settings for the hot-path scenario; `reuse_surrogate = false` selects the
+/// from-scratch baseline (identical traces either way).
+pub fn hotpath_search_settings(reuse_surrogate: bool) -> RibbonSettings {
+    RibbonSettings {
+        max_evaluations: HOTPATH_EVALUATIONS,
+        fit: FitConfig::coarse(),
+        reuse_surrogate,
+        ..RibbonSettings::default()
+    }
+}
+
+/// Runs the hot-path search on a fresh evaluator (so the evaluation cache of a previous run
+/// cannot subsidize the measured one) and returns its trace.
+pub fn run_hotpath_search(reuse_surrogate: bool) -> SearchTrace {
+    let evaluator = hotpath_evaluator();
+    RibbonSearch::new(hotpath_search_settings(reuse_surrogate)).run(&evaluator, HOTPATH_SEED)
+}
+
+/// The golden-trace line format used by `perfsnap --check`: one evaluation per line,
+/// objective recorded as exact bits so cross-machine comparison is bit-for-bit.
+pub fn trace_lines(trace: &SearchTrace) -> Vec<String> {
+    trace
+        .evaluations()
+        .iter()
+        .map(|e| {
+            let cfg: Vec<String> = e.config.iter().map(|c| c.to_string()).collect();
+            format!(
+                "cfg {} obj {:#018x} # {:.6}",
+                cfg.join(","),
+                e.objective.to_bits(),
+                e.objective
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_scenario_meets_the_issue_floor() {
+        let w = hotpath_workload();
+        assert!(w.diverse_pool.len() >= 6, "at least six instance types");
+        assert!(w.num_queries >= 20_000, "at least 20k queries");
+        const {
+            assert!(HOTPATH_BOUND >= 10, "per-type bounds of at least 10");
+        }
+    }
+
+    #[test]
+    fn trace_lines_round_trip_the_objective_bits() {
+        let mut trace = SearchTrace::new("X");
+        let mut w = hotpath_workload();
+        w.num_queries = 300;
+        let ev = ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![2; 6]),
+                ..Default::default()
+            },
+        );
+        trace.evaluations.push(ev.evaluate(&[1, 0, 0, 0, 0, 1]));
+        let line = &trace_lines(&trace)[0];
+        assert!(line.starts_with("cfg 1,0,0,0,0,1 obj 0x"));
+        let bits = line.split_whitespace().nth(3).unwrap();
+        let parsed = u64::from_str_radix(bits.trim_start_matches("0x"), 16).unwrap();
+        assert_eq!(f64::from_bits(parsed), trace.evaluations[0].objective);
+    }
+}

@@ -11,15 +11,30 @@
 //! }
 //! ```
 //!
-//! The optimizer refits the GP after every observation (the datasets are tiny) and maximizes
-//! the acquisition function by scanning every lattice point that is neither already explored
-//! nor pruned.
+//! # Hot-path structure
+//!
+//! Two per-`suggest` costs are kept incremental (with the historical from-scratch behaviour
+//! preserved behind [`BoSettings::reuse_surrogate`] `= false` as a differential oracle):
+//!
+//! * the **open-candidate set** (un-explored, un-pruned lattice points, in lexicographic
+//!   enumeration order) is maintained across calls — observations remove one point, prune
+//!   boxes remove their covered region — instead of re-enumerating and re-filtering the
+//!   entire lattice on every call;
+//! * the **GP surrogate** is an [`IncrementalGridGp`]: each new observation is folded into
+//!   every hyperparameter cell with a rank-1 Cholesky append (O(n²)) instead of refitting
+//!   the whole grid (O(grid · n³)), and the acquisition scan runs through the batched
+//!   [`predict_many`](ribbon_gp::GaussianProcess::predict_many) path.
+//!
+//! Both are exact optimizations: suggestions, RNG consumption, and scores are bit-identical
+//! to the from-scratch path (see `tests/incremental_gp.rs`).
 
 use crate::acquisition::Acquisition;
 use crate::space::{Config, ConfigLattice, PruneSet};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use ribbon_gp::{fit_gp, FitConfig, GpError};
+use ribbon_gp::{
+    fit_gp, FitConfig, GaussianProcess, GpError, IncrementalGridGp, Matern52, Rounded,
+};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -64,6 +79,17 @@ pub struct BoSettings {
     pub acquisition: Acquisition,
     /// Hyperparameter grid for the GP refit.
     pub fit: FitConfig,
+    /// Reuse the fitted surrogate across `suggest` calls, folding new observations in
+    /// incrementally (the default). `false` refits the full hyperparameter grid from
+    /// scratch on every call — the historical behaviour, kept as the differential oracle
+    /// and the measurable "before" in the perf-trajectory harness. Both settings produce
+    /// bit-identical suggestions.
+    pub reuse_surrogate: bool,
+    /// Worker threads for the acquisition scan over the open candidates (`None` = the
+    /// machine's available parallelism). The scan's chunked, order-reduced design makes
+    /// the suggestion identical for every thread count; the from-scratch baseline path
+    /// always scans serially, as the historical code did.
+    pub scan_threads: Option<usize>,
 }
 
 impl Default for BoSettings {
@@ -72,6 +98,8 @@ impl Default for BoSettings {
             initial_samples: 3,
             acquisition: Acquisition::default(),
             fit: FitConfig::default(),
+            reuse_surrogate: true,
+            scan_threads: None,
         }
     }
 }
@@ -118,17 +146,30 @@ pub struct BoOptimizer {
     observations: Vec<Observation>,
     explored: HashSet<Config>,
     prune: PruneSet,
+    /// Un-explored, un-pruned lattice points in lexicographic enumeration order —
+    /// maintained incrementally by `record` / `prune_below` / `prune_above` so `suggest`
+    /// never re-enumerates the lattice. Invariant: equals
+    /// `lattice.enumerate()` filtered by `explored` and `prune`, in enumeration order.
+    open: Vec<Config>,
+    /// Cached incremental surrogate (when `settings.reuse_surrogate`) and the number of
+    /// observations already folded into it.
+    surrogate: Option<IncrementalGridGp>,
+    fitted_upto: usize,
 }
 
 impl BoOptimizer {
     /// Creates an optimizer over `lattice` with the given settings.
     pub fn new(lattice: ConfigLattice, settings: BoSettings) -> Self {
+        let open = lattice.enumerate();
         BoOptimizer {
             lattice,
             settings,
             observations: Vec::new(),
             explored: HashSet::new(),
             prune: PruneSet::new(),
+            open,
+            surrogate: None,
+            fitted_upto: 0,
         }
     }
 
@@ -166,12 +207,17 @@ impl BoOptimizer {
     /// Marks every configuration dominated by `violator` as unreachable (paper's pruning rule
     /// for configurations that violate QoS by more than the threshold).
     pub fn prune_below(&mut self, violator: Config) {
+        self.open
+            .retain(|c| !crate::space::dominated_by(c, &violator));
         self.prune.prune_below(violator);
     }
 
     /// Marks every configuration that component-wise exceeds `satisfier` as not worth
     /// sampling (it is at least as expensive and cannot beat the incumbent).
     pub fn prune_above(&mut self, satisfier: Config) {
+        self.open.retain(|c| {
+            !crate::space::dominated_by(&satisfier, c) || c.as_slice() == satisfier.as_slice()
+        });
         self.prune.prune_above(satisfier);
     }
 
@@ -198,7 +244,14 @@ impl BoOptimizer {
         if !value.is_finite() {
             return Err(BoError::NonFiniteObjective(value));
         }
-        self.explored.insert(config.clone());
+        if self.explored.insert(config.clone()) {
+            // `open` is kept in lexicographic (enumeration) order, so the newly explored
+            // configuration is removed by binary search; it may already be absent if a
+            // prune box covered it.
+            if let Ok(pos) = self.open.binary_search(&config) {
+                self.open.remove(pos);
+            }
+        }
         self.observations.push(Observation {
             config,
             value,
@@ -207,34 +260,170 @@ impl BoOptimizer {
         Ok(())
     }
 
-    /// Candidate configurations that are neither explored nor pruned.
-    fn open_candidates(&self) -> Vec<Config> {
-        self.lattice
+    /// Candidate configurations that are neither explored nor pruned, in enumeration order.
+    pub fn open_candidates(&self) -> &[Config] {
+        &self.open
+    }
+
+    /// Brings the cached incremental surrogate up to date with the observation history.
+    /// Returns `false` (after discarding the cache) when the surrogate cannot be (re)built,
+    /// which `suggest` translates into the random fallback — exactly how a `fit_gp` failure
+    /// is handled on the from-scratch path.
+    fn refresh_surrogate(&mut self) -> bool {
+        if self.surrogate.is_none() {
+            let x: Vec<Vec<f64>> = self
+                .observations
+                .iter()
+                .map(|o| ConfigLattice::to_coords(&o.config))
+                .collect();
+            let y: Vec<f64> = self.observations.iter().map(|o| o.value).collect();
+            match IncrementalGridGp::fit(&x, &y, &self.settings.fit) {
+                Ok(grid) => {
+                    self.surrogate = Some(grid);
+                    self.fitted_upto = self.observations.len();
+                }
+                Err(_) => return false,
+            }
+            return true;
+        }
+        while self.fitted_upto < self.observations.len() {
+            let o = &self.observations[self.fitted_upto];
+            let coords = ConfigLattice::to_coords(&o.config);
+            let value = o.value;
+            let grid = self.surrogate.as_mut().expect("surrogate checked above");
+            if grid.append(coords, value).is_err() {
+                self.surrogate = None;
+                return false;
+            }
+            self.fitted_upto += 1;
+        }
+        true
+    }
+
+    /// Scores one contiguous chunk of the open set sequentially and returns the chunk's
+    /// best `(global index, score)` — the first candidate attaining the maximum, matching
+    /// the from-scratch scan's tie rule. `coords` is a reusable buffer of at least
+    /// `chunk.len()` slots of `dims` coordinates each.
+    fn scan_chunk(
+        &self,
+        gp: &GaussianProcess<Rounded<Matern52>>,
+        chunk: &[Config],
+        offset: usize,
+        incumbent: f64,
+        coords: &mut [Vec<f64>],
+    ) -> Result<(usize, f64), BoError> {
+        for (slot, cfg) in coords.iter_mut().zip(chunk) {
+            for (s, &c) in slot.iter_mut().zip(cfg) {
+                *s = c as f64;
+            }
+        }
+        let posteriors = gp.predict_many(&coords[..chunk.len()])?;
+        let mut best: Option<(usize, f64)> = None;
+        for (k, posterior) in posteriors.iter().enumerate() {
+            let score = self.settings.acquisition.score(posterior, incumbent);
+            match &best {
+                Some((_, s)) if *s >= score => {}
+                _ => best = Some((offset + k, score)),
+            }
+        }
+        Ok(best.expect("chunks are non-empty"))
+    }
+
+    /// Maximizes the acquisition function over the open candidates with the batched
+    /// prediction path, fanning contiguous chunks out over [`BoSettings::scan_threads`]
+    /// workers.
+    ///
+    /// Determinism: each chunk is scored sequentially, chunk results are reduced in chunk
+    /// order, and both levels keep the first strictly-better score — so the selected
+    /// candidate is exactly the one the serial from-scratch scan picks (first maximum in
+    /// enumeration order), for any worker count.
+    fn scan_open(
+        &self,
+        gp: &GaussianProcess<Rounded<Matern52>>,
+        incumbent: f64,
+    ) -> Result<Suggestion, BoError> {
+        // Chunked so the coordinate buffers stay small and warm regardless of lattice size.
+        const CHUNK: usize = 1024;
+        let dims = self.lattice.dims();
+        let num_chunks = self.open.len().div_ceil(CHUNK);
+        let workers = self
+            .settings
+            .scan_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, num_chunks);
+
+        let mut best: Option<(usize, f64)> = None;
+        if workers <= 1 {
+            let mut coords: Vec<Vec<f64>> = vec![vec![0.0; dims]; CHUNK.min(self.open.len())];
+            for (chunk_idx, chunk) in self.open.chunks(CHUNK).enumerate() {
+                let local =
+                    self.scan_chunk(gp, chunk, chunk_idx * CHUNK, incumbent, &mut coords)?;
+                match &best {
+                    Some((_, s)) if *s >= local.1 => {}
+                    _ => best = Some(local),
+                }
+            }
+        } else {
+            // Mirrors the workspace parallel engine (ribbon-cloudsim::parallel): an atomic
+            // work index over chunks, results stored per chunk, reduced in chunk order.
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            type ChunkSlot = Mutex<Option<Result<(usize, f64), BoError>>>;
+            let next = AtomicUsize::new(0);
+            let slots: Vec<ChunkSlot> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut coords: Vec<Vec<f64>> = vec![vec![0.0; dims]; CHUNK];
+                        loop {
+                            let ci = next.fetch_add(1, Ordering::Relaxed);
+                            if ci >= num_chunks {
+                                break;
+                            }
+                            let start = ci * CHUNK;
+                            let chunk = &self.open[start..(start + CHUNK).min(self.open.len())];
+                            let r = self.scan_chunk(gp, chunk, start, incumbent, &mut coords);
+                            *slots[ci].lock().expect("scan slot poisoned") = Some(r);
+                        }
+                    });
+                }
+            });
+            for slot in slots {
+                let local = slot
+                    .into_inner()
+                    .expect("scan slot poisoned")
+                    .expect("every chunk was scanned")?;
+                match &best {
+                    Some((_, s)) if *s >= local.1 => {}
+                    _ => best = Some(local),
+                }
+            }
+        }
+
+        let (idx, score) = best.ok_or(BoError::SpaceExhausted)?;
+        Ok(Suggestion {
+            config: self.open[idx].clone(),
+            source: SuggestionSource::Acquisition { score },
+        })
+    }
+
+    /// One full iteration of the historical (pre-incremental) hot path, kept as the
+    /// measurable baseline and differential oracle: re-enumerate and re-filter the entire
+    /// lattice, refit the whole hyperparameter grid from scratch, and score candidates
+    /// through the allocating single-point `predict`. Returns `Ok(None)` when the grid
+    /// fit fails (the caller falls back to a random suggestion, as the historical code
+    /// did).
+    fn suggest_from_scratch(&self, incumbent: f64) -> Result<Option<Suggestion>, BoError> {
+        let open: Vec<Config> = self
+            .lattice
             .enumerate()
             .into_iter()
             .filter(|c| !self.explored.contains(c) && !self.prune.is_pruned(c))
-            .collect()
-    }
-
-    /// Suggests the next configuration to evaluate.
-    ///
-    /// During the initialization phase (fewer than `initial_samples` real evaluations) the
-    /// suggestion is a uniformly random open configuration. Afterwards the GP is refitted on
-    /// all observations and the acquisition function is maximized over the open candidates.
-    pub fn suggest<R: Rng>(&self, rng: &mut R) -> Result<Suggestion, BoError> {
-        let mut open = self.open_candidates();
-        if open.is_empty() {
-            return Err(BoError::SpaceExhausted);
-        }
-
-        if self.num_evaluations() < self.settings.initial_samples || self.observations.is_empty() {
-            open.shuffle(rng);
-            return Ok(Suggestion {
-                config: open[0].clone(),
-                source: SuggestionSource::Initial,
-            });
-        }
-
+            .collect();
         let x: Vec<Vec<f64>> = self
             .observations
             .iter()
@@ -243,14 +432,45 @@ impl BoOptimizer {
         let y: Vec<f64> = self.observations.iter().map(|o| o.value).collect();
         let fitted = match fit_gp(&x, &y, &self.settings.fit) {
             Ok(f) => f,
-            Err(_) => {
-                open.shuffle(rng);
-                return Ok(Suggestion {
-                    config: open[0].clone(),
-                    source: SuggestionSource::RandomFallback,
-                });
-            }
+            Err(_) => return Ok(None),
         };
+        let mut best_cfg: Option<(Config, f64)> = None;
+        for cfg in open {
+            let coords = ConfigLattice::to_coords(&cfg);
+            let posterior = fitted.gp.predict(&coords)?;
+            let score = self.settings.acquisition.score(&posterior, incumbent);
+            match &best_cfg {
+                Some((_, s)) if *s >= score => {}
+                _ => best_cfg = Some((cfg, score)),
+            }
+        }
+        let (config, score) = best_cfg.ok_or(BoError::SpaceExhausted)?;
+        Ok(Some(Suggestion {
+            config,
+            source: SuggestionSource::Acquisition { score },
+        }))
+    }
+
+    /// Suggests the next configuration to evaluate.
+    ///
+    /// During the initialization phase (fewer than `initial_samples` real evaluations) the
+    /// suggestion is a uniformly random open configuration. Afterwards the surrogate is
+    /// brought up to date — incrementally when [`BoSettings::reuse_surrogate`] is set, by a
+    /// full grid refit otherwise — and the acquisition function is maximized over the open
+    /// candidates. Both modes produce bit-identical suggestions and RNG consumption.
+    pub fn suggest<R: Rng>(&mut self, rng: &mut R) -> Result<Suggestion, BoError> {
+        if self.open.is_empty() {
+            return Err(BoError::SpaceExhausted);
+        }
+
+        if self.num_evaluations() < self.settings.initial_samples || self.observations.is_empty() {
+            let mut open = self.open.clone();
+            open.shuffle(rng);
+            return Ok(Suggestion {
+                config: open.swap_remove(0),
+                source: SuggestionSource::Initial,
+            });
+        }
 
         // Incumbent for EI: best *real* observation (estimates guide, they don't set the bar).
         let best = self
@@ -259,26 +479,28 @@ impl BoOptimizer {
             .filter(|o| !o.estimated)
             .map(|o| o.value)
             .fold(f64::NEG_INFINITY, f64::max);
-        let best = if best.is_finite() {
+        let incumbent = if best.is_finite() {
             best
         } else {
             self.best().map(|o| o.value).unwrap_or(0.0)
         };
 
-        let mut best_cfg: Option<(Config, f64)> = None;
-        for cfg in open {
-            let coords = ConfigLattice::to_coords(&cfg);
-            let posterior = fitted.gp.predict(&coords)?;
-            let score = self.settings.acquisition.score(&posterior, best);
-            match &best_cfg {
-                Some((_, s)) if *s >= score => {}
-                _ => best_cfg = Some((cfg, score)),
+        if self.settings.reuse_surrogate {
+            if self.refresh_surrogate() {
+                if let Some(fit) = self.surrogate.as_ref().and_then(|s| s.best()) {
+                    return self.scan_open(fit.gp, incumbent);
+                }
             }
+        } else if let Some(suggestion) = self.suggest_from_scratch(incumbent)? {
+            return Ok(suggestion);
         }
-        let (config, score) = best_cfg.ok_or(BoError::SpaceExhausted)?;
+
+        // Surrogate unavailable: fall back to a random open configuration.
+        let mut open = self.open.clone();
+        open.shuffle(rng);
         Ok(Suggestion {
-            config,
-            source: SuggestionSource::Acquisition { score },
+            config: open.swap_remove(0),
+            source: SuggestionSource::RandomFallback,
         })
     }
 
@@ -288,6 +510,9 @@ impl BoOptimizer {
         self.observations.clear();
         self.explored.clear();
         self.prune.clear();
+        self.open = self.lattice.enumerate();
+        self.surrogate = None;
+        self.fitted_upto = 0;
     }
 }
 
@@ -336,7 +561,7 @@ mod tests {
 
     #[test]
     fn initial_suggestions_are_random_and_unexplored() {
-        let bo = BoOptimizer::new(ConfigLattice::new(vec![3, 3]), small_settings());
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![3, 3]), small_settings());
         let mut rng = StdRng::seed_from_u64(7);
         let s = bo.suggest(&mut rng).unwrap();
         assert_eq!(s.source, SuggestionSource::Initial);
@@ -420,6 +645,62 @@ mod tests {
         assert!(bo.num_evaluations() <= budget);
         // And it should have needed far fewer evaluations than the 48-point lattice.
         assert!(bo.num_evaluations() < lattice.len());
+    }
+
+    #[test]
+    fn surrogate_reuse_is_bit_identical_to_full_refit() {
+        let run = |reuse: bool, threads: usize| {
+            let mut bo = BoOptimizer::new(
+                ConfigLattice::new(vec![5, 5]),
+                BoSettings {
+                    reuse_surrogate: reuse,
+                    scan_threads: Some(threads),
+                    fit: FitConfig::coarse(),
+                    ..BoSettings::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut trace = Vec::new();
+            for i in 0..12 {
+                let s = bo.suggest(&mut rng).unwrap();
+                let v = toy_objective(&s.config);
+                trace.push(s.clone());
+                bo.observe(s.config, v).unwrap();
+                // Exercise the open-set maintenance under both prune directions.
+                if i == 4 {
+                    bo.prune_below(vec![1, 1]);
+                }
+                if i == 6 {
+                    bo.prune_above(vec![4, 4]);
+                }
+            }
+            trace
+        };
+        let oracle = run(false, 1);
+        for threads in [1, 2, 7] {
+            assert_eq!(
+                run(true, threads),
+                oracle,
+                "incremental ({threads} scan threads) and from-scratch surrogates must \
+                 suggest identically"
+            );
+        }
+    }
+
+    #[test]
+    fn open_candidates_match_enumeration_filter_after_updates() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![3, 3]), small_settings());
+        bo.observe(vec![2, 2], 0.5).unwrap();
+        bo.prune_below(vec![1, 1]);
+        bo.prune_above(vec![3, 2]);
+        bo.observe_estimate(vec![0, 3], 0.2).unwrap();
+        let expected: Vec<Config> = bo
+            .lattice()
+            .enumerate()
+            .into_iter()
+            .filter(|c| !bo.is_explored(c) && !bo.prune_set().is_pruned(c))
+            .collect();
+        assert_eq!(bo.open_candidates(), expected.as_slice());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! * **query streams** ([`query`]) — reproducible, seeded streams of `(arrival time, batch
 //!   size)` pairs, with load-scaling support for the Fig. 16 experiments;
 //! * the **FCFS pool simulator** ([`sim`]) — queries are served first-come-first-serve by the
-//!   first available instance following the pool's type order, as described in Sec. 5.1;
+//!   first available instance following the pool's type order, as described in Sec. 5.1,
+//!   scheduled by an O(Q·log N) event queue (see the [`sim`] module docs for the heap
+//!   invariants) with a lean aggregate-statistics fast path ([`simulate_stats`]) and the
+//!   O(Q·N) reference scan kept as a differential oracle ([`sim::reference`]);
 //! * **metrics** ([`metrics`]) — mean/percentile latency, QoS satisfaction rate, throughput,
 //!   and cost accounting;
 //! * the **parallel engine** ([`parallel`]) — an order-preserving, deterministic parallel map
@@ -33,4 +36,4 @@ pub use instance::{InstanceCategory, InstanceType, PoolSpec, ALL_INSTANCE_TYPES}
 pub use latency::LatencyModel;
 pub use metrics::{CostModel, QosTarget, SimSummary};
 pub use query::{Query, QueryStream, StreamConfig};
-pub use sim::{simulate, simulate_many, PoolSimulator, SimResult};
+pub use sim::{simulate, simulate_many, simulate_stats, PoolSimulator, SimResult, SimStats};

@@ -5,13 +5,43 @@
 //! instance serves one query at a time; a query's end-to-end latency is its queueing delay
 //! plus its service time on whichever instance it landed on.
 //!
-//! The simulation is a simple list-scheduling pass over the arrival-ordered query stream:
-//! for each query we pick the instance that can start it earliest, breaking ties by the
-//! pool's type order (the order of Table 3, highest-performance type first).
+//! # Event-driven scheduler
+//!
+//! Each query is dispatched to the instance minimizing `(start time, instance index)`
+//! lexicographically, where `start = max(free_at, arrival)` and the index follows the pool's
+//! type order (Table 3 order, highest-performance type first), so **exactly equal** start
+//! times break toward the earlier type. Instead of scanning every instance per query
+//! (O(Q·N)), [`simulate`] maintains two priority queues and runs in O(Q·log N):
+//!
+//! * an **idle heap** of instance indices with `free_at ≤ arrival` of the current query,
+//!   ordered by index — every idle instance can start at `arrival`, the minimum possible
+//!   start, so the smallest idle index is the dispatch target whenever this heap is
+//!   non-empty;
+//! * a **busy heap** of `(free_at, index)` pairs ordered lexicographically — when no
+//!   instance is idle, its minimum is the instance that frees earliest (ties to the earlier
+//!   type), i.e. the `(start, index)` minimum.
+//!
+//! The invariants that make this equivalent to the full scan (enforced by the differential
+//! suite in `tests/simulator_differential.rs` against [`reference::simulate`]):
+//!
+//! 1. queries arrive in non-decreasing order (checked with a debug assertion), so once
+//!    `free_at ≤ arrivalᵢ` holds it holds for every later query — instances move from busy
+//!    to idle monotonically and are drained before each dispatch;
+//! 2. every idle instance starts the query at `arrival`, strictly earlier than every busy
+//!    instance (`free_at > arrival`), so the two heaps never disagree about the minimum;
+//! 3. start-time ties are broken by *bit-exact* float equality of `free_at` (see
+//!    [`reference`] for why the historical epsilon tolerance was removed).
+//!
+//! [`simulate`] records the full per-query trace ([`SimResult`]); [`simulate_stats`] is the
+//! lean fast path used by the Ribbon evaluator — same scheduler, but it accumulates
+//! satisfaction/mean/tail/makespan in a single pass without materializing per-query batch
+//! sizes or instance assignments.
 
 use crate::instance::{InstanceType, PoolSpec};
 use crate::latency::LatencyModel;
 use crate::query::Query;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Outcome of simulating one query stream on one pool.
 #[derive(Debug, Clone)]
@@ -68,8 +98,89 @@ impl SimResult {
     }
 }
 
+/// A busy instance in the event queue: ordered so that the [`BinaryHeap`] maximum is the
+/// lexicographically *smallest* `(free_at, idx)` pair (a min-heap via reversed comparison).
+///
+/// `free_at` values are finite by construction (arrival + non-negative service times), so
+/// `total_cmp` coincides with numeric order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BusyInstance {
+    free_at: f64,
+    idx: usize,
+}
+
+impl Eq for BusyInstance {}
+
+impl Ord for BusyInstance {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .free_at
+            .total_cmp(&self.free_at)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for BusyInstance {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shared event-driven dispatch loop: calls `on_serve(query, instance index, start,
+/// completion)` for every query in arrival order and returns the makespan.
+///
+/// See the module docs for the scheduler invariants. `instances` must be non-empty and
+/// `queries` sorted by arrival (debug-asserted).
+fn drive<M, F>(instances: &[InstanceType], queries: &[Query], model: &M, mut on_serve: F) -> f64
+where
+    M: LatencyModel + ?Sized,
+    F: FnMut(&Query, usize, f64, f64),
+{
+    debug_assert!(
+        queries.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "queries must be sorted by arrival time"
+    );
+    // All instances start idle (free_at = 0 ≤ first arrival ≥ 0).
+    let mut idle: BinaryHeap<Reverse<usize>> = (0..instances.len()).map(Reverse).collect();
+    let mut busy: BinaryHeap<BusyInstance> = BinaryHeap::with_capacity(instances.len());
+    let mut makespan = 0.0_f64;
+
+    for q in queries {
+        // Drain every instance that has freed up by this arrival into the idle heap.
+        while let Some(top) = busy.peek() {
+            if top.free_at <= q.arrival {
+                idle.push(Reverse(busy.pop().expect("peeked entry exists").idx));
+            } else {
+                break;
+            }
+        }
+        let (idx, start) = match idle.pop() {
+            Some(Reverse(idx)) => (idx, q.arrival),
+            None => {
+                let b = busy.pop().expect("non-empty pool has a busy instance");
+                (b.idx, b.free_at)
+            }
+        };
+        let service = model.service_time(instances[idx], q.batch_size).max(0.0);
+        let completion = start + service;
+        busy.push(BusyInstance {
+            free_at: completion,
+            idx,
+        });
+        if completion > makespan {
+            makespan = completion;
+        }
+        on_serve(q, idx, start, completion);
+    }
+    makespan
+}
+
 /// Simulates serving `queries` (which must be sorted by arrival time) on `pool` under the
-/// given latency model.
+/// given latency model, recording the full per-query trace.
+///
+/// Produces results bit-identical to the O(Q·N) reference scan ([`reference::simulate`])
+/// while running in O(Q·log N). Callers that only need aggregate statistics should use
+/// [`simulate_stats`], which skips the per-query trace allocations.
 ///
 /// # Panics
 /// Panics if the pool is empty (no instances) — an empty pool cannot serve queries.
@@ -85,38 +196,17 @@ pub fn simulate<M: LatencyModel + ?Sized>(
         pool.describe()
     );
 
-    let mut free_at = vec![0.0_f64; instances.len()];
     let mut per_instance_load = vec![0u64; instances.len()];
     let mut latencies = Vec::with_capacity(queries.len());
     let mut batch_sizes = Vec::with_capacity(queries.len());
     let mut assigned = Vec::with_capacity(queries.len());
-    let mut makespan = 0.0_f64;
 
-    for q in queries {
-        // Pick the instance that can start this query earliest; ties go to the earlier
-        // position in the pool's type order (Table 3 order).
-        let mut best_idx = 0usize;
-        let mut best_start = f64::INFINITY;
-        for (idx, &free) in free_at.iter().enumerate() {
-            let start = free.max(q.arrival);
-            if start < best_start - 1e-12 {
-                best_start = start;
-                best_idx = idx;
-            }
-        }
-        let service = model
-            .service_time(instances[best_idx], q.batch_size)
-            .max(0.0);
-        let completion = best_start + service;
-        free_at[best_idx] = completion;
-        per_instance_load[best_idx] += 1;
+    let makespan = drive(&instances, queries, model, |q, idx, _start, completion| {
+        per_instance_load[idx] += 1;
         latencies.push(completion - q.arrival);
         batch_sizes.push(q.batch_size);
-        assigned.push(best_idx);
-        if completion > makespan {
-            makespan = completion;
-        }
-    }
+        assigned.push(idx);
+    });
 
     SimResult {
         pool: pool.clone(),
@@ -125,6 +215,175 @@ pub fn simulate<M: LatencyModel + ?Sized>(
         assigned_instance: assigned,
         per_instance_load,
         makespan,
+    }
+}
+
+/// Aggregate statistics of one simulated stream — the lean counterpart of [`SimResult`]
+/// produced by [`simulate_stats`].
+///
+/// Every field is bit-identical to what the corresponding [`SimResult`] accessor would
+/// return (`satisfaction_rate(target)`, `mean_latency()`, `tail_latency(p)`,
+/// `throughput_qps()`): the latency sum, satisfied count, and makespan are accumulated in
+/// arrival order — the same floating-point operation sequence as the full-trace path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStats {
+    /// Number of simulated queries.
+    pub num_queries: usize,
+    /// Number of queries whose latency was within the target.
+    pub satisfied: usize,
+    /// Mean end-to-end latency in seconds (0.0 for an empty stream).
+    pub mean_latency_s: f64,
+    /// Nearest-rank tail latency at the requested percentile (0.0 for an empty stream).
+    pub tail_latency_s: f64,
+    /// Completion time of the last query (seconds since stream start).
+    pub makespan: f64,
+}
+
+impl SimStats {
+    /// Fraction of queries within the latency target (1.0 for an empty stream, matching
+    /// [`SimResult::satisfaction_rate`]).
+    pub fn satisfaction_rate(&self) -> f64 {
+        if self.num_queries == 0 {
+            return 1.0;
+        }
+        self.satisfied as f64 / self.num_queries as f64
+    }
+
+    /// Achieved throughput in queries per second over the stream's makespan.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.num_queries as f64 / self.makespan
+    }
+}
+
+/// Simulates a stream and returns only the aggregate statistics the Ribbon evaluator needs:
+/// satisfaction rate against `target_latency_s`, mean latency, nearest-rank tail latency at
+/// `tail_percentile` (0..=100), and makespan.
+///
+/// This is the evaluator's hot path: it runs the same event-driven scheduler as
+/// [`simulate`] but accumulates the mean/satisfaction counters inline and keeps a single
+/// latency buffer for the O(n) tail selection, skipping the batch-size / assignment /
+/// per-instance-load allocations and the extra passes the full [`SimResult`] path pays.
+///
+/// # Panics
+/// Panics if the pool is empty.
+pub fn simulate_stats<M: LatencyModel + ?Sized>(
+    pool: &PoolSpec,
+    queries: &[Query],
+    model: &M,
+    target_latency_s: f64,
+    tail_percentile: f64,
+) -> SimStats {
+    let instances: Vec<InstanceType> = pool.expand();
+    assert!(
+        !instances.is_empty(),
+        "cannot simulate an empty pool ({})",
+        pool.describe()
+    );
+
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut latency_sum = 0.0_f64;
+    let mut satisfied = 0usize;
+
+    let makespan = drive(&instances, queries, model, |q, _idx, _start, completion| {
+        let latency = completion - q.arrival;
+        latency_sum += latency;
+        if latency <= target_latency_s {
+            satisfied += 1;
+        }
+        latencies.push(latency);
+    });
+
+    let mean_latency_s = if latencies.is_empty() {
+        0.0
+    } else {
+        latency_sum / latencies.len() as f64
+    };
+    let tail_latency_s =
+        ribbon_linalg::stats::percentile_in_place(&mut latencies, tail_percentile).unwrap_or(0.0);
+
+    SimStats {
+        num_queries: queries.len(),
+        satisfied,
+        mean_latency_s,
+        tail_latency_s,
+        makespan,
+    }
+}
+
+/// The original O(Q·N) linear-scan scheduler, kept as the differential-testing oracle for
+/// the event-driven implementation (and as the measurable "before" in `perfsnap`).
+pub mod reference {
+    use super::*;
+
+    /// Reference implementation of [`super::simulate`]: a full scan over `free_at` per
+    /// query.
+    ///
+    /// # Tie semantics
+    ///
+    /// The dispatch target is the instance minimizing `(start, index)` lexicographically,
+    /// with ties broken by **bit-exact** float equality: an instance later in the type
+    /// order is preferred only when its start time is *strictly* smaller (by any margin,
+    /// even one ULP). A historical version used an epsilon tolerance
+    /// (`start < best_start - 1e-12`), treating near-ties as ties; that relation is not
+    /// transitive, so no total order — and therefore no heap — can reproduce it. Exact
+    /// comparison is the semantics both implementations share and the differential suite
+    /// pins down.
+    pub fn simulate<M: LatencyModel + ?Sized>(
+        pool: &PoolSpec,
+        queries: &[Query],
+        model: &M,
+    ) -> SimResult {
+        let instances: Vec<InstanceType> = pool.expand();
+        assert!(
+            !instances.is_empty(),
+            "cannot simulate an empty pool ({})",
+            pool.describe()
+        );
+
+        let mut free_at = vec![0.0_f64; instances.len()];
+        let mut per_instance_load = vec![0u64; instances.len()];
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut batch_sizes = Vec::with_capacity(queries.len());
+        let mut assigned = Vec::with_capacity(queries.len());
+        let mut makespan = 0.0_f64;
+
+        for q in queries {
+            // Pick the instance that can start this query earliest; exactly equal start
+            // times go to the earlier position in the pool's type order (Table 3 order).
+            let mut best_idx = 0usize;
+            let mut best_start = f64::INFINITY;
+            for (idx, &free) in free_at.iter().enumerate() {
+                let start = free.max(q.arrival);
+                if start < best_start {
+                    best_start = start;
+                    best_idx = idx;
+                }
+            }
+            let service = model
+                .service_time(instances[best_idx], q.batch_size)
+                .max(0.0);
+            let completion = best_start + service;
+            free_at[best_idx] = completion;
+            per_instance_load[best_idx] += 1;
+            latencies.push(completion - q.arrival);
+            batch_sizes.push(q.batch_size);
+            assigned.push(best_idx);
+            if completion > makespan {
+                makespan = completion;
+            }
+        }
+
+        SimResult {
+            pool: pool.clone(),
+            latencies,
+            batch_sizes,
+            assigned_instance: assigned,
+            per_instance_load,
+            makespan,
+        }
     }
 }
 
@@ -376,6 +635,120 @@ mod tests {
         assert_eq!(total, 2000);
         assert_eq!(r.assigned_instance.len(), 2000);
         assert!(r.assigned_instance.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn heap_scheduler_matches_reference_scan_bitwise() {
+        let model = FnLatencyModel::new("mixed", |ty, b| match ty {
+            InstanceType::G4dn => 0.004 + 4e-5 * b as f64,
+            InstanceType::C5 => 0.006 + 1.2e-4 * b as f64,
+            _ => 0.004 + 45e-5 * b as f64,
+        });
+        for seed in [1u64, 7, 42] {
+            let cfg = StreamConfig {
+                arrivals: ArrivalProcess::Poisson { qps: 600.0 },
+                batches: BatchDistribution::default_heavy_tail(32.0, 256),
+                num_queries: 3000,
+                seed,
+            };
+            let queries = cfg.generate();
+            let pool = PoolSpec::new(
+                vec![InstanceType::G4dn, InstanceType::C5, InstanceType::T3],
+                vec![2, 3, 4],
+            );
+            let fast = simulate(&pool, &queries, &model);
+            let slow = reference::simulate(&pool, &queries, &model);
+            assert_eq!(fast.latencies, slow.latencies, "seed {seed}");
+            assert_eq!(
+                fast.assigned_instance, slow.assigned_instance,
+                "seed {seed}"
+            );
+            assert_eq!(fast.per_instance_load, slow.per_instance_load);
+            assert_eq!(fast.batch_sizes, slow.batch_sizes);
+            assert_eq!(fast.makespan, slow.makespan);
+        }
+    }
+
+    #[test]
+    fn exactly_equal_free_times_tie_to_the_earlier_type() {
+        // Two identical-speed instances: after each round both free at bit-identical
+        // times, so every dispatch with both idle or both busy must pick index order.
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]);
+        let model = constant_model(0.010);
+        let queries = queries_at(&[0.0, 0.0, 0.010, 0.010, 0.020, 0.020], 8);
+        let r = simulate(&pool, &queries, &model);
+        assert_eq!(r.assigned_instance, vec![0, 1, 0, 1, 0, 1]);
+        let s = reference::simulate(&pool, &queries, &model);
+        assert_eq!(r.assigned_instance, s.assigned_instance);
+    }
+
+    #[test]
+    fn one_ulp_earlier_start_wins_over_type_order() {
+        // The later-type instance frees one ULP earlier than the earlier type: under
+        // bit-exact tie semantics the strictly earlier start must win in BOTH
+        // implementations, even though the margin is far below the old 1e-12 epsilon.
+        let early = 1.0_f64;
+        let late = f64::from_bits(early.to_bits() + 1); // 1.0 + 1 ULP
+        let model = FnLatencyModel::new("ulp", move |ty, _| {
+            if ty == InstanceType::G4dn {
+                late
+            } else {
+                early
+            }
+        });
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]);
+        // Queries 0 and 1 occupy both instances; query 2 arrives while both are busy.
+        let queries = queries_at(&[0.0, 0.0, 0.5], 8);
+        let r = simulate(&pool, &queries, &model);
+        let s = reference::simulate(&pool, &queries, &model);
+        assert_eq!(
+            r.assigned_instance, s.assigned_instance,
+            "heap and scan must agree on sub-epsilon margins"
+        );
+        assert_eq!(
+            r.assigned_instance[2], 1,
+            "the strictly (1 ULP) earlier t3 must win the third query"
+        );
+    }
+
+    #[test]
+    fn simulate_stats_matches_full_result_bitwise() {
+        let model = FnLatencyModel::new("mixed", |ty, b| {
+            if ty == InstanceType::G4dn {
+                0.004 + 4e-5 * b as f64
+            } else {
+                0.004 + 45e-5 * b as f64
+            }
+        });
+        let cfg = StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps: 300.0 },
+            batches: BatchDistribution::default_heavy_tail(32.0, 256),
+            num_queries: 2500,
+            seed: 3,
+        };
+        let queries = cfg.generate();
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![2, 3]);
+        let target = 0.020;
+        let full = simulate(&pool, &queries, &model);
+        let stats = simulate_stats(&pool, &queries, &model, target, 99.0);
+        assert_eq!(stats.num_queries, full.num_queries());
+        assert_eq!(stats.satisfaction_rate(), full.satisfaction_rate(target));
+        assert_eq!(stats.mean_latency_s, full.mean_latency());
+        assert_eq!(stats.tail_latency_s, full.tail_latency(99.0));
+        assert_eq!(stats.makespan, full.makespan);
+        assert_eq!(stats.throughput_qps(), full.throughput_qps());
+    }
+
+    #[test]
+    fn simulate_stats_on_empty_stream() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let model = constant_model(0.010);
+        let s = simulate_stats(&pool, &[], &model, 0.01, 99.0);
+        assert_eq!(s.num_queries, 0);
+        assert_eq!(s.satisfaction_rate(), 1.0);
+        assert_eq!(s.mean_latency_s, 0.0);
+        assert_eq!(s.tail_latency_s, 0.0);
+        assert_eq!(s.throughput_qps(), 0.0);
     }
 
     #[test]

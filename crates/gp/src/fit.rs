@@ -113,6 +113,173 @@ pub fn fit_gp(x: &[Vec<f64>], y: &[f64], config: &FitConfig) -> Result<FittedGp,
     best.ok_or(GpError::NonFinite)
 }
 
+/// One hyperparameter combination of the grid, with its (possibly failed) fitted GP.
+struct GridCell {
+    length_scale: f64,
+    signal_variance: f64,
+    noise_variance: f64,
+    /// The fitted GP and its log marginal likelihood; `None` while the kernel matrix for
+    /// this cell cannot be factorized at the current dataset size.
+    fitted: Option<(GaussianProcess<Rounded<Matern52>>, f64)>,
+}
+
+impl GridCell {
+    fn gp_config(&self) -> GpConfig {
+        GpConfig {
+            noise_variance: self.noise_variance,
+            ..GpConfig::default()
+        }
+    }
+
+    fn kernel(&self) -> Rounded<Matern52> {
+        Rounded::new(Matern52::new(self.signal_variance, self.length_scale))
+    }
+
+    /// Full fit of this cell on the given data, mirroring one iteration of [`fit_gp`]'s
+    /// grid loop: factorization failures park the cell as `None`, other errors propagate.
+    fn refit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), GpError> {
+        self.fitted =
+            match GaussianProcess::fit(self.kernel(), x.to_vec(), y.to_vec(), self.gp_config()) {
+                Ok(gp) => {
+                    let lml = gp.log_marginal_likelihood();
+                    Some((gp, lml))
+                }
+                Err(GpError::Factorization(_)) => None,
+                Err(e) => return Err(e),
+            };
+        Ok(())
+    }
+}
+
+/// The grid-search fit of [`fit_gp`], maintained **incrementally**: every hyperparameter
+/// cell keeps its fitted GP alive, and [`IncrementalGridGp::append`] folds one new
+/// observation into each cell in O(n²) (rank-1 Cholesky append) instead of refitting the
+/// whole grid from scratch in O(grid · n³).
+///
+/// The equivalence contract, pinned down by `tests/incremental_gp.rs`: after any sequence
+/// of appends, [`IncrementalGridGp::best`] designates the same hyperparameter cell as a
+/// fresh [`fit_gp`] call on the accumulated data, and that cell's GP produces bit-identical
+/// posteriors — [`GaussianProcess::append_observation`] replays the exact arithmetic of a
+/// full refit (falling back to one when jitter is involved), the log marginal likelihoods
+/// therefore match exactly, and the winner is selected by the same strict-improvement rule
+/// in the same grid iteration order.
+pub struct IncrementalGridGp {
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    cells: Vec<GridCell>,
+}
+
+impl IncrementalGridGp {
+    /// Fits the full grid on the initial dataset (the one O(grid · n³) step).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: &FitConfig) -> Result<Self, GpError> {
+        if x.is_empty() {
+            return Err(GpError::NoData);
+        }
+        let mut cells = Vec::new();
+        for &ls in &config.length_scales {
+            for &sv in &config.signal_variances {
+                for &nv in &config.noise_variances {
+                    let mut cell = GridCell {
+                        length_scale: ls,
+                        signal_variance: sv,
+                        noise_variance: nv,
+                        fitted: None,
+                    };
+                    cell.refit(x, y)?;
+                    cells.push(cell);
+                }
+            }
+        }
+        Ok(IncrementalGridGp {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            cells,
+        })
+    }
+
+    /// Number of observations incorporated so far.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if no observations are incorporated (cannot happen for a fitted grid).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Folds one observation into every cell: O(n²) per live cell, with a full refit for
+    /// cells that were unfactorizable before (they may become factorizable) or whose
+    /// incremental extension fails.
+    pub fn append(&mut self, x_new: Vec<f64>, y_new: f64) -> Result<(), GpError> {
+        self.x.push(x_new.clone());
+        self.y.push(y_new);
+        for i in 0..self.cells.len() {
+            let appended = match &mut self.cells[i].fitted {
+                Some((gp, lml)) => match gp.append_observation(x_new.clone(), y_new) {
+                    Ok(()) => {
+                        *lml = gp.log_marginal_likelihood();
+                        true
+                    }
+                    Err(GpError::Factorization(_)) => false,
+                    Err(e) => return Err(e),
+                },
+                None => false,
+            };
+            if !appended {
+                let (x, y) = (&self.x, &self.y);
+                let cell = &mut self.cells[i];
+                cell.fitted = None;
+                cell.refit(x, y)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The winning cell under [`fit_gp`]'s selection rule (first strictly-better log
+    /// marginal likelihood in grid iteration order, non-finite values skipped), or `None`
+    /// when no cell is currently factorizable — the caller treats that like a failed
+    /// [`fit_gp`] and falls back to random suggestions.
+    pub fn best(&self) -> Option<GridFit<'_>> {
+        let mut best: Option<(&GridCell, f64)> = None;
+        for cell in &self.cells {
+            let Some((_, lml)) = &cell.fitted else {
+                continue;
+            };
+            if !lml.is_finite() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, best_lml)) => *lml > best_lml,
+            };
+            if better {
+                best = Some((cell, *lml));
+            }
+        }
+        best.map(|(cell, lml)| GridFit {
+            gp: &cell.fitted.as_ref().expect("winner is fitted").0,
+            length_scale: cell.length_scale,
+            signal_variance: cell.signal_variance,
+            noise_variance: cell.noise_variance,
+            log_marginal_likelihood: lml,
+        })
+    }
+}
+
+/// Borrowed view of the winning grid cell (the incremental counterpart of [`FittedGp`]).
+pub struct GridFit<'a> {
+    /// The winning cell's fitted GP.
+    pub gp: &'a GaussianProcess<Rounded<Matern52>>,
+    /// Winning length scale.
+    pub length_scale: f64,
+    /// Winning signal variance.
+    pub signal_variance: f64,
+    /// Winning noise variance.
+    pub noise_variance: f64,
+    /// Log marginal likelihood of the winner.
+    pub log_marginal_likelihood: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +359,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn incremental_grid_matches_fit_gp_at_every_size() {
+        let x = grid_1d(9);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.5).sin() * 0.3 + 0.5).collect();
+        let cfg = FitConfig::default();
+        let mut grid = IncrementalGridGp::fit(&x[..2], &y[..2], &cfg).unwrap();
+        for i in 2..x.len() {
+            grid.append(x[i].clone(), y[i]).unwrap();
+            let oracle = fit_gp(&x[..=i], &y[..=i], &cfg).unwrap();
+            let best = grid.best().expect("grid must have a winner");
+            assert_eq!(best.length_scale, oracle.length_scale, "n = {}", i + 1);
+            assert_eq!(best.signal_variance, oracle.signal_variance);
+            assert_eq!(best.noise_variance, oracle.noise_variance);
+            assert_eq!(best.log_marginal_likelihood, oracle.log_marginal_likelihood);
+            for q in [0.5, 2.3, 7.9] {
+                assert_eq!(
+                    best.gp.predict(&[q]).unwrap(),
+                    oracle.gp.predict(&[q]).unwrap(),
+                    "posterior diverges at {q} with n = {}",
+                    i + 1
+                );
+            }
+        }
+        assert_eq!(grid.len(), x.len());
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn incremental_grid_rejects_empty_data() {
+        assert!(matches!(
+            IncrementalGridGp::fit(&[], &[], &FitConfig::coarse()),
+            Err(GpError::NoData)
+        ));
     }
 
     #[test]

@@ -24,6 +24,30 @@ pub trait Kernel: Send + Sync {
         self.eval(a, a)
     }
 
+    /// Pre-transforms an input point so that repeated covariance evaluations against it can
+    /// skip per-pair preprocessing. The contract every implementation must uphold is
+    ///
+    /// ```text
+    /// eval(a, b) == eval_prepared(&prepare(a), &prepare(b))   (bit-identical)
+    /// ```
+    ///
+    /// Most kernels are identity here; [`Rounded`] rounds the coordinates once, which lets
+    /// batched GP prediction amortize the rounding (and its allocations) across the whole
+    /// training set instead of paying it on every kernel evaluation.
+    fn prepare(&self, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+
+    /// Covariance between two points already transformed by [`Kernel::prepare`].
+    fn eval_prepared(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval(a, b)
+    }
+
+    /// Prior variance at a point already transformed by [`Kernel::prepare`].
+    fn diag_prepared(&self, a: &[f64]) -> f64 {
+        self.diag(a)
+    }
+
     /// Human-readable name used in logs and benchmark output.
     fn name(&self) -> &'static str;
 }
@@ -220,6 +244,20 @@ impl<K: Kernel> Kernel for Rounded<K> {
         self.inner.diag(&r)
     }
 
+    fn prepare(&self, x: &[f64]) -> Vec<f64> {
+        // Rounding commutes with itself, so preparing via the inner kernel's prepare on the
+        // rounded point keeps the contract for nested wrappers too.
+        self.inner.prepare(&Self::round(x))
+    }
+
+    fn eval_prepared(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.inner.eval_prepared(a, b)
+    }
+
+    fn diag_prepared(&self, a: &[f64]) -> f64 {
+        self.inner.diag_prepared(a)
+    }
+
     fn name(&self) -> &'static str {
         "rounded"
     }
@@ -235,6 +273,18 @@ impl Kernel for BoxedKernel {
 
     fn diag(&self, a: &[f64]) -> f64 {
         self.as_ref().diag(a)
+    }
+
+    fn prepare(&self, x: &[f64]) -> Vec<f64> {
+        self.as_ref().prepare(x)
+    }
+
+    fn eval_prepared(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.as_ref().eval_prepared(a, b)
+    }
+
+    fn diag_prepared(&self, a: &[f64]) -> f64 {
+        self.as_ref().diag_prepared(a)
     }
 
     fn name(&self) -> &'static str {
@@ -340,6 +390,25 @@ mod tests {
         let a = [1.0, 4.0, 0.0];
         let b = [2.0, 2.0, 5.0];
         assert_eq!(k.eval(&a, &b), inner.eval(&a, &b));
+    }
+
+    #[test]
+    fn prepared_evaluation_is_bit_identical_to_eval() {
+        let a = [3.2, 1.7, -0.4];
+        let b = [0.9, 2.5, 4.1];
+        let all: Vec<Box<dyn Kernel>> = vec![
+            Box::new(Matern52::new(1.3, 2.0)),
+            Box::new(SquaredExponential::new(0.7, 1.5)),
+            Box::new(RationalQuadratic::new(1.0, 1.0, 2.0)),
+            Box::new(DotProduct::new(0.5, 2.0)),
+            Box::new(Rounded::new(Matern52::new(1.1, 0.8))),
+            Box::new(Rounded::new(Rounded::new(Matern52::default_unit()))),
+        ];
+        for k in all {
+            let (pa, pb) = (k.prepare(&a), k.prepare(&b));
+            assert_eq!(k.eval(&a, &b), k.eval_prepared(&pa, &pb), "{}", k.name());
+            assert_eq!(k.diag(&a), k.diag_prepared(&pa), "{}", k.name());
+        }
     }
 
     #[test]

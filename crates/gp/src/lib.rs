@@ -19,6 +19,6 @@ pub mod fit;
 pub mod kernel;
 pub mod regression;
 
-pub use fit::{fit_gp, FitConfig};
+pub use fit::{fit_gp, FitConfig, GridFit, IncrementalGridGp};
 pub use kernel::{DotProduct, Kernel, Matern52, RationalQuadratic, Rounded, SquaredExponential};
 pub use regression::{GaussianProcess, GpConfig, GpError, Posterior};

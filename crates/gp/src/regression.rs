@@ -116,10 +116,22 @@ pub struct GaussianProcess<K: Kernel> {
     kernel: K,
     config: GpConfig,
     x: Vec<Vec<f64>>,
+    /// Training inputs after [`Kernel::prepare`] (e.g. integer-rounded for [`Rounded`]
+    /// kernels), cached so predictions skip the per-evaluation preprocessing.
+    ///
+    /// [`Rounded`]: crate::kernel::Rounded
+    x_prepared: Vec<Vec<f64>>,
+    /// Raw observed targets, kept so incremental appends can recompute the empirical prior
+    /// mean exactly as a full refit would.
+    y_raw: Vec<f64>,
     /// Residuals y − prior_mean, kept for diagnostics.
     y_centered: Vec<f64>,
     prior_mean: f64,
     chol: Cholesky,
+    /// Jitter that [`Cholesky::with_jitter`] actually applied (0.0 in the common case).
+    /// A jittered factor cannot be extended row-by-row (the jitter couples every diagonal
+    /// entry), so incremental appends fall back to a full refit when this is non-zero.
+    jitter_applied: f64,
     /// α = (K + σ_n² I)⁻¹ (y − m)
     alpha: Vec<f64>,
     dim: usize,
@@ -166,22 +178,29 @@ impl<K: Kernel> GaussianProcess<K> {
         let y_centered: Vec<f64> = y.iter().map(|v| v - prior_mean).collect();
 
         let n = x.len();
-        let mut k_mat = Matrix::from_symmetric_fn(n, |i, j| kernel.eval(&x[i], &x[j]));
+        let x_prepared: Vec<Vec<f64>> = x.iter().map(|row| kernel.prepare(row)).collect();
+        let mut k_mat = Matrix::from_symmetric_fn(n, |i, j| {
+            kernel.eval_prepared(&x_prepared[i], &x_prepared[j])
+        });
         if !k_mat.all_finite() {
             return Err(GpError::NonFinite);
         }
         k_mat.add_diagonal(config.noise_variance.max(0.0));
-        let (chol, _) = Cholesky::with_jitter(&k_mat, config.jitter, config.max_jitter_tries)
-            .map_err(GpError::Factorization)?;
+        let (chol, jitter_applied) =
+            Cholesky::with_jitter(&k_mat, config.jitter, config.max_jitter_tries)
+                .map_err(GpError::Factorization)?;
         let alpha = chol.solve(&y_centered).map_err(GpError::Factorization)?;
 
         Ok(GaussianProcess {
             kernel,
             config,
             x,
+            x_prepared,
+            y_raw: y,
             y_centered,
             prior_mean,
             chol,
+            jitter_applied,
             alpha,
             dim,
         })
@@ -217,31 +236,146 @@ impl<K: Kernel> GaussianProcess<K> {
         &self.x
     }
 
+    /// Incorporates one new observation in O(n²) instead of the O(n³) full refit, leaving
+    /// the GP in the state [`GaussianProcess::fit`] would produce for the extended dataset —
+    /// **bit-identically** in the common (jitter-free) case:
+    ///
+    /// * the Cholesky factor grows by one row via [`Cholesky::extend`], which replays the
+    ///   exact arithmetic of a from-scratch factorization;
+    /// * the empirical prior mean and centered targets are recomputed from the raw target
+    ///   history exactly as `fit` computes them;
+    /// * `α` is recomputed by the same two triangular solves `fit` runs.
+    ///
+    /// When the incremental extension is impossible — the existing factor needed jitter, or
+    /// the appended row makes the unjittered matrix numerically indefinite — the method
+    /// falls back to a full refit (hence `K: Clone`), so the equivalence holds in every
+    /// case that returns `Ok`.
+    ///
+    /// # Errors
+    /// Returns the same errors a full refit on the extended data would. On error the GP is
+    /// left unusable for further appends and should be discarded (the observation history
+    /// may already include the new point).
+    pub fn append_observation(&mut self, x_new: Vec<f64>, y_new: f64) -> Result<(), GpError>
+    where
+        K: Clone,
+    {
+        if x_new.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                expected: self.dim,
+                got: x_new.len(),
+            });
+        }
+        if x_new.iter().any(|v| !v.is_finite()) || !y_new.is_finite() {
+            return Err(GpError::NonFinite);
+        }
+
+        let prepared = self.kernel.prepare(&x_new);
+        let mut row: Vec<f64> = Vec::with_capacity(self.x.len());
+        for xp in &self.x_prepared {
+            row.push(self.kernel.eval_prepared(&prepared, xp));
+        }
+        let diag =
+            self.kernel.eval_prepared(&prepared, &prepared) + self.config.noise_variance.max(0.0);
+
+        let extended = if self.jitter_applied == 0.0 {
+            match self.chol.extend(&row, diag) {
+                Ok(()) => true,
+                Err(ribbon_linalg::LinalgError::NotPositiveDefinite { .. }) => false,
+                Err(ribbon_linalg::LinalgError::NonFinite { .. }) => {
+                    return Err(GpError::NonFinite)
+                }
+                Err(e) => return Err(GpError::Factorization(e)),
+            }
+        } else {
+            false
+        };
+
+        self.x.push(x_new);
+        self.x_prepared.push(prepared);
+        self.y_raw.push(y_new);
+
+        if extended {
+            self.prior_mean = if self.config.empirical_mean {
+                stats::mean(&self.y_raw)
+            } else {
+                0.0
+            };
+            self.y_centered = self.y_raw.iter().map(|v| v - self.prior_mean).collect();
+            self.alpha = self
+                .chol
+                .solve(&self.y_centered)
+                .map_err(GpError::Factorization)?;
+            Ok(())
+        } else {
+            // Full refit: the only path that can re-run the whole-diagonal jitter search.
+            let refit = GaussianProcess::fit(
+                self.kernel.clone(),
+                std::mem::take(&mut self.x),
+                std::mem::take(&mut self.y_raw),
+                self.config.clone(),
+            )?;
+            *self = refit;
+            Ok(())
+        }
+    }
+
     /// Posterior mean and variance at a query point.
     pub fn predict(&self, q: &[f64]) -> Result<Posterior, GpError> {
+        let n = self.x.len();
+        let mut k_star = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        self.predict_with_buffers(q, &mut k_star, &mut v)
+    }
+
+    /// Batch prediction over many query points.
+    ///
+    /// Produces exactly the posteriors [`GaussianProcess::predict`] would return for each
+    /// point, but computes each cross-kernel row once into a shared buffer, prepares every
+    /// query point a single time (one integer-rounding pass per point for [`Rounded`]
+    /// kernels instead of one per kernel evaluation), and reuses one scratch vector for all
+    /// the forward solves — no per-candidate allocations. This is the acquisition
+    /// maximization hot path: the BO optimizer scores every open lattice point through it.
+    ///
+    /// [`Rounded`]: crate::kernel::Rounded
+    pub fn predict_many(&self, qs: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
+        let n = self.x.len();
+        let mut k_star = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut out = Vec::with_capacity(qs.len());
+        for q in qs {
+            out.push(self.predict_with_buffers(q, &mut k_star, &mut v)?);
+        }
+        Ok(out)
+    }
+
+    /// Shared single-point posterior computation writing intermediates into caller-owned
+    /// buffers (each of length `self.len()`).
+    fn predict_with_buffers(
+        &self,
+        q: &[f64],
+        k_star: &mut [f64],
+        v: &mut [f64],
+    ) -> Result<Posterior, GpError> {
         if q.len() != self.dim {
             return Err(GpError::QueryDimensionMismatch {
                 expected: self.dim,
                 got: q.len(),
             });
         }
-        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
-        let mean = self.prior_mean + ribbon_linalg::dot(&k_star, &self.alpha);
+        let q_prepared = self.kernel.prepare(q);
+        for (ks, xp) in k_star.iter_mut().zip(&self.x_prepared) {
+            *ks = self.kernel.eval_prepared(xp, &q_prepared);
+        }
+        let mean = self.prior_mean + ribbon_linalg::dot(k_star, &self.alpha);
         // v = L⁻¹ k*; var = k(q,q) − vᵀv
-        let v = self
-            .chol
-            .solve_lower(&k_star)
+        self.chol
+            .solve_lower_into(k_star, v)
             .map_err(GpError::Factorization)?;
-        let variance = (self.kernel.diag(q) - ribbon_linalg::dot(&v, &v)).max(0.0);
+        let variance = (self.kernel.diag_prepared(&q_prepared) - ribbon_linalg::dot(v, v)).max(0.0);
         if !mean.is_finite() || !variance.is_finite() {
             return Err(GpError::NonFinite);
         }
         Ok(Posterior { mean, variance })
-    }
-
-    /// Batch prediction convenience wrapper.
-    pub fn predict_many(&self, qs: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
-        qs.iter().map(|q| self.predict(q)).collect()
     }
 
     /// Log marginal likelihood of the training data under this GP:
@@ -497,6 +631,96 @@ mod tests {
         )
         .unwrap();
         assert!(gp.predict(&[1.5]).unwrap().mean.is_finite());
+    }
+
+    /// Asserts two GPs produce bit-identical posteriors over a probe grid.
+    fn assert_same_posteriors<K: Kernel>(a: &GaussianProcess<K>, b: &GaussianProcess<K>) {
+        for q in [-3.0, -0.4, 0.7, 1.5, 2.49, 2.51, 8.0] {
+            let pa = a.predict(&[q]).unwrap();
+            let pb = b.predict(&[q]).unwrap();
+            assert_eq!(pa, pb, "posteriors diverge at {q}");
+        }
+        assert_eq!(a.prior_mean(), b.prior_mean());
+        assert_eq!(a.log_marginal_likelihood(), b.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn append_observation_is_bit_identical_to_full_refit() {
+        let xs: [f64; 7] = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys: Vec<f64> = xs.iter().map(|v| (v * 0.8).sin() * 0.4 + 0.5).collect();
+        let cfg = GpConfig::default();
+        let mut incremental = GaussianProcess::fit(
+            Rounded::new(Matern52::new(0.3, 1.5)),
+            xs_1d(&xs[..2]),
+            ys[..2].to_vec(),
+            cfg.clone(),
+        )
+        .unwrap();
+        for i in 2..xs.len() {
+            incremental.append_observation(vec![xs[i]], ys[i]).unwrap();
+            let full = GaussianProcess::fit(
+                Rounded::new(Matern52::new(0.3, 1.5)),
+                xs_1d(&xs[..=i]),
+                ys[..=i].to_vec(),
+                cfg.clone(),
+            )
+            .unwrap();
+            assert_eq!(incremental.len(), i + 1);
+            assert_same_posteriors(&incremental, &full);
+        }
+    }
+
+    #[test]
+    fn append_observation_falls_back_to_refit_on_duplicate_inputs() {
+        // Zero noise + duplicate rows force the jitter path, which cannot be extended
+        // incrementally — the append must fall back to a full refit and still match it.
+        let cfg = GpConfig {
+            noise_variance: 0.0,
+            ..GpConfig::default()
+        };
+        let mut incremental = GaussianProcess::fit(
+            Matern52::new(1.0, 1.0),
+            xs_1d(&[1.0, 2.0]),
+            vec![0.5, 1.0],
+            cfg.clone(),
+        )
+        .unwrap();
+        incremental.append_observation(vec![1.0], 0.5).unwrap();
+        let full = GaussianProcess::fit(
+            Matern52::new(1.0, 1.0),
+            xs_1d(&[1.0, 2.0, 1.0]),
+            vec![0.5, 1.0, 0.5],
+            cfg,
+        )
+        .unwrap();
+        assert_same_posteriors(&incremental, &full);
+        // Appending onto the now-jittered factor must keep falling back correctly.
+        incremental.append_observation(vec![3.0], 0.2).unwrap();
+        assert_eq!(incremental.len(), 4);
+        assert!(incremental.predict(&[1.5]).unwrap().mean.is_finite());
+    }
+
+    #[test]
+    fn append_observation_rejects_bad_inputs() {
+        let mut gp = GaussianProcess::fit(
+            Matern52::default_unit(),
+            vec![vec![1.0, 2.0]],
+            vec![0.5],
+            GpConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            gp.append_observation(vec![1.0], 0.5),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            gp.append_observation(vec![1.0, f64::NAN], 0.5),
+            Err(GpError::NonFinite)
+        ));
+        assert!(matches!(
+            gp.append_observation(vec![1.0, 2.0], f64::INFINITY),
+            Err(GpError::NonFinite)
+        ));
     }
 
     #[test]

@@ -84,6 +84,69 @@ impl Cholesky {
         &self.l
     }
 
+    /// Appends one row/column to the factored matrix in O(n²): given the factor `L` of an
+    /// `n×n` SPD matrix `A`, and the new matrix
+    ///
+    /// ```text
+    /// A' = [ A    a ]        with  a = `row` (length n),  d = `diag`,
+    ///      [ aᵀ   d ]
+    /// ```
+    ///
+    /// updates `self` to the factor of `A'` **bit-identically** to refactorizing `A'` from
+    /// scratch with [`Cholesky::new`]: the first `n` columns of the factor depend only on the
+    /// leading block (so they are reused unchanged), and the new bottom row is produced by
+    /// the exact arithmetic sequence `Cholesky::new` would run for row `n` — forward
+    /// substitution `L l₂₁ = a` followed by the pivot `d − Σ l₂₁ₖ²`, with identical operand
+    /// order and rounding. This is what lets the incremental GP fit guarantee posteriors
+    /// identical to a full refit.
+    ///
+    /// On a non-positive pivot the factor is left untouched and
+    /// [`LinalgError::NotPositiveDefinite`] is returned (callers fall back to a full,
+    /// possibly jittered, refactorization).
+    pub fn extend(&mut self, row: &[f64], diag: f64) -> Result<()> {
+        let n = self.dim();
+        if row.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky extend",
+                lhs: (n, n),
+                rhs: (row.len(), 1),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) || !diag.is_finite() {
+            return Err(LinalgError::NonFinite {
+                context: "cholesky extend input",
+            });
+        }
+        // Forward substitution L l21 = row, mirroring Cholesky::new's row-n recurrence
+        // term by term (sum starts at a[n][j], subtracts l[n][k]·l[j][k] for ascending k).
+        let mut l21 = vec![0.0_f64; n];
+        for j in 0..n {
+            let mut sum = row[j];
+            let lj = self.l.row(j);
+            for k in 0..j {
+                sum -= l21[k] * lj[k];
+            }
+            l21[j] = sum / lj[j];
+        }
+        let mut pivot = diag;
+        for &v in &l21 {
+            pivot -= v * v;
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: n,
+                value: pivot,
+            });
+        }
+        let mut l = self.l.grow(n + 1, n + 1);
+        for (j, v) in l21.into_iter().enumerate() {
+            l.set(n, j, v);
+        }
+        l.set(n, n, pivot.sqrt());
+        self.l = l;
+        Ok(())
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.rows()
@@ -91,24 +154,32 @@ impl Cholesky {
 
     /// Solves `L x = b` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_lower_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Forward substitution into a caller-provided buffer (`x.len()` must equal the
+    /// dimension) — the allocation-free form used by batched GP prediction. The arithmetic
+    /// is identical to [`Cholesky::solve_lower`].
+    pub fn solve_lower_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(LinalgError::ShapeMismatch {
                 op: "solve_lower",
                 lhs: (n, n),
-                rhs: (b.len(), 1),
+                rhs: (b.len().max(x.len()), 1),
             });
         }
-        let mut x = vec![0.0; n];
-        #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
         for i in 0..n {
             let mut sum = b[i];
+            let li = self.l.row(i);
             for k in 0..i {
-                sum -= self.l.get(i, k) * x[k];
+                sum -= li[k] * x[k];
             }
-            x[i] = sum / self.l.get(i, i);
+            x[i] = sum / li[i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `Lᵀ x = b` (backward substitution).
@@ -280,6 +351,59 @@ mod tests {
         assert!(c.solve_upper(&[1.0, 2.0, 3.0, 4.0]).is_err());
     }
 
+    #[test]
+    fn extend_matches_full_factorization_bitwise() {
+        let a = spd_example();
+        // Factor the leading 2x2 block, then append the third row/column.
+        let leading = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 5.0]]).unwrap();
+        let mut c = Cholesky::new(&leading).unwrap();
+        c.extend(&[0.6, 1.5], 3.0).unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        assert_eq!(c.l(), full.l(), "extended factor must be bit-identical");
+    }
+
+    #[test]
+    fn extend_rejects_wrong_row_length_and_non_finite() {
+        let mut c = Cholesky::new(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            c.extend(&[1.0], 1.0),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            c.extend(&[f64::NAN, 0.0], 1.0),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            c.extend(&[0.0, 0.0], f64::INFINITY),
+            Err(LinalgError::NonFinite { .. })
+        ));
+        assert_eq!(c.dim(), 2, "failed extend must leave the factor untouched");
+    }
+
+    #[test]
+    fn extend_rejects_indefinite_append_and_preserves_factor() {
+        // Appending a row that makes the matrix indefinite: [1 2; 2 1] has eigenvalue -1.
+        let mut c = Cholesky::new(&Matrix::identity(1)).unwrap();
+        let before = c.l().clone();
+        assert!(matches!(
+            c.extend(&[2.0], 1.0),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1, .. })
+        ));
+        assert_eq!(c.l(), &before);
+    }
+
+    #[test]
+    fn solve_lower_into_matches_allocating_solve() {
+        let c = Cholesky::new(&spd_example()).unwrap();
+        let b = vec![0.3, -1.2, 2.5];
+        let alloc = c.solve_lower(&b).unwrap();
+        let mut buf = vec![9.9; 3];
+        c.solve_lower_into(&b, &mut buf).unwrap();
+        assert_eq!(alloc, buf);
+        let mut short = vec![0.0; 2];
+        assert!(c.solve_lower_into(&b, &mut short).is_err());
+    }
+
     /// Builds a random SPD matrix A = G Gᵀ + n·I from a deterministic LCG stream.
     fn random_spd(n: usize, seed: u64) -> Matrix {
         let mut state = seed
@@ -323,6 +447,23 @@ mod tests {
             let a = random_spd(n, seed);
             let c = Cholesky::new(&a).unwrap();
             prop_assert!(c.log_det().is_finite());
+        }
+
+        #[test]
+        fn prop_extend_is_bit_identical_to_full_factorization(n in 2usize..9, seed in 0u64..300) {
+            let a = random_spd(n, seed);
+            // Factor the leading (n-1) block, then append row n-1.
+            let mut leading = Matrix::zeros(n - 1, n - 1);
+            for i in 0..n - 1 {
+                for j in 0..n - 1 {
+                    leading.set(i, j, a.get(i, j));
+                }
+            }
+            let mut c = Cholesky::new(&leading).unwrap();
+            let row: Vec<f64> = (0..n - 1).map(|j| a.get(n - 1, j)).collect();
+            c.extend(&row, a.get(n - 1, n - 1)).unwrap();
+            let full = Cholesky::new(&a).unwrap();
+            prop_assert_eq!(c.l(), full.l());
         }
     }
 }

@@ -285,6 +285,26 @@ impl Matrix {
         }
     }
 
+    /// Returns a copy of `self` embedded in the top-left corner of a `rows x cols` zero
+    /// matrix (used by the rank-1 Cholesky append to grow the factor by one row/column).
+    ///
+    /// # Panics
+    /// Panics if the new shape is smaller than the current one in either dimension.
+    pub fn grow(&self, rows: usize, cols: usize) -> Matrix {
+        assert!(
+            rows >= self.rows && cols >= self.cols,
+            "grow target ({rows},{cols}) smaller than current {:?}",
+            self.shape()
+        );
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.resize((i + 1) * cols, 0.0);
+        }
+        data.resize(rows * cols, 0.0);
+        Matrix { rows, cols, data }
+    }
+
     /// Returns `true` if the matrix is symmetric within tolerance `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
         if !self.is_square() {
@@ -471,6 +491,26 @@ mod tests {
     #[test]
     fn frobenius_norm_of_identity() {
         assert!(approx_eq(Matrix::identity(9).frobenius_norm(), 3.0, 1e-12));
+    }
+
+    #[test]
+    fn grow_embeds_in_zero_padded_matrix() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let g = a.grow(3, 4);
+        assert_eq!(g.shape(), (3, 4));
+        for i in 0..3 {
+            for j in 0..4 {
+                let expect = if i < 2 && j < 2 { a.get(i, j) } else { 0.0 };
+                assert_eq!(g.get(i, j), expect, "({i},{j})");
+            }
+        }
+        assert_eq!(a.grow(2, 2), a, "growing to the same shape is a copy");
+    }
+
+    #[test]
+    #[should_panic(expected = "grow target")]
+    fn grow_rejects_shrinking() {
+        let _ = Matrix::zeros(3, 3).grow(2, 4);
     }
 
     #[test]

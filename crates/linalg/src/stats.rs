@@ -28,18 +28,36 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 ///
 /// `percentile(xs, 99.0)` is the value below which 99 % of samples fall — the paper's
 /// p99 tail latency. Returns `None` on an empty slice.
+///
+/// Runs in O(n) via [`percentile_in_place`] on a scratch copy; callers that own a mutable
+/// buffer (the simulator's lean-stats path) should use [`percentile_in_place`] directly and
+/// skip the copy.
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    let mut scratch: Vec<f64> = xs.to_vec();
+    percentile_in_place(&mut scratch, p)
+}
+
+/// Percentile (0..=100, nearest-rank) of a mutable slice, partially reordering it.
+///
+/// Selects the k-th order statistic with `select_nth_unstable_by` — O(n) instead of the
+/// O(n log n) full sort — and returns exactly the value a sort-based nearest-rank
+/// computation would: the element at (1-based) rank `ceil(p/100 · n)`, clamped to the
+/// slice. Returns `None` on an empty slice.
+pub fn percentile_in_place(xs: &mut [f64], p: f64) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
     let p = p.clamp(0.0, 100.0);
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    if p == 0.0 {
-        return Some(sorted[0]);
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    let rank = if p == 0.0 {
+        1
+    } else {
+        ((p / 100.0) * xs.len() as f64).ceil() as usize
+    };
+    let k = rank.saturating_sub(1).min(xs.len() - 1);
+    let (_, kth, _) = xs.select_nth_unstable_by(k, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some(*kth)
 }
 
 /// Standard normal probability density function.
@@ -178,6 +196,35 @@ mod tests {
         let xs = [1.0, 2.0, 3.0];
         assert_eq!(percentile(&xs, -5.0), Some(1.0));
         assert_eq!(percentile(&xs, 150.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_in_place_matches_sort_based_nearest_rank() {
+        // Oracle: the old full-sort implementation.
+        fn sorted_nearest_rank(xs: &[f64], p: f64) -> Option<f64> {
+            if xs.is_empty() {
+                return None;
+            }
+            let p = p.clamp(0.0, 100.0);
+            let mut sorted: Vec<f64> = xs.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            if p == 0.0 {
+                return Some(sorted[0]);
+            }
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+        }
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0, 2.0, 9.5, -1.0];
+        for p in [0.0, 1.0, 12.5, 50.0, 90.0, 99.0, 100.0] {
+            let mut scratch = xs.to_vec();
+            assert_eq!(
+                percentile_in_place(&mut scratch, p),
+                sorted_nearest_rank(&xs, p),
+                "p = {p}"
+            );
+            assert_eq!(percentile(&xs, p), sorted_nearest_rank(&xs, p), "p = {p}");
+        }
+        assert_eq!(percentile_in_place(&mut [], 50.0), None);
     }
 
     #[test]

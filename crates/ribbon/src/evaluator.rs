@@ -28,7 +28,7 @@ use crate::bounds::{find_bounds, BoundSettings};
 use crate::objective::RibbonObjective;
 use parking_lot::Mutex;
 use ribbon_bo::ConfigLattice;
-use ribbon_cloudsim::{parallel, simulate, PoolSpec, Query};
+use ribbon_cloudsim::{parallel, simulate_stats, PoolSpec, Query};
 use ribbon_models::{ModelProfile, Workload};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -208,18 +208,30 @@ impl ConfigEvaluator {
 
     /// Runs the actual pool simulation for one configuration — a pure function of the
     /// evaluator's immutable state, shared by the serial and batch paths.
+    ///
+    /// Uses the simulator's lean [`simulate_stats`] fast path: satisfaction, mean, and tail
+    /// come out of a single pass over the latencies (tail via O(n) selection) without
+    /// materializing the per-query batch-size / assignment trace a full
+    /// [`ribbon_cloudsim::SimResult`] carries. The resulting `Evaluation` is bit-identical
+    /// to one computed from the full trace (pinned by `evaluation_matches_full_simulation`).
     fn simulate_config(&self, config: &[u32]) -> Evaluation {
         let pool = PoolSpec::from_counts(&self.workload.diverse_pool, config);
-        let result = simulate(&pool, &self.queries, &self.profile);
-        let rate = result.satisfaction_rate(self.workload.qos.latency_target_s);
+        let stats = simulate_stats(
+            &pool,
+            &self.queries,
+            &self.profile,
+            self.workload.qos.latency_target_s,
+            self.workload.qos.target_rate * 100.0,
+        );
+        let rate = stats.satisfaction_rate();
         Evaluation {
             config: config.to_vec(),
             hourly_cost: pool.hourly_cost(),
             satisfaction_rate: rate,
             meets_qos: self.objective.meets_qos(rate),
             objective: self.objective.value(config, rate),
-            mean_latency_s: result.mean_latency(),
-            tail_latency_s: result.tail_latency(self.workload.qos.target_rate * 100.0),
+            mean_latency_s: stats.mean_latency_s,
+            tail_latency_s: stats.tail_latency_s,
             pool,
         }
     }
@@ -393,6 +405,35 @@ mod tests {
         assert!((0.0..=1.0).contains(&e.objective));
         assert!(e.mean_latency_s > 0.0);
         assert!(e.tail_latency_s >= e.mean_latency_s);
+    }
+
+    #[test]
+    fn evaluation_matches_full_simulation() {
+        // The lean stats path must reproduce the full-trace metrics bit for bit.
+        let w = test_workload();
+        let ev = ConfigEvaluator::new(
+            &w,
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
+        );
+        for config in [[3u32, 1, 2], [5, 0, 0], [0, 2, 4]] {
+            let e = ev.evaluate(&config);
+            let pool = PoolSpec::from_counts(&w.diverse_pool, &config);
+            let full = ribbon_cloudsim::simulate(&pool, ev.queries(), &w.profile());
+            assert_eq!(
+                e.satisfaction_rate,
+                full.satisfaction_rate(w.qos.latency_target_s),
+                "{config:?}"
+            );
+            assert_eq!(e.mean_latency_s, full.mean_latency(), "{config:?}");
+            assert_eq!(
+                e.tail_latency_s,
+                full.tail_latency(w.qos.target_rate * 100.0),
+                "{config:?}"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct RibbonSettings {
     /// Optional starting configuration evaluated before the BO loop (the paper's search
     /// starts from the currently deployed configuration).
     pub start_config: Option<Vec<u32>>,
+    /// Reuse the GP surrogate incrementally across iterations (see
+    /// [`ribbon_bo::BoSettings::reuse_surrogate`]); `false` restores the historical
+    /// refit-everything-per-iteration behaviour, which produces bit-identical traces and is
+    /// kept as the measurable baseline for the perf-trajectory harness.
+    pub reuse_surrogate: bool,
+    /// Worker threads for the BO acquisition scan (`None` = available parallelism); the
+    /// suggested configurations are identical for every thread count.
+    pub scan_threads: Option<usize>,
 }
 
 impl Default for RibbonSettings {
@@ -42,6 +50,8 @@ impl Default for RibbonSettings {
             acquisition: Acquisition::default(),
             fit: FitConfig::default(),
             start_config: None,
+            reuse_surrogate: true,
+            scan_threads: None,
         }
     }
 }
@@ -164,6 +174,8 @@ impl RibbonSearch {
                 initial_samples: self.settings.initial_samples,
                 acquisition: self.settings.acquisition,
                 fit: self.settings.fit.clone(),
+                reuse_surrogate: self.settings.reuse_surrogate,
+                scan_threads: self.settings.scan_threads,
             },
         )
     }

@@ -1,0 +1,107 @@
+//! Differential suite for the incremental GP/BO hot path: the reused, rank-1-extended
+//! surrogate ([`ribbon_gp::IncrementalGridGp`], driven by `reuse_surrogate = true`) must
+//! reproduce the from-scratch grid refit exactly — identical hyperparameter winners,
+//! posteriors within 1e-9 (they are in fact bit-identical), and identical end-to-end
+//! search traces on the real evaluator.
+
+use proptest::prelude::*;
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::{RibbonSearch, RibbonSettings};
+use ribbon_gp::{fit_gp, FitConfig, IncrementalGridGp};
+use ribbon_models::{ModelKind, Workload};
+
+fn small_evaluator() -> ConfigEvaluator {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = 800;
+    ConfigEvaluator::new(
+        &w,
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 4, 6]),
+            ..Default::default()
+        },
+    )
+}
+
+fn settings(reuse: bool, budget: usize) -> RibbonSettings {
+    RibbonSettings {
+        max_evaluations: budget,
+        fit: FitConfig::coarse(),
+        reuse_surrogate: reuse,
+        ..RibbonSettings::fast()
+    }
+}
+
+#[test]
+fn incremental_and_full_refit_searches_produce_identical_traces() {
+    for seed in [1u64, 9, 23] {
+        let incremental = RibbonSearch::new(settings(true, 15)).run(&small_evaluator(), seed);
+        let from_scratch = RibbonSearch::new(settings(false, 15)).run(&small_evaluator(), seed);
+        let inc: Vec<_> = incremental
+            .evaluations()
+            .iter()
+            .map(|e| (e.config.clone(), e.objective.to_bits()))
+            .collect();
+        let full: Vec<_> = from_scratch
+            .evaluations()
+            .iter()
+            .map(|e| (e.config.clone(), e.objective.to_bits()))
+            .collect();
+        assert_eq!(inc, full, "seed {seed}: traces must be bit-identical");
+    }
+}
+
+#[test]
+fn incremental_search_with_default_grid_matches_full_refit() {
+    // The default (non-coarse) hyperparameter grid exercises many more cells, including
+    // ones that fail to factorize at small n.
+    let s = |reuse| RibbonSettings {
+        max_evaluations: 10,
+        fit: FitConfig::default(),
+        reuse_surrogate: reuse,
+        ..RibbonSettings::default()
+    };
+    let a = RibbonSearch::new(s(true)).run(&small_evaluator(), 4);
+    let b = RibbonSearch::new(s(false)).run(&small_evaluator(), 4);
+    let ca: Vec<_> = a.evaluations().iter().map(|e| e.config.clone()).collect();
+    let cb: Vec<_> = b.evaluations().iter().map(|e| e.config.clone()).collect();
+    assert_eq!(ca, cb);
+}
+
+proptest! {
+
+    /// Random observation histories: after every append, the incremental grid designates
+    /// the same winner as a fresh `fit_gp` and its posterior agrees within 1e-9 (the
+    /// implementation actually guarantees bit-identity; the tolerance is the spec floor).
+    #[test]
+    fn prop_incremental_grid_tracks_fit_gp(seed in 0u64..400, n in 3usize..14) {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| (next() * 6.0).round()).collect())
+            .collect();
+        let y: Vec<f64> = (0..n).map(|_| next()).collect();
+        let cfg = FitConfig::coarse();
+
+        let mut grid = IncrementalGridGp::fit(&x[..2], &y[..2], &cfg).unwrap();
+        for i in 2..n {
+            grid.append(x[i].clone(), y[i]).unwrap();
+            let oracle = fit_gp(&x[..=i], &y[..=i], &cfg).unwrap();
+            let best = grid.best().expect("winner");
+            prop_assert_eq!(best.length_scale, oracle.length_scale);
+            prop_assert_eq!(best.noise_variance, oracle.noise_variance);
+            prop_assert_eq!(best.signal_variance, oracle.signal_variance);
+            for q in [[0.0, 1.0, 2.0], [3.0, 3.0, 3.0], [6.0, 0.0, 5.0]] {
+                let pi = best.gp.predict(&q).unwrap();
+                let pf = oracle.gp.predict(&q).unwrap();
+                prop_assert!((pi.mean - pf.mean).abs() <= 1e-9, "mean {} vs {}", pi.mean, pf.mean);
+                prop_assert!(
+                    (pi.variance - pf.variance).abs() <= 1e-9,
+                    "variance {} vs {}", pi.variance, pf.variance
+                );
+            }
+        }
+    }
+}
