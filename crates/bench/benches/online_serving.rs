@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the online serving hot path: the query-by-query
+//! streaming scheduler with windowed monitoring, against the batch `simulate_stats`
+//! baseline on identical inputs.
+//!
+//! The streaming path is the per-query inner loop every online scenario pays; it must
+//! stay within a small constant factor of the batch path (same two-heap scheduler, plus
+//! window bookkeeping).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ribbon_cloudsim::{
+    simulate_stats, PoolSpec, Query, StreamingSim, StreamingSimConfig, WindowConfig,
+};
+use ribbon_models::{ModelKind, TrafficScenario, Workload};
+
+fn scenario() -> (Workload, PoolSpec, Vec<Query>) {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let pool = workload.diverse_pool_spec(&[5, 0, 3]);
+    let queries = TrafficScenario::FlashCrowd
+        .stream(&workload, 20.0)
+        .generate();
+    (workload, pool, queries)
+}
+
+fn bench_streaming_push(c: &mut Criterion) {
+    let (workload, pool, queries) = scenario();
+    let profile = workload.profile();
+    let target = workload.qos.latency_target_s;
+
+    c.bench_function("streaming_push_flash_crowd_20s", |b| {
+        b.iter(|| {
+            let mut sim = StreamingSim::new(
+                &pool,
+                &profile,
+                StreamingSimConfig::new(target, 99.0, WindowConfig::tumbling(2.0)),
+            );
+            let mut closed = 0usize;
+            for q in &queries {
+                closed += sim.push(q).len();
+            }
+            closed += sim.finish_windows().len();
+            black_box((sim.stats(), closed))
+        })
+    });
+
+    c.bench_function("streaming_push_sliding_windows", |b| {
+        b.iter(|| {
+            let mut sim = StreamingSim::new(
+                &pool,
+                &profile,
+                StreamingSimConfig::new(target, 99.0, WindowConfig::sliding(2.0, 0.5)),
+            );
+            for q in &queries {
+                black_box(sim.push(q));
+            }
+            black_box(sim.stats())
+        })
+    });
+
+    // The batch baseline on the identical inputs: what the streaming path is measured
+    // against (bit-identical results, see tests/online_serving.rs).
+    c.bench_function("batch_simulate_stats_flash_crowd_20s", |b| {
+        b.iter(|| black_box(simulate_stats(&pool, &queries, &profile, target, 99.0)))
+    });
+}
+
+fn bench_reconfigure(c: &mut Criterion) {
+    let (workload, pool, queries) = scenario();
+    let profile = workload.profile();
+    let target = workload.qos.latency_target_s;
+    let bigger = workload.diverse_pool_spec(&[7, 2, 5]);
+
+    // A mid-stream reconfiguration on a loaded simulator: the O(N log N) heap rebuild
+    // must stay negligible next to the per-query work.
+    c.bench_function("reconfigure_mid_stream", |b| {
+        b.iter(|| {
+            let mut sim = StreamingSim::new(
+                &pool,
+                &profile,
+                StreamingSimConfig::new(target, 99.0, WindowConfig::tumbling(2.0)),
+            );
+            let mid = queries.len() / 2;
+            for q in &queries[..mid] {
+                sim.push(q);
+            }
+            black_box(sim.reconfigure(&bigger, sim.clock()));
+            for q in &queries[mid..] {
+                sim.push(q);
+            }
+            black_box(sim.stats())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_streaming_push, bench_reconfigure
+}
+criterion_main!(benches);

@@ -48,7 +48,7 @@ fn main() {
     for (g, t, expect) in anchors {
         let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t]);
         let r = simulate(&pool, &queries, &profile);
-        let rate = r.satisfaction_rate(target);
+        let rate = r.satisfaction_rate(target).expect("non-empty stream");
         println!(
             "  ({g} + {t:>2})  cost ${:>5.2}/hr  p99 {:>6.1} ms  {}",
             pool.hourly_cost(),

@@ -26,7 +26,9 @@ fn main() {
     for (g, t3) in [(4u32, 0u32), (5, 0), (0, 12), (3, 4), (2, 4), (4, 4)] {
         let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t3]);
         let result = simulate(&pool, &queries, &profile);
-        let rate = result.satisfaction_rate(workload.qos.latency_target_s);
+        let rate = result
+            .satisfaction_rate(workload.qos.latency_target_s)
+            .expect("non-empty stream");
         t.add_row(vec![
             format!("({g} + {t3})"),
             format!("{:.2}", pool.hourly_cost()),

@@ -1,37 +1,44 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR2.json` with wall times for the three rebuilt hot paths:
+//! `BENCH_PR3.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
 //! 2. **evaluate_many** — a 16-configuration batch through the parallel evaluator;
 //! 3. **bo_search** — the 30-evaluation RIBBON search on the ~1.77 M-point lattice:
 //!    from-scratch surrogate baseline vs. the incremental/reused surrogate, with the
-//!    bit-identical-trace invariant checked on every run.
+//!    bit-identical-trace invariant checked on every run;
+//! 4. **online_serving** — the flash-crowd online scenario: streaming simulation with
+//!    windowed monitoring and mid-stream controller reconfigurations. The controller's
+//!    decision sequence is pinned as a second golden trace
+//!    (`crates/bench/golden/online_trace.txt`).
 //!
 //! Usage:
 //!
 //! ```text
-//! perfsnap                 # full suite (incl. the slow from-scratch baseline), writes BENCH_PR2.json
-//! perfsnap --check         # skip the slow baseline; verify the search trace against the
-//!                          # committed golden (crates/bench/golden/search_trace.txt) — CI mode
-//! perfsnap --bless         # full suite + rewrite the golden trace file
+//! perfsnap                 # full suite (incl. the slow from-scratch baseline), writes BENCH_PR3.json
+//! perfsnap --check         # skip the slow baseline; verify the search trace AND the online
+//!                          # decision trace against the committed goldens — CI mode
+//! perfsnap --bless         # full suite + rewrite both golden trace files
 //! ```
 //!
-//! Timings are machine-dependent and informational; the **trace** is deterministic and is
-//! what `--check` pins. Subsequent PRs diff their own snapshot against the committed
-//! `BENCH_PR2.json` to keep the perf trajectory visible.
+//! Timings are machine-dependent and informational; the **traces** are deterministic and
+//! are what `--check` pins. Subsequent PRs diff their own snapshot against the committed
+//! `BENCH_PR3.json` (and its predecessor `BENCH_PR2.json`) to keep the perf trajectory
+//! visible.
 
 use ribbon_bench::perf::{
-    hotpath_evaluator, hotpath_workload, run_hotpath_search, trace_lines, HOTPATH_BOUND,
-    HOTPATH_EVALUATIONS, HOTPATH_QUERIES, HOTPATH_SEED,
+    hotpath_evaluator, hotpath_workload, online_trace_lines, run_hotpath_search,
+    run_online_scenario, trace_lines, HOTPATH_BOUND, HOTPATH_EVALUATIONS, HOTPATH_QUERIES,
+    HOTPATH_SEED, ONLINE_DURATION_S, ONLINE_SEED,
 };
 use ribbon_cloudsim::{sim, simulate_stats, PoolSpec};
 use std::time::Instant;
 
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
-const OUT_PATH: &str = "BENCH_PR2.json";
+const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
+const OUT_PATH: &str = "BENCH_PR3.json";
 
 fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
@@ -54,6 +61,45 @@ fn fmt_ms(v: Option<f64>) -> String {
     match v {
         Some(v) => format!("{v:.2}"),
         None => "null".to_string(),
+    }
+}
+
+/// Blesses and/or checks one golden trace file: on `--bless` rewrites it, on `--check`
+/// compares line by line and exits non-zero at the first divergence.
+fn golden_gate(path: &str, what: &str, lines: &[String], bless: bool, check: bool) {
+    if bless {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create golden dir");
+        }
+        std::fs::write(path, lines.join("\n") + "\n").expect("write golden trace");
+        println!("blessed {what} -> {path}");
+    }
+    if check {
+        let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perfsnap --check: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let golden_lines: Vec<&str> = golden.lines().collect();
+        if golden_lines != lines.iter().map(String::as_str).collect::<Vec<_>>() {
+            eprintln!("perfsnap --check: {what} diverged from {path}");
+            for (i, (g, got)) in golden_lines.iter().zip(lines).enumerate() {
+                if g != got {
+                    eprintln!(
+                        "  first divergence at line {i}:\n    golden: {g}\n    got:    {got}"
+                    );
+                    break;
+                }
+            }
+            if golden_lines.len() != lines.len() {
+                eprintln!(
+                    "  length mismatch: golden {} vs got {}",
+                    golden_lines.len(),
+                    lines.len()
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("golden {what} verified ({} lines)", lines.len());
     }
 }
 
@@ -129,7 +175,7 @@ fn main() {
          {HOTPATH_QUERIES} queries, {HOTPATH_EVALUATIONS} evaluations, seed {HOTPATH_SEED}"
     );
 
-    println!("[1/3] simulate: reference scan vs event-driven heap vs lean stats ...");
+    println!("[1/4] simulate: reference scan vs event-driven heap vs lean stats ...");
     let simu = run_simulate_scenario();
     println!(
         "      reference {:.2} ms | heap {:.2} ms ({:.2}x) | stats {:.2} ms ({:.2}x)",
@@ -140,11 +186,11 @@ fn main() {
         simu.reference_ms / simu.stats_ms,
     );
 
-    println!("[2/3] evaluate_many: 16-configuration parallel batch ...");
+    println!("[2/4] evaluate_many: 16-configuration parallel batch ...");
     let (batch, evaluate_many_ms) = run_evaluate_many_scenario();
     println!("      {evaluate_many_ms:.2} ms for {batch} configurations");
 
-    println!("[3/3] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
+    println!("[3/4] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
     let t = Instant::now();
     let incremental_trace = run_hotpath_search(true);
     let incremental_ms = ms(t);
@@ -173,43 +219,55 @@ fn main() {
         Some(wall)
     };
 
-    let lines = trace_lines(&incremental_trace);
-    if bless {
-        if let Some(dir) = std::path::Path::new(GOLDEN_PATH).parent() {
-            std::fs::create_dir_all(dir).expect("create golden dir");
-        }
-        std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").expect("write golden trace");
-        println!("blessed golden trace -> {GOLDEN_PATH}");
-    }
-    if check {
-        let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
-            eprintln!("perfsnap --check: cannot read {GOLDEN_PATH}: {e}");
-            std::process::exit(1);
-        });
-        let golden_lines: Vec<&str> = golden.lines().collect();
-        if golden_lines != lines.iter().map(String::as_str).collect::<Vec<_>>() {
-            eprintln!("perfsnap --check: search trace diverged from {GOLDEN_PATH}");
-            for (i, (g, got)) in golden_lines.iter().zip(&lines).enumerate() {
-                if g != got {
-                    eprintln!(
-                        "  first divergence at evaluation {i}:\n    golden: {g}\n    got:    {got}"
-                    );
-                    break;
-                }
-            }
-            if golden_lines.len() != lines.len() {
-                eprintln!(
-                    "  length mismatch: golden {} vs got {}",
-                    golden_lines.len(),
-                    lines.len()
-                );
-            }
-            std::process::exit(1);
-        }
-        println!("golden search trace verified ({} evaluations)", lines.len());
+    println!(
+        "[4/4] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
+    );
+    let t = Instant::now();
+    let online = run_online_scenario();
+    let online_ms = ms(t);
+    println!(
+        "      {online_ms:.2} ms end-to-end: {} queries, {} windows, {} reconfigurations, \
+         satisfaction {:.4}, total ${:.4}",
+        online.stats.num_queries,
+        online.windows.len(),
+        online.events.len(),
+        online.stats.satisfaction_rate().unwrap_or(f64::NAN),
+        online.total_cost_usd,
+    );
+    for e in &online.events {
+        println!(
+            "      w{} {:?} -> {:?} (planned {:.0} qps)",
+            e.window_index, e.trigger, e.config, e.planned_qps
+        );
     }
 
+    let lines = trace_lines(&incremental_trace);
+    let online_lines = online_trace_lines(&online);
+    golden_gate(GOLDEN_PATH, "search trace", &lines, bless, check);
+    golden_gate(
+        ONLINE_GOLDEN_PATH,
+        "online decision trace",
+        &online_lines,
+        bless,
+        check,
+    );
+
     // Hand-rolled JSON (the workspace deliberately vendors no serde_json).
+    let online_json: Vec<String> = online
+        .events
+        .iter()
+        .map(|e| {
+            let cfg: Vec<String> = e.config.iter().map(|c| c.to_string()).collect();
+            format!(
+                "      {{\"window\": {}, \"trigger\": \"{:?}\", \"config\": [{}], \"planned_qps\": {:.2}, \"transition_cost_usd\": {:.6}}}",
+                e.window_index,
+                e.trigger,
+                cfg.join(", "),
+                e.planned_qps,
+                e.transition_cost_usd
+            )
+        })
+        .collect();
     let trace_json: Vec<String> = incremental_trace
         .evaluations()
         .iter()
@@ -227,7 +285,7 @@ fn main() {
         .collect();
     let json = format!(
         r#"{{
-  "pr": 2,
+  "pr": 3,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},
@@ -245,6 +303,20 @@ fn main() {
   "evaluate_many": {{
     "batch": {batch},
     "wall_ms": {:.2}
+  }},
+  "online_serving": {{
+    "scenario": "flash-crowd",
+    "duration_s": {ONLINE_DURATION_S:.1},
+    "seed": {ONLINE_SEED},
+    "queries": {},
+    "windows": {},
+    "reconfigurations": {},
+    "satisfaction_bits": "{:#018x}",
+    "total_cost_usd": {:.6},
+    "wall_ms": {:.2},
+    "decisions": [
+{}
+    ]
   }},
   "bo_search": {{
     "baseline_full_refit_ms": {},
@@ -268,11 +340,22 @@ fn main() {
         simu.stats_ms,
         simu.reference_ms / simu.stats_ms,
         evaluate_many_ms,
+        online.stats.num_queries,
+        online.windows.len(),
+        online.events.len(),
+        online
+            .stats
+            .satisfaction_rate()
+            .unwrap_or(f64::NAN)
+            .to_bits(),
+        online.total_cost_usd,
+        online_ms,
+        online_json.join(",\n"),
         fmt_ms(baseline_ms),
         incremental_ms,
         fmt_ms(baseline_ms.map(|b| b / incremental_ms)),
         trace_json.join(",\n"),
     );
-    std::fs::write(OUT_PATH, json).expect("write BENCH_PR2.json");
+    std::fs::write(OUT_PATH, json).expect("write snapshot json");
     println!("wrote {OUT_PATH}");
 }

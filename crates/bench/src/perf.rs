@@ -71,6 +71,84 @@ pub fn run_hotpath_search(reuse_surrogate: bool) -> SearchTrace {
     RibbonSearch::new(hotpath_search_settings(reuse_surrogate)).run(&evaluator, HOTPATH_SEED)
 }
 
+/// Seed of the online-serving scenario (bootstrap search + controller replans).
+pub const ONLINE_SEED: u64 = 7;
+
+/// Simulated duration of the online-serving scenario in seconds.
+pub const ONLINE_DURATION_S: f64 = 60.0;
+
+/// The online-serving scenario's run settings: the MT-WND workload on its Table 3 pool
+/// with bounds `[7, 4, 7]`, 2-second tumbling monitoring windows, and halved spin-up
+/// delays (the controller's decision sequence on the flash-crowd trace is the pinned
+/// behaviour).
+pub fn online_settings() -> ribbon::online::OnlineRunSettings {
+    use ribbon::evaluator::EvaluatorSettings;
+    use ribbon::online::{OnlineControllerSettings, OnlineRunSettings};
+    OnlineRunSettings {
+        initial_search: RibbonSettings {
+            max_evaluations: 30,
+            ..RibbonSettings::fast()
+        },
+        controller: OnlineControllerSettings {
+            evaluator: EvaluatorSettings {
+                explicit_bounds: Some(vec![7, 4, 7]),
+                ..Default::default()
+            },
+            planning_queries: 2500,
+            ..Default::default()
+        },
+        window: ribbon_cloudsim::WindowConfig::tumbling(2.0),
+        spin_up_factor: 0.5,
+    }
+}
+
+/// Runs the online-serving scenario: the flash-crowd trace over the standard MT-WND
+/// workload, fully deterministic across machines and thread counts.
+pub fn run_online_scenario() -> ribbon::online::OnlineOutcome {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let traffic = ribbon_models::TrafficScenario::FlashCrowd.stream(&workload, ONLINE_DURATION_S);
+    ribbon::online::serve_online(&workload, &traffic, &online_settings(), ONLINE_SEED)
+        .expect("the online scenario's bootstrap search converges")
+}
+
+/// Golden-trace lines of an online run: the controller's decision sequence (initial
+/// deployment, every reconfiguration with its trigger/window/configuration) plus the final
+/// whole-stream satisfaction and cost as exact bits.
+pub fn online_trace_lines(outcome: &ribbon::online::OnlineOutcome) -> Vec<String> {
+    use ribbon::online::ReconfigTrigger;
+    let cfg = |c: &[u32]| {
+        c.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut lines = vec![format!("initial cfg {}", cfg(&outcome.initial_config))];
+    for e in &outcome.events {
+        let trigger = match e.trigger {
+            ReconfigTrigger::QosViolation => "qos-violation",
+            ReconfigTrigger::OverProvisioning => "over-provisioning",
+        };
+        lines.push(format!(
+            "event w{} {trigger} cfg {} qps {:#018x} # {:.1}",
+            e.window_index,
+            cfg(&e.config),
+            e.planned_qps.to_bits(),
+            e.planned_qps
+        ));
+    }
+    let sat = outcome.stats.satisfaction_rate().unwrap_or(f64::NAN);
+    lines.push(format!(
+        "final cfg {} windows {} sat {:#018x} cost {:#018x} # sat {:.4} cost ${:.4}",
+        cfg(&outcome.final_config),
+        outcome.windows.len(),
+        sat.to_bits(),
+        outcome.total_cost_usd.to_bits(),
+        sat,
+        outcome.total_cost_usd
+    ));
+    lines
+}
+
 /// The golden-trace line format used by `perfsnap --check`: one evaluation per line,
 /// objective recorded as exact bits so cross-machine comparison is bit-for-bit.
 pub fn trace_lines(trace: &SearchTrace) -> Vec<String> {

@@ -144,6 +144,22 @@ impl InstanceType {
         matches!(self, InstanceType::G4dn)
     }
 
+    /// Nominal spin-up delay in seconds before a freshly launched instance can serve its
+    /// first query, at the simulator's compressed timescale.
+    ///
+    /// Real EC2 boot + model-load times are minutes; the simulated streams span seconds,
+    /// so these defaults are scaled to stay *proportionally* meaningful (the GPU instance
+    /// pays the largest model-load penalty, compute-optimized boxes come up faster).
+    /// Online-serving callers scale them with
+    /// [`crate::streaming::StreamingSimConfig::spin_up_factor`].
+    pub fn spin_up_s(&self) -> f64 {
+        match self.category() {
+            InstanceCategory::Accelerator => 4.0,
+            InstanceCategory::ComputeOptimized => 2.0,
+            InstanceCategory::GeneralPurpose | InstanceCategory::MemoryOptimized => 2.5,
+        }
+    }
+
     /// Looks up a type by its family code name ("g4dn", "t3", ...).
     pub fn from_family(name: &str) -> Option<InstanceType> {
         ALL_INSTANCE_TYPES
@@ -374,6 +390,16 @@ mod tests {
             assert!(t.vcpus() > 0);
             assert!(t.memory_gib() > 0);
             assert!(t.hourly_price() > 0.0);
+        }
+    }
+
+    #[test]
+    fn spin_up_delays_are_positive_and_gpu_is_slowest() {
+        for t in ALL_INSTANCE_TYPES {
+            assert!(t.spin_up_s() > 0.0);
+            if t != InstanceType::G4dn {
+                assert!(t.spin_up_s() < InstanceType::G4dn.spin_up_s());
+            }
         }
     }
 }

@@ -16,6 +16,12 @@
 //!   O(Q·N) reference scan kept as a differential oracle ([`sim::reference`]);
 //! * **metrics** ([`metrics`]) — mean/percentile latency, QoS satisfaction rate, throughput,
 //!   and cost accounting;
+//! * **phased traffic** ([`phased`]) — piecewise-constant (diurnal / spike / ramp / step)
+//!   arrival schedules and duration-bounded stream generation for time-varying scenarios;
+//! * the **online serving runtime** ([`streaming`]) — a resumable query-by-query simulator
+//!   emitting sliding-window [`WindowStats`] with mid-stream [`StreamingSim::reconfigure`]
+//!   (drain/retire + per-type spin-up) and exact per-instance cost accounting, bit-identical
+//!   to [`simulate`] while no reconfiguration occurs;
 //! * the **parallel engine** ([`parallel`]) — an order-preserving, deterministic parallel map
 //!   over OS threads that every batch evaluation in the workspace funnels through
 //!   ([`simulate_many`] is the simulator-level entry point).
@@ -29,11 +35,15 @@ pub mod instance;
 pub mod latency;
 pub mod metrics;
 pub mod parallel;
+pub mod phased;
 pub mod query;
 pub mod sim;
+pub mod streaming;
 
 pub use instance::{InstanceCategory, InstanceType, PoolSpec, ALL_INSTANCE_TYPES};
 pub use latency::LatencyModel;
 pub use metrics::{CostModel, QosTarget, SimSummary};
+pub use phased::{PhasedArrivalProcess, PhasedQueryStream, PhasedStreamConfig, RatePhase};
 pub use query::{Query, QueryStream, StreamConfig};
 pub use sim::{simulate, simulate_many, simulate_stats, PoolSimulator, SimResult, SimStats};
+pub use streaming::{Reconfiguration, StreamingSim, StreamingSimConfig, WindowConfig, WindowStats};

@@ -93,9 +93,13 @@ pub struct SimSummary {
     pub pool: String,
     /// Hourly cost of the pool in USD.
     pub hourly_cost: f64,
-    /// Fraction of queries within the latency target.
-    pub satisfaction_rate: f64,
-    /// Whether the QoS target is met.
+    /// Fraction of queries within the latency target; `None` when the stream was empty (an
+    /// empty observation carries no QoS evidence — see
+    /// [`crate::sim::SimResult::satisfaction_rate`]).
+    pub satisfaction_rate: Option<f64>,
+    /// Whether the QoS target is met. An empty stream is *not* counted as meeting QoS:
+    /// without observations there is no evidence either way, and a summary must never make
+    /// an unserved window look healthy.
     pub meets_qos: bool,
     /// Mean end-to-end latency (seconds).
     pub mean_latency_s: f64,
@@ -115,7 +119,7 @@ impl SimSummary {
             pool: result.pool.describe(),
             hourly_cost: result.pool.hourly_cost(),
             satisfaction_rate: rate,
-            meets_qos: qos.is_met_by_rate(rate),
+            meets_qos: rate.is_some_and(|r| qos.is_met_by_rate(r)),
             mean_latency_s: result.mean_latency(),
             tail_latency_s: result.tail_latency(qos.target_rate * 100.0),
             throughput_qps: result.throughput_qps(),
@@ -130,13 +134,18 @@ impl SimSummary {
 }
 
 /// Normalizes a slice of values to `[0, 1]` by dividing by the maximum (the scheme used in
-/// Fig. 3). Zero-max slices normalize to all zeros.
+/// Fig. 3).
+///
+/// The domain values here (throughputs, cost-effectiveness) are non-negative; negative
+/// inputs are clamped to `0.0` so the documented output range holds for any input. A slice
+/// whose maximum is not strictly positive (empty, all zeros, or all negative) normalizes to
+/// all zeros — there is no "best" to normalize against.
 pub fn normalize_to_best(values: &[f64]) -> Vec<f64> {
-    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if max <= 0.0 {
         return vec![0.0; values.len()];
     }
-    values.iter().map(|v| v / max).collect()
+    values.iter().map(|v| (v / max).clamp(0.0, 1.0)).collect()
 }
 
 /// Helper describing a pool built from explicit per-type counts (used by experiment output).
@@ -204,6 +213,18 @@ mod tests {
     }
 
     #[test]
+    fn normalize_to_best_stays_in_unit_interval_for_negative_inputs() {
+        // A negative entry next to a positive maximum clamps to 0 instead of leaking a
+        // negative "normalized" value.
+        assert_eq!(normalize_to_best(&[-2.0, 4.0, 1.0]), vec![0.0, 1.0, 0.25]);
+        // All-negative slices have no positive best: everything normalizes to zero (the
+        // historical 0.0 fold seed produced this by accident; now it is deliberate).
+        assert_eq!(normalize_to_best(&[-3.0, -1.0]), vec![0.0, 0.0]);
+        // Empty input stays empty rather than panicking on the fold seed.
+        assert_eq!(normalize_to_best(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
     fn summary_reflects_simulation() {
         let model = FnLatencyModel::new("const", |_, _| 0.010);
         let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
@@ -219,7 +240,7 @@ mod tests {
         let qos = QosTarget::new(0.025, 0.75);
         let summary = SimSummary::from_result(&result, &qos);
         assert_eq!(summary.num_queries, 4);
-        assert_eq!(summary.satisfaction_rate, 0.5);
+        assert_eq!(summary.satisfaction_rate, Some(0.5));
         assert!(!summary.meets_qos);
         assert!((summary.hourly_cost - 0.1664).abs() < 1e-12);
         assert!(summary.pool.contains("t3"));
@@ -228,11 +249,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_stream_summary_reports_no_evidence_and_does_not_meet_qos() {
+        let model = FnLatencyModel::new("const", |_, _| 0.010);
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let result = simulate(&pool, &[], &model);
+        let summary = SimSummary::from_result(&result, &QosTarget::p99(0.020));
+        assert_eq!(summary.num_queries, 0);
+        assert_eq!(summary.satisfaction_rate, None);
+        assert!(
+            !summary.meets_qos,
+            "an unserved window must not look healthy"
+        );
+    }
+
+    #[test]
     fn pool_cost_effectiveness_scales_with_throughput() {
         let a = SimSummary {
             pool: "x".into(),
             hourly_cost: 1.0,
-            satisfaction_rate: 1.0,
+            satisfaction_rate: Some(1.0),
             meets_qos: true,
             mean_latency_s: 0.01,
             tail_latency_s: 0.02,

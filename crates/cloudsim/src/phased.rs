@@ -1,0 +1,493 @@
+//! Phased (time-varying) arrival processes and duration-based query streams.
+//!
+//! The batch simulator evaluates configurations against constant-rate streams: a fixed
+//! `qps` and a fixed `num_queries`. Real serving traffic is *not* constant — it breathes
+//! diurnally, spikes when something goes viral, ramps as a product launches. This module
+//! models those shapes as **piecewise-constant rate schedules**: a sequence of
+//! [`RatePhase`]s, each holding one arrival rate for one span of time, with the last phase
+//! extending forever.
+//!
+//! Piecewise-constant Poisson sampling is exact by memorylessness: at clock `t`, draw an
+//! exponential gap at the current phase's rate; if it would cross the phase boundary,
+//! advance the clock to the boundary and redraw at the next phase's rate. No thinning, no
+//! approximation.
+//!
+//! [`PhasedStreamConfig`] generates a reproducible query stream over a fixed **duration**
+//! instead of a fixed query count — the natural bound for a time-varying trace, and the
+//! duration-based generation counterpart of [`crate::StreamConfig`] (whose `scaled_load`
+//! keeps durations comparable by scaling the count).
+
+use crate::dist::{sample_exponential, BatchDistribution};
+use crate::query::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One constant-rate span of a phased schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatePhase {
+    /// Length of the phase in seconds (must be positive; the final phase is extended to
+    /// infinity during sampling).
+    pub duration_s: f64,
+    /// Mean arrival rate during the phase, in queries per second (must be positive).
+    pub qps: f64,
+}
+
+/// A piecewise-constant arrival process: the rate at time `t` is the rate of the phase
+/// containing `t`, with the last phase extending beyond the schedule's end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedArrivalProcess {
+    /// The phases in time order.
+    pub phases: Vec<RatePhase>,
+    /// `true` for Poisson arrivals (exponential gaps), `false` for deterministic arrivals
+    /// every `1/qps` seconds (tests and ablations).
+    pub poisson: bool,
+}
+
+impl PhasedArrivalProcess {
+    /// Builds a schedule from explicit phases.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or any phase has a non-positive duration or rate.
+    pub fn piecewise(phases: Vec<RatePhase>) -> Self {
+        assert!(
+            !phases.is_empty(),
+            "a phased schedule needs at least one phase"
+        );
+        for p in &phases {
+            assert!(p.duration_s > 0.0, "phase duration must be positive");
+            assert!(p.qps > 0.0, "phase rate must be positive");
+        }
+        PhasedArrivalProcess {
+            phases,
+            poisson: true,
+        }
+    }
+
+    /// A single-phase (constant-rate) schedule — the degenerate case that makes phased
+    /// streams directly comparable to [`crate::StreamConfig`] streams.
+    pub fn constant(qps: f64, duration_s: f64) -> Self {
+        Self::piecewise(vec![RatePhase { duration_s, qps }])
+    }
+
+    /// A diurnal schedule: one sinusoidal period of `period_s` seconds around `base_qps`
+    /// with relative amplitude `amplitude` (e.g. 0.35 for ±35 %), discretized into `steps`
+    /// piecewise-constant phases.
+    ///
+    /// # Panics
+    /// Panics if `steps == 0` or `amplitude` is not in `[0, 1)`.
+    pub fn diurnal(base_qps: f64, amplitude: f64, period_s: f64, steps: usize) -> Self {
+        assert!(steps > 0, "diurnal schedule needs at least one step");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1), got {amplitude}"
+        );
+        let phases = (0..steps)
+            .map(|i| {
+                // Rate at the midpoint of the step.
+                let t = (i as f64 + 0.5) / steps as f64;
+                let qps = base_qps * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t).sin());
+                RatePhase {
+                    duration_s: period_s / steps as f64,
+                    qps,
+                }
+            })
+            .collect();
+        Self::piecewise(phases)
+    }
+
+    /// A flash-crowd spike: `base_qps` until `spike_start_s`, then `base_qps ·
+    /// spike_factor` for `spike_duration_s` seconds, then back to `base_qps`.
+    pub fn spike(
+        base_qps: f64,
+        spike_factor: f64,
+        spike_start_s: f64,
+        spike_duration_s: f64,
+    ) -> Self {
+        Self::piecewise(vec![
+            RatePhase {
+                duration_s: spike_start_s,
+                qps: base_qps,
+            },
+            RatePhase {
+                duration_s: spike_duration_s,
+                qps: base_qps * spike_factor,
+            },
+            RatePhase {
+                duration_s: f64::MAX,
+                qps: base_qps,
+            },
+        ])
+    }
+
+    /// A linear ramp from `from_qps` to `to_qps` over `ramp_s` seconds, discretized into
+    /// `steps` phases, holding `to_qps` afterwards.
+    pub fn ramp(from_qps: f64, to_qps: f64, ramp_s: f64, steps: usize) -> Self {
+        assert!(steps > 0, "ramp needs at least one step");
+        let mut phases: Vec<RatePhase> = (0..steps)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / steps as f64;
+                RatePhase {
+                    duration_s: ramp_s / steps as f64,
+                    qps: from_qps + (to_qps - from_qps) * t,
+                }
+            })
+            .collect();
+        phases.push(RatePhase {
+            duration_s: f64::MAX,
+            qps: to_qps,
+        });
+        Self::piecewise(phases)
+    }
+
+    /// A step change: `from_qps` until `at_s`, then `to_qps` forever (load drops and step
+    /// increases).
+    pub fn step_change(from_qps: f64, to_qps: f64, at_s: f64) -> Self {
+        Self::piecewise(vec![
+            RatePhase {
+                duration_s: at_s,
+                qps: from_qps,
+            },
+            RatePhase {
+                duration_s: f64::MAX,
+                qps: to_qps,
+            },
+        ])
+    }
+
+    /// Returns a copy with deterministic (evenly spaced) arrivals instead of Poisson.
+    pub fn deterministic(mut self) -> Self {
+        self.poisson = false;
+        self
+    }
+
+    /// The arrival rate in effect at time `t` (the last phase extends to infinity).
+    pub fn qps_at(&self, t: f64) -> f64 {
+        let mut end = 0.0;
+        for p in &self.phases {
+            end += p.duration_s;
+            if t < end {
+                return p.qps;
+            }
+        }
+        self.phases.last().expect("non-empty schedule").qps
+    }
+
+    /// Mean arrival rate over `[0, duration_s)`, weighting each phase by its overlap.
+    pub fn mean_qps(&self, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            return 0.0;
+        }
+        let mut start = 0.0;
+        let mut weighted = 0.0;
+        for p in &self.phases {
+            let end = (start + p.duration_s).min(duration_s);
+            if end > start {
+                weighted += p.qps * (end - start);
+            }
+            start += p.duration_s;
+            if start >= duration_s {
+                break;
+            }
+        }
+        // The last phase covers any remaining span.
+        if start < duration_s {
+            weighted += self.phases.last().expect("non-empty schedule").qps * (duration_s - start);
+        }
+        weighted / duration_s
+    }
+
+    /// The highest phase rate — what a "provision for the worst" baseline must absorb.
+    pub fn peak_qps(&self) -> f64 {
+        self.phases.iter().map(|p| p.qps).fold(0.0, f64::max)
+    }
+
+    /// Samples the next arrival time strictly after `clock`.
+    ///
+    /// Exact for piecewise-constant Poisson processes: an exponential gap drawn in one
+    /// phase that crosses the phase boundary is discarded and redrawn from the boundary at
+    /// the next phase's rate (memorylessness). Deterministic schedules advance by the
+    /// current phase's `1/qps` with the same boundary handling.
+    pub fn next_arrival<R: Rng + ?Sized>(&self, rng: &mut R, clock: f64) -> f64 {
+        let mut t = clock;
+        loop {
+            let (qps, phase_end) = self.phase_at(t);
+            let gap = if self.poisson {
+                sample_exponential(rng, qps)
+            } else {
+                1.0 / qps
+            };
+            // `phase_end` is infinite in the final phase, so this always terminates there.
+            if t + gap <= phase_end {
+                return t + gap;
+            }
+            t = phase_end;
+        }
+    }
+
+    /// The rate in effect at `t` and the end time of that phase (infinite for the last).
+    fn phase_at(&self, t: f64) -> (f64, f64) {
+        let mut end = 0.0;
+        for (i, p) in self.phases.iter().enumerate() {
+            end += p.duration_s;
+            let is_last = i + 1 == self.phases.len();
+            if t < end {
+                return (p.qps, if is_last { f64::INFINITY } else { end });
+            }
+        }
+        (
+            self.phases.last().expect("non-empty schedule").qps,
+            f64::INFINITY,
+        )
+    }
+}
+
+/// Configuration of a duration-bounded query stream driven by a phased arrival schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedStreamConfig {
+    /// The time-varying arrival schedule.
+    pub arrivals: PhasedArrivalProcess,
+    /// Batch-size distribution (same shapes as constant-rate streams).
+    pub batches: BatchDistribution,
+    /// Generation stops at the first arrival at or beyond this time.
+    pub duration_s: f64,
+    /// RNG seed; the same seed always produces the same stream.
+    pub seed: u64,
+}
+
+impl PhasedStreamConfig {
+    /// Generates the full query stream: every query arriving strictly before `duration_s`.
+    pub fn generate(&self) -> Vec<Query> {
+        PhasedQueryStream::new(self.clone()).collect()
+    }
+
+    /// Expected number of queries over the stream's duration.
+    pub fn expected_queries(&self) -> f64 {
+        self.arrivals.mean_qps(self.duration_s) * self.duration_s
+    }
+}
+
+/// Iterator lazily producing the queries of a phased stream, in arrival order.
+pub struct PhasedQueryStream {
+    config: PhasedStreamConfig,
+    rng: StdRng,
+    next_id: u64,
+    clock: f64,
+    done: bool,
+}
+
+impl PhasedQueryStream {
+    /// Creates a stream from its configuration.
+    pub fn new(config: PhasedStreamConfig) -> Self {
+        assert!(config.duration_s > 0.0, "stream duration must be positive");
+        let rng = StdRng::seed_from_u64(config.seed);
+        PhasedQueryStream {
+            config,
+            rng,
+            next_id: 0,
+            clock: 0.0,
+            done: false,
+        }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &PhasedStreamConfig {
+        &self.config
+    }
+}
+
+impl Iterator for PhasedQueryStream {
+    type Item = Query;
+
+    fn next(&mut self) -> Option<Query> {
+        if self.done {
+            return None;
+        }
+        let arrival = self.config.arrivals.next_arrival(&mut self.rng, self.clock);
+        if arrival >= self.config.duration_s {
+            self.done = true;
+            return None;
+        }
+        self.clock = arrival;
+        let q = Query {
+            id: self.next_id,
+            arrival,
+            batch_size: self.config.batches.sample(&mut self.rng),
+        };
+        self.next_id += 1;
+        Some(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batches() -> BatchDistribution {
+        BatchDistribution::default_heavy_tail(32.0, 256)
+    }
+
+    #[test]
+    fn constant_schedule_matches_configured_rate() {
+        let cfg = PhasedStreamConfig {
+            arrivals: PhasedArrivalProcess::constant(200.0, 100.0),
+            batches: batches(),
+            duration_s: 100.0,
+            seed: 1,
+        };
+        let qs = cfg.generate();
+        let observed = qs.len() as f64 / 100.0;
+        assert!(
+            (observed - 200.0).abs() / 200.0 < 0.05,
+            "observed {observed}"
+        );
+        assert!((cfg.expected_queries() - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_within_duration() {
+        let cfg = PhasedStreamConfig {
+            arrivals: PhasedArrivalProcess::spike(100.0, 2.0, 20.0, 10.0),
+            batches: batches(),
+            duration_s: 60.0,
+            seed: 2,
+        };
+        let qs = cfg.generate();
+        assert!(!qs.is_empty());
+        for w in qs.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+        assert!(qs.last().unwrap().arrival < 60.0);
+        assert_eq!(qs.first().unwrap().id, 0);
+    }
+
+    #[test]
+    fn spike_phase_rate_is_visible_in_the_stream() {
+        let cfg = PhasedStreamConfig {
+            arrivals: PhasedArrivalProcess::spike(100.0, 3.0, 30.0, 20.0),
+            batches: batches(),
+            duration_s: 80.0,
+            seed: 3,
+        };
+        let qs = cfg.generate();
+        let in_spike = qs
+            .iter()
+            .filter(|q| q.arrival >= 30.0 && q.arrival < 50.0)
+            .count() as f64
+            / 20.0;
+        let before = qs.iter().filter(|q| q.arrival < 30.0).count() as f64 / 30.0;
+        assert!(
+            in_spike / before > 2.3,
+            "spike rate {in_spike:.1} vs base {before:.1}"
+        );
+    }
+
+    #[test]
+    fn qps_at_follows_the_schedule() {
+        let p = PhasedArrivalProcess::spike(100.0, 1.5, 20.0, 10.0);
+        assert_eq!(p.qps_at(0.0), 100.0);
+        assert_eq!(p.qps_at(25.0), 150.0);
+        assert_eq!(p.qps_at(35.0), 100.0);
+        assert_eq!(p.qps_at(1e12), 100.0);
+        assert_eq!(p.peak_qps(), 150.0);
+    }
+
+    #[test]
+    fn mean_qps_weights_phase_overlap() {
+        let p = PhasedArrivalProcess::step_change(100.0, 200.0, 10.0);
+        // 10 s at 100 qps + 10 s at 200 qps.
+        assert!((p.mean_qps(20.0) - 150.0).abs() < 1e-9);
+        // Entirely inside the first phase.
+        assert!((p.mean_qps(5.0) - 100.0).abs() < 1e-9);
+        assert_eq!(p.mean_qps(0.0), 0.0);
+    }
+
+    #[test]
+    fn diurnal_schedule_oscillates_around_the_base_rate() {
+        let p = PhasedArrivalProcess::diurnal(1000.0, 0.3, 240.0, 12);
+        assert_eq!(p.phases.len(), 12);
+        let max = p.peak_qps();
+        let min = p.phases.iter().map(|ph| ph.qps).fold(f64::MAX, f64::min);
+        assert!((1200.0..=1300.0 + 1e-9).contains(&max), "max {max}");
+        assert!((700.0 - 1e-9..800.0).contains(&min), "min {min}");
+        // A full period averages back to roughly the base rate.
+        assert!((p.mean_qps(240.0) - 1000.0).abs() / 1000.0 < 0.02);
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_holds_the_target() {
+        let p = PhasedArrivalProcess::ramp(100.0, 200.0, 30.0, 6);
+        for w in p.phases.windows(2) {
+            assert!(w[1].qps >= w[0].qps);
+        }
+        assert_eq!(p.qps_at(1e9), 200.0);
+    }
+
+    #[test]
+    fn deterministic_constant_schedule_is_evenly_spaced() {
+        let cfg = PhasedStreamConfig {
+            arrivals: PhasedArrivalProcess::constant(10.0, 1.0).deterministic(),
+            batches: BatchDistribution::Fixed { batch: 8 },
+            // 0.95 rather than 1.0: the accumulated 10th arrival lands within one ULP of
+            // 1.0 and the test must not depend on which side it falls.
+            duration_s: 0.95,
+            seed: 0,
+        };
+        let qs = cfg.generate();
+        assert_eq!(qs.len(), 9, "arrivals at 0.1 .. 0.9");
+        for w in qs.windows(2) {
+            assert!((w[1].arrival - w[0].arrival - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        let cfg = PhasedStreamConfig {
+            arrivals: PhasedArrivalProcess::diurnal(300.0, 0.4, 60.0, 8),
+            batches: batches(),
+            duration_s: 60.0,
+            seed: 42,
+        };
+        assert_eq!(cfg.generate(), cfg.generate());
+        let mut other = cfg.clone();
+        other.seed = 43;
+        assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn boundary_crossing_redraws_at_the_new_rate() {
+        // A near-zero first phase rate: without boundary redraw, the first arrival would
+        // almost surely land far beyond the spike; with it, arrivals resume at the boundary.
+        let p = PhasedArrivalProcess::piecewise(vec![
+            RatePhase {
+                duration_s: 10.0,
+                qps: 1e-9,
+            },
+            RatePhase {
+                duration_s: f64::MAX,
+                qps: 1000.0,
+            },
+        ]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let first = p.next_arrival(&mut rng, 0.0);
+        assert!(
+            first > 10.0 && first < 10.1,
+            "first arrival {first} should land just after the boundary"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_is_rejected() {
+        let _ = PhasedArrivalProcess::piecewise(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn non_positive_rate_is_rejected() {
+        let _ = PhasedArrivalProcess::piecewise(vec![RatePhase {
+            duration_s: 1.0,
+            qps: 0.0,
+        }]);
+    }
+}

@@ -32,11 +32,18 @@ pub struct StreamConfig {
 impl StreamConfig {
     /// Returns a copy with the arrival rate multiplied by `factor` (the paper's 1.5× load
     /// change) and a distinct seed so the scaled stream is not a time-compressed replica.
+    ///
+    /// `num_queries` scales with the factor too: a historical version kept it fixed, so a
+    /// 1.5× load stream spanned only ~2/3 of the original wall-clock window and any
+    /// Fig. 16-style before/after comparison observed unequal durations. Scaling the count
+    /// keeps the expected stream duration (`num_queries / qps`) invariant under load
+    /// changes.
     pub fn scaled_load(&self, factor: f64) -> StreamConfig {
+        assert!(factor > 0.0, "load factor must be positive");
         StreamConfig {
             arrivals: self.arrivals.scaled(factor),
             batches: self.batches.clone(),
-            num_queries: self.num_queries,
+            num_queries: ((self.num_queries as f64 * factor).round() as usize).max(1),
             seed: self.seed ^ 0x9e37_79b9_7f4a_7c15,
         }
     }
@@ -162,18 +169,27 @@ mod tests {
     }
 
     #[test]
-    fn scaled_load_increases_arrival_rate() {
+    fn scaled_load_increases_arrival_rate_and_preserves_duration() {
         let base = config(100.0, 20_000, 4);
         let scaled = base.scaled_load(1.5);
         assert_eq!(scaled.arrivals.qps(), 150.0);
+        assert_eq!(scaled.num_queries, 30_000);
         let d_base = base.generate().last().unwrap().arrival;
         let d_scaled = scaled.generate().last().unwrap().arrival;
-        // Same number of queries at 1.5x the rate → ~2/3 of the duration.
+        // 1.5x the queries at 1.5x the rate → the same expected wall-clock window, so
+        // before/after comparisons observe equal durations.
         assert!(
-            (d_scaled / d_base - 1.0 / 1.5).abs() < 0.1,
+            (d_scaled / d_base - 1.0).abs() < 0.1,
             "ratio {}",
             d_scaled / d_base
         );
+    }
+
+    #[test]
+    fn scaled_load_rounds_and_never_drops_to_zero_queries() {
+        let tiny = config(100.0, 1, 4);
+        assert_eq!(tiny.scaled_load(0.1).num_queries, 1);
+        assert_eq!(config(100.0, 10, 4).scaled_load(1.25).num_queries, 13);
     }
 
     #[test]

@@ -66,17 +66,24 @@ impl SimResult {
         self.latencies.len()
     }
 
-    /// Fraction of queries whose latency is within `target_latency` seconds.
-    pub fn satisfaction_rate(&self, target_latency: f64) -> f64 {
+    /// Fraction of queries whose latency is within `target_latency` seconds, or `None` for
+    /// an empty stream.
+    ///
+    /// An empty slice carries **no evidence** about QoS: a historical version returned
+    /// `1.0`, which made an empty monitoring window read as "QoS perfectly met" and
+    /// silently corrupted any windowed comparison. Callers must decide explicitly what an
+    /// empty observation means for them (the Ribbon evaluator treats a zero-query stream as
+    /// vacuously satisfied; the online controller skips empty windows entirely).
+    pub fn satisfaction_rate(&self, target_latency: f64) -> Option<f64> {
         if self.latencies.is_empty() {
-            return 1.0;
+            return None;
         }
         let ok = self
             .latencies
             .iter()
             .filter(|&&l| l <= target_latency)
             .count();
-        ok as f64 / self.latencies.len() as f64
+        Some(ok as f64 / self.latencies.len() as f64)
     }
 
     /// Tail latency at percentile `p` (e.g. 99.0), in seconds.
@@ -240,13 +247,14 @@ pub struct SimStats {
 }
 
 impl SimStats {
-    /// Fraction of queries within the latency target (1.0 for an empty stream, matching
-    /// [`SimResult::satisfaction_rate`]).
-    pub fn satisfaction_rate(&self) -> f64 {
+    /// Fraction of queries within the latency target, or `None` for an empty stream
+    /// (matching [`SimResult::satisfaction_rate`]: an empty observation carries no QoS
+    /// evidence, and each caller decides what that means).
+    pub fn satisfaction_rate(&self) -> Option<f64> {
         if self.num_queries == 0 {
-            return 1.0;
+            return None;
         }
-        self.satisfied as f64 / self.num_queries as f64
+        Some(self.satisfied as f64 / self.num_queries as f64)
     }
 
     /// Achieved throughput in queries per second over the stream's makespan.
@@ -537,17 +545,18 @@ mod tests {
         let model = constant_model(0.010);
         let r = simulate(&pool, &queries_at(&[0.0, 0.0, 0.0, 0.0], 8), &model);
         // Latencies are 10, 20, 30, 40 ms.
-        assert_eq!(r.satisfaction_rate(0.025), 0.5);
-        assert_eq!(r.satisfaction_rate(0.040), 1.0);
-        assert_eq!(r.satisfaction_rate(0.005), 0.0);
+        assert_eq!(r.satisfaction_rate(0.025), Some(0.5));
+        assert_eq!(r.satisfaction_rate(0.040), Some(1.0));
+        assert_eq!(r.satisfaction_rate(0.005), Some(0.0));
     }
 
     #[test]
-    fn empty_stream_has_full_satisfaction_and_zero_throughput() {
+    fn empty_stream_has_no_satisfaction_evidence_and_zero_throughput() {
         let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
         let model = constant_model(0.010);
         let r = simulate(&pool, &[], &model);
-        assert_eq!(r.satisfaction_rate(0.001), 1.0);
+        // No queries → no satisfaction evidence, not "QoS perfectly met".
+        assert_eq!(r.satisfaction_rate(0.001), None);
         assert_eq!(r.throughput_qps(), 0.0);
         assert_eq!(r.num_queries(), 0);
     }
@@ -612,7 +621,7 @@ mod tests {
             &model,
         );
         assert!(helped.tail_latency(99.0) < solo.tail_latency(99.0));
-        assert!(helped.satisfaction_rate(0.05) > solo.satisfaction_rate(0.05));
+        assert!(helped.satisfaction_rate(0.05).unwrap() > solo.satisfaction_rate(0.05).unwrap());
         // The helpers actually served queries.
         assert!(helped.per_instance_load[1] + helped.per_instance_load[2] > 0);
     }
@@ -745,7 +754,7 @@ mod tests {
         let model = constant_model(0.010);
         let s = simulate_stats(&pool, &[], &model, 0.01, 99.0);
         assert_eq!(s.num_queries, 0);
-        assert_eq!(s.satisfaction_rate(), 1.0);
+        assert_eq!(s.satisfaction_rate(), None);
         assert_eq!(s.mean_latency_s, 0.0);
         assert_eq!(s.tail_latency_s, 0.0);
         assert_eq!(s.throughput_qps(), 0.0);

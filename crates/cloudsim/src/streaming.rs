@@ -1,0 +1,968 @@
+//! The online serving runtime: a resumable, query-by-query simulator with windowed QoS
+//! monitoring and mid-stream pool reconfiguration.
+//!
+//! [`crate::simulate`] answers "what would this pool have done with this whole stream" —
+//! the right question for offline configuration search, the wrong one for a serving system
+//! that must react *while queries keep arriving*. [`StreamingSim`] runs the same two-heap
+//! FCFS scheduler (see [`crate::sim`]) but is driven one query at a time, and adds what an
+//! online runtime needs:
+//!
+//! * **windowed monitoring** — per-window [`WindowStats`] (satisfaction, mean, tail,
+//!   throughput, cost-so-far) over a configurable sliding window, emitted as soon as the
+//!   arrival clock proves a window complete;
+//! * **reconfiguration** — [`StreamingSim::reconfigure`] retires instances (they drain
+//!   their in-flight query, then never serve again, billed until drained) and launches new
+//!   ones that only become available after a per-type spin-up delay
+//!   ([`InstanceType::spin_up_s`]);
+//! * **cost accounting** — every instance is billed for its own active span, so the
+//!   accrued cost of a reconfigured stream (including the drain/spin-up overlap where both
+//!   generations are billed) is exact, not `hourly_cost × duration`.
+//!
+//! # Bit-identity with the batch simulator
+//!
+//! With **zero** reconfigurations, pushing a stream through [`StreamingSim`] is
+//! bit-identical to [`crate::simulate`] / [`crate::simulate_stats`] on the same inputs:
+//! the heaps hold `(rank, slot)` pairs with `rank == slot index` until the first
+//! reconfiguration, so every comparison, dispatch, and floating-point accumulation happens
+//! in exactly the order of [`crate::sim`]'s `drive` loop. The differential suite in
+//! `tests/online_serving.rs` enforces this.
+//!
+//! After a reconfiguration the dispatch-preference ranks are reassigned to follow the new
+//! pool's type order (surviving instances keep their relative order within a type, new
+//! instances queue behind them), and both heaps are rebuilt — an O(N log N) step that only
+//! runs on the rare reconfiguration event, never per query.
+
+use crate::instance::{InstanceType, PoolSpec};
+use crate::latency::LatencyModel;
+use crate::query::Query;
+use crate::sim::SimStats;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// The monitoring window shape: statistics are emitted for windows
+/// `[k·step_s, k·step_s + length_s)` for `k = 0, 1, 2, …` — tumbling when
+/// `step_s == length_s`, overlapping (sliding) when `step_s < length_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Window length in seconds.
+    pub length_s: f64,
+    /// Stride between consecutive window starts, in seconds (`0 < step_s ≤ length_s`).
+    pub step_s: f64,
+}
+
+impl WindowConfig {
+    /// A tumbling (non-overlapping) window of the given length.
+    pub fn tumbling(length_s: f64) -> Self {
+        WindowConfig {
+            length_s,
+            step_s: length_s,
+        }
+    }
+
+    /// A sliding window: `length_s` long, emitted every `step_s` seconds.
+    pub fn sliding(length_s: f64, step_s: f64) -> Self {
+        WindowConfig { length_s, step_s }
+    }
+
+    fn validate(&self) {
+        assert!(self.length_s > 0.0, "window length must be positive");
+        assert!(
+            self.step_s > 0.0 && self.step_s <= self.length_s,
+            "window step must be in (0, length], got step {} for length {}",
+            self.step_s,
+            self.length_s
+        );
+    }
+}
+
+/// Per-window serving statistics — what an online controller watches.
+///
+/// Queries are attributed to a window by **arrival time**. An empty window reports `None`
+/// for satisfaction/mean/tail: no queries means no QoS evidence (see
+/// [`crate::sim::SimResult::satisfaction_rate`] for why `1.0` would be a bug), and
+/// consumers must handle the empty case deliberately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Window sequence number (0-based).
+    pub index: u64,
+    /// Window start time in seconds.
+    pub start_s: f64,
+    /// Window end time in seconds. The final window flushed by
+    /// [`StreamingSim::finish_windows`] may extend past the last arrival.
+    pub end_s: f64,
+    /// Queries that arrived within the window.
+    pub num_queries: usize,
+    /// Of those, how many finished within the latency target.
+    pub satisfied: usize,
+    /// `satisfied / num_queries`, or `None` for an empty window.
+    pub satisfaction_rate: Option<f64>,
+    /// Mean end-to-end latency of the window's queries, or `None` for an empty window.
+    pub mean_latency_s: Option<f64>,
+    /// Nearest-rank tail latency of the window's queries at the configured percentile, or
+    /// `None` for an empty window.
+    pub tail_latency_s: Option<f64>,
+    /// Offered load: arrivals per second over the window's *observed* span (the full
+    /// window length for windows closed mid-stream; the span up to the last arrival for a
+    /// partial final window flushed by [`StreamingSim::finish_windows`]).
+    pub arrival_qps: f64,
+    /// Served rate over the same observed span: of the window's arrivals, how many
+    /// *completed* within the window, per second. Falls below `arrival_qps` when the pool
+    /// is falling behind.
+    pub throughput_qps: f64,
+    /// Hourly cost of the pool configuration at window close.
+    pub pool_hourly_cost: f64,
+    /// Exact accrued cost in USD from stream start to `end_s` (clamped to the run's end
+    /// for a partial final window), including drain/spin-up overlap billing of any
+    /// reconfigurations.
+    pub cost_so_far_usd: f64,
+}
+
+impl WindowStats {
+    /// `true` when no queries arrived in the window.
+    pub fn is_empty(&self) -> bool {
+        self.num_queries == 0
+    }
+
+    /// Whether the window's satisfaction meets `target_rate`; `None` for an empty window
+    /// (no evidence either way — don't let silence look like health).
+    pub fn meets_rate(&self, target_rate: f64) -> Option<bool> {
+        self.satisfaction_rate.map(|r| r >= target_rate)
+    }
+}
+
+/// Outcome of one [`StreamingSim::reconfigure`] call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reconfiguration {
+    /// When the reconfiguration was applied (clamped to the current stream clock).
+    pub at_s: f64,
+    /// The pool before the change.
+    pub old_pool: PoolSpec,
+    /// The pool after the change.
+    pub new_pool: PoolSpec,
+    /// Instances retired (they drain their in-flight query and never serve again).
+    pub retired: usize,
+    /// Instances launched (billed from `at_s`, serving from `ready_at_s` at the latest).
+    pub launched: usize,
+    /// When the last launched instance becomes available (`at_s` if none were launched).
+    pub ready_at_s: f64,
+}
+
+/// Settings of a streaming simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSimConfig {
+    /// QoS latency target in seconds (for window satisfaction counts).
+    pub target_latency_s: f64,
+    /// Tail percentile reported per window and in the final stats (e.g. 99.0).
+    pub tail_percentile: f64,
+    /// Monitoring window shape.
+    pub window: WindowConfig,
+    /// Multiplier on [`InstanceType::spin_up_s`] for launched instances (`0.0` makes
+    /// reconfigurations instantaneous, useful in tests).
+    pub spin_up_factor: f64,
+}
+
+impl StreamingSimConfig {
+    /// Standard config: per-type spin-up delays at face value.
+    pub fn new(target_latency_s: f64, tail_percentile: f64, window: WindowConfig) -> Self {
+        StreamingSimConfig {
+            target_latency_s,
+            tail_percentile,
+            window,
+            spin_up_factor: 1.0,
+        }
+    }
+}
+
+/// One concrete instance over its whole lifetime (possibly retired).
+#[derive(Debug, Clone)]
+struct Slot {
+    ty: InstanceType,
+    /// Dispatch-preference rank; equals the slot index until the first reconfiguration.
+    rank: usize,
+    free_at: f64,
+    retired: bool,
+    /// Billing starts here (launch time; spin-up is billed).
+    cost_from: f64,
+    /// Billing ends here once retired and drained.
+    cost_until: Option<f64>,
+    load: u64,
+}
+
+/// A busy slot in the event queue: min-heap by `(free_at, rank)` via reversed comparison,
+/// mirroring `sim::BusyInstance` (rank == index before any reconfiguration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BusySlot {
+    free_at: f64,
+    rank: usize,
+    slot: usize,
+}
+
+impl Eq for BusySlot {}
+
+impl Ord for BusySlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .free_at
+            .total_cmp(&self.free_at)
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+impl PartialOrd for BusySlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A query's monitoring record buffered until its arrival window closes.
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    arrival: f64,
+    completion: f64,
+    latency: f64,
+}
+
+/// The resumable streaming simulator. See the module docs for semantics.
+pub struct StreamingSim<'a, M: LatencyModel + ?Sized> {
+    model: &'a M,
+    config: StreamingSimConfig,
+    pool: PoolSpec,
+    slots: Vec<Slot>,
+    idle: BinaryHeap<Reverse<(usize, usize)>>,
+    busy: BinaryHeap<BusySlot>,
+    last_arrival: f64,
+    makespan: f64,
+    // Whole-stream accumulators, maintained in exactly `simulate_stats`'s order.
+    latencies: Vec<f64>,
+    assigned: Vec<usize>,
+    latency_sum: f64,
+    satisfied: usize,
+    // Windowing.
+    window_buf: VecDeque<WindowEntry>,
+    next_window: u64,
+    // History.
+    reconfigurations: Vec<Reconfiguration>,
+}
+
+impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
+    /// Creates a streaming simulation of `pool` under `model`.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or the window config is invalid.
+    pub fn new(pool: &PoolSpec, model: &'a M, config: StreamingSimConfig) -> Self {
+        config.window.validate();
+        let instances = pool.expand();
+        assert!(
+            !instances.is_empty(),
+            "cannot simulate an empty pool ({})",
+            pool.describe()
+        );
+        let slots: Vec<Slot> = instances
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| Slot {
+                ty,
+                rank: i,
+                free_at: 0.0,
+                retired: false,
+                cost_from: 0.0,
+                cost_until: None,
+                load: 0,
+            })
+            .collect();
+        let idle = (0..slots.len()).map(|i| Reverse((i, i))).collect();
+        StreamingSim {
+            model,
+            config,
+            pool: pool.clone(),
+            slots,
+            idle,
+            busy: BinaryHeap::new(),
+            last_arrival: 0.0,
+            makespan: 0.0,
+            latencies: Vec::new(),
+            assigned: Vec::new(),
+            latency_sum: 0.0,
+            satisfied: 0,
+            window_buf: VecDeque::new(),
+            next_window: 0,
+            reconfigurations: Vec::new(),
+        }
+    }
+
+    /// The stream clock: arrival time of the last pushed query.
+    pub fn clock(&self) -> f64 {
+        self.last_arrival
+    }
+
+    /// The current pool configuration.
+    pub fn current_pool(&self) -> &PoolSpec {
+        &self.pool
+    }
+
+    /// Reconfigurations applied so far, in order.
+    pub fn reconfigurations(&self) -> &[Reconfiguration] {
+        &self.reconfigurations
+    }
+
+    /// Per-query latencies in arrival order (identical to
+    /// [`crate::SimResult::latencies`] while no reconfiguration has occurred).
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Which slot served each query, in arrival order (slot indices coincide with
+    /// `pool.expand()` indices until the first reconfiguration).
+    pub fn assigned_slots(&self) -> &[usize] {
+        &self.assigned
+    }
+
+    /// Queries served per slot, over every slot ever launched (including retired ones).
+    pub fn per_slot_load(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.load).collect()
+    }
+
+    /// Completion time of the last-finishing query so far.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Advances the simulation by one query and returns every monitoring window the new
+    /// arrival clock proved complete (usually none, one when the clock crosses a window
+    /// boundary).
+    ///
+    /// Queries must be pushed in non-decreasing arrival order (debug-asserted), exactly as
+    /// the batch simulator requires of its input slice.
+    pub fn push(&mut self, q: &Query) -> Vec<WindowStats> {
+        debug_assert!(
+            q.arrival >= self.last_arrival,
+            "queries must be pushed in arrival order"
+        );
+        // Close every window that ends at or before this arrival: no earlier arrival can
+        // come later, so those windows are complete.
+        let mut closed = Vec::new();
+        while q.arrival >= self.window_end(self.next_window) {
+            closed.push(self.close_next_window(true));
+        }
+
+        // The two-heap dispatch, bit-identical to `sim::drive`.
+        while let Some(top) = self.busy.peek() {
+            if top.free_at <= q.arrival {
+                let b = self.busy.pop().expect("peeked entry exists");
+                self.idle.push(Reverse((b.rank, b.slot)));
+            } else {
+                break;
+            }
+        }
+        let (slot_idx, start) = match self.idle.pop() {
+            Some(Reverse((_, slot))) => (slot, q.arrival),
+            None => {
+                let b = self.busy.pop().expect("non-empty pool has a busy instance");
+                (b.slot, b.free_at)
+            }
+        };
+        let slot = &mut self.slots[slot_idx];
+        let service = self.model.service_time(slot.ty, q.batch_size).max(0.0);
+        let completion = start + service;
+        slot.free_at = completion;
+        slot.load += 1;
+        self.busy.push(BusySlot {
+            free_at: completion,
+            rank: slot.rank,
+            slot: slot_idx,
+        });
+        if completion > self.makespan {
+            self.makespan = completion;
+        }
+
+        let latency = completion - q.arrival;
+        self.latency_sum += latency;
+        if latency <= self.config.target_latency_s {
+            self.satisfied += 1;
+        }
+        self.latencies.push(latency);
+        self.assigned.push(slot_idx);
+        self.window_buf.push_back(WindowEntry {
+            arrival: q.arrival,
+            completion,
+            latency,
+        });
+        self.last_arrival = q.arrival;
+        closed
+    }
+
+    /// Replaces the serving pool mid-stream.
+    ///
+    /// Effective at `max(at_s, clock)`. Instances of each type beyond the new count are
+    /// **retired**: they finish their in-flight query (draining), never serve another, and
+    /// are billed until drained. Missing instances are **launched**: billed from the
+    /// reconfiguration instant but only available after their type's spin-up delay scaled
+    /// by [`StreamingSimConfig::spin_up_factor`]. Surviving instances keep their queue
+    /// state; dispatch-preference ranks are reassigned to follow `new_pool`'s type order.
+    ///
+    /// # Panics
+    /// Panics if `new_pool` has no instances.
+    pub fn reconfigure(&mut self, new_pool: &PoolSpec, at_s: f64) -> Reconfiguration {
+        assert!(
+            new_pool.total_instances() > 0,
+            "cannot reconfigure to an empty pool ({})",
+            new_pool.describe()
+        );
+        let at = at_s.max(self.last_arrival);
+        let old_pool = self.pool.clone();
+
+        // Active slots per type, in current rank order (deterministic survivor choice:
+        // the highest-preference instances of a type survive, the tail retires).
+        let mut active_by_type: BTreeMap<InstanceType, Vec<usize>> = BTreeMap::new();
+        let mut active: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| !self.slots[i].retired)
+            .collect();
+        active.sort_by_key(|&i| self.slots[i].rank);
+        for i in active {
+            active_by_type.entry(self.slots[i].ty).or_default().push(i);
+        }
+
+        let mut order: Vec<usize> = Vec::with_capacity(new_pool.total_instances() as usize);
+        let mut retired = 0usize;
+        let mut launched = 0usize;
+        let mut ready_at = at;
+        for (&ty, &count) in new_pool.types.iter().zip(&new_pool.counts) {
+            let avail = active_by_type.remove(&ty).unwrap_or_default();
+            let keep = avail.len().min(count as usize);
+            order.extend_from_slice(&avail[..keep]);
+            for &i in &avail[keep..] {
+                self.retire_slot(i, at);
+                retired += 1;
+            }
+            for _ in keep..count as usize {
+                let free_at = at + ty.spin_up_s() * self.config.spin_up_factor;
+                ready_at = ready_at.max(free_at);
+                self.slots.push(Slot {
+                    ty,
+                    rank: 0, // reassigned below
+                    free_at,
+                    retired: false,
+                    cost_from: at,
+                    cost_until: None,
+                    load: 0,
+                });
+                order.push(self.slots.len() - 1);
+                launched += 1;
+            }
+        }
+        // Types absent from the new pool retire entirely.
+        for (_, leftovers) in active_by_type {
+            for i in leftovers {
+                self.retire_slot(i, at);
+                retired += 1;
+            }
+        }
+
+        // Reassign ranks in new-pool order and rebuild both heaps.
+        self.idle.clear();
+        self.busy.clear();
+        for (rank, &i) in order.iter().enumerate() {
+            self.slots[i].rank = rank;
+            if self.slots[i].free_at <= at {
+                self.idle.push(Reverse((rank, i)));
+            } else {
+                self.busy.push(BusySlot {
+                    free_at: self.slots[i].free_at,
+                    rank,
+                    slot: i,
+                });
+            }
+        }
+        self.pool = new_pool.clone();
+
+        let event = Reconfiguration {
+            at_s: at,
+            old_pool,
+            new_pool: new_pool.clone(),
+            retired,
+            launched,
+            ready_at_s: ready_at,
+        };
+        self.reconfigurations.push(event.clone());
+        event
+    }
+
+    fn retire_slot(&mut self, i: usize, at: f64) {
+        let slot = &mut self.slots[i];
+        slot.retired = true;
+        // Busy slots bill until their in-flight query drains; idle ones stop billing now.
+        slot.cost_until = Some(slot.free_at.max(at));
+    }
+
+    /// Exact accrued cost in USD from stream start to time `t`, summing every slot's own
+    /// active span (launch → retirement drain). During a transition both the draining old
+    /// instances and the spinning-up new ones are billed — the real price of a
+    /// reconfiguration.
+    pub fn cost_so_far(&self, t: f64) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                let end = s.cost_until.unwrap_or(t).min(t);
+                let span = (end - s.cost_from).max(0.0);
+                s.ty.hourly_price() * span / 3600.0
+            })
+            .sum()
+    }
+
+    /// Closes and returns every remaining window with arrivals (the last may be partial:
+    /// its `end_s` can extend past the final arrival). Call once after the stream ends.
+    pub fn finish_windows(&mut self) -> Vec<WindowStats> {
+        let mut out = Vec::new();
+        // `<=` so an arrival landing exactly on a window boundary still gets its window.
+        while self.window_start(self.next_window) <= self.last_arrival
+            && !self.window_buf.is_empty()
+        {
+            out.push(self.close_next_window(false));
+        }
+        out
+    }
+
+    /// Whole-stream aggregate statistics — bit-identical to
+    /// [`crate::simulate_stats`] on the same inputs while no reconfiguration has occurred
+    /// (same accumulation order, same selection algorithm for the tail).
+    pub fn stats(&self) -> SimStats {
+        let n = self.latencies.len();
+        let mean_latency_s = if n == 0 {
+            0.0
+        } else {
+            self.latency_sum / n as f64
+        };
+        let mut buf = self.latencies.clone();
+        let tail_latency_s =
+            ribbon_linalg::stats::percentile_in_place(&mut buf, self.config.tail_percentile)
+                .unwrap_or(0.0);
+        SimStats {
+            num_queries: n,
+            satisfied: self.satisfied,
+            mean_latency_s,
+            tail_latency_s,
+            makespan: self.makespan,
+        }
+    }
+
+    fn window_start(&self, index: u64) -> f64 {
+        index as f64 * self.config.window.step_s
+    }
+
+    fn window_end(&self, index: u64) -> f64 {
+        self.window_start(index) + self.config.window.length_s
+    }
+
+    /// Computes stats for window `next_window`, evicts entries no later window needs, and
+    /// advances the window counter. `complete` distinguishes windows closed because an
+    /// arrival crossed their end (full-length span) from partial windows flushed after the
+    /// stream ended.
+    fn close_next_window(&mut self, complete: bool) -> WindowStats {
+        let index = self.next_window;
+        let start = self.window_start(index);
+        let end = self.window_end(index);
+
+        let mut num = 0usize;
+        let mut satisfied = 0usize;
+        let mut completed_in_window = 0usize;
+        let mut sum = 0.0f64;
+        let mut lats: Vec<f64> = Vec::new();
+        for e in &self.window_buf {
+            if e.arrival >= end {
+                break; // buffer is arrival-ordered
+            }
+            if e.arrival < start {
+                continue;
+            }
+            num += 1;
+            sum += e.latency;
+            if e.latency <= self.config.target_latency_s {
+                satisfied += 1;
+            }
+            if e.completion < end {
+                completed_in_window += 1;
+            }
+            lats.push(e.latency);
+        }
+        let tail =
+            ribbon_linalg::stats::percentile_in_place(&mut lats, self.config.tail_percentile);
+        // Rates divide by the *observed* span: a window closed mid-stream (an arrival
+        // crossed its end) spans its full length, but a partial window flushed after the
+        // stream ends only saw `last_arrival − start` seconds of traffic — dividing that
+        // by the full length would fake a load drop in the last window.
+        let observed = self.last_arrival.min(end) - start;
+        let span = if complete || observed <= 0.0 {
+            self.config.window.length_s
+        } else {
+            observed
+        };
+        let stats = WindowStats {
+            index,
+            start_s: start,
+            end_s: end,
+            num_queries: num,
+            satisfied,
+            satisfaction_rate: (num > 0).then(|| satisfied as f64 / num as f64),
+            mean_latency_s: (num > 0).then(|| sum / num as f64),
+            tail_latency_s: tail,
+            arrival_qps: num as f64 / span,
+            throughput_qps: completed_in_window as f64 / span,
+            pool_hourly_cost: self.pool.hourly_cost(),
+            // A partial final window must not bill past the end of the run: clamp to the
+            // later of the last arrival and the last completion.
+            cost_so_far_usd: self.cost_so_far(if complete {
+                end
+            } else {
+                end.min(self.makespan.max(self.last_arrival))
+            }),
+        };
+
+        // Entries arriving before the next window's start are never needed again.
+        self.next_window += 1;
+        let horizon = self.window_start(self.next_window);
+        while let Some(front) = self.window_buf.front() {
+            if front.arrival < horizon {
+                self.window_buf.pop_front();
+            } else {
+                break;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ArrivalProcess, BatchDistribution};
+    use crate::latency::FnLatencyModel;
+    use crate::query::StreamConfig;
+    use crate::sim::{simulate, simulate_stats};
+
+    fn model() -> FnLatencyModel<impl Fn(InstanceType, u32) -> f64> {
+        FnLatencyModel::new("mixed", |ty, b| {
+            if ty == InstanceType::G4dn {
+                0.004 + 4e-5 * b as f64
+            } else {
+                0.004 + 45e-5 * b as f64
+            }
+        })
+    }
+
+    fn stream(qps: f64, n: usize, seed: u64) -> Vec<Query> {
+        StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps },
+            batches: BatchDistribution::default_heavy_tail(32.0, 256),
+            num_queries: n,
+            seed,
+        }
+        .generate()
+    }
+
+    fn cfg(window_s: f64) -> StreamingSimConfig {
+        StreamingSimConfig::new(0.020, 99.0, WindowConfig::tumbling(window_s))
+    }
+
+    #[test]
+    fn zero_reconfig_streaming_is_bit_identical_to_batch() {
+        let pool = PoolSpec::new(
+            vec![InstanceType::G4dn, InstanceType::C5, InstanceType::T3],
+            vec![2, 3, 4],
+        );
+        let m = model();
+        for seed in [1u64, 7, 42] {
+            let queries = stream(600.0, 3000, seed);
+            let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+            for q in &queries {
+                s.push(q);
+            }
+            let full = simulate(&pool, &queries, &m);
+            assert_eq!(s.latencies(), full.latencies.as_slice(), "seed {seed}");
+            assert_eq!(s.assigned_slots(), full.assigned_instance.as_slice());
+            assert_eq!(s.per_slot_load(), full.per_instance_load);
+            assert_eq!(s.makespan(), full.makespan);
+            let stats = s.stats();
+            let batch_stats = simulate_stats(&pool, &queries, &m, 0.020, 99.0);
+            assert_eq!(stats, batch_stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_stream() {
+        let pool = PoolSpec::homogeneous(InstanceType::G4dn, 3);
+        let m = model();
+        let queries = stream(500.0, 4000, 9);
+        let mut s = StreamingSim::new(&pool, &m, cfg(0.5));
+        let mut windows: Vec<WindowStats> = Vec::new();
+        for q in &queries {
+            windows.extend(s.push(q));
+        }
+        windows.extend(s.finish_windows());
+        let total: usize = windows.iter().map(|w| w.num_queries).sum();
+        assert_eq!(total, queries.len(), "tumbling windows cover every query");
+        let sat: usize = windows.iter().map(|w| w.satisfied).sum();
+        assert_eq!(sat, s.stats().satisfied);
+        // Window indices are consecutive from zero.
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64);
+            assert!((w.end_s - w.start_s - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_windows_report_no_evidence() {
+        let pool = PoolSpec::homogeneous(InstanceType::G4dn, 1);
+        let m = model();
+        let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+        // Arrivals at 0.5 and 5.5: windows 1..=4 are empty.
+        let q0 = Query {
+            id: 0,
+            arrival: 0.5,
+            batch_size: 8,
+        };
+        let q1 = Query {
+            id: 1,
+            arrival: 5.5,
+            batch_size: 8,
+        };
+        s.push(&q0);
+        let closed = s.push(&q1);
+        assert_eq!(closed.len(), 5, "windows [0,1) .. [4,5) close at t=5.5");
+        assert_eq!(closed[0].num_queries, 1);
+        for w in &closed[1..] {
+            assert!(w.is_empty());
+            assert_eq!(w.satisfaction_rate, None);
+            assert_eq!(w.mean_latency_s, None);
+            assert_eq!(w.tail_latency_s, None);
+            assert_eq!(w.meets_rate(0.99), None, "silence must not look healthy");
+        }
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let pool = PoolSpec::homogeneous(InstanceType::G4dn, 2);
+        let m = model();
+        let queries = stream(200.0, 1000, 3);
+        let mut s = StreamingSim::new(
+            &pool,
+            &m,
+            StreamingSimConfig::new(0.020, 99.0, WindowConfig::sliding(1.0, 0.25)),
+        );
+        let mut windows = Vec::new();
+        for q in &queries {
+            windows.extend(s.push(q));
+        }
+        windows.extend(s.finish_windows());
+        // Overlapping windows each count ~1 s of a ~200 qps stream; with 4x overlap the
+        // sum of counts is ~4x the stream length.
+        let total: usize = windows.iter().map(|w| w.num_queries).sum();
+        assert!(
+            total > 3 * queries.len(),
+            "sliding windows must overlap (sum {total} vs {})",
+            queries.len()
+        );
+        for w in windows.windows(2) {
+            assert!((w[1].start_s - w[0].start_s - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconfigure_scale_up_adds_capacity_and_restores_latency() {
+        // One g4dn saturates under this load; adding two more clears the queue.
+        let pool = PoolSpec::homogeneous(InstanceType::G4dn, 1);
+        let m = model();
+        let queries = stream(220.0, 4000, 5);
+        let mid = queries[queries.len() / 2].arrival;
+        let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+        let bigger = PoolSpec::homogeneous(InstanceType::G4dn, 3);
+        let mut reconfigured = false;
+        for q in &queries {
+            if !reconfigured && q.arrival >= mid {
+                let ev = s.reconfigure(&bigger, q.arrival);
+                assert_eq!(ev.launched, 2);
+                assert_eq!(ev.retired, 0);
+                assert!(ev.ready_at_s > ev.at_s, "spin-up delays availability");
+                reconfigured = true;
+            }
+            s.push(q);
+        }
+        assert_eq!(s.reconfigurations().len(), 1);
+        assert_eq!(s.current_pool().total_instances(), 3);
+        // Mean latency over the post-spin-up tail is far below the saturated first half.
+        let ready = s.reconfigurations()[0].ready_at_s;
+        let half: Vec<f64> = queries
+            .iter()
+            .zip(s.latencies())
+            .filter(|(q, _)| q.arrival < mid)
+            .map(|(_, &l)| l)
+            .collect();
+        let tail: Vec<f64> = queries
+            .iter()
+            .zip(s.latencies())
+            .filter(|(q, _)| q.arrival > ready + 1.0)
+            .map(|(_, &l)| l)
+            .collect();
+        assert!(!tail.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&tail) < mean(&half) / 2.0,
+            "post-reconfig mean {} vs saturated {}",
+            mean(&tail),
+            mean(&half)
+        );
+    }
+
+    #[test]
+    fn retired_instances_drain_but_never_serve_again() {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 2]);
+        let m = model();
+        let queries = stream(150.0, 2000, 11);
+        let mid = queries[queries.len() / 2].arrival;
+        let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+        let smaller = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 0]);
+        let mut cut_at = None;
+        let mut served_after_cut = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            if cut_at.is_none() && q.arrival >= mid {
+                let ev = s.reconfigure(&smaller, q.arrival);
+                assert_eq!(ev.retired, 2);
+                assert_eq!(ev.launched, 0);
+                cut_at = Some(i);
+            }
+            s.push(q);
+            if let Some(c) = cut_at {
+                if i >= c && s.assigned_slots()[i] != 0 {
+                    served_after_cut += 1;
+                }
+            }
+        }
+        assert_eq!(
+            served_after_cut, 0,
+            "retired t3 slots must not serve post-retirement queries"
+        );
+        assert_eq!(s.current_pool().describe(), "1xg4dn");
+    }
+
+    #[test]
+    fn partial_final_window_reports_rates_over_the_observed_span() {
+        let pool = PoolSpec::homogeneous(InstanceType::G4dn, 2);
+        let m = FnLatencyModel::new("const", |_, _| 0.001);
+        // 10 qps deterministic arrivals, 4 s windows: the stream ends 1 s into window 1.
+        let mut s = StreamingSim::new(
+            &pool,
+            &m,
+            StreamingSimConfig::new(0.020, 99.0, WindowConfig::tumbling(4.0)),
+        );
+        let mut windows = Vec::new();
+        for i in 0..50u64 {
+            let q = Query {
+                id: i,
+                arrival: 0.1 + i as f64 * 0.1,
+                batch_size: 8,
+            };
+            windows.extend(s.push(&q));
+        }
+        windows.extend(s.finish_windows());
+        assert_eq!(windows.len(), 2);
+        // Window 0 closed mid-stream: full-length span.
+        assert!((windows[0].arrival_qps - 10.0).abs() < 0.26, "{windows:?}");
+        // Window 1 is partial ([4, 8) but arrivals stop at 5.0): dividing by the full
+        // 4 s length would report ~2.75 qps — a fake load drop. Over the observed 1 s
+        // span the rate stays ~10 (11 with the fencepost arrival at exactly 5.0).
+        assert!(
+            (windows[1].arrival_qps - 10.0).abs() <= 1.5,
+            "partial window must use its observed span: {:?}",
+            windows[1]
+        );
+    }
+
+    #[test]
+    fn cost_accounting_matches_hourly_cost_without_reconfiguration() {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![2, 1]);
+        let m = model();
+        let s = StreamingSim::new(&pool, &m, cfg(1.0));
+        let expected = pool.hourly_cost() * 7200.0 / 3600.0;
+        assert!((s.cost_so_far(7200.0) - expected).abs() < 1e-9);
+        assert_eq!(s.cost_so_far(0.0), 0.0);
+    }
+
+    #[test]
+    fn transition_bills_drain_and_spin_up_overlap() {
+        // Retire an idle t3 and launch a g4dn at t=100: the t3 bills 100 s, the g4dn
+        // bills from t=100 onward (including its spin-up).
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]);
+        let m = model();
+        let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+        let new_pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![2, 0]);
+        let ev = s.reconfigure(&new_pool, 100.0);
+        assert_eq!((ev.retired, ev.launched), (1, 1));
+        let g = InstanceType::G4dn.hourly_price();
+        let t = InstanceType::T3.hourly_price();
+        // At t=200: first g4dn billed 200 s, t3 billed 100 s, new g4dn billed 100 s.
+        let expected = (g * 200.0 + t * 100.0 + g * 100.0) / 3600.0;
+        assert!(
+            (s.cost_so_far(200.0) - expected).abs() < 1e-9,
+            "cost {} vs expected {expected}",
+            s.cost_so_far(200.0)
+        );
+    }
+
+    #[test]
+    fn spun_up_instance_is_unavailable_until_ready() {
+        // A single slow t3 plus a reconfiguration that adds a g4dn with a long spin-up:
+        // queries arriving before readiness must still be served by the t3.
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let m = FnLatencyModel::new("const", |_, _| 0.001);
+        let mut config = cfg(10.0);
+        config.spin_up_factor = 1.0; // g4dn: 4 s
+        let mut s = StreamingSim::new(&pool, &m, config);
+        let q0 = Query {
+            id: 0,
+            arrival: 0.0,
+            batch_size: 8,
+        };
+        s.push(&q0);
+        s.reconfigure(
+            &PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 1]),
+            1.0,
+        );
+        // Arrives at t=2 < ready(5.0): only the t3 is available.
+        let q1 = Query {
+            id: 1,
+            arrival: 2.0,
+            batch_size: 8,
+        };
+        s.push(&q1);
+        assert_eq!(s.assigned_slots()[1], 0, "t3 serves while g4dn spins up");
+        // Arrives at t=6 > ready: the g4dn now has dispatch preference (rank 0).
+        let q2 = Query {
+            id: 2,
+            arrival: 6.0,
+            batch_size: 8,
+        };
+        s.push(&q2);
+        assert_eq!(s.assigned_slots()[2], 1, "ready g4dn takes preference");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn reconfiguring_to_an_empty_pool_panics() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let m = model();
+        let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+        let _ = s.reconfigure(&PoolSpec::new(vec![InstanceType::T3], vec![0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window step must be in")]
+    fn invalid_window_step_is_rejected() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let m = model();
+        let _ = StreamingSim::new(
+            &pool,
+            &m,
+            StreamingSimConfig::new(0.02, 99.0, WindowConfig::sliding(1.0, 2.0)),
+        );
+    }
+}

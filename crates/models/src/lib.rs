@@ -18,8 +18,13 @@
 //! [`workloads`] bundles each model with its QoS target, arrival process, batch-size
 //! distribution, homogeneous base type, and diverse pool (Table 3).
 
+//! [`traces`] adds the canonical time-varying traffic scenarios (diurnal, flash crowd,
+//! slow ramp, load drop) that drive the online serving runtime.
+
 pub mod profiles;
+pub mod traces;
 pub mod workloads;
 
 pub use profiles::{ModelKind, ModelProfile, ALL_MODELS};
+pub use traces::{TrafficScenario, ALL_SCENARIOS};
 pub use workloads::{BatchShape, Workload};

@@ -1,0 +1,187 @@
+//! Canonical traffic traces for the online serving runtime: named, reproducible
+//! time-varying load scenarios built on [`ribbon_cloudsim::phased`].
+//!
+//! Each scenario shapes the workload's base arrival rate over a run of `duration_s`
+//! seconds. The magnitudes follow the paper's adaptation study (Fig. 16 uses a 1.5× load
+//! change) and the shapes cover the four ways production traffic actually moves: a daily
+//! breathing cycle, a flash crowd, a slow launch ramp, and a load drop.
+
+use crate::workloads::Workload;
+use ribbon_cloudsim::{PhasedArrivalProcess, PhasedStreamConfig};
+use serde::{Deserialize, Serialize};
+
+/// A named traffic shape, applied to a workload's base arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficScenario {
+    /// One sinusoidal period around the base rate (±35 %), in 12 piecewise steps.
+    Diurnal,
+    /// A 1.5× flash-crowd spike occupying the middle 25 % of the run.
+    FlashCrowd,
+    /// A slow linear ramp from the base rate to 1.5× over the middle half of the run.
+    SlowRamp,
+    /// A step down to 0.6× of the base rate at 40 % of the run.
+    LoadDrop,
+}
+
+/// Every canonical scenario, in a fixed order.
+pub const ALL_SCENARIOS: [TrafficScenario; 4] = [
+    TrafficScenario::Diurnal,
+    TrafficScenario::FlashCrowd,
+    TrafficScenario::SlowRamp,
+    TrafficScenario::LoadDrop,
+];
+
+impl TrafficScenario {
+    /// Short name used in reports and golden traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficScenario::Diurnal => "diurnal",
+            TrafficScenario::FlashCrowd => "flash-crowd",
+            TrafficScenario::SlowRamp => "slow-ramp",
+            TrafficScenario::LoadDrop => "load-drop",
+        }
+    }
+
+    /// The arrival schedule of this scenario for a base rate over a run length.
+    ///
+    /// # Panics
+    /// Panics if `base_qps` or `duration_s` is not positive.
+    pub fn schedule(&self, base_qps: f64, duration_s: f64) -> PhasedArrivalProcess {
+        assert!(base_qps > 0.0, "base rate must be positive");
+        assert!(duration_s > 0.0, "duration must be positive");
+        match self {
+            TrafficScenario::Diurnal => {
+                PhasedArrivalProcess::diurnal(base_qps, 0.35, duration_s, 12)
+            }
+            TrafficScenario::FlashCrowd => {
+                PhasedArrivalProcess::spike(base_qps, 1.5, duration_s * 0.375, duration_s * 0.25)
+            }
+            TrafficScenario::SlowRamp => {
+                // Flat base for the first quarter, then ramp to 1.5x over the middle half,
+                // holding 1.5x for the final quarter.
+                let mut phases = vec![ribbon_cloudsim::RatePhase {
+                    duration_s: duration_s * 0.25,
+                    qps: base_qps,
+                }];
+                phases.extend(
+                    PhasedArrivalProcess::ramp(base_qps, base_qps * 1.5, duration_s * 0.5, 8)
+                        .phases,
+                );
+                PhasedArrivalProcess::piecewise(phases)
+            }
+            TrafficScenario::LoadDrop => {
+                PhasedArrivalProcess::step_change(base_qps, base_qps * 0.6, duration_s * 0.4)
+            }
+        }
+    }
+
+    /// The scenario's peak-to-base load factor — what a static "provision for the peak"
+    /// deployment must be sized for.
+    pub fn peak_factor(&self) -> f64 {
+        match self {
+            TrafficScenario::Diurnal => 1.35,
+            TrafficScenario::FlashCrowd | TrafficScenario::SlowRamp => 1.5,
+            TrafficScenario::LoadDrop => 1.0,
+        }
+    }
+
+    /// Builds the full duration-bounded stream configuration for a workload: the
+    /// scenario's schedule at the workload's base rate, the workload's batch
+    /// distribution, and a seed derived from the workload's (so different scenarios on the
+    /// same workload do not replay the same randomness).
+    pub fn stream(&self, workload: &Workload, duration_s: f64) -> PhasedStreamConfig {
+        PhasedStreamConfig {
+            arrivals: self.schedule(workload.qps, duration_s),
+            batches: workload.batch_distribution(),
+            duration_s,
+            seed: workload.seed ^ (0x7ace_0000 + *self as u64),
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelKind;
+
+    fn workload() -> Workload {
+        Workload::standard(ModelKind::MtWnd)
+    }
+
+    #[test]
+    fn every_scenario_builds_a_generatable_stream() {
+        for sc in ALL_SCENARIOS {
+            let cfg = sc.stream(&workload(), 30.0);
+            let qs = cfg.generate();
+            assert!(!qs.is_empty(), "{sc}");
+            assert!(qs.last().unwrap().arrival < 30.0, "{sc}");
+            for w in qs.windows(2) {
+                assert!(w[1].arrival > w[0].arrival, "{sc}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_seeds_differ_so_streams_are_not_replays() {
+        let w = workload();
+        let seeds: Vec<u64> = ALL_SCENARIOS
+            .iter()
+            .map(|s| s.stream(&w, 10.0).seed)
+            .collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn flash_crowd_spikes_the_middle_of_the_run() {
+        let p = TrafficScenario::FlashCrowd.schedule(1000.0, 80.0);
+        assert_eq!(p.qps_at(10.0), 1000.0);
+        assert_eq!(p.qps_at(40.0), 1500.0, "spike spans [30, 50)");
+        assert_eq!(p.qps_at(60.0), 1000.0);
+        assert_eq!(p.peak_qps(), 1500.0);
+    }
+
+    #[test]
+    fn slow_ramp_reaches_and_holds_the_target() {
+        let p = TrafficScenario::SlowRamp.schedule(1000.0, 80.0);
+        assert_eq!(p.qps_at(5.0), 1000.0, "flat before the ramp");
+        assert_eq!(p.qps_at(75.0), 1500.0, "holds the target after the ramp");
+        let mid = p.qps_at(40.0);
+        assert!(mid > 1000.0 && mid < 1500.0, "mid-ramp rate {mid}");
+    }
+
+    #[test]
+    fn load_drop_reduces_the_rate() {
+        let p = TrafficScenario::LoadDrop.schedule(1000.0, 100.0);
+        assert_eq!(p.qps_at(10.0), 1000.0);
+        assert_eq!(p.qps_at(50.0), 600.0);
+        assert_eq!(TrafficScenario::LoadDrop.peak_factor(), 1.0);
+    }
+
+    #[test]
+    fn peak_factors_bound_the_schedules() {
+        for sc in ALL_SCENARIOS {
+            let p = sc.schedule(1000.0, 60.0);
+            assert!(
+                p.peak_qps() <= 1000.0 * sc.peak_factor() + 1e-6,
+                "{sc}: peak {} vs factor {}",
+                p.peak_qps(),
+                sc.peak_factor()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TrafficScenario::FlashCrowd.to_string(), "flash-crowd");
+        assert_eq!(ALL_SCENARIOS.len(), 4);
+    }
+}

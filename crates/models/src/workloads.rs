@@ -130,9 +130,15 @@ impl Workload {
     }
 
     /// Returns a copy with the arrival rate scaled by `factor` (the Fig. 16 load change).
+    ///
+    /// `num_queries` scales with the factor so the scaled stream spans the same expected
+    /// wall-clock window as the original (see [`StreamConfig::scaled_load`]): before/after
+    /// comparisons must observe equal durations, not a time-compressed replica.
     pub fn scaled_load(&self, factor: f64) -> Workload {
+        assert!(factor > 0.0, "load factor must be positive");
         Workload {
             qps: self.qps * factor,
+            num_queries: ((self.num_queries as f64 * factor).round() as usize).max(1),
             seed: self.seed ^ 0xbeef,
             ..self.clone()
         }
@@ -269,10 +275,14 @@ mod tests {
     }
 
     #[test]
-    fn scaled_load_multiplies_qps_and_changes_seed() {
+    fn scaled_load_multiplies_qps_and_queries_and_changes_seed() {
         let w = Workload::standard(ModelKind::Candle);
         let s = w.scaled_load(1.5);
         assert!((s.qps - w.qps * 1.5).abs() < 1e-9);
+        assert_eq!(
+            s.num_queries, 6000,
+            "count scales to keep duration invariant"
+        );
         assert_ne!(s.seed, w.seed);
         assert_eq!(s.qos, w.qos);
     }

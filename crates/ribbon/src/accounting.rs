@@ -1,10 +1,12 @@
 //! Derived metrics over search traces: the homogeneous baseline, cost savings, exploration
 //! cost, samples-to-savings curves, and QoS-violation counts — everything the paper's
-//! Figs. 9, 10, 13, 14 and 15 report.
+//! Figs. 9, 10, 13, 14 and 15 report — plus the cost accounting of *online* serving:
+//! reconfiguration transition costs and time-averaged cost reports against the naive
+//! always-max-pool baseline.
 
 use crate::evaluator::{ConfigEvaluator, Evaluation};
 use crate::search::SearchTrace;
-use ribbon_cloudsim::CostModel;
+use ribbon_cloudsim::{CostModel, InstanceType, PoolSpec};
 use serde::{Deserialize, Serialize};
 
 /// The optimal *homogeneous* pool: the smallest number of base-type instances meeting QoS.
@@ -121,6 +123,73 @@ pub fn violations_before_optimum(trace: &SearchTrace, optimal_cost: f64) -> usiz
         .iter()
         .filter(|e| !e.meets_qos)
         .count()
+}
+
+/// Estimated cost of one reconfiguration's transition window: while the outgoing
+/// instances drain and the incoming ones spin up, the **per-type union** of the two pools
+/// coexists and is billed for the `overlap_s` seconds.
+///
+/// The union — not the sum — is what actually runs: instances surviving from `old` into
+/// `new` exist once, so summing both pools would double-bill them. The streaming
+/// simulator's per-slot accounting ([`ribbon_cloudsim::StreamingSim::cost_so_far`]) is the
+/// exact ground truth; this helper is the closed-form estimate charged to each
+/// [`crate::online::ReconfigEvent`] so controller reports can attribute cost to decisions.
+pub fn transition_overlap_cost(old: &PoolSpec, new: &PoolSpec, overlap_s: f64) -> f64 {
+    let mut union: std::collections::BTreeMap<InstanceType, u32> =
+        std::collections::BTreeMap::new();
+    for (ty, &count) in old.types.iter().zip(&old.counts) {
+        let c = union.entry(*ty).or_insert(0);
+        *c = (*c).max(count);
+    }
+    for (ty, &count) in new.types.iter().zip(&new.counts) {
+        let c = union.entry(*ty).or_insert(0);
+        *c = (*c).max(count);
+    }
+    let union_hourly: f64 = union
+        .iter()
+        .map(|(ty, &c)| ty.hourly_price() * c as f64)
+        .sum();
+    union_hourly * overlap_s.max(0.0) / 3600.0
+}
+
+/// Hourly cost of the naive "provision for the peak" pool: every type at its search bound.
+/// The online controller's time-averaged cost must beat this to justify existing.
+pub fn max_pool_hourly_cost(types: &[InstanceType], bounds: &[u32]) -> f64 {
+    PoolSpec::from_counts(types, bounds).hourly_cost()
+}
+
+/// Time-averaged cost of an online serving run, compared against a static baseline pool
+/// (typically [`max_pool_hourly_cost`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineCostReport {
+    /// Total accrued cost of the run in USD (exact per-slot billing).
+    pub total_cost_usd: f64,
+    /// Wall-clock duration of the run in seconds.
+    pub duration_s: f64,
+    /// Time-averaged hourly cost in USD/hr.
+    pub mean_hourly_cost: f64,
+    /// The static baseline's hourly cost in USD/hr.
+    pub baseline_hourly_cost: f64,
+    /// Saving of the online run vs the baseline, in percent (positive = cheaper).
+    pub saving_percent: f64,
+}
+
+impl OnlineCostReport {
+    /// Builds a report from a run's exact accrued cost and duration.
+    pub fn new(total_cost_usd: f64, duration_s: f64, baseline_hourly_cost: f64) -> Self {
+        let mean_hourly_cost = if duration_s > 0.0 {
+            total_cost_usd * 3600.0 / duration_s
+        } else {
+            0.0
+        };
+        OnlineCostReport {
+            total_cost_usd,
+            duration_s,
+            mean_hourly_cost,
+            baseline_hourly_cost,
+            saving_percent: CostModel::saving_percent(baseline_hourly_cost, mean_hourly_cost),
+        }
+    }
 }
 
 /// The series of achievable cost savings (percent vs the homogeneous baseline) as a function
@@ -287,6 +356,40 @@ mod tests {
             "heterogeneous best ${best:.3} should not exceed homogeneous ${:.3}",
             homo.hourly_cost
         );
+    }
+
+    #[test]
+    fn transition_cost_bills_the_union_pool_for_the_overlap() {
+        use ribbon_cloudsim::InstanceType::*;
+        // [5xg4dn] -> [3xg4dn + 4xt3]: during the overlap 5 g4dn coexist with 4 t3 (the
+        // 3 surviving g4dn are NOT double-billed), so the union is [5xg4dn + 4xt3].
+        let old = PoolSpec::from_counts(&[G4dn, T3], &[5, 0]);
+        let new = PoolSpec::from_counts(&[G4dn, T3], &[3, 4]);
+        let union_hourly = 5.0 * 0.526 + 4.0 * 0.1664;
+        let expected = union_hourly * 36.0 / 3600.0;
+        assert!((transition_overlap_cost(&old, &new, 36.0) - expected).abs() < 1e-12);
+        assert_eq!(transition_overlap_cost(&old, &new, -1.0), 0.0);
+        // Disjoint type sets degenerate to the sum (nothing survives).
+        let cpu = PoolSpec::from_counts(&[T3], &[2]);
+        let gpu = PoolSpec::from_counts(&[G4dn], &[1]);
+        let sum = (2.0 * 0.1664 + 0.526) * 10.0 / 3600.0;
+        assert!((transition_overlap_cost(&cpu, &gpu, 10.0) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_cost_report_time_averages_and_compares_to_baseline() {
+        // $1 over 30 minutes → $2/hr, 50% below a $4/hr always-max baseline.
+        let r = OnlineCostReport::new(1.0, 1800.0, 4.0);
+        assert!((r.mean_hourly_cost - 2.0).abs() < 1e-12);
+        assert!((r.saving_percent - 50.0).abs() < 1e-12);
+        assert_eq!(OnlineCostReport::new(1.0, 0.0, 4.0).mean_hourly_cost, 0.0);
+    }
+
+    #[test]
+    fn max_pool_cost_is_every_type_at_its_bound() {
+        use ribbon_cloudsim::InstanceType::*;
+        let cost = max_pool_hourly_cost(&[G4dn, C5, R5n], &[7, 4, 7]);
+        assert!((cost - (7.0 * 0.526 + 4.0 * 0.34 + 7.0 * 0.149)).abs() < 1e-9);
     }
 
     #[test]

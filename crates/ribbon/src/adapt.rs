@@ -16,8 +16,61 @@
 
 use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
 use crate::search::{RibbonSearch, RibbonSettings, SearchTrace};
+use ribbon_bo::BoOptimizer;
 use ribbon_models::Workload;
 use serde::{Deserialize, Serialize};
+
+/// Warm-starts a BO optimizer for a *new* load from the exploration record of an *old*
+/// load: the paper's pseudo-observation injection (Sec. 4), shared by the offline
+/// [`LoadAdapter`] and the online controller ([`crate::online`]).
+///
+/// `old_best` is the previously optimal configuration with its satisfaction rate under the
+/// old load; `prev_on_new` is that same configuration re-evaluated under the new load (the
+/// detection signal). The ratio of the two rates linearly scales every recorded
+/// configuration's old rate into an estimated new rate; configurations that were no better
+/// than the old optimum are injected as pseudo-observations and their dominated boxes
+/// pruned — they cannot meet the new, higher QoS demand either. Returns the number of
+/// estimates injected.
+pub fn inject_pseudo_observations(
+    bo: &mut BoOptimizer,
+    record: &[Evaluation],
+    old_best: &Evaluation,
+    prev_on_new: &Evaluation,
+    evaluator: &ConfigEvaluator,
+) -> usize {
+    let lattice = evaluator.lattice();
+    // Linear estimation ratio between old and new satisfaction rates.
+    let ratio = if old_best.satisfaction_rate > 0.0 {
+        prev_on_new.satisfaction_rate / old_best.satisfaction_rate
+    } else {
+        0.0
+    };
+    let mut estimates_injected = 0;
+    // Set S: previously explored configurations no better than the old optimum.
+    for old in record {
+        if old.config == old_best.config {
+            continue;
+        }
+        if old.satisfaction_rate > old_best.satisfaction_rate {
+            continue;
+        }
+        if !lattice.contains(&old.config) || bo.is_explored(&old.config) {
+            continue;
+        }
+        let estimated_rate = (old.satisfaction_rate * ratio).clamp(0.0, 1.0);
+        let estimated_objective = evaluator.objective().value(&old.config, estimated_rate);
+        if bo
+            .observe_estimate(old.config.clone(), estimated_objective)
+            .is_ok()
+        {
+            estimates_injected += 1;
+        }
+        bo.prune_below(old.config.clone());
+    }
+    // The old optimum itself also cannot satisfy the new load.
+    bo.prune_below(old_best.config.clone());
+    estimates_injected
+}
 
 /// One step of the adaptation phase, as plotted in Fig. 16.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,37 +173,13 @@ impl LoadAdapter {
 
         let mut estimates_injected = 0;
         if !prev_on_new.meets_qos {
-            // Linear estimation ratio between old and new satisfaction rates.
-            let ratio = if initial_best.satisfaction_rate > 0.0 {
-                prev_on_new.satisfaction_rate / initial_best.satisfaction_rate
-            } else {
-                0.0
-            };
-            // Set S: previously explored configurations no better than the old optimum.
-            for old in initial_trace.evaluations() {
-                if old.config == initial_best.config {
-                    continue;
-                }
-                if old.satisfaction_rate > initial_best.satisfaction_rate {
-                    continue;
-                }
-                if !lattice.contains(&old.config) || bo.is_explored(&old.config) {
-                    continue;
-                }
-                let estimated_rate = (old.satisfaction_rate * ratio).clamp(0.0, 1.0);
-                let estimated_objective = scaled_evaluator
-                    .objective()
-                    .value(&old.config, estimated_rate);
-                if bo
-                    .observe_estimate(old.config.clone(), estimated_objective)
-                    .is_ok()
-                {
-                    estimates_injected += 1;
-                }
-                bo.prune_below(old.config.clone());
-            }
-            // The old optimum itself also cannot satisfy the new load.
-            bo.prune_below(initial_best.config.clone());
+            estimates_injected = inject_pseudo_observations(
+                &mut bo,
+                initial_trace.evaluations(),
+                &initial_best,
+                &prev_on_new,
+                &scaled_evaluator,
+            );
         }
 
         // Phase 3: continue the search with the warm-started optimizer.

@@ -73,7 +73,11 @@ pub fn probe_type<M: LatencyModel + ?Sized>(
     let mut rates = Vec::with_capacity(settings.max_per_type as usize);
     for count in 1..=settings.max_per_type {
         let pool = PoolSpec::homogeneous(ty, count);
-        let rate = simulate(&pool, queries, model).satisfaction_rate(latency_target_s);
+        // An empty probe stream carries no evidence; treat it as saturated so the probe
+        // terminates at the smallest bound instead of growing the pool on no data.
+        let rate = simulate(&pool, queries, model)
+            .satisfaction_rate(latency_target_s)
+            .unwrap_or(1.0);
         rates.push(rate);
         if rate >= 0.9999 {
             // Perfect satisfaction cannot improve further.

@@ -223,7 +223,10 @@ impl ConfigEvaluator {
             self.workload.qos.latency_target_s,
             self.workload.qos.target_rate * 100.0,
         );
-        let rate = stats.satisfaction_rate();
+        // A zero-query stream is vacuously satisfied for the evaluator's purpose: the
+        // objective needs *some* rate, and an empty workload cannot violate QoS. Monitoring
+        // paths (windowed stats) keep the explicit `None` instead.
+        let rate = stats.satisfaction_rate().unwrap_or(1.0);
         Evaluation {
             config: config.to_vec(),
             hourly_cost: pool.hourly_cost(),
@@ -423,7 +426,7 @@ mod tests {
             let pool = PoolSpec::from_counts(&w.diverse_pool, &config);
             let full = ribbon_cloudsim::simulate(&pool, ev.queries(), &w.profile());
             assert_eq!(
-                e.satisfaction_rate,
+                Some(e.satisfaction_rate),
                 full.satisfaction_rate(w.qos.latency_target_s),
                 "{config:?}"
             );

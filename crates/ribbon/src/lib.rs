@@ -37,22 +37,31 @@
 //!   exhaustive search;
 //! * [`adapt`] — load-change adaptation (Sec. 4 "Ribbon promptly responds to load changes",
 //!   evaluated in Fig. 16);
-//! * [`accounting`] — homogeneous baselines, cost savings, exploration cost, and the other
-//!   derived metrics reported in Figs. 9–15.
+//! * [`online`] — the online serving runtime: a windowed-QoS-watching controller with
+//!   hysteresis that reconfigures the streaming simulator mid-stream, reusing the [`adapt`]
+//!   warm-start machinery for every replan;
+//! * [`accounting`] — homogeneous baselines, cost savings, exploration cost, transition
+//!   costs of online reconfigurations, and the other derived metrics reported in
+//!   Figs. 9–15.
 
 pub mod accounting;
 pub mod adapt;
 pub mod bounds;
 pub mod evaluator;
 pub mod objective;
+pub mod online;
 pub mod search;
 pub mod strategies;
 
 pub use accounting::{homogeneous_optimum, HomogeneousOptimum, TraceMetrics};
-pub use adapt::{AdaptationOutcome, AdaptationStep, LoadAdapter};
+pub use adapt::{inject_pseudo_observations, AdaptationOutcome, AdaptationStep, LoadAdapter};
 pub use bounds::find_bounds;
 pub use evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
 pub use objective::RibbonObjective;
+pub use online::{
+    serve_online, OnlineController, OnlineControllerSettings, OnlineOutcome, OnlineRunSettings,
+    ReconfigEvent, ReconfigTrigger,
+};
 pub use search::{RibbonSearch, RibbonSettings, SearchTrace};
 pub use strategies::{
     ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy,
@@ -63,10 +72,16 @@ pub mod prelude {
     pub use crate::accounting::{homogeneous_optimum, TraceMetrics};
     pub use crate::adapt::LoadAdapter;
     pub use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
+    pub use crate::online::{
+        serve_online, OnlineController, OnlineControllerSettings, OnlineRunSettings,
+    };
     pub use crate::search::{RibbonSearch, RibbonSettings, SearchTrace};
     pub use crate::strategies::{
         ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy,
     };
-    pub use ribbon_cloudsim::{InstanceType, PoolSpec, QosTarget};
+    pub use ribbon_cloudsim::{
+        InstanceType, PhasedArrivalProcess, PhasedStreamConfig, PoolSpec, QosTarget, StreamingSim,
+        StreamingSimConfig, WindowConfig, WindowStats,
+    };
     pub use ribbon_models::{ModelKind, ModelProfile, Workload};
 }

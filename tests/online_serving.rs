@@ -1,0 +1,255 @@
+//! Integration suite of the online serving runtime:
+//!
+//! 1. **streaming vs batch bit-identity** — pushing a stream through `StreamingSim` with
+//!    zero reconfigurations must reproduce `simulate` / `simulate_stats` bit for bit;
+//! 2. **windowed vs whole-stream stats** — on a constant-rate trace, tumbling windows must
+//!    partition the stream and their aggregates must recombine into the stream totals;
+//! 3. **flash-crowd adaptation** — on the spike trace the controller must detect the
+//!    violation, reconfigure mid-stream, restore QoS within a bounded number of windows,
+//!    and end up cheaper than the naive always-max-pool deployment.
+
+use ribbon::accounting::{max_pool_hourly_cost, OnlineCostReport};
+use ribbon::evaluator::EvaluatorSettings;
+use ribbon::online::{serve_online, OnlineControllerSettings, OnlineRunSettings, ReconfigTrigger};
+use ribbon::search::RibbonSettings;
+use ribbon_cloudsim::{
+    simulate, simulate_stats, PhasedArrivalProcess, PhasedStreamConfig, StreamingSim,
+    StreamingSimConfig, WindowConfig,
+};
+use ribbon_models::{ModelKind, TrafficScenario, Workload};
+
+fn run_settings() -> OnlineRunSettings {
+    OnlineRunSettings {
+        initial_search: RibbonSettings {
+            max_evaluations: 30,
+            ..RibbonSettings::fast()
+        },
+        controller: OnlineControllerSettings {
+            evaluator: EvaluatorSettings {
+                explicit_bounds: Some(vec![7, 4, 7]),
+                ..Default::default()
+            },
+            planning_queries: 2500,
+            ..Default::default()
+        },
+        window: WindowConfig::tumbling(2.0),
+        spin_up_factor: 0.5,
+    }
+}
+
+#[test]
+fn streaming_with_zero_reconfigurations_is_bit_identical_to_batch() {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let profile = workload.profile();
+    let queries = workload.stream_config().generate();
+    let pool = workload.diverse_pool_spec(&[3, 1, 2]);
+    let target = workload.qos.latency_target_s;
+
+    let mut sim = StreamingSim::new(
+        &pool,
+        &profile,
+        StreamingSimConfig::new(target, 99.0, WindowConfig::tumbling(0.5)),
+    );
+    for q in &queries {
+        sim.push(q);
+    }
+
+    let full = simulate(&pool, &queries, &profile);
+    assert_eq!(sim.latencies(), full.latencies.as_slice());
+    assert_eq!(sim.assigned_slots(), full.assigned_instance.as_slice());
+    assert_eq!(sim.per_slot_load(), full.per_instance_load);
+    assert_eq!(sim.makespan(), full.makespan);
+
+    let stats = sim.stats();
+    let batch = simulate_stats(&pool, &queries, &profile, target, 99.0);
+    assert_eq!(
+        stats, batch,
+        "streaming stats must equal the lean batch path"
+    );
+    assert_eq!(stats.satisfaction_rate(), full.satisfaction_rate(target));
+    assert_eq!(stats.mean_latency_s, full.mean_latency());
+    assert_eq!(stats.tail_latency_s, full.tail_latency(99.0));
+}
+
+#[test]
+fn windowed_stats_recombine_into_whole_stream_stats_on_a_constant_trace() {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let profile = workload.profile();
+    let traffic = PhasedStreamConfig {
+        arrivals: PhasedArrivalProcess::constant(workload.qps, 10.0),
+        batches: workload.batch_distribution(),
+        duration_s: 10.0,
+        seed: 31,
+    };
+    let queries = traffic.generate();
+    let pool = workload.diverse_pool_spec(&[5, 0, 2]);
+    let mut sim = StreamingSim::new(
+        &pool,
+        &profile,
+        StreamingSimConfig::new(
+            workload.qos.latency_target_s,
+            99.0,
+            WindowConfig::tumbling(1.0),
+        ),
+    );
+    let mut windows = Vec::new();
+    for q in &queries {
+        windows.extend(sim.push(q));
+    }
+    windows.extend(sim.finish_windows());
+    let stats = sim.stats();
+
+    // Tumbling windows partition the stream: counts and satisfied totals recombine.
+    assert_eq!(
+        windows.iter().map(|w| w.num_queries).sum::<usize>(),
+        stats.num_queries
+    );
+    assert_eq!(
+        windows.iter().map(|w| w.satisfied).sum::<usize>(),
+        stats.satisfied
+    );
+    // The query-weighted mean of window means is the stream mean.
+    let weighted: f64 = windows
+        .iter()
+        .filter_map(|w| w.mean_latency_s.map(|m| m * w.num_queries as f64))
+        .sum();
+    assert!((weighted / stats.num_queries as f64 - stats.mean_latency_s).abs() < 1e-9);
+    // On a constant-rate healthy trace, every window sees traffic and satisfaction close
+    // to the whole-stream rate.
+    let whole = stats.satisfaction_rate().unwrap();
+    for w in &windows {
+        assert!(!w.is_empty(), "constant trace leaves no window empty");
+        let rate = w.satisfaction_rate.unwrap();
+        assert!(
+            (rate - whole).abs() < 0.05,
+            "window {} rate {rate} vs whole-stream {whole}",
+            w.index
+        );
+        // Each window's tail is bounded by its own max, and cost accrues monotonically.
+        assert!(w.tail_latency_s.unwrap() >= w.mean_latency_s.unwrap());
+    }
+    for pair in windows.windows(2) {
+        assert!(pair[1].cost_so_far_usd > pair[0].cost_so_far_usd);
+    }
+}
+
+#[test]
+fn flash_crowd_forces_a_reconfiguration_that_restores_qos_below_the_max_pool_cost() {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let settings = run_settings();
+    let traffic = TrafficScenario::FlashCrowd.stream(&workload, 60.0);
+    let outcome = serve_online(&workload, &traffic, &settings, 7).expect("bootstrap converges");
+
+    // The spike must have tripped at least one scale-up.
+    let up = outcome
+        .events
+        .iter()
+        .find(|e| e.trigger == ReconfigTrigger::QosViolation)
+        .expect("the 1.5x flash crowd must force a scale-up");
+    assert!(
+        up.applied.launched > 0,
+        "a scale-up launches instances: {up:?}"
+    );
+    assert!(
+        up.applied.ready_at_s > up.applied.at_s,
+        "spin-up delay applies"
+    );
+    assert!(up.transition_cost_usd > 0.0);
+
+    // QoS is restored within a bounded number of windows after the reconfiguration.
+    let healthy = outcome
+        .first_healthy_window_after(up.window_index + 1, workload.qos.target_rate)
+        .expect("QoS recovers after the scale-up");
+    assert!(
+        healthy <= up.window_index + 6,
+        "recovery took too long: window {healthy} after reconfig at {}",
+        up.window_index
+    );
+
+    // Post-adaptation pool costs less per hour than the naive always-max deployment.
+    let bounds = settings
+        .controller
+        .evaluator
+        .explicit_bounds
+        .clone()
+        .unwrap();
+    let max_cost = max_pool_hourly_cost(&workload.diverse_pool, &bounds);
+    let adapted_cost = workload.diverse_pool_spec(&up.config).hourly_cost();
+    assert!(
+        adapted_cost < max_cost,
+        "adapted pool ${adapted_cost} must beat always-max ${max_cost}"
+    );
+    // And the whole run's time-averaged cost beats always-max too.
+    let report = OnlineCostReport::new(outcome.total_cost_usd, outcome.duration_s, max_cost);
+    assert!(
+        report.saving_percent > 0.0,
+        "online serving must be cheaper than static peak provisioning: {report:?}"
+    );
+
+    // The stream as a whole stayed mostly healthy (the spike is a bounded excursion).
+    assert!(outcome.stats.satisfaction_rate().unwrap() > 0.9);
+}
+
+#[test]
+fn load_drop_scales_the_pool_down() {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let settings = run_settings();
+    let traffic = TrafficScenario::LoadDrop.stream(&workload, 60.0);
+    let outcome = serve_online(&workload, &traffic, &settings, 7).expect("bootstrap converges");
+
+    let down = outcome
+        .events
+        .iter()
+        .find(|e| e.trigger == ReconfigTrigger::OverProvisioning)
+        .expect("a 0.6x load drop must trip the over-provisioning hysteresis");
+    // Make-before-break: the retire phase may be deferred to `completed`.
+    let retired = down.applied.retired + down.completed.as_ref().map_or(0, |c| c.retired);
+    assert!(retired > 0, "scale-down retires instances: {down:?}");
+    assert!(
+        workload.diverse_pool_spec(&down.config).hourly_cost()
+            < down.applied.old_pool.hourly_cost(),
+        "scale-down must reduce the hourly cost"
+    );
+    // Service stays healthy after the scale-down. A cost-optimal pool runs *at* the p99
+    // edge, so individual ~1700-query windows fluctuate a few per-mille around the
+    // target; the honest property is that the aggregate stays at the target and no
+    // window degrades materially.
+    let after: Vec<_> = outcome
+        .windows
+        .iter()
+        .filter(|w| w.index > down.window_index + 2 && !w.is_empty())
+        .collect();
+    assert!(!after.is_empty());
+    let served: usize = after.iter().map(|w| w.num_queries).sum();
+    let satisfied: usize = after.iter().map(|w| w.satisfied).sum();
+    let aggregate = satisfied as f64 / served as f64;
+    assert!(
+        aggregate >= workload.qos.target_rate - 0.005,
+        "post-scale-down aggregate satisfaction {aggregate} fell away from the target"
+    );
+    for w in &after {
+        assert!(
+            w.satisfaction_rate.unwrap() >= 0.98,
+            "window {} degraded materially: {:?}",
+            w.index,
+            w.satisfaction_rate
+        );
+    }
+}
+
+#[test]
+fn online_outcome_is_deterministic() {
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let settings = run_settings();
+    let traffic = TrafficScenario::FlashCrowd.stream(&workload, 40.0);
+    let a = serve_online(&workload, &traffic, &settings, 11).expect("run a");
+    let b = serve_online(&workload, &traffic, &settings, 11).expect("run b");
+    assert_eq!(a.initial_config, b.initial_config);
+    assert_eq!(a.events.len(), b.events.len());
+    for (ea, eb) in a.events.iter().zip(&b.events) {
+        assert_eq!(ea, eb);
+    }
+    assert_eq!(a.windows, b.windows);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.total_cost_usd, b.total_cost_usd);
+}

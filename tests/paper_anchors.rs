@@ -20,8 +20,9 @@ fn fig4_mt_wnd_pool_anatomy_matches_the_paper() {
     ];
     for (g, t, expect_meets) in anchors {
         let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![g, t]);
-        let rate =
-            simulate(&pool, &queries, &profile).satisfaction_rate(workload.qos.latency_target_s);
+        let rate = simulate(&pool, &queries, &profile)
+            .satisfaction_rate(workload.qos.latency_target_s)
+            .expect("non-empty stream");
         assert_eq!(
             workload.qos.is_met_by_rate(rate),
             expect_meets,

@@ -41,7 +41,7 @@ fn assert_trace_matches_reference(trace: &SearchTrace, workload: &Workload) {
         let pool = PoolSpec::from_counts(&workload.diverse_pool, &e.config);
         let oracle = sim::reference::simulate(&pool, &queries, &profile);
         assert_eq!(
-            e.satisfaction_rate,
+            Some(e.satisfaction_rate),
             oracle.satisfaction_rate(workload.qos.latency_target_s),
             "satisfaction diverges on {:?} ({})",
             e.config,
