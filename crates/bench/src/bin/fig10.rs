@@ -17,7 +17,7 @@ fn main() {
         let homo_cost = ctx.homogeneous_cost();
         let traces: Vec<_> = strategy_suite(budget)
             .iter()
-            .map(|s| (s.name(), s.run_search(&ctx.evaluator, 42)))
+            .map(|s| (s.name().to_string(), s.run_search(&ctx.evaluator, 42)))
             .collect();
         (ctx, homo_cost, traces)
     });

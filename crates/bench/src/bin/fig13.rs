@@ -33,7 +33,7 @@ fn main() {
                     .sum();
                 let metrics = TraceMetrics::new(&trace, ctx.homogeneous_cost());
                 (
-                    s.name(),
+                    s.name().to_string(),
                     spent / exhaustive_cost * 100.0,
                     metrics.num_evaluations,
                 )

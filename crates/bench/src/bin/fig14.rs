@@ -21,7 +21,10 @@ fn main() {
             .iter()
             .map(|s| {
                 let trace = s.run_search(&ctx.evaluator, 42);
-                (s.name(), violations_before_optimum(&trace, optimal_cost))
+                (
+                    s.name().to_string(),
+                    violations_before_optimum(&trace, optimal_cost),
+                )
             })
             .collect();
         (ctx.workload.model, per_strategy)

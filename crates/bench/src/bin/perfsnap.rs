@@ -1,7 +1,7 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR3.json` with wall times for the instrumented hot paths:
+//! `BENCH_PR4.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
@@ -14,10 +14,14 @@
 //!    decision sequence is pinned as a second golden trace
 //!    (`crates/bench/golden/online_trace.txt`).
 //!
+//! Both search and online scenarios run **through the declarative scenario façade**
+//! (`ribbon::scenario`) since PR 4, so the pinned goldens cover spec compilation and the
+//! planner layer in addition to the engines underneath.
+//!
 //! Usage:
 //!
 //! ```text
-//! perfsnap                 # full suite (incl. the slow from-scratch baseline), writes BENCH_PR3.json
+//! perfsnap                 # full suite (incl. the slow from-scratch baseline), writes BENCH_PR4.json
 //! perfsnap --check         # skip the slow baseline; verify the search trace AND the online
 //!                          # decision trace against the committed goldens — CI mode
 //! perfsnap --bless         # full suite + rewrite both golden trace files
@@ -25,7 +29,7 @@
 //!
 //! Timings are machine-dependent and informational; the **traces** are deterministic and
 //! are what `--check` pins. Subsequent PRs diff their own snapshot against the committed
-//! `BENCH_PR3.json` (and its predecessor `BENCH_PR2.json`) to keep the perf trajectory
+//! `BENCH_PR4.json` (and its predecessors `BENCH_PR3.json`, `BENCH_PR2.json`) to keep the perf trajectory
 //! visible.
 
 use ribbon_bench::perf::{
@@ -38,7 +42,7 @@ use std::time::Instant;
 
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
 const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
-const OUT_PATH: &str = "BENCH_PR3.json";
+const OUT_PATH: &str = "BENCH_PR4.json";
 
 fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
@@ -228,15 +232,15 @@ fn main() {
     println!(
         "      {online_ms:.2} ms end-to-end: {} queries, {} windows, {} reconfigurations, \
          satisfaction {:.4}, total ${:.4}",
-        online.stats.num_queries,
-        online.windows.len(),
+        online.queries,
+        online.windows,
         online.events.len(),
-        online.stats.satisfaction_rate().unwrap_or(f64::NAN),
+        online.satisfaction_rate.unwrap_or(f64::NAN),
         online.total_cost_usd,
     );
     for e in &online.events {
         println!(
-            "      w{} {:?} -> {:?} (planned {:.0} qps)",
+            "      w{} {} -> {:?} (planned {:.0} qps)",
             e.window_index, e.trigger, e.config, e.planned_qps
         );
     }
@@ -259,7 +263,7 @@ fn main() {
         .map(|e| {
             let cfg: Vec<String> = e.config.iter().map(|c| c.to_string()).collect();
             format!(
-                "      {{\"window\": {}, \"trigger\": \"{:?}\", \"config\": [{}], \"planned_qps\": {:.2}, \"transition_cost_usd\": {:.6}}}",
+                "      {{\"window\": {}, \"trigger\": \"{}\", \"config\": [{}], \"planned_qps\": {:.2}, \"transition_cost_usd\": {:.6}}}",
                 e.window_index,
                 e.trigger,
                 cfg.join(", "),
@@ -285,7 +289,7 @@ fn main() {
         .collect();
     let json = format!(
         r#"{{
-  "pr": 3,
+  "pr": 4,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},
@@ -340,14 +344,10 @@ fn main() {
         simu.stats_ms,
         simu.reference_ms / simu.stats_ms,
         evaluate_many_ms,
-        online.stats.num_queries,
-        online.windows.len(),
+        online.queries,
+        online.windows,
         online.events.len(),
-        online
-            .stats
-            .satisfaction_rate()
-            .unwrap_or(f64::NAN)
-            .to_bits(),
+        online.satisfaction_rate.unwrap_or(f64::NAN).to_bits(),
         online.total_cost_usd,
         online_ms,
         online_json.join(",\n"),

@@ -4,12 +4,54 @@
 
 use ribbon::evaluator::EvaluatorSettings;
 use ribbon::prelude::*;
+use ribbon::scenario::{
+    PlannerSpec, RibbonPlanner, RunMode, ScenarioSpec, SearchPlanner, WorkloadSpec,
+};
 use ribbon::search::RibbonSettings;
 use ribbon_models::ALL_MODELS;
 
 /// The five standard workloads of the paper at full evaluation size.
 pub fn standard_workloads() -> Vec<Workload> {
     ALL_MODELS.iter().map(|&m| Workload::standard(m)).collect()
+}
+
+/// The standard workload of a model as a declarative scenario spec (full evaluation
+/// size, default evaluator, RIBBON planner at the default budget) — the façade-level
+/// starting point mirroring [`standard_workloads`].
+pub fn standard_spec(model: ModelKind) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("standard-{}", model.name().to_ascii_lowercase()),
+        description: format!("{} standard workload (paper defaults)", model.name()),
+        mode: RunMode::Plan,
+        seed: 42,
+        catalog: None,
+        workload: WorkloadSpec {
+            model: model.name().to_string(),
+            ..Default::default()
+        },
+        qos: None,
+        planner: PlannerSpec {
+            budget: 40,
+            ..Default::default()
+        },
+        evaluator: Default::default(),
+        traffic: None,
+        online: Default::default(),
+    }
+}
+
+/// The four planners compared throughout Sec. 5.3, behind the scenario-level
+/// [`Planner`] interface (RIBBON first; its budget comes from the scenario it runs,
+/// `budget` sizes the offline baselines).
+pub fn planner_suite(budget: usize) -> Vec<Box<dyn Planner>> {
+    vec![
+        Box::new(RibbonPlanner),
+        Box::new(SearchPlanner::new(Box::new(HillClimbSearch::new(budget)))),
+        Box::new(SearchPlanner::new(Box::new(RandomSearch::new(budget)))),
+        Box::new(SearchPlanner::new(Box::new(ResponseSurfaceSearch::new(
+            budget,
+        )))),
+    ]
 }
 
 /// Default evaluator settings for the experiment binaries.
@@ -68,6 +110,20 @@ impl ExperimentContext {
         }
     }
 
+    /// Builds the context from a compiled scenario — the façade path: the evaluator uses
+    /// the scenario's QoS policy and evaluator settings, so a spec file and an
+    /// [`ExperimentContext`] judge configurations identically.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        let max_probe = scenario.evaluator_settings.max_per_type.max(12);
+        let evaluator = scenario.build_evaluator();
+        let homogeneous = homogeneous_optimum(&evaluator, max_probe);
+        ExperimentContext {
+            workload: scenario.workload.clone(),
+            evaluator,
+            homogeneous,
+        }
+    }
+
     /// Hourly cost of the homogeneous baseline, or `f64::NAN` when none exists.
     pub fn homogeneous_cost(&self) -> f64 {
         self.homogeneous
@@ -121,6 +177,49 @@ mod tests {
     fn par_map_handles_empty_input() {
         let out: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn planner_suite_has_four_planners_with_ribbon_first() {
+        let suite = planner_suite(10);
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].name(), "RIBBON");
+    }
+
+    #[test]
+    fn standard_spec_compiles_to_the_standard_workload() {
+        for m in ALL_MODELS {
+            let scenario = standard_spec(m).compile().expect("compiles");
+            assert_eq!(scenario.workload, Workload::standard(m), "{m}");
+        }
+    }
+
+    #[test]
+    fn context_from_scenario_matches_direct_build() {
+        let mut spec = standard_spec(ModelKind::MtWnd);
+        spec.workload.num_queries = Some(600);
+        spec.evaluator.bounds = Some(vec![6, 4, 6]);
+        let scenario = spec.compile().unwrap();
+        let via_facade = ExperimentContext::from_scenario(&scenario);
+
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 600;
+        let direct = ExperimentContext::build(
+            w,
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 4, 6]),
+                ..Default::default()
+            },
+        );
+        assert_eq!(via_facade.workload, direct.workload);
+        assert_eq!(
+            via_facade.evaluator.evaluate(&[3, 1, 2]),
+            direct.evaluator.evaluate(&[3, 1, 2])
+        );
+        assert_eq!(
+            via_facade.homogeneous.as_ref().map(|h| h.count),
+            direct.homogeneous.as_ref().map(|h| h.count)
+        );
     }
 
     #[test]

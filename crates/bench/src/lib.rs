@@ -10,7 +10,7 @@ pub mod perf;
 pub mod table;
 
 pub use experiment::{
-    default_evaluator_settings, default_ribbon_settings, par_map, standard_workloads,
-    strategy_suite, ExperimentContext,
+    default_evaluator_settings, default_ribbon_settings, par_map, planner_suite, standard_spec,
+    standard_workloads, strategy_suite, ExperimentContext,
 };
 pub use table::TextTable;

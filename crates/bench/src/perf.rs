@@ -1,16 +1,26 @@
 //! The fixed perf-trajectory scenarios shared by the `search_hotpath` Criterion bench and
-//! the `perfsnap` binary (which writes `BENCH_PR2.json`).
+//! the `perfsnap` binary (which writes `BENCH_PR3.json`).
 //!
 //! The scenario is deliberately *large* — six instance types, per-type bounds of 10
-//! (a ~1.77 M-point lattice), 20 000-query streams — so the hot paths this PR rebuilt
+//! (a ~1.77 M-point lattice), 20 000-query streams — so the hot paths PR 2 rebuilt
 //! (event-driven simulation, incremental GP fits, batched acquisition scans over a
 //! maintained open set) dominate the wall time the way they would in a production-scale
 //! deployment, rather than being hidden behind fixed costs.
+//!
+//! Since PR 4 both scenarios are expressed as **declarative scenario specs** and executed
+//! through the [`ribbon::scenario`] façade — the same path `ribbon run` takes for the
+//! bundled `scenarios/mtwnd_hotpath_search.toml` and `scenarios/mtwnd_flash_crowd.toml`
+//! files. The golden traces pinned by `perfsnap --check` therefore pin the façade end to
+//! end: a behaviour change in spec compilation, the planner layer, *or* the search/serving
+//! engines shows up as a trace divergence.
 
 use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
-use ribbon::search::{RibbonSearch, RibbonSettings, SearchTrace};
+use ribbon::scenario::{
+    EvaluatorSpec, OnlineSpec, PlannerSpec, RunMode, ScenarioSpec, ServeReport, TrafficSpec,
+    WorkloadSpec,
+};
+use ribbon::search::SearchTrace;
 use ribbon_cloudsim::InstanceType;
-use ribbon_gp::FitConfig;
 use ribbon_models::{ModelKind, Workload};
 
 /// Number of queries per simulated stream in the hot-path scenario.
@@ -24,6 +34,9 @@ pub const HOTPATH_EVALUATIONS: usize = 30;
 
 /// Seed for the hot-path search runs (fixed so traces are comparable across machines).
 pub const HOTPATH_SEED: u64 = 2;
+
+/// The six instance families of the hot-path pool, in dispatch-preference order.
+pub const HOTPATH_FAMILIES: [&str; 6] = ["g4dn", "c5", "c5a", "m5", "r5n", "t3"];
 
 /// The six-type MT-WND workload of the hot-path scenario: the Table 3 diverse pool widened
 /// with a second compute-optimized type and a general-purpose/burstable tail.
@@ -53,22 +66,50 @@ pub fn hotpath_evaluator() -> ConfigEvaluator {
     )
 }
 
-/// Search settings for the hot-path scenario; `reuse_surrogate = false` selects the
-/// from-scratch baseline (identical traces either way).
-pub fn hotpath_search_settings(reuse_surrogate: bool) -> RibbonSettings {
-    RibbonSettings {
-        max_evaluations: HOTPATH_EVALUATIONS,
-        fit: FitConfig::coarse(),
-        reuse_surrogate,
-        ..RibbonSettings::default()
+/// The hot-path search as a declarative scenario spec — the programmatic twin of
+/// `scenarios/mtwnd_hotpath_search.toml` (a test pins the two compiling identically).
+/// `reuse_surrogate = false` selects the from-scratch baseline (identical traces either
+/// way).
+pub fn hotpath_spec(reuse_surrogate: bool) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mtwnd-hotpath-search".to_string(),
+        description: "Six-type MT-WND hot-path search (the pinned golden-trace scenario)"
+            .to_string(),
+        mode: RunMode::Plan,
+        seed: HOTPATH_SEED,
+        catalog: None,
+        workload: WorkloadSpec {
+            model: "MT-WND".to_string(),
+            num_queries: Some(HOTPATH_QUERIES),
+            diverse_pool: Some(HOTPATH_FAMILIES.map(String::from).to_vec()),
+            ..Default::default()
+        },
+        qos: None,
+        planner: PlannerSpec {
+            name: "ribbon".to_string(),
+            budget: HOTPATH_EVALUATIONS,
+            baseline: false,
+            reuse_surrogate: Some(reuse_surrogate),
+            ..Default::default()
+        },
+        evaluator: EvaluatorSpec {
+            bounds: Some(vec![HOTPATH_BOUND; 6]),
+            ..Default::default()
+        },
+        traffic: None,
+        online: OnlineSpec::default(),
     }
 }
 
-/// Runs the hot-path search on a fresh evaluator (so the evaluation cache of a previous run
-/// cannot subsidize the measured one) and returns its trace.
+/// Runs the hot-path search through the scenario façade (fresh evaluator per run, so the
+/// evaluation cache of a previous run cannot subsidize the measured one) and returns its
+/// trace.
 pub fn run_hotpath_search(reuse_surrogate: bool) -> SearchTrace {
-    let evaluator = hotpath_evaluator();
-    RibbonSearch::new(hotpath_search_settings(reuse_surrogate)).run(&evaluator, HOTPATH_SEED)
+    let scenario = hotpath_spec(reuse_surrogate)
+        .compile()
+        .expect("the hot-path spec compiles");
+    let report = scenario.run().expect("the hot-path search runs");
+    report.plan.expect("plan mode fills the plan section").trace
 }
 
 /// Seed of the online-serving scenario (bootstrap search + controller replans).
@@ -77,74 +118,85 @@ pub const ONLINE_SEED: u64 = 7;
 /// Simulated duration of the online-serving scenario in seconds.
 pub const ONLINE_DURATION_S: f64 = 60.0;
 
-/// The online-serving scenario's run settings: the MT-WND workload on its Table 3 pool
-/// with bounds `[7, 4, 7]`, 2-second tumbling monitoring windows, and halved spin-up
-/// delays (the controller's decision sequence on the flash-crowd trace is the pinned
-/// behaviour).
-pub fn online_settings() -> ribbon::online::OnlineRunSettings {
-    use ribbon::evaluator::EvaluatorSettings;
-    use ribbon::online::{OnlineControllerSettings, OnlineRunSettings};
-    OnlineRunSettings {
-        initial_search: RibbonSettings {
-            max_evaluations: 30,
-            ..RibbonSettings::fast()
-        },
-        controller: OnlineControllerSettings {
-            evaluator: EvaluatorSettings {
-                explicit_bounds: Some(vec![7, 4, 7]),
-                ..Default::default()
-            },
-            planning_queries: 2500,
+/// The online-serving scenario as a declarative spec: the MT-WND workload on its Table 3
+/// pool with bounds `[7, 4, 7]`, 2-second tumbling monitoring windows, and halved
+/// spin-up delays, served through the 60 s flash-crowd trace. The programmatic twin of
+/// `scenarios/mtwnd_flash_crowd.toml`; the controller's decision sequence on this
+/// scenario is the pinned behaviour.
+pub fn online_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mtwnd-flash-crowd".to_string(),
+        description: "MT-WND online serving through a flash crowd with mid-stream reconfiguration"
+            .to_string(),
+        mode: RunMode::Serve,
+        seed: ONLINE_SEED,
+        catalog: None,
+        workload: WorkloadSpec {
+            model: "MT-WND".to_string(),
             ..Default::default()
         },
-        window: ribbon_cloudsim::WindowConfig::tumbling(2.0),
-        spin_up_factor: 0.5,
+        qos: None,
+        planner: PlannerSpec {
+            name: "ribbon".to_string(),
+            budget: 30,
+            ..Default::default()
+        },
+        evaluator: EvaluatorSpec {
+            bounds: Some(vec![7, 4, 7]),
+            ..Default::default()
+        },
+        traffic: Some(TrafficSpec {
+            scenario: Some("flash-crowd".to_string()),
+            phases: None,
+            duration_s: Some(ONLINE_DURATION_S),
+        }),
+        online: OnlineSpec {
+            window_s: Some(2.0),
+            spin_up_factor: Some(0.5),
+            planning_queries: Some(2500),
+            ..Default::default()
+        },
     }
 }
 
-/// Runs the online-serving scenario: the flash-crowd trace over the standard MT-WND
-/// workload, fully deterministic across machines and thread counts.
-pub fn run_online_scenario() -> ribbon::online::OnlineOutcome {
-    let workload = Workload::standard(ModelKind::MtWnd);
-    let traffic = ribbon_models::TrafficScenario::FlashCrowd.stream(&workload, ONLINE_DURATION_S);
-    ribbon::online::serve_online(&workload, &traffic, &online_settings(), ONLINE_SEED)
-        .expect("the online scenario's bootstrap search converges")
+/// Runs the online-serving scenario through the façade: the flash-crowd trace over the
+/// standard MT-WND workload, fully deterministic across machines and thread counts.
+pub fn run_online_scenario() -> ServeReport {
+    let scenario = online_spec().compile().expect("the online spec compiles");
+    let report = scenario.run().expect("the online scenario serves");
+    report.serve.expect("serve mode fills the serve section")
 }
 
 /// Golden-trace lines of an online run: the controller's decision sequence (initial
 /// deployment, every reconfiguration with its trigger/window/configuration) plus the final
 /// whole-stream satisfaction and cost as exact bits.
-pub fn online_trace_lines(outcome: &ribbon::online::OnlineOutcome) -> Vec<String> {
-    use ribbon::online::ReconfigTrigger;
+pub fn online_trace_lines(serve: &ServeReport) -> Vec<String> {
     let cfg = |c: &[u32]| {
         c.iter()
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join(",")
     };
-    let mut lines = vec![format!("initial cfg {}", cfg(&outcome.initial_config))];
-    for e in &outcome.events {
-        let trigger = match e.trigger {
-            ReconfigTrigger::QosViolation => "qos-violation",
-            ReconfigTrigger::OverProvisioning => "over-provisioning",
-        };
+    let mut lines = vec![format!("initial cfg {}", cfg(&serve.initial_config))];
+    for e in &serve.events {
         lines.push(format!(
-            "event w{} {trigger} cfg {} qps {:#018x} # {:.1}",
+            "event w{} {} cfg {} qps {:#018x} # {:.1}",
             e.window_index,
+            e.trigger,
             cfg(&e.config),
             e.planned_qps.to_bits(),
             e.planned_qps
         ));
     }
-    let sat = outcome.stats.satisfaction_rate().unwrap_or(f64::NAN);
+    let sat = serve.satisfaction_rate.unwrap_or(f64::NAN);
     lines.push(format!(
         "final cfg {} windows {} sat {:#018x} cost {:#018x} # sat {:.4} cost ${:.4}",
-        cfg(&outcome.final_config),
-        outcome.windows.len(),
+        cfg(&serve.final_config),
+        serve.windows,
         sat.to_bits(),
-        outcome.total_cost_usd.to_bits(),
+        serve.total_cost_usd.to_bits(),
         sat,
-        outcome.total_cost_usd
+        serve.total_cost_usd
     ));
     lines
 }
@@ -179,6 +231,50 @@ mod tests {
         const {
             assert!(HOTPATH_BOUND >= 10, "per-type bounds of at least 10");
         }
+    }
+
+    #[test]
+    fn hotpath_spec_compiles_to_the_historical_constructor_arguments() {
+        let scenario = hotpath_spec(true).compile().unwrap();
+        assert_eq!(scenario.workload, hotpath_workload());
+        assert_eq!(
+            scenario.evaluator_settings.explicit_bounds,
+            Some(vec![HOTPATH_BOUND; 6])
+        );
+        assert_eq!(
+            scenario.search_settings.max_evaluations,
+            HOTPATH_EVALUATIONS
+        );
+        assert!(scenario.search_settings.reuse_surrogate);
+        assert_eq!(scenario.spec.seed, HOTPATH_SEED);
+        assert!(
+            !hotpath_spec(false)
+                .compile()
+                .unwrap()
+                .search_settings
+                .reuse_surrogate
+        );
+    }
+
+    #[test]
+    fn online_spec_compiles_to_the_historical_settings() {
+        let scenario = online_spec().compile().unwrap();
+        assert_eq!(scenario.workload, Workload::standard(ModelKind::MtWnd));
+        let s = &scenario.online_settings;
+        assert_eq!(s.initial_search.max_evaluations, 30);
+        assert_eq!(s.controller.planning_queries, 2500);
+        assert_eq!(s.controller.evaluator.explicit_bounds, Some(vec![7, 4, 7]));
+        assert_eq!(s.controller.replan.max_evaluations, 12);
+        assert_eq!(s.window.length_s, 2.0);
+        assert_eq!(s.window.step_s, 2.0);
+        assert_eq!(s.spin_up_factor, 0.5);
+        let traffic = scenario.traffic.as_ref().unwrap();
+        assert_eq!(traffic.duration_s, ONLINE_DURATION_S);
+        assert_eq!(
+            *traffic,
+            ribbon_models::TrafficScenario::FlashCrowd
+                .stream(&scenario.workload, ONLINE_DURATION_S)
+        );
     }
 
     #[test]

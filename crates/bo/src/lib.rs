@@ -6,7 +6,7 @@
 //! few thousand points) that the acquisition function can be maximized by exhaustive
 //! enumeration of the *un-sampled, un-pruned* lattice points, which is exactly how the paper
 //! describes Ribbon's behaviour ("whenever the acquisition function has the highest value for
-//! a configuration lying inside the [prune] set P, Ribbon avoids sampling it and samples the
+//! a configuration lying inside the \[prune\] set P, Ribbon avoids sampling it and samples the
 //! next best configuration").
 //!
 //! The crate is model-agnostic: it owns the observation history, the candidate lattice, the

@@ -1,0 +1,300 @@
+//! `ribbon` — the scenario CLI: one command from a declarative spec file to a served
+//! report.
+//!
+//! ```text
+//! ribbon run scenarios/mtwnd_plan.toml                 # run with the spec'd planner
+//! ribbon run spec.toml --planner random --out r.json   # override planner, save report
+//! ribbon compare spec.toml --planners ribbon,random    # run several planners
+//! ribbon validate spec.toml                            # parse + compile only
+//! ```
+//!
+//! Exit codes: 0 success, 1 scenario/run error, 2 usage error.
+
+use ribbon::scenario::{planner_by_name, Scenario, ScenarioError, ScenarioReport};
+use ribbon_spec::Value;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ribbon — declarative scenario runner for the RIBBON reproduction
+
+USAGE:
+    ribbon run <scenario.(toml|json)> [--planner NAME] [--seed N] [--out FILE.json]
+    ribbon compare <scenario.(toml|json)> --planners a,b,... [--seed N] [--out FILE.json]
+    ribbon validate <scenario.(toml|json)>
+
+PLANNERS:
+    ribbon | random | hill-climb | rsm | exhaustive
+
+Scenario files describe the full experiment (catalog, workload, QoS policy, traffic,
+planner, budgets); see the repository's scenarios/ directory for commented examples.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            if !msg.is_empty() {
+                eprintln!("ribbon: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Scenario(e)) => {
+            eprintln!("ribbon: {e}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Io(msg)) => {
+            eprintln!("ribbon: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Scenario(ScenarioError),
+    Io(String),
+}
+
+impl From<ScenarioError> for CliError {
+    fn from(e: ScenarioError) -> Self {
+        CliError::Scenario(e)
+    }
+}
+
+struct Options {
+    spec_path: String,
+    planner: Option<String>,
+    planners: Vec<String>,
+    seed: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options {
+        spec_path: String::new(),
+        planner: None,
+        planners: Vec::new(),
+        seed: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--planner" => opts.planner = Some(flag_value("--planner")?),
+            "--planners" => {
+                opts.planners = flag_value("--planners")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--seed" => {
+                let raw = flag_value("--seed")?;
+                opts.seed = Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| CliError::Usage(format!("invalid --seed `{raw}`")))?,
+                );
+            }
+            "--out" => opts.out = Some(flag_value("--out")?),
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag `{other}`")));
+            }
+            path => {
+                if !opts.spec_path.is_empty() {
+                    return Err(CliError::Usage(format!("unexpected argument `{path}`")));
+                }
+                opts.spec_path = path.to_string();
+            }
+        }
+    }
+    if opts.spec_path.is_empty() {
+        return Err(CliError::Usage("missing scenario file".to_string()));
+    }
+    Ok(opts)
+}
+
+/// Rejects flags that do not apply to the subcommand — a flag that parses but does
+/// nothing is a silently dropped user request.
+fn reject_inapplicable(opts: &Options, command: &str) -> Result<(), CliError> {
+    if command != "compare" && !opts.planners.is_empty() {
+        return Err(CliError::Usage(format!(
+            "--planners only applies to `compare` (for `{command}` use --planner)"
+        )));
+    }
+    if command == "compare" && opts.planner.is_some() {
+        return Err(CliError::Usage(
+            "--planner does not apply to `compare`; use --planners a,b,...".to_string(),
+        ));
+    }
+    if command == "validate" && (opts.planner.is_some() || opts.out.is_some()) {
+        return Err(CliError::Usage(
+            "validate only parses and compiles; --planner/--out do not apply".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn load_scenario(opts: &Options) -> Result<Scenario, CliError> {
+    let mut scenario = Scenario::load(&opts.spec_path)?;
+    if let Some(seed) = opts.seed {
+        // Recompile with the overridden seed so every derived setting agrees.
+        let mut spec = scenario.spec.clone();
+        spec.seed = seed;
+        scenario = spec.compile_with_base(std::path::Path::new(&opts.spec_path).parent())?;
+    }
+    Ok(scenario)
+}
+
+fn write_out(path: &str, value: &Value) -> Result<(), CliError> {
+    std::fs::write(path, ribbon_spec::json::to_string(value))
+        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn print_report(report: &ScenarioReport) {
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage(String::new()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" => {
+            let opts = parse_options(rest)?;
+            reject_inapplicable(&opts, command)?;
+            let scenario = load_scenario(&opts)?;
+            let report = match &opts.planner {
+                None => scenario.run()?,
+                Some(name) => {
+                    let planner = planner_by_name(name, &scenario)?;
+                    scenario.run_with(planner.as_ref())?
+                }
+            };
+            print_report(&report);
+            if let Some(out) = &opts.out {
+                write_out(out, &report.to_value())?;
+            }
+            Ok(())
+        }
+        "compare" => {
+            let opts = parse_options(rest)?;
+            reject_inapplicable(&opts, command)?;
+            if opts.planners.is_empty() {
+                return Err(CliError::Usage(
+                    "compare needs --planners a,b,...".to_string(),
+                ));
+            }
+            let scenario = load_scenario(&opts)?;
+            let mut reports = Vec::new();
+            for name in &opts.planners {
+                let planner = planner_by_name(name, &scenario)?;
+                match scenario.run_with(planner.as_ref()) {
+                    Ok(report) => {
+                        print_report(&report);
+                        reports.push(report);
+                    }
+                    // A planner that finds nothing satisfying is a *result* in a
+                    // comparison, not a reason to abort the other planners.
+                    Err(ScenarioError::Run(msg)) => {
+                        println!("scenario {} | planner {name}: {msg}", scenario.spec.name);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if !reports.is_empty() {
+                compare_summary(&reports);
+            }
+            if let Some(out) = &opts.out {
+                let value = Value::Array(reports.iter().map(|r| r.to_value()).collect());
+                write_out(out, &value)?;
+            }
+            Ok(())
+        }
+        "validate" => {
+            let opts = parse_options(rest)?;
+            reject_inapplicable(&opts, command)?;
+            let scenario = load_scenario(&opts)?;
+            println!("{} is valid", opts.spec_path);
+            println!(
+                "  scenario {} | mode {} | planner {} (budget {}) | seed {}",
+                scenario.spec.name,
+                scenario.spec.mode.name(),
+                scenario.spec.planner.name,
+                scenario.spec.planner.budget,
+                scenario.spec.seed,
+            );
+            println!(
+                "  model {} | qos {} | pool [{}] | catalog {} entries",
+                scenario.workload.model.name(),
+                scenario.policy.describe(),
+                scenario
+                    .workload
+                    .diverse_pool
+                    .iter()
+                    .map(|t| t.family())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                scenario.catalog.entries().len(),
+            );
+            if let Some(traffic) = &scenario.traffic {
+                println!(
+                    "  traffic: {} phase(s) over {:.0} s, peak {:.0} qps",
+                    traffic.arrivals.phases.len(),
+                    traffic.duration_s,
+                    traffic.arrivals.peak_qps(),
+                );
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn compare_summary(reports: &[ScenarioReport]) {
+    println!("\ncomparison ({}):", reports[0].scenario);
+    for r in reports {
+        match (&r.plan, &r.serve) {
+            (_, Some(serve)) => println!(
+                "  {:<12} total ${:.4} over {:.0} s (mean ${:.2}/hr), satisfaction {}, \
+                 {} reconfig(s)",
+                r.planner,
+                serve.total_cost_usd,
+                serve.duration_s,
+                serve.mean_hourly_cost,
+                serve
+                    .satisfaction_rate
+                    .map_or("n/a".to_string(), |x| format!("{x:.4}")),
+                serve.events.len(),
+            ),
+            (Some(plan), None) => match (&plan.best_pool, plan.best_hourly_cost) {
+                (Some(pool), Some(cost)) => println!(
+                    "  {:<12} best {} at ${:.2}/hr ({} evaluations, {} violating, \
+                     exploration ${:.2})",
+                    r.planner,
+                    pool,
+                    cost,
+                    plan.trace.len(),
+                    plan.violations,
+                    plan.exploration_cost,
+                ),
+                _ => println!(
+                    "  {:<12} no QoS-satisfying configuration in {} evaluations",
+                    r.planner,
+                    plan.trace.len()
+                ),
+            },
+            (None, None) => println!("  {:<12} produced no result", r.planner),
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The data-driven instance catalog: the bridge between scenario files naming instance
+//! families ("g4dn", "c5", …) and the simulation engine's [`InstanceType`]s.
+//!
+//! A [`Catalog`] is an owned, validated list of [`CatalogEntry`]s. The default is
+//! [`Catalog::builtin`] — exactly the rows of [`crate::instance::BUILTIN_CATALOG`], the
+//! single table every per-type constant in the engine reads from. A catalog can also be
+//! loaded from a TOML/JSON data file (`data/catalog.toml` in the repository mirrors the
+//! builtin), which is how scenario specs resolve and validate their pools without
+//! hard-coding the type list.
+//!
+//! Custom catalog files may *subset* the builtin (e.g. restrict a deployment to
+//! CPU-only families) and may carry their own documentation, but the economic facts —
+//! price, spin-up — must agree with the engine's table: the simulator's cost accounting
+//! and spin-up billing read the engine table, and a catalog that silently disagreed with
+//! it would make every reported dollar a lie. [`Catalog::resolve`] enforces this.
+
+use crate::error::ConfigError;
+use crate::instance::{InstanceCategory, InstanceType, BUILTIN_CATALOG};
+use ribbon_spec::{Format, SpecError, Value};
+
+/// One instance type as described by a catalog data file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Family code name ("g4dn", "t3", …) — the key scenario pools use.
+    pub family: String,
+    /// Cloud API name including the size (e.g. "g4dn.xlarge").
+    pub api_name: String,
+    /// Broad category (Table 2).
+    pub category: InstanceCategory,
+    /// On-demand hourly price in USD.
+    pub hourly_price: f64,
+    /// vCPU count of the studied size.
+    pub vcpus: u32,
+    /// Memory in GiB of the studied size.
+    pub memory_gib: u32,
+    /// Nominal spin-up delay in seconds (simulator timescale).
+    pub spin_up_s: f64,
+}
+
+impl CatalogEntry {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.family.is_empty() {
+            return Err(ConfigError::new("catalog entry with an empty family name"));
+        }
+        let price_ok = self.hourly_price.is_finite() && self.hourly_price > 0.0;
+        if !price_ok {
+            return Err(ConfigError::new(format!(
+                "{}: hourly price must be positive",
+                self.family
+            )));
+        }
+        let spin_ok = self.spin_up_s.is_finite() && self.spin_up_s >= 0.0;
+        if !spin_ok {
+            return Err(ConfigError::new(format!(
+                "{}: spin-up delay must be non-negative",
+                self.family
+            )));
+        }
+        if self.vcpus == 0 || self.memory_gib == 0 {
+            return Err(ConfigError::new(format!(
+                "{}: vcpus and memory must be positive",
+                self.family
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl InstanceCategory {
+    /// The stable name used in catalog data files.
+    pub fn catalog_name(&self) -> &'static str {
+        match self {
+            InstanceCategory::GeneralPurpose => "general-purpose",
+            InstanceCategory::ComputeOptimized => "compute-optimized",
+            InstanceCategory::MemoryOptimized => "memory-optimized",
+            InstanceCategory::Accelerator => "accelerator",
+        }
+    }
+
+    /// Parses a catalog-file category name.
+    pub fn from_catalog_name(name: &str) -> Option<InstanceCategory> {
+        [
+            InstanceCategory::GeneralPurpose,
+            InstanceCategory::ComputeOptimized,
+            InstanceCategory::MemoryOptimized,
+            InstanceCategory::Accelerator,
+        ]
+        .into_iter()
+        .find(|c| c.catalog_name() == name)
+    }
+}
+
+/// A validated instance catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// The engine's built-in catalog (Table 2 of the paper).
+    pub fn builtin() -> Catalog {
+        Catalog {
+            entries: BUILTIN_CATALOG
+                .iter()
+                .map(|row| CatalogEntry {
+                    family: row.family.to_string(),
+                    api_name: row.api_name.to_string(),
+                    category: row.category,
+                    hourly_price: row.hourly_price,
+                    vcpus: row.vcpus,
+                    memory_gib: row.memory_gib,
+                    spin_up_s: row.spin_up_s,
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a catalog from entries, rejecting duplicates and invalid rows.
+    pub fn from_entries(entries: Vec<CatalogEntry>) -> Result<Catalog, ConfigError> {
+        if entries.is_empty() {
+            return Err(ConfigError::new("a catalog needs at least one entry"));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            e.validate()?;
+            if entries[..i].iter().any(|other| other.family == e.family) {
+                return Err(ConfigError::new(format!(
+                    "duplicate catalog family `{}`",
+                    e.family
+                )));
+            }
+        }
+        Ok(Catalog { entries })
+    }
+
+    /// The entries, in file/builtin order.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by family name.
+    pub fn entry(&self, family: &str) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.family == family)
+    }
+
+    /// Resolves a family name to the engine type it describes.
+    ///
+    /// Errors when the family is not in this catalog, when the engine has no such type,
+    /// or when the catalog's economic facts (price, spin-up) disagree with the engine
+    /// table the simulator actually bills from.
+    pub fn resolve(&self, family: &str) -> Result<InstanceType, ConfigError> {
+        let entry = self.entry(family).ok_or_else(|| {
+            ConfigError::new(format!(
+                "instance family `{family}` is not in the catalog (known: {})",
+                self.entries
+                    .iter()
+                    .map(|e| e.family.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let ty = InstanceType::from_family(family).ok_or_else(|| {
+            ConfigError::new(format!(
+                "instance family `{family}` has no calibrated latency profile in the \
+                 simulation engine"
+            ))
+        })?;
+        if entry.hourly_price != ty.hourly_price() {
+            return Err(ConfigError::new(format!(
+                "{family}: catalog price {} disagrees with the engine's billed price {}",
+                entry.hourly_price,
+                ty.hourly_price()
+            )));
+        }
+        if entry.spin_up_s != ty.spin_up_s() {
+            return Err(ConfigError::new(format!(
+                "{family}: catalog spin-up {} disagrees with the engine's {}",
+                entry.spin_up_s,
+                ty.spin_up_s()
+            )));
+        }
+        Ok(ty)
+    }
+
+    /// Parses a catalog from a value tree of the shape `data/catalog.toml` uses:
+    /// a top-level `[[instance]]` array of tables.
+    pub fn from_value(root: &Value) -> Result<Catalog, ConfigError> {
+        let instances = root
+            .get("instance")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ConfigError::new("catalog file needs an [[instance]] list"))?;
+        let mut entries = Vec::with_capacity(instances.len());
+        for (i, item) in instances.iter().enumerate() {
+            let path = format!("instance[{i}]");
+            let get_str = |key: &str| -> Result<String, ConfigError> {
+                item.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| ConfigError::new(format!("{path}.{key}: expected a string")))
+            };
+            let get_f64 = |key: &str| -> Result<f64, ConfigError> {
+                item.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ConfigError::new(format!("{path}.{key}: expected a number")))
+            };
+            let get_u32 = |key: &str| -> Result<u32, ConfigError> {
+                item.get(key)
+                    .and_then(Value::as_i64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| {
+                        ConfigError::new(format!("{path}.{key}: expected a non-negative integer"))
+                    })
+            };
+            let category_name = get_str("category")?;
+            let category =
+                InstanceCategory::from_catalog_name(&category_name).ok_or_else(|| {
+                    ConfigError::new(format!(
+                        "{path}.category: unknown category `{category_name}`"
+                    ))
+                })?;
+            entries.push(CatalogEntry {
+                family: get_str("family")?,
+                api_name: get_str("api_name")?,
+                category,
+                hourly_price: get_f64("hourly_price")?,
+                vcpus: get_u32("vcpus")?,
+                memory_gib: get_u32("memory_gib")?,
+                spin_up_s: get_f64("spin_up_s")?,
+            });
+        }
+        Catalog::from_entries(entries)
+    }
+
+    /// Serializes the catalog to the `[[instance]]` value-tree shape.
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        let items: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut t = Value::table();
+                t.insert("family", Value::from(e.family.as_str()));
+                t.insert("api_name", Value::from(e.api_name.as_str()));
+                t.insert("category", Value::from(e.category.catalog_name()));
+                t.insert("hourly_price", Value::from(e.hourly_price));
+                t.insert("vcpus", Value::from(e.vcpus));
+                t.insert("memory_gib", Value::from(e.memory_gib));
+                t.insert("spin_up_s", Value::from(e.spin_up_s));
+                t
+            })
+            .collect();
+        root.insert("instance", Value::Array(items));
+        root
+    }
+
+    /// Loads a catalog from a TOML or JSON data file.
+    pub fn load(path: &str) -> Result<Catalog, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::new(format!("cannot read catalog {path}: {e}")))?;
+        let value = Format::from_path(path)
+            .parse(&text)
+            .map_err(|e: SpecError| ConfigError::new(format!("{path}: {e}")))?;
+        Catalog::from_value(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ribbon_spec::toml;
+
+    #[test]
+    fn builtin_catalog_resolves_every_engine_type() {
+        let c = Catalog::builtin();
+        assert_eq!(c.entries().len(), 8);
+        for row in &BUILTIN_CATALOG {
+            assert_eq!(c.resolve(row.family).unwrap(), row.ty);
+        }
+        assert!(c.resolve("p4d").is_err());
+    }
+
+    #[test]
+    fn builtin_round_trips_through_the_value_tree() {
+        let c = Catalog::builtin();
+        let v = c.to_value();
+        let back = Catalog::from_value(&v).unwrap();
+        assert_eq!(c, back);
+        // And through actual TOML text.
+        let text = toml::to_string(&v).unwrap();
+        let reparsed = Catalog::from_value(&toml::parse(&text).unwrap()).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn price_drift_is_rejected() {
+        let mut entries = Catalog::builtin().entries().to_vec();
+        entries[0].hourly_price += 0.01;
+        let c = Catalog::from_entries(entries).unwrap();
+        let family = BUILTIN_CATALOG[0].family;
+        let e = c.resolve(family).unwrap_err();
+        assert!(e.message().contains("disagrees"), "{e}");
+    }
+
+    #[test]
+    fn unknown_engine_family_is_rejected_even_if_listed() {
+        let mut entries = Catalog::builtin().entries().to_vec();
+        entries.push(CatalogEntry {
+            family: "p4d".into(),
+            api_name: "p4d.24xlarge".into(),
+            category: InstanceCategory::Accelerator,
+            hourly_price: 32.77,
+            vcpus: 96,
+            memory_gib: 1152,
+            spin_up_s: 6.0,
+        });
+        let c = Catalog::from_entries(entries).unwrap();
+        let e = c.resolve("p4d").unwrap_err();
+        assert!(e.message().contains("no calibrated latency profile"), "{e}");
+    }
+
+    #[test]
+    fn invalid_entries_are_rejected() {
+        let mut bad_price = Catalog::builtin().entries().to_vec();
+        bad_price[1].hourly_price = -1.0;
+        assert!(Catalog::from_entries(bad_price).is_err());
+
+        let mut dup = Catalog::builtin().entries().to_vec();
+        let clone = dup[0].clone();
+        dup.push(clone);
+        assert!(Catalog::from_entries(dup).is_err());
+
+        assert!(Catalog::from_entries(vec![]).is_err());
+    }
+
+    #[test]
+    fn subset_catalogs_are_allowed() {
+        let entries: Vec<CatalogEntry> = Catalog::builtin()
+            .entries()
+            .iter()
+            .filter(|e| e.category != InstanceCategory::Accelerator)
+            .cloned()
+            .collect();
+        let c = Catalog::from_entries(entries).unwrap();
+        assert!(c.resolve("t3").is_ok());
+        let e = c.resolve("g4dn").unwrap_err();
+        assert!(e.message().contains("not in the catalog"), "{e}");
+    }
+
+    #[test]
+    fn from_value_reports_field_paths() {
+        let v = toml::parse("[[instance]]\nfamily = \"t3\"\n").unwrap();
+        let e = Catalog::from_value(&v).unwrap_err();
+        assert!(e.message().contains("instance[0]."), "{e}");
+        let e = Catalog::from_value(&toml::parse("x = 1\n").unwrap()).unwrap_err();
+        assert!(e.message().contains("[[instance]]"), "{e}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Validation errors for spec-reachable constructors.
+//!
+//! Historically every constructor in this workspace `assert!`ed its invariants — fine
+//! while the only callers were hand-written Rust, fatal once scenario *files* reach them:
+//! a typo in a TOML spec must come back as an error the CLI can print, not an abort.
+//! Constructors therefore expose `try_*` variants returning [`ConfigError`]; the original
+//! panicking forms remain as thin wrappers for programmatic callers whose inputs are
+//! compile-time constants.
+
+use std::fmt;
+
+/// A domain-validation failure in a constructor (non-positive latency target, mismatched
+/// pool vectors, empty schedule, …). The display form is the plain message, so the
+/// panicking wrapper `try_x().unwrap_or_else(|e| panic!("{e}"))` reproduces the historical
+/// assertion text exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Creates an error with a human-readable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError(message.into())
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_bare_message() {
+        let e = ConfigError::new("latency target must be positive");
+        assert_eq!(e.to_string(), "latency target must be positive");
+        assert_eq!(e.message(), "latency target must be positive");
+    }
+}

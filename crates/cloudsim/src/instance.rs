@@ -5,6 +5,7 @@
 //! `large` for memory-optimized). Absolute dollar values only matter through their ratios,
 //! which is what the cost-effectiveness trade-off (Fig. 3b) depends on.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -66,106 +67,117 @@ pub const ALL_INSTANCE_TYPES: [InstanceType; 8] = [
     InstanceType::G4dn,
 ];
 
-impl InstanceType {
-    /// EC2 API name including the size used in the paper.
-    pub fn api_name(&self) -> &'static str {
-        match self {
-            InstanceType::T3 => "t3.xlarge",
-            InstanceType::M5 => "m5.xlarge",
-            InstanceType::M5n => "m5n.xlarge",
-            InstanceType::C5 => "c5.2xlarge",
-            InstanceType::C5a => "c5a.2xlarge",
-            InstanceType::R5 => "r5.large",
-            InstanceType::R5n => "r5n.large",
-            InstanceType::G4dn => "g4dn.xlarge",
-        }
-    }
-
+/// One row of the built-in instance catalog. Every per-type constant the simulator uses
+/// lives in [`BUILTIN_CATALOG`] — a single table mirrored by the repository's
+/// `data/catalog.toml` (see [`crate::catalog`]) — rather than being scattered across
+/// per-method `match` arms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogRow {
+    /// The engine type this row describes.
+    pub ty: InstanceType,
     /// Family code name as used in the paper's figures (e.g. "g4dn").
-    pub fn family(&self) -> &'static str {
-        match self {
-            InstanceType::T3 => "t3",
-            InstanceType::M5 => "m5",
-            InstanceType::M5n => "m5n",
-            InstanceType::C5 => "c5",
-            InstanceType::C5a => "c5a",
-            InstanceType::R5 => "r5",
-            InstanceType::R5n => "r5n",
-            InstanceType::G4dn => "g4dn",
-        }
-    }
-
+    pub family: &'static str,
+    /// EC2 API name including the size used in the paper.
+    pub api_name: &'static str,
     /// Category per Table 2.
-    pub fn category(&self) -> InstanceCategory {
-        match self {
-            InstanceType::T3 | InstanceType::M5 | InstanceType::M5n => {
-                InstanceCategory::GeneralPurpose
-            }
-            InstanceType::C5 | InstanceType::C5a => InstanceCategory::ComputeOptimized,
-            InstanceType::R5 | InstanceType::R5n => InstanceCategory::MemoryOptimized,
-            InstanceType::G4dn => InstanceCategory::Accelerator,
-        }
-    }
-
+    pub category: InstanceCategory,
     /// On-demand hourly price in USD (us-east-1, 2021).
-    pub fn hourly_price(&self) -> f64 {
-        match self {
-            InstanceType::T3 => 0.1664,
-            InstanceType::M5 => 0.192,
-            InstanceType::M5n => 0.238,
-            InstanceType::C5 => 0.34,
-            InstanceType::C5a => 0.308,
-            InstanceType::R5 => 0.126,
-            InstanceType::R5n => 0.149,
-            InstanceType::G4dn => 0.526,
-        }
-    }
-
+    pub hourly_price: f64,
     /// vCPU count of the studied size (used by the synthetic latency profiles).
-    pub fn vcpus(&self) -> u32 {
-        match self {
-            InstanceType::T3 | InstanceType::M5 | InstanceType::M5n | InstanceType::G4dn => 4,
-            InstanceType::C5 | InstanceType::C5a => 8,
-            InstanceType::R5 | InstanceType::R5n => 2,
-        }
-    }
-
+    pub vcpus: u32,
     /// Memory in GiB of the studied size.
-    pub fn memory_gib(&self) -> u32 {
-        match self {
-            InstanceType::T3 | InstanceType::M5 | InstanceType::M5n | InstanceType::G4dn => 16,
-            InstanceType::C5 | InstanceType::C5a => 16,
-            InstanceType::R5 | InstanceType::R5n => 16,
-        }
-    }
-
-    /// Whether the instance has a GPU accelerator.
-    pub fn has_gpu(&self) -> bool {
-        matches!(self, InstanceType::G4dn)
-    }
-
-    /// Nominal spin-up delay in seconds before a freshly launched instance can serve its
-    /// first query, at the simulator's compressed timescale.
+    pub memory_gib: u32,
+    /// Nominal spin-up delay in seconds at the simulator's compressed timescale.
     ///
     /// Real EC2 boot + model-load times are minutes; the simulated streams span seconds,
     /// so these defaults are scaled to stay *proportionally* meaningful (the GPU instance
     /// pays the largest model-load penalty, compute-optimized boxes come up faster).
     /// Online-serving callers scale them with
     /// [`crate::streaming::StreamingSimConfig::spin_up_factor`].
-    pub fn spin_up_s(&self) -> f64 {
-        match self.category() {
-            InstanceCategory::Accelerator => 4.0,
-            InstanceCategory::ComputeOptimized => 2.0,
-            InstanceCategory::GeneralPurpose | InstanceCategory::MemoryOptimized => 2.5,
+    pub spin_up_s: f64,
+}
+
+/// The built-in catalog table (Table 2 of the paper), indexed by
+/// [`InstanceType::index`] and kept in the same order as [`ALL_INSTANCE_TYPES`].
+#[rustfmt::skip]
+pub const BUILTIN_CATALOG: [CatalogRow; 8] = [
+    CatalogRow { ty: InstanceType::T3,   family: "t3",   api_name: "t3.xlarge",   category: InstanceCategory::GeneralPurpose,   hourly_price: 0.1664, vcpus: 4, memory_gib: 16, spin_up_s: 2.5 },
+    CatalogRow { ty: InstanceType::M5,   family: "m5",   api_name: "m5.xlarge",   category: InstanceCategory::GeneralPurpose,   hourly_price: 0.192,  vcpus: 4, memory_gib: 16, spin_up_s: 2.5 },
+    CatalogRow { ty: InstanceType::M5n,  family: "m5n",  api_name: "m5n.xlarge",  category: InstanceCategory::GeneralPurpose,   hourly_price: 0.238,  vcpus: 4, memory_gib: 16, spin_up_s: 2.5 },
+    CatalogRow { ty: InstanceType::C5,   family: "c5",   api_name: "c5.2xlarge",  category: InstanceCategory::ComputeOptimized, hourly_price: 0.34,   vcpus: 8, memory_gib: 16, spin_up_s: 2.0 },
+    CatalogRow { ty: InstanceType::C5a,  family: "c5a",  api_name: "c5a.2xlarge", category: InstanceCategory::ComputeOptimized, hourly_price: 0.308,  vcpus: 8, memory_gib: 16, spin_up_s: 2.0 },
+    CatalogRow { ty: InstanceType::R5,   family: "r5",   api_name: "r5.large",    category: InstanceCategory::MemoryOptimized,  hourly_price: 0.126,  vcpus: 2, memory_gib: 16, spin_up_s: 2.5 },
+    CatalogRow { ty: InstanceType::R5n,  family: "r5n",  api_name: "r5n.large",   category: InstanceCategory::MemoryOptimized,  hourly_price: 0.149,  vcpus: 2, memory_gib: 16, spin_up_s: 2.5 },
+    CatalogRow { ty: InstanceType::G4dn, family: "g4dn", api_name: "g4dn.xlarge", category: InstanceCategory::Accelerator,      hourly_price: 0.526,  vcpus: 4, memory_gib: 16, spin_up_s: 4.0 },
+];
+
+impl InstanceType {
+    /// Index of this type's row in [`BUILTIN_CATALOG`].
+    pub const fn index(self) -> usize {
+        match self {
+            InstanceType::T3 => 0,
+            InstanceType::M5 => 1,
+            InstanceType::M5n => 2,
+            InstanceType::C5 => 3,
+            InstanceType::C5a => 4,
+            InstanceType::R5 => 5,
+            InstanceType::R5n => 6,
+            InstanceType::G4dn => 7,
         }
+    }
+
+    /// This type's row of the built-in catalog.
+    pub fn catalog_row(&self) -> &'static CatalogRow {
+        &BUILTIN_CATALOG[self.index()]
+    }
+
+    /// EC2 API name including the size used in the paper.
+    pub fn api_name(&self) -> &'static str {
+        self.catalog_row().api_name
+    }
+
+    /// Family code name as used in the paper's figures (e.g. "g4dn").
+    pub fn family(&self) -> &'static str {
+        self.catalog_row().family
+    }
+
+    /// Category per Table 2.
+    pub fn category(&self) -> InstanceCategory {
+        self.catalog_row().category
+    }
+
+    /// On-demand hourly price in USD (us-east-1, 2021).
+    pub fn hourly_price(&self) -> f64 {
+        self.catalog_row().hourly_price
+    }
+
+    /// vCPU count of the studied size (used by the synthetic latency profiles).
+    pub fn vcpus(&self) -> u32 {
+        self.catalog_row().vcpus
+    }
+
+    /// Memory in GiB of the studied size.
+    pub fn memory_gib(&self) -> u32 {
+        self.catalog_row().memory_gib
+    }
+
+    /// Whether the instance has a GPU accelerator.
+    pub fn has_gpu(&self) -> bool {
+        matches!(self.category(), InstanceCategory::Accelerator)
+    }
+
+    /// Nominal spin-up delay in seconds before a freshly launched instance can serve its
+    /// first query (see [`CatalogRow::spin_up_s`]).
+    pub fn spin_up_s(&self) -> f64 {
+        self.catalog_row().spin_up_s
     }
 
     /// Looks up a type by its family code name ("g4dn", "t3", ...).
     pub fn from_family(name: &str) -> Option<InstanceType> {
-        ALL_INSTANCE_TYPES
+        BUILTIN_CATALOG
             .iter()
-            .copied()
-            .find(|t| t.family() == name)
+            .find(|row| row.family == name)
+            .map(|row| row.ty)
     }
 }
 
@@ -191,10 +203,20 @@ impl PoolSpec {
     ///
     /// # Panics
     /// Panics if `types` and `counts` have different lengths or `types` is empty.
+    /// Spec-file paths use [`PoolSpec::try_new`] instead.
     pub fn new(types: Vec<InstanceType>, counts: Vec<u32>) -> Self {
-        assert_eq!(types.len(), counts.len(), "types/counts length mismatch");
-        assert!(!types.is_empty(), "a pool needs at least one instance type");
-        PoolSpec { types, counts }
+        Self::try_new(types, counts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: `types` and `counts` must be parallel and non-empty.
+    pub fn try_new(types: Vec<InstanceType>, counts: Vec<u32>) -> Result<Self, ConfigError> {
+        if types.len() != counts.len() {
+            return Err(ConfigError::new("types/counts length mismatch"));
+        }
+        if types.is_empty() {
+            return Err(ConfigError::new("a pool needs at least one instance type"));
+        }
+        Ok(PoolSpec { types, counts })
     }
 
     /// A homogeneous pool of `count` instances of a single type.
@@ -382,6 +404,26 @@ mod tests {
         assert_eq!(p.types, vec![InstanceType::C5a]);
         assert_eq!(p.counts, vec![6]);
         assert!((p.hourly_cost() - 6.0 * 0.308).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builtin_catalog_rows_match_their_types() {
+        for (i, row) in BUILTIN_CATALOG.iter().enumerate() {
+            assert_eq!(row.ty.index(), i, "{}", row.family);
+            assert_eq!(row.ty, ALL_INSTANCE_TYPES[i]);
+            assert_eq!(row.ty.family(), row.family);
+            assert_eq!(row.ty.hourly_price(), row.hourly_price);
+            assert_eq!(row.ty.spin_up_s(), row.spin_up_s);
+        }
+    }
+
+    #[test]
+    fn try_new_reports_errors_instead_of_panicking() {
+        assert!(PoolSpec::try_new(vec![InstanceType::T3], vec![1]).is_ok());
+        let e = PoolSpec::try_new(vec![InstanceType::T3], vec![1, 2]).unwrap_err();
+        assert!(e.message().contains("length mismatch"));
+        let e = PoolSpec::try_new(vec![], vec![]).unwrap_err();
+        assert!(e.message().contains("at least one instance type"));
     }
 
     #[test]

@@ -30,7 +30,9 @@
 //! this crate: it is abstracted behind the [`latency::LatencyModel`] trait and implemented by
 //! `ribbon-models`, which holds the calibrated synthetic profiles.
 
+pub mod catalog;
 pub mod dist;
+pub mod error;
 pub mod instance;
 pub mod latency;
 pub mod metrics;
@@ -40,9 +42,13 @@ pub mod query;
 pub mod sim;
 pub mod streaming;
 
+pub use catalog::{Catalog, CatalogEntry};
+pub use error::ConfigError;
 pub use instance::{InstanceCategory, InstanceType, PoolSpec, ALL_INSTANCE_TYPES};
 pub use latency::LatencyModel;
-pub use metrics::{CostModel, QosTarget, SimSummary};
+pub use metrics::{
+    CostModel, DeadlinePolicy, MeanLatencyPolicy, QosEvidence, QosPolicy, QosTarget, SimSummary,
+};
 pub use phased::{PhasedArrivalProcess, PhasedQueryStream, PhasedStreamConfig, RatePhase};
 pub use query::{Query, QueryStream, StreamConfig};
 pub use sim::{simulate, simulate_many, simulate_stats, PoolSimulator, SimResult, SimStats};

@@ -8,8 +8,9 @@
 //! * a configuration *meets QoS* when its satisfaction rate is at least the target percentile
 //!   (e.g. 99 % of queries within the p99 latency target).
 
+use crate::error::ConfigError;
 use crate::instance::{InstanceType, PoolSpec};
-use crate::sim::SimResult;
+use crate::sim::{SimResult, SimStats};
 use serde::{Deserialize, Serialize};
 
 /// The QoS target of a workload: `target_rate` of queries must finish within
@@ -24,17 +25,27 @@ pub struct QosTarget {
 
 impl QosTarget {
     /// Creates a QoS target; panics if the rate is outside `(0, 1]` or the latency is not
-    /// positive.
+    /// positive. Spec-file paths use [`QosTarget::try_new`] instead.
     pub fn new(latency_target_s: f64, target_rate: f64) -> Self {
-        assert!(latency_target_s > 0.0, "latency target must be positive");
-        assert!(
-            target_rate > 0.0 && target_rate <= 1.0,
-            "target rate must be in (0, 1], got {target_rate}"
-        );
-        QosTarget {
+        Self::try_new(latency_target_s, target_rate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: the rate must be in `(0, 1]` and the latency positive.
+    pub fn try_new(latency_target_s: f64, target_rate: f64) -> Result<Self, ConfigError> {
+        let latency_ok = latency_target_s.is_finite() && latency_target_s > 0.0;
+        if !latency_ok {
+            return Err(ConfigError::new("latency target must be positive"));
+        }
+        let rate_ok = target_rate > 0.0 && target_rate <= 1.0;
+        if !rate_ok {
+            return Err(ConfigError::new(format!(
+                "target rate must be in (0, 1], got {target_rate}"
+            )));
+        }
+        Ok(QosTarget {
             latency_target_s,
             target_rate,
-        }
+        })
     }
 
     /// A p99 target at the given latency (the paper's default).
@@ -55,6 +66,212 @@ impl QosTarget {
     /// Whether a measured satisfaction rate meets this target.
     pub fn is_met_by_rate(&self, satisfaction_rate: f64) -> bool {
         satisfaction_rate >= self.target_rate
+    }
+}
+
+/// Aggregate latency evidence a [`QosPolicy`] judges: one window, one stream, or one
+/// configuration evaluation, reduced to the statistics every policy variant needs.
+///
+/// All fields are `Option`-typed the way the monitoring path is: an empty observation
+/// carries no evidence, and a policy must return `None` rather than guess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosEvidence {
+    /// Number of observed queries.
+    pub num_queries: usize,
+    /// Fraction of queries within the policy's per-query deadline, if any were observed.
+    pub satisfaction_rate: Option<f64>,
+    /// Mean end-to-end latency in seconds, if any queries were observed.
+    pub mean_latency_s: Option<f64>,
+    /// Tail latency at the policy's percentile in seconds, if any queries were observed.
+    pub tail_latency_s: Option<f64>,
+}
+
+impl QosEvidence {
+    /// Evidence from a lean simulation-statistics pass (the evaluator's fast path).
+    pub fn from_stats(stats: &SimStats) -> Self {
+        let rate = stats.satisfaction_rate();
+        QosEvidence {
+            num_queries: stats.num_queries,
+            satisfaction_rate: rate,
+            mean_latency_s: rate.map(|_| stats.mean_latency_s),
+            tail_latency_s: rate.map(|_| stats.tail_latency_s),
+        }
+    }
+
+    /// Evidence from a full simulation trace, classified against a policy's deadline and
+    /// percentile.
+    pub fn from_result(result: &SimResult, policy: &dyn QosPolicy) -> Self {
+        let rate = result.satisfaction_rate(policy.deadline_s());
+        QosEvidence {
+            num_queries: result.num_queries(),
+            satisfaction_rate: rate,
+            mean_latency_s: rate.map(|_| result.mean_latency()),
+            tail_latency_s: rate.map(|_| result.tail_latency(policy.tail_percentile())),
+        }
+    }
+}
+
+/// A pluggable QoS acceptance criterion, generalizing [`QosTarget`] beyond the paper's
+/// fixed tail-rate form.
+///
+/// A policy contributes three things to the serving stack:
+///
+/// * a **per-query deadline** ([`QosPolicy::deadline_s`]) used to classify individual
+///   queries as satisfied — the quantity simulators and monitoring windows count;
+/// * a **score** over aggregate [`QosEvidence`], in `[0, 1]`, where
+///   [`QosPolicy::threshold`] is the pass mark: `score ≥ threshold` means the policy is
+///   met. The score is *graded* below the threshold (closer to the threshold = closer to
+///   acceptable), which is what keeps the search objective smooth on the violating side
+///   (Sec. 4's requirement) for every policy variant, not just the tail-rate one;
+/// * a **reporting percentile** ([`QosPolicy::tail_percentile`]) for tail-latency fields
+///   in summaries and reports.
+///
+/// Implementations: [`QosTarget`] (the paper's tail-rate target, the default
+/// everywhere), [`MeanLatencyPolicy`], and [`DeadlinePolicy`]. The trait is object-safe;
+/// the serving stack passes policies as `Arc<dyn QosPolicy>`.
+pub trait QosPolicy: std::fmt::Debug + Send + Sync {
+    /// Human-readable description, e.g. `p99 ≤ 20 ms`.
+    fn describe(&self) -> String;
+
+    /// The per-query latency deadline in seconds used to classify a query as satisfied.
+    fn deadline_s(&self) -> f64;
+
+    /// Percentile (in `[0, 100]`) at which tail latency is reported.
+    fn tail_percentile(&self) -> f64;
+
+    /// The pass mark for [`QosPolicy::score`], in `(0, 1]`.
+    fn threshold(&self) -> f64;
+
+    /// Achievement score in `[0, 1]` for the evidence; `None` when the evidence is empty.
+    fn score(&self, evidence: &QosEvidence) -> Option<f64>;
+
+    /// Whether the evidence meets the policy; `None` when the evidence is empty (an
+    /// unserved window must look neither healthy nor unhealthy).
+    fn is_met(&self, evidence: &QosEvidence) -> Option<bool> {
+        self.score(evidence).map(|s| s >= self.threshold())
+    }
+}
+
+impl QosPolicy for QosTarget {
+    fn describe(&self) -> String {
+        format!(
+            "{:.4}% of queries within {:.4} ms",
+            self.target_rate * 100.0,
+            self.latency_target_s * 1000.0
+        )
+    }
+
+    fn deadline_s(&self) -> f64 {
+        self.latency_target_s
+    }
+
+    fn tail_percentile(&self) -> f64 {
+        self.target_rate * 100.0
+    }
+
+    fn threshold(&self) -> f64 {
+        self.target_rate
+    }
+
+    fn score(&self, evidence: &QosEvidence) -> Option<f64> {
+        evidence.satisfaction_rate
+    }
+}
+
+/// A mean-latency QoS policy: met when the mean end-to-end latency is at or below
+/// `mean_target_s`. The score is `min(1, target/mean)` — exactly `1.0` at the boundary,
+/// graded below it — with threshold `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanLatencyPolicy {
+    /// Mean-latency bound in seconds.
+    pub mean_target_s: f64,
+    /// Per-query classification deadline in seconds (for satisfaction counting and
+    /// reporting; a common choice is a small multiple of the mean target).
+    pub deadline_s: f64,
+}
+
+impl MeanLatencyPolicy {
+    /// Validating constructor: both bounds must be positive and finite.
+    pub fn try_new(mean_target_s: f64, deadline_s: f64) -> Result<Self, ConfigError> {
+        let mean_ok = mean_target_s.is_finite() && mean_target_s > 0.0;
+        if !mean_ok {
+            return Err(ConfigError::new("mean latency target must be positive"));
+        }
+        let deadline_ok = deadline_s.is_finite() && deadline_s > 0.0;
+        if !deadline_ok {
+            return Err(ConfigError::new("deadline must be positive"));
+        }
+        Ok(MeanLatencyPolicy {
+            mean_target_s,
+            deadline_s,
+        })
+    }
+}
+
+impl QosPolicy for MeanLatencyPolicy {
+    fn describe(&self) -> String {
+        format!("mean latency ≤ {:.4} ms", self.mean_target_s * 1000.0)
+    }
+
+    fn deadline_s(&self) -> f64 {
+        self.deadline_s
+    }
+
+    fn tail_percentile(&self) -> f64 {
+        99.0
+    }
+
+    fn threshold(&self) -> f64 {
+        1.0
+    }
+
+    fn score(&self, evidence: &QosEvidence) -> Option<f64> {
+        let mean = evidence.mean_latency_s?;
+        if mean <= 0.0 {
+            return Some(1.0);
+        }
+        Some((self.mean_target_s / mean).min(1.0))
+    }
+}
+
+/// A per-query-deadline QoS policy: met only when *every* observed query finishes within
+/// the deadline (a tail-rate policy with a required rate of 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlinePolicy {
+    /// The hard per-query deadline in seconds.
+    pub deadline_s: f64,
+}
+
+impl DeadlinePolicy {
+    /// Validating constructor: the deadline must be positive and finite.
+    pub fn try_new(deadline_s: f64) -> Result<Self, ConfigError> {
+        let ok = deadline_s.is_finite() && deadline_s > 0.0;
+        if !ok {
+            return Err(ConfigError::new("deadline must be positive"));
+        }
+        Ok(DeadlinePolicy { deadline_s })
+    }
+}
+
+impl QosPolicy for DeadlinePolicy {
+    fn describe(&self) -> String {
+        format!("every query within {:.4} ms", self.deadline_s * 1000.0)
+    }
+
+    fn deadline_s(&self) -> f64 {
+        self.deadline_s
+    }
+
+    fn tail_percentile(&self) -> f64 {
+        100.0
+    }
+
+    fn threshold(&self) -> f64 {
+        1.0
+    }
+
+    fn score(&self, evidence: &QosEvidence) -> Option<f64> {
+        evidence.satisfaction_rate
     }
 }
 
@@ -114,14 +331,21 @@ pub struct SimSummary {
 impl SimSummary {
     /// Summarizes a simulation result against a QoS target.
     pub fn from_result(result: &SimResult, qos: &QosTarget) -> Self {
-        let rate = result.satisfaction_rate(qos.latency_target_s);
+        Self::from_policy(result, qos)
+    }
+
+    /// Summarizes a simulation result against an arbitrary [`QosPolicy`].
+    pub fn from_policy(result: &SimResult, policy: &dyn QosPolicy) -> Self {
+        let evidence = QosEvidence::from_result(result, policy);
         SimSummary {
             pool: result.pool.describe(),
             hourly_cost: result.pool.hourly_cost(),
-            satisfaction_rate: rate,
-            meets_qos: rate.is_some_and(|r| qos.is_met_by_rate(r)),
-            mean_latency_s: result.mean_latency(),
-            tail_latency_s: result.tail_latency(qos.target_rate * 100.0),
+            satisfaction_rate: evidence.satisfaction_rate,
+            meets_qos: policy.is_met(&evidence) == Some(true),
+            // Reuse the evidence's single mean/tail pass; an empty trace reports 0.0,
+            // matching `SimResult::{mean_latency, tail_latency}` on no queries.
+            mean_latency_s: evidence.mean_latency_s.unwrap_or(0.0),
+            tail_latency_s: evidence.tail_latency_s.unwrap_or(0.0),
             throughput_qps: result.throughput_qps(),
             num_queries: result.num_queries(),
         }
@@ -283,6 +507,99 @@ mod tests {
     fn describe_counts_helper() {
         let s = describe_counts(&[InstanceType::G4dn, InstanceType::T3], &[3, 4]);
         assert_eq!(s, "3xg4dn + 4xt3");
+    }
+
+    fn evidence(rate: Option<f64>, mean: Option<f64>, tail: Option<f64>) -> QosEvidence {
+        QosEvidence {
+            num_queries: if rate.is_some() { 100 } else { 0 },
+            satisfaction_rate: rate,
+            mean_latency_s: mean,
+            tail_latency_s: tail,
+        }
+    }
+
+    #[test]
+    fn try_new_reports_errors_instead_of_panicking() {
+        assert!(QosTarget::try_new(0.02, 0.99).is_ok());
+        let e = QosTarget::try_new(0.0, 0.99).unwrap_err();
+        assert_eq!(e.message(), "latency target must be positive");
+        let e = QosTarget::try_new(0.02, 1.5).unwrap_err();
+        assert!(e.message().contains("target rate must be in (0, 1]"));
+        assert!(QosTarget::try_new(f64::NAN, 0.99).is_err());
+        assert!(QosTarget::try_new(0.02, f64::NAN).is_err());
+        assert!(MeanLatencyPolicy::try_new(-1.0, 0.1).is_err());
+        assert!(MeanLatencyPolicy::try_new(0.05, 0.0).is_err());
+        assert!(DeadlinePolicy::try_new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn tail_rate_policy_reduces_to_the_qos_target() {
+        let q = QosTarget::p99(0.020);
+        assert_eq!(q.deadline_s(), 0.020);
+        assert_eq!(q.tail_percentile(), 99.0);
+        assert_eq!(q.threshold(), 0.99);
+        let ev = evidence(Some(0.995), Some(0.01), Some(0.019));
+        assert_eq!(q.score(&ev), Some(0.995));
+        assert_eq!(q.is_met(&ev), Some(true));
+        assert_eq!(q.is_met(&evidence(Some(0.98), None, None)), Some(false));
+        assert_eq!(q.is_met(&evidence(None, None, None)), None);
+        assert!(q.describe().contains("99"));
+    }
+
+    #[test]
+    fn mean_latency_policy_judges_the_mean() {
+        let p = MeanLatencyPolicy::try_new(0.010, 0.030).unwrap();
+        assert_eq!(p.deadline_s(), 0.030);
+        assert_eq!(p.threshold(), 1.0);
+        // Met exactly at the boundary, graded below it.
+        assert_eq!(
+            p.is_met(&evidence(Some(1.0), Some(0.010), None)),
+            Some(true)
+        );
+        assert_eq!(
+            p.is_met(&evidence(Some(1.0), Some(0.020), None)),
+            Some(false)
+        );
+        let s = p.score(&evidence(Some(1.0), Some(0.020), None)).unwrap();
+        assert!((s - 0.5).abs() < 1e-12, "half-over-budget scores 0.5");
+        // A tighter mean scores closer to passing than a looser one.
+        let worse = p.score(&evidence(Some(1.0), Some(0.040), None)).unwrap();
+        assert!(worse < s);
+        assert_eq!(p.score(&evidence(None, None, None)), None);
+    }
+
+    #[test]
+    fn deadline_policy_requires_every_query_in_time() {
+        let p = DeadlinePolicy::try_new(0.020).unwrap();
+        assert_eq!(p.tail_percentile(), 100.0);
+        assert_eq!(p.is_met(&evidence(Some(1.0), None, None)), Some(true));
+        assert_eq!(p.is_met(&evidence(Some(0.999), None, None)), Some(false));
+        assert_eq!(p.is_met(&evidence(None, None, None)), None);
+    }
+
+    #[test]
+    fn from_policy_matches_from_result_for_tail_rate() {
+        let model = FnLatencyModel::new("const", |_, _| 0.010);
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let queries: Vec<Query> = (0..4)
+            .map(|i| Query {
+                id: i,
+                arrival: 0.0,
+                batch_size: 8,
+            })
+            .collect();
+        let result = simulate(&pool, &queries, &model);
+        let qos = QosTarget::new(0.025, 0.75);
+        assert_eq!(
+            SimSummary::from_result(&result, &qos),
+            SimSummary::from_policy(&result, &qos)
+        );
+        // A mean-latency policy over the same trace: latencies 10..40 ms, mean 25 ms.
+        let mean_pol = MeanLatencyPolicy::try_new(0.030, 0.050).unwrap();
+        let s = SimSummary::from_policy(&result, &mean_pol);
+        assert!(s.meets_qos, "mean 25 ms is within the 30 ms budget");
+        let strict = MeanLatencyPolicy::try_new(0.020, 0.050).unwrap();
+        assert!(!SimSummary::from_policy(&result, &strict).meets_qos);
     }
 
     #[test]

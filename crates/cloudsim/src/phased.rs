@@ -49,19 +49,36 @@ impl PhasedArrivalProcess {
     ///
     /// # Panics
     /// Panics if `phases` is empty or any phase has a non-positive duration or rate.
+    /// Spec-file paths use [`PhasedArrivalProcess::try_piecewise`] instead.
     pub fn piecewise(phases: Vec<RatePhase>) -> Self {
-        assert!(
-            !phases.is_empty(),
-            "a phased schedule needs at least one phase"
-        );
-        for p in &phases {
-            assert!(p.duration_s > 0.0, "phase duration must be positive");
-            assert!(p.qps > 0.0, "phase rate must be positive");
+        Self::try_piecewise(phases).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: at least one phase, every duration and rate positive.
+    pub fn try_piecewise(phases: Vec<RatePhase>) -> Result<Self, crate::error::ConfigError> {
+        if phases.is_empty() {
+            return Err(crate::error::ConfigError::new(
+                "a phased schedule needs at least one phase",
+            ));
         }
-        PhasedArrivalProcess {
+        for (i, p) in phases.iter().enumerate() {
+            let duration_ok = p.duration_s.is_finite() && p.duration_s > 0.0;
+            if !duration_ok {
+                return Err(crate::error::ConfigError::new(format!(
+                    "phase {i}: phase duration must be positive"
+                )));
+            }
+            let qps_ok = p.qps.is_finite() && p.qps > 0.0;
+            if !qps_ok {
+                return Err(crate::error::ConfigError::new(format!(
+                    "phase {i}: phase rate must be positive"
+                )));
+            }
+        }
+        Ok(PhasedArrivalProcess {
             phases,
             poisson: true,
-        }
+        })
     }
 
     /// A single-phase (constant-rate) schedule — the degenerate case that makes phased

@@ -30,7 +30,7 @@
 //! 2. every idle instance starts the query at `arrival`, strictly earlier than every busy
 //!    instance (`free_at > arrival`), so the two heaps never disagree about the minimum;
 //! 3. start-time ties are broken by *bit-exact* float equality of `free_at` (see
-//!    [`reference`] for why the historical epsilon tolerance was removed).
+//!    [`reference`](mod@reference) for why the historical epsilon tolerance was removed).
 //!
 //! [`simulate`] records the full per-query trace ([`SimResult`]); [`simulate_stats`] is the
 //! lean fast path used by the Ribbon evaluator — same scheduler, but it accumulates

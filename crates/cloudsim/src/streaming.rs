@@ -65,14 +65,26 @@ impl WindowConfig {
         WindowConfig { length_s, step_s }
     }
 
+    /// Validating form of the invariants `validate` asserts — the spec-file path.
+    pub fn try_validate(&self) -> Result<(), crate::error::ConfigError> {
+        let length_ok = self.length_s.is_finite() && self.length_s > 0.0;
+        if !length_ok {
+            return Err(crate::error::ConfigError::new(
+                "window length must be positive",
+            ));
+        }
+        let step_ok = self.step_s > 0.0 && self.step_s <= self.length_s;
+        if !step_ok {
+            return Err(crate::error::ConfigError::new(format!(
+                "window step must be in (0, length], got step {} for length {}",
+                self.step_s, self.length_s
+            )));
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(self.length_s > 0.0, "window length must be positive");
-        assert!(
-            self.step_s > 0.0 && self.step_s <= self.length_s,
-            "window step must be in (0, length], got step {} for length {}",
-            self.step_s,
-            self.length_s
-        );
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
@@ -128,6 +140,22 @@ impl WindowStats {
     /// (no evidence either way — don't let silence look like health).
     pub fn meets_rate(&self, target_rate: f64) -> Option<bool> {
         self.satisfaction_rate.map(|r| r >= target_rate)
+    }
+
+    /// The window's aggregate statistics as policy-judgeable [`QosEvidence`](crate::metrics::QosEvidence).
+    pub fn evidence(&self) -> crate::metrics::QosEvidence {
+        crate::metrics::QosEvidence {
+            num_queries: self.num_queries,
+            satisfaction_rate: self.satisfaction_rate,
+            mean_latency_s: self.mean_latency_s,
+            tail_latency_s: self.tail_latency_s,
+        }
+    }
+
+    /// Whether the window meets a [`crate::metrics::QosPolicy`]; `None` for an empty
+    /// window (silence is evidence of nothing).
+    pub fn meets_policy(&self, policy: &dyn crate::metrics::QosPolicy) -> Option<bool> {
+        policy.is_met(&self.evidence())
     }
 }
 

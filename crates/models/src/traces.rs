@@ -42,6 +42,14 @@ impl TrafficScenario {
         }
     }
 
+    /// Looks a scenario up by its short name ("diurnal", "flash-crowd", …).
+    pub fn from_name(name: &str) -> Option<TrafficScenario> {
+        ALL_SCENARIOS
+            .iter()
+            .copied()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+
     /// The arrival schedule of this scenario for a base rate over a run length.
     ///
     /// # Panics

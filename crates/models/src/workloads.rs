@@ -16,6 +16,23 @@ pub enum BatchShape {
     Gaussian,
 }
 
+impl BatchShape {
+    /// The stable name scenario files use.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchShape::HeavyTailLogNormal => "heavy-tail",
+            BatchShape::Gaussian => "gaussian",
+        }
+    }
+
+    /// Parses a scenario-file batch-shape name.
+    pub fn from_name(name: &str) -> Option<BatchShape> {
+        [BatchShape::HeavyTailLogNormal, BatchShape::Gaussian]
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+}
+
 /// A complete serving workload: model, QoS target, stream shape, and candidate pools.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {

@@ -174,14 +174,21 @@ pub struct OnlineCostReport {
     pub saving_percent: f64,
 }
 
+/// Time-averaged hourly cost of a run: `total × 3600 / duration`, 0.0 for an
+/// instantaneous run. The single definition behind [`OnlineCostReport`] and the
+/// scenario layer's serve reports.
+pub fn mean_hourly_cost(total_cost_usd: f64, duration_s: f64) -> f64 {
+    if duration_s > 0.0 {
+        total_cost_usd * 3600.0 / duration_s
+    } else {
+        0.0
+    }
+}
+
 impl OnlineCostReport {
     /// Builds a report from a run's exact accrued cost and duration.
     pub fn new(total_cost_usd: f64, duration_s: f64, baseline_hourly_cost: f64) -> Self {
-        let mean_hourly_cost = if duration_s > 0.0 {
-            total_cost_usd * 3600.0 / duration_s
-        } else {
-            0.0
-        };
+        let mean_hourly_cost = mean_hourly_cost(total_cost_usd, duration_s);
         OnlineCostReport {
             total_cost_usd,
             duration_s,

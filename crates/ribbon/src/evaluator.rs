@@ -28,14 +28,15 @@ use crate::bounds::{find_bounds, BoundSettings};
 use crate::objective::RibbonObjective;
 use parking_lot::Mutex;
 use ribbon_bo::ConfigLattice;
-use ribbon_cloudsim::{parallel, simulate_stats, PoolSpec, Query};
+use ribbon_cloudsim::{parallel, simulate_stats, PoolSpec, QosEvidence, QosPolicy, Query};
 use ribbon_models::{ModelProfile, Workload};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Settings controlling evaluator construction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvaluatorSettings {
     /// Hard cap on every per-type bound m_i.
     pub max_per_type: u32,
@@ -66,7 +67,9 @@ pub struct Evaluation {
     pub config: Vec<u32>,
     /// The concrete pool that was simulated.
     pub pool: PoolSpec,
-    /// Fraction of queries within the latency target.
+    /// The QoS policy's achievement score in `[0, 1]`. For the default tail-rate policy
+    /// this is the fraction of queries within the latency target; other policies grade
+    /// their own criterion (see [`ribbon_cloudsim::QosPolicy::score`]).
     pub satisfaction_rate: f64,
     /// Hourly cost of the pool in USD.
     pub hourly_cost: f64,
@@ -84,6 +87,7 @@ pub struct Evaluation {
 pub struct ConfigEvaluator {
     workload: Workload,
     profile: ModelProfile,
+    policy: Arc<dyn QosPolicy>,
     queries: Vec<Query>,
     objective: RibbonObjective,
     bounds: Vec<u32>,
@@ -94,8 +98,24 @@ pub struct ConfigEvaluator {
 
 impl ConfigEvaluator {
     /// Builds an evaluator: generates the workload's query stream, probes the per-type
-    /// bounds m_i (unless explicitly provided), and prepares the Eq. 2 objective.
+    /// bounds m_i (unless explicitly provided), and prepares the Eq. 2 objective. The
+    /// acceptance criterion is the workload's tail-rate [`ribbon_cloudsim::QosTarget`];
+    /// use [`ConfigEvaluator::with_policy`] to judge configurations by any other
+    /// [`QosPolicy`].
     pub fn new(workload: &Workload, settings: EvaluatorSettings) -> Self {
+        Self::with_policy(workload, settings, Arc::new(workload.qos))
+    }
+
+    /// Builds an evaluator that judges configurations against an arbitrary QoS policy.
+    ///
+    /// With `Arc::new(workload.qos)` this is exactly [`ConfigEvaluator::new`] — same
+    /// bounds, same objective, bit-identical evaluations (the invariant the golden search
+    /// traces pin).
+    pub fn with_policy(
+        workload: &Workload,
+        settings: EvaluatorSettings,
+        policy: Arc<dyn QosPolicy>,
+    ) -> Self {
         let profile = workload.profile();
         let queries = workload.stream_config().generate();
         let threads = settings
@@ -115,7 +135,7 @@ impl ConfigEvaluator {
                 &workload.diverse_pool,
                 &queries,
                 &profile,
-                workload.qos.latency_target_s,
+                policy.deadline_s(),
                 &BoundSettings {
                     max_per_type: settings.max_per_type,
                     saturation_epsilon: settings.saturation_epsilon,
@@ -123,11 +143,11 @@ impl ConfigEvaluator {
                 },
             ),
         };
-        let objective =
-            RibbonObjective::new(&workload.diverse_pool, &bounds, workload.qos.target_rate);
+        let objective = RibbonObjective::new(&workload.diverse_pool, &bounds, policy.threshold());
         ConfigEvaluator {
             workload: workload.clone(),
             profile,
+            policy,
             queries,
             objective,
             bounds,
@@ -140,6 +160,11 @@ impl ConfigEvaluator {
     /// The workload this evaluator serves.
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// The QoS policy configurations are judged against.
+    pub fn policy(&self) -> &Arc<dyn QosPolicy> {
+        &self.policy
     }
 
     /// The per-type bounds m_i.
@@ -220,13 +245,18 @@ impl ConfigEvaluator {
             &pool,
             &self.queries,
             &self.profile,
-            self.workload.qos.latency_target_s,
-            self.workload.qos.target_rate * 100.0,
+            self.policy.deadline_s(),
+            self.policy.tail_percentile(),
         );
         // A zero-query stream is vacuously satisfied for the evaluator's purpose: the
-        // objective needs *some* rate, and an empty workload cannot violate QoS. Monitoring
-        // paths (windowed stats) keep the explicit `None` instead.
-        let rate = stats.satisfaction_rate().unwrap_or(1.0);
+        // objective needs *some* score, and an empty workload cannot violate QoS.
+        // Monitoring paths (windowed stats) keep the explicit `None` instead. For the
+        // default tail-rate policy the score IS the satisfaction rate, so this path is
+        // bit-identical to the historical rate-based evaluation.
+        let rate = self
+            .policy
+            .score(&QosEvidence::from_stats(&stats))
+            .unwrap_or(1.0);
         Evaluation {
             config: config.to_vec(),
             hourly_cost: pool.hourly_cost(),
@@ -491,6 +521,51 @@ mod tests {
             },
         );
         let _ = ev.evaluate(&[1, 1]);
+    }
+
+    #[test]
+    fn with_policy_on_the_workload_target_is_bit_identical_to_new() {
+        let w = test_workload();
+        let settings = EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 6, 6]),
+            ..Default::default()
+        };
+        let a = ConfigEvaluator::new(&w, settings.clone());
+        let b = ConfigEvaluator::with_policy(&w, settings, std::sync::Arc::new(w.qos));
+        for config in [[3u32, 1, 2], [5, 0, 0], [0, 2, 4]] {
+            assert_eq!(a.evaluate(&config), b.evaluate(&config), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn mean_latency_policy_changes_the_acceptance_criterion() {
+        use ribbon_cloudsim::MeanLatencyPolicy;
+        let w = test_workload();
+        let settings = EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 6, 6]),
+            ..Default::default()
+        };
+        // A generous mean budget (double the tail target) accepts pools the p99 target
+        // rejects; a absurdly tight one rejects everything.
+        let generous = ConfigEvaluator::with_policy(
+            &w,
+            settings.clone(),
+            std::sync::Arc::new(MeanLatencyPolicy::try_new(0.040, 0.020).unwrap()),
+        );
+        let tight = ConfigEvaluator::with_policy(
+            &w,
+            settings,
+            std::sync::Arc::new(MeanLatencyPolicy::try_new(1e-6, 0.020).unwrap()),
+        );
+        let e = generous.evaluate(&[6, 4, 6]);
+        assert!(e.meets_qos, "largest pool meets a 40 ms mean budget");
+        let t = tight.evaluate(&[6, 4, 6]);
+        assert!(!t.meets_qos);
+        assert!(
+            t.satisfaction_rate < 1.0,
+            "violating mean policy grades below threshold"
+        );
+        assert!(t.objective < 0.5, "violating branch of Eq. 2");
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod bounds;
 pub mod evaluator;
 pub mod objective;
 pub mod online;
+pub mod scenario;
 pub mod search;
 pub mod strategies;
 
@@ -59,8 +60,12 @@ pub use bounds::find_bounds;
 pub use evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
 pub use objective::RibbonObjective;
 pub use online::{
-    serve_online, OnlineController, OnlineControllerSettings, OnlineOutcome, OnlineRunSettings,
-    ReconfigEvent, ReconfigTrigger,
+    serve_online, serve_online_with_policy, OnlineController, OnlineControllerSettings,
+    OnlineOutcome, OnlineRunSettings, ReconfigEvent, ReconfigTrigger,
+};
+pub use scenario::{
+    planner_by_name, Planner, RibbonPlanner, Scenario, ScenarioError, ScenarioReport, ScenarioSpec,
+    SearchPlanner,
 };
 pub use search::{RibbonSearch, RibbonSettings, SearchTrace};
 pub use strategies::{
@@ -73,7 +78,11 @@ pub mod prelude {
     pub use crate::adapt::LoadAdapter;
     pub use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
     pub use crate::online::{
-        serve_online, OnlineController, OnlineControllerSettings, OnlineRunSettings,
+        serve_online, serve_online_with_policy, OnlineController, OnlineControllerSettings,
+        OnlineRunSettings,
+    };
+    pub use crate::scenario::{
+        planner_by_name, Planner, Scenario, ScenarioError, ScenarioReport, ScenarioSpec,
     };
     pub use crate::search::{RibbonSearch, RibbonSettings, SearchTrace};
     pub use crate::strategies::{

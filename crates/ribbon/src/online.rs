@@ -31,12 +31,13 @@ use crate::adapt::inject_pseudo_observations;
 use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
 use crate::search::{RibbonSearch, RibbonSettings};
 use ribbon_cloudsim::streaming::{Reconfiguration, StreamingSim, StreamingSimConfig};
-use ribbon_cloudsim::{PhasedStreamConfig, SimStats, WindowConfig, WindowStats};
+use ribbon_cloudsim::{PhasedStreamConfig, QosPolicy, SimStats, WindowConfig, WindowStats};
 use ribbon_models::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Hysteresis thresholds and replanning budget of the online controller.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineControllerSettings {
     /// Consecutive violating windows before a scale-up replan.
     pub violation_windows: usize,
@@ -111,6 +112,7 @@ pub struct PlannedReconfig {
 pub struct OnlineController {
     settings: OnlineControllerSettings,
     base: Workload,
+    policy: Arc<dyn QosPolicy>,
     seed: u64,
     current: Vec<u32>,
     planned_qps: f64,
@@ -135,14 +137,35 @@ impl OnlineController {
         settings: OnlineControllerSettings,
         seed: u64,
     ) -> Option<OnlineController> {
+        Self::bootstrap_with_policy(
+            workload,
+            initial_search,
+            settings,
+            seed,
+            Arc::new(workload.qos),
+        )
+    }
+
+    /// [`OnlineController::bootstrap`] with an explicit QoS policy: planning evaluations
+    /// and window judgments both use `policy` instead of the workload's tail-rate target.
+    /// With `Arc::new(workload.qos)` the two constructors are bit-identical.
+    pub fn bootstrap_with_policy(
+        workload: &Workload,
+        initial_search: &RibbonSettings,
+        settings: OnlineControllerSettings,
+        seed: u64,
+        policy: Arc<dyn QosPolicy>,
+    ) -> Option<OnlineController> {
         let mut planning = workload.clone();
         planning.num_queries = settings.planning_queries;
-        let evaluator = ConfigEvaluator::new(&planning, settings.evaluator.clone());
+        let evaluator =
+            ConfigEvaluator::with_policy(&planning, settings.evaluator.clone(), policy.clone());
         let trace = RibbonSearch::new(initial_search.clone()).run(&evaluator, seed);
         let best = trace.best_satisfying()?.clone();
         Some(OnlineController {
             settings,
             base: workload.clone(),
+            policy,
             seed,
             current: best.config.clone(),
             planned_qps: workload.qps,
@@ -185,9 +208,9 @@ impl OnlineController {
             return None;
         }
         // Empty window: no evidence either way — hold every counter where it is.
-        let rate = window.satisfaction_rate?;
+        let met = window.meets_policy(self.policy.as_ref())?;
 
-        if rate < self.base.qos.target_rate {
+        if !met {
             self.consecutive_violations += 1;
             self.violating_qps_sum += window.arrival_qps;
             self.consecutive_overprov = 0;
@@ -236,7 +259,11 @@ impl OnlineController {
         let mut planning = self.base.clone();
         planning.num_queries = self.settings.planning_queries;
         let planning = planning.scaled_load(target_qps / self.base.qps);
-        let evaluator = ConfigEvaluator::new(&planning, self.settings.evaluator.clone());
+        let evaluator = ConfigEvaluator::with_policy(
+            &planning,
+            self.settings.evaluator.clone(),
+            self.policy.clone(),
+        );
         let search = RibbonSearch::new(self.settings.replan.clone());
         let mut bo = search.make_optimizer(&evaluator);
         let lattice = evaluator.lattice();
@@ -304,7 +331,7 @@ impl OnlineController {
 }
 
 /// Shape of one full online serving run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineRunSettings {
     /// Settings of the initial (pre-deployment) configuration search.
     pub initial_search: RibbonSettings,
@@ -403,18 +430,32 @@ pub fn serve_online(
     settings: &OnlineRunSettings,
     seed: u64,
 ) -> Option<OnlineOutcome> {
-    let mut controller = OnlineController::bootstrap(
+    serve_online_with_policy(workload, traffic, settings, seed, Arc::new(workload.qos))
+}
+
+/// [`serve_online`] with an explicit [`QosPolicy`]: the streaming simulator classifies
+/// queries against the policy's deadline, and the controller judges windows and plans
+/// replans by the policy. With `Arc::new(workload.qos)` this is exactly [`serve_online`].
+pub fn serve_online_with_policy(
+    workload: &Workload,
+    traffic: &PhasedStreamConfig,
+    settings: &OnlineRunSettings,
+    seed: u64,
+    policy: Arc<dyn QosPolicy>,
+) -> Option<OnlineOutcome> {
+    let mut controller = OnlineController::bootstrap_with_policy(
         workload,
         &settings.initial_search,
         settings.controller.clone(),
         seed,
+        policy.clone(),
     )?;
     let initial_config = controller.current_config().to_vec();
     let profile = workload.profile();
     let pool = workload.diverse_pool_spec(&initial_config);
     let sim_config = StreamingSimConfig {
-        target_latency_s: workload.qos.latency_target_s,
-        tail_percentile: workload.qos.target_rate * 100.0,
+        target_latency_s: policy.deadline_s(),
+        tail_percentile: policy.tail_percentile(),
         window: settings.window,
         spin_up_factor: settings.spin_up_factor,
     };

@@ -1,0 +1,69 @@
+//! Errors of the scenario façade: everything a malformed spec file, an unknown planner
+//! name, or a failed run can produce, with enough path context to fix the file.
+
+use ribbon_cloudsim::ConfigError;
+use ribbon_spec::SpecError;
+use std::fmt;
+
+/// Why a scenario could not be loaded, compiled, or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// The file is not syntactically valid TOML/JSON.
+    Parse(SpecError),
+    /// The file parsed but a field is missing, mistyped, or out of domain.
+    Invalid {
+        /// Dotted path of the offending field (e.g. `qos.latency_ms`).
+        path: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The scenario compiled but the run could not produce a result (e.g. no
+    /// QoS-satisfying configuration within the budget).
+    Run(String),
+}
+
+impl ScenarioError {
+    /// An [`ScenarioError::Invalid`] at a dotted field path.
+    pub fn invalid(path: impl Into<String>, message: impl fmt::Display) -> Self {
+        ScenarioError::Invalid {
+            path: path.into(),
+            message: message.to_string(),
+        }
+    }
+
+    /// Wraps a cloudsim [`ConfigError`] with the spec-field path that caused it.
+    pub fn from_config(path: impl Into<String>, e: ConfigError) -> Self {
+        ScenarioError::Invalid {
+            path: path.into(),
+            message: e.message().to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io { path, message } => write!(f, "{path}: {message}"),
+            ScenarioError::Parse(e) => write!(f, "parse error at {e}"),
+            ScenarioError::Invalid { path, message } => {
+                write!(f, "invalid scenario: {path}: {message}")
+            }
+            ScenarioError::Run(message) => write!(f, "scenario run failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<SpecError> for ScenarioError {
+    fn from(e: SpecError) -> Self {
+        ScenarioError::Parse(e)
+    }
+}

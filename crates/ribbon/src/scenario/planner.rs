@@ -1,0 +1,236 @@
+//! The [`Planner`] abstraction: one interface from a compiled [`Scenario`] to a
+//! [`ScenarioReport`], subsuming both the offline [`SearchStrategy`] suite and the
+//! online serving path.
+//!
+//! * [`RibbonPlanner`] — the paper's BO search for `plan`, and the full windowed online
+//!   controller (mid-stream reconfiguration) for `serve`;
+//! * [`SearchPlanner`] — wraps any [`SearchStrategy`] (RANDOM, Hill-Climb, RSM,
+//!   exhaustive); `serve` deploys the planned pool *statically* and streams the traffic
+//!   through it without reconfiguration — the honest baseline an adaptive controller is
+//!   compared against.
+
+use super::error::ScenarioError;
+use super::report::{BaselineReport, PlanReport, ScenarioReport, ServeReport};
+use super::spec::RunMode;
+use super::Scenario;
+use crate::accounting::homogeneous_optimum;
+use crate::evaluator::ConfigEvaluator;
+use crate::online::serve_online_with_policy;
+use crate::search::{RibbonSearch, SearchTrace};
+use crate::strategies::{
+    ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy,
+};
+use ribbon_cloudsim::streaming::{StreamingSim, StreamingSimConfig};
+use ribbon_cloudsim::{CostModel, PhasedQueryStream};
+
+/// Planner names accepted by scenario files and `ribbon compare --planners`.
+pub const ALL_PLANNER_NAMES: [&str; 5] = ["ribbon", "random", "hill-climb", "rsm", "exhaustive"];
+
+/// A scenario-level planner: `plan` searches offline, `serve` runs the online path, and
+/// both return the same structured [`ScenarioReport`]. Object-safe — the CLI holds a
+/// heterogeneous `Vec<Box<dyn Planner>>`.
+pub trait Planner: Send + Sync {
+    /// Display name ("RIBBON", "RANDOM", …).
+    fn name(&self) -> &str;
+
+    /// Offline search: find the best pool for the scenario's workload.
+    fn plan(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError>;
+
+    /// Online serving: deploy and serve the scenario's traffic trace.
+    fn serve(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError>;
+
+    /// Dispatches on the scenario's mode.
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        match scenario.spec.mode {
+            RunMode::Plan => self.plan(scenario),
+            RunMode::Serve => self.serve(scenario),
+        }
+    }
+}
+
+/// Builds the plan section shared by every planner: best configuration, optional
+/// homogeneous baseline, savings, and the full trace.
+fn plan_report(scenario: &Scenario, evaluator: &ConfigEvaluator, trace: SearchTrace) -> PlanReport {
+    let best = trace.best_satisfying().cloned();
+    let baseline = if scenario.spec.planner.baseline {
+        let max_count = scenario.evaluator_settings.max_per_type.max(12);
+        homogeneous_optimum(evaluator, max_count).map(|h| BaselineReport {
+            count: h.count,
+            pool: h.evaluation.pool.describe(),
+            hourly_cost: h.hourly_cost,
+        })
+    } else {
+        None
+    };
+    let saving_percent = match (&baseline, &best) {
+        (Some(b), Some(best)) => Some(CostModel::saving_percent(b.hourly_cost, best.hourly_cost)),
+        _ => None,
+    };
+    PlanReport {
+        best_config: best.as_ref().map(|e| e.config.clone()),
+        best_pool: best.as_ref().map(|e| e.pool.describe()),
+        best_hourly_cost: best.as_ref().map(|e| e.hourly_cost),
+        baseline,
+        saving_percent,
+        violations: trace.num_violations(),
+        exploration_cost: trace.exploration_cost(),
+        trace,
+    }
+}
+
+fn report_shell(scenario: &Scenario, planner: &str, mode: RunMode) -> ScenarioReport {
+    ScenarioReport {
+        scenario: scenario.spec.name.clone(),
+        planner: planner.to_string(),
+        mode,
+        model: scenario.workload.model.name().to_string(),
+        qos: scenario.policy.describe(),
+        seed: scenario.spec.seed,
+        plan: None,
+        serve: None,
+    }
+}
+
+/// The RIBBON planner: Bayesian-Optimization search offline, the windowed online
+/// controller (hysteresis, warm-started replans, make-before-break reconfiguration)
+/// online.
+#[derive(Debug, Clone, Default)]
+pub struct RibbonPlanner;
+
+impl Planner for RibbonPlanner {
+    fn name(&self) -> &str {
+        "RIBBON"
+    }
+
+    fn plan(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        let evaluator = scenario.build_evaluator();
+        let search = RibbonSearch::new(scenario.search_settings.clone());
+        let trace = search.run(&evaluator, scenario.spec.seed);
+        let mut report = report_shell(scenario, self.name(), RunMode::Plan);
+        report.plan = Some(plan_report(scenario, &evaluator, trace));
+        Ok(report)
+    }
+
+    fn serve(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        let traffic = scenario.require_traffic()?;
+        let outcome = serve_online_with_policy(
+            &scenario.workload,
+            traffic,
+            &scenario.online_settings,
+            scenario.spec.seed,
+            scenario.policy.clone(),
+        )
+        .ok_or_else(|| {
+            ScenarioError::Run(format!(
+                "the initial search found no configuration meeting `{}` within {} evaluations",
+                scenario.policy.describe(),
+                scenario.online_settings.initial_search.max_evaluations
+            ))
+        })?;
+        let mut report = report_shell(scenario, self.name(), RunMode::Serve);
+        report.serve = Some(ServeReport::from_outcome(&outcome));
+        Ok(report)
+    }
+}
+
+/// Adapter giving any offline [`SearchStrategy`] the full planner interface.
+pub struct SearchPlanner {
+    strategy: Box<dyn SearchStrategy + Send + Sync>,
+}
+
+impl SearchPlanner {
+    /// Wraps a search strategy.
+    pub fn new(strategy: Box<dyn SearchStrategy + Send + Sync>) -> SearchPlanner {
+        SearchPlanner { strategy }
+    }
+}
+
+impl Planner for SearchPlanner {
+    fn name(&self) -> &str {
+        self.strategy.name()
+    }
+
+    fn plan(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        let evaluator = scenario.build_evaluator();
+        let trace = self.strategy.run_search(&evaluator, scenario.spec.seed);
+        let mut report = report_shell(scenario, self.name(), RunMode::Plan);
+        report.plan = Some(plan_report(scenario, &evaluator, trace));
+        Ok(report)
+    }
+
+    fn serve(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        let traffic = scenario.require_traffic()?;
+        let evaluator = scenario.build_evaluator();
+        let trace = self.strategy.run_search(&evaluator, scenario.spec.seed);
+        let plan = plan_report(scenario, &evaluator, trace);
+        let config = plan.best_config.clone().ok_or_else(|| {
+            ScenarioError::Run(format!(
+                "{}: no configuration meeting `{}` to deploy statically",
+                self.name(),
+                scenario.policy.describe()
+            ))
+        })?;
+
+        // Static serving: the planned pool, unchanged, for the whole trace.
+        let pool = scenario.workload.diverse_pool_spec(&config);
+        let profile = scenario.workload.profile();
+        let sim_config = StreamingSimConfig {
+            target_latency_s: scenario.policy.deadline_s(),
+            tail_percentile: scenario.policy.tail_percentile(),
+            window: scenario.online_settings.window,
+            spin_up_factor: scenario.online_settings.spin_up_factor,
+        };
+        let mut sim = StreamingSim::new(&pool, &profile, sim_config);
+        let mut windows = Vec::new();
+        for q in PhasedQueryStream::new(traffic.clone()) {
+            windows.extend(sim.push(&q));
+        }
+        windows.extend(sim.finish_windows());
+        let stats = sim.stats();
+        let duration_s = stats.makespan.max(sim.clock());
+        let total_cost_usd = sim.cost_so_far(duration_s);
+
+        let mut report = report_shell(scenario, self.name(), RunMode::Serve);
+        report.serve = Some(ServeReport {
+            initial_config: config.clone(),
+            final_config: config,
+            windows: windows.len(),
+            queries: stats.num_queries,
+            satisfaction_rate: stats.satisfaction_rate(),
+            total_cost_usd,
+            duration_s,
+            mean_hourly_cost: crate::accounting::mean_hourly_cost(total_cost_usd, duration_s),
+            final_hourly_cost: pool.hourly_cost(),
+            events: Vec::new(),
+        });
+        report.plan = Some(plan);
+        Ok(report)
+    }
+}
+
+/// Builds the planner a name refers to, sized by the scenario's budget.
+pub fn planner_by_name(name: &str, scenario: &Scenario) -> Result<Box<dyn Planner>, ScenarioError> {
+    let budget = scenario.search_settings.max_evaluations;
+    match name.to_ascii_lowercase().as_str() {
+        "ribbon" => Ok(Box::new(RibbonPlanner)),
+        "random" => Ok(Box::new(SearchPlanner::new(Box::new(RandomSearch::new(
+            budget,
+        ))))),
+        "hill-climb" => Ok(Box::new(SearchPlanner::new(Box::new(
+            HillClimbSearch::new(budget),
+        )))),
+        "rsm" => Ok(Box::new(SearchPlanner::new(Box::new(
+            ResponseSurfaceSearch::new(budget),
+        )))),
+        "exhaustive" => Ok(Box::new(SearchPlanner::new(Box::new(
+            ExhaustiveSearch::default(),
+        )))),
+        other => Err(ScenarioError::invalid(
+            "planner.name",
+            format!(
+                "unknown planner `{other}` (known: {})",
+                ALL_PLANNER_NAMES.join(", ")
+            ),
+        )),
+    }
+}

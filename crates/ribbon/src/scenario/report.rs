@@ -1,0 +1,288 @@
+//! The structured outcome of a scenario run: one [`ScenarioReport`] regardless of
+//! planner or mode, serializable (via [`ribbon_spec`]) for the bench harness and the
+//! CLI's `--out` flag, with a human summary for the terminal.
+
+use super::spec::RunMode;
+use crate::online::{OnlineOutcome, ReconfigTrigger};
+use crate::search::SearchTrace;
+use ribbon_spec::Value;
+
+/// The homogeneous-baseline comparison of a plan run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Instance count of the cheapest QoS-satisfying homogeneous pool.
+    pub count: u32,
+    /// Human-readable pool description.
+    pub pool: String,
+    /// Its hourly cost in USD.
+    pub hourly_cost: f64,
+}
+
+/// Outcome of the offline search phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Per-type counts of the best QoS-satisfying configuration found, if any.
+    pub best_config: Option<Vec<u32>>,
+    /// Its pool description.
+    pub best_pool: Option<String>,
+    /// Its hourly cost in USD.
+    pub best_hourly_cost: Option<f64>,
+    /// The homogeneous baseline, when requested and found.
+    pub baseline: Option<BaselineReport>,
+    /// Cost saving of the best pool vs the baseline, in percent.
+    pub saving_percent: Option<f64>,
+    /// Number of QoS-violating evaluations in the trace.
+    pub violations: usize,
+    /// Exploration-cost proxy: summed hourly cost of every evaluated pool.
+    pub exploration_cost: f64,
+    /// The full search trace, in evaluation order.
+    pub trace: SearchTrace,
+}
+
+/// One applied mid-stream reconfiguration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventReport {
+    /// Index of the monitoring window that tripped the decision.
+    pub window_index: u64,
+    /// `"qos-violation"` or `"over-provisioning"`.
+    pub trigger: String,
+    /// The new per-type configuration.
+    pub config: Vec<u32>,
+    /// The load the new configuration was planned for (queries/second).
+    pub planned_qps: f64,
+    /// Closed-form transition-cost estimate in USD.
+    pub transition_cost_usd: f64,
+}
+
+/// Outcome of the online serving phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Configuration deployed at stream start.
+    pub initial_config: Vec<u32>,
+    /// Configuration deployed when the stream ended.
+    pub final_config: Vec<u32>,
+    /// Number of monitoring windows.
+    pub windows: usize,
+    /// Number of served queries.
+    pub queries: usize,
+    /// Whole-stream satisfaction rate (`None` for an empty stream).
+    pub satisfaction_rate: Option<f64>,
+    /// Exact accrued cost in USD over the run.
+    pub total_cost_usd: f64,
+    /// Run duration in seconds.
+    pub duration_s: f64,
+    /// Mean hourly cost over the run.
+    pub mean_hourly_cost: f64,
+    /// Hourly cost of the final pool.
+    pub final_hourly_cost: f64,
+    /// Every applied reconfiguration, in order.
+    pub events: Vec<EventReport>,
+}
+
+impl ServeReport {
+    /// Builds the serve section from an online outcome.
+    pub fn from_outcome(outcome: &OnlineOutcome) -> ServeReport {
+        ServeReport {
+            initial_config: outcome.initial_config.clone(),
+            final_config: outcome.final_config.clone(),
+            windows: outcome.windows.len(),
+            queries: outcome.stats.num_queries,
+            satisfaction_rate: outcome.stats.satisfaction_rate(),
+            total_cost_usd: outcome.total_cost_usd,
+            duration_s: outcome.duration_s,
+            mean_hourly_cost: crate::accounting::mean_hourly_cost(
+                outcome.total_cost_usd,
+                outcome.duration_s,
+            ),
+            final_hourly_cost: outcome.final_hourly_cost,
+            events: outcome
+                .events
+                .iter()
+                .map(|e| EventReport {
+                    window_index: e.window_index,
+                    trigger: match e.trigger {
+                        ReconfigTrigger::QosViolation => "qos-violation".to_string(),
+                        ReconfigTrigger::OverProvisioning => "over-provisioning".to_string(),
+                    },
+                    config: e.config.clone(),
+                    planned_qps: e.planned_qps,
+                    transition_cost_usd: e.transition_cost_usd,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The single structured result of running one planner on one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Planner that produced this report.
+    pub planner: String,
+    /// The mode that ran.
+    pub mode: RunMode,
+    /// Model name.
+    pub model: String,
+    /// Human description of the QoS policy.
+    pub qos: String,
+    /// The run's master seed.
+    pub seed: u64,
+    /// Offline-search outcome (plan mode, and serve mode for static planners).
+    pub plan: Option<PlanReport>,
+    /// Online-serving outcome (serve mode).
+    pub serve: Option<ServeReport>,
+}
+
+fn u32s(values: &[u32]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::from(v)).collect())
+}
+
+impl ScenarioReport {
+    /// Serializes the report to a value tree (for JSON/TOML output).
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        root.insert("scenario", Value::from(self.scenario.as_str()));
+        root.insert("planner", Value::from(self.planner.as_str()));
+        root.insert("mode", Value::from(self.mode.name()));
+        root.insert("model", Value::from(self.model.as_str()));
+        root.insert("qos", Value::from(self.qos.as_str()));
+        root.insert("seed", Value::from(self.seed));
+
+        if let Some(plan) = &self.plan {
+            let mut pt = Value::table();
+            if let Some(cfg) = &plan.best_config {
+                pt.insert("best_config", u32s(cfg));
+            }
+            if let Some(pool) = &plan.best_pool {
+                pt.insert("best_pool", Value::from(pool.as_str()));
+            }
+            if let Some(cost) = plan.best_hourly_cost {
+                pt.insert("best_hourly_cost", Value::from(cost));
+            }
+            if let Some(b) = &plan.baseline {
+                let mut bt = Value::table();
+                bt.insert("count", Value::from(b.count));
+                bt.insert("pool", Value::from(b.pool.as_str()));
+                bt.insert("hourly_cost", Value::from(b.hourly_cost));
+                pt.insert("baseline", bt);
+            }
+            if let Some(s) = plan.saving_percent {
+                pt.insert("saving_percent", Value::from(s));
+            }
+            pt.insert("evaluations", Value::from(plan.trace.len()));
+            pt.insert("violations", Value::from(plan.violations));
+            pt.insert("exploration_cost", Value::from(plan.exploration_cost));
+            let trace: Vec<Value> = plan
+                .trace
+                .evaluations()
+                .iter()
+                .map(|e| {
+                    let mut t = Value::table();
+                    t.insert("config", u32s(&e.config));
+                    t.insert("objective", Value::from(e.objective));
+                    t.insert("hourly_cost", Value::from(e.hourly_cost));
+                    t.insert("satisfaction_rate", Value::from(e.satisfaction_rate));
+                    t.insert("meets_qos", Value::from(e.meets_qos));
+                    t
+                })
+                .collect();
+            pt.insert("trace", Value::Array(trace));
+            root.insert("plan", pt);
+        }
+
+        if let Some(serve) = &self.serve {
+            let mut st = Value::table();
+            st.insert("initial_config", u32s(&serve.initial_config));
+            st.insert("final_config", u32s(&serve.final_config));
+            st.insert("windows", Value::from(serve.windows));
+            st.insert("queries", Value::from(serve.queries));
+            if let Some(rate) = serve.satisfaction_rate {
+                st.insert("satisfaction_rate", Value::from(rate));
+            }
+            st.insert("total_cost_usd", Value::from(serve.total_cost_usd));
+            st.insert("duration_s", Value::from(serve.duration_s));
+            st.insert("mean_hourly_cost", Value::from(serve.mean_hourly_cost));
+            st.insert("final_hourly_cost", Value::from(serve.final_hourly_cost));
+            let events: Vec<Value> = serve
+                .events
+                .iter()
+                .map(|e| {
+                    let mut t = Value::table();
+                    t.insert("window", Value::from(e.window_index));
+                    t.insert("trigger", Value::from(e.trigger.as_str()));
+                    t.insert("config", u32s(&e.config));
+                    t.insert("planned_qps", Value::from(e.planned_qps));
+                    t.insert("transition_cost_usd", Value::from(e.transition_cost_usd));
+                    t
+                })
+                .collect();
+            st.insert("events", Value::Array(events));
+            root.insert("serve", st);
+        }
+        root
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        ribbon_spec::json::to_string(&self.to_value())
+    }
+
+    /// A compact human summary for terminal output.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "scenario {} | planner {} | {} | {} | qos {}",
+            self.scenario,
+            self.planner,
+            self.mode.name(),
+            self.model,
+            self.qos
+        )];
+        if let Some(plan) = &self.plan {
+            match (&plan.best_pool, plan.best_hourly_cost) {
+                (Some(pool), Some(cost)) => {
+                    let mut line = format!(
+                        "  plan: best {} at ${:.2}/hr after {} evaluations ({} violating)",
+                        pool,
+                        cost,
+                        plan.trace.len(),
+                        plan.violations
+                    );
+                    if let (Some(b), Some(s)) = (&plan.baseline, plan.saving_percent) {
+                        line.push_str(&format!(
+                            "; homogeneous {} ${:.2}/hr -> saving {:.1}%",
+                            b.pool, b.hourly_cost, s
+                        ));
+                    }
+                    lines.push(line);
+                }
+                _ => lines.push(format!(
+                    "  plan: no QoS-satisfying configuration within {} evaluations",
+                    plan.trace.len()
+                )),
+            }
+        }
+        if let Some(serve) = &self.serve {
+            lines.push(format!(
+                "  serve: {} queries in {} windows over {:.0} s, satisfaction {}, \
+                 total ${:.4} (mean ${:.2}/hr), {} reconfiguration(s)",
+                serve.queries,
+                serve.windows,
+                serve.duration_s,
+                serve
+                    .satisfaction_rate
+                    .map_or("n/a".to_string(), |r| format!("{r:.4}")),
+                serve.total_cost_usd,
+                serve.mean_hourly_cost,
+                serve.events.len()
+            ));
+            for e in &serve.events {
+                lines.push(format!(
+                    "    w{} {} -> {:?} (planned {:.0} qps, transition ~${:.4})",
+                    e.window_index, e.trigger, e.config, e.planned_qps, e.transition_cost_usd
+                ));
+            }
+        }
+        lines
+    }
+}

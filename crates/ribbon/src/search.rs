@@ -15,7 +15,7 @@ use ribbon_gp::FitConfig;
 use serde::{Deserialize, Serialize};
 
 /// Settings for Ribbon's search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RibbonSettings {
     /// Maximum number of configuration evaluations per search.
     pub max_evaluations: usize,

@@ -36,7 +36,7 @@ impl ExhaustiveSearch {
 }
 
 impl SearchStrategy for ExhaustiveSearch {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Exhaustive"
     }
 

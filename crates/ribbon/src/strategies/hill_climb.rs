@@ -54,7 +54,7 @@ impl HillClimbSearch {
 }
 
 impl SearchStrategy for HillClimbSearch {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Hill-Climb"
     }
 

@@ -27,16 +27,41 @@ use crate::evaluator::ConfigEvaluator;
 use crate::search::{RibbonSearch, SearchTrace};
 
 /// A configuration-search strategy.
+///
+/// The trait is object-safe end to end: `name` borrows from `self` (so trait objects can
+/// compute or store their names), and blanket implementations cover `&T` and boxed
+/// strategies — a heterogeneous `Vec<Box<dyn SearchStrategy>>` can be passed anywhere a
+/// concrete strategy can (the CLI's `--planners` list relies on this).
 pub trait SearchStrategy {
     /// Short display name used in experiment output ("RIBBON", "Hill-Climb", ...).
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 
     /// Runs the strategy against an evaluator with a deterministic seed.
     fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace;
 }
 
+impl<T: SearchStrategy + ?Sized> SearchStrategy for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+        (**self).run_search(evaluator, seed)
+    }
+}
+
+impl<T: SearchStrategy + ?Sized> SearchStrategy for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+        (**self).run_search(evaluator, seed)
+    }
+}
+
 impl SearchStrategy for RibbonSearch {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "RIBBON"
     }
 
@@ -97,15 +122,33 @@ mod tests {
     }
 
     #[test]
+    fn boxed_and_borrowed_strategies_run_like_concrete_ones() {
+        fn run_generic<S: SearchStrategy>(s: S, ev: &ConfigEvaluator, seed: u64) -> SearchTrace {
+            s.run_search(ev, seed)
+        }
+        let ev = super::test_support::tiny_evaluator();
+        let concrete = RandomSearch::new(4);
+        let direct = run_generic(&concrete, &ev, 9);
+        let boxed: Box<dyn SearchStrategy + Send + Sync> = Box::new(RandomSearch::new(4));
+        assert_eq!(boxed.name(), concrete.name());
+        let via_box = run_generic(boxed, &ev, 9);
+        assert_eq!(direct.evaluations(), via_box.evaluations());
+        let dyn_ref: &dyn SearchStrategy = &concrete;
+        let via_ref = run_generic(dyn_ref, &ev, 9);
+        assert_eq!(direct.evaluations(), via_ref.evaluations());
+    }
+
+    #[test]
     fn all_strategies_have_distinct_names() {
-        let names = [
-            RibbonSearch::default().name(),
-            RandomSearch::new(10).name(),
-            HillClimbSearch::new(10).name(),
-            ResponseSurfaceSearch::new(10).name(),
-            ExhaustiveSearch::default().name(),
+        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+            Box::new(RibbonSearch::default()),
+            Box::new(RandomSearch::new(10)),
+            Box::new(HillClimbSearch::new(10)),
+            Box::new(ResponseSurfaceSearch::new(10)),
+            Box::new(ExhaustiveSearch::default()),
         ];
-        let mut dedup = names.to_vec();
+        let names: Vec<String> = strategies.iter().map(|s| s.name().to_string()).collect();
+        let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());

@@ -32,7 +32,7 @@ impl RandomSearch {
 }
 
 impl SearchStrategy for RandomSearch {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "RANDOM"
     }
 

@@ -72,7 +72,7 @@ impl ResponseSurfaceSearch {
 }
 
 impl SearchStrategy for ResponseSurfaceSearch {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "RSM"
     }
 

@@ -1,0 +1,341 @@
+//! JSON reader/writer over the same [`Value`] tree as the TOML module.
+//!
+//! JSON is the report format (`ribbon run --out report.json`) and an accepted input
+//! format for scenario specs. Objects preserve key order; numbers parse as
+//! [`Value::Int`] when they carry no fraction or exponent, [`Value::Float`] otherwise,
+//! so a value round-trips through either format without changing type. Non-finite
+//! floats serialize as `null` (JSON has no spelling for them); reports avoid them by
+//! construction.
+
+use crate::toml::{format_float, quote_string};
+use crate::value::{SpecError, Value};
+
+/// Parses a JSON document.
+pub fn parse(input: &str) -> Result<Value, SpecError> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if let Some(c) = p.peek() {
+        return Err(p.err(format!("unexpected `{c}` after the document")));
+    }
+    Ok(v)
+}
+
+/// Serializes a value as pretty-printed JSON (2-space indent, trailing newline).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    emit(&mut out, value, 0);
+    out.push('\n');
+    out
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn line(&self) -> usize {
+        1 + self.chars[..self.pos]
+            .iter()
+            .filter(|&&c| c == '\n')
+            .count()
+    }
+
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        SpecError::syntax(self.line(), message)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, SpecError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.parse_object(),
+            Some('[') => self.parse_array(),
+            Some('"') => self.parse_string().map(Value::Str),
+            Some('t') | Some('f') | Some('n') => self.parse_keyword(),
+            Some(c) if c.is_ascii_digit() || c == '-' => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected `{c}`"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, SpecError> {
+        self.advance(); // '{'
+        let mut table = Value::table();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.advance();
+            return Ok(table);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.advance() != Some(':') {
+                return Err(self.err("expected `:`"));
+            }
+            let value = self.parse_value()?;
+            if table.get(&key).is_some() {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            table.insert(key, value);
+            self.skip_ws();
+            match self.advance() {
+                Some(',') => {}
+                Some('}') => return Ok(table),
+                Some(c) => return Err(self.err(format!("expected `,` or `}}`, found `{c}`"))),
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, SpecError> {
+        self.advance(); // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.advance();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.advance() {
+                Some(',') => {}
+                Some(']') => return Ok(Value::Array(items)),
+                Some(c) => return Err(self.err(format!("expected `,` or `]`, found `{c}`"))),
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, SpecError> {
+        if self.advance() != Some('"') {
+            return Err(self.err("expected a string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.advance() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.advance() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('/') => out.push('/'),
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .advance()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?,
+                        );
+                    }
+                    Some(c) => return Err(self.err(format!("unsupported escape `\\{c}`"))),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_keyword(&mut self) -> Result<Value, SpecError> {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                word.push(c);
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            // JSON null only arises for the non-finite floats the writer mapped there.
+            "null" => Ok(Value::Float(f64::NAN)),
+            _ => Err(self.err(format!("unrecognized keyword `{word}`"))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, SpecError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        let raw: String = self.chars[start..self.pos].iter().collect();
+        if raw.contains(['.', 'e', 'E']) {
+            raw.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err(format!("invalid number `{raw}`")))
+        } else {
+            raw.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err(format!("invalid number `{raw}`")))
+        }
+    }
+}
+
+fn emit(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format_float(*x));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => out.push_str(&quote_string(s)),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                emit(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Table(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                out.push_str(&quote_string(k));
+                out.push_str(": ");
+                emit(out, v, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(doc: &str) -> Value {
+        let v = parse(doc).expect("parse");
+        let emitted = to_string(&v);
+        let reparsed = parse(&emitted).unwrap_or_else(|e| panic!("reparse {emitted}: {e}"));
+        assert_eq!(v, reparsed, "round-trip changed the value:\n{emitted}");
+        v
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = roundtrip(
+            r#"{"name": "x", "n": 3, "rate": 0.5, "flags": [true, false],
+                "nested": {"a": [1, 2.5], "empty": {}, "none": []}}"#,
+        );
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("rate").unwrap().as_f64(), Some(0.5));
+        assert_eq!(
+            v.get("nested")
+                .unwrap()
+                .get("a")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn int_float_distinction_survives() {
+        let v = roundtrip(r#"{"i": 4, "f": 4.0, "e": 1e-6}"#);
+        assert_eq!(v.get("i").unwrap(), &Value::Int(4));
+        assert_eq!(v.get("f").unwrap(), &Value::Float(4.0));
+        assert_eq!(v.get("e").unwrap(), &Value::Float(1e-6));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = roundtrip(r#"{"s": "a\nb\t\"q\" \\ A"}"#);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\nb\t\"q\" \\ A"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = to_string(&Value::Float(f64::INFINITY));
+        assert_eq!(s.trim(), "null");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a": 1,}"#).is_err());
+        assert!(parse(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse(r#"{"a": 1, "a": 2}"#).is_err());
+        let e = parse("{\n  \"a\": bad\n}").unwrap_err();
+        assert!(e.path.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn scalar_documents_parse() {
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("\"x\"").unwrap(), Value::Str("x".into()));
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,82 @@
+//! # ribbon-spec
+//!
+//! The declarative substrate of the scenario façade: a format-agnostic, order-preserving
+//! [`Value`] tree with offline TOML ([`toml`]) and JSON ([`json`]) readers and writers.
+//!
+//! This crate exists because the workspace builds in network-isolated environments where
+//! the vendored `serde` is a no-op marker shim (see `vendor/README.md`): scenario files
+//! and reports need a *real* wire format, so this crate implements one from scratch —
+//! exactly the subset the scenario layer needs, with line-tagged parse errors and
+//! bit-exact float round-trips.
+//!
+//! ```
+//! use ribbon_spec::{toml, Value};
+//!
+//! let spec = toml::parse("name = \"demo\"\n[qos]\nlatency_ms = 20.0\n").unwrap();
+//! assert_eq!(spec.get("name").and_then(Value::as_str), Some("demo"));
+//! assert_eq!(
+//!     spec.get("qos").and_then(|q| q.get("latency_ms")).and_then(Value::as_f64),
+//!     Some(20.0),
+//! );
+//! ```
+
+pub mod json;
+pub mod toml;
+mod value;
+
+pub use value::{SpecError, Value};
+
+/// The on-disk formats the scenario layer understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// TOML (the default for scenario files).
+    Toml,
+    /// JSON (reports, and accepted for specs too).
+    Json,
+}
+
+impl Format {
+    /// Picks a format from a file name: `.json` means JSON, everything else TOML.
+    pub fn from_path(path: &str) -> Format {
+        if path
+            .rsplit('.')
+            .next()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+        {
+            Format::Json
+        } else {
+            Format::Toml
+        }
+    }
+
+    /// Parses a document in this format.
+    pub fn parse(&self, input: &str) -> Result<Value, SpecError> {
+        match self {
+            Format::Toml => toml::parse(input),
+            Format::Json => json::parse(input),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(Format::from_path("a/b/run.json"), Format::Json);
+        assert_eq!(Format::from_path("a/b/run.JSON"), Format::Json);
+        assert_eq!(Format::from_path("scenario.toml"), Format::Toml);
+        assert_eq!(Format::from_path("no_extension"), Format::Toml);
+    }
+
+    #[test]
+    fn the_same_value_survives_both_formats() {
+        let doc = "name = \"x\"\nbounds = [1, 2]\n[qos]\nrate = 0.99\n";
+        let v = toml::parse(doc).unwrap();
+        let via_json = json::parse(&json::to_string(&v)).unwrap();
+        assert_eq!(v, via_json);
+        let via_toml = toml::parse(&toml::to_string(&via_json).unwrap()).unwrap();
+        assert_eq!(v, via_toml);
+    }
+}

@@ -1,0 +1,898 @@
+//! A self-contained reader/writer for the TOML subset scenario files use.
+//!
+//! Supported on the way in: `[table]` and `[[array-of-tables]]` headers (dotted paths),
+//! bare/quoted/dotted keys, basic `"…"` and literal `'…'` strings, booleans,
+//! integers (with `_` separators), floats (including `inf`/`nan` and exponent forms),
+//! arrays (nested, multi-line), and inline tables. Dates and multi-line strings are not
+//! supported — scenario files do not need them, and an unsupported construct fails with a
+//! line-tagged [`SpecError`] instead of being silently misread.
+//!
+//! On the way out, [`to_string`] emits a canonical form: within each table, inline
+//! key/value pairs first, then `[section]`s and `[[section arrays]]`. Parsing the writer's
+//! output reproduces the value exactly *if* the value already interleaves entries that
+//! way; otherwise one write→parse pass canonicalizes the order (and is idempotent from
+//! then on). Typed specs compare structurally, so schema-level round-trips are exact
+//! either way.
+
+use crate::value::{SpecError, Value};
+use std::collections::HashSet;
+
+/// Parses a TOML document into a [`Value::Table`].
+pub fn parse(input: &str) -> Result<Value, SpecError> {
+    let mut root = Value::table();
+    let mut explicit_headers: HashSet<String> = HashSet::new();
+    // Path of the table subsequent key/value lines land in (`[]` = root).
+    let mut current_path: Vec<String> = Vec::new();
+
+    for (line_no, logical) in logical_lines(input)? {
+        let line = logical.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let inner = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| SpecError::syntax(line_no, "unterminated [[table]] header"))?;
+            let path = parse_key_path(inner, line_no)?;
+            append_array_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| SpecError::syntax(line_no, "unterminated [table] header"))?;
+            let path = parse_key_path(inner, line_no)?;
+            let joined = path.join(".");
+            if !explicit_headers.insert(joined.clone()) {
+                return Err(SpecError::syntax(
+                    line_no,
+                    format!("table [{joined}] defined twice"),
+                ));
+            }
+            define_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else {
+            let eq = find_unquoted_eq(line)
+                .ok_or_else(|| SpecError::syntax(line_no, "expected `key = value`"))?;
+            let key_path = parse_key_path(&line[..eq], line_no)?;
+            let mut p = Parser::new(&line[eq + 1..], line_no);
+            let value = p.parse_value()?;
+            p.expect_end()?;
+            let table = navigate(&mut root, &current_path, line_no)?;
+            insert_at(table, &key_path, value, line_no)?;
+        }
+    }
+    Ok(root)
+}
+
+/// Serializes a table value as a TOML document (canonical layout; see the module docs).
+///
+/// Fails if the root is not a table or the tree contains a shape TOML cannot express
+/// (e.g. a non-string-keyed construct never arises here, but a scalar root does).
+pub fn to_string(root: &Value) -> Result<String, SpecError> {
+    let entries = root
+        .as_table()
+        .ok_or_else(|| SpecError::at("", "TOML document root must be a table"))?;
+    let mut out = String::new();
+    emit_table(&mut out, &mut Vec::new(), entries)?;
+    if out.starts_with('\n') {
+        out.remove(0);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Lexical pass: comments stripped, bracket-continued lines joined.
+// ---------------------------------------------------------------------------
+
+/// Splits the input into logical lines: comments removed, lines with open `[`/`{`
+/// brackets joined with the following line(s). Returns `(first physical line, text)`.
+fn logical_lines(input: &str) -> Result<Vec<(usize, String)>, SpecError> {
+    let mut lines = Vec::new();
+    let mut buf = String::new();
+    let mut start_line = 1usize;
+    let mut line_no = 1usize;
+    let mut depth = 0i32;
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => {
+                if depth == 0 {
+                    if !buf.trim().is_empty() {
+                        lines.push((start_line, std::mem::take(&mut buf)));
+                    } else {
+                        buf.clear();
+                    }
+                    start_line = line_no + 1;
+                } else {
+                    buf.push(' ');
+                }
+                line_no += 1;
+            }
+            '#' => {
+                // Comment: skip to (not past) the newline.
+                for d in chars.by_ref() {
+                    if d == '\n' {
+                        if depth == 0 {
+                            if !buf.trim().is_empty() {
+                                lines.push((start_line, std::mem::take(&mut buf)));
+                            } else {
+                                buf.clear();
+                            }
+                            start_line = line_no + 1;
+                        } else {
+                            buf.push(' ');
+                        }
+                        break;
+                    }
+                }
+                line_no += 1;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                buf.push(c);
+                let mut escaped = false;
+                let mut closed = false;
+                for d in chars.by_ref() {
+                    if d == '\n' {
+                        return Err(SpecError::syntax(line_no, "unterminated string"));
+                    }
+                    buf.push(d);
+                    if escaped {
+                        escaped = false;
+                    } else if d == '\\' && quote == '"' {
+                        escaped = true;
+                    } else if d == quote {
+                        closed = true;
+                        break;
+                    }
+                }
+                if !closed {
+                    return Err(SpecError::syntax(line_no, "unterminated string"));
+                }
+            }
+            '[' | '{' => {
+                // Header brackets at column 0 of a logical line do not continue lines —
+                // they close on the same line — but counting them is harmless because
+                // the matching `]` arrives before the newline.
+                depth += 1;
+                buf.push(c);
+            }
+            ']' | '}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(SpecError::syntax(line_no, format!("unexpected `{c}`")));
+                }
+                buf.push(c);
+            }
+            _ => buf.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err(SpecError::syntax(
+            line_no,
+            "unclosed bracket at end of input",
+        ));
+    }
+    if !buf.trim().is_empty() {
+        lines.push((start_line, buf));
+    }
+    Ok(lines)
+}
+
+/// Position of the first `=` outside quotes, if any.
+fn find_unquoted_eq(line: &str) -> Option<usize> {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '=' if !in_basic && !in_literal => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses a dotted key path: bare segments or quoted segments separated by `.`.
+fn parse_key_path(s: &str, line: usize) -> Result<Vec<String>, SpecError> {
+    let mut segments = Vec::new();
+    let mut p = Parser::new(s, line);
+    loop {
+        p.skip_ws();
+        let seg = match p.peek() {
+            Some('"') | Some('\'') => {
+                let Value::Str(s) = p.parse_string()? else {
+                    unreachable!("parse_string returns Str")
+                };
+                s
+            }
+            Some(c) if is_bare_key_char(c) => {
+                let mut seg = String::new();
+                while let Some(c) = p.peek() {
+                    if is_bare_key_char(c) {
+                        seg.push(c);
+                        p.advance();
+                    } else {
+                        break;
+                    }
+                }
+                seg
+            }
+            _ => return Err(SpecError::syntax(line, format!("invalid key `{s}`"))),
+        };
+        segments.push(seg);
+        p.skip_ws();
+        match p.peek() {
+            Some('.') => {
+                p.advance();
+            }
+            None => break,
+            Some(c) => {
+                return Err(SpecError::syntax(
+                    line,
+                    format!("unexpected `{c}` in key `{s}`"),
+                ))
+            }
+        }
+    }
+    if segments.is_empty() {
+        return Err(SpecError::syntax(line, "empty key"));
+    }
+    Ok(segments)
+}
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+// ---------------------------------------------------------------------------
+// Tree navigation for headers and dotted keys.
+// ---------------------------------------------------------------------------
+
+/// Walks one segment down, creating an empty table if the key is absent. Entering an
+/// array of tables means entering its *last* element (TOML's `[[x]]` continuation rule).
+fn enter<'a>(node: &'a mut Value, seg: &str, line: usize) -> Result<&'a mut Value, SpecError> {
+    let Value::Table(entries) = node else {
+        return Err(SpecError::syntax(line, format!("`{seg}` is not a table")));
+    };
+    if !entries.iter().any(|(k, _)| k == seg) {
+        entries.push((seg.to_string(), Value::table()));
+    }
+    let slot = entries
+        .iter_mut()
+        .find(|(k, _)| k == seg)
+        .map(|(_, v)| v)
+        .expect("just inserted");
+    match slot {
+        Value::Table(_) => Ok(slot),
+        Value::Array(items) => match items.last_mut() {
+            Some(last @ Value::Table(_)) => Ok(last),
+            _ => Err(SpecError::syntax(
+                line,
+                format!("cannot extend non-table array `{seg}`"),
+            )),
+        },
+        _ => Err(SpecError::syntax(
+            line,
+            format!("key `{seg}` already holds a {}", slot.type_name()),
+        )),
+    }
+}
+
+fn navigate<'a>(
+    root: &'a mut Value,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Value, SpecError> {
+    let mut node = root;
+    for seg in path {
+        node = enter(node, seg, line)?;
+    }
+    Ok(node)
+}
+
+/// Defines (or re-enters) the table at `path` for a `[path]` header.
+///
+/// Intermediate segments may traverse arrays of tables (TOML's `[a.b]` under `[[a]]`
+/// addresses the last element), but the *final* segment must name a table: `[x]` after
+/// `[[x]]` is a single/double-bracket mix-up that must error, not silently merge keys
+/// into the last array element.
+fn define_table(root: &mut Value, path: &[String], line: usize) -> Result<(), SpecError> {
+    let (last, parents) = path.split_last().expect("key paths are non-empty");
+    let parent = navigate(root, parents, line)?;
+    let Value::Table(entries) = parent else {
+        unreachable!("navigate returns tables")
+    };
+    match entries.iter_mut().find(|(k, _)| k == last) {
+        None => {
+            entries.push((last.clone(), Value::table()));
+            Ok(())
+        }
+        Some((_, Value::Table(_))) => Ok(()),
+        Some((_, Value::Array(_))) => Err(SpecError::syntax(
+            line,
+            format!("`{last}` is an array of tables; use [[{last}]] to append an element"),
+        )),
+        Some((_, v)) => Err(SpecError::syntax(
+            line,
+            format!("key `{last}` already holds a {}", v.type_name()),
+        )),
+    }
+}
+
+/// Appends a fresh element to the array of tables at `path` for a `[[path]]` header.
+fn append_array_table(root: &mut Value, path: &[String], line: usize) -> Result<(), SpecError> {
+    let (last, parents) = path.split_last().expect("key paths are non-empty");
+    let parent = navigate(root, parents, line)?;
+    let Value::Table(entries) = parent else {
+        unreachable!("navigate returns tables")
+    };
+    match entries.iter_mut().find(|(k, _)| k == last) {
+        None => {
+            entries.push((last.clone(), Value::Array(vec![Value::table()])));
+            Ok(())
+        }
+        Some((_, Value::Array(items))) if items.iter().all(|v| v.as_table().is_some()) => {
+            items.push(Value::table());
+            Ok(())
+        }
+        Some(_) => Err(SpecError::syntax(
+            line,
+            format!("key `{last}` is not an array of tables"),
+        )),
+    }
+}
+
+/// Inserts a value at a (possibly dotted) key path under `table`, rejecting duplicates.
+fn insert_at(
+    table: &mut Value,
+    key_path: &[String],
+    value: Value,
+    line: usize,
+) -> Result<(), SpecError> {
+    let (last, parents) = key_path.split_last().expect("key paths are non-empty");
+    let target = navigate(table, parents, line)?;
+    let Value::Table(entries) = target else {
+        unreachable!("navigate returns tables")
+    };
+    if entries.iter().any(|(k, _)| k == last) {
+        return Err(SpecError::syntax(line, format!("duplicate key `{last}`")));
+    }
+    entries.push((last.clone(), value));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Value parser (shared by TOML assignments and inline constructs).
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn new(s: &str, line: usize) -> Parser {
+        Parser {
+            chars: s.chars().collect(),
+            pos: 0,
+            line,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        // `\r` counts as whitespace so CRLF files parse: logical-line joining replaces
+        // the `\n` of a continued line but leaves the preceding `\r` in the buffer.
+        while matches!(self.peek(), Some(' ') | Some('\t') | Some('\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        SpecError::syntax(self.line, message)
+    }
+
+    fn expect_end(&mut self) -> Result<(), SpecError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Ok(()),
+            Some(c) => Err(self.err(format!("unexpected `{c}` after value"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, SpecError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') | Some('\'') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_inline_table(),
+            Some(c) if c == 't' || c == 'f' => self.parse_keyword(),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' || c == 'i' || c == 'n' => {
+                self.parse_number()
+            }
+            Some(c) => Err(self.err(format!("unexpected `{c}`"))),
+            None => Err(self.err("expected a value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<Value, SpecError> {
+        let quote = self.advance().expect("caller peeked a quote");
+        let mut out = String::new();
+        loop {
+            match self.advance() {
+                None => return Err(self.err("unterminated string")),
+                Some(c) if c == quote => return Ok(Value::Str(out)),
+                Some('\\') if quote == '"' => match self.advance() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .advance()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?,
+                        );
+                    }
+                    Some(c) => return Err(self.err(format!("unsupported escape `\\{c}`"))),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, SpecError> {
+        self.advance(); // '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(']') {
+                self.advance();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.advance();
+                }
+                Some(']') => {}
+                Some(c) => return Err(self.err(format!("expected `,` or `]`, found `{c}`"))),
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, SpecError> {
+        self.advance(); // '{'
+        let mut table = Value::table();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.advance();
+                return Ok(table);
+            }
+            // Key: bare or quoted (no dotted keys inside inline tables — keep it strict).
+            let key = match self.peek() {
+                Some('"') | Some('\'') => match self.parse_string()? {
+                    Value::Str(s) => s,
+                    _ => unreachable!(),
+                },
+                Some(c) if is_bare_key_char(c) => {
+                    let mut k = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_bare_key_char(c) {
+                            k.push(c);
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                    k
+                }
+                _ => return Err(self.err("expected a key in inline table")),
+            };
+            self.skip_ws();
+            if self.advance() != Some('=') {
+                return Err(self.err("expected `=` in inline table"));
+            }
+            let value = self.parse_value()?;
+            if table.get(&key).is_some() {
+                return Err(self.err(format!("duplicate key `{key}` in inline table")));
+            }
+            table.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.advance();
+                }
+                Some('}') => {}
+                Some(c) => return Err(self.err(format!("expected `,` or `}}`, found `{c}`"))),
+                None => return Err(self.err("unterminated inline table")),
+            }
+        }
+    }
+
+    fn parse_keyword(&mut self) -> Result<Value, SpecError> {
+        let word = self.take_word();
+        match word.as_str() {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(self.err(format!("unrecognized value `{word}`"))),
+        }
+    }
+
+    fn take_word(&mut self) -> String {
+        let mut w = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '+' || c == '-' || c == '.' {
+                w.push(c);
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        w
+    }
+
+    fn parse_number(&mut self) -> Result<Value, SpecError> {
+        let raw = self.take_word();
+        let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+        let body = cleaned.trim_start_matches(['+', '-']);
+        let negative = cleaned.starts_with('-');
+        match body {
+            "inf" => {
+                return Ok(Value::Float(if negative {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }))
+            }
+            "nan" => return Ok(Value::Float(f64::NAN)),
+            _ => {}
+        }
+        let is_float = cleaned.contains(['.', 'e', 'E']);
+        if is_float {
+            cleaned
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err(format!("invalid float `{raw}`")))
+        } else {
+            cleaned
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err(format!("invalid integer `{raw}`")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+/// `true` when an entry must be emitted as a `[section]` rather than inline.
+fn is_section(v: &Value) -> bool {
+    matches!(v, Value::Table(_))
+}
+
+/// `true` when an entry must be emitted as a `[[section]]` list.
+fn is_section_array(v: &Value) -> bool {
+    match v {
+        Value::Array(items) => !items.is_empty() && items.iter().all(|i| i.as_table().is_some()),
+        _ => false,
+    }
+}
+
+fn emit_table(
+    out: &mut String,
+    path: &mut Vec<String>,
+    entries: &[(String, Value)],
+) -> Result<(), SpecError> {
+    for (key, value) in entries {
+        if is_section(value) || is_section_array(value) {
+            continue;
+        }
+        out.push_str(&format_key(key));
+        out.push_str(" = ");
+        emit_inline(out, value)?;
+        out.push('\n');
+    }
+    for (key, value) in entries {
+        if is_section(value) {
+            path.push(key.clone());
+            out.push('\n');
+            out.push('[');
+            out.push_str(&format_path(path));
+            out.push_str("]\n");
+            emit_table(out, path, value.as_table().expect("is_section"))?;
+            path.pop();
+        } else if is_section_array(value) {
+            path.push(key.clone());
+            for item in value.as_array().expect("is_section_array") {
+                out.push('\n');
+                out.push_str("[[");
+                out.push_str(&format_path(path));
+                out.push_str("]]\n");
+                emit_table(out, path, item.as_table().expect("all tables"))?;
+            }
+            path.pop();
+        }
+    }
+    Ok(())
+}
+
+fn emit_inline(out: &mut String, value: &Value) -> Result<(), SpecError> {
+    match value {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => out.push_str(&format_float(*x)),
+        Value::Str(s) => out.push_str(&quote_string(s)),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_inline(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Table(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                out.push_str(&format_key(k));
+                out.push_str(" = ");
+                emit_inline(out, v)?;
+            }
+            if !entries.is_empty() {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+/// Formats a float so `parse(format(x))` is bit-exact: Rust's shortest round-trip
+/// representation, which TOML accepts (always carries a `.`, exponent, `inf`, or `nan`).
+pub(crate) fn format_float(x: f64) -> String {
+    if x.is_nan() {
+        "nan".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 { "inf" } else { "-inf" }.to_string()
+    } else {
+        // `{:?}` omits the `.0` for exponent forms like `1e-6`, which TOML allows; a bare
+        // integer form like `2` cannot occur (`{:?}` prints `2.0`).
+        format!("{x:?}")
+    }
+}
+
+fn format_path(path: &[String]) -> String {
+    path.iter()
+        .map(|seg| format_key(seg))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn format_key(key: &str) -> String {
+    if !key.is_empty() && key.chars().all(is_bare_key_char) {
+        key.to_string()
+    } else {
+        quote_string(key)
+    }
+}
+
+pub(crate) fn quote_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(doc: &str) -> Value {
+        let v = parse(doc).expect("parse");
+        let emitted = to_string(&v).expect("emit");
+        let reparsed = parse(&emitted).unwrap_or_else(|e| panic!("reparse {emitted}: {e}"));
+        assert_eq!(v, reparsed, "round-trip changed the value:\n{emitted}");
+        v
+    }
+
+    #[test]
+    fn parses_scalars_and_sections() {
+        let v = roundtrip(
+            r#"
+name = "demo"
+count = 3
+rate = 0.99
+big = 1_000
+neg = -2.5e-3
+on = true
+
+[nested]
+key = "x"
+
+[nested.deeper]
+flag = false
+"#,
+        );
+        assert_eq!(v.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("count").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("big").unwrap().as_i64(), Some(1000));
+        assert_eq!(v.get("rate").unwrap().as_f64(), Some(0.99));
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-2.5e-3));
+        assert_eq!(
+            v.get("nested").unwrap().get("deeper").unwrap().get("flag"),
+            Some(&Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn parses_arrays_including_multiline() {
+        let v = roundtrip(
+            r#"
+bounds = [7, 4, 7]
+mixed = [[1, 2], [3]]
+phases = [
+    { duration_s = 10.0, qps = 1400.0 },  # first
+    { duration_s = 5.0, qps = 2100.0 },
+]
+"#,
+        );
+        assert_eq!(v.get("bounds").unwrap(), &Value::from(vec![7i64, 4, 7]),);
+        let phases = v.get("phases").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[1].get("qps").unwrap().as_f64(), Some(2100.0));
+    }
+
+    #[test]
+    fn parses_array_of_tables_headers() {
+        let v = roundtrip(
+            r#"
+[[phase]]
+qps = 100.0
+
+[[phase]]
+qps = 200.0
+duration_s = 3.5
+"#,
+        );
+        let phases = v.get("phase").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].get("qps").unwrap().as_f64(), Some(100.0));
+        assert_eq!(phases[1].get("duration_s").unwrap().as_f64(), Some(3.5));
+    }
+
+    #[test]
+    fn parses_quoted_and_dotted_keys() {
+        let v = roundtrip("\"a key\" = 1\nouter.inner = 2\n");
+        assert_eq!(v.get("a key").unwrap().as_i64(), Some(1));
+        assert_eq!(
+            v.get("outer").unwrap().get("inner").unwrap().as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = roundtrip("s = \"line\\nbreak \\\"q\\\" \\\\ \\u0041\"\nlit = 'no \\escape'\n");
+        assert_eq!(v.get("s").unwrap().as_str(), Some("line\nbreak \"q\" \\ A"));
+        assert_eq!(v.get("lit").unwrap().as_str(), Some("no \\escape"));
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        let v = parse("a = inf\nb = -inf\nc = nan\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(f64::INFINITY));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(f64::NEG_INFINITY));
+        assert!(v.get("c").unwrap().as_f64().unwrap().is_nan());
+        let emitted = to_string(&v).unwrap();
+        assert!(emitted.contains("a = inf"));
+        assert!(emitted.contains("c = nan"));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_and_headers() {
+        assert!(parse("a = 1\na = 2\n").is_err());
+        assert!(parse("[t]\nx = 1\n\n[t]\ny = 2\n").is_err());
+        assert!(parse("a = 1\n[a]\nb = 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_single_double_bracket_mixups() {
+        // `[x]` after `[[x]]` must not silently merge into the last array element.
+        let e = parse("[[phase]]\nqps = 1.0\n\n[phase]\nduration_s = 2.0\n").unwrap_err();
+        assert!(e.message.contains("[[phase]]"), "{e}");
+        // And `[[x]]` after `[x]` must not turn a table into an array.
+        assert!(parse("[t]\nx = 1\n\n[[t]]\ny = 2\n").is_err());
+        // The legitimate continuation form still works.
+        let v = parse("[[a]]\nx = 1\n\n[a.sub]\ny = 2\n").unwrap();
+        let first = &v.get("a").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            first.get("sub").unwrap().get("y").unwrap().as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_line_numbers() {
+        let e = parse("ok = 1\nbad =\n").unwrap_err();
+        assert!(e.path.contains("line 2"), "{e}");
+        let e = parse("x = [1, 2\n").unwrap_err();
+        assert!(e.message.contains("unclosed"), "{e}");
+        assert!(parse("x = 2021-01-01\n").is_err(), "dates are unsupported");
+        assert!(parse("just a line\n").is_err());
+    }
+
+    #[test]
+    fn canonical_emission_is_idempotent() {
+        let doc = "[b]\nx = 1\n\n[a]\ny = 2.5\ntop = \"late key\"\n";
+        // `top` belongs to [a]; the writer emits it before [a]'s subsections anyway.
+        let v = parse(doc).unwrap();
+        let once = to_string(&v).unwrap();
+        let twice = to_string(&parse(&once).unwrap()).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn writer_quotes_non_bare_keys() {
+        let mut t = Value::table();
+        t.insert("needs quoting!", Value::Int(1));
+        let s = to_string(&t).unwrap();
+        assert_eq!(s, "\"needs quoting!\" = 1\n");
+    }
+
+    #[test]
+    fn float_formatting_is_bit_exact() {
+        for x in [0.1, 2.0, 1e-6, 0.3333333333333333, f64::MIN_POSITIVE] {
+            let s = format_float(x);
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), x.to_bits(), "{s}");
+        }
+    }
+}

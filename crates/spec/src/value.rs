@@ -1,0 +1,264 @@
+//! The format-agnostic value tree that scenario files and reports are built from.
+//!
+//! [`Value`] is the common denominator of the TOML subset ([`crate::toml`]) and JSON
+//! ([`crate::json`]): booleans, integers, floats, strings, arrays, and order-preserving
+//! tables. Order preservation matters for lossless round-trips — a spec serialized and
+//! re-parsed must compare equal key for key, in order.
+
+use std::fmt;
+
+/// A parse- or schema-level error, tagged with the path of the offending value
+/// (e.g. `qos.latency_ms`) or the line of the syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path of the value (schema errors) or `line N` (syntax errors).
+    pub path: String,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Creates an error at a dotted path.
+    pub fn at(path: impl Into<String>, message: impl Into<String>) -> Self {
+        SpecError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a syntax error at a 1-based line number.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        SpecError {
+            path: format!("line {line}"),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}: {}", self.path, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A dynamically typed configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `true` / `false`.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float. Integers and floats are distinct so round-trips are lossless.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence of values.
+    Array(Vec<Value>),
+    /// An order-preserving map. Keys are unique (enforced by the parsers and
+    /// [`Value::insert`]).
+    Table(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty table.
+    pub fn table() -> Value {
+        Value::Table(Vec::new())
+    }
+
+    /// Name of the variant, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// Looks a key up in a table; `None` for missing keys or non-table receivers.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Inserts (or replaces) a key in a table. Panics if the receiver is not a table —
+    /// builder-side misuse, not a data error.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        match self {
+            Value::Table(entries) => {
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                } else {
+                    entries.push((key, value));
+                }
+            }
+            _ => panic!("Value::insert on a non-table value"),
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float; integers widen losslessly enough for config use.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entry list, if this is a table.
+    pub fn as_table(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Table(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Keys of a table, in order (empty for non-tables).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Value::Table(entries) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Value {
+        // Seeds and counts in this workspace fit i64; saturate rather than wrap so a
+        // pathological value fails loudly at the schema layer (it will not round-trip).
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_replaces_and_preserves_order() {
+        let mut t = Value::table();
+        t.insert("a", Value::Int(1));
+        t.insert("b", Value::Int(2));
+        t.insert("a", Value::Int(3));
+        assert_eq!(t.keys(), vec!["a", "b"]);
+        assert_eq!(t.get("a"), Some(&Value::Int(3)));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(4).as_i64(), Some(4));
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Float(0.5).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::from(vec![1i64, 2]).as_array().is_some());
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-table")]
+    fn insert_on_scalar_panics() {
+        Value::Int(1).insert("k", Value::Int(2));
+    }
+
+    #[test]
+    fn error_display_includes_path() {
+        let e = SpecError::at("qos.latency_ms", "must be positive");
+        assert_eq!(e.to_string(), "qos.latency_ms: must be positive");
+        let s = SpecError::syntax(3, "unexpected ']'");
+        assert_eq!(s.to_string(), "line 3: unexpected ']'");
+    }
+}

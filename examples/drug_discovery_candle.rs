@@ -2,59 +2,79 @@
 //! drug-discovery workload) under a 40 ms p99 target, and how much further the cost drops
 //! when the operator can accept a relaxed p98 target (the paper's Fig. 15 observation).
 //!
+//! The two settings differ by exactly one line of the declarative spec — the `[qos]`
+//! target rate — which is the point of the scenario façade: a new experiment is a new
+//! file, not new wiring.
+//!
 //! Run: `cargo run --release -p ribbon --example drug_discovery_candle`
 
-use ribbon::evaluator::EvaluatorSettings;
-use ribbon::prelude::*;
-use ribbon::search::RibbonSettings;
+use ribbon::scenario::ScenarioSpec;
 
-fn search_at(workload: &Workload, label: &str) {
-    let evaluator = ConfigEvaluator::new(
-        workload,
-        EvaluatorSettings {
-            max_per_type: 10,
-            ..Default::default()
-        },
-    );
-    let homogeneous = homogeneous_optimum(&evaluator, 12).expect("homogeneous baseline");
-    let ribbon = RibbonSearch::new(RibbonSettings {
-        max_evaluations: 35,
-        ..RibbonSettings::fast()
-    });
-    let trace = ribbon.run(&evaluator, 11);
-    match trace.best_satisfying() {
-        Some(best) => {
-            let saving =
-                (homogeneous.hourly_cost - best.hourly_cost) / homogeneous.hourly_cost * 100.0;
+fn spec_at(target_rate: f64) -> ScenarioSpec {
+    ScenarioSpec::from_toml_str(&format!(
+        r#"
+        [scenario]
+        name = "candle-p{:.0}"
+        mode = "plan"
+        seed = 11
+
+        [workload]
+        model = "CANDLE"
+        num_queries = 2000
+
+        [qos]
+        latency_ms = 40.0
+        target_rate = {target_rate}
+
+        [planner]
+        budget = 35
+        baseline = true
+
+        [evaluator]
+        max_per_type = 10
+        "#,
+        target_rate * 100.0
+    ))
+    .expect("valid spec")
+}
+
+fn search_at(target_rate: f64, label: &str) {
+    let scenario = spec_at(target_rate).compile().expect("compiles");
+    let report = scenario.run().expect("the search runs");
+    let plan = report.plan.expect("plan section");
+    match (&plan.best_pool, plan.best_hourly_cost) {
+        (Some(pool), Some(cost)) => {
+            let baseline = plan.baseline.as_ref().expect("homogeneous baseline");
             println!(
-                "{label}: homogeneous {} (${:.2}/hr) -> diverse {} (${:.2}/hr), saving {:.1}% after {} evaluations",
-                homogeneous.evaluation.pool.describe(),
-                homogeneous.hourly_cost,
-                best.pool.describe(),
-                best.hourly_cost,
-                saving,
-                trace.len()
+                "{label}: homogeneous {} (${:.2}/hr) -> diverse {} (${:.2}/hr), \
+                 saving {:.1}% after {} evaluations",
+                baseline.pool,
+                baseline.hourly_cost,
+                pool,
+                cost,
+                plan.saving_percent.unwrap_or(0.0),
+                plan.trace.len()
             );
         }
-        None => println!("{label}: no QoS-satisfying diverse configuration found"),
+        _ => println!("{label}: no QoS-satisfying diverse configuration found"),
     }
 }
 
 fn main() {
-    let mut workload = Workload::standard(ModelKind::Candle);
-    workload.num_queries = 2000;
+    let scenario = spec_at(0.99).compile().expect("compiles");
     println!(
         "CANDLE drug-response inference, {:.0} queries/s, diverse pool {:?}\n",
-        workload.qps,
-        workload
+        scenario.workload.qps,
+        scenario
+            .workload
             .diverse_pool
             .iter()
             .map(|t| t.family())
             .collect::<Vec<_>>()
     );
 
-    search_at(&workload, "p99 target (default)");
-    search_at(&workload.with_qos_rate(0.98), "p98 target (relaxed)");
+    search_at(0.99, "p99 target (default)");
+    search_at(0.98, "p98 target (relaxed)");
 
     println!("\nExpected: the relaxed p98 target admits more of the cheap general-purpose");
     println!("instances into the pool, so the saving over the homogeneous optimum grows.");

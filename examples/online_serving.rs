@@ -3,111 +3,103 @@
 //! violation, reconfigure mid-stream (make-before-break, with spin-up delays billed), and
 //! scale back down once the crowd disperses.
 //!
+//! The run is declared as a scenario spec — the same document as the bundled
+//! `scenarios/mtwnd_flash_crowd.toml` — and executed through the façade. For per-window
+//! statistics beyond the report, drop down to `ribbon::online::serve_online` (see
+//! `tests/online_serving.rs`).
+//!
 //! Run: `cargo run --release -p ribbon --example online_serving`
 
 use ribbon::accounting::{max_pool_hourly_cost, OnlineCostReport};
-use ribbon::evaluator::EvaluatorSettings;
-use ribbon::online::{serve_online, OnlineControllerSettings, OnlineRunSettings};
-use ribbon::prelude::*;
-use ribbon::search::RibbonSettings;
-use ribbon_models::TrafficScenario;
+use ribbon::scenario::ScenarioSpec;
+
+const SPEC: &str = r#"
+    [scenario]
+    name = "mtwnd-flash-crowd"
+    description = "MT-WND online serving through a flash crowd"
+    mode = "serve"
+    seed = 7
+
+    [workload]
+    model = "MT-WND"
+
+    [planner]
+    name = "ribbon"
+    budget = 30
+
+    [evaluator]
+    bounds = [7, 4, 7]
+
+    [traffic]
+    scenario = "flash-crowd"
+    duration_s = 60.0
+
+    [online]
+    window_s = 2.0
+    spin_up_factor = 0.5
+    planning_queries = 2500
+"#;
 
 fn main() {
-    let workload = Workload::standard(ModelKind::MtWnd);
-    let bounds = vec![7u32, 4, 7];
-    let settings = OnlineRunSettings {
-        initial_search: RibbonSettings {
-            max_evaluations: 30,
-            ..RibbonSettings::fast()
-        },
-        controller: OnlineControllerSettings {
-            evaluator: EvaluatorSettings {
-                explicit_bounds: Some(bounds.clone()),
-                ..Default::default()
-            },
-            planning_queries: 2500,
-            ..Default::default()
-        },
-        window: WindowConfig::tumbling(2.0),
-        spin_up_factor: 0.5,
-    };
-
-    let traffic = TrafficScenario::FlashCrowd.stream(&workload, 60.0);
+    let scenario = ScenarioSpec::from_toml_str(SPEC)
+        .expect("valid spec")
+        .compile()
+        .expect("compiles");
+    let traffic = scenario.traffic.as_ref().expect("serve mode has traffic");
     println!(
-        "Serving MT-WND ({}ms p99) under a {} trace: {:.0} qps base, {:.0} qps peak, 60 s.\n",
-        workload.qos.latency_target_s * 1000.0,
-        TrafficScenario::FlashCrowd,
-        workload.qps,
-        workload.qps * TrafficScenario::FlashCrowd.peak_factor(),
+        "Serving MT-WND ({}) under a flash-crowd trace: {:.0} qps base, {:.0} qps peak, \
+         {:.0} s.\n",
+        scenario.policy.describe(),
+        scenario.workload.qps,
+        traffic.arrivals.peak_qps(),
+        traffic.duration_s,
     );
 
-    let outcome = serve_online(&workload, &traffic, &settings, 7)
-        .expect("the initial search finds a satisfying pool");
+    let report = scenario.run().expect("the initial search finds a pool");
+    let serve = report.serve.as_ref().expect("serve section");
 
     println!(
         "Deployed {} at ${:.2}/hr.\n",
-        workload
-            .diverse_pool_spec(&outcome.initial_config)
+        scenario
+            .workload
+            .diverse_pool_spec(&serve.initial_config)
             .describe(),
-        workload
-            .diverse_pool_spec(&outcome.initial_config)
+        scenario
+            .workload
+            .diverse_pool_spec(&serve.initial_config)
             .hourly_cost()
     );
 
-    println!("window  t (s)        queries  satisfaction  offered qps  pool $/hr");
-    for w in &outcome.windows {
-        let marker = if outcome.events.iter().any(|e| e.window_index == w.index) {
-            "  <- reconfigure"
-        } else {
-            ""
-        };
+    for e in &serve.events {
         println!(
-            "{:>6}  [{:>4.0},{:>4.0})  {:>7}  {}  {:>11.0}  {:>9.2}{marker}",
-            w.index,
-            w.start_s,
-            w.end_s,
-            w.num_queries,
-            match w.satisfaction_rate {
-                Some(r) => format!("{:>12.4}", r),
-                None => "     (empty)".to_string(),
-            },
-            w.arrival_qps,
-            w.pool_hourly_cost,
+            "window {:>2}: {} -> reconfigure to {:?} (planned for {:.0} qps), \
+             transition ≈ ${:.4}",
+            e.window_index, e.trigger, e.config, e.planned_qps, e.transition_cost_usd,
         );
     }
 
-    println!();
-    for e in &outcome.events {
-        println!(
-            "window {:>2}: {:?} -> reconfigure to {:?} (planned for {:.0} qps), \
-             {} launched / {} retired, ready at {:.1} s, transition ≈ ${:.4}",
-            e.window_index,
-            e.trigger,
-            e.config,
-            e.planned_qps,
-            e.applied.launched,
-            e.applied.retired + e.completed.as_ref().map_or(0, |c| c.retired),
-            e.applied.ready_at_s,
-            e.transition_cost_usd,
-        );
-    }
-
-    let max_cost = max_pool_hourly_cost(&workload.diverse_pool, &bounds);
-    let report = OnlineCostReport::new(outcome.total_cost_usd, outcome.duration_s, max_cost);
+    let bounds = scenario
+        .evaluator_settings
+        .explicit_bounds
+        .clone()
+        .expect("this spec pins bounds");
+    let max_cost = max_pool_hourly_cost(&scenario.workload.diverse_pool, &bounds);
+    let cost_report = OnlineCostReport::new(serve.total_cost_usd, serve.duration_s, max_cost);
     println!(
-        "\nWhole stream: {} queries, satisfaction {:.4}, total ${:.4} over {:.0} s \
-         (mean ${:.2}/hr).",
-        outcome.stats.num_queries,
-        outcome.stats.satisfaction_rate().unwrap_or(f64::NAN),
-        outcome.total_cost_usd,
-        outcome.duration_s,
-        report.mean_hourly_cost,
+        "\nWhole stream: {} queries over {} windows, satisfaction {}, total ${:.4} \
+         over {:.0} s (mean ${:.2}/hr).",
+        serve.queries,
+        serve.windows,
+        serve
+            .satisfaction_rate
+            .map_or("n/a".to_string(), |r| format!("{r:.4}")),
+        serve.total_cost_usd,
+        serve.duration_s,
+        cost_report.mean_hourly_cost,
     );
     println!(
-        "The naive always-max pool ({} at ${:.2}/hr) would absorb the spike too — at \
+        "The naive always-max pool (${max_cost:.2}/hr) would absorb the spike too — at \
          {:.1}% more cost.",
-        PoolSpec::from_counts(&workload.diverse_pool, &bounds).describe(),
-        max_cost,
-        100.0 * (max_cost - report.mean_hourly_cost) / report.mean_hourly_cost,
+        100.0 * (max_cost - cost_report.mean_hourly_cost) / cost_report.mean_hourly_cost,
     );
 }

@@ -1,71 +1,67 @@
-//! Quickstart: find a cost-optimal heterogeneous pool for the MT-WND recommendation workload.
+//! Quickstart: find a cost-optimal heterogeneous pool for the MT-WND recommendation
+//! workload — declaratively.
 //!
-//! This is the smallest end-to-end use of the public API:
-//!   1. pick a workload (model, QoS target, query stream, candidate instance types),
-//!   2. build a `ConfigEvaluator` (it probes the per-type search bounds m_i),
-//!   3. find the homogeneous baseline,
-//!   4. run Ribbon's BO search and compare.
+//! The whole experiment is one TOML document (the same format the `ribbon` CLI reads
+//! from `scenarios/*.toml`): workload, planner, budget. The scenario façade compiles it
+//! into the evaluator/search machinery and returns one structured report.
 //!
 //! Run: `cargo run --release -p ribbon --example quickstart`
 
-use ribbon::evaluator::EvaluatorSettings;
-use ribbon::prelude::*;
-use ribbon::search::RibbonSettings;
+use ribbon::scenario::ScenarioSpec;
+
+const SPEC: &str = r#"
+    [scenario]
+    name = "quickstart"
+    description = "MT-WND: cheapest diverse pool meeting 20 ms p99"
+    mode = "plan"
+    seed = 42
+
+    [workload]
+    model = "MT-WND"
+    num_queries = 2000
+
+    [planner]
+    name = "ribbon"
+    budget = 30
+    baseline = true
+
+    [evaluator]
+    max_per_type = 10
+"#;
 
 fn main() {
-    // The paper's MT-WND workload: 20 ms p99 target, Poisson arrivals, heavy-tail batches,
-    // diverse pool {g4dn, c5, r5n}. A shorter stream keeps the example fast.
-    let mut workload = Workload::standard(ModelKind::MtWnd);
-    workload.num_queries = 2000;
-
+    let spec = ScenarioSpec::from_toml_str(SPEC).expect("valid spec");
+    let scenario = spec
+        .compile()
+        .expect("compiles against the builtin catalog");
     println!(
-        "Workload: {} | QoS {:.0} ms p{:.0} | {:.0} queries/s | pool {:?}",
-        workload.model,
-        workload.qos.latency_target_s * 1000.0,
-        workload.qos.target_rate * 100.0,
-        workload.qps,
-        workload
+        "Workload: {} | QoS {} | {:.0} queries/s | pool {:?}",
+        scenario.workload.model,
+        scenario.policy.describe(),
+        scenario.workload.qps,
+        scenario
+            .workload
             .diverse_pool
             .iter()
             .map(|t| t.family())
             .collect::<Vec<_>>()
     );
 
-    // Build the evaluator (this probes the search bounds m_i by simulation).
-    let evaluator = ConfigEvaluator::new(
-        &workload,
-        EvaluatorSettings {
-            max_per_type: 10,
-            ..Default::default()
-        },
-    );
-    println!("Search bounds m_i: {:?}", evaluator.bounds());
+    let report = scenario.run().expect("the search runs");
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
 
-    // The traditional answer: the cheapest homogeneous pool of the base type that meets QoS.
-    let homogeneous = homogeneous_optimum(&evaluator, 12).expect("homogeneous pool exists");
-    println!(
-        "Homogeneous optimum: {} at ${:.2}/hr",
-        homogeneous.evaluation.pool.describe(),
-        homogeneous.hourly_cost
-    );
-
-    // Ribbon: Bayesian Optimization over the diverse pool.
-    let ribbon = RibbonSearch::new(RibbonSettings {
-        max_evaluations: 30,
-        ..RibbonSettings::fast()
-    });
-    let trace = ribbon.run(&evaluator, 42);
-    let best = trace
-        .best_satisfying()
-        .expect("a QoS-satisfying diverse pool exists");
-
-    let saving = (homogeneous.hourly_cost - best.hourly_cost) / homogeneous.hourly_cost * 100.0;
-    println!(
-        "Ribbon found {} at ${:.2}/hr after {} evaluations ({} QoS-violating samples)",
-        best.pool.describe(),
-        best.hourly_cost,
-        trace.len(),
-        trace.num_violations()
-    );
-    println!("Cost saving over the homogeneous optimum: {saving:.1}%");
+    // The report is structured data, not just text: pull out what you need.
+    let plan = report.plan.expect("plan mode fills the plan section");
+    if let (Some(pool), Some(cost), Some(saving)) =
+        (&plan.best_pool, plan.best_hourly_cost, plan.saving_percent)
+    {
+        println!(
+            "\nRibbon found {pool} at ${cost:.2}/hr — {saving:.1}% cheaper than the \
+             homogeneous optimum, with {} of {} sampled configurations violating QoS.",
+            plan.violations,
+            plan.trace.len()
+        );
+    }
 }

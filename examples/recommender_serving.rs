@@ -1,64 +1,62 @@
-//! Recommendation-model serving: compare Ribbon against the competing search strategies
-//! (Hill-Climb, RANDOM, RSM) on the MT-WND and DIEN workloads that motivate the paper.
+//! Recommendation-model serving: compare Ribbon against the competing planners
+//! (Hill-Climb, RANDOM, RSM) on the MT-WND and DIEN workloads that motivate the paper —
+//! the programmatic equivalent of `ribbon compare scenario.toml --planners ...`.
 //!
-//! For each model the example reports, per strategy: how many configurations were evaluated,
-//! how many violated QoS, and the cheapest QoS-satisfying pool found.
+//! For each model the example reports, per planner: how many configurations were
+//! evaluated, how many violated QoS, and the cheapest QoS-satisfying pool found.
 //!
 //! Run: `cargo run --release -p ribbon --example recommender_serving`
 
-use ribbon::accounting::TraceMetrics;
-use ribbon::evaluator::EvaluatorSettings;
-use ribbon::prelude::*;
-use ribbon::search::RibbonSettings;
+use ribbon::scenario::{planner_by_name, ScenarioSpec, ALL_PLANNER_NAMES};
+
+fn spec_for(model: &str) -> ScenarioSpec {
+    ScenarioSpec::from_toml_str(&format!(
+        r#"
+        [scenario]
+        name = "recommender-{model}"
+        mode = "plan"
+        seed = 7
+
+        [workload]
+        model = "{model}"
+        num_queries = 2000
+
+        [planner]
+        budget = 40
+        baseline = true
+
+        [evaluator]
+        max_per_type = 10
+        "#
+    ))
+    .expect("valid spec")
+}
 
 fn main() {
-    let budget = 40;
-    for model in [ModelKind::MtWnd, ModelKind::Dien] {
-        let mut workload = Workload::standard(model);
-        workload.num_queries = 2000;
-        let evaluator = ConfigEvaluator::new(
-            &workload,
-            EvaluatorSettings {
-                max_per_type: 10,
-                ..Default::default()
-            },
-        );
-        let homogeneous = homogeneous_optimum(&evaluator, 12).expect("homogeneous baseline");
-        println!(
-            "\n=== {} — QoS {:.0} ms p99, homogeneous baseline {} (${:.2}/hr) ===",
-            model,
-            workload.qos.latency_target_s * 1000.0,
-            homogeneous.evaluation.pool.describe(),
-            homogeneous.hourly_cost
-        );
+    for model in ["MT-WND", "DIEN"] {
+        let scenario = spec_for(model).compile().expect("compiles");
+        println!("\n=== {} — QoS {} ===", model, scenario.policy.describe());
 
-        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-            Box::new(RibbonSearch::new(RibbonSettings {
-                max_evaluations: budget,
-                ..RibbonSettings::fast()
-            })),
-            Box::new(HillClimbSearch::new(budget)),
-            Box::new(RandomSearch::new(budget)),
-            Box::new(ResponseSurfaceSearch::new(budget)),
-        ];
-        for strategy in strategies {
-            let trace = strategy.run_search(&evaluator, 7);
-            let metrics = TraceMetrics::new(&trace, homogeneous.hourly_cost);
-            match (&metrics.best_config, metrics.best_cost, metrics.saving_percent) {
-                (Some(cfg), Some(cost), Some(saving)) => println!(
-                    "{:<11} {:>2} evals, {:>2} violations -> best {:?} ${:.2}/hr ({:+.1}% vs homogeneous)",
-                    strategy.name(),
-                    metrics.num_evaluations,
-                    metrics.num_violations,
-                    cfg,
+        // Every planner but `exhaustive` (which would sweep the full lattice).
+        for name in ALL_PLANNER_NAMES.iter().filter(|n| **n != "exhaustive") {
+            let planner = planner_by_name(name, &scenario).expect("known planner");
+            let report = scenario.run_with(planner.as_ref()).expect("plan runs");
+            let plan = report.plan.expect("plan section");
+            match (&plan.best_pool, plan.best_hourly_cost, plan.saving_percent) {
+                (Some(pool), Some(cost), saving) => println!(
+                    "{:<11} {:>2} evals, {:>2} violations -> best {} ${:.2}/hr{}",
+                    report.planner,
+                    plan.trace.len(),
+                    plan.violations,
+                    pool,
                     cost,
-                    saving
+                    saving.map_or(String::new(), |s| format!(" ({s:+.1}% vs homogeneous)")),
                 ),
                 _ => println!(
                     "{:<11} {:>2} evals, {:>2} violations -> no QoS-satisfying pool found",
-                    strategy.name(),
-                    metrics.num_evaluations,
-                    metrics.num_violations
+                    report.planner,
+                    plan.trace.len(),
+                    plan.violations
                 ),
             }
         }
