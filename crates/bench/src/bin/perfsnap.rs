@@ -1,7 +1,7 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR4.json` with wall times for the instrumented hot paths:
+//! `BENCH_PR5.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
@@ -12,37 +12,44 @@
 //! 4. **online_serving** — the flash-crowd online scenario: streaming simulation with
 //!    windowed monitoring and mid-stream controller reconfigurations. The controller's
 //!    decision sequence is pinned as a second golden trace
-//!    (`crates/bench/golden/online_trace.txt`).
+//!    (`crates/bench/golden/online_trace.txt`);
+//! 5. **fleet_serving** — the two-model fleet scenario (PR 5): joint plan over the
+//!    cross-product allocation space (member baselines, pooling candidates, greedy
+//!    descent, BO refinement), then both models served simultaneously through the
+//!    fleet router with per-model slice reconfiguration. The plan's allocation and
+//!    every member's decision sequence are pinned as a third golden trace
+//!    (`crates/bench/golden/fleet_trace.txt`).
 //!
-//! Both search and online scenarios run **through the declarative scenario façade**
-//! (`ribbon::scenario`) since PR 4, so the pinned goldens cover spec compilation and the
-//! planner layer in addition to the engines underneath.
+//! The search, online, and fleet scenarios all run **through the declarative façades**
+//! (`ribbon::scenario` / `ribbon::fleet`), so the pinned goldens cover spec compilation
+//! and the planner layers in addition to the engines underneath.
 //!
 //! Usage:
 //!
 //! ```text
-//! perfsnap                 # full suite (incl. the slow from-scratch baseline), writes BENCH_PR4.json
-//! perfsnap --check         # skip the slow baseline; verify the search trace AND the online
-//!                          # decision trace against the committed goldens — CI mode
-//! perfsnap --bless         # full suite + rewrite both golden trace files
+//! perfsnap                 # full suite (incl. the slow from-scratch baseline), writes BENCH_PR5.json
+//! perfsnap --check         # skip the slow baseline; verify the search, online, and fleet
+//!                          # traces against the committed goldens — CI mode
+//! perfsnap --bless         # full suite + rewrite all three golden trace files
 //! ```
 //!
 //! Timings are machine-dependent and informational; the **traces** are deterministic and
 //! are what `--check` pins. Subsequent PRs diff their own snapshot against the committed
-//! `BENCH_PR4.json` (and its predecessors `BENCH_PR3.json`, `BENCH_PR2.json`) to keep the perf trajectory
-//! visible.
+//! `BENCH_PR5.json` (and its predecessors `BENCH_PR4.json` … `BENCH_PR2.json`) to keep
+//! the perf trajectory visible.
 
 use ribbon_bench::perf::{
-    hotpath_evaluator, hotpath_workload, online_trace_lines, run_hotpath_search,
-    run_online_scenario, trace_lines, HOTPATH_BOUND, HOTPATH_EVALUATIONS, HOTPATH_QUERIES,
-    HOTPATH_SEED, ONLINE_DURATION_S, ONLINE_SEED,
+    fleet_trace_lines, hotpath_evaluator, hotpath_workload, online_trace_lines, run_fleet_scenario,
+    run_hotpath_search, run_online_scenario, trace_lines, FLEET_SEED, HOTPATH_BOUND,
+    HOTPATH_EVALUATIONS, HOTPATH_QUERIES, HOTPATH_SEED, ONLINE_DURATION_S, ONLINE_SEED,
 };
 use ribbon_cloudsim::{sim, simulate_stats, PoolSpec};
 use std::time::Instant;
 
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
 const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
-const OUT_PATH: &str = "BENCH_PR4.json";
+const FLEET_GOLDEN_PATH: &str = "crates/bench/golden/fleet_trace.txt";
+const OUT_PATH: &str = "BENCH_PR5.json";
 
 fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
@@ -179,7 +186,7 @@ fn main() {
          {HOTPATH_QUERIES} queries, {HOTPATH_EVALUATIONS} evaluations, seed {HOTPATH_SEED}"
     );
 
-    println!("[1/4] simulate: reference scan vs event-driven heap vs lean stats ...");
+    println!("[1/5] simulate: reference scan vs event-driven heap vs lean stats ...");
     let simu = run_simulate_scenario();
     println!(
         "      reference {:.2} ms | heap {:.2} ms ({:.2}x) | stats {:.2} ms ({:.2}x)",
@@ -190,11 +197,11 @@ fn main() {
         simu.reference_ms / simu.stats_ms,
     );
 
-    println!("[2/4] evaluate_many: 16-configuration parallel batch ...");
+    println!("[2/5] evaluate_many: 16-configuration parallel batch ...");
     let (batch, evaluate_many_ms) = run_evaluate_many_scenario();
     println!("      {evaluate_many_ms:.2} ms for {batch} configurations");
 
-    println!("[3/4] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
+    println!("[3/5] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
     let t = Instant::now();
     let incremental_trace = run_hotpath_search(true);
     let incremental_ms = ms(t);
@@ -224,7 +231,7 @@ fn main() {
     };
 
     println!(
-        "[4/4] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
+        "[4/5] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
     );
     let t = Instant::now();
     let online = run_online_scenario();
@@ -245,13 +252,48 @@ fn main() {
         );
     }
 
+    println!("[5/5] fleet_serving: two-model joint plan + merged serve, seed {FLEET_SEED} ...");
+    let t = Instant::now();
+    let fleet = run_fleet_scenario();
+    let fleet_ms = ms(t);
+    let fleet_totals = fleet.serve.as_ref().expect("serve mode fills fleet totals");
+    println!(
+        "      {fleet_ms:.2} ms end-to-end: {} joint evaluations, shared {:?}, \
+         total ${:.2}/hr vs dedicated ${:.2}/hr, {} queries served, {} reconfiguration(s)",
+        fleet.evaluations,
+        fleet.shared_config,
+        fleet.total_hourly_cost,
+        fleet.baseline_total_hourly_cost.unwrap_or(f64::NAN),
+        fleet_totals.queries,
+        fleet_totals.reconfigurations,
+    );
+    for m in &fleet.models {
+        let serve = m.serve.as_ref().expect("member serve section");
+        println!(
+            "      {}: {} queries ({} shared), satisfaction {:.4}, {} event(s)",
+            m.name,
+            serve.queries,
+            serve.shared_queries,
+            serve.satisfaction_rate.unwrap_or(f64::NAN),
+            serve.events.len(),
+        );
+    }
+
     let lines = trace_lines(&incremental_trace);
     let online_lines = online_trace_lines(&online);
+    let fleet_lines = fleet_trace_lines(&fleet);
     golden_gate(GOLDEN_PATH, "search trace", &lines, bless, check);
     golden_gate(
         ONLINE_GOLDEN_PATH,
         "online decision trace",
         &online_lines,
+        bless,
+        check,
+    );
+    golden_gate(
+        FLEET_GOLDEN_PATH,
+        "fleet decision trace",
+        &fleet_lines,
         bless,
         check,
     );
@@ -287,9 +329,24 @@ fn main() {
             )
         })
         .collect();
+    let fleet_models_json: Vec<String> = fleet
+        .models
+        .iter()
+        .map(|m| {
+            let serve = m.serve.as_ref().expect("member serve section");
+            format!(
+                "      {{\"name\": \"{}\", \"queries\": {}, \"shared_queries\": {}, \"satisfaction_bits\": \"{:#018x}\", \"events\": {}}}",
+                m.name,
+                serve.queries,
+                serve.shared_queries,
+                serve.satisfaction_rate.unwrap_or(f64::NAN).to_bits(),
+                serve.events.len()
+            )
+        })
+        .collect();
     let json = format!(
         r#"{{
-  "pr": 4,
+  "pr": 5,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},
@@ -322,6 +379,18 @@ fn main() {
 {}
     ]
   }},
+  "fleet_serving": {{
+    "scenario": "rec-duo-serve",
+    "seed": {FLEET_SEED},
+    "joint_evaluations": {},
+    "total_hourly_cost": {:.6},
+    "baseline_total_hourly_cost": {},
+    "total_cost_usd_bits": "{:#018x}",
+    "wall_ms": {:.2},
+    "models": [
+{}
+    ]
+  }},
   "bo_search": {{
     "baseline_full_refit_ms": {},
     "incremental_ms": {:.2},
@@ -351,6 +420,14 @@ fn main() {
         online.total_cost_usd,
         online_ms,
         online_json.join(",\n"),
+        fleet.evaluations,
+        fleet.total_hourly_cost,
+        fleet
+            .baseline_total_hourly_cost
+            .map_or("null".to_string(), |b| format!("{b:.6}")),
+        fleet_totals.total_cost_usd.to_bits(),
+        fleet_ms,
+        fleet_models_json.join(",\n"),
         fmt_ms(baseline_ms),
         incremental_ms,
         fmt_ms(baseline_ms.map(|b| b / incremental_ms)),

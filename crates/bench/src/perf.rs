@@ -1,5 +1,5 @@
 //! The fixed perf-trajectory scenarios shared by the `search_hotpath` Criterion bench and
-//! the `perfsnap` binary (which writes `BENCH_PR3.json`).
+//! the `perfsnap` binary (which writes `BENCH_PR5.json`).
 //!
 //! The scenario is deliberately *large* — six instance types, per-type bounds of 10
 //! (a ~1.77 M-point lattice), 20 000-query streams — so the hot paths PR 2 rebuilt
@@ -10,8 +10,10 @@
 //! Since PR 4 both scenarios are expressed as **declarative scenario specs** and executed
 //! through the [`ribbon::scenario`] façade — the same path `ribbon run` takes for the
 //! bundled `scenarios/mtwnd_hotpath_search.toml` and `scenarios/mtwnd_flash_crowd.toml`
-//! files. The golden traces pinned by `perfsnap --check` therefore pin the façade end to
-//! end: a behaviour change in spec compilation, the planner layer, *or* the search/serving
+//! files. PR 5 adds the fleet-serving scenario (the twin of
+//! `scenarios/fleet_rec_duo_serve.toml`, executed through the [`ribbon::fleet`] layer).
+//! The golden traces pinned by `perfsnap --check` therefore pin the façades end to end:
+//! a behaviour change in spec compilation, the planner layers, *or* the search/serving
 //! engines shows up as a trace divergence.
 
 use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
@@ -201,6 +203,154 @@ pub fn online_trace_lines(serve: &ServeReport) -> Vec<String> {
     lines
 }
 
+/// Seed of the fleet-serving scenario.
+pub const FLEET_SEED: u64 = 7;
+
+/// The fleet-serving perf scenario: MT-WND and DIEN jointly planned over shared
+/// g4dn/r5n slots and served simultaneously through the fleet router — the programmatic
+/// twin of `scenarios/fleet_rec_duo_serve.toml`. The joint plan (member baselines,
+/// pooling candidates, greedy descent) plus the merged-stream serve exercise the whole
+/// PR 5 subsystem; the resulting decision trace is pinned as the third golden.
+pub fn fleet_spec() -> ribbon::fleet::FleetSpec {
+    use ribbon::fleet::{FleetModelSpec, FleetSpec};
+    use ribbon::scenario::PhaseSpec;
+    let model = |name: &str, num_queries: usize, phases: Vec<PhaseSpec>| FleetModelSpec {
+        name: None,
+        weight: None,
+        share_weight: None,
+        bounds: Some(vec![4, 2, 4]),
+        workload: WorkloadSpec {
+            model: name.to_string(),
+            num_queries: Some(num_queries),
+            ..Default::default()
+        },
+        qos: None,
+        traffic: Some(TrafficSpec {
+            scenario: None,
+            phases: Some(phases),
+            duration_s: None,
+        }),
+        online: OnlineSpec {
+            window_s: Some(2.0),
+            spin_up_factor: Some(0.5),
+            planning_queries: Some(1500),
+            ..Default::default()
+        },
+    };
+    FleetSpec {
+        name: "rec-duo-serve".to_string(),
+        description: "MT-WND + DIEN served jointly; per-model windows and slice reconfiguration"
+            .to_string(),
+        mode: RunMode::Serve,
+        seed: FLEET_SEED,
+        catalog: None,
+        budget: 30,
+        member_budget: None,
+        baseline: true,
+        initial_samples: None,
+        prune_threshold: None,
+        threads: None,
+        shared_pool: vec!["g4dn".to_string(), "r5n".to_string()],
+        shared_bounds: Some(vec![8, 9]),
+        models: vec![
+            model(
+                "MT-WND",
+                1200,
+                vec![
+                    PhaseSpec {
+                        duration_s: 20.0,
+                        qps: 1300.0,
+                    },
+                    PhaseSpec {
+                        duration_s: 10.0,
+                        qps: 1500.0,
+                    },
+                    PhaseSpec {
+                        duration_s: 10.0,
+                        qps: 1300.0,
+                    },
+                ],
+            ),
+            model(
+                "DIEN",
+                1100,
+                vec![PhaseSpec {
+                    duration_s: 40.0,
+                    qps: 1150.0,
+                }],
+            ),
+        ],
+    }
+}
+
+/// Runs the fleet-serving scenario end to end (joint plan + merged-stream serve).
+pub fn run_fleet_scenario() -> ribbon::fleet::FleetReport {
+    let fleet = fleet_spec().compile().expect("the fleet spec compiles");
+    fleet.run().expect("the fleet plans and serves")
+}
+
+/// Golden-trace lines of a fleet run: the joint plan's chosen allocation and baseline
+/// comparison, then every member's controller decision sequence and exact-bit
+/// satisfaction, then the fleet's exact-bit total cost.
+pub fn fleet_trace_lines(report: &ribbon::fleet::FleetReport) -> Vec<String> {
+    let cfg = |c: &[u32]| {
+        c.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut lines = vec![format!(
+        "plan shared {} total {:#018x} baseline {} # ${:.2}/hr vs ${:.2}/hr",
+        cfg(&report.shared_config),
+        report.total_hourly_cost.to_bits(),
+        report
+            .baseline_total_hourly_cost
+            .map_or("none".to_string(), |b| format!("{:#018x}", b.to_bits())),
+        report.total_hourly_cost,
+        report.baseline_total_hourly_cost.unwrap_or(f64::NAN),
+    )];
+    for m in &report.models {
+        let serve = m.serve.as_ref().expect("serve mode fills member sections");
+        lines.push(format!(
+            "model {} initial cfg {}",
+            m.name,
+            cfg(&serve.initial_config)
+        ));
+        for e in &serve.events {
+            lines.push(format!(
+                "model {} event w{} {} cfg {} qps {:#018x} # {:.1}",
+                m.name,
+                e.window_index,
+                e.trigger,
+                cfg(&e.config),
+                e.planned_qps.to_bits(),
+                e.planned_qps
+            ));
+        }
+        let sat = serve.satisfaction_rate.unwrap_or(f64::NAN);
+        lines.push(format!(
+            "model {} final cfg {} windows {} sat {:#018x} # {:.4}",
+            m.name,
+            cfg(&serve.final_config),
+            serve.windows,
+            sat.to_bits(),
+            sat
+        ));
+    }
+    let totals = report
+        .serve
+        .as_ref()
+        .expect("serve mode fills fleet totals");
+    lines.push(format!(
+        "fleet queries {} cost {:#018x} # ${:.4} over {:.0} s",
+        totals.queries,
+        totals.total_cost_usd.to_bits(),
+        totals.total_cost_usd,
+        totals.duration_s
+    ));
+    lines
+}
+
 /// The golden-trace line format used by `perfsnap --check`: one evaluation per line,
 /// objective recorded as exact bits so cross-machine comparison is bit-for-bit.
 pub fn trace_lines(trace: &SearchTrace) -> Vec<String> {
@@ -275,6 +425,17 @@ mod tests {
             ribbon_models::TrafficScenario::FlashCrowd
                 .stream(&scenario.workload, ONLINE_DURATION_S)
         );
+    }
+
+    #[test]
+    fn fleet_spec_is_the_twin_of_the_bundled_file() {
+        // The bench harness's programmatic fleet scenario and the bundled TOML must
+        // stay in lock-step (catalog path aside: the file resolves the data-file
+        // catalog, the harness uses the identical builtin table).
+        let path = "../../scenarios/fleet_rec_duo_serve.toml";
+        let mut bundled = ribbon::fleet::FleetSpec::load_file(path).expect("bundled file loads");
+        bundled.catalog = None;
+        assert_eq!(bundled, fleet_spec());
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! ribbon run scenarios/mtwnd_plan.toml                 # run with the spec'd planner
 //! ribbon run spec.toml --planner random --out r.json   # override planner, save report
 //! ribbon compare spec.toml --planners ribbon,random    # run several planners
+//! ribbon fleet scenarios/fleet_rec_trio.toml           # joint multi-model fleet run
 //! ribbon validate spec.toml                            # parse + compile only
 //! ```
 //!
 //! Exit codes: 0 success, 1 scenario/run error, 2 usage error.
 
+use ribbon::fleet::{Fleet, FleetPlanner, FleetSpec, RibbonFleetPlanner};
 use ribbon::scenario::{planner_by_name, Scenario, ScenarioError, ScenarioReport};
 use ribbon_spec::Value;
 use std::process::ExitCode;
@@ -20,13 +22,16 @@ ribbon — declarative scenario runner for the RIBBON reproduction
 USAGE:
     ribbon run <scenario.(toml|json)> [--planner NAME] [--seed N] [--out FILE.json]
     ribbon compare <scenario.(toml|json)> --planners a,b,... [--seed N] [--out FILE.json]
-    ribbon validate <scenario.(toml|json)>
+    ribbon fleet <fleet.(toml|json)> [--seed N] [--out FILE.json]
+    ribbon validate <scenario-or-fleet.(toml|json)>
 
 PLANNERS:
     ribbon | random | hill-climb | rsm | exhaustive
 
-Scenario files describe the full experiment (catalog, workload, QoS policy, traffic,
-planner, budgets); see the repository's scenarios/ directory for commented examples.";
+Scenario files describe one experiment (catalog, workload, QoS policy, traffic,
+planner, budgets); fleet files ([fleet] plus [[model]] sections) describe several
+models served jointly on one shared pool. See the repository's scenarios/ directory
+for commented examples.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -137,7 +142,31 @@ fn reject_inapplicable(opts: &Options, command: &str) -> Result<(), CliError> {
             "validate only parses and compiles; --planner/--out do not apply".to_string(),
         ));
     }
+    if command == "fleet" && opts.planner.is_some() {
+        return Err(CliError::Usage(
+            "--planner does not apply to `fleet` (the joint RIBBON fleet planner runs)".to_string(),
+        ));
+    }
     Ok(())
+}
+
+fn load_fleet(opts: &Options) -> Result<Fleet, CliError> {
+    // Load the spec, apply any seed override, then compile exactly once.
+    let mut spec = FleetSpec::load_file(&opts.spec_path)?;
+    if let Some(seed) = opts.seed {
+        spec.seed = seed;
+    }
+    Ok(spec.compile_with_base(std::path::Path::new(&opts.spec_path).parent())?)
+}
+
+/// `true` when the file's root has a `[fleet]` table (vs a `[scenario]` one).
+fn is_fleet_file(path: &str) -> Result<bool, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    let value = ribbon_spec::Format::from_path(path)
+        .parse(&text)
+        .map_err(ScenarioError::from)?;
+    Ok(FleetSpec::is_fleet_value(&value))
 }
 
 fn load_scenario(opts: &Options) -> Result<Scenario, CliError> {
@@ -221,9 +250,65 @@ fn run(args: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "fleet" => {
+            let opts = parse_options(rest)?;
+            reject_inapplicable(&opts, command)?;
+            let fleet = load_fleet(&opts)?;
+            let planner = RibbonFleetPlanner;
+            let report = planner.run(&fleet)?;
+            for line in report.summary_lines() {
+                println!("{line}");
+            }
+            if let Some(out) = &opts.out {
+                write_out(out, &report.to_value())?;
+            }
+            Ok(())
+        }
         "validate" => {
             let opts = parse_options(rest)?;
             reject_inapplicable(&opts, command)?;
+            if is_fleet_file(&opts.spec_path)? {
+                let fleet = load_fleet(&opts)?;
+                println!("{} is valid", opts.spec_path);
+                println!(
+                    "  fleet {} | mode {} | {} model(s) | joint budget {} | seed {}",
+                    fleet.spec.name,
+                    fleet.spec.mode.name(),
+                    fleet.num_members(),
+                    fleet.spec.budget,
+                    fleet.spec.seed,
+                );
+                for member in &fleet.members {
+                    println!(
+                        "  model {} ({}) | qos {} | pool [{}] | share weight {}",
+                        member.name,
+                        member.scenario.workload.model.name(),
+                        member.scenario.policy.describe(),
+                        member
+                            .scenario
+                            .workload
+                            .diverse_pool
+                            .iter()
+                            .map(|t| t.family())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        member.share_weight,
+                    );
+                }
+                if fleet.has_shared() {
+                    println!(
+                        "  shared pool [{}] bounds {:?}",
+                        fleet
+                            .shared_types
+                            .iter()
+                            .map(|t| t.family())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        fleet.shared_bounds,
+                    );
+                }
+                return Ok(());
+            }
             let scenario = load_scenario(&opts)?;
             println!("{} is valid", opts.spec_path);
             println!(

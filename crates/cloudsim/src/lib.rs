@@ -22,6 +22,10 @@
 //!   emitting sliding-window [`WindowStats`] with mid-stream [`StreamingSim::reconfigure`]
 //!   (drain/retire + per-type spin-up) and exact per-instance cost accounting, bit-identical
 //!   to [`simulate`] while no reconfiguration occurs;
+//! * the **fleet router** ([`router`]) — multi-model serving on one jointly-provisioned
+//!   pool: per-model dedicated lanes plus a shared slice with availability-based
+//!   weighted routing, per-model windowed monitoring, and per-model-slice
+//!   reconfiguration;
 //! * the **parallel engine** ([`parallel`]) — an order-preserving, deterministic parallel map
 //!   over OS threads that every batch evaluation in the workspace funnels through
 //!   ([`simulate_many`] is the simulator-level entry point).
@@ -39,6 +43,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod phased;
 pub mod query;
+pub mod router;
 pub mod sim;
 pub mod streaming;
 
@@ -51,5 +56,6 @@ pub use metrics::{
 };
 pub use phased::{PhasedArrivalProcess, PhasedQueryStream, PhasedStreamConfig, RatePhase};
 pub use query::{Query, QueryStream, StreamConfig};
+pub use router::{merge_tagged, FleetModelConfig, FleetSim, SharedServer, TaggedQuery};
 pub use sim::{simulate, simulate_many, simulate_stats, PoolSimulator, SimResult, SimStats};
 pub use streaming::{Reconfiguration, StreamingSim, StreamingSimConfig, WindowConfig, WindowStats};

@@ -1,0 +1,891 @@
+//! Multi-model query routing over a shared heterogeneous pool.
+//!
+//! A *fleet* serves several models at once on one jointly-provisioned pool. Each
+//! instance slot is either **dedicated** to one model (its "lane": a per-model
+//! [`StreamingSim`] slice of the pool) or **shared** (a [`SharedServer`] slot that serves
+//! queries of *any* model, using the arriving query's own latency profile). Queries are
+//! tagged with their model ([`TaggedQuery`]) and the [`FleetSim`] router dispatches each
+//! one:
+//!
+//! * models without shared access (`share_weight == 0.0`) always use their lane;
+//! * otherwise routing is **availability-based and weighted**: each side's *wait* is
+//!   the time until some instance there could start the query. With
+//!   `share_weight ≥ 1.0` the shared slice wins ties (`shared_wait ≤ w × lane_wait`) —
+//!   the configuration where the shared slots hold the premium instance types and the
+//!   dedicated lane is the spillover, preserving the paper's fast-types-first dispatch
+//!   preference across models. With `share_weight < 1.0` the comparison is strict
+//!   (`shared_wait < w × lane_wait`): the lane serves unless the shared side is
+//!   decisively sooner — classic overflow pooling;
+//! * a model with an empty dedicated slice routes everything to the shared slice.
+//!
+//! # Per-model monitoring and bit-identity
+//!
+//! The router keeps per-model window accounting (arrival-attributed, same window
+//! semantics as [`StreamingSim`]) covering *both* the lane and the shared slice, so a
+//! fleet controller can watch each model's QoS independently even when its queries are
+//! split across slots. Window cost fields report **fleet-wide** accrued cost and hourly
+//! cost — the quantity a joint planner optimizes.
+//!
+//! For a fleet with a **single model and no shared slots**, every dispatch, latency,
+//! window statistic, and cost of `FleetSim` is bit-identical to driving that model's
+//! [`StreamingSim`] directly (the windows replicate
+//! `StreamingSim`'s accumulation order exactly, and the fleet-wide sums reduce to the
+//! single lane's values). The differential suite in `tests/fleet_serving.rs` pins this.
+
+use crate::instance::PoolSpec;
+use crate::latency::LatencyModel;
+use crate::query::Query;
+use crate::sim::SimStats;
+use crate::streaming::{
+    Reconfiguration, StreamingSim, StreamingSimConfig, WindowConfig, WindowStats,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A query tagged with the index of the fleet model it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaggedQuery {
+    /// Index of the model in the fleet's member order.
+    pub model: usize,
+    /// The query itself.
+    pub query: Query,
+}
+
+/// Merges per-model query streams into one arrival-ordered tagged stream.
+///
+/// Ties break by model index, so the merge is fully deterministic: the same inputs
+/// produce the same interleaving on every run and platform.
+pub fn merge_tagged(streams: &[Vec<Query>]) -> Vec<TaggedQuery> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; streams.len()];
+    for _ in 0..total {
+        let mut best: Option<(f64, usize)> = None;
+        for (m, stream) in streams.iter().enumerate() {
+            if let Some(q) = stream.get(cursors[m]) {
+                let better = match best {
+                    None => true,
+                    Some((arrival, _)) => q.arrival < arrival,
+                };
+                if better {
+                    best = Some((q.arrival, m));
+                }
+            }
+        }
+        let (_, m) = best.expect("total counts remaining queries");
+        merged.push(TaggedQuery {
+            model: m,
+            query: streams[m][cursors[m]],
+        });
+        cursors[m] += 1;
+    }
+    merged
+}
+
+/// One model's slice of a fleet simulation.
+pub struct FleetModelConfig<'a> {
+    /// The model's dedicated pool slice. May be empty (all counts zero) when the model
+    /// relies entirely on the shared slice.
+    pub pool: PoolSpec,
+    /// The model's latency profile.
+    pub profile: &'a dyn LatencyModel,
+    /// QoS latency target in seconds (window satisfaction counts).
+    pub target_latency_s: f64,
+    /// Tail percentile reported in this model's windows and stats.
+    pub tail_percentile: f64,
+    /// Monitoring-window shape for this model.
+    pub window: WindowConfig,
+    /// Shared-routing weight: `0.0` never routes to the shared slice; `w > 0` routes a
+    /// query to the shared slice iff `shared_wait < w × lane_wait`. `1.0` is plain
+    /// earliest-start overflow routing.
+    pub share_weight: f64,
+    /// Multiplier on per-type spin-up delays of this lane's reconfigurations.
+    pub spin_up_factor: f64,
+}
+
+/// A shared busy slot: min-heap by `(free_at, rank)` via reversed comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SharedBusy {
+    free_at: f64,
+    rank: usize,
+    slot: usize,
+}
+
+impl Eq for SharedBusy {}
+
+impl Ord for SharedBusy {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .free_at
+            .total_cmp(&self.free_at)
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+impl PartialOrd for SharedBusy {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shared slice of a fleet pool: slots that serve queries of *any* model, each query
+/// timed by its own model's latency profile. Same two-heap FCFS dispatch as the
+/// single-model simulator; no mid-stream reconfiguration (the shared slice is sized by
+/// the joint planner and stays fixed for a run).
+pub struct SharedServer<'a> {
+    pool: PoolSpec,
+    profiles: Vec<&'a dyn LatencyModel>,
+    types: Vec<crate::instance::InstanceType>,
+    load: Vec<u64>,
+    idle: BinaryHeap<Reverse<(usize, usize)>>,
+    busy: BinaryHeap<SharedBusy>,
+}
+
+impl<'a> SharedServer<'a> {
+    /// Creates the shared slice. `profiles` is indexed by fleet model index.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn new(pool: &PoolSpec, profiles: Vec<&'a dyn LatencyModel>) -> Self {
+        let types = pool.expand();
+        assert!(
+            !types.is_empty(),
+            "cannot build a shared slice from an empty pool ({})",
+            pool.describe()
+        );
+        let n = types.len();
+        SharedServer {
+            pool: pool.clone(),
+            profiles,
+            load: vec![0; n],
+            idle: (0..n).map(|i| Reverse((i, i))).collect(),
+            busy: BinaryHeap::new(),
+            types,
+        }
+    }
+
+    /// The shared pool.
+    pub fn pool(&self) -> &PoolSpec {
+        &self.pool
+    }
+
+    /// Queries served per shared slot.
+    pub fn per_slot_load(&self) -> &[u64] {
+        &self.load
+    }
+
+    /// Earliest time at or after `at` when a shared slot could start a query.
+    pub fn next_available_at(&self, at: f64) -> f64 {
+        if !self.idle.is_empty() {
+            return at;
+        }
+        match self.busy.peek() {
+            Some(b) => b.free_at.max(at),
+            None => at,
+        }
+    }
+
+    /// Dispatches one query of `model`, returning `(completion, latency)`.
+    fn push(&mut self, model: usize, q: &Query) -> (f64, f64) {
+        while let Some(top) = self.busy.peek() {
+            if top.free_at <= q.arrival {
+                let b = self.busy.pop().expect("peeked entry exists");
+                self.idle.push(Reverse((b.rank, b.slot)));
+            } else {
+                break;
+            }
+        }
+        let (slot, start) = match self.idle.pop() {
+            Some(Reverse((_, slot))) => (slot, q.arrival),
+            None => {
+                let b = self
+                    .busy
+                    .pop()
+                    .expect("non-empty shared slice has a busy slot");
+                (b.slot, b.free_at)
+            }
+        };
+        let service = self.profiles[model]
+            .service_time(self.types[slot], q.batch_size)
+            .max(0.0);
+        let completion = start + service;
+        self.load[slot] += 1;
+        self.busy.push(SharedBusy {
+            free_at: completion,
+            rank: slot,
+            slot,
+        });
+        (completion, completion - q.arrival)
+    }
+
+    /// Accrued cost of the (static) shared slice up to `t`.
+    pub fn cost_so_far(&self, t: f64) -> f64 {
+        self.pool.hourly_cost() * t.max(0.0) / 3600.0
+    }
+}
+
+/// A query's monitoring record, buffered until its arrival window closes (mirror of the
+/// streaming simulator's internal entry).
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    arrival: f64,
+    completion: f64,
+    latency: f64,
+}
+
+/// Where a query was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The model's dedicated lane.
+    Dedicated,
+    /// The fleet's shared slice.
+    Shared,
+}
+
+struct ModelState<'a> {
+    lane: Option<StreamingSim<'a, dyn LatencyModel + 'a>>,
+    target_latency_s: f64,
+    tail_percentile: f64,
+    window: WindowConfig,
+    share_weight: f64,
+    // Whole-stream accumulators, maintained in exactly `StreamingSim`'s order.
+    latencies: Vec<f64>,
+    latency_sum: f64,
+    satisfied: usize,
+    makespan: f64,
+    shared_queries: usize,
+    // Windowing (mirror of `StreamingSim`, covering lane + shared dispatches).
+    window_buf: VecDeque<WindowEntry>,
+    next_window: u64,
+}
+
+impl ModelState<'_> {
+    fn window_start(&self, index: u64) -> f64 {
+        index as f64 * self.window.step_s
+    }
+
+    fn window_end(&self, index: u64) -> f64 {
+        self.window_start(index) + self.window.length_s
+    }
+}
+
+/// The fleet router/simulator: per-model dedicated lanes plus an optional shared slice,
+/// driven one [`TaggedQuery`] at a time. See the module docs for routing semantics and
+/// the single-model bit-identity contract.
+pub struct FleetSim<'a> {
+    models: Vec<ModelState<'a>>,
+    shared: Option<SharedServer<'a>>,
+    clock: f64,
+}
+
+impl<'a> FleetSim<'a> {
+    /// Builds a fleet simulation. Each model needs a non-empty dedicated pool or access
+    /// to a shared slice (`share_weight > 0` and `shared` present).
+    ///
+    /// # Panics
+    /// Panics if some model has neither dedicated capacity nor shared access, or if a
+    /// window config is invalid.
+    pub fn new(models: Vec<FleetModelConfig<'a>>, shared: Option<PoolSpec>) -> Self {
+        let shared = shared.filter(|p| p.total_instances() > 0).map(|pool| {
+            let profiles: Vec<&'a dyn LatencyModel> = models.iter().map(|m| m.profile).collect();
+            SharedServer::new(&pool, profiles)
+        });
+        let states: Vec<ModelState<'a>> = models
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let lane = if m.pool.total_instances() > 0 {
+                    // The lane's own windowing is unused (the router keeps per-model
+                    // windows covering shared dispatches too): a practically-infinite
+                    // window keeps the lane from ever closing one.
+                    let lane_config = StreamingSimConfig {
+                        target_latency_s: m.target_latency_s,
+                        tail_percentile: m.tail_percentile,
+                        window: WindowConfig::tumbling(1e18),
+                        spin_up_factor: m.spin_up_factor,
+                    };
+                    Some(StreamingSim::new(
+                        &m.pool,
+                        m.profile as &dyn LatencyModel,
+                        lane_config,
+                    ))
+                } else {
+                    None
+                };
+                assert!(
+                    lane.is_some() || (m.share_weight > 0.0 && shared.is_some()),
+                    "fleet model {i} has neither dedicated capacity nor shared access"
+                );
+                m.window.try_validate().unwrap_or_else(|e| panic!("{e}"));
+                ModelState {
+                    lane,
+                    target_latency_s: m.target_latency_s,
+                    tail_percentile: m.tail_percentile,
+                    window: m.window,
+                    share_weight: m.share_weight,
+                    latencies: Vec::new(),
+                    latency_sum: 0.0,
+                    satisfied: 0,
+                    makespan: 0.0,
+                    shared_queries: 0,
+                    window_buf: VecDeque::new(),
+                    next_window: 0,
+                }
+            })
+            .collect();
+        FleetSim {
+            models: states,
+            shared,
+            clock: 0.0,
+        }
+    }
+
+    /// Number of fleet models.
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The global stream clock (arrival time of the last pushed query).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The shared slice, when the fleet has one.
+    pub fn shared(&self) -> Option<&SharedServer<'a>> {
+        self.shared.as_ref()
+    }
+
+    /// A model's dedicated lane, when it has one.
+    pub fn lane(&self, model: usize) -> Option<&StreamingSim<'a, dyn LatencyModel + 'a>> {
+        self.models[model].lane.as_ref()
+    }
+
+    /// How many of a model's queries were served by the shared slice so far.
+    pub fn shared_queries(&self, model: usize) -> usize {
+        self.models[model].shared_queries
+    }
+
+    /// Fleet-wide hourly cost of the currently deployed pools (lanes + shared).
+    pub fn current_hourly_cost(&self) -> f64 {
+        self.models
+            .iter()
+            .filter_map(|m| m.lane.as_ref())
+            .map(|l| l.current_pool().hourly_cost())
+            .sum::<f64>()
+            + self.shared.as_ref().map_or(0.0, |s| s.pool().hourly_cost())
+    }
+
+    /// Exact fleet-wide accrued cost up to `t`: every lane's per-slot billing (including
+    /// reconfiguration drain/spin-up overlap) plus the static shared slice.
+    pub fn cost_so_far(&self, t: f64) -> f64 {
+        self.models
+            .iter()
+            .filter_map(|m| m.lane.as_ref())
+            .map(|l| l.cost_so_far(t))
+            .sum::<f64>()
+            + self.shared.as_ref().map_or(0.0, |s| s.cost_so_far(t))
+    }
+
+    /// Completion time of the last-finishing query so far, over the whole fleet.
+    pub fn makespan(&self) -> f64 {
+        self.models.iter().map(|m| m.makespan).fold(0.0, f64::max)
+    }
+
+    /// Advances the fleet by one tagged query: closes every model window the new global
+    /// arrival clock proved complete (in model order), then routes and dispatches the
+    /// query. Returns the closed windows as `(model, stats)` pairs.
+    ///
+    /// Queries must be pushed in non-decreasing arrival order (the order
+    /// [`merge_tagged`] produces).
+    pub fn push(&mut self, tq: &TaggedQuery) -> Vec<(usize, WindowStats)> {
+        let q = &tq.query;
+        debug_assert!(
+            q.arrival >= self.clock,
+            "tagged queries must be pushed in arrival order"
+        );
+        let mut closed = Vec::new();
+        for m in 0..self.models.len() {
+            while q.arrival >= self.models[m].window_end(self.models[m].next_window) {
+                let w = self.close_next_window(m, true);
+                closed.push((m, w));
+            }
+        }
+
+        let state = &mut self.models[tq.model];
+        let route = match (&state.lane, &self.shared) {
+            (None, Some(_)) => Route::Shared,
+            (Some(lane), Some(shared)) if state.share_weight > 0.0 => {
+                let lane_wait = lane.next_available_at(q.arrival) - q.arrival;
+                let shared_wait = shared.next_available_at(q.arrival) - q.arrival;
+                // Weight ≥ 1 prefers the shared slice on ties (the shared slots hold
+                // the premium types and the lane is the spillover); weight < 1 keeps
+                // strict overflow semantics (the lane serves unless the shared side is
+                // decisively sooner).
+                let to_shared = if state.share_weight >= 1.0 {
+                    shared_wait <= state.share_weight * lane_wait
+                } else {
+                    shared_wait < state.share_weight * lane_wait
+                };
+                if to_shared {
+                    Route::Shared
+                } else {
+                    Route::Dedicated
+                }
+            }
+            (Some(_), _) => Route::Dedicated,
+            (None, None) => unreachable!("constructor guarantees capacity for every model"),
+        };
+        let (completion, latency) = match route {
+            Route::Dedicated => {
+                let lane = state.lane.as_mut().expect("dedicated route has a lane");
+                let _ = lane.push(q);
+                (
+                    lane.last_completion(),
+                    *lane.latencies().last().expect("push recorded a latency"),
+                )
+            }
+            Route::Shared => {
+                state.shared_queries += 1;
+                self.shared
+                    .as_mut()
+                    .expect("shared route has a shared slice")
+                    .push(tq.model, q)
+            }
+        };
+
+        state.latency_sum += latency;
+        if latency <= state.target_latency_s {
+            state.satisfied += 1;
+        }
+        state.latencies.push(latency);
+        if completion > state.makespan {
+            state.makespan = completion;
+        }
+        state.window_buf.push_back(WindowEntry {
+            arrival: q.arrival,
+            completion,
+            latency,
+        });
+        self.clock = q.arrival;
+        closed
+    }
+
+    /// Replaces one model's dedicated slice mid-stream (drain/retire + spin-up, exactly
+    /// [`StreamingSim::reconfigure`] on that lane). The shared slice is never
+    /// reconfigured — a fleet controller adjusts only the violating model's slice.
+    ///
+    /// # Panics
+    /// Panics if the model has no dedicated lane or `new_pool` is empty.
+    pub fn reconfigure_model(
+        &mut self,
+        model: usize,
+        new_pool: &PoolSpec,
+        at_s: f64,
+    ) -> Reconfiguration {
+        self.models[model]
+            .lane
+            .as_mut()
+            .unwrap_or_else(|| panic!("fleet model {model} has no dedicated lane to reconfigure"))
+            .reconfigure(new_pool, at_s)
+    }
+
+    /// Closes and returns every remaining window with arrivals, per model in model
+    /// order. Call once after the stream ends.
+    pub fn finish_windows(&mut self) -> Vec<(usize, WindowStats)> {
+        let mut out = Vec::new();
+        for m in 0..self.models.len() {
+            while self.models[m].window_start(self.models[m].next_window) <= self.clock
+                && !self.models[m].window_buf.is_empty()
+            {
+                let w = self.close_next_window(m, false);
+                out.push((m, w));
+            }
+        }
+        out
+    }
+
+    /// One model's whole-stream aggregate statistics (same accumulation order and tail
+    /// selection as the single-model simulator).
+    pub fn stats(&self, model: usize) -> SimStats {
+        let m = &self.models[model];
+        let n = m.latencies.len();
+        let mean_latency_s = if n == 0 {
+            0.0
+        } else {
+            m.latency_sum / n as f64
+        };
+        let mut buf = m.latencies.clone();
+        let tail_latency_s =
+            ribbon_linalg::stats::percentile_in_place(&mut buf, m.tail_percentile).unwrap_or(0.0);
+        SimStats {
+            num_queries: n,
+            satisfied: m.satisfied,
+            mean_latency_s,
+            tail_latency_s,
+            makespan: m.makespan,
+        }
+    }
+
+    /// Mirror of the streaming simulator's window close, with fleet-wide cost fields.
+    fn close_next_window(&mut self, model: usize, complete: bool) -> WindowStats {
+        let fleet_hourly = self.current_hourly_cost();
+        let fleet_makespan = self.makespan();
+        let clock = self.clock;
+        let m = &mut self.models[model];
+        let index = m.next_window;
+        let start = m.window_start(index);
+        let end = m.window_end(index);
+
+        let mut num = 0usize;
+        let mut satisfied = 0usize;
+        let mut completed_in_window = 0usize;
+        let mut sum = 0.0f64;
+        let mut lats: Vec<f64> = Vec::new();
+        for e in &m.window_buf {
+            if e.arrival >= end {
+                break; // buffer is arrival-ordered
+            }
+            if e.arrival < start {
+                continue;
+            }
+            num += 1;
+            sum += e.latency;
+            if e.latency <= m.target_latency_s {
+                satisfied += 1;
+            }
+            if e.completion < end {
+                completed_in_window += 1;
+            }
+            lats.push(e.latency);
+        }
+        let tail = ribbon_linalg::stats::percentile_in_place(&mut lats, m.tail_percentile);
+        // Same span rule as the streaming simulator: full length for windows closed
+        // mid-stream, observed span for the partial final window.
+        let observed = clock.min(end) - start;
+        let span = if complete || observed <= 0.0 {
+            m.window.length_s
+        } else {
+            observed
+        };
+        let cost_horizon = if complete {
+            end
+        } else {
+            end.min(fleet_makespan.max(clock))
+        };
+        m.next_window += 1;
+        let horizon = m.window_start(m.next_window);
+        while let Some(front) = m.window_buf.front() {
+            if front.arrival < horizon {
+                m.window_buf.pop_front();
+            } else {
+                break;
+            }
+        }
+        WindowStats {
+            index,
+            start_s: start,
+            end_s: end,
+            num_queries: num,
+            satisfied,
+            satisfaction_rate: (num > 0).then(|| satisfied as f64 / num as f64),
+            mean_latency_s: (num > 0).then(|| sum / num as f64),
+            tail_latency_s: tail,
+            arrival_qps: num as f64 / span,
+            throughput_qps: completed_in_window as f64 / span,
+            pool_hourly_cost: fleet_hourly,
+            cost_so_far_usd: self.cost_so_far(cost_horizon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ArrivalProcess, BatchDistribution};
+    use crate::instance::InstanceType;
+    use crate::latency::FnLatencyModel;
+    use crate::query::StreamConfig;
+
+    fn model() -> FnLatencyModel<impl Fn(InstanceType, u32) -> f64> {
+        FnLatencyModel::new("mixed", |ty, b| {
+            if ty == InstanceType::G4dn {
+                0.004 + 4e-5 * b as f64
+            } else {
+                0.004 + 45e-5 * b as f64
+            }
+        })
+    }
+
+    fn stream(qps: f64, n: usize, seed: u64) -> Vec<Query> {
+        StreamConfig {
+            arrivals: ArrivalProcess::Poisson { qps },
+            batches: BatchDistribution::default_heavy_tail(32.0, 256),
+            num_queries: n,
+            seed,
+        }
+        .generate()
+    }
+
+    fn member<'a>(
+        pool: PoolSpec,
+        profile: &'a dyn LatencyModel,
+        share_weight: f64,
+    ) -> FleetModelConfig<'a> {
+        FleetModelConfig {
+            pool,
+            profile,
+            target_latency_s: 0.020,
+            tail_percentile: 99.0,
+            window: WindowConfig::tumbling(1.0),
+            share_weight,
+            spin_up_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn merge_tagged_orders_by_arrival_with_model_tiebreak() {
+        let a = vec![
+            Query {
+                id: 0,
+                arrival: 0.5,
+                batch_size: 1,
+            },
+            Query {
+                id: 1,
+                arrival: 2.0,
+                batch_size: 1,
+            },
+        ];
+        let b = vec![
+            Query {
+                id: 0,
+                arrival: 0.5,
+                batch_size: 2,
+            },
+            Query {
+                id: 1,
+                arrival: 1.0,
+                batch_size: 2,
+            },
+        ];
+        let merged = merge_tagged(&[a, b]);
+        let tags: Vec<usize> = merged.iter().map(|t| t.model).collect();
+        assert_eq!(tags, vec![0, 1, 1, 0], "tie at 0.5 breaks to model 0");
+        for pair in merged.windows(2) {
+            assert!(pair[0].query.arrival <= pair[1].query.arrival);
+        }
+    }
+
+    #[test]
+    fn single_model_fleet_is_bit_identical_to_a_streaming_sim() {
+        let m = model();
+        let pool = PoolSpec::new(
+            vec![InstanceType::G4dn, InstanceType::C5, InstanceType::T3],
+            vec![2, 3, 4],
+        );
+        let queries = stream(600.0, 3000, 7);
+        let mut direct = StreamingSim::new(
+            &pool,
+            &m,
+            StreamingSimConfig::new(0.020, 99.0, WindowConfig::tumbling(1.0)),
+        );
+        let mut direct_windows = Vec::new();
+        for q in &queries {
+            direct_windows.extend(direct.push(q));
+        }
+        direct_windows.extend(direct.finish_windows());
+
+        let mut fleet = FleetSim::new(vec![member(pool.clone(), &m, 0.0)], None);
+        let mut fleet_windows = Vec::new();
+        for q in &queries {
+            for (mi, w) in fleet.push(&TaggedQuery {
+                model: 0,
+                query: *q,
+            }) {
+                assert_eq!(mi, 0);
+                fleet_windows.push(w);
+            }
+        }
+        fleet_windows.extend(fleet.finish_windows().into_iter().map(|(_, w)| w));
+
+        assert_eq!(
+            fleet_windows, direct_windows,
+            "windows must be bit-identical"
+        );
+        assert_eq!(fleet.stats(0), direct.stats());
+        assert_eq!(fleet.cost_so_far(30.0), direct.cost_so_far(30.0));
+        assert_eq!(
+            fleet.lane(0).unwrap().latencies(),
+            direct.latencies(),
+            "per-query latencies must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn shared_slice_absorbs_overflow_and_improves_latency() {
+        let m = model();
+        // One saturated t3 lane; a shared g4dn gives headroom.
+        let lane_pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let queries = stream(150.0, 2000, 3);
+
+        let run = |shared: Option<PoolSpec>| {
+            let mut fleet = FleetSim::new(vec![member(lane_pool.clone(), &m, 1.0)], shared);
+            for q in &queries {
+                fleet.push(&TaggedQuery {
+                    model: 0,
+                    query: *q,
+                });
+            }
+            (fleet.stats(0), fleet.shared_queries(0))
+        };
+
+        let (alone, _) = run(None);
+        let (pooled, shared_served) = run(Some(PoolSpec::homogeneous(InstanceType::G4dn, 1)));
+        assert!(
+            shared_served > 0,
+            "overflow routing must use the shared slot"
+        );
+        assert!(
+            pooled.mean_latency_s < alone.mean_latency_s / 2.0,
+            "shared capacity must relieve the saturated lane ({} vs {})",
+            pooled.mean_latency_s,
+            alone.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn zero_share_weight_never_routes_to_shared() {
+        let m = model();
+        let queries = stream(200.0, 800, 5);
+        let mut fleet = FleetSim::new(
+            vec![member(PoolSpec::homogeneous(InstanceType::T3, 1), &m, 0.0)],
+            Some(PoolSpec::homogeneous(InstanceType::G4dn, 2)),
+        );
+        for q in &queries {
+            fleet.push(&TaggedQuery {
+                model: 0,
+                query: *q,
+            });
+        }
+        assert_eq!(fleet.shared_queries(0), 0);
+        assert_eq!(fleet.shared().unwrap().per_slot_load(), &[0, 0]);
+    }
+
+    #[test]
+    fn laneless_model_serves_entirely_from_the_shared_slice() {
+        let m = model();
+        let queries = stream(300.0, 1000, 9);
+        let mut fleet = FleetSim::new(
+            vec![member(
+                PoolSpec::new(vec![InstanceType::G4dn], vec![0]),
+                &m,
+                1.0,
+            )],
+            Some(PoolSpec::homogeneous(InstanceType::G4dn, 2)),
+        );
+        for q in &queries {
+            fleet.push(&TaggedQuery {
+                model: 0,
+                query: *q,
+            });
+        }
+        assert_eq!(fleet.shared_queries(0), queries.len());
+        let stats = fleet.stats(0);
+        assert_eq!(stats.num_queries, queries.len());
+    }
+
+    #[test]
+    fn two_models_keep_separate_windows_and_stats() {
+        let fast = FnLatencyModel::new("fast", |_, _| 0.001);
+        let slow = FnLatencyModel::new("slow", |_, _| 0.050);
+        let qa = stream(200.0, 1000, 1);
+        let qb = stream(100.0, 500, 2);
+        let merged = merge_tagged(&[qa.clone(), qb.clone()]);
+        let mut fleet = FleetSim::new(
+            vec![
+                member(PoolSpec::homogeneous(InstanceType::G4dn, 2), &fast, 0.0),
+                member(PoolSpec::homogeneous(InstanceType::C5, 2), &slow, 0.0),
+            ],
+            None,
+        );
+        let mut windows: Vec<(usize, WindowStats)> = Vec::new();
+        for tq in &merged {
+            windows.extend(fleet.push(tq));
+        }
+        windows.extend(fleet.finish_windows());
+        let a = fleet.stats(0);
+        let b = fleet.stats(1);
+        assert_eq!(a.num_queries, qa.len());
+        assert_eq!(b.num_queries, qb.len());
+        assert_eq!(a.satisfied, qa.len(), "1 ms queries all meet 20 ms");
+        assert_eq!(b.satisfied, 0, "50 ms queries all miss 20 ms");
+        let a_counted: usize = windows
+            .iter()
+            .filter(|(m, _)| *m == 0)
+            .map(|(_, w)| w.num_queries)
+            .sum();
+        assert_eq!(a_counted, qa.len(), "model 0 windows cover its queries");
+    }
+
+    #[test]
+    fn fleet_cost_sums_lanes_and_shared() {
+        let m = model();
+        let fleet = FleetSim::new(
+            vec![
+                member(PoolSpec::homogeneous(InstanceType::G4dn, 2), &m, 1.0),
+                member(PoolSpec::homogeneous(InstanceType::C5, 1), &m, 1.0),
+            ],
+            Some(PoolSpec::homogeneous(InstanceType::T3, 3)),
+        );
+        let hourly = 2.0 * InstanceType::G4dn.hourly_price()
+            + InstanceType::C5.hourly_price()
+            + 3.0 * InstanceType::T3.hourly_price();
+        assert!((fleet.current_hourly_cost() - hourly).abs() < 1e-12);
+        assert!((fleet.cost_so_far(3600.0) - hourly).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfigure_model_touches_only_that_lane() {
+        let m = model();
+        let queries = stream(300.0, 1500, 4);
+        let merged = merge_tagged(&[queries.clone(), queries.clone()]);
+        let mut fleet = FleetSim::new(
+            vec![
+                member(PoolSpec::homogeneous(InstanceType::G4dn, 1), &m, 0.0),
+                member(PoolSpec::homogeneous(InstanceType::G4dn, 1), &m, 0.0),
+            ],
+            None,
+        );
+        let mid = merged[merged.len() / 2].query.arrival;
+        let mut done = false;
+        for tq in &merged {
+            if !done && tq.query.arrival >= mid {
+                let ev = fleet.reconfigure_model(
+                    0,
+                    &PoolSpec::homogeneous(InstanceType::G4dn, 3),
+                    tq.query.arrival,
+                );
+                assert_eq!(ev.launched, 2);
+                done = true;
+            }
+            fleet.push(tq);
+        }
+        assert_eq!(fleet.lane(0).unwrap().current_pool().total_instances(), 3);
+        assert_eq!(fleet.lane(1).unwrap().current_pool().total_instances(), 1);
+        assert_eq!(fleet.lane(1).unwrap().reconfigurations().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "neither dedicated capacity nor shared access")]
+    fn capacityless_model_is_rejected() {
+        let m = model();
+        let _ = FleetSim::new(
+            vec![member(
+                PoolSpec::new(vec![InstanceType::G4dn], vec![0]),
+                &m,
+                0.0,
+            )],
+            None,
+        );
+    }
+}

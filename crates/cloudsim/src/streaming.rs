@@ -260,6 +260,7 @@ pub struct StreamingSim<'a, M: LatencyModel + ?Sized> {
     idle: BinaryHeap<Reverse<(usize, usize)>>,
     busy: BinaryHeap<BusySlot>,
     last_arrival: f64,
+    last_completion: f64,
     makespan: f64,
     // Whole-stream accumulators, maintained in exactly `simulate_stats`'s order.
     latencies: Vec<f64>,
@@ -308,6 +309,7 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             idle,
             busy: BinaryHeap::new(),
             last_arrival: 0.0,
+            last_completion: 0.0,
             makespan: 0.0,
             latencies: Vec::new(),
             assigned: Vec::new(),
@@ -354,6 +356,28 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
     /// Completion time of the last-finishing query so far.
     pub fn makespan(&self) -> f64 {
         self.makespan
+    }
+
+    /// Exact completion time of the most recently pushed query (`0.0` before any push).
+    /// The fleet router reads this instead of re-deriving `arrival + latency`, which is
+    /// not bit-exact under floating-point arithmetic.
+    pub fn last_completion(&self) -> f64 {
+        self.last_completion
+    }
+
+    /// Earliest time at or after `at` when some instance could *start* serving a new
+    /// query: `at` itself if any instance is idle (or frees by `at`), otherwise the
+    /// earliest `free_at` in the busy heap. Spin-up delays are respected (a launched
+    /// instance sits in the busy heap until ready). Used by the fleet router's
+    /// availability-based routing; never mutates the heaps.
+    pub fn next_available_at(&self, at: f64) -> f64 {
+        if !self.idle.is_empty() {
+            return at;
+        }
+        match self.busy.peek() {
+            Some(b) => b.free_at.max(at),
+            None => at,
+        }
     }
 
     /// Advances the simulation by one query and returns every monitoring window the new
@@ -404,6 +428,7 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             self.makespan = completion;
         }
 
+        self.last_completion = completion;
         let latency = completion - q.arrival;
         self.latency_sum += latency;
         if latency <= self.config.target_latency_s {

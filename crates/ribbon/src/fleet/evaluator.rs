@@ -1,0 +1,549 @@
+//! Joint evaluation of fleet allocations.
+//!
+//! A *joint allocation* is one flat vector over the fleet's allocation lattice:
+//!
+//! ```text
+//! [ member0 dedicated slice | member1 dedicated slice | … | shared slice ]
+//! ```
+//!
+//! Each member slice counts instances of that member's diverse-pool types; the shared
+//! slice counts instances of the fleet's shared families, usable by every member with a
+//! positive `share_weight`. Evaluating an allocation answers: does **every** model meet
+//! its QoS on its own traffic, and what does the whole fleet cost per hour?
+//!
+//! Two evaluation paths, chosen per allocation:
+//!
+//! * **fully dedicated** (shared slice all zero) — each member is evaluated by its own
+//!   [`ConfigEvaluator`] (same stream, same cache, bit-identical to a single-model run);
+//! * **shared slots in play** — the members' planning streams are merged by arrival
+//!   time and driven through the [`FleetSim`] router, so cross-model contention on the
+//!   shared slots is actually simulated, not approximated.
+//!
+//! The joint objective is Eq. 2 lifted to a fleet: any allocation violating *some*
+//! member's QoS scores below ½ (graded by the worst member's shortfall), every
+//! allocation satisfying *all* members scores `½ + ½·(1 − cost/max_cost)` over the
+//! **total** fleet cost. For a single-member fleet with no shared families this is
+//! bit-identical to [`RibbonObjective`](crate::objective::RibbonObjective).
+
+use crate::evaluator::{ConfigEvaluator, Evaluation};
+use crate::fleet::Fleet;
+use crate::scenario::ScenarioError;
+use parking_lot::Mutex;
+use ribbon_cloudsim::router::{FleetModelConfig, FleetSim, TaggedQuery};
+use ribbon_cloudsim::{parallel, InstanceType, PoolSpec, QosEvidence, WindowConfig};
+use ribbon_models::ModelProfile;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The outcome of evaluating one joint allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEvaluation {
+    /// The flat joint allocation.
+    pub config: Vec<u32>,
+    /// Per-member evaluations (each `config` field is that member's dedicated slice).
+    pub per_model: Vec<Evaluation>,
+    /// The shared slice (empty when the fleet declares no shared families).
+    pub shared_config: Vec<u32>,
+    /// Hourly cost of the shared slice.
+    pub shared_hourly_cost: f64,
+    /// Total fleet hourly cost (dedicated slices + shared slice).
+    pub total_hourly_cost: f64,
+    /// Per-member count of planning queries served by the shared slice (all zero on
+    /// the fully-dedicated path).
+    pub shared_queries: Vec<usize>,
+    /// Whether every member meets its QoS.
+    pub meets_qos: bool,
+    /// The joint Eq. 2 objective value.
+    pub objective: f64,
+}
+
+struct MemberState {
+    evaluator: ConfigEvaluator,
+    profile: ModelProfile,
+    share_weight: f64,
+    target_rate: f64,
+}
+
+/// Evaluates joint allocations for one fleet. Construction builds every member's
+/// [`ConfigEvaluator`] (streams, bounds probing) and pre-merges the planning streams.
+pub struct FleetEvaluator {
+    members: Vec<MemberState>,
+    shared_types: Vec<InstanceType>,
+    shared_bounds: Vec<u32>,
+    bounds: Vec<u32>,
+    offsets: Vec<Range<usize>>,
+    prices: Vec<f64>,
+    max_cost: f64,
+    merged: Vec<TaggedQuery>,
+    threads: usize,
+    cache: Mutex<HashMap<Vec<u32>, FleetEvaluation>>,
+    simulations: AtomicUsize,
+}
+
+impl FleetEvaluator {
+    /// Builds the evaluator from a compiled fleet.
+    pub fn new(fleet: &Fleet) -> Result<FleetEvaluator, ScenarioError> {
+        let mut members = Vec::with_capacity(fleet.members.len());
+        let mut bounds = Vec::new();
+        let mut offsets = Vec::with_capacity(fleet.members.len());
+        let mut prices = Vec::new();
+        for m in &fleet.members {
+            let evaluator = m.scenario.build_evaluator();
+            let start = bounds.len();
+            bounds.extend_from_slice(evaluator.bounds());
+            offsets.push(start..bounds.len());
+            prices.extend(
+                m.scenario
+                    .workload
+                    .diverse_pool
+                    .iter()
+                    .map(|t| t.hourly_price()),
+            );
+            members.push(MemberState {
+                profile: m.scenario.workload.profile(),
+                share_weight: if fleet.has_shared() {
+                    m.share_weight
+                } else {
+                    0.0
+                },
+                target_rate: m.scenario.policy.threshold(),
+                evaluator,
+            });
+        }
+        bounds.extend_from_slice(&fleet.shared_bounds);
+        prices.extend(fleet.shared_types.iter().map(|t| t.hourly_price()));
+        let max_cost: f64 = bounds
+            .iter()
+            .zip(&prices)
+            .map(|(&m, &p)| m as f64 * p)
+            .sum();
+
+        let streams: Vec<Vec<ribbon_cloudsim::Query>> = members
+            .iter()
+            .map(|m| m.evaluator.queries().to_vec())
+            .collect();
+        let merged = ribbon_cloudsim::merge_tagged(&streams);
+        let threads = members
+            .first()
+            .map(|m| m.evaluator.parallelism())
+            .unwrap_or(1);
+
+        Ok(FleetEvaluator {
+            members,
+            shared_types: fleet.shared_types.clone(),
+            shared_bounds: fleet.shared_bounds.clone(),
+            bounds,
+            offsets,
+            prices,
+            max_cost,
+            merged,
+            threads,
+            cache: Mutex::new(HashMap::new()),
+            simulations: AtomicUsize::new(0),
+        })
+    }
+
+    /// The joint allocation bounds (member slices then the shared slice).
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Number of fleet members.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The dimension range of a member's dedicated slice.
+    pub fn member_range(&self, member: usize) -> Range<usize> {
+        self.offsets[member].clone()
+    }
+
+    /// The dimension range of the shared slice (empty range when no shared families).
+    pub fn shared_range(&self) -> Range<usize> {
+        let start = self.offsets.last().map_or(0, |r| r.end);
+        start..self.bounds.len()
+    }
+
+    /// A member's own configuration evaluator (its planning stream and cache).
+    pub fn member_evaluator(&self, member: usize) -> &ConfigEvaluator {
+        &self.members[member].evaluator
+    }
+
+    /// A member's QoS threshold (the joint pruning rule needs it).
+    pub fn member_target_rate(&self, member: usize) -> f64 {
+        self.members[member].target_rate
+    }
+
+    /// Number of distinct joint simulations/evaluations run so far (cache misses).
+    pub fn num_simulations(&self) -> usize {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// Total fleet hourly cost of an allocation: `Σ pᵢ·xᵢ` over every dimension.
+    pub fn cost(&self, config: &[u32]) -> f64 {
+        assert_eq!(config.len(), self.prices.len(), "allocation dimensionality");
+        config
+            .iter()
+            .zip(&self.prices)
+            .map(|(&x, &p)| x as f64 * p)
+            .sum()
+    }
+
+    /// Maximum possible fleet cost (the satisfying-branch normalizer).
+    pub fn max_cost(&self) -> f64 {
+        self.max_cost
+    }
+
+    /// Assembles a joint allocation from per-member slices and a shared slice.
+    pub fn assemble(&self, slices: &[Vec<u32>], shared: &[u32]) -> Vec<u32> {
+        assert_eq!(slices.len(), self.members.len(), "one slice per member");
+        let mut out = Vec::with_capacity(self.bounds.len());
+        for (m, slice) in slices.iter().enumerate() {
+            assert_eq!(slice.len(), self.offsets[m].len(), "member slice length");
+            out.extend_from_slice(slice);
+        }
+        assert_eq!(
+            shared.len(),
+            self.shared_bounds.len(),
+            "shared slice length"
+        );
+        out.extend_from_slice(shared);
+        out
+    }
+
+    fn validate(&self, config: &[u32]) {
+        assert_eq!(
+            config.len(),
+            self.bounds.len(),
+            "allocation has {} entries but the fleet lattice has {} dimensions",
+            config.len(),
+            self.bounds.len()
+        );
+        assert!(
+            config.iter().any(|&c| c > 0),
+            "cannot evaluate an empty fleet allocation"
+        );
+    }
+
+    /// Evaluates one joint allocation (cached).
+    pub fn evaluate(&self, config: &[u32]) -> FleetEvaluation {
+        self.validate(config);
+        if let Some(hit) = self.cache.lock().get(config) {
+            return hit.clone();
+        }
+        let eval = self.simulate_joint(config);
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(config.to_vec(), eval.clone());
+        eval
+    }
+
+    /// Evaluates a batch of allocations across worker threads, in input order —
+    /// same contract as [`ConfigEvaluator::evaluate_many`] (order-preserving,
+    /// bit-identical to serial, duplicates evaluated once).
+    pub fn evaluate_many(&self, configs: &[Vec<u32>]) -> Vec<FleetEvaluation> {
+        for c in configs {
+            self.validate(c);
+        }
+        let mut results: Vec<Option<FleetEvaluation>> = vec![None; configs.len()];
+        let mut misses: Vec<Vec<u32>> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            let mut queued: HashSet<&[u32]> = HashSet::new();
+            for (slot, config) in results.iter_mut().zip(configs) {
+                if let Some(hit) = cache.get(config.as_slice()) {
+                    *slot = Some(hit.clone());
+                } else if queued.insert(config.as_slice()) {
+                    misses.push(config.clone());
+                }
+            }
+        }
+        let fresh = parallel::par_map(&misses, self.threads, |c| self.simulate_joint(c));
+        self.simulations.fetch_add(fresh.len(), Ordering::Relaxed);
+        {
+            let mut cache = self.cache.lock();
+            for eval in &fresh {
+                cache.insert(eval.config.clone(), eval.clone());
+            }
+        }
+        let by_config: HashMap<&[u32], &FleetEvaluation> =
+            fresh.iter().map(|e| (e.config.as_slice(), e)).collect();
+        results
+            .into_iter()
+            .zip(configs)
+            .map(|(slot, config)| match slot {
+                Some(eval) => eval,
+                None => (*by_config
+                    .get(config.as_slice())
+                    .expect("every miss was simulated"))
+                .clone(),
+            })
+            .collect()
+    }
+
+    /// An evaluation for a member that has no serving capacity at all under the
+    /// allocation: nothing is served, satisfaction is zero.
+    fn infeasible_member(&self, member: usize, slice: &[u32]) -> Evaluation {
+        let m = &self.members[member];
+        let pool = PoolSpec::from_counts(&m.evaluator.workload().diverse_pool, slice);
+        Evaluation {
+            config: slice.to_vec(),
+            hourly_cost: pool.hourly_cost(),
+            satisfaction_rate: 0.0,
+            meets_qos: false,
+            objective: 0.0,
+            mean_latency_s: f64::INFINITY,
+            tail_latency_s: f64::INFINITY,
+            pool,
+        }
+    }
+
+    /// The pure joint simulation — shared by the serial and batch paths.
+    fn simulate_joint(&self, config: &[u32]) -> FleetEvaluation {
+        let shared_config: Vec<u32> = config[self.shared_range()].to_vec();
+        let shared_total: u32 = shared_config.iter().sum();
+        let slices: Vec<&[u32]> = (0..self.members.len())
+            .map(|m| &config[self.member_range(m)])
+            .collect();
+
+        let mut shared_queries = vec![0usize; self.members.len()];
+        let per_model: Vec<Evaluation> = if shared_total == 0 {
+            // Fully dedicated: every member evaluated by its own (cached) evaluator —
+            // bit-identical to a standalone single-model evaluation.
+            slices
+                .iter()
+                .enumerate()
+                .map(|(m, slice)| {
+                    if slice.iter().all(|&c| c == 0) {
+                        self.infeasible_member(m, slice)
+                    } else {
+                        self.members[m].evaluator.evaluate(slice)
+                    }
+                })
+                .collect()
+        } else {
+            // Shared slots in play: merge the planning streams and simulate the
+            // contention through the fleet router.
+            let shared_pool = PoolSpec::from_counts(&self.shared_types, &shared_config);
+            // Members with neither dedicated capacity nor shared access sit out the
+            // simulation and score zero.
+            let included: Vec<usize> = (0..self.members.len())
+                .filter(|&m| slices[m].iter().any(|&c| c > 0) || self.members[m].share_weight > 0.0)
+                .collect();
+            let sim_index: HashMap<usize, usize> = included
+                .iter()
+                .enumerate()
+                .map(|(si, &m)| (m, si))
+                .collect();
+            let model_configs: Vec<FleetModelConfig> = included
+                .iter()
+                .map(|&m| {
+                    let state = &self.members[m];
+                    let workload = state.evaluator.workload();
+                    FleetModelConfig {
+                        pool: PoolSpec::from_counts(&workload.diverse_pool, slices[m]),
+                        profile: &state.profile,
+                        target_latency_s: state.evaluator.policy().deadline_s(),
+                        tail_percentile: state.evaluator.policy().tail_percentile(),
+                        // Plan-time evaluation needs no windowed monitoring.
+                        window: WindowConfig::tumbling(1e18),
+                        share_weight: state.share_weight,
+                        spin_up_factor: 1.0,
+                    }
+                })
+                .collect();
+            let mut sim = FleetSim::new(model_configs, Some(shared_pool));
+            for tq in &self.merged {
+                if let Some(&si) = sim_index.get(&tq.model) {
+                    sim.push(&TaggedQuery {
+                        model: si,
+                        query: tq.query,
+                    });
+                }
+            }
+            (0..self.members.len())
+                .map(|m| match sim_index.get(&m) {
+                    None => self.infeasible_member(m, slices[m]),
+                    Some(&si) => {
+                        shared_queries[m] = sim.shared_queries(si);
+                        let state = &self.members[m];
+                        let stats = sim.stats(si);
+                        let rate = state
+                            .evaluator
+                            .policy()
+                            .score(&QosEvidence::from_stats(&stats))
+                            .unwrap_or(1.0);
+                        let objective = state.evaluator.objective();
+                        let pool = PoolSpec::from_counts(
+                            &state.evaluator.workload().diverse_pool,
+                            slices[m],
+                        );
+                        Evaluation {
+                            config: slices[m].to_vec(),
+                            hourly_cost: pool.hourly_cost(),
+                            pool,
+                            satisfaction_rate: rate,
+                            meets_qos: objective.meets_qos(rate),
+                            objective: objective.value(slices[m], rate),
+                            mean_latency_s: stats.mean_latency_s,
+                            tail_latency_s: stats.tail_latency_s,
+                        }
+                    }
+                })
+                .collect()
+        };
+
+        let (meets_qos, objective) = self.joint_objective(config, &per_model);
+        let shared_hourly_cost: f64 = shared_config
+            .iter()
+            .zip(&self.shared_types)
+            .map(|(&c, t)| c as f64 * t.hourly_price())
+            .sum();
+        FleetEvaluation {
+            config: config.to_vec(),
+            total_hourly_cost: self.cost(config),
+            per_model,
+            shared_config,
+            shared_hourly_cost,
+            shared_queries,
+            meets_qos,
+            objective,
+        }
+    }
+
+    /// The fleet-level Eq. 2: worst-member shortfall below ½ when any member violates,
+    /// total-cost cheapness above ½ when all satisfy. Bit-identical to
+    /// [`RibbonObjective::value`](crate::objective::RibbonObjective::value) for a
+    /// single-member, no-shared fleet.
+    fn joint_objective(&self, config: &[u32], per_model: &[Evaluation]) -> (bool, f64) {
+        let mut meets_all = true;
+        let mut worst = f64::INFINITY;
+        for (state, eval) in self.members.iter().zip(per_model) {
+            let rate = eval.satisfaction_rate.clamp(0.0, 1.0);
+            if rate < state.target_rate {
+                meets_all = false;
+            }
+            let score = 0.5 * rate / state.target_rate;
+            if score < worst {
+                worst = score;
+            }
+        }
+        if meets_all {
+            (true, 0.5 + 0.5 * (1.0 - self.cost(config) / self.max_cost))
+        } else {
+            (false, worst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetSpec;
+
+    fn duo_evaluator() -> FleetEvaluator {
+        let fleet = FleetSpec::from_toml_str(
+            r#"
+[fleet]
+name = "duo"
+seed = 5
+budget = 8
+shared_pool = ["g4dn"]
+shared_bounds = [3]
+
+[[model]]
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "MT-WND"
+num_queries = 500
+
+[[model]]
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "DIEN"
+num_queries = 400
+"#,
+        )
+        .unwrap()
+        .compile()
+        .unwrap();
+        FleetEvaluator::new(&fleet).unwrap()
+    }
+
+    #[test]
+    fn lattice_concatenates_member_and_shared_bounds() {
+        let ev = duo_evaluator();
+        assert_eq!(ev.bounds(), &[4, 2, 4, 4, 2, 4, 3]);
+        assert_eq!(ev.member_range(0), 0..3);
+        assert_eq!(ev.member_range(1), 3..6);
+        assert_eq!(ev.shared_range(), 6..7);
+    }
+
+    #[test]
+    fn dedicated_path_matches_the_member_evaluators_bit_for_bit() {
+        let ev = duo_evaluator();
+        let joint = ev.evaluate(&[3, 0, 2, 2, 1, 0, 0]);
+        let a = ev.member_evaluator(0).evaluate(&[3, 0, 2]);
+        let b = ev.member_evaluator(1).evaluate(&[2, 1, 0]);
+        assert_eq!(joint.per_model[0], a);
+        assert_eq!(joint.per_model[1], b);
+        assert_eq!(joint.shared_queries, vec![0, 0]);
+        assert!((joint.total_hourly_cost - (a.hourly_cost + b.hourly_cost)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_allocation_simulates_cross_model_contention() {
+        let ev = duo_evaluator();
+        // All g4dn capacity moved to the shared slice: both models lean on it.
+        let joint = ev.evaluate(&[0, 0, 3, 0, 0, 3, 3]);
+        assert!(joint.shared_queries[0] > 0, "MT-WND uses the shared slots");
+        assert!(joint.shared_queries[1] > 0, "DIEN uses the shared slots");
+        assert_eq!(joint.shared_config, vec![3]);
+        assert!(joint.shared_hourly_cost > 0.0);
+        // Per-member rates reflect the merged-stream simulation.
+        for e in &joint.per_model {
+            assert!((0.0..=1.0).contains(&e.satisfaction_rate));
+        }
+    }
+
+    #[test]
+    fn empty_member_slice_without_shared_access_scores_zero() {
+        let ev = duo_evaluator();
+        let joint = ev.evaluate(&[0, 0, 0, 2, 1, 2, 0]);
+        assert_eq!(joint.per_model[0].satisfaction_rate, 0.0);
+        assert!(!joint.per_model[0].meets_qos);
+        assert!(!joint.meets_qos);
+        assert!(joint.objective < 0.5, "violating branch");
+    }
+
+    #[test]
+    fn evaluate_many_is_bit_identical_to_serial_and_caches() {
+        let ev = duo_evaluator();
+        let configs = vec![
+            vec![3, 0, 2, 2, 1, 0, 0],
+            vec![2, 0, 2, 2, 0, 2, 1],
+            vec![3, 0, 2, 2, 1, 0, 0], // duplicate
+        ];
+        let batch = ev.evaluate_many(&configs);
+        let sims_after_batch = ev.num_simulations();
+        assert_eq!(sims_after_batch, 2, "duplicate evaluated once");
+        let serial: Vec<FleetEvaluation> = configs.iter().map(|c| ev.evaluate(c)).collect();
+        assert_eq!(ev.num_simulations(), 2, "serial re-reads hit the cache");
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn joint_objective_prefers_cheaper_satisfying_allocations() {
+        let ev = duo_evaluator();
+        let small = ev.evaluate(&[4, 2, 4, 4, 2, 4, 0]);
+        let bigger = ev.evaluate(&[4, 2, 4, 4, 2, 4, 3]);
+        if small.meets_qos && bigger.meets_qos {
+            assert!(
+                small.objective > bigger.objective,
+                "extra shared capacity on an already-satisfying fleet only costs money"
+            );
+        }
+    }
+}

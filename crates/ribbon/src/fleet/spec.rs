@@ -1,0 +1,621 @@
+//! The typed fleet schema: what a `fleet.toml` (or `.json`) file contains.
+//!
+//! A fleet file describes **several** models sharing one instance catalog:
+//!
+//! ```toml
+//! [fleet]
+//! name = "rec-duo"
+//! mode = "plan"
+//! seed = 11
+//! budget = 40
+//! shared_pool = ["g4dn"]
+//! shared_bounds = [4]
+//!
+//! [[model]]
+//! bounds = [4, 2, 4]
+//!
+//! [model.workload]
+//! model = "MT-WND"
+//! num_queries = 1200
+//!
+//! [[model]]
+//! bounds = [4, 2, 4]
+//!
+//! [model.workload]
+//! model = "DIEN"
+//! num_queries = 1100
+//! ```
+//!
+//! Each `[[model]]` entry embeds the same `workload` / `qos` / `traffic` / `online`
+//! sections a single-model scenario file uses (parsed by the exact same code), plus
+//! fleet-only knobs: `weight` (objective weight), `share_weight` (shared-slice routing
+//! weight), `bounds` (per-model search bounds), and an optional `name`. Parsing follows
+//! the scenario conventions: strict unknown-key rejection, dotted error paths
+//! (`model[1].qos.latency_ms`), lossless parse → serialize → parse round-trips.
+
+use crate::scenario::spec::{online_to_value, qos_to_value, traffic_to_value, workload_to_value};
+use crate::scenario::{
+    OnlineSpec, QosSpec, RunMode, ScenarioError, ScenarioSpec, TrafficSpec, WorkloadSpec,
+};
+use ribbon_spec::{Format, Value};
+use serde::{Deserialize, Serialize};
+
+/// One model of a fleet: its workload, policies, and fleet-only knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetModelSpec {
+    /// Display name (defaults to the workload's model name).
+    pub name: Option<String>,
+    /// Objective weight of this model in the joint Eq. 2 score.
+    pub weight: Option<f64>,
+    /// Shared-slice routing weight (`0` = this model never uses shared slots; omitted
+    /// defaults to `1.0` when the fleet declares a shared pool).
+    pub share_weight: Option<f64>,
+    /// Explicit per-type search bounds for this model's dedicated slice.
+    pub bounds: Option<Vec<u32>>,
+    /// The served workload (same schema as a scenario's `[workload]`).
+    pub workload: WorkloadSpec,
+    /// QoS policy (same schema as a scenario's `[qos]`).
+    pub qos: Option<QosSpec>,
+    /// Traffic trace for serve mode (same schema as a scenario's `[traffic]`).
+    pub traffic: Option<TrafficSpec>,
+    /// Online-serving knobs (same schema as a scenario's `[online]`).
+    pub online: OnlineSpec,
+}
+
+/// A complete declarative fleet: shared catalog and joint-search knobs plus one
+/// [`FleetModelSpec`] per served model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Fleet name (used in reports and output files).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// What to do: joint offline `plan` or online `serve`.
+    pub mode: RunMode,
+    /// Master seed (joint search, member baselines, controllers).
+    pub seed: u64,
+    /// Path to an instance-catalog data file shared by every model.
+    pub catalog: Option<String>,
+    /// Evaluation budget of the joint search (warm-start candidates included).
+    pub budget: usize,
+    /// Evaluation budget of each member's dedicated-pool baseline search (defaults to
+    /// `budget`).
+    pub member_budget: Option<usize>,
+    /// Whether to report the dedicated-pools baseline and per-model savings. The
+    /// per-member optimum searches still run for multi-model fleets regardless (they
+    /// seed the joint search's pooling warm start); `false` only suppresses the
+    /// baseline/saving fields in the report.
+    pub baseline: bool,
+    /// Random space-filling evaluations before the joint GP takes over.
+    pub initial_samples: Option<usize>,
+    /// Active-pruning threshold θ of the joint search.
+    pub prune_threshold: Option<f64>,
+    /// Worker threads for batch evaluation.
+    pub threads: Option<usize>,
+    /// Instance families opened for cross-model shared slots (catalog names).
+    pub shared_pool: Vec<String>,
+    /// Per-family search bounds of the shared slice (defaults to 4 each).
+    pub shared_bounds: Option<Vec<u32>>,
+    /// The fleet's models, in routing/report order.
+    pub models: Vec<FleetModelSpec>,
+}
+
+impl FleetSpec {
+    /// Default joint-search budget.
+    pub const DEFAULT_BUDGET: usize = 40;
+
+    /// `true` when a parsed value tree looks like a fleet file (has a `[fleet]` table).
+    pub fn is_fleet_value(root: &Value) -> bool {
+        root.get("fleet").is_some()
+    }
+
+    /// Builds a fleet spec from a parsed value tree, validating shape and key names.
+    pub fn from_value(root: &Value) -> Result<FleetSpec, ScenarioError> {
+        if root.as_table().is_none() {
+            return Err(ScenarioError::invalid("", "a fleet spec must be a table"));
+        }
+        for key in root.keys() {
+            if key != "fleet" && key != "model" {
+                return Err(ScenarioError::invalid(
+                    key,
+                    "unknown key (expected one of: fleet, model)",
+                ));
+            }
+        }
+        let header = root
+            .get("fleet")
+            .ok_or_else(|| ScenarioError::invalid("fleet", "missing [fleet] section"))?;
+        if header.as_table().is_none() {
+            return Err(ScenarioError::invalid(
+                "fleet",
+                format!("expected a [fleet] table, found {}", header.type_name()),
+            ));
+        }
+        let allowed = [
+            "name",
+            "description",
+            "mode",
+            "seed",
+            "catalog",
+            "budget",
+            "member_budget",
+            "baseline",
+            "initial_samples",
+            "prune_threshold",
+            "threads",
+            "shared_pool",
+            "shared_bounds",
+        ];
+        for key in header.keys() {
+            if !allowed.contains(&key) {
+                return Err(ScenarioError::invalid(
+                    format!("fleet.{key}"),
+                    format!("unknown key (expected one of: {})", allowed.join(", ")),
+                ));
+            }
+        }
+        let name = get_str(header, "fleet", "name")?
+            .ok_or_else(|| ScenarioError::invalid("fleet.name", "required field is missing"))?;
+        let description = get_str(header, "fleet", "description")?.unwrap_or_default();
+        let mode = match get_str(header, "fleet", "mode")? {
+            None => RunMode::default(),
+            Some(m) => RunMode::from_name(&m).ok_or_else(|| {
+                ScenarioError::invalid("fleet.mode", format!("unknown mode `{m}`"))
+            })?,
+        };
+        let seed = get_u64(header, "fleet", "seed")?.unwrap_or(0);
+        let catalog = get_str(header, "fleet", "catalog")?;
+        let budget = get_usize(header, "fleet", "budget")?.unwrap_or(Self::DEFAULT_BUDGET);
+        if budget == 0 {
+            return Err(ScenarioError::invalid("fleet.budget", "must be at least 1"));
+        }
+        let member_budget = get_usize(header, "fleet", "member_budget")?;
+        if member_budget == Some(0) {
+            return Err(ScenarioError::invalid(
+                "fleet.member_budget",
+                "must be at least 1",
+            ));
+        }
+        let baseline = get_bool(header, "fleet", "baseline")?.unwrap_or(true);
+        let initial_samples = get_usize(header, "fleet", "initial_samples")?;
+        let prune_threshold = get_f64(header, "fleet", "prune_threshold")?;
+        let threads = get_usize(header, "fleet", "threads")?;
+        let shared_pool = get_str_list(header, "fleet", "shared_pool")?.unwrap_or_default();
+        let shared_bounds = get_u32_list(header, "fleet", "shared_bounds")?;
+        if let Some(b) = &shared_bounds {
+            if b.len() != shared_pool.len() {
+                return Err(ScenarioError::invalid(
+                    "fleet.shared_bounds",
+                    format!(
+                        "{} bounds for {} shared families",
+                        b.len(),
+                        shared_pool.len()
+                    ),
+                ));
+            }
+        }
+
+        let models_value = root
+            .get("model")
+            .ok_or_else(|| ScenarioError::invalid("model", "a fleet needs [[model]] entries"))?;
+        let items = models_value.as_array().ok_or_else(|| {
+            ScenarioError::invalid(
+                "model",
+                format!(
+                    "expected [[model]] array-of-tables, found {}",
+                    models_value.type_name()
+                ),
+            )
+        })?;
+        if items.is_empty() {
+            return Err(ScenarioError::invalid(
+                "model",
+                "a fleet needs at least one [[model]] entry",
+            ));
+        }
+        let mut models = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let path = format!("model[{i}]");
+            models.push(Self::model_from(item).map_err(|e| e.prefix_path(&path))?);
+        }
+
+        Ok(FleetSpec {
+            name,
+            description,
+            mode,
+            seed,
+            catalog,
+            budget,
+            member_budget,
+            baseline,
+            initial_samples,
+            prune_threshold,
+            threads,
+            shared_pool,
+            shared_bounds,
+            models,
+        })
+    }
+
+    fn model_from(t: &Value) -> Result<FleetModelSpec, ScenarioError> {
+        if t.as_table().is_none() {
+            return Err(ScenarioError::invalid(
+                "",
+                format!("expected a [[model]] table, found {}", t.type_name()),
+            ));
+        }
+        let allowed = [
+            "name",
+            "weight",
+            "share_weight",
+            "bounds",
+            "workload",
+            "qos",
+            "traffic",
+            "online",
+        ];
+        for key in t.keys() {
+            if !allowed.contains(&key) {
+                return Err(ScenarioError::invalid(
+                    key,
+                    format!("unknown key (expected one of: {})", allowed.join(", ")),
+                ));
+            }
+        }
+        let workload_table = t
+            .get("workload")
+            .ok_or_else(|| ScenarioError::invalid("workload", "missing workload section"))?;
+        let workload = ScenarioSpec::workload_from(workload_table)?;
+        let qos = match t.get("qos") {
+            None => None,
+            Some(q) => Some(ScenarioSpec::qos_from(q)?),
+        };
+        let traffic = match t.get("traffic") {
+            None => None,
+            Some(tr) => Some(ScenarioSpec::traffic_from(tr)?),
+        };
+        let online = match t.get("online") {
+            None => OnlineSpec::default(),
+            Some(o) => ScenarioSpec::online_from(o)?,
+        };
+        Ok(FleetModelSpec {
+            name: get_str(t, "", "name")?,
+            weight: get_f64(t, "", "weight")?,
+            share_weight: get_f64(t, "", "share_weight")?,
+            bounds: get_u32_list(t, "", "bounds")?,
+            workload,
+            qos,
+            traffic,
+            online,
+        })
+    }
+
+    /// Serializes the spec to a value tree (only explicitly-set optional fields are
+    /// emitted, so a sparse file round-trips to an identical spec).
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        let mut header = Value::table();
+        header.insert("name", Value::from(self.name.as_str()));
+        if !self.description.is_empty() {
+            header.insert("description", Value::from(self.description.as_str()));
+        }
+        header.insert("mode", Value::from(self.mode.name()));
+        header.insert("seed", Value::from(self.seed));
+        if let Some(c) = &self.catalog {
+            header.insert("catalog", Value::from(c.as_str()));
+        }
+        header.insert("budget", Value::from(self.budget));
+        if let Some(b) = self.member_budget {
+            header.insert("member_budget", Value::from(b));
+        }
+        header.insert("baseline", Value::from(self.baseline));
+        if let Some(s) = self.initial_samples {
+            header.insert("initial_samples", Value::from(s));
+        }
+        if let Some(p) = self.prune_threshold {
+            header.insert("prune_threshold", Value::from(p));
+        }
+        if let Some(t) = self.threads {
+            header.insert("threads", Value::from(t));
+        }
+        if !self.shared_pool.is_empty() {
+            header.insert(
+                "shared_pool",
+                Value::Array(
+                    self.shared_pool
+                        .iter()
+                        .map(|s| Value::from(s.as_str()))
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(b) = &self.shared_bounds {
+            header.insert(
+                "shared_bounds",
+                Value::Array(b.iter().map(|&v| Value::from(v)).collect()),
+            );
+        }
+        root.insert("fleet", header);
+
+        let models: Vec<Value> = self
+            .models
+            .iter()
+            .map(|m| {
+                let mut t = Value::table();
+                if let Some(n) = &m.name {
+                    t.insert("name", Value::from(n.as_str()));
+                }
+                if let Some(w) = m.weight {
+                    t.insert("weight", Value::from(w));
+                }
+                if let Some(w) = m.share_weight {
+                    t.insert("share_weight", Value::from(w));
+                }
+                if let Some(b) = &m.bounds {
+                    t.insert(
+                        "bounds",
+                        Value::Array(b.iter().map(|&v| Value::from(v)).collect()),
+                    );
+                }
+                t.insert("workload", workload_to_value(&m.workload));
+                if let Some(q) = &m.qos {
+                    t.insert("qos", qos_to_value(q));
+                }
+                if let Some(tr) = &m.traffic {
+                    t.insert("traffic", traffic_to_value(tr));
+                }
+                if m.online != OnlineSpec::default() {
+                    t.insert("online", online_to_value(&m.online));
+                }
+                t
+            })
+            .collect();
+        root.insert("model", Value::Array(models));
+        root
+    }
+
+    /// Parses a fleet spec from TOML text.
+    pub fn from_toml_str(text: &str) -> Result<FleetSpec, ScenarioError> {
+        Self::from_value(&ribbon_spec::toml::parse(text)?)
+    }
+
+    /// Parses a fleet spec from JSON text.
+    pub fn from_json_str(text: &str) -> Result<FleetSpec, ScenarioError> {
+        Self::from_value(&ribbon_spec::json::parse(text)?)
+    }
+
+    /// Serializes the spec as TOML.
+    pub fn to_toml_string(&self) -> String {
+        ribbon_spec::toml::to_string(&self.to_value())
+            .expect("a fleet value tree is always TOML-expressible")
+    }
+
+    /// Serializes the spec as JSON.
+    pub fn to_json_string(&self) -> String {
+        ribbon_spec::json::to_string(&self.to_value())
+    }
+
+    /// Loads a fleet spec from a TOML/JSON file (by extension).
+    pub fn load_file(path: &str) -> Result<FleetSpec, ScenarioError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })?;
+        let value = Format::from_path(path).parse(&text)?;
+        Self::from_value(&value)
+    }
+}
+
+// Small typed accessors mirroring the scenario spec's conventions (dotted error paths).
+
+fn field(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn get_str(t: &Value, path: &str, key: &str) -> Result<Option<String>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+            ScenarioError::invalid(
+                field(path, key),
+                format!("expected a string, found {}", v.type_name()),
+            )
+        }),
+    }
+}
+
+fn get_bool(t: &Value, path: &str, key: &str) -> Result<Option<bool>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_bool().map(Some).ok_or_else(|| {
+            ScenarioError::invalid(
+                field(path, key),
+                format!("expected a boolean, found {}", v.type_name()),
+            )
+        }),
+    }
+}
+
+fn get_f64(t: &Value, path: &str, key: &str) -> Result<Option<f64>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| {
+            ScenarioError::invalid(
+                field(path, key),
+                format!("expected a number, found {}", v.type_name()),
+            )
+        }),
+    }
+}
+
+fn get_u64(t: &Value, path: &str, key: &str) -> Result<Option<u64>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_i64()
+            .and_then(|i| u64::try_from(i).ok())
+            .map(Some)
+            .ok_or_else(|| {
+                ScenarioError::invalid(
+                    field(path, key),
+                    format!("expected a non-negative integer, found {}", v.type_name()),
+                )
+            }),
+    }
+}
+
+fn get_usize(t: &Value, path: &str, key: &str) -> Result<Option<usize>, ScenarioError> {
+    Ok(get_u64(t, path, key)?.map(|v| v as usize))
+}
+
+fn get_u32_list(t: &Value, path: &str, key: &str) -> Result<Option<Vec<u32>>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items = v.as_array().ok_or_else(|| {
+                ScenarioError::invalid(
+                    field(path, key),
+                    format!("expected an array of integers, found {}", v.type_name()),
+                )
+            })?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_i64()
+                        .and_then(|i| u32::try_from(i).ok())
+                        .ok_or_else(|| {
+                            ScenarioError::invalid(
+                                field(path, key),
+                                "expected non-negative integers",
+                            )
+                        })
+                })
+                .collect::<Result<Vec<u32>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+fn get_str_list(t: &Value, path: &str, key: &str) -> Result<Option<Vec<String>>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items = v.as_array().ok_or_else(|| {
+                ScenarioError::invalid(
+                    field(path, key),
+                    format!("expected an array of strings, found {}", v.type_name()),
+                )
+            })?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ScenarioError::invalid(field(path, key), "expected strings"))
+                })
+                .collect::<Result<Vec<String>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn duo_toml() -> &'static str {
+        r#"
+[fleet]
+name = "duo"
+mode = "plan"
+seed = 5
+budget = 12
+shared_pool = ["g4dn"]
+shared_bounds = [3]
+
+[[model]]
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "MT-WND"
+num_queries = 600
+
+[model.qos]
+latency_ms = 20.0
+target_rate = 0.99
+
+[[model]]
+name = "dien"
+weight = 2.0
+share_weight = 1.5
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "DIEN"
+num_queries = 500
+"#
+    }
+
+    #[test]
+    fn fleet_spec_parses_the_array_of_tables_form() {
+        let spec = FleetSpec::from_toml_str(duo_toml()).unwrap();
+        assert_eq!(spec.name, "duo");
+        assert_eq!(spec.models.len(), 2);
+        assert_eq!(spec.models[0].workload.model, "MT-WND");
+        assert_eq!(spec.models[1].name.as_deref(), Some("dien"));
+        assert_eq!(spec.models[1].weight, Some(2.0));
+        assert_eq!(spec.shared_pool, vec!["g4dn"]);
+        assert_eq!(spec.shared_bounds, Some(vec![3]));
+        assert!(matches!(spec.models[0].qos, Some(QosSpec::TailRate { .. })));
+    }
+
+    #[test]
+    fn fleet_spec_round_trips_losslessly() {
+        let spec = FleetSpec::from_toml_str(duo_toml()).unwrap();
+        let via_toml = FleetSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+        assert_eq!(spec, via_toml);
+        let via_json = FleetSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(spec, via_json);
+    }
+
+    #[test]
+    fn unknown_keys_carry_member_paths() {
+        let bad = duo_toml().replace("weight = 2.0", "weight = 2.0\nwieght = 3.0");
+        let e = FleetSpec::from_toml_str(&bad).unwrap_err();
+        assert!(e.to_string().contains("model[1].wieght"), "{e}");
+
+        let bad = duo_toml().replace("latency_ms = 20.0", "latency_msec = 20.0");
+        let e = FleetSpec::from_toml_str(&bad).unwrap_err();
+        assert!(e.to_string().contains("model[0].qos"), "{e}");
+    }
+
+    #[test]
+    fn shared_bounds_must_match_shared_pool() {
+        let bad = duo_toml().replace("shared_bounds = [3]", "shared_bounds = [3, 4]");
+        let e = FleetSpec::from_toml_str(&bad).unwrap_err();
+        assert!(e.to_string().contains("fleet.shared_bounds"), "{e}");
+    }
+
+    #[test]
+    fn fleet_requires_models_and_a_header() {
+        let e = FleetSpec::from_toml_str("[fleet]\nname = \"x\"\n").unwrap_err();
+        assert!(e.to_string().contains("model"), "{e}");
+        let e = FleetSpec::from_toml_str("[[model]]\n[model.workload]\nmodel = \"DIEN\"\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("fleet"), "{e}");
+    }
+
+    #[test]
+    fn is_fleet_value_distinguishes_fleet_files() {
+        let fleet = ribbon_spec::toml::parse(duo_toml()).unwrap();
+        assert!(FleetSpec::is_fleet_value(&fleet));
+        let scenario =
+            ribbon_spec::toml::parse("[scenario]\nname = \"s\"\n[workload]\nmodel = \"DIEN\"\n")
+                .unwrap();
+        assert!(!FleetSpec::is_fleet_value(&scenario));
+    }
+}

@@ -42,12 +42,16 @@
 //!   warm-start machinery for every replan;
 //! * [`accounting`] — homogeneous baselines, cost savings, exploration cost, transition
 //!   costs of online reconfigurations, and the other derived metrics reported in
-//!   Figs. 9–15.
+//!   Figs. 9–15;
+//! * [`fleet`] — multi-model fleet serving: several workloads on one jointly-optimized
+//!   pool with optional cross-model shared slots, a joint BO planner over the
+//!   cross-product allocation space, and per-model online slice reconfiguration.
 
 pub mod accounting;
 pub mod adapt;
 pub mod bounds;
 pub mod evaluator;
+pub mod fleet;
 pub mod objective;
 pub mod online;
 pub mod scenario;
@@ -58,6 +62,10 @@ pub use accounting::{homogeneous_optimum, HomogeneousOptimum, TraceMetrics};
 pub use adapt::{inject_pseudo_observations, AdaptationOutcome, AdaptationStep, LoadAdapter};
 pub use bounds::find_bounds;
 pub use evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
+pub use fleet::{
+    serve_fleet, Fleet, FleetEvaluation, FleetEvaluator, FleetMember, FleetModelSpec, FleetPlanner,
+    FleetReport, FleetSpec, RibbonFleetPlanner,
+};
 pub use objective::RibbonObjective;
 pub use online::{
     serve_online, serve_online_with_policy, OnlineController, OnlineControllerSettings,
@@ -77,6 +85,7 @@ pub mod prelude {
     pub use crate::accounting::{homogeneous_optimum, TraceMetrics};
     pub use crate::adapt::LoadAdapter;
     pub use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
+    pub use crate::fleet::{Fleet, FleetPlanner, FleetReport, FleetSpec, RibbonFleetPlanner};
     pub use crate::online::{
         serve_online, serve_online_with_policy, OnlineController, OnlineControllerSettings,
         OnlineRunSettings,

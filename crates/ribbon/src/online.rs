@@ -179,6 +179,46 @@ impl OnlineController {
         })
     }
 
+    /// Builds a controller around an *already-planned* deployment, skipping the
+    /// bootstrap search: `record` is the planning exploration record the warm starts
+    /// draw from (it should contain an evaluation of `config`; one is appended when
+    /// missing so [`OnlineController::current_evaluation`] never comes up empty), and
+    /// `config` is the deployed configuration. `planned_qps` is the load `config` was
+    /// planned to carry — for a fleet member whose traffic is partly served by shared
+    /// slots, that is the *lane's* share of the model load, not the whole stream. The
+    /// fleet serve path uses this — the joint fleet planner, not a per-model search,
+    /// chose each model's slice.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_plan(
+        workload: &Workload,
+        settings: OnlineControllerSettings,
+        seed: u64,
+        policy: Arc<dyn QosPolicy>,
+        mut record: Vec<Evaluation>,
+        config: Vec<u32>,
+        expected: Evaluation,
+        planned_qps: f64,
+    ) -> OnlineController {
+        if !record.iter().any(|e| e.config == config) {
+            record.push(expected);
+        }
+        OnlineController {
+            settings,
+            base: workload.clone(),
+            policy,
+            seed,
+            current: config,
+            planned_qps,
+            record,
+            consecutive_violations: 0,
+            violating_qps_sum: 0.0,
+            consecutive_overprov: 0,
+            overprov_qps_sum: 0.0,
+            cooldown: 0,
+            replans: 0,
+        }
+    }
+
     /// The configuration the controller currently believes is deployed.
     pub fn current_config(&self) -> &[u32] {
         &self.current

@@ -45,6 +45,22 @@ impl ScenarioError {
             message: e.message().to_string(),
         }
     }
+
+    /// Prefixes the field path of an [`ScenarioError::Invalid`] (e.g. `model[2]`), so
+    /// errors from a fleet member's embedded sections point at the member.
+    pub fn prefix_path(self, prefix: &str) -> Self {
+        match self {
+            ScenarioError::Invalid { path, message } => ScenarioError::Invalid {
+                path: if path.is_empty() {
+                    prefix.to_string()
+                } else {
+                    format!("{prefix}.{path}")
+                },
+                message,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ScenarioError {

@@ -56,7 +56,7 @@
 mod error;
 mod planner;
 mod report;
-mod spec;
+pub(crate) mod spec;
 
 pub use error::ScenarioError;
 pub use planner::{planner_by_name, Planner, RibbonPlanner, SearchPlanner, ALL_PLANNER_NAMES};

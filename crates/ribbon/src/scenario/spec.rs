@@ -471,7 +471,7 @@ impl ScenarioSpec {
         })
     }
 
-    fn workload_from(t: &Value) -> Result<WorkloadSpec, ScenarioError> {
+    pub(crate) fn workload_from(t: &Value) -> Result<WorkloadSpec, ScenarioError> {
         check_keys(
             t,
             "workload",
@@ -500,7 +500,7 @@ impl ScenarioSpec {
         })
     }
 
-    fn qos_from(t: &Value) -> Result<QosSpec, ScenarioError> {
+    pub(crate) fn qos_from(t: &Value) -> Result<QosSpec, ScenarioError> {
         let policy = opt_str(t, "qos", "policy")?.unwrap_or_else(|| "tail-rate".to_string());
         // Keys are checked *per policy*: a `target_rate` under a deadline policy is a
         // misunderstanding that must error, not a knob to silently drop.
@@ -578,7 +578,7 @@ impl ScenarioSpec {
         })
     }
 
-    fn traffic_from(t: &Value) -> Result<TrafficSpec, ScenarioError> {
+    pub(crate) fn traffic_from(t: &Value) -> Result<TrafficSpec, ScenarioError> {
         check_keys(t, "traffic", &["scenario", "phases", "duration_s"])?;
         let phases = match t.get("phases") {
             None => None,
@@ -605,7 +605,7 @@ impl ScenarioSpec {
         })
     }
 
-    fn online_from(t: &Value) -> Result<OnlineSpec, ScenarioError> {
+    pub(crate) fn online_from(t: &Value) -> Result<OnlineSpec, ScenarioError> {
         check_keys(
             t,
             "online",
@@ -651,6 +651,95 @@ fn put<T: Into<Value>>(t: &mut Value, key: &str, v: Option<T>) {
     }
 }
 
+/// Serializes a `[workload]` section (shared with the fleet spec's `[[model]]` entries).
+pub(crate) fn workload_to_value(w: &WorkloadSpec) -> Value {
+    let mut wt = Value::table();
+    wt.insert("model", Value::from(w.model.as_str()));
+    put(&mut wt, "qps", w.qps);
+    put(&mut wt, "num_queries", w.num_queries);
+    put(&mut wt, "median_batch", w.median_batch);
+    put(&mut wt, "max_batch", w.max_batch);
+    put(&mut wt, "batch_shape", w.batch_shape.as_deref());
+    put(&mut wt, "stream_seed", w.stream_seed);
+    put(&mut wt, "base_type", w.base_type.as_deref());
+    put(
+        &mut wt,
+        "diverse_pool",
+        w.diverse_pool.as_ref().map(|p| {
+            p.iter()
+                .map(|s| Value::from(s.as_str()))
+                .collect::<Vec<_>>()
+        }),
+    );
+    wt
+}
+
+/// Serializes a `[qos]` section (shared with the fleet spec's `[[model]]` entries).
+pub(crate) fn qos_to_value(qos: &QosSpec) -> Value {
+    let mut qt = Value::table();
+    match qos {
+        QosSpec::TailRate {
+            latency_ms,
+            target_rate,
+        } => {
+            qt.insert("policy", Value::from("tail-rate"));
+            qt.insert("latency_ms", Value::from(*latency_ms));
+            qt.insert("target_rate", Value::from(*target_rate));
+        }
+        QosSpec::MeanLatency {
+            mean_target_ms,
+            latency_ms,
+        } => {
+            qt.insert("policy", Value::from("mean-latency"));
+            qt.insert("mean_target_ms", Value::from(*mean_target_ms));
+            qt.insert("latency_ms", Value::from(*latency_ms));
+        }
+        QosSpec::Deadline { latency_ms } => {
+            qt.insert("policy", Value::from("deadline"));
+            qt.insert("latency_ms", Value::from(*latency_ms));
+        }
+    }
+    qt
+}
+
+/// Serializes a `[traffic]` section (shared with the fleet spec's `[[model]]` entries).
+pub(crate) fn traffic_to_value(traffic: &TrafficSpec) -> Value {
+    let mut tt = Value::table();
+    put(&mut tt, "scenario", traffic.scenario.as_deref());
+    put(&mut tt, "duration_s", traffic.duration_s);
+    if let Some(phases) = &traffic.phases {
+        let items: Vec<Value> = phases
+            .iter()
+            .map(|ph| {
+                let mut t = Value::table();
+                t.insert("duration_s", Value::from(ph.duration_s));
+                t.insert("qps", Value::from(ph.qps));
+                t
+            })
+            .collect();
+        tt.insert("phases", Value::Array(items));
+    }
+    tt
+}
+
+/// Serializes an `[online]` section (shared with the fleet spec's `[[model]]` entries).
+pub(crate) fn online_to_value(o: &OnlineSpec) -> Value {
+    let mut ot = Value::table();
+    put(&mut ot, "window_s", o.window_s);
+    put(&mut ot, "window_step_s", o.window_step_s);
+    put(&mut ot, "spin_up_factor", o.spin_up_factor);
+    put(&mut ot, "initial_budget", o.initial_budget);
+    put(&mut ot, "replan_budget", o.replan_budget);
+    put(&mut ot, "planning_queries", o.planning_queries);
+    put(&mut ot, "violation_windows", o.violation_windows);
+    put(&mut ot, "overprovision_windows", o.overprovision_windows);
+    put(&mut ot, "overprovision_headroom", o.overprovision_headroom);
+    put(&mut ot, "cooldown_windows", o.cooldown_windows);
+    put(&mut ot, "scale_up_margin", o.scale_up_margin);
+    put(&mut ot, "scale_down_margin", o.scale_down_margin);
+    ot
+}
+
 impl ScenarioSpec {
     /// Serializes the spec to a value tree. Only explicitly-set optional fields are
     /// emitted, so a sparse file round-trips to an identical spec.
@@ -667,52 +756,10 @@ impl ScenarioSpec {
         put(&mut header, "catalog", self.catalog.as_deref());
         root.insert("scenario", header);
 
-        let w = &self.workload;
-        let mut wt = Value::table();
-        wt.insert("model", Value::from(w.model.as_str()));
-        put(&mut wt, "qps", w.qps);
-        put(&mut wt, "num_queries", w.num_queries);
-        put(&mut wt, "median_batch", w.median_batch);
-        put(&mut wt, "max_batch", w.max_batch);
-        put(&mut wt, "batch_shape", w.batch_shape.as_deref());
-        put(&mut wt, "stream_seed", w.stream_seed);
-        put(&mut wt, "base_type", w.base_type.as_deref());
-        put(
-            &mut wt,
-            "diverse_pool",
-            w.diverse_pool.as_ref().map(|p| {
-                p.iter()
-                    .map(|s| Value::from(s.as_str()))
-                    .collect::<Vec<_>>()
-            }),
-        );
-        root.insert("workload", wt);
+        root.insert("workload", workload_to_value(&self.workload));
 
         if let Some(qos) = &self.qos {
-            let mut qt = Value::table();
-            match qos {
-                QosSpec::TailRate {
-                    latency_ms,
-                    target_rate,
-                } => {
-                    qt.insert("policy", Value::from("tail-rate"));
-                    qt.insert("latency_ms", Value::from(*latency_ms));
-                    qt.insert("target_rate", Value::from(*target_rate));
-                }
-                QosSpec::MeanLatency {
-                    mean_target_ms,
-                    latency_ms,
-                } => {
-                    qt.insert("policy", Value::from("mean-latency"));
-                    qt.insert("mean_target_ms", Value::from(*mean_target_ms));
-                    qt.insert("latency_ms", Value::from(*latency_ms));
-                }
-                QosSpec::Deadline { latency_ms } => {
-                    qt.insert("policy", Value::from("deadline"));
-                    qt.insert("latency_ms", Value::from(*latency_ms));
-                }
-            }
-            root.insert("qos", qt);
+            root.insert("qos", qos_to_value(qos));
         }
 
         let p = &self.planner;
@@ -751,40 +798,11 @@ impl ScenarioSpec {
         }
 
         if let Some(traffic) = &self.traffic {
-            let mut tt = Value::table();
-            put(&mut tt, "scenario", traffic.scenario.as_deref());
-            put(&mut tt, "duration_s", traffic.duration_s);
-            if let Some(phases) = &traffic.phases {
-                let items: Vec<Value> = phases
-                    .iter()
-                    .map(|ph| {
-                        let mut t = Value::table();
-                        t.insert("duration_s", Value::from(ph.duration_s));
-                        t.insert("qps", Value::from(ph.qps));
-                        t
-                    })
-                    .collect();
-                tt.insert("phases", Value::Array(items));
-            }
-            root.insert("traffic", tt);
+            root.insert("traffic", traffic_to_value(traffic));
         }
 
-        let o = &self.online;
-        if *o != OnlineSpec::default() {
-            let mut ot = Value::table();
-            put(&mut ot, "window_s", o.window_s);
-            put(&mut ot, "window_step_s", o.window_step_s);
-            put(&mut ot, "spin_up_factor", o.spin_up_factor);
-            put(&mut ot, "initial_budget", o.initial_budget);
-            put(&mut ot, "replan_budget", o.replan_budget);
-            put(&mut ot, "planning_queries", o.planning_queries);
-            put(&mut ot, "violation_windows", o.violation_windows);
-            put(&mut ot, "overprovision_windows", o.overprovision_windows);
-            put(&mut ot, "overprovision_headroom", o.overprovision_headroom);
-            put(&mut ot, "cooldown_windows", o.cooldown_windows);
-            put(&mut ot, "scale_up_margin", o.scale_up_margin);
-            put(&mut ot, "scale_down_margin", o.scale_down_margin);
-            root.insert("online", ot);
+        if self.online != OnlineSpec::default() {
+            root.insert("online", online_to_value(&self.online));
         }
 
         root

@@ -41,11 +41,14 @@ pub fn parse(input: &str) -> Result<Value, SpecError> {
                 .strip_suffix(']')
                 .ok_or_else(|| SpecError::syntax(line_no, "unterminated [table] header"))?;
             let path = parse_key_path(inner, line_no)?;
-            let joined = path.join(".");
-            if !explicit_headers.insert(joined.clone()) {
+            // Header identity accounts for array-of-tables elements: `[model.workload]`
+            // under the *second* `[[model]]` is a different table than under the first,
+            // so the duplicate check keys on the resolved element indices.
+            let resolved = resolved_header_key(&root, &path);
+            if !explicit_headers.insert(resolved) {
                 return Err(SpecError::syntax(
                     line_no,
-                    format!("table [{joined}] defined twice"),
+                    format!("table [{}] defined twice", path.join(".")),
                 ));
             }
             define_table(&mut root, &path, line_no)?;
@@ -177,6 +180,35 @@ fn logical_lines(input: &str) -> Result<Vec<(usize, String)>, SpecError> {
         lines.push((start_line, buf));
     }
     Ok(lines)
+}
+
+/// Canonical identity of a `[header]` path: segments that traverse an array of tables
+/// carry the index of the element they address (always the last one, per TOML's
+/// continuation rule), so re-defining a sub-table under a *new* `[[element]]` is not a
+/// duplicate of the previous element's sub-table.
+fn resolved_header_key(root: &Value, path: &[String]) -> String {
+    let mut key = String::new();
+    let mut node = Some(root);
+    for seg in path {
+        if !key.is_empty() {
+            key.push('.');
+        }
+        match node.and_then(|n| n.get(seg)) {
+            Some(Value::Array(items)) => {
+                key.push_str(&format!("{seg}[{}]", items.len().saturating_sub(1)));
+                node = items.last();
+            }
+            Some(next @ Value::Table(_)) => {
+                key.push_str(seg);
+                node = Some(next);
+            }
+            _ => {
+                key.push_str(seg);
+                node = None;
+            }
+        }
+    }
+    key
 }
 
 /// Position of the first `=` outside quotes, if any.

@@ -1,0 +1,336 @@
+//! Property tests: random value trees round-trip through both wire formats
+//! **bit-exactly** — `Value → TOML → Value` and `Value → JSON → Value` reproduce every
+//! scalar bit-for-bit (floats compared by `to_bits`, not `==`), including float edge
+//! cases (negative zero, subnormals, extreme exponents, shortest-round-trip decimals)
+//! and `[[array-of-table]]` shapes with continuation headers.
+//!
+//! The TOML writer's canonical layout (inline keys before `[section]`s) means *value*
+//! round-trips are exact when the tree is already in canonical order, which is how
+//! every producer in this workspace builds tables — the generator produces canonical
+//! trees and the test demands exact equality, not merely semantic equivalence.
+
+use proptest::prelude::*;
+use ribbon_spec::{json, toml, Value};
+
+/// Deterministic splitmix64 generator — the test only needs cheap, seedable entropy.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Float edge cases every run must exercise alongside random finite bit patterns.
+const FLOAT_EDGES: [f64; 12] = [
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.1,
+    1.0 / 3.0,
+    f64::MIN_POSITIVE, // smallest normal
+    5e-324,            // smallest subnormal
+    f64::MAX,
+    -f64::MAX,
+    1e308,
+    -2.5e-3,
+];
+
+fn gen_float(g: &mut Gen, allow_inf: bool) -> f64 {
+    match g.below(4) {
+        0 => FLOAT_EDGES[g.below(FLOAT_EDGES.len() as u64) as usize],
+        1 if allow_inf && g.below(8) == 0 => {
+            if g.below(2) == 0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+        _ => loop {
+            // Random bit patterns cover exponent/mantissa space uniformly; NaN is
+            // excluded (payload bits are not representable in either text format).
+            let x = f64::from_bits(g.next());
+            if x.is_nan() || (!allow_inf && x.is_infinite()) {
+                continue;
+            }
+            break x;
+        },
+    }
+}
+
+fn gen_string(g: &mut Gen) -> String {
+    const PIECES: [&str; 10] = [
+        "plain",
+        "with space",
+        "q\"uote",
+        "back\\slash",
+        "new\nline",
+        "tab\t",
+        "unicode≤π",
+        "zero",
+        "\u{1}ctrl",
+        "end",
+    ];
+    let n = g.below(3) + 1;
+    (0..n)
+        .map(|_| PIECES[g.below(PIECES.len() as u64) as usize])
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn gen_scalar(g: &mut Gen, allow_inf: bool) -> Value {
+    match g.below(4) {
+        0 => Value::Bool(g.below(2) == 0),
+        1 => Value::Int(g.next() as i64),
+        2 => Value::Float(gen_float(g, allow_inf)),
+        _ => Value::Str(gen_string(g)),
+    }
+}
+
+/// An array safe for TOML's *inline* position: scalars and nested inline arrays only
+/// (a non-empty all-table array would be promoted to `[[section]]` form, which
+/// re-canonicalizes element order — section arrays are generated explicitly instead).
+fn gen_inline_array(g: &mut Gen, depth: u32, allow_inf: bool) -> Value {
+    let n = g.below(4);
+    Value::Array(
+        (0..n)
+            .map(|_| {
+                if depth > 0 && g.below(4) == 0 {
+                    gen_inline_array(g, depth - 1, allow_inf)
+                } else {
+                    gen_scalar(g, allow_inf)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// A table in TOML-canonical order: inline-expressible entries first, then
+/// `[section]` tables and `[[section]]` arrays-of-tables.
+fn gen_canonical_table(g: &mut Gen, depth: u32, allow_inf: bool) -> Value {
+    let mut table = Value::table();
+    let inline_n = g.below(4);
+    for i in 0..inline_n {
+        let value = if g.below(4) == 0 {
+            gen_inline_array(g, 1, allow_inf)
+        } else {
+            gen_scalar(g, allow_inf)
+        };
+        table.insert(format!("k{i}"), value);
+    }
+    if depth > 0 {
+        let section_n = g.below(3);
+        for i in 0..section_n {
+            if g.below(3) == 0 {
+                // An array of tables: every element itself canonical.
+                let elems = g.below(3) + 1;
+                let items: Vec<Value> = (0..elems)
+                    .map(|_| gen_canonical_table(g, depth - 1, allow_inf))
+                    .collect();
+                table.insert(format!("arr{i}"), Value::Array(items));
+            } else {
+                table.insert(
+                    format!("sec{i}"),
+                    gen_canonical_table(g, depth - 1, allow_inf),
+                );
+            }
+        }
+    }
+    table
+}
+
+/// A JSON value tree: order and nesting unconstrained (JSON preserves both exactly).
+fn gen_json_value(g: &mut Gen, depth: u32) -> Value {
+    if depth == 0 {
+        return gen_scalar(g, false);
+    }
+    match g.below(6) {
+        0 => {
+            let n = g.below(4);
+            Value::Array((0..n).map(|_| gen_json_value(g, depth - 1)).collect())
+        }
+        1 | 2 => {
+            let mut t = Value::table();
+            for i in 0..g.below(5) {
+                // Mixed order on purpose: scalars and tables interleave freely.
+                t.insert(
+                    format!("k{i}-{}", gen_string(g)),
+                    gen_json_value(g, depth - 1),
+                );
+            }
+            t
+        }
+        _ => gen_scalar(g, false),
+    }
+}
+
+/// Bit-exact structural equality: floats by `to_bits`, everything else by value.
+fn assert_bit_eq(a: &Value, b: &Value, path: &str) {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "float bits diverged at {path}");
+        }
+        (Value::Array(xs), Value::Array(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "array length diverged at {path}");
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                assert_bit_eq(x, y, &format!("{path}[{i}]"));
+            }
+        }
+        (Value::Table(xs), Value::Table(ys)) => {
+            assert_eq!(
+                xs.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+                ys.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+                "table keys diverged at {path}"
+            );
+            for ((k, x), (_, y)) in xs.iter().zip(ys) {
+                assert_bit_eq(x, y, &format!("{path}.{k}"));
+            }
+        }
+        _ => assert_eq!(a, b, "value diverged at {path}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_toml_roundtrip_is_bit_exact(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let tree = gen_canonical_table(&mut g, 3, true);
+        let text = toml::to_string(&tree).expect("canonical trees are TOML-expressible");
+        let reparsed = toml::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{text}"));
+        assert_bit_eq(&tree, &reparsed, "root");
+    }
+
+    #[test]
+    fn prop_json_roundtrip_is_bit_exact(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        // JSON documents in this workspace are always object-rooted.
+        let mut tree = gen_json_value(&mut g, 3);
+        if tree.as_table().is_none() {
+            let mut root = Value::table();
+            root.insert("root", tree);
+            tree = root;
+        }
+        let text = json::to_string(&tree);
+        let reparsed = json::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{text}"));
+        assert_bit_eq(&tree, &reparsed, "root");
+    }
+
+    #[test]
+    fn prop_toml_json_cross_agree_on_finite_trees(seed in 0u64..u64::MAX) {
+        // The same canonical tree pushed through BOTH formats must come back bit-equal
+        // to itself through each — i.e. the two wire formats agree on every value the
+        // workspace can express in both.
+        let mut g = Gen::new(seed);
+        let tree = gen_canonical_table(&mut g, 2, false);
+        let via_toml = toml::parse(&toml::to_string(&tree).unwrap()).unwrap();
+        let via_json = json::parse(&json::to_string(&tree)).unwrap();
+        assert_bit_eq(&via_toml, &via_json, "root");
+    }
+}
+
+#[test]
+fn float_edge_cases_round_trip_bit_exactly_in_both_formats() {
+    for (i, &x) in FLOAT_EDGES.iter().enumerate() {
+        let mut t = Value::table();
+        t.insert("x", Value::Float(x));
+        let via_toml = toml::parse(&toml::to_string(&t).unwrap()).unwrap();
+        assert_eq!(
+            via_toml.get("x").unwrap().as_f64().unwrap().to_bits(),
+            x.to_bits(),
+            "TOML edge case #{i} ({x:?})"
+        );
+        let via_json = json::parse(&json::to_string(&t)).unwrap();
+        assert_eq!(
+            via_json.get("x").unwrap().as_f64().unwrap().to_bits(),
+            x.to_bits(),
+            "JSON edge case #{i} ({x:?})"
+        );
+    }
+    // Infinities are TOML-only (JSON nulls them — pinned by the json unit tests).
+    for x in [f64::INFINITY, f64::NEG_INFINITY] {
+        let mut t = Value::table();
+        t.insert("x", Value::Float(x));
+        let back = toml::parse(&toml::to_string(&t).unwrap()).unwrap();
+        assert_eq!(
+            back.get("x").unwrap().as_f64().unwrap().to_bits(),
+            x.to_bits()
+        );
+    }
+}
+
+#[test]
+fn array_of_tables_with_continuation_headers_round_trips() {
+    // The `[[model]]` + `[model.workload]` shape fleet files use: sub-table headers
+    // under *each* array element are distinct tables, not duplicate definitions.
+    let doc = r#"
+[fleet]
+name = "duo"
+
+[[model]]
+weight = 1.5
+
+[model.workload]
+model = "MT-WND"
+qps = 1400.0
+
+[[model]]
+weight = 2.5
+
+[model.workload]
+model = "DIEN"
+
+[model.workload.inner]
+deep = true
+"#;
+    let v = toml::parse(doc).expect("continuation headers parse");
+    let models = v.get("model").unwrap().as_array().unwrap();
+    assert_eq!(models.len(), 2);
+    assert_eq!(
+        models[0]
+            .get("workload")
+            .unwrap()
+            .get("model")
+            .unwrap()
+            .as_str(),
+        Some("MT-WND")
+    );
+    assert_eq!(
+        models[1]
+            .get("workload")
+            .unwrap()
+            .get("inner")
+            .unwrap()
+            .get("deep")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    // And the whole shape round-trips bit-exactly.
+    let emitted = toml::to_string(&v).unwrap();
+    let reparsed = toml::parse(&emitted).unwrap();
+    assert_bit_eq(&v, &reparsed, "root");
+
+    // Re-defining the SAME element's sub-table is still a duplicate.
+    let dup = "[[model]]\n[model.workload]\nx = 1\n[model.workload]\ny = 2\n";
+    assert!(
+        toml::parse(dup).is_err(),
+        "same-element redefinition must fail"
+    );
+}

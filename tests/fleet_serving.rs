@@ -1,0 +1,341 @@
+//! Integration suite of the multi-model fleet layer:
+//!
+//! 1. **single-model differential** — a fleet with one member and no shared families
+//!    must reproduce the single-model `RibbonPlanner` path *bit for bit*: the plan
+//!    trace (configs, objectives, full evaluations) and the serve phase (every
+//!    monitoring window, every reconfiguration event, total cost) alike;
+//! 2. **the bundled three-model fleet** — `scenarios/fleet_rec_trio.toml` plans
+//!    end-to-end with every model's QoS met and a total hourly cost *strictly below*
+//!    the sum of the three dedicated-pool optima, deterministically under its fixed
+//!    seed, and the same fleet serves end-to-end with healthy per-model satisfaction;
+//! 3. **joint-allocation semantics** — shared slots actually carry both models'
+//!    queries, and attributed per-model costs decompose the fleet total.
+
+use ribbon::fleet::{FleetPlanner, FleetSpec, RibbonFleetPlanner};
+use ribbon::online::serve_online_with_policy;
+use ribbon::scenario::{RunMode, ScenarioSpec};
+use ribbon::search::RibbonSearch;
+
+fn single_model_scenario_toml() -> &'static str {
+    r#"
+[scenario]
+name = "solo"
+mode = "plan"
+seed = 9
+
+[workload]
+model = "MT-WND"
+num_queries = 900
+
+[planner]
+name = "ribbon"
+budget = 10
+baseline = false
+
+[evaluator]
+bounds = [6, 4, 6]
+"#
+}
+
+fn single_model_fleet_toml() -> &'static str {
+    r#"
+[fleet]
+name = "solo-fleet"
+mode = "plan"
+seed = 9
+budget = 10
+baseline = false
+
+[[model]]
+bounds = [6, 4, 6]
+
+[model.workload]
+model = "MT-WND"
+num_queries = 900
+"#
+}
+
+#[test]
+fn single_model_fleet_plan_is_bit_identical_to_the_ribbon_planner() {
+    let scenario = ScenarioSpec::from_toml_str(single_model_scenario_toml())
+        .unwrap()
+        .compile()
+        .unwrap();
+    let solo = scenario.run().unwrap().plan.expect("plan mode");
+
+    let fleet = FleetSpec::from_toml_str(single_model_fleet_toml())
+        .unwrap()
+        .compile()
+        .unwrap();
+    let report = fleet.run().unwrap();
+
+    assert_eq!(report.evaluations, solo.trace.len());
+    for (fe, se) in report.trace.iter().zip(solo.trace.evaluations()) {
+        assert_eq!(fe.per_model.len(), 1);
+        assert_eq!(
+            &fe.per_model[0], se,
+            "joint trace must be the member's evaluation, bit for bit"
+        );
+        assert_eq!(fe.config, se.config, "flat allocation == member config");
+        assert_eq!(
+            fe.objective, se.objective,
+            "fleet Eq. 2 must equal RibbonObjective for one member"
+        );
+    }
+    let best = solo.trace.best_satisfying().expect("solo found a pool");
+    assert_eq!(report.models[0].dedicated_config, best.config);
+    assert_eq!(report.models[0].dedicated_hourly_cost, best.hourly_cost);
+    assert!(report.models[0].meets_qos);
+}
+
+#[test]
+fn single_model_fleet_serve_is_bit_identical_to_serve_online() {
+    let serve_toml = r#"
+[fleet]
+name = "solo-serve"
+mode = "serve"
+seed = 7
+budget = 18
+baseline = false
+
+[[model]]
+bounds = [7, 4, 7]
+
+[model.workload]
+model = "MT-WND"
+
+[model.traffic]
+scenario = "flash-crowd"
+duration_s = 24.0
+
+[model.online]
+window_s = 2.0
+spin_up_factor = 0.5
+planning_queries = 1200
+"#;
+    let fleet = FleetSpec::from_toml_str(serve_toml)
+        .unwrap()
+        .compile()
+        .unwrap();
+    let member = &fleet.members[0];
+    let outcome = serve_online_with_policy(
+        &member.scenario.workload,
+        member.scenario.traffic.as_ref().expect("serve traffic"),
+        &member.scenario.online_settings,
+        fleet.spec.seed,
+        member.scenario.policy.clone(),
+    )
+    .expect("single-model serve converges");
+
+    let report = fleet.run().unwrap();
+    let ms = report.models[0].serve.as_ref().expect("serve section");
+    let totals = report.serve.as_ref().expect("fleet totals");
+
+    assert_eq!(ms.initial_config, outcome.initial_config);
+    assert_eq!(ms.final_config, outcome.final_config);
+    assert_eq!(
+        ms.window_stats, outcome.windows,
+        "every monitoring window must be bit-identical to serve_online's"
+    );
+    assert_eq!(ms.queries, outcome.stats.num_queries);
+    assert_eq!(ms.satisfaction_rate, outcome.stats.satisfaction_rate());
+    assert_eq!(ms.events.len(), outcome.events.len());
+    for (fe, oe) in ms.events.iter().zip(&outcome.events) {
+        assert_eq!(fe.window_index, oe.window_index);
+        assert_eq!(fe.config, oe.config);
+        assert_eq!(fe.planned_qps, oe.planned_qps);
+        assert_eq!(fe.transition_cost_usd, oe.transition_cost_usd);
+    }
+    assert_eq!(totals.total_cost_usd, outcome.total_cost_usd);
+    assert_eq!(totals.duration_s, outcome.duration_s);
+    assert_eq!(totals.final_hourly_cost, outcome.final_hourly_cost);
+}
+
+fn trio_path() -> &'static str {
+    // Integration tests run with the package root (crates/ribbon) as CWD.
+    "../../scenarios/fleet_rec_trio.toml"
+}
+
+#[test]
+fn bundled_trio_beats_the_dedicated_pools_baseline_with_all_qos_met() {
+    let fleet = ribbon::fleet::Fleet::load(trio_path()).expect("bundled trio loads");
+    let report = fleet.run().expect("the trio plans");
+
+    // Every model meets its own QoS policy under the chosen allocation.
+    for m in &report.models {
+        assert!(m.meets_qos, "{} violated its policy: {:?}", m.name, m);
+        assert!(m.satisfaction_rate >= 0.99 || m.qos.contains("mean latency"));
+    }
+    // The joint allocation is strictly cheaper than running three dedicated pools.
+    let baseline = report
+        .baseline_total_hourly_cost
+        .expect("baseline = true computes the dedicated optima");
+    assert!(
+        report.total_hourly_cost < baseline,
+        "joint ${} must beat dedicated ${baseline}",
+        report.total_hourly_cost
+    );
+    // The saving comes from actual sharing: both recommendation models lean on the
+    // shared slots at plan time.
+    assert!(report.shared_config.iter().any(|&c| c > 0));
+    assert!(
+        report.models[0].shared_queries > 0,
+        "MT-WND uses shared slots"
+    );
+    assert!(
+        report.models[1].shared_queries > 0,
+        "DIEN uses shared slots"
+    );
+    assert_eq!(
+        report.models[2].shared_queries, 0,
+        "ResNet50 (share_weight = 0) never touches them"
+    );
+    // Attributed per-model costs decompose the fleet total.
+    let attributed: f64 = report.models.iter().map(|m| m.attributed_hourly_cost).sum();
+    assert!((attributed - report.total_hourly_cost).abs() < 1e-9);
+}
+
+#[test]
+fn bundled_trio_plan_is_deterministic_under_its_seed() {
+    let a = ribbon::fleet::Fleet::load(trio_path())
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = ribbon::fleet::Fleet::load(trio_path())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(a, b, "same spec + same seed must reproduce the full report");
+}
+
+#[test]
+fn trio_serves_end_to_end_with_healthy_per_model_satisfaction() {
+    // The bundled trio with steady slightly-below-plan traffic attached to each
+    // member: the fleet must serve end-to-end with every model's stream staying at
+    // (or above) its planning-time satisfaction.
+    let mut spec = FleetSpec::load_file(trio_path()).unwrap();
+    spec.mode = RunMode::Serve;
+    spec.catalog = None; // test CWD differs from the scenario dir
+    let duration = 16.0;
+    let loads = [1300.0, 1150.0, 46.0];
+    for (m, qps) in spec.models.iter_mut().zip(loads) {
+        m.traffic = Some(ribbon::scenario::TrafficSpec {
+            scenario: None,
+            phases: Some(vec![ribbon::scenario::PhaseSpec {
+                duration_s: duration,
+                qps,
+            }]),
+            duration_s: None,
+        });
+        m.online.window_s = Some(2.0);
+        m.online.spin_up_factor = Some(0.5);
+        m.online.planning_queries = Some(1200);
+    }
+    let fleet = spec.compile().unwrap();
+    let report = RibbonFleetPlanner.serve(&fleet).expect("the trio serves");
+    let totals = report.serve.as_ref().expect("fleet totals");
+    assert!(totals.queries > 0);
+    assert!(totals.total_cost_usd > 0.0);
+    for m in &report.models {
+        let serve = m.serve.as_ref().expect("per-member serve section");
+        assert!(serve.queries > 0, "{} served no queries", m.name);
+        if m.qos.contains("mean latency") {
+            // ResNet50 is judged by its own policy: a query-weighted mean within the
+            // 200 ms budget (heavy-tail batches are structurally late against the
+            // 400 ms classification deadline, so the per-query rate is not its bar).
+            let (sum, n) = serve
+                .window_stats
+                .iter()
+                .filter_map(|w| w.mean_latency_s.map(|mean| (mean, w.num_queries)))
+                .fold((0.0, 0usize), |(s, c), (mean, nq)| {
+                    (s + mean * nq as f64, c + nq)
+                });
+            let mean_s = sum / n as f64;
+            assert!(
+                mean_s <= 0.200,
+                "{} whole-stream mean latency {mean_s}s blew the 200 ms budget",
+                m.name
+            );
+        } else {
+            let rate = serve.satisfaction_rate.expect("non-empty stream");
+            assert!(
+                rate >= 0.98,
+                "{} whole-stream satisfaction {rate} degraded under steady load",
+                m.name
+            );
+        }
+    }
+    // Serve mode keeps a reconfigurable dedicated slice for every member.
+    for m in &report.models {
+        assert!(
+            m.serve
+                .as_ref()
+                .unwrap()
+                .initial_config
+                .iter()
+                .any(|&c| c > 0),
+            "{} must keep a dedicated slice in serve mode",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn joint_search_degrades_gracefully_when_nothing_satisfies() {
+    // One-instance bounds cannot carry MT-WND's load: the planner must report a run
+    // error, not panic or return a violating "best".
+    let fleet = FleetSpec::from_toml_str(
+        r#"
+[fleet]
+name = "starved"
+seed = 3
+budget = 6
+baseline = false
+
+[[model]]
+bounds = [1, 0, 0]
+
+[model.workload]
+model = "MT-WND"
+num_queries = 400
+
+[[model]]
+bounds = [1, 0, 0]
+
+[model.workload]
+model = "DIEN"
+num_queries = 400
+"#,
+    )
+    .unwrap()
+    .compile()
+    .unwrap();
+    let err = fleet.run().unwrap_err();
+    assert!(err.to_string().contains("no allocation"), "{err}");
+}
+
+#[test]
+fn member_baselines_match_standalone_ribbon_searches() {
+    // The "dedicated-pool optimum" the fleet report quotes must be exactly what a
+    // standalone RIBBON search over the same member finds.
+    let fleet = ribbon::fleet::Fleet::load(trio_path()).unwrap();
+    let report = fleet.run().unwrap();
+    let evaluator = ribbon::fleet::FleetEvaluator::new(&fleet).unwrap();
+    for (m, member) in fleet.members.iter().enumerate() {
+        let search = RibbonSearch::new(member.scenario.search_settings.clone());
+        let trace = search.run(evaluator.member_evaluator(m), fleet.spec.seed);
+        let best = trace
+            .best_satisfying()
+            .expect("standalone search converges");
+        assert_eq!(
+            report.models[m].baseline_config.as_deref(),
+            Some(best.config.as_slice()),
+            "{}",
+            member.name
+        );
+        assert_eq!(
+            report.models[m].baseline_hourly_cost,
+            Some(best.hourly_cost)
+        );
+    }
+}

@@ -237,6 +237,178 @@ fn load_drop_scales_the_pool_down() {
     }
 }
 
+/// A synthetic monitoring window for direct controller-edge tests.
+fn synthetic_window(index: u64, rate: Option<f64>, qps: f64) -> ribbon_cloudsim::WindowStats {
+    ribbon_cloudsim::WindowStats {
+        index,
+        start_s: index as f64,
+        end_s: index as f64 + 1.0,
+        num_queries: if rate.is_some() { 100 } else { 0 },
+        satisfied: rate.map_or(0, |r| (r * 100.0) as usize),
+        satisfaction_rate: rate,
+        mean_latency_s: rate.map(|_| 0.01),
+        tail_latency_s: rate.map(|_| 0.02),
+        arrival_qps: qps,
+        throughput_qps: qps,
+        pool_hourly_cost: 2.0,
+        cost_so_far_usd: 0.1,
+    }
+}
+
+fn edge_controller() -> ribbon::online::OnlineController {
+    let settings = OnlineControllerSettings {
+        evaluator: EvaluatorSettings {
+            explicit_bounds: Some(vec![7, 4, 7]),
+            ..Default::default()
+        },
+        planning_queries: 800,
+        ..Default::default()
+    };
+    let initial = RibbonSettings {
+        max_evaluations: 20,
+        ..RibbonSettings::fast()
+    };
+    ribbon::online::OnlineController::bootstrap(
+        &Workload::standard(ModelKind::MtWnd),
+        &initial,
+        settings,
+        3,
+    )
+    .expect("bootstrap converges")
+}
+
+#[test]
+fn cooldown_expires_exactly_on_the_window_boundary() {
+    // Default hysteresis: violation_windows = 2, cooldown_windows = 3. After a replan,
+    // exactly `cooldown` windows are ignored — the very next window counts again, so
+    // a persistent violation re-trips after cooldown + violation_windows windows, not
+    // one window later.
+    let mut c = edge_controller();
+    let cooldown = 3u64;
+    let violation_windows = 2u64;
+    assert!(c
+        .observe(&synthetic_window(0, Some(0.90), 2100.0))
+        .is_none());
+    assert!(
+        c.observe(&synthetic_window(1, Some(0.90), 2100.0))
+            .is_some(),
+        "second violating window trips the first replan"
+    );
+    let mut idx = 2u64;
+    // The cooldown swallows exactly `cooldown` windows — violating ones included.
+    for _ in 0..cooldown {
+        assert!(
+            c.observe(&synthetic_window(idx, Some(0.60), 2600.0))
+                .is_none(),
+            "window {idx} falls inside the cooldown"
+        );
+        idx += 1;
+    }
+    // The first post-cooldown window counts: a fresh violation streak needs exactly
+    // `violation_windows` windows, no more and no fewer.
+    for k in 0..violation_windows {
+        let decision = c.observe(&synthetic_window(idx, Some(0.60), 2600.0));
+        if k + 1 < violation_windows {
+            assert!(
+                decision.is_none(),
+                "window {idx} is only violation {} of the fresh streak",
+                k + 1
+            );
+        } else {
+            let plan = decision.expect("streak completes exactly at the boundary");
+            assert_eq!(plan.trigger, ReconfigTrigger::QosViolation);
+            assert_eq!(plan.window_index, idx);
+        }
+        idx += 1;
+    }
+    assert_eq!(c.replans(), 2);
+}
+
+#[test]
+fn simultaneous_violation_and_underload_counts_as_violation_only() {
+    // A window can be BOTH violating and under the over-provisioning headroom (QoS
+    // missed at low load — e.g. a latency regression, not a capacity shortfall). It
+    // must advance the violation streak and reset the over-provisioning streak, never
+    // both.
+    let mut c = edge_controller();
+    let planned = c.planned_qps();
+    let under = 0.5 * planned; // far below the 0.8 headroom
+                               // Three healthy-but-underloaded windows: one short of the scale-down threshold (4).
+    for idx in 0..3u64 {
+        assert!(c
+            .observe(&synthetic_window(idx, Some(0.999), under))
+            .is_none());
+    }
+    // The conflicted window: violating AND underloaded. If it (wrongly) advanced the
+    // over-provisioning streak, a scale-down would fire here.
+    assert!(
+        c.observe(&synthetic_window(3, Some(0.90), under)).is_none(),
+        "a violating window must not complete an over-provisioning streak"
+    );
+    // It counted as a violation: one more violating window completes that streak.
+    let plan = c
+        .observe(&synthetic_window(4, Some(0.90), under))
+        .expect("the conflicted window started the violation streak");
+    assert_eq!(plan.trigger, ReconfigTrigger::QosViolation);
+    assert_eq!(c.replans(), 1);
+}
+
+#[test]
+fn pending_retire_phase_is_applied_at_stream_end() {
+    // A make-before-break scale-down whose retire phase lands after the last arrival:
+    // serve_online must still complete it so the final pool matches the controller's
+    // deployment — instead of leaving the union pool running (and billed) forever.
+    let workload = Workload::standard(ModelKind::MtWnd);
+    let settings = run_settings();
+    let traffic_to = |duration_s: f64| PhasedStreamConfig {
+        arrivals: PhasedArrivalProcess::step_change(workload.qps, 0.6 * workload.qps, 12.0),
+        batches: workload.batch_distribution(),
+        duration_s,
+        seed: 23,
+    };
+
+    // Probe run: find the scale-down decision and its two-phase application window.
+    let probe = serve_online(&workload, &traffic_to(40.0), &settings, 5).expect("probe serves");
+    let down = probe
+        .events
+        .iter()
+        .find(|e| e.trigger == ReconfigTrigger::OverProvisioning)
+        .expect("the load drop trips a scale-down");
+    assert!(
+        down.completed.is_some(),
+        "this scenario's scale-down must be make-before-break (launch + retire): {down:?}"
+    );
+    let ready = down.applied.ready_at_s;
+    assert!(ready > down.applied.at_s, "launched instances spin up");
+
+    // Truncated run: the stream ends between the decision and the retire point, so no
+    // arrival can trigger the deferred phase. The arrivals up to the cut are identical
+    // (same seed, absolute phase boundaries), so the decision replays identically.
+    let cut = down.applied.at_s + 0.5 * (ready - down.applied.at_s);
+    let outcome = serve_online(&workload, &traffic_to(cut), &settings, 5).expect("truncated run");
+    let last = outcome
+        .events
+        .iter()
+        .find(|e| e.trigger == ReconfigTrigger::OverProvisioning)
+        .expect("the same scale-down replays in the truncated run");
+    assert_eq!(last.config, down.config, "identical decision up to the cut");
+    let completed = last
+        .completed
+        .as_ref()
+        .expect("the pending retire phase must be applied at stream end");
+    assert!(completed.retired > 0, "the retire phase actually retires");
+    assert_eq!(
+        outcome.final_config, last.config,
+        "final deployment matches the controller's decision"
+    );
+    let expected_hourly = workload.diverse_pool_spec(&last.config).hourly_cost();
+    assert!(
+        (outcome.final_hourly_cost - expected_hourly).abs() < 1e-9,
+        "the union pool must not be left running: {} vs {expected_hourly}",
+        outcome.final_hourly_cost
+    );
+}
+
 #[test]
 fn online_outcome_is_deterministic() {
     let workload = Workload::standard(ModelKind::MtWnd);

@@ -15,7 +15,7 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn bundled_scenarios() -> Vec<PathBuf> {
+fn bundled_toml_files() -> Vec<PathBuf> {
     let dir = repo_root().join("scenarios");
     let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
@@ -23,9 +23,36 @@ fn bundled_scenarios() -> Vec<PathBuf> {
         .filter(|p| p.extension().is_some_and(|e| e == "toml"))
         .collect();
     files.sort();
+    files
+}
+
+fn is_fleet_file(path: &std::path::Path) -> bool {
+    path.file_name()
+        .is_some_and(|n| n.to_string_lossy().starts_with("fleet_"))
+}
+
+/// Single-model scenario files (the fleet files have their own suite below).
+fn bundled_scenarios() -> Vec<PathBuf> {
+    let files: Vec<PathBuf> = bundled_toml_files()
+        .into_iter()
+        .filter(|p| !is_fleet_file(p))
+        .collect();
     assert!(
         files.len() >= 4,
         "expected several bundled scenarios, found {}",
+        files.len()
+    );
+    files
+}
+
+fn bundled_fleets() -> Vec<PathBuf> {
+    let files: Vec<PathBuf> = bundled_toml_files()
+        .into_iter()
+        .filter(|p| is_fleet_file(p))
+        .collect();
+    assert!(
+        files.len() >= 2,
+        "expected several bundled fleet files, found {}",
         files.len()
     );
     files
@@ -83,6 +110,68 @@ fn bundled_scenarios_cover_three_models_and_two_traffic_shapes() {
     }
     assert!(models.len() >= 3, "models covered: {models:?}");
     assert!(shapes.len() >= 2, "traffic shapes covered: {shapes:?}");
+}
+
+#[test]
+fn every_bundled_fleet_parses_round_trips_and_compiles() {
+    use ribbon::fleet::{Fleet, FleetSpec};
+    for path in bundled_fleets() {
+        let path_str = path.to_string_lossy().into_owned();
+        let fleet = Fleet::load(&path_str).unwrap_or_else(|e| panic!("{path_str}: {e}"));
+        assert!(
+            fleet.num_members() >= 2,
+            "{path_str}: fleets co-locate models"
+        );
+
+        // Lossless round-trip through both formats.
+        let spec = &fleet.spec;
+        let via_toml = FleetSpec::from_toml_str(&spec.to_toml_string())
+            .unwrap_or_else(|e| panic!("{path_str} toml round-trip: {e}"));
+        assert_eq!(
+            *spec, via_toml,
+            "{path_str}: TOML round-trip changed the spec"
+        );
+        let via_json = FleetSpec::from_json_str(&spec.to_json_string())
+            .unwrap_or_else(|e| panic!("{path_str} json round-trip: {e}"));
+        assert_eq!(
+            *spec, via_json,
+            "{path_str}: JSON round-trip changed the spec"
+        );
+
+        // Serve-mode fleets compile traffic for every member; all bundled fleets
+        // resolve through the (builtin-equal) data catalog.
+        if spec.mode == RunMode::Serve {
+            for member in &fleet.members {
+                assert!(
+                    member.scenario.traffic.is_some(),
+                    "{path_str}: serve-mode member {} without traffic",
+                    member.name
+                );
+            }
+        }
+        assert_eq!(fleet.catalog, Catalog::builtin(), "{path_str}");
+    }
+}
+
+#[test]
+fn bundled_fleets_mix_policies_and_declare_shared_pools() {
+    let mut policies = std::collections::HashSet::new();
+    let mut any_shared = false;
+    for path in bundled_fleets() {
+        let fleet = ribbon::fleet::Fleet::load(&path.to_string_lossy()).unwrap();
+        any_shared |= fleet.has_shared();
+        for member in &fleet.members {
+            policies.insert(member.scenario.policy.describe());
+        }
+    }
+    assert!(
+        policies.len() >= 3,
+        "bundled fleets must mix QoS policies: {policies:?}"
+    );
+    assert!(
+        any_shared,
+        "at least one bundled fleet declares shared slots"
+    );
 }
 
 #[test]
