@@ -1,24 +1,26 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR5.json` with wall times for the instrumented hot paths:
+//! `BENCH_PR6.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
 //! 2. **evaluate_many** — a 16-configuration batch through the parallel evaluator;
-//! 3. **bo_search** — the 30-evaluation RIBBON search on the ~1.77 M-point lattice:
-//!    from-scratch surrogate baseline vs. the incremental/reused surrogate, with the
-//!    bit-identical-trace invariant checked on every run;
+//! 3. **bo_search** — the 30-evaluation RIBBON search on the ~1.77 M-point lattice
+//!    with the incremental/reused surrogate (pass `--with-baseline` to also time the
+//!    slow from-scratch refit and verify its trace is bit-identical);
 //! 4. **online_serving** — the flash-crowd online scenario: streaming simulation with
 //!    windowed monitoring and mid-stream controller reconfigurations. The controller's
 //!    decision sequence is pinned as a second golden trace
 //!    (`crates/bench/golden/online_trace.txt`);
-//! 5. **fleet_serving** — the two-model fleet scenario (PR 5): joint plan over the
-//!    cross-product allocation space (member baselines, pooling candidates, greedy
-//!    descent, BO refinement), then both models served simultaneously through the
-//!    fleet router with per-model slice reconfiguration. The plan's allocation and
-//!    every member's decision sequence are pinned as a third golden trace
-//!    (`crates/bench/golden/fleet_trace.txt`).
+//! 5. **fleet_serving** — the two-model fleet scenario (PR 5): joint plan, then both
+//!    models served through the sharded fleet drive. The plan's allocation and every
+//!    member's decision sequence are pinned as a third golden trace
+//!    (`crates/bench/golden/fleet_trace.txt`), re-verified at **shard counts 1, 2,
+//!    and 4** — the serve drive must be bit-identical at every count;
+//! 6. **streaming_scale** — the PR 6 tentpole scenario: ten million queries (eight
+//!    lanes × 1.25 M) through the sharded constant-memory streaming engine, reporting
+//!    end-to-end queries/s and queries/min.
 //!
 //! The search, online, and fleet scenarios all run **through the declarative façades**
 //! (`ribbon::scenario` / `ribbon::fleet`), so the pinned goldens cover spec compilation
@@ -27,29 +29,40 @@
 //! Usage:
 //!
 //! ```text
-//! perfsnap                 # full suite (incl. the slow from-scratch baseline), writes BENCH_PR5.json
-//! perfsnap --check         # skip the slow baseline; verify the search, online, and fleet
-//!                          # traces against the committed goldens — CI mode
-//! perfsnap --bless         # full suite + rewrite all three golden trace files
+//! perfsnap                    # timing suite, writes BENCH_PR6.json
+//! perfsnap --check            # also verify the three golden traces (CI mode) and the
+//!                             # fleet trace's shard invariance
+//! perfsnap --bless            # rewrite all three golden trace files
+//! perfsnap --with-baseline    # also time the slow from-scratch bo_search baseline
+//! perfsnap --compare F.json   # diff this run against a prior snapshot; exit 1 when a
+//!                             # hot-path metric regressed by more than 25%
 //! ```
 //!
 //! Timings are machine-dependent and informational; the **traces** are deterministic and
-//! are what `--check` pins. Subsequent PRs diff their own snapshot against the committed
-//! `BENCH_PR5.json` (and its predecessors `BENCH_PR4.json` … `BENCH_PR2.json`) to keep
-//! the perf trajectory visible.
+//! are what `--check` pins. The `--compare` gate and the snapshot schema are documented
+//! in `crates/bench/README.md`; subsequent PRs diff their own snapshot against the
+//! committed `BENCH_PR5.json` (and its predecessors) to keep the perf trajectory
+//! visible.
 
 use ribbon_bench::perf::{
-    fleet_trace_lines, hotpath_evaluator, hotpath_workload, online_trace_lines, run_fleet_scenario,
-    run_hotpath_search, run_online_scenario, trace_lines, FLEET_SEED, HOTPATH_BOUND,
+    fleet_trace_lines, hotpath_evaluator, hotpath_workload, online_trace_lines,
+    run_fleet_scenario_with_shards, run_hotpath_search, run_online_scenario, run_streaming_scale,
+    streaming_scale_profile, streaming_scale_streams, trace_lines, FLEET_SEED, HOTPATH_BOUND,
     HOTPATH_EVALUATIONS, HOTPATH_QUERIES, HOTPATH_SEED, ONLINE_DURATION_S, ONLINE_SEED,
+    STREAMING_SCALE_MODELS, STREAMING_SCALE_QUERIES,
 };
+use ribbon_cloudsim::parallel::default_threads;
 use ribbon_cloudsim::{sim, simulate_stats, PoolSpec};
 use std::time::Instant;
 
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
 const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
 const FLEET_GOLDEN_PATH: &str = "crates/bench/golden/fleet_trace.txt";
-const OUT_PATH: &str = "BENCH_PR5.json";
+const OUT_PATH: &str = "BENCH_PR6.json";
+
+/// A hot-path metric regresses when it is worse than the prior snapshot by more than
+/// this factor (times for lower-is-better, throughput for higher-is-better).
+const REGRESSION_FACTOR: f64 = 1.25;
 
 fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
@@ -169,16 +182,128 @@ fn run_evaluate_many_scenario() -> (usize, f64) {
     (configs.len(), wall)
 }
 
+/// One hot-path metric of the snapshot, for the `--compare` regression gate.
+struct Metric {
+    /// JSON path in the snapshot, `section.key`.
+    path: &'static str,
+    current: f64,
+    /// `false` for wall times (lower is better), `true` for throughput.
+    higher_better: bool,
+}
+
+/// Reads `section.key` as a number from a parsed snapshot.
+fn snapshot_f64(root: &ribbon_spec::Value, path: &str) -> Option<f64> {
+    let (section, key) = path.split_once('.')?;
+    root.get(section)?.get(key)?.as_f64()
+}
+
+/// Diffs this run's hot-path metrics against a prior snapshot: prints a markdown table
+/// (appended to `$GITHUB_STEP_SUMMARY` when set) and returns `false` when any metric
+/// regressed by more than [`REGRESSION_FACTOR`]. Metrics the prior snapshot lacks
+/// (older schema) are reported as new and never fail the gate.
+fn compare_snapshots(prior_path: &str, metrics: &[Metric]) -> bool {
+    let text = std::fs::read_to_string(prior_path).unwrap_or_else(|e| {
+        eprintln!("perfsnap --compare: cannot read {prior_path}: {e}");
+        std::process::exit(1);
+    });
+    let prior = ribbon_spec::Format::from_path(prior_path)
+        .parse(&text)
+        .unwrap_or_else(|e| {
+            eprintln!("perfsnap --compare: cannot parse {prior_path}: {e}");
+            std::process::exit(1);
+        });
+    let prior_pr = prior.get("pr").and_then(|v| v.as_f64());
+
+    let mut table = vec![
+        format!(
+            "### perfsnap: this run vs {prior_path}{}",
+            prior_pr.map_or(String::new(), |pr| format!(" (PR {pr:.0})"))
+        ),
+        String::new(),
+        "| metric | prior | current | change | status |".to_string(),
+        "|---|---:|---:|---:|---|".to_string(),
+    ];
+    let mut ok = true;
+    for m in metrics {
+        let row = match snapshot_f64(&prior, m.path) {
+            None => format!("| `{}` | — | {:.2} | — | new |", m.path, m.current),
+            Some(prior_v) if prior_v <= 0.0 => {
+                format!(
+                    "| `{}` | {prior_v:.2} | {:.2} | — | skipped |",
+                    m.path, m.current
+                )
+            }
+            Some(prior_v) => {
+                let ratio = m.current / prior_v;
+                let regressed = if m.higher_better {
+                    m.current * REGRESSION_FACTOR < prior_v
+                } else {
+                    m.current > prior_v * REGRESSION_FACTOR
+                };
+                let change = format!("{:+.1}%", (ratio - 1.0) * 100.0);
+                let status = if regressed {
+                    ok = false;
+                    "**REGRESSED**"
+                } else {
+                    "ok"
+                };
+                format!(
+                    "| `{}` | {prior_v:.2} | {:.2} | {change} | {status} |",
+                    m.path, m.current
+                )
+            }
+        };
+        table.push(row);
+    }
+    table.push(String::new());
+    table.push(format!(
+        "Gate: a wall-time metric more than {:.0}% slower (or throughput more than \
+         {:.0}% lower) than the prior snapshot fails the run.",
+        (REGRESSION_FACTOR - 1.0) * 100.0,
+        (1.0 - 1.0 / REGRESSION_FACTOR) * 100.0,
+    ));
+    let rendered = table.join("\n");
+    println!("{rendered}");
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(summary)
+        {
+            let _ = writeln!(f, "{rendered}");
+        }
+    }
+    ok
+}
+
 fn main() {
+    let mut check = false;
+    let mut bless = false;
+    let mut with_baseline = false;
+    let mut compare: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check = args.iter().any(|a| a == "--check");
-    let bless = args.iter().any(|a| a == "--bless");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| a.as_str() != "--check" && a.as_str() != "--bless")
-    {
-        eprintln!("perfsnap: unknown argument {unknown} (expected --check and/or --bless)");
-        std::process::exit(2);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--bless" => bless = true,
+            "--with-baseline" => with_baseline = true,
+            "--compare" => match it.next() {
+                Some(path) => compare = Some(path.clone()),
+                None => {
+                    eprintln!("perfsnap: --compare needs a snapshot path");
+                    std::process::exit(2);
+                }
+            },
+            unknown => {
+                eprintln!(
+                    "perfsnap: unknown argument {unknown} (expected --check, --bless, \
+                     --with-baseline, and/or --compare <snapshot.json>)"
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     println!(
@@ -186,7 +311,7 @@ fn main() {
          {HOTPATH_QUERIES} queries, {HOTPATH_EVALUATIONS} evaluations, seed {HOTPATH_SEED}"
     );
 
-    println!("[1/5] simulate: reference scan vs event-driven heap vs lean stats ...");
+    println!("[1/6] simulate: reference scan vs event-driven heap vs lean stats ...");
     let simu = run_simulate_scenario();
     println!(
         "      reference {:.2} ms | heap {:.2} ms ({:.2}x) | stats {:.2} ms ({:.2}x)",
@@ -197,11 +322,11 @@ fn main() {
         simu.reference_ms / simu.stats_ms,
     );
 
-    println!("[2/5] evaluate_many: 16-configuration parallel batch ...");
+    println!("[2/6] evaluate_many: 16-configuration parallel batch ...");
     let (batch, evaluate_many_ms) = run_evaluate_many_scenario();
     println!("      {evaluate_many_ms:.2} ms for {batch} configurations");
 
-    println!("[3/5] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
+    println!("[3/6] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
     let t = Instant::now();
     let incremental_trace = run_hotpath_search(true);
     let incremental_ms = ms(t);
@@ -210,10 +335,7 @@ fn main() {
         incremental_trace.len()
     );
 
-    let baseline_ms = if check {
-        println!("      --check: skipping the from-scratch baseline timing");
-        None
-    } else {
+    let baseline_ms = if with_baseline {
         let t = Instant::now();
         let baseline_trace = run_hotpath_search(false);
         let wall = ms(t);
@@ -228,10 +350,15 @@ fn main() {
             wall / incremental_ms
         );
         Some(wall)
+    } else {
+        println!(
+            "      skipping the from-scratch baseline timing (pass --with-baseline to run it)"
+        );
+        None
     };
 
     println!(
-        "[4/5] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
+        "[4/6] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
     );
     let t = Instant::now();
     let online = run_online_scenario();
@@ -252,9 +379,9 @@ fn main() {
         );
     }
 
-    println!("[5/5] fleet_serving: two-model joint plan + merged serve, seed {FLEET_SEED} ...");
+    println!("[5/6] fleet_serving: two-model joint plan + sharded serve, seed {FLEET_SEED} ...");
     let t = Instant::now();
-    let fleet = run_fleet_scenario();
+    let fleet = run_fleet_scenario_with_shards(None);
     let fleet_ms = ms(t);
     let fleet_totals = fleet.serve.as_ref().expect("serve mode fills fleet totals");
     println!(
@@ -278,10 +405,43 @@ fn main() {
             serve.events.len(),
         );
     }
+    let fleet_lines = fleet_trace_lines(&fleet);
+    if check {
+        // The serve drive must be bit-identical at every shard count: re-run the fleet
+        // scenario pinned to 1, 2, and 4 worker shards and require the same trace.
+        for shards in [1usize, 2, 4] {
+            let rerun = fleet_trace_lines(&run_fleet_scenario_with_shards(Some(shards)));
+            assert_eq!(
+                rerun, fleet_lines,
+                "fleet serve trace diverged at shards={shards}"
+            );
+        }
+        println!("      fleet trace shard-invariant at shards 1, 2, 4");
+    }
+
+    let scale_shards = default_threads();
+    println!(
+        "[6/6] streaming_scale: {STREAMING_SCALE_MODELS} lanes x {STREAMING_SCALE_QUERIES} \
+         queries through the sharded engine, {scale_shards} shard(s) ..."
+    );
+    let scale_profile = streaming_scale_profile();
+    let scale_streams = streaming_scale_streams();
+    let scale_queries: usize = scale_streams.iter().map(Vec::len).sum();
+    let t = Instant::now();
+    let scale = run_streaming_scale(&scale_profile, &scale_streams, scale_shards);
+    let scale_ms = ms(t);
+    let scale_windows: usize = scale.windows.iter().map(Vec::len).sum();
+    let scale_qps = scale_queries as f64 / (scale_ms / 1e3);
+    println!(
+        "      {scale_ms:.2} ms for {scale_queries} queries ({scale_windows} windows): \
+         {:.2} M queries/s, {:.0} M queries/min",
+        scale_qps / 1e6,
+        scale_qps * 60.0 / 1e6,
+    );
+    drop(scale);
 
     let lines = trace_lines(&incremental_trace);
     let online_lines = online_trace_lines(&online);
-    let fleet_lines = fleet_trace_lines(&fleet);
     golden_gate(GOLDEN_PATH, "search trace", &lines, bless, check);
     golden_gate(
         ONLINE_GOLDEN_PATH,
@@ -346,7 +506,7 @@ fn main() {
         .collect();
     let json = format!(
         r#"{{
-  "pr": 5,
+  "pr": 6,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},
@@ -391,6 +551,15 @@ fn main() {
 {}
     ]
   }},
+  "streaming_scale": {{
+    "models": {STREAMING_SCALE_MODELS},
+    "queries": {scale_queries},
+    "shards": {scale_shards},
+    "windows": {scale_windows},
+    "wall_ms": {scale_ms:.2},
+    "queries_per_s": {:.0},
+    "queries_per_min": {:.0}
+  }},
   "bo_search": {{
     "baseline_full_refit_ms": {},
     "incremental_ms": {:.2},
@@ -428,6 +597,8 @@ fn main() {
         fleet_totals.total_cost_usd.to_bits(),
         fleet_ms,
         fleet_models_json.join(",\n"),
+        scale_qps,
+        scale_qps * 60.0,
         fmt_ms(baseline_ms),
         incremental_ms,
         fmt_ms(baseline_ms.map(|b| b / incremental_ms)),
@@ -435,4 +606,38 @@ fn main() {
     );
     std::fs::write(OUT_PATH, json).expect("write snapshot json");
     println!("wrote {OUT_PATH}");
+
+    if let Some(prior) = compare {
+        let metrics = [
+            Metric {
+                path: "simulate.event_driven_ms",
+                current: simu.heap_ms,
+                higher_better: false,
+            },
+            Metric {
+                path: "simulate.lean_stats_ms",
+                current: simu.stats_ms,
+                higher_better: false,
+            },
+            Metric {
+                path: "evaluate_many.wall_ms",
+                current: evaluate_many_ms,
+                higher_better: false,
+            },
+            Metric {
+                path: "online_serving.wall_ms",
+                current: online_ms,
+                higher_better: false,
+            },
+            Metric {
+                path: "streaming_scale.queries_per_s",
+                current: scale_qps,
+                higher_better: true,
+            },
+        ];
+        if !compare_snapshots(&prior, &metrics) {
+            eprintln!("perfsnap --compare: hot-path regression beyond 25% — failing");
+            std::process::exit(1);
+        }
+    }
 }

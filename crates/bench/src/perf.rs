@@ -22,7 +22,12 @@ use ribbon::scenario::{
     WorkloadSpec,
 };
 use ribbon::search::SearchTrace;
-use ribbon_cloudsim::InstanceType;
+use ribbon_cloudsim::dist::{ArrivalProcess, BatchDistribution};
+use ribbon_cloudsim::latency::FnLatencyModel;
+use ribbon_cloudsim::{
+    simulate_fleet_sharded, FleetModelConfig, FleetRunOutcome, InstanceType, PoolSpec, Query,
+    StreamConfig, WindowConfig,
+};
 use ribbon_models::{ModelKind, Workload};
 
 /// Number of queries per simulated stream in the hot-path scenario.
@@ -250,6 +255,7 @@ pub fn fleet_spec() -> ribbon::fleet::FleetSpec {
         initial_samples: None,
         prune_threshold: None,
         threads: None,
+        shards: None,
         shared_pool: vec!["g4dn".to_string(), "r5n".to_string()],
         shared_bounds: Some(vec![8, 9]),
         models: vec![
@@ -285,8 +291,88 @@ pub fn fleet_spec() -> ribbon::fleet::FleetSpec {
 
 /// Runs the fleet-serving scenario end to end (joint plan + merged-stream serve).
 pub fn run_fleet_scenario() -> ribbon::fleet::FleetReport {
-    let fleet = fleet_spec().compile().expect("the fleet spec compiles");
+    run_fleet_scenario_with_shards(None)
+}
+
+/// Runs the fleet-serving scenario with an explicit worker-shard override — the serve
+/// drive is bit-identical at every shard count, which `perfsnap --check` re-verifies
+/// against the golden fleet trace at shards 1, 2, and 4.
+pub fn run_fleet_scenario_with_shards(shards: Option<usize>) -> ribbon::fleet::FleetReport {
+    let mut spec = fleet_spec();
+    spec.shards = shards;
+    let fleet = spec.compile().expect("the fleet spec compiles");
     fleet.run().expect("the fleet plans and serves")
+}
+
+/// Number of fleet lanes in the streaming-scale scenario.
+pub const STREAMING_SCALE_MODELS: usize = 8;
+
+/// Queries per lane of the streaming-scale scenario (8 lanes × 1.25 M = 10 M total).
+pub const STREAMING_SCALE_QUERIES: usize = 1_250_000;
+
+/// Seed of the streaming-scale query streams.
+pub const STREAMING_SCALE_SEED: u64 = 11;
+
+/// Latency profile of the streaming-scale lanes — a plain fn pointer, so the benchmark
+/// measures the sharded streaming engine rather than profile-table lookups.
+fn scale_latency(ty: InstanceType, batch: u32) -> f64 {
+    if ty == InstanceType::G4dn {
+        0.004 + 4e-5 * batch as f64
+    } else {
+        0.006 + 9e-5 * batch as f64
+    }
+}
+
+/// The streaming-scale latency model type (see [`streaming_scale_profile`]).
+pub type ScaleProfile = FnLatencyModel<fn(InstanceType, u32) -> f64>;
+
+/// Builds the streaming-scale latency profile.
+pub fn streaming_scale_profile() -> ScaleProfile {
+    FnLatencyModel::new("scale", scale_latency as fn(InstanceType, u32) -> f64)
+}
+
+/// Generates the streaming-scale traffic: eight independent Poisson streams totalling
+/// ten million queries, each lane at a slightly different offered load.
+pub fn streaming_scale_streams() -> Vec<Vec<Query>> {
+    (0..STREAMING_SCALE_MODELS)
+        .map(|m| {
+            StreamConfig {
+                arrivals: ArrivalProcess::Poisson {
+                    qps: 2_000.0 + 250.0 * m as f64,
+                },
+                batches: BatchDistribution::default_heavy_tail(32.0, 256),
+                num_queries: STREAMING_SCALE_QUERIES,
+                seed: STREAMING_SCALE_SEED + m as u64,
+            }
+            .generate()
+        })
+        .collect()
+}
+
+/// Drives the streaming-scale fleet through the sharded engine: eight dedicated lanes
+/// (no shared slice, so every lane is its own coupling group and genuinely runs on its
+/// own worker), tumbling five-second windows, per-query recording off — the
+/// constant-memory hot path the serving runtime uses at scale.
+pub fn run_streaming_scale(
+    profile: &ScaleProfile,
+    streams: &[Vec<Query>],
+    shards: usize,
+) -> FleetRunOutcome {
+    let models: Vec<FleetModelConfig> = (0..STREAMING_SCALE_MODELS)
+        .map(|m| FleetModelConfig {
+            pool: PoolSpec::new(
+                vec![InstanceType::G4dn, InstanceType::C5],
+                vec![10 + (m as u32 % 3), 6],
+            ),
+            profile,
+            target_latency_s: 0.060,
+            tail_percentile: 99.0,
+            window: WindowConfig::tumbling(5.0),
+            share_weight: 0.0,
+            spin_up_factor: 1.0,
+        })
+        .collect();
+    simulate_fleet_sharded(models, None, streams, shards, false)
 }
 
 /// Golden-trace lines of a fleet run: the joint plan's chosen allocation and baseline

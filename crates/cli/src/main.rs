@@ -22,7 +22,7 @@ ribbon — declarative scenario runner for the RIBBON reproduction
 USAGE:
     ribbon run <scenario.(toml|json)> [--planner NAME] [--seed N] [--out FILE.json]
     ribbon compare <scenario.(toml|json)> --planners a,b,... [--seed N] [--out FILE.json]
-    ribbon fleet <fleet.(toml|json)> [--seed N] [--out FILE.json]
+    ribbon fleet <fleet.(toml|json)> [--seed N] [--shards N] [--out FILE.json]
     ribbon validate <scenario-or-fleet.(toml|json)>
 
 PLANNERS:
@@ -72,6 +72,7 @@ struct Options {
     planner: Option<String>,
     planners: Vec<String>,
     seed: Option<u64>,
+    shards: Option<usize>,
     out: Option<String>,
 }
 
@@ -81,6 +82,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         planner: None,
         planners: Vec::new(),
         seed: None,
+        shards: None,
         out: None,
     };
     let mut it = args.iter();
@@ -105,6 +107,16 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     raw.parse::<u64>()
                         .map_err(|_| CliError::Usage(format!("invalid --seed `{raw}`")))?,
                 );
+            }
+            "--shards" => {
+                let raw = flag_value("--shards")?;
+                let shards = raw
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("invalid --shards `{raw}`")))?;
+                if shards == 0 {
+                    return Err(CliError::Usage("--shards must be at least 1".to_string()));
+                }
+                opts.shards = Some(shards);
             }
             "--out" => opts.out = Some(flag_value("--out")?),
             other if other.starts_with('-') => {
@@ -147,6 +159,12 @@ fn reject_inapplicable(opts: &Options, command: &str) -> Result<(), CliError> {
             "--planner does not apply to `fleet` (the joint RIBBON fleet planner runs)".to_string(),
         ));
     }
+    if command != "fleet" && opts.shards.is_some() {
+        return Err(CliError::Usage(format!(
+            "--shards only applies to `fleet` (serve results are identical at every count; \
+             `{command}` has no sharded drive)"
+        )));
+    }
     Ok(())
 }
 
@@ -155,6 +173,9 @@ fn load_fleet(opts: &Options) -> Result<Fleet, CliError> {
     let mut spec = FleetSpec::load_file(&opts.spec_path)?;
     if let Some(seed) = opts.seed {
         spec.seed = seed;
+    }
+    if let Some(shards) = opts.shards {
+        spec.shards = Some(shards);
     }
     Ok(spec.compile_with_base(std::path::Path::new(&opts.spec_path).parent())?)
 }

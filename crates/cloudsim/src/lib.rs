@@ -44,6 +44,7 @@ pub mod parallel;
 pub mod phased;
 pub mod query;
 pub mod router;
+pub mod sharded;
 pub mod sim;
 pub mod streaming;
 
@@ -56,6 +57,14 @@ pub use metrics::{
 };
 pub use phased::{PhasedArrivalProcess, PhasedQueryStream, PhasedStreamConfig, RatePhase};
 pub use query::{Query, QueryStream, StreamConfig};
-pub use router::{merge_tagged, FleetModelConfig, FleetSim, SharedServer, TaggedQuery};
+pub use router::{
+    merge_tagged, merge_tagged_slices, FleetModelConfig, FleetSim, SharedServer, TaggedQuery,
+};
+pub use sharded::{
+    partition_groups, simulate_fleet_serial, simulate_fleet_sharded, FleetRunOutcome,
+};
 pub use sim::{simulate, simulate_many, simulate_stats, PoolSimulator, SimResult, SimStats};
-pub use streaming::{Reconfiguration, StreamingSim, StreamingSimConfig, WindowConfig, WindowStats};
+pub use streaming::{
+    cost_from_billing, Reconfiguration, SlotBilling, StreamingSim, StreamingSimConfig,
+    WindowConfig, WindowStats,
+};

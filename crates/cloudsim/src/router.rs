@@ -37,10 +37,11 @@ use crate::latency::LatencyModel;
 use crate::query::Query;
 use crate::sim::SimStats;
 use crate::streaming::{
-    Reconfiguration, StreamingSim, StreamingSimConfig, WindowConfig, WindowStats,
+    Reconfiguration, SlotBilling, StreamingSim, StreamingSimConfig, WindowBuf, WindowConfig,
+    WindowStats,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 /// A query tagged with the index of the fleet model it belongs to.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,7 +57,14 @@ pub struct TaggedQuery {
 /// Ties break by model index, so the merge is fully deterministic: the same inputs
 /// produce the same interleaving on every run and platform.
 pub fn merge_tagged(streams: &[Vec<Query>]) -> Vec<TaggedQuery> {
-    let total: usize = streams.iter().map(Vec::len).sum();
+    let slices: Vec<&[Query]> = streams.iter().map(Vec::as_slice).collect();
+    merge_tagged_slices(&slices)
+}
+
+/// Slice-based form of [`merge_tagged`], for callers merging borrowed sub-sets of a
+/// larger stream collection (the sharded runner's per-group merges) without cloning.
+pub fn merge_tagged_slices(streams: &[&[Query]]) -> Vec<TaggedQuery> {
+    let total: usize = streams.iter().map(|s| s.len()).sum();
     let mut merged = Vec::with_capacity(total);
     let mut cursors = vec![0usize; streams.len()];
     for _ in 0..total {
@@ -83,6 +91,7 @@ pub fn merge_tagged(streams: &[Vec<Query>]) -> Vec<TaggedQuery> {
 }
 
 /// One model's slice of a fleet simulation.
+#[derive(Clone)]
 pub struct FleetModelConfig<'a> {
     /// The model's dedicated pool slice. May be empty (all counts zero) when the model
     /// relies entirely on the shared slice.
@@ -224,15 +233,6 @@ impl<'a> SharedServer<'a> {
     }
 }
 
-/// A query's monitoring record, buffered until its arrival window closes (mirror of the
-/// streaming simulator's internal entry).
-#[derive(Debug, Clone, Copy)]
-struct WindowEntry {
-    arrival: f64,
-    completion: f64,
-    latency: f64,
-}
-
 /// Where a query was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
@@ -252,10 +252,13 @@ struct ModelState<'a> {
     latencies: Vec<f64>,
     latency_sum: f64,
     satisfied: usize,
+    num_queries: usize,
+    record_per_query: bool,
     makespan: f64,
     shared_queries: usize,
-    // Windowing (mirror of `StreamingSim`, covering lane + shared dispatches).
-    window_buf: VecDeque<WindowEntry>,
+    // Windowing (columnar mirror of `StreamingSim`, covering lane + shared dispatches).
+    window_buf: WindowBuf,
+    win_lats: Vec<f64>,
     next_window: u64,
 }
 
@@ -326,9 +329,12 @@ impl<'a> FleetSim<'a> {
                     latencies: Vec::new(),
                     latency_sum: 0.0,
                     satisfied: 0,
+                    num_queries: 0,
+                    record_per_query: true,
                     makespan: 0.0,
                     shared_queries: 0,
-                    window_buf: VecDeque::new(),
+                    window_buf: WindowBuf::default(),
+                    win_lats: Vec::new(),
                     next_window: 0,
                 }
             })
@@ -398,12 +404,20 @@ impl<'a> FleetSim<'a> {
     /// Queries must be pushed in non-decreasing arrival order (the order
     /// [`merge_tagged`] produces).
     pub fn push(&mut self, tq: &TaggedQuery) -> Vec<(usize, WindowStats)> {
+        let mut closed = Vec::new();
+        self.push_into(tq, &mut closed);
+        closed
+    }
+
+    /// Non-allocating form of [`FleetSim::push`]: closed windows are appended to
+    /// `closed` (which the caller typically `drain`s and reuses), keeping the hot path
+    /// free of per-query heap allocation.
+    pub fn push_into(&mut self, tq: &TaggedQuery, closed: &mut Vec<(usize, WindowStats)>) {
         let q = &tq.query;
         debug_assert!(
             q.arrival >= self.clock,
             "tagged queries must be pushed in arrival order"
         );
-        let mut closed = Vec::new();
         for m in 0..self.models.len() {
             while q.arrival >= self.models[m].window_end(self.models[m].next_window) {
                 let w = self.close_next_window(m, true);
@@ -438,11 +452,10 @@ impl<'a> FleetSim<'a> {
         let (completion, latency) = match route {
             Route::Dedicated => {
                 let lane = state.lane.as_mut().expect("dedicated route has a lane");
-                let _ = lane.push(q);
-                (
-                    lane.last_completion(),
-                    *lane.latencies().last().expect("push recorded a latency"),
-                )
+                let mut none = Vec::new();
+                lane.push_into(q, &mut none);
+                debug_assert!(none.is_empty(), "lane windows are practically infinite");
+                (lane.last_completion(), lane.last_latency())
             }
             Route::Shared => {
                 state.shared_queries += 1;
@@ -457,17 +470,15 @@ impl<'a> FleetSim<'a> {
         if latency <= state.target_latency_s {
             state.satisfied += 1;
         }
-        state.latencies.push(latency);
+        state.num_queries += 1;
+        if state.record_per_query {
+            state.latencies.push(latency);
+        }
         if completion > state.makespan {
             state.makespan = completion;
         }
-        state.window_buf.push_back(WindowEntry {
-            arrival: q.arrival,
-            completion,
-            latency,
-        });
+        state.window_buf.push(q.arrival, completion, latency);
         self.clock = q.arrival;
-        closed
     }
 
     /// Replaces one model's dedicated slice mid-stream (drain/retire + spin-up, exactly
@@ -489,6 +500,48 @@ impl<'a> FleetSim<'a> {
             .reconfigure(new_pool, at_s)
     }
 
+    /// Toggles per-query recording for every model and lane — see
+    /// [`StreamingSim::set_record_per_query`]. With recording off the fleet runs in
+    /// constant memory per model; window statistics and counters stay exact, but
+    /// per-model [`FleetSim::stats`] reports a `0.0` whole-stream tail.
+    pub fn set_record_per_query(&mut self, record: bool) {
+        for m in &mut self.models {
+            m.record_per_query = record;
+            if let Some(lane) = m.lane.as_mut() {
+                lane.set_record_per_query(record);
+            }
+        }
+    }
+
+    /// One model's lane billing records, when it has a lane — see
+    /// [`StreamingSim::billing`] for the post-hoc cost-reconstruction contract.
+    pub fn lane_billing(&self, model: usize) -> Option<Vec<SlotBilling>> {
+        self.models[model].lane.as_ref().map(|l| l.billing())
+    }
+
+    /// Closes every window provably complete at stream time `t` — those with
+    /// `end_s ≤ t` — for every model in model order, exactly as pushing a query
+    /// arriving at `t` would, and advances the global clock to at least `t`.
+    ///
+    /// The sharded runner calls this with the *fleet-wide* last-arrival time so a
+    /// group that went quiet early still closes the complete windows the global merged
+    /// stream would have closed for it. A no-op when the group's own stream already
+    /// reached `t`.
+    pub fn drain_windows_until(&mut self, t: f64) -> Vec<(usize, WindowStats)> {
+        debug_assert!(t >= self.clock, "the drain clock must not move backwards");
+        let mut closed = Vec::new();
+        for m in 0..self.models.len() {
+            while t >= self.models[m].window_end(self.models[m].next_window) {
+                let w = self.close_next_window(m, true);
+                closed.push((m, w));
+            }
+        }
+        if t > self.clock {
+            self.clock = t;
+        }
+        closed
+    }
+
     /// Closes and returns every remaining window with arrivals, per model in model
     /// order. Call once after the stream ends.
     pub fn finish_windows(&mut self) -> Vec<(usize, WindowStats)> {
@@ -508,7 +561,7 @@ impl<'a> FleetSim<'a> {
     /// selection as the single-model simulator).
     pub fn stats(&self, model: usize) -> SimStats {
         let m = &self.models[model];
-        let n = m.latencies.len();
+        let n = m.num_queries;
         let mean_latency_s = if n == 0 {
             0.0
         } else {
@@ -540,25 +593,27 @@ impl<'a> FleetSim<'a> {
         let mut satisfied = 0usize;
         let mut completed_in_window = 0usize;
         let mut sum = 0.0f64;
-        let mut lats: Vec<f64> = Vec::new();
-        for e in &m.window_buf {
-            if e.arrival >= end {
+        m.win_lats.clear();
+        for i in 0..m.window_buf.arrival.len() {
+            let arrival = m.window_buf.arrival[i];
+            if arrival >= end {
                 break; // buffer is arrival-ordered
             }
-            if e.arrival < start {
+            if arrival < start {
                 continue;
             }
+            let latency = m.window_buf.latency[i];
             num += 1;
-            sum += e.latency;
-            if e.latency <= m.target_latency_s {
+            sum += latency;
+            if latency <= m.target_latency_s {
                 satisfied += 1;
             }
-            if e.completion < end {
+            if m.window_buf.completion[i] < end {
                 completed_in_window += 1;
             }
-            lats.push(e.latency);
+            m.win_lats.push(latency);
         }
-        let tail = ribbon_linalg::stats::percentile_in_place(&mut lats, m.tail_percentile);
+        let tail = ribbon_linalg::stats::percentile_in_place(&mut m.win_lats, m.tail_percentile);
         // Same span rule as the streaming simulator: full length for windows closed
         // mid-stream, observed span for the partial final window.
         let observed = clock.min(end) - start;
@@ -574,13 +629,7 @@ impl<'a> FleetSim<'a> {
         };
         m.next_window += 1;
         let horizon = m.window_start(m.next_window);
-        while let Some(front) = m.window_buf.front() {
-            if front.arrival < horizon {
-                m.window_buf.pop_front();
-            } else {
-                break;
-            }
-        }
+        m.window_buf.evict_before(horizon);
         WindowStats {
             index,
             start_s: start,

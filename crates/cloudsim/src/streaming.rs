@@ -243,12 +243,74 @@ impl PartialOrd for BusySlot {
     }
 }
 
-/// A query's monitoring record buffered until its arrival window closes.
-#[derive(Debug, Clone, Copy)]
-struct WindowEntry {
-    arrival: f64,
-    completion: f64,
-    latency: f64,
+/// Struct-of-arrays buffer of the monitoring records awaiting window close.
+///
+/// One logical entry per pushed query — `(arrival, completion, latency)` — stored
+/// columnar so the per-window scan touches three dense arrays instead of striding
+/// over an array of structs. Entries are evicted from the front as soon as no later
+/// window can need them, which bounds the buffer by the in-flight window span
+/// (constant memory for steady traffic, independent of stream length).
+#[derive(Debug, Default)]
+pub(crate) struct WindowBuf {
+    pub(crate) arrival: VecDeque<f64>,
+    pub(crate) completion: VecDeque<f64>,
+    pub(crate) latency: VecDeque<f64>,
+}
+
+impl WindowBuf {
+    pub(crate) fn push(&mut self, arrival: f64, completion: f64, latency: f64) {
+        self.arrival.push_back(arrival);
+        self.completion.push_back(completion);
+        self.latency.push_back(latency);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.arrival.is_empty()
+    }
+
+    /// Drops every leading entry whose arrival is strictly before `horizon`.
+    pub(crate) fn evict_before(&mut self, horizon: f64) {
+        while let Some(&front) = self.arrival.front() {
+            if front < horizon {
+                self.arrival.pop_front();
+                self.completion.pop_front();
+                self.latency.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// One slot's billing span, extracted by [`StreamingSim::billing`]: everything needed
+/// to re-evaluate [`StreamingSim::cost_so_far`] after the run without the simulator.
+///
+/// `cost_from_billing` over the full record set is **bit-identical** to calling
+/// `cost_so_far(t)` on the live simulator at any earlier stream time `t`: a slot
+/// launched after `t` clamps to an empty span and contributes an exact `+0.0` at the
+/// tail of the same left-to-right sum. The sharded fleet runner leans on this to
+/// reconstruct mid-run window cost fields post-hoc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotBilling {
+    /// Hourly price of the slot's instance type in USD.
+    pub hourly_price: f64,
+    /// Billing starts here (launch time; spin-up is billed).
+    pub cost_from: f64,
+    /// Billing ends here once retired and drained; `None` while active.
+    pub cost_until: Option<f64>,
+}
+
+/// Accrued cost in USD at time `t` from extracted billing records — the exact fold of
+/// [`StreamingSim::cost_so_far`], term for term, in slot order.
+pub fn cost_from_billing(slots: &[SlotBilling], t: f64) -> f64 {
+    slots
+        .iter()
+        .map(|s| {
+            let end = s.cost_until.unwrap_or(t).min(t);
+            let span = (end - s.cost_from).max(0.0);
+            s.hourly_price * span / 3600.0
+        })
+        .sum()
 }
 
 /// The resumable streaming simulator. See the module docs for semantics.
@@ -261,14 +323,18 @@ pub struct StreamingSim<'a, M: LatencyModel + ?Sized> {
     busy: BinaryHeap<BusySlot>,
     last_arrival: f64,
     last_completion: f64,
+    last_latency: f64,
     makespan: f64,
     // Whole-stream accumulators, maintained in exactly `simulate_stats`'s order.
     latencies: Vec<f64>,
     assigned: Vec<usize>,
     latency_sum: f64,
     satisfied: usize,
+    num_queries: usize,
+    record_per_query: bool,
     // Windowing.
-    window_buf: VecDeque<WindowEntry>,
+    window_buf: WindowBuf,
+    win_lats: Vec<f64>,
     next_window: u64,
     // History.
     reconfigurations: Vec<Reconfiguration>,
@@ -310,15 +376,30 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             busy: BinaryHeap::new(),
             last_arrival: 0.0,
             last_completion: 0.0,
+            last_latency: 0.0,
             makespan: 0.0,
             latencies: Vec::new(),
             assigned: Vec::new(),
             latency_sum: 0.0,
             satisfied: 0,
-            window_buf: VecDeque::new(),
+            num_queries: 0,
+            record_per_query: true,
+            window_buf: WindowBuf::default(),
+            win_lats: Vec::new(),
             next_window: 0,
             reconfigurations: Vec::new(),
         }
+    }
+
+    /// Toggles per-query recording (the O(stream) `latencies`/`assigned` vectors).
+    ///
+    /// With recording off the simulator runs in constant memory: counters
+    /// (`num_queries`, `satisfied`, `latency_sum`, `makespan`) and every window statistic
+    /// stay exact, but [`StreamingSim::latencies`] / [`StreamingSim::assigned_slots`]
+    /// stay empty and [`StreamingSim::stats`] reports a `0.0` whole-stream tail (no
+    /// samples to rank). Intended for the multi-million-query scale runs.
+    pub fn set_record_per_query(&mut self, record: bool) {
+        self.record_per_query = record;
     }
 
     /// The stream clock: arrival time of the last pushed query.
@@ -340,6 +421,12 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
     /// [`crate::SimResult::latencies`] while no reconfiguration has occurred).
     pub fn latencies(&self) -> &[f64] {
         &self.latencies
+    }
+
+    /// Queries pushed so far. Unlike `latencies().len()` this counter stays exact when
+    /// per-query recording is off.
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
     }
 
     /// Which slot served each query, in arrival order (slot indices coincide with
@@ -365,6 +452,13 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
         self.last_completion
     }
 
+    /// Exact latency of the most recently pushed query (`0.0` before any push). Like
+    /// [`StreamingSim::last_completion`] this is the stored value, not a re-derivation,
+    /// and stays available when per-query recording is off.
+    pub fn last_latency(&self) -> f64 {
+        self.last_latency
+    }
+
     /// Earliest time at or after `at` when some instance could *start* serving a new
     /// query: `at` itself if any instance is idle (or frees by `at`), otherwise the
     /// earliest `free_at` in the busy heap. Spin-up delays are respected (a launched
@@ -387,20 +481,52 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
     /// Queries must be pushed in non-decreasing arrival order (debug-asserted), exactly as
     /// the batch simulator requires of its input slice.
     pub fn push(&mut self, q: &Query) -> Vec<WindowStats> {
+        let mut closed = Vec::new();
+        self.push_into(q, &mut closed);
+        closed
+    }
+
+    /// Non-allocating form of [`StreamingSim::push`]: closed windows are appended to
+    /// `closed` (which the caller typically `drain`s and reuses), keeping the hot path
+    /// free of per-query heap allocation.
+    pub fn push_into(&mut self, q: &Query, closed: &mut Vec<WindowStats>) {
+        self.push_raw(q.arrival, q.batch_size, closed);
+    }
+
+    /// Columnar batched push: arrival/batch-size columns are replayed in lockstep,
+    /// equivalent to pushing the same queries one by one (query ids carry no simulation
+    /// meaning). The columns must be equally long and arrival-ordered.
+    pub fn push_columns(
+        &mut self,
+        arrivals: &[f64],
+        batches: &[u32],
+        closed: &mut Vec<WindowStats>,
+    ) {
+        assert_eq!(
+            arrivals.len(),
+            batches.len(),
+            "arrival/batch columns must be equally long"
+        );
+        for (&arrival, &batch_size) in arrivals.iter().zip(batches) {
+            self.push_raw(arrival, batch_size, closed);
+        }
+    }
+
+    fn push_raw(&mut self, arrival: f64, batch_size: u32, closed: &mut Vec<WindowStats>) {
         debug_assert!(
-            q.arrival >= self.last_arrival,
+            arrival >= self.last_arrival,
             "queries must be pushed in arrival order"
         );
         // Close every window that ends at or before this arrival: no earlier arrival can
         // come later, so those windows are complete.
-        let mut closed = Vec::new();
-        while q.arrival >= self.window_end(self.next_window) {
-            closed.push(self.close_next_window(true));
+        while arrival >= self.window_end(self.next_window) {
+            let w = self.close_next_window(true);
+            closed.push(w);
         }
 
         // The two-heap dispatch, bit-identical to `sim::drive`.
         while let Some(top) = self.busy.peek() {
-            if top.free_at <= q.arrival {
+            if top.free_at <= arrival {
                 let b = self.busy.pop().expect("peeked entry exists");
                 self.idle.push(Reverse((b.rank, b.slot)));
             } else {
@@ -408,14 +534,14 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             }
         }
         let (slot_idx, start) = match self.idle.pop() {
-            Some(Reverse((_, slot))) => (slot, q.arrival),
+            Some(Reverse((_, slot))) => (slot, arrival),
             None => {
                 let b = self.busy.pop().expect("non-empty pool has a busy instance");
                 (b.slot, b.free_at)
             }
         };
         let slot = &mut self.slots[slot_idx];
-        let service = self.model.service_time(slot.ty, q.batch_size).max(0.0);
+        let service = self.model.service_time(slot.ty, batch_size).max(0.0);
         let completion = start + service;
         slot.free_at = completion;
         slot.load += 1;
@@ -429,20 +555,19 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
         }
 
         self.last_completion = completion;
-        let latency = completion - q.arrival;
+        let latency = completion - arrival;
+        self.last_latency = latency;
         self.latency_sum += latency;
         if latency <= self.config.target_latency_s {
             self.satisfied += 1;
         }
-        self.latencies.push(latency);
-        self.assigned.push(slot_idx);
-        self.window_buf.push_back(WindowEntry {
-            arrival: q.arrival,
-            completion,
-            latency,
-        });
-        self.last_arrival = q.arrival;
-        closed
+        self.num_queries += 1;
+        if self.record_per_query {
+            self.latencies.push(latency);
+            self.assigned.push(slot_idx);
+        }
+        self.window_buf.push(arrival, completion, latency);
+        self.last_arrival = arrival;
     }
 
     /// Replaces the serving pool mid-stream.
@@ -563,6 +688,19 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             .sum()
     }
 
+    /// Billing record of every slot ever launched, in slot order. See [`SlotBilling`]
+    /// for the post-hoc cost-reconstruction contract.
+    pub fn billing(&self) -> Vec<SlotBilling> {
+        self.slots
+            .iter()
+            .map(|s| SlotBilling {
+                hourly_price: s.ty.hourly_price(),
+                cost_from: s.cost_from,
+                cost_until: s.cost_until,
+            })
+            .collect()
+    }
+
     /// Closes and returns every remaining window with arrivals (the last may be partial:
     /// its `end_s` can extend past the final arrival). Call once after the stream ends.
     pub fn finish_windows(&mut self) -> Vec<WindowStats> {
@@ -580,7 +718,7 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
     /// [`crate::simulate_stats`] on the same inputs while no reconfiguration has occurred
     /// (same accumulation order, same selection algorithm for the tail).
     pub fn stats(&self) -> SimStats {
-        let n = self.latencies.len();
+        let n = self.num_queries;
         let mean_latency_s = if n == 0 {
             0.0
         } else {
@@ -620,26 +758,30 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
         let mut satisfied = 0usize;
         let mut completed_in_window = 0usize;
         let mut sum = 0.0f64;
-        let mut lats: Vec<f64> = Vec::new();
-        for e in &self.window_buf {
-            if e.arrival >= end {
+        self.win_lats.clear();
+        for i in 0..self.window_buf.arrival.len() {
+            let arrival = self.window_buf.arrival[i];
+            if arrival >= end {
                 break; // buffer is arrival-ordered
             }
-            if e.arrival < start {
+            if arrival < start {
                 continue;
             }
+            let latency = self.window_buf.latency[i];
             num += 1;
-            sum += e.latency;
-            if e.latency <= self.config.target_latency_s {
+            sum += latency;
+            if latency <= self.config.target_latency_s {
                 satisfied += 1;
             }
-            if e.completion < end {
+            if self.window_buf.completion[i] < end {
                 completed_in_window += 1;
             }
-            lats.push(e.latency);
+            self.win_lats.push(latency);
         }
-        let tail =
-            ribbon_linalg::stats::percentile_in_place(&mut lats, self.config.tail_percentile);
+        let tail = ribbon_linalg::stats::percentile_in_place(
+            &mut self.win_lats,
+            self.config.tail_percentile,
+        );
         // Rates divide by the *observed* span: a window closed mid-stream (an arrival
         // crossed its end) spans its full length, but a partial window flushed after the
         // stream ends only saw `last_arrival − start` seconds of traffic — dividing that
@@ -674,13 +816,7 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
         // Entries arriving before the next window's start are never needed again.
         self.next_window += 1;
         let horizon = self.window_start(self.next_window);
-        while let Some(front) = self.window_buf.front() {
-            if front.arrival < horizon {
-                self.window_buf.pop_front();
-            } else {
-                break;
-            }
-        }
+        self.window_buf.evict_before(horizon);
         stats
     }
 }
@@ -996,6 +1132,98 @@ mod tests {
         };
         s.push(&q2);
         assert_eq!(s.assigned_slots()[2], 1, "ready g4dn takes preference");
+    }
+
+    #[test]
+    fn columnar_batched_push_is_bit_identical_to_per_query_push() {
+        let pool = PoolSpec::new(
+            vec![InstanceType::G4dn, InstanceType::C5, InstanceType::T3],
+            vec![2, 2, 3],
+        );
+        let m = model();
+        let queries = stream(700.0, 5000, 13);
+        let arrivals: Vec<f64> = queries.iter().map(|q| q.arrival).collect();
+        let batches: Vec<u32> = queries.iter().map(|q| q.batch_size).collect();
+
+        let mut a = StreamingSim::new(&pool, &m, cfg(0.5));
+        let mut wa = Vec::new();
+        for q in &queries {
+            wa.extend(a.push(q));
+        }
+        wa.extend(a.finish_windows());
+
+        let mut b = StreamingSim::new(&pool, &m, cfg(0.5));
+        let mut wb = Vec::new();
+        b.push_columns(&arrivals, &batches, &mut wb);
+        wb.extend(b.finish_windows());
+
+        assert_eq!(wa, wb, "windows must be bit-identical");
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.latencies(), b.latencies());
+        assert_eq!(a.cost_so_far(60.0), b.cost_so_far(60.0));
+    }
+
+    #[test]
+    fn recording_off_keeps_counters_and_windows_exact() {
+        let pool = PoolSpec::homogeneous(InstanceType::G4dn, 3);
+        let m = model();
+        let queries = stream(400.0, 3000, 21);
+        let mut full = StreamingSim::new(&pool, &m, cfg(1.0));
+        let mut lean = StreamingSim::new(&pool, &m, cfg(1.0));
+        lean.set_record_per_query(false);
+        let mut wf = Vec::new();
+        let mut wl = Vec::new();
+        for q in &queries {
+            full.push_into(q, &mut wf);
+            lean.push_into(q, &mut wl);
+        }
+        wf.extend(full.finish_windows());
+        wl.extend(lean.finish_windows());
+        assert_eq!(wf, wl, "window stats never depend on per-query recording");
+        assert!(lean.latencies().is_empty());
+        let (fs, ls) = (full.stats(), lean.stats());
+        assert_eq!(fs.num_queries, ls.num_queries);
+        assert_eq!(fs.satisfied, ls.satisfied);
+        assert_eq!(fs.mean_latency_s, ls.mean_latency_s);
+        assert_eq!(fs.makespan, ls.makespan);
+        assert_eq!(
+            ls.tail_latency_s, 0.0,
+            "no samples to rank without recording"
+        );
+    }
+
+    #[test]
+    fn billing_records_replicate_cost_so_far_bit_exactly() {
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![1, 2]);
+        let m = model();
+        let queries = stream(150.0, 2000, 17);
+        let mid = queries[queries.len() / 2].arrival;
+        let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+        let mut reconfigured = false;
+        // Mid-run samples, taken while the slot vector is still growing.
+        let mut samples: Vec<(f64, f64)> = Vec::new();
+        for q in &queries {
+            if !reconfigured && q.arrival >= mid {
+                s.reconfigure(
+                    &PoolSpec::new(vec![InstanceType::G4dn, InstanceType::T3], vec![2, 0]),
+                    q.arrival,
+                );
+                reconfigured = true;
+            }
+            samples.push((q.arrival, s.cost_so_far(q.arrival)));
+            s.push(q);
+        }
+        // The post-hoc fold over the *final* records must replicate every mid-run
+        // sample bit for bit: slots launched after a sample's instant clamp to an
+        // exact +0.0 tail term.
+        let records = s.billing();
+        for (t, sampled) in samples {
+            assert_eq!(
+                sampled.to_bits(),
+                cost_from_billing(&records, t).to_bits(),
+                "post-hoc billing must replicate the mid-run sample at t={t}"
+            );
+        }
     }
 
     #[test]

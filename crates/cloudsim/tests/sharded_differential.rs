@@ -1,0 +1,310 @@
+//! Differential suite for the sharded fleet engine: [`simulate_fleet_sharded`] must
+//! reproduce the single-threaded [`simulate_fleet_serial`] reference **bit for bit** —
+//! every window (including the fleet-wide cost fields), every per-model satisfaction
+//! count, and the exact total cost — over random pools, share-weight mixes, phased
+//! traffic, and every shard count from 1 to 8, including degenerate shapes (more
+//! shards than lanes, empty lanes, empty streams).
+
+use proptest::prelude::*;
+use ribbon_cloudsim::dist::{ArrivalProcess, BatchDistribution};
+use ribbon_cloudsim::instance::{InstanceType, PoolSpec};
+use ribbon_cloudsim::latency::FnLatencyModel;
+use ribbon_cloudsim::phased::{PhasedArrivalProcess, PhasedStreamConfig, RatePhase};
+use ribbon_cloudsim::query::{Query, StreamConfig};
+use ribbon_cloudsim::sharded::{partition_groups, simulate_fleet_serial, simulate_fleet_sharded};
+use ribbon_cloudsim::streaming::WindowConfig;
+use ribbon_cloudsim::FleetModelConfig;
+
+type Profile = FnLatencyModel<fn(InstanceType, u32) -> f64>;
+
+fn mixed(ty: InstanceType, b: u32) -> f64 {
+    if ty == InstanceType::G4dn {
+        0.004 + 4e-5 * b as f64
+    } else {
+        0.004 + 45e-5 * b as f64
+    }
+}
+
+fn slow(_: InstanceType, b: u32) -> f64 {
+    0.010 + 30e-5 * b as f64
+}
+
+fn profiles() -> Vec<Profile> {
+    vec![
+        FnLatencyModel::new("mixed", mixed as fn(InstanceType, u32) -> f64),
+        FnLatencyModel::new("slow", slow as fn(InstanceType, u32) -> f64),
+    ]
+}
+
+/// One randomly drawn fleet member.
+#[derive(Debug, Clone)]
+struct MemberDraw {
+    g4dn: u32,
+    c5: u32,
+    t3: u32,
+    profile: usize,
+    share_weight: f64,
+    qps: f64,
+    queries: usize,
+    window_s: f64,
+}
+
+/// Derives a random fleet shape from one drawn seed (the vendored proptest shim only
+/// samples numeric ranges, so composite draws are expanded here, deterministically).
+fn draw_members(num: usize, seed: u64) -> Vec<MemberDraw> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..num)
+        .map(|_| MemberDraw {
+            g4dn: rng.gen_range(0u32..3),
+            c5: rng.gen_range(0u32..4),
+            t3: rng.gen_range(0u32..4),
+            profile: rng.gen_range(0usize..2),
+            share_weight: *[0.0, 0.5, 1.0, 2.0]
+                .get(rng.gen_range(0usize..4))
+                .expect("index in range"),
+            qps: rng.gen_range(80.0f64..400.0),
+            queries: if rng.gen_range(0u32..8) == 0 {
+                0
+            } else {
+                rng.gen_range(40usize..400)
+            },
+            window_s: *[0.5, 1.0, 2.5]
+                .get(rng.gen_range(0usize..3))
+                .expect("index in range"),
+        })
+        .collect()
+}
+
+fn draw_streams(members: &[MemberDraw], phased: bool, seed: u64) -> Vec<Vec<Query>> {
+    members
+        .iter()
+        .enumerate()
+        .map(|(m, d)| {
+            if d.queries == 0 {
+                Vec::new()
+            } else if phased {
+                PhasedStreamConfig {
+                    arrivals: PhasedArrivalProcess::piecewise(vec![
+                        RatePhase {
+                            duration_s: 1.5,
+                            qps: d.qps,
+                        },
+                        RatePhase {
+                            duration_s: 1.5,
+                            qps: d.qps * 3.0,
+                        },
+                        RatePhase {
+                            duration_s: 2.0,
+                            qps: d.qps * 0.5,
+                        },
+                    ]),
+                    batches: BatchDistribution::default_heavy_tail(32.0, 256),
+                    duration_s: d.queries as f64 / d.qps,
+                    seed: seed.wrapping_add(m as u64),
+                }
+                .generate()
+            } else {
+                StreamConfig {
+                    arrivals: ArrivalProcess::Poisson { qps: d.qps },
+                    batches: BatchDistribution::default_heavy_tail(32.0, 256),
+                    num_queries: d.queries,
+                    seed: seed.wrapping_add(m as u64),
+                }
+                .generate()
+            }
+        })
+        .collect()
+}
+
+/// Builds the member configs, skipping draws where a member would have neither a lane
+/// nor shared access (FleetSim rejects those by design).
+fn build_configs<'a>(
+    members: &[MemberDraw],
+    profiles: &'a [Profile],
+    has_shared: bool,
+) -> Option<Vec<FleetModelConfig<'a>>> {
+    members
+        .iter()
+        .map(|d| {
+            let pool = PoolSpec::new(
+                vec![InstanceType::G4dn, InstanceType::C5, InstanceType::T3],
+                vec![d.g4dn, d.c5, d.t3],
+            );
+            if pool.total_instances() == 0 && !(has_shared && d.share_weight > 0.0) {
+                return None;
+            }
+            Some(FleetModelConfig {
+                pool,
+                profile: &profiles[d.profile],
+                target_latency_s: 0.020,
+                tail_percentile: 99.0,
+                window: WindowConfig::tumbling(d.window_s),
+                share_weight: d.share_weight,
+                spin_up_factor: 1.0,
+            })
+        })
+        .collect()
+}
+
+fn assert_bit_identical(members: &[MemberDraw], shared: Option<PoolSpec>, phased: bool, seed: u64) {
+    let profiles = profiles();
+    let has_shared = shared
+        .as_ref()
+        .map(|p| p.total_instances() > 0)
+        .unwrap_or(false);
+    let Some(configs) = build_configs(members, &profiles, has_shared) else {
+        return; // capacityless draw: FleetSim rejects it in both engines
+    };
+    let streams = draw_streams(members, phased, seed);
+    let serial = simulate_fleet_serial(configs.clone(), shared.clone(), &streams, true);
+    for shards in 1..=8 {
+        let sharded =
+            simulate_fleet_sharded(configs.clone(), shared.clone(), &streams, shards, true);
+        assert_eq!(
+            serial, sharded,
+            "shards={shards} must be bit-identical to the serial drive"
+        );
+        // PartialEq on f64 conflates -0.0 with 0.0 and would hide a NaN mismatch;
+        // pin the money fields down to the bit.
+        assert_eq!(
+            serial.total_cost_usd.to_bits(),
+            sharded.total_cost_usd.to_bits()
+        );
+        for (sw, hw) in serial.windows.iter().zip(&sharded.windows) {
+            for (a, b) in sw.iter().zip(hw) {
+                assert_eq!(a.cost_so_far_usd.to_bits(), b.cost_so_far_usd.to_bits());
+                assert_eq!(a.pool_hourly_cost.to_bits(), b.pool_hourly_cost.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn sharded_matches_serial_without_shared_slots(
+        num_members in 1usize..5,
+        shape_seed in 0u64..1_000_000,
+        stream_seed in 0u64..1000,
+        phased in 0u32..2,
+    ) {
+        let members = draw_members(num_members, shape_seed);
+        assert_bit_identical(&members, None, phased == 1, stream_seed);
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_a_shared_slice(
+        num_members in 1usize..5,
+        shape_seed in 0u64..1_000_000,
+        shared_g4dn in 0u32..3,
+        shared_c5 in 0u32..3,
+        stream_seed in 0u64..1000,
+        phased in 0u32..2,
+    ) {
+        let members = draw_members(num_members, shape_seed);
+        let shared = PoolSpec::new(
+            vec![InstanceType::G4dn, InstanceType::C5],
+            vec![shared_g4dn, shared_c5],
+        );
+        assert_bit_identical(&members, Some(shared), phased == 1, stream_seed);
+    }
+}
+
+#[test]
+fn more_shards_than_lanes_is_exact() {
+    // 2 members, 8 shards: the thread cap exceeds the group count.
+    let members = vec![
+        MemberDraw {
+            g4dn: 2,
+            c5: 0,
+            t3: 1,
+            profile: 0,
+            share_weight: 0.0,
+            qps: 300.0,
+            queries: 500,
+            window_s: 1.0,
+        },
+        MemberDraw {
+            g4dn: 0,
+            c5: 2,
+            t3: 0,
+            profile: 1,
+            share_weight: 0.0,
+            qps: 150.0,
+            queries: 300,
+            window_s: 0.5,
+        },
+    ];
+    assert_bit_identical(&members, None, false, 42);
+}
+
+#[test]
+fn empty_lane_member_rides_the_shared_slice() {
+    // Member 1 has no dedicated slots at all — every query routes shared.
+    let members = vec![
+        MemberDraw {
+            g4dn: 1,
+            c5: 1,
+            t3: 0,
+            profile: 0,
+            share_weight: 1.0,
+            qps: 250.0,
+            queries: 600,
+            window_s: 1.0,
+        },
+        MemberDraw {
+            g4dn: 0,
+            c5: 0,
+            t3: 0,
+            profile: 1,
+            share_weight: 1.0,
+            qps: 100.0,
+            queries: 200,
+            window_s: 1.0,
+        },
+    ];
+    let shared = PoolSpec::homogeneous(InstanceType::G4dn, 2);
+    assert_bit_identical(&members, Some(shared), true, 7);
+}
+
+#[test]
+fn empty_streams_close_the_same_empty_windows() {
+    // Member 1 never receives a query; the fleet's clock is driven by member 0 alone,
+    // and member 1's (empty) windows must still close identically.
+    let members = vec![
+        MemberDraw {
+            g4dn: 2,
+            c5: 0,
+            t3: 0,
+            profile: 0,
+            share_weight: 0.0,
+            qps: 400.0,
+            queries: 800,
+            window_s: 0.5,
+        },
+        MemberDraw {
+            g4dn: 1,
+            c5: 0,
+            t3: 0,
+            profile: 0,
+            share_weight: 0.0,
+            qps: 100.0,
+            queries: 0,
+            window_s: 0.5,
+        },
+    ];
+    assert_bit_identical(&members, None, false, 3);
+}
+
+#[test]
+fn partition_groups_couples_only_weighted_members_under_a_shared_pool() {
+    // Shared present: weighted members coalesce, zero-weight members stay singletons.
+    let groups = partition_groups(&[1.0, 0.0, 0.5, 2.0], true);
+    assert_eq!(groups, vec![vec![0, 2, 3], vec![1]]);
+    // No shared pool: everyone is a singleton regardless of weight.
+    let groups = partition_groups(&[1.0, 0.0, 0.5], false);
+    assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    // All-zero weights under a shared pool: still all singletons.
+    let groups = partition_groups(&[0.0, 0.0], true);
+    assert_eq!(groups, vec![vec![0], vec![1]]);
+}

@@ -39,8 +39,12 @@ use crate::search::RibbonSearch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ribbon_bo::{BoOptimizer, BoSettings, ConfigLattice};
+use ribbon_cloudsim::parallel::{default_threads, par_map_vec};
 use ribbon_cloudsim::router::{FleetModelConfig, FleetSim};
-use ribbon_cloudsim::{merge_tagged, CostModel, PoolSpec, Query, WindowStats};
+use ribbon_cloudsim::{
+    cost_from_billing, merge_tagged_slices, partition_groups, CostModel, PoolSpec, Query, SimStats,
+    SlotBilling, WindowStats,
+};
 use ribbon_models::ModelProfile;
 use ribbon_spec::Value;
 
@@ -863,10 +867,11 @@ pub fn serve_fleet(
             }
         })
         .collect();
+    // Mirror `FleetSim::new`: an all-zero shared allocation is no shared slice at all.
     let shared_pool = fleet
         .has_shared()
-        .then(|| PoolSpec::from_counts(&fleet.shared_types, &outcome.best.shared_config));
-    let mut sim = FleetSim::new(model_configs, shared_pool);
+        .then(|| PoolSpec::from_counts(&fleet.shared_types, &outcome.best.shared_config))
+        .filter(|p| p.total_instances() > 0);
 
     let streams: Vec<Vec<Query>> = fleet
         .members
@@ -880,113 +885,143 @@ pub fn serve_fleet(
                 .generate()
         })
         .collect();
-    let merged = merge_tagged(&streams);
 
-    // --- 3. Drive loop: windows → controllers → slice reconfigurations. --------------
-    let mut member_windows: Vec<Vec<WindowStats>> = vec![Vec::new(); n];
-    let mut member_events: Vec<Vec<ReconfigEvent>> = vec![Vec::new(); n];
-    // Deferred retire phase of a make-before-break transition, per member.
-    let mut pending: Vec<Option<(PoolSpec, f64, usize)>> = (0..n).map(|_| None).collect();
-    // Cumulative lane/shared serve counts at the previous window close: the
-    // controller plans for the *lane's* share of the member load, so each window's
-    // offered load is scaled by the fraction the lane actually served.
-    let mut lane_cum: Vec<usize> = vec![0; n];
-    let mut shared_cum: Vec<usize> = vec![0; n];
-    for tq in &merged {
-        for m in 0..n {
-            if let Some((final_pool, apply_at, event_idx)) = pending[m].take() {
-                if tq.query.arrival >= apply_at {
-                    member_events[m][event_idx].completed =
-                        Some(sim.reconfigure_model(m, &final_pool, apply_at));
-                } else {
-                    pending[m] = Some((final_pool, apply_at, event_idx));
-                }
-            }
-        }
-        for (m, w) in sim.push(tq) {
-            let end_s = w.end_s;
-            // The lane's share of this window's traffic (1.0 without a shared slice;
-            // for a single-member no-shared fleet the scaled window is bit-identical
-            // to the original, so the controller behaves exactly like serve_online's).
-            let lane_now = sim.lane(m).map_or(0, |l| l.latencies().len());
-            let shared_now = sim.shared_queries(m);
-            let lane_delta = lane_now - lane_cum[m];
-            let shared_delta = shared_now - shared_cum[m];
-            lane_cum[m] = lane_now;
-            shared_cum[m] = shared_now;
-            let lane_share = if lane_delta + shared_delta > 0 {
-                lane_delta as f64 / (lane_delta + shared_delta) as f64
+    // --- 3. Partition into coupling groups, drive each group on its own worker. ------
+    // Members only interact through the shared slice (see `ribbon_cloudsim::sharded`):
+    // every member with a positive share weight joins one coupling group, everyone
+    // else is a singleton, and each group runs its own `FleetSim` over the
+    // deterministic merge of just its members' streams. The shard count only caps
+    // worker threads — it never changes the partition — so serve results are identical
+    // at every shard count, and a single-group fleet (e.g. all members sharing one
+    // slice, or a lone member) reproduces the previous global drive bit for bit.
+    let weights: Vec<f64> = model_configs.iter().map(|c| c.share_weight).collect();
+    let groups = partition_groups(&weights, shared_pool.is_some());
+    let t_last = streams
+        .iter()
+        .filter_map(|s| s.last())
+        .map(|q| q.arrival)
+        .fold(0.0, f64::max);
+    let stream_queries: usize = streams.iter().map(Vec::len).sum();
+    let shards = fleet
+        .spec
+        .shards
+        .unwrap_or(if stream_queries >= LARGE_STREAM_QUERIES {
+            default_threads()
+        } else {
+            1
+        })
+        .max(1);
+    let shared_hourly = shared_pool.as_ref().map_or(0.0, |p| p.hourly_cost());
+
+    let mut config_slots: Vec<Option<FleetModelConfig>> =
+        model_configs.into_iter().map(Some).collect();
+    let mut controller_slots = controllers;
+    let tasks: Vec<GroupServeTask> = groups
+        .iter()
+        .map(|g| GroupServeTask {
+            members: g.clone(),
+            configs: g
+                .iter()
+                .map(|&m| config_slots[m].take().expect("each member in one group"))
+                .collect(),
+            // Only the coupled group dispatches to (and is simulated with) the shared
+            // slice; its fleet-wide bill is added during recombination.
+            shared: if g.len() > 1 || weights[g[0]] > 0.0 {
+                shared_pool.clone()
             } else {
-                1.0
-            };
-            let mut controller_view = w.clone();
-            controller_view.arrival_qps = w.arrival_qps * lane_share;
-            if let Some(controller) = controllers[m].as_mut() {
-                if let Some(plan) = controller.observe(&controller_view) {
-                    // A new decision supersedes any not-yet-completed retire phase.
-                    pending[m] = None;
-                    let workload = &fleet.members[m].scenario.workload;
-                    let new_pool = workload.diverse_pool_spec(&plan.config);
-                    let old_counts = sim
-                        .lane(m)
-                        .expect("controlled members have a lane")
-                        .current_pool()
-                        .counts
-                        .clone();
-                    let union: Vec<u32> = plan
-                        .config
-                        .iter()
-                        .zip(&old_counts)
-                        .map(|(&a, &b)| a.max(b))
-                        .collect();
-                    let two_phase = union != plan.config && union != old_counts;
-                    let first_pool = if two_phase {
-                        workload.diverse_pool_spec(&union)
-                    } else {
-                        new_pool.clone()
-                    };
-                    let applied = sim.reconfigure_model(m, &first_pool, end_s);
-                    let transition_cost_usd = transition_overlap_cost(
-                        &applied.old_pool,
-                        &new_pool,
-                        applied.ready_at_s - applied.at_s,
-                    );
-                    if two_phase {
-                        pending[m] = Some((new_pool, applied.ready_at_s, member_events[m].len()));
-                    }
-                    member_events[m].push(ReconfigEvent {
-                        trigger: plan.trigger,
-                        window_index: plan.window_index,
-                        planned_qps: plan.planned_qps,
-                        config: plan.config,
-                        applied,
-                        completed: None,
-                        transition_cost_usd,
-                    });
-                }
+                None
+            },
+            controllers: g.iter().map(|&m| controller_slots[m].take()).collect(),
+            streams: g.iter().map(|&m| streams[m].as_slice()).collect(),
+        })
+        .collect();
+
+    let results = par_map_vec(tasks, shards, |task| drive_group(fleet, task, t_last));
+
+    // Scatter group results back into global model slots.
+    let mut member_windows: Vec<Vec<WindowStats>> = vec![Vec::new(); n];
+    let mut num_complete = vec![0usize; n];
+    let mut member_events: Vec<Vec<ReconfigEvent>> = vec![Vec::new(); n];
+    let mut member_stats: Vec<Option<SimStats>> = vec![None; n];
+    let mut shared_queries = vec![0usize; n];
+    let mut lane_billing: Vec<Option<Vec<SlotBilling>>> = vec![None; n];
+    let mut lane_timeline: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    let mut controllers: Vec<Option<OnlineController>> = (0..n).map(|_| None).collect();
+    let mut makespan = 0.0f64;
+    let mut end_clock = 0.0f64;
+    for (g, mut result) in groups.iter().zip(results) {
+        makespan = makespan.max(result.makespan);
+        end_clock = end_clock.max(result.end_clock);
+        for (gi, &m) in g.iter().enumerate() {
+            member_windows[m] = std::mem::take(&mut result.windows[gi]);
+            num_complete[m] = result.num_complete[gi];
+            member_events[m] = std::mem::take(&mut result.events[gi]);
+            member_stats[m] = Some(result.stats[gi]);
+            shared_queries[m] = result.shared_queries[gi];
+            lane_billing[m] = result.lane_billing[gi].take();
+            lane_timeline[m] = std::mem::take(&mut result.lane_timeline[gi]);
+            controllers[m] = result.controllers[gi].take();
+        }
+    }
+    let member_stats: Vec<SimStats> = member_stats
+        .into_iter()
+        .map(|s| s.expect("every member driven"))
+        .collect();
+
+    // Global quantities, folded exactly as the global `FleetSim` computes them: lanes
+    // in model order, then the shared slice (billed fleet-wide whether or not any
+    // group dispatched to it). `cost_from_billing` replicates each lane's exact
+    // mid-reconfiguration cost accounting bit for bit.
+    let duration_s = makespan.max(end_clock);
+    let cost_at = |t: f64| -> f64 {
+        lane_billing
+            .iter()
+            .flatten()
+            .map(|b| cost_from_billing(b, t))
+            .sum::<f64>()
+            + shared_hourly * t.max(0.0) / 3600.0
+    };
+    let total_cost_usd = cost_at(duration_s);
+    let final_hourly_cost = lane_timeline
+        .iter()
+        .filter_map(|tl| tl.last())
+        .map(|&(_, h)| h)
+        .sum::<f64>()
+        + shared_hourly;
+
+    // Fleet-wide window cost fields. A single group carries them exactly as the global
+    // drive wrote them; with several groups each group only saw its own lanes, so the
+    // fields are reconstructed from the per-lane reconfiguration timelines: a window
+    // reports the hourly cost of every pool change effective strictly before its end,
+    // and samples accrued cost at its end (partial windows clamp to the run horizon) —
+    // the same rules the global drive applies at close time.
+    if groups.len() > 1 {
+        for m in 0..n {
+            for (i, w) in member_windows[m].iter_mut().enumerate() {
+                let hourly: f64 = lane_timeline
+                    .iter()
+                    .filter_map(|tl| tl.iter().rev().find(|&&(at, _)| at < w.end_s))
+                    .map(|&(_, h)| h)
+                    .sum::<f64>()
+                    + shared_hourly;
+                let horizon = if i < num_complete[m] {
+                    w.end_s
+                } else {
+                    w.end_s.min(duration_s)
+                };
+                w.pool_hourly_cost = hourly;
+                w.cost_so_far_usd = cost_at(horizon);
             }
-            member_windows[m].push(w);
         }
-    }
-    for m in 0..n {
-        if let Some((final_pool, apply_at, event_idx)) = pending[m].take() {
-            member_events[m][event_idx].completed =
-                Some(sim.reconfigure_model(m, &final_pool, apply_at));
-        }
-    }
-    for (m, w) in sim.finish_windows() {
-        member_windows[m].push(w);
     }
 
     // --- 4. Reports. ------------------------------------------------------------------
-    let duration_s = sim.makespan().max(sim.clock());
-    let total_cost_usd = sim.cost_so_far(duration_s);
     let mut report = planner.build_report(fleet, &outcome);
     let mut total_queries = 0usize;
     let mut total_windows = 0usize;
     let mut total_events = 0usize;
     for m in 0..n {
-        let stats = sim.stats(m);
+        let stats = &member_stats[m];
         total_queries += stats.num_queries;
         total_windows += member_windows[m].len();
         total_events += member_events[m].len();
@@ -1011,7 +1046,7 @@ pub fn serve_fleet(
             },
             windows: member_windows[m].len(),
             queries: stats.num_queries,
-            shared_queries: sim.shared_queries(m),
+            shared_queries: shared_queries[m],
             satisfaction_rate: stats.satisfaction_rate(),
             events,
             window_stats: std::mem::take(&mut member_windows[m]),
@@ -1023,10 +1058,239 @@ pub fn serve_fleet(
         duration_s,
         total_cost_usd,
         mean_hourly_cost: mean_hourly_cost(total_cost_usd, duration_s),
-        final_hourly_cost: sim.current_hourly_cost(),
+        final_hourly_cost,
         reconfigurations: total_events,
     });
     Ok(report)
+}
+
+/// Streams above this size spread their coupling groups across all cores by default
+/// (below it, thread setup outweighs the win); `fleet.shards` overrides either way.
+const LARGE_STREAM_QUERIES: usize = 200_000;
+
+/// One coupling group's serve work order: the members' lane configs, traffic slices,
+/// and controllers, moved into the worker and returned with its results.
+struct GroupServeTask<'a> {
+    /// Global member indices, in model order.
+    members: Vec<usize>,
+    configs: Vec<FleetModelConfig<'a>>,
+    /// The shared slice — only the coupled group carries one.
+    shared: Option<PoolSpec>,
+    controllers: Vec<Option<OnlineController>>,
+    streams: Vec<&'a [Query]>,
+}
+
+/// One coupling group's serve outcome, indexed in group-member order.
+struct GroupServe {
+    controllers: Vec<Option<OnlineController>>,
+    windows: Vec<Vec<WindowStats>>,
+    /// Per member: how many leading windows are complete (the rest are partial).
+    num_complete: Vec<usize>,
+    events: Vec<Vec<ReconfigEvent>>,
+    stats: Vec<SimStats>,
+    shared_queries: Vec<usize>,
+    lane_billing: Vec<Option<Vec<SlotBilling>>>,
+    /// Per member lane: `(effective time, pool hourly cost after the change)`, seeded
+    /// with the initial deployment and appended at every reconfiguration.
+    lane_timeline: Vec<Vec<(f64, f64)>>,
+    makespan: f64,
+    end_clock: f64,
+}
+
+/// One member's lane hourly cost as currently deployed (0 when it has no lane).
+fn lane_hourly(sim: &FleetSim<'_>, g: usize) -> f64 {
+    sim.lane(g).map_or(0.0, |l| l.current_pool().hourly_cost())
+}
+
+/// Drives one coupling group through its own `FleetSim`: the same serve loop the
+/// global drive ran, restricted to the group's merged stream, with per-query recording
+/// off (constant memory — windows, counters, and satisfaction stay exact).
+fn drive_group(fleet: &Fleet, task: GroupServeTask<'_>, t_last: f64) -> GroupServe {
+    let k = task.members.len();
+    let mut controllers = task.controllers;
+    let mut sim = FleetSim::new(task.configs, task.shared);
+    sim.set_record_per_query(false);
+    let mut windows: Vec<Vec<WindowStats>> = vec![Vec::new(); k];
+    let mut events: Vec<Vec<ReconfigEvent>> = vec![Vec::new(); k];
+    // Deferred retire phase of a make-before-break transition, per member.
+    let mut pending: Vec<Option<(PoolSpec, f64, usize)>> = (0..k).map(|_| None).collect();
+    let mut lane_cum: Vec<usize> = vec![0; k];
+    let mut shared_cum: Vec<usize> = vec![0; k];
+    let mut lane_timeline: Vec<Vec<(f64, f64)>> = (0..k)
+        .map(|g| {
+            sim.lane(g)
+                .map(|l| vec![(0.0, l.current_pool().hourly_cost())])
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let merged = merge_tagged_slices(&task.streams);
+    let mut closed = Vec::new();
+    for tq in &merged {
+        for g in 0..k {
+            if let Some((final_pool, apply_at, event_idx)) = pending[g].take() {
+                if tq.query.arrival >= apply_at {
+                    let rec = sim.reconfigure_model(g, &final_pool, apply_at);
+                    lane_timeline[g].push((rec.at_s, lane_hourly(&sim, g)));
+                    events[g][event_idx].completed = Some(rec);
+                } else {
+                    pending[g] = Some((final_pool, apply_at, event_idx));
+                }
+            }
+        }
+        sim.push_into(tq, &mut closed);
+        for (g, w) in closed.drain(..) {
+            observe_window(
+                fleet,
+                task.members[g],
+                g,
+                &w,
+                &mut sim,
+                &mut controllers,
+                &mut pending,
+                &mut events,
+                &mut lane_cum,
+                &mut shared_cum,
+                &mut lane_timeline,
+            );
+            windows[g].push(w);
+        }
+    }
+    // Close the complete windows the global drive would have closed via other groups'
+    // arrivals (none for a single-group fleet: its own last push already closed every
+    // due window) and run the same controller observation over each. A pending retire
+    // phase due by a drained window's end applies first, as the close-triggering
+    // arrival would have applied it.
+    for (g, w) in sim.drain_windows_until(t_last) {
+        if let Some((final_pool, apply_at, event_idx)) = pending[g].take() {
+            if apply_at <= w.end_s {
+                let rec = sim.reconfigure_model(g, &final_pool, apply_at);
+                lane_timeline[g].push((rec.at_s, lane_hourly(&sim, g)));
+                events[g][event_idx].completed = Some(rec);
+            } else {
+                pending[g] = Some((final_pool, apply_at, event_idx));
+            }
+        }
+        observe_window(
+            fleet,
+            task.members[g],
+            g,
+            &w,
+            &mut sim,
+            &mut controllers,
+            &mut pending,
+            &mut events,
+            &mut lane_cum,
+            &mut shared_cum,
+            &mut lane_timeline,
+        );
+        windows[g].push(w);
+    }
+    for g in 0..k {
+        if let Some((final_pool, apply_at, event_idx)) = pending[g].take() {
+            let rec = sim.reconfigure_model(g, &final_pool, apply_at);
+            lane_timeline[g].push((rec.at_s, lane_hourly(&sim, g)));
+            events[g][event_idx].completed = Some(rec);
+        }
+    }
+    let num_complete: Vec<usize> = windows.iter().map(Vec::len).collect();
+    for (g, w) in sim.finish_windows() {
+        windows[g].push(w);
+    }
+    GroupServe {
+        makespan: sim.makespan(),
+        end_clock: sim.clock(),
+        stats: (0..k).map(|g| sim.stats(g)).collect(),
+        shared_queries: (0..k).map(|g| sim.shared_queries(g)).collect(),
+        lane_billing: (0..k).map(|g| sim.lane_billing(g)).collect(),
+        controllers,
+        windows,
+        num_complete,
+        events,
+        lane_timeline,
+    }
+}
+
+/// One closed window's controller step: scale the offered load by the lane's serve
+/// share, let the member's controller observe it, and apply any planned slice
+/// reconfiguration (make-before-break, with a deferred retire phase when the new and
+/// old slices overlap on neither side).
+#[allow(clippy::too_many_arguments)]
+fn observe_window(
+    fleet: &Fleet,
+    member: usize,
+    g: usize,
+    w: &WindowStats,
+    sim: &mut FleetSim<'_>,
+    controllers: &mut [Option<OnlineController>],
+    pending: &mut [Option<(PoolSpec, f64, usize)>],
+    events: &mut [Vec<ReconfigEvent>],
+    lane_cum: &mut [usize],
+    shared_cum: &mut [usize],
+    lane_timeline: &mut [Vec<(f64, f64)>],
+) {
+    let end_s = w.end_s;
+    // The lane's share of this window's traffic (1.0 without a shared slice; for a
+    // single-member no-shared fleet the scaled window is bit-identical to the
+    // original, so the controller behaves exactly like serve_online's).
+    let lane_now = sim.lane(g).map_or(0, |l| l.num_queries());
+    let shared_now = sim.shared_queries(g);
+    let lane_delta = lane_now - lane_cum[g];
+    let shared_delta = shared_now - shared_cum[g];
+    lane_cum[g] = lane_now;
+    shared_cum[g] = shared_now;
+    let lane_share = if lane_delta + shared_delta > 0 {
+        lane_delta as f64 / (lane_delta + shared_delta) as f64
+    } else {
+        1.0
+    };
+    let mut controller_view = w.clone();
+    controller_view.arrival_qps = w.arrival_qps * lane_share;
+    if let Some(controller) = controllers[g].as_mut() {
+        if let Some(plan) = controller.observe(&controller_view) {
+            // A new decision supersedes any not-yet-completed retire phase.
+            pending[g] = None;
+            let workload = &fleet.members[member].scenario.workload;
+            let new_pool = workload.diverse_pool_spec(&plan.config);
+            let old_counts = sim
+                .lane(g)
+                .expect("controlled members have a lane")
+                .current_pool()
+                .counts
+                .clone();
+            let union: Vec<u32> = plan
+                .config
+                .iter()
+                .zip(&old_counts)
+                .map(|(&a, &b)| a.max(b))
+                .collect();
+            let two_phase = union != plan.config && union != old_counts;
+            let first_pool = if two_phase {
+                workload.diverse_pool_spec(&union)
+            } else {
+                new_pool.clone()
+            };
+            let applied = sim.reconfigure_model(g, &first_pool, end_s);
+            lane_timeline[g].push((applied.at_s, lane_hourly(sim, g)));
+            let transition_cost_usd = transition_overlap_cost(
+                &applied.old_pool,
+                &new_pool,
+                applied.ready_at_s - applied.at_s,
+            );
+            if two_phase {
+                pending[g] = Some((new_pool, applied.ready_at_s, events[g].len()));
+            }
+            events[g].push(ReconfigEvent {
+                trigger: plan.trigger,
+                window_index: plan.window_index,
+                planned_qps: plan.planned_qps,
+                config: plan.config,
+                applied,
+                completed: None,
+                transition_cost_usd,
+            });
+        }
+    }
 }
 
 fn u32s(values: &[u32]) -> Value {

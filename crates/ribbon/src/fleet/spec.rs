@@ -92,6 +92,11 @@ pub struct FleetSpec {
     pub prune_threshold: Option<f64>,
     /// Worker threads for batch evaluation.
     pub threads: Option<usize>,
+    /// Worker shards of the serve drive: coupling groups of fleet lanes are simulated
+    /// on up to this many threads (results are bit-identical at every shard count).
+    /// Defaults to one shard for small streams and the machine's parallelism above the
+    /// large-stream threshold.
+    pub shards: Option<usize>,
     /// Instance families opened for cross-model shared slots (catalog names).
     pub shared_pool: Vec<String>,
     /// Per-family search bounds of the shared slice (defaults to 4 each).
@@ -143,6 +148,7 @@ impl FleetSpec {
             "initial_samples",
             "prune_threshold",
             "threads",
+            "shards",
             "shared_pool",
             "shared_bounds",
         ];
@@ -180,6 +186,7 @@ impl FleetSpec {
         let initial_samples = get_usize(header, "fleet", "initial_samples")?;
         let prune_threshold = get_f64(header, "fleet", "prune_threshold")?;
         let threads = get_usize(header, "fleet", "threads")?;
+        let shards = get_usize(header, "fleet", "shards")?;
         let shared_pool = get_str_list(header, "fleet", "shared_pool")?.unwrap_or_default();
         let shared_bounds = get_u32_list(header, "fleet", "shared_bounds")?;
         if let Some(b) = &shared_bounds {
@@ -231,6 +238,7 @@ impl FleetSpec {
             initial_samples,
             prune_threshold,
             threads,
+            shards,
             shared_pool,
             shared_bounds,
             models,
@@ -317,6 +325,9 @@ impl FleetSpec {
         }
         if let Some(t) = self.threads {
             header.insert("threads", Value::from(t));
+        }
+        if let Some(s) = self.shards {
+            header.insert("shards", Value::from(s));
         }
         if !self.shared_pool.is_empty() {
             header.insert(

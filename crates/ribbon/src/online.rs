@@ -506,6 +506,9 @@ pub fn serve_online_with_policy(
     // Deferred retire phase of a make-before-break transition: (final pool, apply at,
     // index of the event it completes).
     let mut pending: Option<(ribbon_cloudsim::PoolSpec, f64, usize)> = None;
+    // One closed-window buffer reused across every push: the hot loop allocates
+    // nothing per query.
+    let mut closed = Vec::new();
     for q in ribbon_cloudsim::PhasedQueryStream::new(traffic.clone()) {
         if let Some((final_pool, apply_at, event_idx)) = pending.take() {
             if q.arrival >= apply_at {
@@ -514,7 +517,8 @@ pub fn serve_online_with_policy(
                 pending = Some((final_pool, apply_at, event_idx));
             }
         }
-        for w in sim.push(&q) {
+        sim.push_into(&q, &mut closed);
+        for w in closed.drain(..) {
             let end_s = w.end_s;
             if let Some(plan) = controller.observe(&w) {
                 // A new decision supersedes any not-yet-completed retire phase.

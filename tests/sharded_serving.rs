@@ -1,0 +1,135 @@
+//! Shard-invariance suite for the fleet serve drive: the coupling-group partition is
+//! fixed by the fleet's sharing structure, and `fleet.shards` only caps how many
+//! worker threads the groups spread across — so the **full serve report** (every
+//! monitoring window including the fleet-wide cost fields, every reconfiguration
+//! event, the exact totals) must be identical at every shard count, for multi-group
+//! fleets (where lanes really run on different workers) and single-group fleets
+//! alike. The companion `fleet_serving` suite pins the single-group drive to the
+//! single-model `serve_online` path bit for bit; together they bound both sides:
+//! sharding changes nothing, and the unsharded semantics are the historical ones.
+
+use ribbon::fleet::{FleetPlanner, FleetReport, FleetSpec, RibbonFleetPlanner};
+
+/// MT-WND and DIEN contend for a shared slice (one coupled group) while a
+/// zero-share-weight DIEN lane runs dedicated (a singleton group): two groups, so at
+/// `shards >= 2` the drive genuinely runs on several workers.
+fn multi_group_serve_toml() -> &'static str {
+    r#"
+[fleet]
+name = "sharded-serve"
+mode = "serve"
+seed = 7
+budget = 14
+baseline = false
+shared_pool = ["g4dn", "r5n"]
+shared_bounds = [6, 6]
+
+[[model]]
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "MT-WND"
+num_queries = 900
+
+[model.traffic]
+phases = [
+  { duration_s = 8.0, qps = 1300.0 },
+  { duration_s = 6.0, qps = 1500.0 },
+]
+
+[model.online]
+window_s = 2.0
+spin_up_factor = 0.5
+planning_queries = 1200
+
+[[model]]
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "DIEN"
+num_queries = 800
+
+[model.traffic]
+phases = [
+  { duration_s = 14.0, qps = 1150.0 },
+]
+
+[model.online]
+window_s = 2.0
+spin_up_factor = 0.5
+planning_queries = 1200
+
+[[model]]
+bounds = [4, 2, 4]
+share_weight = 0.0
+
+[model.workload]
+model = "DIEN"
+num_queries = 700
+
+[model.traffic]
+phases = [
+  { duration_s = 14.0, qps = 1000.0 },
+]
+
+[model.online]
+window_s = 2.0
+spin_up_factor = 0.5
+planning_queries = 1200
+"#
+}
+
+fn serve_with_shards(shards: Option<usize>) -> FleetReport {
+    let mut spec = FleetSpec::from_toml_str(multi_group_serve_toml()).unwrap();
+    spec.shards = shards;
+    let fleet = spec.compile().unwrap();
+    RibbonFleetPlanner.serve(&fleet).expect("the fleet serves")
+}
+
+#[test]
+fn multi_group_serve_is_identical_at_every_shard_count() {
+    let reference = serve_with_shards(Some(1));
+    // The zero-weight member is a singleton group: it must never touch the shared
+    // slice, while the coupled pair contends for it.
+    let solo = reference.models[2].serve.as_ref().expect("serve section");
+    assert_eq!(
+        solo.shared_queries, 0,
+        "share_weight = 0 never routes shared"
+    );
+    assert!(reference.serve.as_ref().expect("totals").queries > 0);
+
+    for shards in [2usize, 3, 8] {
+        let sharded = serve_with_shards(Some(shards));
+        assert_eq!(
+            reference, sharded,
+            "shards={shards} must reproduce the single-worker serve report exactly"
+        );
+        // `PartialEq` on f64 conflates -0.0 with 0.0; pin the money fields to the bit.
+        let a = reference.serve.as_ref().unwrap();
+        let b = sharded.serve.as_ref().unwrap();
+        assert_eq!(a.total_cost_usd.to_bits(), b.total_cost_usd.to_bits());
+        assert_eq!(a.final_hourly_cost.to_bits(), b.final_hourly_cost.to_bits());
+        for (ma, mb) in reference.models.iter().zip(&sharded.models) {
+            let (sa, sb) = (ma.serve.as_ref().unwrap(), mb.serve.as_ref().unwrap());
+            for (wa, wb) in sa.window_stats.iter().zip(&sb.window_stats) {
+                assert_eq!(wa.cost_so_far_usd.to_bits(), wb.cost_so_far_usd.to_bits());
+                assert_eq!(wa.pool_hourly_cost.to_bits(), wb.pool_hourly_cost.to_bits());
+            }
+        }
+    }
+
+    // The default (no `shards` key) picks a thread cap from the stream size; whatever
+    // it picks, the report is still the same one.
+    let auto = serve_with_shards(None);
+    assert_eq!(reference, auto);
+}
+
+#[test]
+fn shards_key_round_trips_through_the_spec() {
+    let mut spec = FleetSpec::from_toml_str(multi_group_serve_toml()).unwrap();
+    assert_eq!(spec.shards, None, "unset by default");
+    spec.shards = Some(3);
+    let value = spec.to_value();
+    let back = FleetSpec::from_value(&value).unwrap();
+    assert_eq!(back.shards, Some(3));
+}
