@@ -1,7 +1,7 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR6.json` with wall times for the instrumented hot paths:
+//! `BENCH_PR7.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
@@ -20,7 +20,11 @@
 //!    and 4** — the serve drive must be bit-identical at every count;
 //! 6. **streaming_scale** — the PR 6 tentpole scenario: ten million queries (eight
 //!    lanes × 1.25 M) through the sharded constant-memory streaming engine, reporting
-//!    end-to-end queries/s and queries/min.
+//!    end-to-end queries/s and queries/min;
+//! 7. **batched_search** — the PR 7 tentpole scenario: the same 30-evaluation hot-path
+//!    search driven through the ask/tell `SearchDriver` with `batch = 8` parallel asks
+//!    and `fidelity = 0.25` successive halving, timed unconditionally every run and
+//!    reported with its exact reduced-fidelity spend.
 //!
 //! The search, online, and fleet scenarios all run **through the declarative façades**
 //! (`ribbon::scenario` / `ribbon::fleet`), so the pinned goldens cover spec compilation
@@ -29,7 +33,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfsnap                    # timing suite, writes BENCH_PR6.json
+//! perfsnap                    # timing suite, writes BENCH_PR7.json
 //! perfsnap --check            # also verify the three golden traces (CI mode) and the
 //!                             # fleet trace's shard invariance
 //! perfsnap --bless            # rewrite all three golden trace files
@@ -41,13 +45,14 @@
 //! Timings are machine-dependent and informational; the **traces** are deterministic and
 //! are what `--check` pins. The `--compare` gate and the snapshot schema are documented
 //! in `crates/bench/README.md`; subsequent PRs diff their own snapshot against the
-//! committed `BENCH_PR5.json` (and its predecessors) to keep the perf trajectory
+//! committed `BENCH_PR6.json` (and its predecessors) to keep the perf trajectory
 //! visible.
 
 use ribbon_bench::perf::{
     fleet_trace_lines, hotpath_evaluator, hotpath_workload, online_trace_lines,
-    run_fleet_scenario_with_shards, run_hotpath_search, run_online_scenario, run_streaming_scale,
-    streaming_scale_profile, streaming_scale_streams, trace_lines, FLEET_SEED, HOTPATH_BOUND,
+    run_batched_hotpath_search, run_fleet_scenario_with_shards, run_hotpath_search,
+    run_online_scenario, run_streaming_scale, streaming_scale_profile, streaming_scale_streams,
+    trace_lines, BATCHED_SEARCH_BATCH, BATCHED_SEARCH_FIDELITY, FLEET_SEED, HOTPATH_BOUND,
     HOTPATH_EVALUATIONS, HOTPATH_QUERIES, HOTPATH_SEED, ONLINE_DURATION_S, ONLINE_SEED,
     STREAMING_SCALE_MODELS, STREAMING_SCALE_QUERIES,
 };
@@ -58,7 +63,7 @@ use std::time::Instant;
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
 const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
 const FLEET_GOLDEN_PATH: &str = "crates/bench/golden/fleet_trace.txt";
-const OUT_PATH: &str = "BENCH_PR6.json";
+const OUT_PATH: &str = "BENCH_PR7.json";
 
 /// A hot-path metric regresses when it is worse than the prior snapshot by more than
 /// this factor (times for lower-is-better, throughput for higher-is-better).
@@ -311,7 +316,7 @@ fn main() {
          {HOTPATH_QUERIES} queries, {HOTPATH_EVALUATIONS} evaluations, seed {HOTPATH_SEED}"
     );
 
-    println!("[1/6] simulate: reference scan vs event-driven heap vs lean stats ...");
+    println!("[1/7] simulate: reference scan vs event-driven heap vs lean stats ...");
     let simu = run_simulate_scenario();
     println!(
         "      reference {:.2} ms | heap {:.2} ms ({:.2}x) | stats {:.2} ms ({:.2}x)",
@@ -322,11 +327,11 @@ fn main() {
         simu.reference_ms / simu.stats_ms,
     );
 
-    println!("[2/6] evaluate_many: 16-configuration parallel batch ...");
+    println!("[2/7] evaluate_many: 16-configuration parallel batch ...");
     let (batch, evaluate_many_ms) = run_evaluate_many_scenario();
     println!("      {evaluate_many_ms:.2} ms for {batch} configurations");
 
-    println!("[3/6] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
+    println!("[3/7] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
     let t = Instant::now();
     let incremental_trace = run_hotpath_search(true);
     let incremental_ms = ms(t);
@@ -358,7 +363,7 @@ fn main() {
     };
 
     println!(
-        "[4/6] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
+        "[4/7] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
     );
     let t = Instant::now();
     let online = run_online_scenario();
@@ -379,7 +384,7 @@ fn main() {
         );
     }
 
-    println!("[5/6] fleet_serving: two-model joint plan + sharded serve, seed {FLEET_SEED} ...");
+    println!("[5/7] fleet_serving: two-model joint plan + sharded serve, seed {FLEET_SEED} ...");
     let t = Instant::now();
     let fleet = run_fleet_scenario_with_shards(None);
     let fleet_ms = ms(t);
@@ -421,7 +426,7 @@ fn main() {
 
     let scale_shards = default_threads();
     println!(
-        "[6/6] streaming_scale: {STREAMING_SCALE_MODELS} lanes x {STREAMING_SCALE_QUERIES} \
+        "[6/7] streaming_scale: {STREAMING_SCALE_MODELS} lanes x {STREAMING_SCALE_QUERIES} \
          queries through the sharded engine, {scale_shards} shard(s) ..."
     );
     let scale_profile = streaming_scale_profile();
@@ -439,6 +444,27 @@ fn main() {
         scale_qps * 60.0 / 1e6,
     );
     drop(scale);
+
+    println!(
+        "[7/7] batched_search: {HOTPATH_EVALUATIONS}-evaluation search, batch \
+         {BATCHED_SEARCH_BATCH}, fidelity {BATCHED_SEARCH_FIDELITY} ..."
+    );
+    let t = Instant::now();
+    let batched_trace = run_batched_hotpath_search();
+    let batched_ms = ms(t);
+    let batched_best = batched_trace
+        .best_satisfying()
+        .expect("the batched search finds a satisfying configuration");
+    println!(
+        "      {batched_ms:.2} ms: {} full evaluations + {} prefix-discarded estimates \
+         ({:.2} full-sim equivalents of prefix spend), best ${:.4}/hr; \
+         speedup vs one-at-a-time bo_search {:.2}x",
+        batched_trace.len(),
+        batched_trace.estimates.len(),
+        batched_trace.fidelity.full_equivalents(),
+        batched_best.hourly_cost,
+        incremental_ms / batched_ms,
+    );
 
     let lines = trace_lines(&incremental_trace);
     let online_lines = online_trace_lines(&online);
@@ -506,7 +532,7 @@ fn main() {
         .collect();
     let json = format!(
         r#"{{
-  "pr": 6,
+  "pr": 7,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},
@@ -560,6 +586,16 @@ fn main() {
     "queries_per_s": {:.0},
     "queries_per_min": {:.0}
   }},
+  "batched_search": {{
+    "batch": {BATCHED_SEARCH_BATCH},
+    "fidelity": {BATCHED_SEARCH_FIDELITY},
+    "evaluations": {},
+    "estimates": {},
+    "prefix_full_equivalents": {:.4},
+    "best_hourly_cost": {:.4},
+    "wall_ms": {:.2},
+    "speedup_vs_incremental": {:.2}
+  }},
   "bo_search": {{
     "baseline_full_refit_ms": {},
     "incremental_ms": {:.2},
@@ -599,6 +635,12 @@ fn main() {
         fleet_models_json.join(",\n"),
         scale_qps,
         scale_qps * 60.0,
+        batched_trace.len(),
+        batched_trace.estimates.len(),
+        batched_trace.fidelity.full_equivalents(),
+        batched_best.hourly_cost,
+        batched_ms,
+        incremental_ms / batched_ms,
         fmt_ms(baseline_ms),
         incremental_ms,
         fmt_ms(baseline_ms.map(|b| b / incremental_ms)),
@@ -633,6 +675,11 @@ fn main() {
                 path: "streaming_scale.queries_per_s",
                 current: scale_qps,
                 higher_better: true,
+            },
+            Metric {
+                path: "batched_search.wall_ms",
+                current: batched_ms,
+                higher_better: false,
             },
         ];
         if !compare_snapshots(&prior, &metrics) {

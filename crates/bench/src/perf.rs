@@ -119,6 +119,37 @@ pub fn run_hotpath_search(reuse_surrogate: bool) -> SearchTrace {
     report.plan.expect("plan mode fills the plan section").trace
 }
 
+/// Ask-batch size of the batched-search perf scenario.
+pub const BATCHED_SEARCH_BATCH: usize = 8;
+
+/// Multi-fidelity prefix fraction of the batched-search perf scenario.
+pub const BATCHED_SEARCH_FIDELITY: f64 = 0.25;
+
+/// The hot-path search with batched parallel asks and multi-fidelity successive halving:
+/// the same workload, lattice, budget, and seed as [`hotpath_spec`], with
+/// `[planner] batch` and `[planner] fidelity` set — the PR 7 tentpole configuration the
+/// `batched_search` snapshot section times against the one-at-a-time `bo_search` path.
+pub fn batched_hotpath_spec() -> ScenarioSpec {
+    let mut spec = hotpath_spec(true);
+    spec.name = "mtwnd-hotpath-batched".to_string();
+    spec.description =
+        "Six-type MT-WND hot-path search with batched asks and successive halving".to_string();
+    spec.planner.batch = Some(BATCHED_SEARCH_BATCH);
+    spec.planner.fidelity = Some(BATCHED_SEARCH_FIDELITY);
+    spec
+}
+
+/// Runs the batched hot-path search through the scenario façade (fresh evaluator per
+/// run, like [`run_hotpath_search`]) and returns its trace, including the estimate
+/// record and exact fidelity spend.
+pub fn run_batched_hotpath_search() -> SearchTrace {
+    let scenario = batched_hotpath_spec()
+        .compile()
+        .expect("the batched hot-path spec compiles");
+    let report = scenario.run().expect("the batched hot-path search runs");
+    report.plan.expect("plan mode fills the plan section").trace
+}
+
 /// Seed of the online-serving scenario (bootstrap search + controller replans).
 pub const ONLINE_SEED: u64 = 7;
 
@@ -254,6 +285,7 @@ pub fn fleet_spec() -> ribbon::fleet::FleetSpec {
         baseline: true,
         initial_samples: None,
         prune_threshold: None,
+        batch: None,
         threads: None,
         shards: None,
         shared_pool: vec!["g4dn".to_string(), "r5n".to_string()],

@@ -14,11 +14,15 @@
 //! simulation — those live in the `ribbon` crate, which supplies the objective values.
 
 pub mod acquisition;
+pub mod ask_tell;
 pub mod optimizer;
 pub mod space;
+pub mod tpe;
 
 pub use acquisition::{
     expected_improvement, probability_of_improvement, upper_confidence_bound, Acquisition,
 };
+pub use ask_tell::{Optimizer, Outcome};
 pub use optimizer::{BoError, BoOptimizer, BoSettings, Observation, Suggestion};
 pub use space::{ConfigLattice, PruneSet};
+pub use tpe::{TpeOptimizer, TpeSettings};

@@ -29,9 +29,10 @@
 //! to the from-scratch path (see `tests/incremental_gp.rs`).
 
 use crate::acquisition::Acquisition;
+use crate::ask_tell::{Optimizer, Outcome};
 use crate::space::{Config, ConfigLattice, PruneSet};
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use ribbon_gp::{
     fit_gp, FitConfig, GaussianProcess, GpError, IncrementalGridGp, Matern52, Rounded,
 };
@@ -151,6 +152,9 @@ pub struct BoOptimizer {
     /// never re-enumerates the lattice. Invariant: equals
     /// `lattice.enumerate()` filtered by `explored` and `prune`, in enumeration order.
     open: Vec<Config>,
+    /// Candidates handed out by [`BoOptimizer::ask`] and not yet told or forgotten.
+    /// Removed from `open` so a later ask cannot duplicate an in-flight candidate.
+    pending: Vec<Config>,
     /// Cached incremental surrogate (when `settings.reuse_surrogate`) and the number of
     /// observations already folded into it.
     surrogate: Option<IncrementalGridGp>,
@@ -168,6 +172,7 @@ impl BoOptimizer {
             explored: HashSet::new(),
             prune: PruneSet::new(),
             open,
+            pending: Vec::new(),
             surrogate: None,
             fitted_upto: 0,
         }
@@ -511,8 +516,337 @@ impl BoOptimizer {
         self.explored.clear();
         self.prune.clear();
         self.open = self.lattice.enumerate();
+        self.pending.clear();
         self.surrogate = None;
         self.fitted_upto = 0;
+    }
+
+    // ---------------------------------------------------------------------------------
+    // Ask/tell interface (see `crate::ask_tell`). `ask(rng, 1)` is `suggest` plus
+    // in-flight bookkeeping — same RNG consumption, same candidate, bit for bit.
+    // ---------------------------------------------------------------------------------
+
+    /// Candidates asked but not yet told or forgotten.
+    pub fn pending(&self) -> &[Config] {
+        &self.pending
+    }
+
+    /// Moves an open candidate into the in-flight set.
+    fn take_pending(&mut self, config: &Config) {
+        if let Ok(pos) = self.open.binary_search(config) {
+            self.open.remove(pos);
+        }
+        self.pending.push(config.clone());
+    }
+
+    /// A shuffled batch of `q` open candidates, moved in flight. One shuffle of the whole
+    /// open set — for `q = 1` this consumes the RNG exactly like `suggest`'s initial and
+    /// random-fallback branches.
+    fn random_batch(&mut self, rng: &mut dyn RngCore, q: usize) -> Vec<Config> {
+        let mut open = self.open.clone();
+        let mut rng_ref: &mut dyn RngCore = rng;
+        open.shuffle(&mut rng_ref);
+        open.truncate(q);
+        for c in &open {
+            self.take_pending(c);
+        }
+        open
+    }
+
+    /// Scores one chunk of the open set into `out` (same per-point math as `scan_chunk`).
+    fn scan_chunk_scores(
+        &self,
+        gp: &GaussianProcess<Rounded<Matern52>>,
+        chunk: &[Config],
+        incumbent: f64,
+        coords: &mut [Vec<f64>],
+        out: &mut Vec<f64>,
+    ) -> Result<(), BoError> {
+        for (slot, cfg) in coords.iter_mut().zip(chunk) {
+            for (s, &c) in slot.iter_mut().zip(cfg) {
+                *s = c as f64;
+            }
+        }
+        let posteriors = gp.predict_many(&coords[..chunk.len()])?;
+        out.clear();
+        out.extend(
+            posteriors
+                .iter()
+                .map(|p| self.settings.acquisition.score(p, incumbent)),
+        );
+        Ok(())
+    }
+
+    /// Acquisition scores for **every** open candidate, in enumeration order, fanned over
+    /// the same chunked worker pool as `scan_open`. One full scan prices a whole batch —
+    /// the per-candidate scan cost is what made one-at-a-time suggestions the planner's
+    /// bottleneck on large lattices.
+    fn scan_scores(
+        &self,
+        gp: &GaussianProcess<Rounded<Matern52>>,
+        incumbent: f64,
+    ) -> Result<Vec<f64>, BoError> {
+        const CHUNK: usize = 1024;
+        let dims = self.lattice.dims();
+        let num_chunks = self.open.len().div_ceil(CHUNK);
+        let workers = self
+            .settings
+            .scan_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, num_chunks);
+
+        if workers <= 1 {
+            let mut coords: Vec<Vec<f64>> = vec![vec![0.0; dims]; CHUNK.min(self.open.len())];
+            let mut scores = Vec::with_capacity(self.open.len());
+            let mut buf = Vec::with_capacity(CHUNK);
+            for chunk in self.open.chunks(CHUNK) {
+                self.scan_chunk_scores(gp, chunk, incumbent, &mut coords, &mut buf)?;
+                scores.extend_from_slice(&buf);
+            }
+            return Ok(scores);
+        }
+
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        type ChunkSlot = Mutex<Option<Result<Vec<f64>, BoError>>>;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<ChunkSlot> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut coords: Vec<Vec<f64>> = vec![vec![0.0; dims]; CHUNK];
+                    loop {
+                        let ci = next.fetch_add(1, Ordering::Relaxed);
+                        if ci >= num_chunks {
+                            break;
+                        }
+                        let start = ci * CHUNK;
+                        let chunk = &self.open[start..(start + CHUNK).min(self.open.len())];
+                        let mut buf = Vec::with_capacity(chunk.len());
+                        let r = self
+                            .scan_chunk_scores(gp, chunk, incumbent, &mut coords, &mut buf)
+                            .map(|()| buf);
+                        *slots[ci].lock().expect("scan slot poisoned") = Some(r);
+                    }
+                });
+            }
+        });
+        let mut scores = Vec::with_capacity(self.open.len());
+        for slot in slots {
+            let chunk_scores = slot
+                .into_inner()
+                .expect("scan slot poisoned")
+                .expect("every chunk was scanned")?;
+            scores.extend_from_slice(&chunk_scores);
+        }
+        Ok(scores)
+    }
+
+    /// Greedy local-penalty batch selection over pre-computed acquisition scores: each
+    /// pick multiplies the (floor-shifted, hence non-negative) scores of nearby open
+    /// candidates by `1 − exp(−d²/2r²)` with `r` = one lattice step, so the batch spreads
+    /// out instead of clustering around the acquisition maximum. Both selection levels
+    /// keep the first strictly-better candidate in enumeration order, like `scan_open`.
+    fn penalized_picks(&self, scores: &[f64], q: usize) -> Vec<usize> {
+        let n = scores.len();
+        let floor = scores.iter().copied().fold(f64::INFINITY, f64::min);
+        let floor = if floor.is_finite() { floor } else { 0.0 };
+        let mut adj: Vec<f64> = scores.iter().map(|s| s - floor).collect();
+        let mut taken = vec![false; n];
+        let mut picks = Vec::with_capacity(q);
+        // Beyond d² = 16 (four lattice steps) the penalty factor is within 3.4e-4 of 1.
+        const CUTOFF_D2: f64 = 16.0;
+        const RADIUS2: f64 = 1.0;
+        for _ in 0..q {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &a) in adj.iter().enumerate() {
+                if taken[i] {
+                    continue;
+                }
+                match &best {
+                    Some((_, s)) if *s >= a => {}
+                    _ => best = Some((i, a)),
+                }
+            }
+            let Some((idx, _)) = best else { break };
+            taken[idx] = true;
+            picks.push(idx);
+            let picked = &self.open[idx];
+            for (i, cfg) in self.open.iter().enumerate() {
+                if taken[i] {
+                    continue;
+                }
+                let mut d2 = 0.0;
+                for (&a, &b) in cfg.iter().zip(picked) {
+                    let d = a as f64 - b as f64;
+                    d2 += d * d;
+                    if d2 > CUTOFF_D2 {
+                        break;
+                    }
+                }
+                if d2 <= CUTOFF_D2 {
+                    adj[i] *= 1.0 - (-d2 / (2.0 * RADIUS2)).exp();
+                }
+            }
+        }
+        picks
+    }
+
+    /// Returns up to `q` distinct candidates (see [`Optimizer::ask`]).
+    ///
+    /// `q = 1` delegates to [`BoOptimizer::suggest`] — candidate and RNG consumption are
+    /// bit-identical to the historical loop. Larger `q`: the initialization and
+    /// random-fallback phases draw the whole batch from **one** shuffle; the acquisition
+    /// phase refreshes the surrogate once, scores every open candidate in one chunked
+    /// parallel scan, and picks a diverse batch by greedy local penalization.
+    pub fn ask_batch(&mut self, rng: &mut dyn RngCore, q: usize) -> Result<Vec<Config>, BoError> {
+        if self.open.is_empty() {
+            return Err(BoError::SpaceExhausted);
+        }
+        let q = q.max(1).min(self.open.len());
+        if q == 1 {
+            let mut rng_ref: &mut dyn RngCore = rng;
+            let s = self.suggest(&mut rng_ref)?;
+            self.take_pending(&s.config);
+            return Ok(vec![s.config]);
+        }
+
+        if self.num_evaluations() < self.settings.initial_samples || self.observations.is_empty() {
+            return Ok(self.random_batch(rng, q));
+        }
+
+        let best = self
+            .observations
+            .iter()
+            .filter(|o| !o.estimated)
+            .map(|o| o.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let incumbent = if best.is_finite() {
+            best
+        } else {
+            self.best().map(|o| o.value).unwrap_or(0.0)
+        };
+
+        let scores = if self.settings.reuse_surrogate {
+            if self.refresh_surrogate() {
+                match self.surrogate.as_ref().and_then(|s| s.best()) {
+                    Some(fit) => Some(self.scan_scores(fit.gp, incumbent)?),
+                    None => None,
+                }
+            } else {
+                None
+            }
+        } else {
+            self.scan_scores_from_scratch(incumbent)?
+        };
+
+        let Some(scores) = scores else {
+            // Surrogate unavailable: fall back to one shuffled random batch.
+            return Ok(self.random_batch(rng, q));
+        };
+        let picks = self.penalized_picks(&scores, q);
+        let configs: Vec<Config> = picks.iter().map(|&i| self.open[i].clone()).collect();
+        let mut sorted = picks;
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in sorted {
+            let cfg = self.open.remove(idx);
+            self.pending.push(cfg);
+        }
+        Ok(configs)
+    }
+
+    /// From-scratch scores for the batched ask when `reuse_surrogate` is off (the
+    /// differential-oracle configuration): one fresh grid fit, then a serial scan.
+    fn scan_scores_from_scratch(&self, incumbent: f64) -> Result<Option<Vec<f64>>, BoError> {
+        let x: Vec<Vec<f64>> = self
+            .observations
+            .iter()
+            .map(|o| ConfigLattice::to_coords(&o.config))
+            .collect();
+        let y: Vec<f64> = self.observations.iter().map(|o| o.value).collect();
+        let fitted = match fit_gp(&x, &y, &self.settings.fit) {
+            Ok(f) => f,
+            Err(_) => return Ok(None),
+        };
+        let mut scores = Vec::with_capacity(self.open.len());
+        for cfg in &self.open {
+            let coords = ConfigLattice::to_coords(cfg);
+            let posterior = fitted.gp.predict(&coords)?;
+            scores.push(self.settings.acquisition.score(&posterior, incumbent));
+        }
+        Ok(Some(scores))
+    }
+
+    /// Ingests one completed evaluation (see [`Optimizer::tell`]).
+    ///
+    /// Mirrors the historical record-then-prune sequence exactly: the observation is
+    /// recorded (invalid configurations and non-finite values are dropped, as the legacy
+    /// `let _ = observe(..)` call sites did), then the pruning verdicts are applied.
+    ///
+    /// Estimated outcomes (reduced-fidelity prefix scores) retire the configuration —
+    /// it is settled if in flight and never asked again — but stay **out of the GP**:
+    /// a prefix score is a biased sample of the full-stream objective, and every
+    /// appended observation makes each acquisition scan over the lattice more
+    /// expensive. (Deliberate warm-start pseudo-observations go through
+    /// [`BoOptimizer::observe_estimate`], which does feed the surrogate.) Returns
+    /// `false` for estimates: they must not count against an evaluation budget.
+    pub fn tell(&mut self, outcome: Outcome) -> Result<bool, BoError> {
+        if let Some(pos) = self.pending.iter().position(|c| *c == outcome.config) {
+            self.pending.remove(pos);
+        }
+        if outcome.estimated {
+            if self.explored.insert(outcome.config.clone()) {
+                if let Ok(pos) = self.open.binary_search(&outcome.config) {
+                    self.open.remove(pos);
+                }
+            }
+            return Ok(false);
+        }
+        let _ = self.record(outcome.config.clone(), outcome.value, outcome.estimated);
+        if outcome.prune_below {
+            self.prune_below(outcome.config.clone());
+        }
+        if outcome.prune_above {
+            self.prune_above(outcome.config);
+        }
+        Ok(true)
+    }
+
+    /// Returns an in-flight candidate to the open set un-evaluated (see
+    /// [`Optimizer::forget`]). Re-inserted in enumeration order unless an observation or
+    /// prune box claimed it while it was in flight.
+    pub fn forget(&mut self, config: &[u32]) {
+        let Some(pos) = self.pending.iter().position(|c| c.as_slice() == config) else {
+            return;
+        };
+        let cfg = self.pending.remove(pos);
+        if !self.explored.contains(&cfg) && !self.prune.is_pruned(&cfg) {
+            if let Err(ins) = self.open.binary_search(&cfg) {
+                self.open.insert(ins, cfg);
+            }
+        }
+    }
+}
+
+impl Optimizer for BoOptimizer {
+    fn ask(&mut self, rng: &mut dyn RngCore, q: usize) -> Result<Vec<Config>, BoError> {
+        self.ask_batch(rng, q)
+    }
+
+    fn tell(&mut self, outcome: Outcome) -> Result<bool, BoError> {
+        BoOptimizer::tell(self, outcome)
+    }
+
+    fn forget(&mut self, config: &[u32]) {
+        BoOptimizer::forget(self, config)
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.open.len())
     }
 }
 
@@ -741,6 +1075,160 @@ mod tests {
     fn best_returns_none_without_observations() {
         let bo = BoOptimizer::new(ConfigLattice::new(vec![2, 2]), small_settings());
         assert!(bo.best().is_none());
+    }
+
+    #[test]
+    fn ask_of_one_is_bit_identical_to_suggest() {
+        let run_suggest = || {
+            let mut bo = BoOptimizer::new(ConfigLattice::new(vec![5, 5]), small_settings());
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut trace = Vec::new();
+            for i in 0..12 {
+                let s = bo.suggest(&mut rng).unwrap();
+                let v = toy_objective(&s.config);
+                trace.push(s.config.clone());
+                bo.observe(s.config, v).unwrap();
+                if i == 4 {
+                    bo.prune_below(vec![1, 1]);
+                }
+                if i == 6 {
+                    bo.prune_above(vec![4, 4]);
+                }
+            }
+            trace
+        };
+        let run_ask_tell = || {
+            let mut bo = BoOptimizer::new(ConfigLattice::new(vec![5, 5]), small_settings());
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut trace = Vec::new();
+            for i in 0..12 {
+                let batch = bo.ask_batch(&mut rng, 1).unwrap();
+                let config = batch[0].clone();
+                let v = toy_objective(&config);
+                trace.push(config.clone());
+                bo.tell(Outcome::new(config, v)).unwrap();
+                if i == 4 {
+                    bo.prune_below(vec![1, 1]);
+                }
+                if i == 6 {
+                    bo.prune_above(vec![4, 4]);
+                }
+            }
+            trace
+        };
+        assert_eq!(run_suggest(), run_ask_tell());
+    }
+
+    #[test]
+    fn batched_ask_returns_distinct_diverse_candidates() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![8, 8]), small_settings());
+        let mut rng = StdRng::seed_from_u64(3);
+        // Fill the initialization phase first.
+        for _ in 0..3 {
+            let batch = bo.ask_batch(&mut rng, 1).unwrap();
+            let config = batch[0].clone();
+            let v = toy_objective(&config);
+            bo.tell(Outcome::new(config, v)).unwrap();
+        }
+        let batch = bo.ask_batch(&mut rng, 6).unwrap();
+        assert_eq!(batch.len(), 6);
+        let distinct: std::collections::HashSet<_> = batch.iter().cloned().collect();
+        assert_eq!(distinct.len(), 6, "batch candidates must be distinct");
+        // The local penalty must keep the batch from collapsing onto one neighbourhood:
+        // at least one pair of candidates is more than two lattice steps apart.
+        let spread = batch.iter().any(|a| {
+            batch.iter().any(|b| {
+                let d2: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+                    .sum();
+                d2 > 4.0
+            })
+        });
+        assert!(spread, "batch collapsed: {batch:?}");
+        // All in flight: a follow-up ask cannot duplicate them.
+        assert_eq!(bo.pending().len(), 6);
+        let more = bo.ask_batch(&mut rng, 4).unwrap();
+        for c in &more {
+            assert!(!batch.contains(c), "in-flight candidate re-asked: {c:?}");
+        }
+    }
+
+    #[test]
+    fn forget_returns_candidates_to_the_open_set() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![3, 3]), small_settings());
+        let open_before = bo.open_candidates().to_vec();
+        let mut rng = StdRng::seed_from_u64(17);
+        let batch = bo.ask_batch(&mut rng, 5).unwrap();
+        assert_eq!(
+            bo.open_candidates().len(),
+            open_before.len() - batch.len(),
+            "asked candidates leave the open set"
+        );
+        for c in &batch {
+            bo.forget(c);
+        }
+        assert_eq!(
+            bo.open_candidates(),
+            open_before.as_slice(),
+            "forgetting restores the open set in enumeration order"
+        );
+        assert!(bo.pending().is_empty());
+        // Forgetting an unknown configuration is a no-op.
+        bo.forget(&[1, 1]);
+        assert_eq!(bo.open_candidates(), open_before.as_slice());
+    }
+
+    #[test]
+    fn forget_respects_prunes_applied_while_in_flight() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![3, 3]), small_settings());
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = bo.ask_batch(&mut rng, 9).unwrap();
+        // Prune a box that covers some in-flight candidates, then forget everything.
+        bo.prune_below(vec![2, 2]);
+        for c in &batch {
+            bo.forget(c);
+        }
+        for c in bo.open_candidates() {
+            assert!(
+                !bo.prune_set().is_pruned(c),
+                "pruned config back in open: {c:?}"
+            );
+        }
+        let expected: Vec<Config> = bo
+            .lattice()
+            .enumerate()
+            .into_iter()
+            .filter(|c| !bo.is_explored(c) && !bo.prune_set().is_pruned(c))
+            .collect();
+        assert_eq!(bo.open_candidates(), expected.as_slice());
+    }
+
+    #[test]
+    fn batched_initial_phase_draws_from_one_shuffle() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![4, 4]), small_settings());
+        let mut rng = StdRng::seed_from_u64(21);
+        let batch = bo.ask_batch(&mut rng, 4).unwrap();
+        // Reproduce by hand: one shuffle of the full open set, first four entries.
+        let bo2 = BoOptimizer::new(ConfigLattice::new(vec![4, 4]), small_settings());
+        let mut open = bo2.open_candidates().to_vec();
+        let mut rng2 = StdRng::seed_from_u64(21);
+        open.shuffle(&mut rng2);
+        assert_eq!(batch, open[..4].to_vec());
+    }
+
+    #[test]
+    fn ask_caps_the_batch_at_the_open_set_size() {
+        let mut bo = BoOptimizer::new(ConfigLattice::new(vec![1, 1]), small_settings());
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = bo.ask_batch(&mut rng, 10).unwrap();
+        assert_eq!(batch.len(), 3, "a 1x1-bounds lattice has three points");
+        assert_eq!(Optimizer::remaining(&bo), Some(0));
+        assert!(matches!(
+            bo.ask_batch(&mut rng, 1),
+            Err(BoError::SpaceExhausted)
+        ));
     }
 
     #[test]

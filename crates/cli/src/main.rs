@@ -26,7 +26,7 @@ USAGE:
     ribbon validate <scenario-or-fleet.(toml|json)>
 
 PLANNERS:
-    ribbon | random | hill-climb | rsm | exhaustive
+    ribbon | tpe | random | hill-climb | rsm | exhaustive
 
 Scenario files describe one experiment (catalog, workload, QoS policy, traffic,
 planner, budgets); fleet files ([fleet] plus [[model]] sections) describe several

@@ -150,6 +150,36 @@ pub trait QosPolicy: std::fmt::Debug + Send + Sync {
     fn is_met(&self, evidence: &QosEvidence) -> Option<bool> {
         self.score(evidence).map(|s| s >= self.threshold())
     }
+
+    /// Upper bound on the score the *full* stream could achieve, given evidence from its
+    /// first `evidence.num_queries` queries plus `remaining` queries not yet simulated.
+    ///
+    /// The FCFS simulator is **prefix-closed**: each query's latency depends only on
+    /// earlier queries, so the first-k latencies of a full simulation are exactly the
+    /// simulation of the first-k queries. A prefix evaluation therefore fixes the fate of
+    /// its k queries, and a sound bound only has to be optimistic about the `remaining`
+    /// ones. The default `1.0` is sound for any policy (scores live in `[0, 1]`); counting
+    /// policies tighten it to `(satisfied_in_prefix + remaining) / total`, which is what
+    /// makes multi-fidelity successive halving able to discard candidates *provably* —
+    /// never on a guess.
+    fn prefix_score_upper_bound(&self, _evidence: &QosEvidence, _remaining: usize) -> f64 {
+        1.0
+    }
+}
+
+/// The counting-policy prefix bound: every remaining query optimistically satisfies, so the
+/// full-stream satisfaction rate is at most `(satisfied + remaining) / total`.
+fn counting_prefix_upper_bound(evidence: &QosEvidence, remaining: usize) -> f64 {
+    let Some(rate) = evidence.satisfaction_rate else {
+        return 1.0; // empty prefix: no evidence, anything is possible
+    };
+    let k = evidence.num_queries;
+    if k == 0 {
+        return 1.0;
+    }
+    let satisfied = (rate * k as f64).round();
+    let total = (k + remaining) as f64;
+    ((satisfied + remaining as f64) / total).min(1.0)
 }
 
 impl QosPolicy for QosTarget {
@@ -175,6 +205,10 @@ impl QosPolicy for QosTarget {
 
     fn score(&self, evidence: &QosEvidence) -> Option<f64> {
         evidence.satisfaction_rate
+    }
+
+    fn prefix_score_upper_bound(&self, evidence: &QosEvidence, remaining: usize) -> f64 {
+        counting_prefix_upper_bound(evidence, remaining)
     }
 }
 
@@ -272,6 +306,10 @@ impl QosPolicy for DeadlinePolicy {
 
     fn score(&self, evidence: &QosEvidence) -> Option<f64> {
         evidence.satisfaction_rate
+    }
+
+    fn prefix_score_upper_bound(&self, evidence: &QosEvidence, remaining: usize) -> f64 {
+        counting_prefix_upper_bound(evidence, remaining)
     }
 }
 
@@ -600,6 +638,54 @@ mod tests {
         assert!(s.meets_qos, "mean 25 ms is within the 30 ms budget");
         let strict = MeanLatencyPolicy::try_new(0.020, 0.050).unwrap();
         assert!(!SimSummary::from_policy(&result, &strict).meets_qos);
+    }
+
+    #[test]
+    fn counting_prefix_bound_is_optimistic_about_the_remainder_only() {
+        let q = QosTarget::p99(0.020);
+        // 100-query prefix, 90 satisfied, 100 remaining: at most (90+100)/200 = 0.95.
+        let ev = evidence(Some(0.90), None, None);
+        assert!((q.prefix_score_upper_bound(&ev, 100) - 0.95).abs() < 1e-12);
+        // No remainder: the prefix IS the stream, bound = achieved rate.
+        assert!((q.prefix_score_upper_bound(&ev, 0) - 0.90).abs() < 1e-12);
+        // A perfect prefix bounds at exactly 1.0 (never above).
+        assert_eq!(
+            q.prefix_score_upper_bound(&evidence(Some(1.0), None, None), 50),
+            1.0
+        );
+        // Empty prefix: no evidence, anything possible.
+        assert_eq!(
+            q.prefix_score_upper_bound(&evidence(None, None, None), 50),
+            1.0
+        );
+        // Deadline policy uses the same counting bound; mean-latency keeps the sound 1.0.
+        let d = DeadlinePolicy::try_new(0.020).unwrap();
+        assert!((d.prefix_score_upper_bound(&ev, 100) - 0.95).abs() < 1e-12);
+        let m = MeanLatencyPolicy::try_new(0.010, 0.030).unwrap();
+        assert_eq!(m.prefix_score_upper_bound(&ev, 100), 1.0);
+    }
+
+    #[test]
+    fn simulation_is_prefix_closed() {
+        // The soundness premise of the counting prefix bound: simulating the first k
+        // queries reproduces the first k latencies of the full simulation exactly.
+        let model = FnLatencyModel::new("affine", |ty, b| {
+            let perf = if ty == InstanceType::G4dn { 1.0 } else { 2.5 };
+            0.004 + 0.002 * b as f64 * perf
+        });
+        let pool = PoolSpec::from_counts(&[InstanceType::G4dn, InstanceType::T3], &[2, 3]);
+        let queries: Vec<Query> = (0..40)
+            .map(|i| Query {
+                id: i,
+                arrival: 0.003 * i as f64,
+                batch_size: 1 + (i % 5) as u32,
+            })
+            .collect();
+        let full = simulate(&pool, &queries, &model);
+        for k in [0usize, 1, 7, 20, 39, 40] {
+            let prefix = simulate(&pool, &queries[..k], &model);
+            assert_eq!(prefix.latencies, full.latencies[..k], "prefix k={k}");
+        }
     }
 
     #[test]

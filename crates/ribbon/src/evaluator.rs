@@ -83,6 +83,24 @@ pub struct Evaluation {
     pub tail_latency_s: f64,
 }
 
+/// A reduced-fidelity evaluation of a configuration against a **prefix** of the query
+/// stream, produced by [`ConfigEvaluator::evaluate_many_prefix`].
+///
+/// Besides the prefix measurement itself it carries a *sound upper bound* on the Eq. 2
+/// objective the configuration could achieve on the **full** stream: the simulator is
+/// prefix-closed (the first k latencies of a full run equal the k-query run — see
+/// [`ribbon_cloudsim::QosPolicy::prefix_score_upper_bound`]), so the bound lets successive
+/// halving discard candidates provably rather than heuristically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixEvaluation {
+    /// The prefix measurement (satisfaction rate, cost, objective — all on the prefix).
+    pub evaluation: Evaluation,
+    /// Number of queries in the evaluated prefix.
+    pub prefix_len: usize,
+    /// Upper bound on the full-stream Eq. 2 objective of this configuration.
+    pub objective_upper_bound: f64,
+}
+
 /// Evaluates pool configurations for one workload on the simulated cloud.
 pub struct ConfigEvaluator {
     workload: Workload,
@@ -94,6 +112,11 @@ pub struct ConfigEvaluator {
     threads: usize,
     cache: Mutex<HashMap<Vec<u32>, Evaluation>>,
     simulations: AtomicUsize,
+    /// Reduced-fidelity cache tier, keyed by `(prefix length, config)` so different rungs
+    /// never collide with each other or with the full-fidelity cache above.
+    prefix_cache: Mutex<HashMap<(usize, Vec<u32>), PrefixEvaluation>>,
+    prefix_simulations: AtomicUsize,
+    prefix_queries: AtomicUsize,
 }
 
 impl ConfigEvaluator {
@@ -154,6 +177,9 @@ impl ConfigEvaluator {
             threads,
             cache: Mutex::new(HashMap::new()),
             simulations: AtomicUsize::new(0),
+            prefix_cache: Mutex::new(HashMap::new()),
+            prefix_simulations: AtomicUsize::new(0),
+            prefix_queries: AtomicUsize::new(0),
         }
     }
 
@@ -346,6 +372,120 @@ impl ConfigEvaluator {
     /// Evaluates a homogeneous pool of `count` base-type instances.
     pub fn evaluate_homogeneous(&self, count: u32) -> Evaluation {
         self.evaluate(&self.homogeneous_config(count))
+    }
+
+    /// Number of reduced-fidelity (prefix) simulations run so far.
+    pub fn num_prefix_simulations(&self) -> usize {
+        self.prefix_simulations.load(Ordering::Relaxed)
+    }
+
+    /// Total queries simulated across all prefix simulations — with
+    /// [`ConfigEvaluator::queries`]`.len()` this gives the *exact* fidelity spend in
+    /// full-simulation equivalents.
+    pub fn num_prefix_queries(&self) -> usize {
+        self.prefix_queries.load(Ordering::Relaxed)
+    }
+
+    /// The prefix length (in queries) of a fidelity fraction in `(0, 1]`, at least 1 and at
+    /// most the full stream.
+    pub fn prefix_len(&self, fidelity: f64) -> usize {
+        let n = self.queries.len();
+        (((n as f64) * fidelity).ceil() as usize).clamp(1, n.max(1))
+    }
+
+    /// Runs the reduced-fidelity simulation of one configuration on the first `k` queries.
+    fn simulate_config_prefix(&self, config: &[u32], k: usize) -> PrefixEvaluation {
+        let k = k.min(self.queries.len());
+        let pool = PoolSpec::from_counts(&self.workload.diverse_pool, config);
+        let stats = simulate_stats(
+            &pool,
+            &self.queries[..k],
+            &self.profile,
+            self.policy.deadline_s(),
+            self.policy.tail_percentile(),
+        );
+        let evidence = QosEvidence::from_stats(&stats);
+        let rate = self.policy.score(&evidence).unwrap_or(1.0);
+        let remaining = self.queries.len() - k;
+        let ub_rate = self.policy.prefix_score_upper_bound(&evidence, remaining);
+        // Eq. 2 is monotone nondecreasing in the rate for a fixed configuration (the
+        // violating branch grows linearly and tops out below the rate-independent
+        // satisfying branch), so an upper bound on the rate is an upper bound on the
+        // objective.
+        let objective_upper_bound = self.objective.value(config, ub_rate);
+        PrefixEvaluation {
+            evaluation: Evaluation {
+                config: config.to_vec(),
+                hourly_cost: pool.hourly_cost(),
+                satisfaction_rate: rate,
+                meets_qos: self.objective.meets_qos(rate),
+                objective: self.objective.value(config, rate),
+                mean_latency_s: stats.mean_latency_s,
+                tail_latency_s: stats.tail_latency_s,
+                pool,
+            },
+            prefix_len: k,
+            objective_upper_bound,
+        }
+    }
+
+    /// Evaluates a batch of configurations at reduced fidelity — against the first `k`
+    /// queries of the stream — returning prefix evaluations **in input order**.
+    ///
+    /// Mirrors [`ConfigEvaluator::evaluate_many`] (order-preserving, duplicate-collapsing,
+    /// parallel over cache misses) but reads and fills the dedicated prefix cache tier, so
+    /// reduced-fidelity scores can never contaminate full-fidelity results or vice versa.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatches, empty (all-zero) configurations, or `k == 0`.
+    pub fn evaluate_many_prefix(&self, configs: &[Vec<u32>], k: usize) -> Vec<PrefixEvaluation> {
+        assert!(k > 0, "prefix length must be at least 1");
+        let k = k.min(self.queries.len());
+        for c in configs {
+            self.validate(c);
+        }
+
+        let mut results: Vec<Option<PrefixEvaluation>> = vec![None; configs.len()];
+        let mut misses: Vec<Vec<u32>> = Vec::new();
+        {
+            let cache = self.prefix_cache.lock();
+            let mut queued: HashSet<&[u32]> = HashSet::new();
+            for (slot, config) in results.iter_mut().zip(configs) {
+                if let Some(hit) = cache.get(&(k, config.clone())) {
+                    *slot = Some(hit.clone());
+                } else if queued.insert(config.as_slice()) {
+                    misses.push(config.clone());
+                }
+            }
+        }
+
+        let fresh = parallel::par_map(&misses, self.threads, |c| self.simulate_config_prefix(c, k));
+        self.prefix_simulations
+            .fetch_add(fresh.len(), Ordering::Relaxed);
+        self.prefix_queries
+            .fetch_add(fresh.len() * k, Ordering::Relaxed);
+        {
+            let mut cache = self.prefix_cache.lock();
+            for pe in &fresh {
+                cache.insert((k, pe.evaluation.config.clone()), pe.clone());
+            }
+        }
+
+        let by_config: HashMap<&[u32], &PrefixEvaluation> = fresh
+            .iter()
+            .map(|pe| (pe.evaluation.config.as_slice(), pe))
+            .collect();
+        results
+            .into_iter()
+            .zip(configs)
+            .map(|(slot, config)| match slot {
+                Some(pe) => pe,
+                None => (*by_config
+                    .get(config.as_slice())
+                    .expect("every prefix miss was simulated"))
+                .clone(),
+            })
+            .collect()
     }
 }
 
@@ -566,6 +706,74 @@ mod tests {
             "violating mean policy grades below threshold"
         );
         assert!(t.objective < 0.5, "violating branch of Eq. 2");
+    }
+
+    #[test]
+    fn prefix_tier_is_cached_separately_and_bounds_the_full_objective() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
+        );
+        let k = ev.prefix_len(0.25);
+        assert_eq!(k, 200, "25% of the 800-query stream");
+        let configs = vec![vec![3u32, 1, 2], vec![5, 0, 0], vec![3, 1, 2]];
+        let sims_before = ev.num_simulations();
+        let pe = ev.evaluate_many_prefix(&configs, k);
+        // Duplicates collapse; the full-fidelity cache is untouched.
+        assert_eq!(ev.num_prefix_simulations(), 2);
+        assert_eq!(ev.num_prefix_queries(), 2 * k);
+        assert_eq!(ev.num_simulations(), sims_before);
+        assert_eq!(pe[0], pe[2]);
+        // A second identical batch is all cache hits.
+        let again = ev.evaluate_many_prefix(&configs, k);
+        assert_eq!(ev.num_prefix_simulations(), 2);
+        assert_eq!(pe, again);
+        // The upper bound is sound: never below the true full-stream objective.
+        for p in &pe {
+            let full = ev.evaluate(&p.evaluation.config);
+            assert!(
+                p.objective_upper_bound >= full.objective - 1e-12,
+                "{:?}: ub {} < full {}",
+                p.evaluation.config,
+                p.objective_upper_bound,
+                full.objective
+            );
+            assert_eq!(p.prefix_len, k);
+        }
+    }
+
+    #[test]
+    fn full_length_prefix_bound_equals_the_exact_objective() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
+        );
+        let n = ev.queries().len();
+        let pe = &ev.evaluate_many_prefix(&[vec![2u32, 1, 1]], n)[0];
+        let full = ev.evaluate(&[2, 1, 1]);
+        assert_eq!(pe.evaluation.satisfaction_rate, full.satisfaction_rate);
+        assert_eq!(pe.evaluation.objective, full.objective);
+        assert!((pe.objective_upper_bound - full.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_len_clamps_to_the_stream() {
+        let ev = ConfigEvaluator::new(
+            &test_workload(),
+            EvaluatorSettings {
+                explicit_bounds: Some(vec![6, 6, 6]),
+                ..Default::default()
+            },
+        );
+        assert_eq!(ev.prefix_len(1.0), 800);
+        assert_eq!(ev.prefix_len(2.0), 800);
+        assert_eq!(ev.prefix_len(1e-9), 1);
     }
 
     #[test]

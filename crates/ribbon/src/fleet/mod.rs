@@ -198,6 +198,8 @@ impl FleetSpec {
             start_config: None,
             reuse_surrogate: defaults.reuse_surrogate,
             scan_threads: None,
+            batch: self.batch.unwrap_or(defaults.batch),
+            fidelity: defaults.fidelity,
         };
 
         Ok(Fleet {

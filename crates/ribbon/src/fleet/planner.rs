@@ -38,7 +38,7 @@ use crate::scenario::{EventReport, RunMode, ScenarioError};
 use crate::search::RibbonSearch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ribbon_bo::{BoOptimizer, BoSettings, ConfigLattice};
+use ribbon_bo::{BoOptimizer, BoSettings, ConfigLattice, Optimizer, Outcome};
 use ribbon_cloudsim::parallel::{default_threads, par_map_vec};
 use ribbon_cloudsim::router::{FleetModelConfig, FleetSim};
 use ribbon_cloudsim::{
@@ -172,6 +172,10 @@ pub struct FleetReport {
     pub baseline_total_hourly_cost: Option<f64>,
     /// Fleet saving vs that sum, in percent.
     pub saving_percent: Option<f64>,
+    /// Whether the joint lattice exceeded the planner's internal cap
+    /// (`JOINT_BO_LATTICE_CAP`) so the BO refinement stage was skipped (the warm
+    /// candidates and greedy descent carried the search).
+    pub bo_refinement_skipped: bool,
     /// Number of joint evaluations performed.
     pub evaluations: usize,
     /// Of those, how many violated some member's QoS.
@@ -198,6 +202,7 @@ struct PlanOutcome {
     trace: Vec<FleetEvaluation>,
     best: FleetEvaluation,
     baselines: Vec<Option<Evaluation>>,
+    bo_refinement_skipped: bool,
 }
 
 impl RibbonFleetPlanner {
@@ -422,22 +427,24 @@ impl RibbonFleetPlanner {
     }
 
     /// The joint search loop: deterministic warm-start candidates, a greedy pooling
-    /// descent, then Bayesian-Optimization refinement with the remaining budget. For a
-    /// single-member fleet with no shared families (no warm candidates, no descent)
-    /// this performs exactly the operation sequence of [`RibbonSearch::run`] on the
-    /// member's evaluator.
+    /// descent, then ask/tell Bayesian-Optimization refinement with the remaining
+    /// budget (batched by `fleet.search.batch`; the default `batch = 1` performs the
+    /// historical suggest/observe sequence bit for bit). For a single-member fleet with
+    /// no shared families (no warm candidates, no descent) this performs exactly the
+    /// operation sequence of [`RibbonSearch::run`] on the member's evaluator.
     ///
     /// The BO refinement stage enumerates the joint lattice; past
     /// [`JOINT_BO_LATTICE_CAP`] points that is not tractable (hundreds of megabytes of
     /// candidate storage), so oversized cross-product spaces skip the BO stage and the
-    /// deterministic candidates + descent carry the search alone.
+    /// deterministic candidates + descent carry the search alone. The returned flag
+    /// records that skip so the report never reads as "refined" when it wasn't.
     fn joint_search(
         &self,
         fleet: &Fleet,
         evaluator: &FleetEvaluator,
         warm: &[Vec<u32>],
         require_dedicated: bool,
-    ) -> Vec<FleetEvaluation> {
+    ) -> (Vec<FleetEvaluation>, bool) {
         let settings = &fleet.search;
         let bounds = evaluator.bounds().to_vec();
         let lattice_points: u64 = bounds
@@ -445,7 +452,8 @@ impl RibbonFleetPlanner {
             .map(|&b| b as u64 + 1)
             .product::<u64>()
             .saturating_sub(1);
-        let mut bo = (lattice_points <= JOINT_BO_LATTICE_CAP).then(|| {
+        let bo_refinement_skipped = lattice_points > JOINT_BO_LATTICE_CAP;
+        let mut bo = (!bo_refinement_skipped).then(|| {
             BoOptimizer::new(
                 ConfigLattice::new(bounds.clone()),
                 BoSettings {
@@ -472,13 +480,12 @@ impl RibbonFleetPlanner {
                     e.satisfaction_rate < evaluator.member_target_rate(m) - settings.prune_threshold
                 });
                 if let Some(bo) = bo {
-                    let _ = bo.observe(config.clone(), eval.objective);
-                    if violates_badly {
-                        bo.prune_below(config.clone());
-                    }
-                    if eval.meets_qos {
-                        bo.prune_above(config);
-                    }
+                    // `tell` mirrors the historical observe + prune sequence exactly,
+                    // and also settles the candidate if it is in flight from `ask`.
+                    let _ = bo.tell(
+                        Outcome::new(config, eval.objective)
+                            .with_prunes(violates_badly, eval.meets_qos),
+                    );
                 }
                 trace.push(eval);
             };
@@ -586,17 +593,25 @@ impl RibbonFleetPlanner {
             }
         }
 
+        // Ask/tell BO refinement: each round asks a batch of `q` diverse candidates
+        // (local-penalty picks), prefetches them through the parallel fleet evaluator,
+        // then records serially — so the trace and surrogate order are deterministic.
+        let q = settings.batch.max(1);
         while trace.len() < settings.max_evaluations {
-            let suggestion = match bo.as_mut() {
-                Some(b) => b.suggest(&mut rng),
-                None => break, // lattice over the cap: no BO refinement stage
+            let Some(b) = bo.as_mut() else {
+                break; // lattice over the cap: no BO refinement stage (flag recorded)
             };
-            match suggestion {
-                Ok(s) => evaluate_and_record(s.config, &mut bo, &mut explored, &mut trace),
-                Err(_) => break,
+            let want = q.min(settings.max_evaluations - trace.len());
+            let asked = match b.ask(&mut rng, want) {
+                Ok(batch) if !batch.is_empty() => batch,
+                _ => break,
+            };
+            evaluator.evaluate_many(&asked);
+            for config in asked {
+                evaluate_and_record(config, &mut bo, &mut explored, &mut trace);
             }
         }
-        trace
+        (trace, bo_refinement_skipped)
     }
 
     fn plan_internal(
@@ -622,7 +637,8 @@ impl RibbonFleetPlanner {
         if !fleet.spec.baseline {
             baselines = vec![None; fleet.members.len()];
         }
-        let trace = self.joint_search(fleet, evaluator, &warm, require_dedicated);
+        let (trace, bo_refinement_skipped) =
+            self.joint_search(fleet, evaluator, &warm, require_dedicated);
         let best = trace
             .iter()
             .filter(|e| e.meets_qos)
@@ -648,6 +664,7 @@ impl RibbonFleetPlanner {
             trace,
             best,
             baselines,
+            bo_refinement_skipped,
         })
     }
 
@@ -714,6 +731,7 @@ impl RibbonFleetPlanner {
             total_hourly_cost,
             baseline_total_hourly_cost: baseline_total,
             saving_percent: baseline_total.map(|b| CostModel::saving_percent(b, total_hourly_cost)),
+            bo_refinement_skipped: outcome.bo_refinement_skipped,
             evaluations: outcome.trace.len(),
             violations: outcome.trace.iter().filter(|e| !e.meets_qos).count(),
             best: best.clone(),
@@ -830,6 +848,7 @@ pub fn serve_fleet(
             trace: vec![best.clone()],
             best,
             baselines,
+            bo_refinement_skipped: false,
         }
     };
 
@@ -1315,6 +1334,10 @@ impl FleetReport {
         if let Some(s) = self.saving_percent {
             root.insert("saving_percent", Value::from(s));
         }
+        root.insert(
+            "bo_refinement_skipped",
+            Value::from(self.bo_refinement_skipped),
+        );
         root.insert("evaluations", Value::from(self.evaluations));
         root.insert("violations", Value::from(self.violations));
 
@@ -1428,6 +1451,9 @@ impl FleetReport {
             plan_line.push_str(&format!(
                 "; dedicated-pools baseline ${b:.2}/hr -> saving {s:.1}%"
             ));
+        }
+        if self.bo_refinement_skipped {
+            plan_line.push_str("; BO refinement SKIPPED (joint lattice over cap)");
         }
         lines.push(plan_line);
         for m in &self.models {

@@ -90,6 +90,9 @@ pub struct FleetSpec {
     pub initial_samples: Option<usize>,
     /// Active-pruning threshold θ of the joint search.
     pub prune_threshold: Option<f64>,
+    /// Candidates asked per joint-search optimizer round (`q`, defaults to 1; batches
+    /// evaluate in parallel and `1` reproduces the sequential trace bit-for-bit).
+    pub batch: Option<usize>,
     /// Worker threads for batch evaluation.
     pub threads: Option<usize>,
     /// Worker shards of the serve drive: coupling groups of fleet lanes are simulated
@@ -147,6 +150,7 @@ impl FleetSpec {
             "baseline",
             "initial_samples",
             "prune_threshold",
+            "batch",
             "threads",
             "shards",
             "shared_pool",
@@ -185,6 +189,10 @@ impl FleetSpec {
         let baseline = get_bool(header, "fleet", "baseline")?.unwrap_or(true);
         let initial_samples = get_usize(header, "fleet", "initial_samples")?;
         let prune_threshold = get_f64(header, "fleet", "prune_threshold")?;
+        let batch = get_usize(header, "fleet", "batch")?;
+        if batch == Some(0) {
+            return Err(ScenarioError::invalid("fleet.batch", "must be at least 1"));
+        }
         let threads = get_usize(header, "fleet", "threads")?;
         let shards = get_usize(header, "fleet", "shards")?;
         let shared_pool = get_str_list(header, "fleet", "shared_pool")?.unwrap_or_default();
@@ -237,6 +245,7 @@ impl FleetSpec {
             baseline,
             initial_samples,
             prune_threshold,
+            batch,
             threads,
             shards,
             shared_pool,
@@ -322,6 +331,9 @@ impl FleetSpec {
         }
         if let Some(p) = self.prune_threshold {
             header.insert("prune_threshold", Value::from(p));
+        }
+        if let Some(b) = self.batch {
+            header.insert("batch", Value::from(b));
         }
         if let Some(t) = self.threads {
             header.insert("threads", Value::from(t));

@@ -333,6 +333,22 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if let Some(batch) = p.batch {
+            if batch == 0 {
+                return Err(ScenarioError::invalid(
+                    "planner.batch",
+                    "must be at least 1",
+                ));
+            }
+        }
+        if let Some(f) = p.fidelity {
+            if !(f > 0.0 && f < 1.0) {
+                return Err(ScenarioError::invalid(
+                    "planner.fidelity",
+                    "must lie strictly between 0 and 1",
+                ));
+            }
+        }
         let defaults = RibbonSettings::default();
         Ok(RibbonSettings {
             max_evaluations: p.budget,
@@ -343,6 +359,8 @@ impl ScenarioSpec {
             start_config: p.start_config.clone(),
             reuse_surrogate: p.reuse_surrogate.unwrap_or(defaults.reuse_surrogate),
             scan_threads: p.scan_threads,
+            batch: p.batch.unwrap_or(defaults.batch),
+            fidelity: p.fidelity.or(defaults.fidelity),
         })
     }
 

@@ -18,13 +18,15 @@ use crate::evaluator::ConfigEvaluator;
 use crate::online::serve_online_with_policy;
 use crate::search::{RibbonSearch, SearchTrace};
 use crate::strategies::{
-    ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy,
+    AskTellStrategy, BatchedSearch, ExhaustiveSearch, HillClimbSearch, RandomSearch,
+    ResponseSurfaceSearch, SearchStrategy, TpeSearch,
 };
 use ribbon_cloudsim::streaming::{StreamingSim, StreamingSimConfig};
 use ribbon_cloudsim::{CostModel, PhasedQueryStream};
 
 /// Planner names accepted by scenario files and `ribbon compare --planners`.
-pub const ALL_PLANNER_NAMES: [&str; 5] = ["ribbon", "random", "hill-climb", "rsm", "exhaustive"];
+pub const ALL_PLANNER_NAMES: [&str; 6] =
+    ["ribbon", "tpe", "random", "hill-climb", "rsm", "exhaustive"];
 
 /// A scenario-level planner: `plan` searches offline, `serve` runs the online path, and
 /// both return the same structured [`ScenarioReport`]. Object-safe — the CLI holds a
@@ -209,22 +211,45 @@ impl Planner for SearchPlanner {
 }
 
 /// Builds the planner a name refers to, sized by the scenario's budget.
+///
+/// `ribbon` and `tpe` always run through the ask/tell [`crate::search::SearchDriver`]
+/// (their default `batch = 1` reproduces the historical traces bit for bit). The
+/// baselines keep their legacy loops unless the scenario sets an explicit
+/// `[planner] batch`, in which case they run through the driver via their
+/// [`AskTellStrategy`] adapters.
 pub fn planner_by_name(name: &str, scenario: &Scenario) -> Result<Box<dyn Planner>, ScenarioError> {
     let budget = scenario.search_settings.max_evaluations;
+    let batch = scenario.spec.planner.batch;
+    let fidelity = scenario.spec.planner.fidelity;
+    fn baseline<S: AskTellStrategy + Send + Sync + 'static>(
+        strategy: S,
+        batch: Option<usize>,
+        fidelity: Option<f64>,
+    ) -> Box<dyn Planner> {
+        match batch {
+            Some(q) => Box::new(SearchPlanner::new(Box::new(
+                BatchedSearch::new(strategy)
+                    .with_batch(q)
+                    .with_fidelity(fidelity),
+            ))),
+            None => Box::new(SearchPlanner::new(Box::new(strategy))),
+        }
+    }
     match name.to_ascii_lowercase().as_str() {
         "ribbon" => Ok(Box::new(RibbonPlanner)),
-        "random" => Ok(Box::new(SearchPlanner::new(Box::new(RandomSearch::new(
-            budget,
-        ))))),
-        "hill-climb" => Ok(Box::new(SearchPlanner::new(Box::new(
-            HillClimbSearch::new(budget),
+        "tpe" => Ok(Box::new(SearchPlanner::new(Box::new(
+            TpeSearch::new(budget)
+                .with_batch(batch.unwrap_or(1))
+                .with_fidelity(fidelity),
         )))),
-        "rsm" => Ok(Box::new(SearchPlanner::new(Box::new(
+        "random" => Ok(baseline(RandomSearch::new(budget), batch, fidelity)),
+        "hill-climb" => Ok(baseline(HillClimbSearch::new(budget), batch, fidelity)),
+        "rsm" => Ok(baseline(
             ResponseSurfaceSearch::new(budget),
-        )))),
-        "exhaustive" => Ok(Box::new(SearchPlanner::new(Box::new(
-            ExhaustiveSearch::default(),
-        )))),
+            batch,
+            fidelity,
+        )),
+        "exhaustive" => Ok(baseline(ExhaustiveSearch::default(), batch, fidelity)),
         other => Err(ScenarioError::invalid(
             "planner.name",
             format!(

@@ -90,7 +90,7 @@ pub enum QosSpec {
 /// `[planner]`: which planner runs the scenario and its search knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlannerSpec {
-    /// Planner name: `ribbon`, `random`, `hill-climb`, `rsm`, or `exhaustive`.
+    /// Planner name: `ribbon`, `tpe`, `random`, `hill-climb`, `rsm`, or `exhaustive`.
     pub name: String,
     /// Evaluation budget of the (initial) search.
     pub budget: usize,
@@ -108,6 +108,10 @@ pub struct PlannerSpec {
     pub scan_threads: Option<usize>,
     /// Starting configuration evaluated before the BO loop (RIBBON).
     pub start_config: Option<Vec<u32>>,
+    /// Candidates asked per optimizer round (`q`); batches evaluate in parallel.
+    pub batch: Option<usize>,
+    /// Successive-halving prefix fraction in `(0, 1)`; unset disables multi-fidelity.
+    pub fidelity: Option<f64>,
 }
 
 impl Default for PlannerSpec {
@@ -122,6 +126,8 @@ impl Default for PlannerSpec {
             reuse_surrogate: None,
             scan_threads: None,
             start_config: None,
+            batch: None,
+            fidelity: None,
         }
     }
 }
@@ -548,6 +554,8 @@ impl ScenarioSpec {
                 "reuse_surrogate",
                 "scan_threads",
                 "start_config",
+                "batch",
+                "fidelity",
             ],
         )?;
         let defaults = PlannerSpec::default();
@@ -561,6 +569,8 @@ impl ScenarioSpec {
             reuse_surrogate: opt_bool(t, "planner", "reuse_surrogate")?,
             scan_threads: opt_usize(t, "planner", "scan_threads")?,
             start_config: opt_u32_list(t, "planner", "start_config")?,
+            batch: opt_usize(t, "planner", "batch")?,
+            fidelity: opt_f64(t, "planner", "fidelity")?,
         })
     }
 
@@ -779,6 +789,8 @@ impl ScenarioSpec {
                 .as_ref()
                 .map(|c| c.iter().map(|&v| Value::from(v)).collect::<Vec<_>>()),
         );
+        put(&mut pt, "batch", p.batch);
+        put(&mut pt, "fidelity", p.fidelity);
         root.insert("planner", pt);
 
         let e = &self.evaluator;

@@ -1,0 +1,708 @@
+//! Ask/tell adapters for the baseline strategies.
+//!
+//! Every baseline in this module is re-expressed as a [`ribbon_bo::Optimizer`] state
+//! machine: `ask` surfaces the configurations the legacy loop would evaluate next, `tell`
+//! feeds results back, and the decision logic (dominance skipping, steepest-ascent moves,
+//! RSM phase transitions) runs exactly when the legacy loop ran it — at the moment every
+//! outstanding evaluation of the current step has been told. Driven by
+//! [`crate::search::SearchDriver`] at `batch = 1`, each adapter reproduces its legacy
+//! `run_search` trace bit for bit (pinned by the `ask_tell_differential` suite); larger
+//! batches pipeline the same decisions over the parallel evaluator.
+//!
+//! The adapters assume the driver's contract: every asked candidate is told (or
+//! forgotten) before the next `ask` — decisions may therefore treat the in-flight set as
+//! empty whenever `ask` finds the queue drained.
+
+use super::{ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch};
+use crate::evaluator::{ConfigEvaluator, Evaluation};
+use crate::search::{SearchDriver, SearchTrace};
+use crate::strategies::SearchStrategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngCore, SeedableRng};
+use ribbon_bo::{BoError, ConfigLattice, Optimizer, Outcome, PruneSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A [`SearchStrategy`] that can also run through the ask/tell [`SearchDriver`]:
+/// it knows how to build its [`Optimizer`] state machine, how an [`Evaluation`] maps to
+/// an [`Outcome`] under its own pruning rule, and what its evaluation budget is.
+pub trait AskTellStrategy: SearchStrategy {
+    /// Builds the strategy's ask/tell optimizer over the evaluator's lattice.
+    fn optimizer(&self, evaluator: &ConfigEvaluator) -> Box<dyn Optimizer>;
+
+    /// The strategy's rule for turning an evaluation into a told outcome.
+    fn outcome_rule(&self, evaluator: &ConfigEvaluator) -> Box<dyn Fn(&Evaluation) -> Outcome>;
+
+    /// The evaluation budget against this evaluator.
+    fn budget(&self, evaluator: &ConfigEvaluator) -> usize;
+}
+
+/// Runs any [`AskTellStrategy`] through the [`SearchDriver`] with a configurable ask
+/// batch — the scenario layer's route for `[planner] batch = q` on a baseline planner.
+///
+/// At `batch = 1` the produced trace is bit-identical to the wrapped strategy's own
+/// `run_search` (the driver plays the legacy loop move for move).
+pub struct BatchedSearch<S> {
+    inner: S,
+    batch: usize,
+    fidelity: Option<f64>,
+}
+
+impl<S: AskTellStrategy> BatchedSearch<S> {
+    /// Wraps a strategy with the historical one-at-a-time behaviour.
+    pub fn new(inner: S) -> Self {
+        BatchedSearch {
+            inner,
+            batch: 1,
+            fidelity: None,
+        }
+    }
+
+    /// Sets the ask-batch size (clamped to at least 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the multi-fidelity fraction (see [`SearchDriver::with_fidelity`]).
+    pub fn with_fidelity(mut self, fidelity: Option<f64>) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+}
+
+impl<S: AskTellStrategy> SearchStrategy for BatchedSearch<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn run_search(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = self.inner.optimizer(evaluator);
+        let rule = self.inner.outcome_rule(evaluator);
+        let mut trace = SearchTrace::new(self.inner.name());
+        SearchDriver::new(evaluator)
+            .with_batch(self.batch)
+            .with_fidelity(self.fidelity)
+            .run(
+                opt.as_mut(),
+                &mut rng,
+                self.inner.budget(evaluator),
+                rule.as_ref(),
+                &mut trace,
+            );
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RANDOM
+// ---------------------------------------------------------------------------
+
+/// Ask/tell form of [`RandomSearch`]: one upfront shuffle of the whole lattice, then a
+/// queue filtered through the dominance prune set. A candidate invalidated *between* its
+/// ask and its tell (by an earlier member of the same batch) is discarded at tell time —
+/// exactly where the legacy speculation replay dropped it.
+pub struct RandomAdapter {
+    lattice: ConfigLattice,
+    /// Shuffled candidates in reverse order (`pop` yields the next to sample).
+    queue: Vec<Vec<u32>>,
+    shuffled: bool,
+    prune: PruneSet,
+}
+
+impl RandomAdapter {
+    /// An adapter over a lattice; the shuffle happens on the first `ask` (consuming the
+    /// driver RNG exactly like the legacy loop's upfront shuffle).
+    pub fn new(lattice: ConfigLattice) -> Self {
+        RandomAdapter {
+            lattice,
+            queue: Vec::new(),
+            shuffled: false,
+            prune: PruneSet::new(),
+        }
+    }
+}
+
+impl Optimizer for RandomAdapter {
+    fn ask(&mut self, rng: &mut dyn RngCore, q: usize) -> Result<Vec<Vec<u32>>, BoError> {
+        if !self.shuffled {
+            let mut candidates = self.lattice.enumerate();
+            candidates.shuffle(rng);
+            candidates.reverse();
+            self.queue = candidates;
+            self.shuffled = true;
+        }
+        let mut out = Vec::new();
+        while out.len() < q.max(1) {
+            match self.queue.pop() {
+                Some(c) if self.prune.is_pruned(&c) => continue,
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            return Err(BoError::SpaceExhausted);
+        }
+        Ok(out)
+    }
+
+    fn tell(&mut self, outcome: Outcome) -> Result<bool, BoError> {
+        if self.prune.is_pruned(&outcome.config) {
+            // Invalidated by an earlier member of its own batch: wasted speculation,
+            // not an observation.
+            return Ok(false);
+        }
+        if outcome.prune_below {
+            self.prune.prune_below(outcome.config.clone());
+        }
+        if outcome.prune_above {
+            self.prune.prune_above(outcome.config);
+        }
+        Ok(true)
+    }
+
+    fn forget(&mut self, config: &[u32]) {
+        self.queue.push(config.to_vec());
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        self.shuffled.then_some(self.queue.len())
+    }
+}
+
+impl AskTellStrategy for RandomSearch {
+    fn optimizer(&self, evaluator: &ConfigEvaluator) -> Box<dyn Optimizer> {
+        Box::new(RandomAdapter::new(evaluator.lattice()))
+    }
+
+    fn outcome_rule(&self, evaluator: &ConfigEvaluator) -> Box<dyn Fn(&Evaluation) -> Outcome> {
+        let target_rate = evaluator.objective().target_rate();
+        Box::new(move |e: &Evaluation| {
+            let below = e.satisfaction_rate < target_rate;
+            Outcome::new(e.config.clone(), e.objective).with_prunes(below, !below)
+        })
+    }
+
+    fn budget(&self, _evaluator: &ConfigEvaluator) -> usize {
+        self.max_evaluations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hill-Climb
+// ---------------------------------------------------------------------------
+
+/// Ask/tell form of [`HillClimbSearch`]: a queue of the current neighbourhood's fresh
+/// points; when the queue drains the steepest-ascent decision runs (move, or shuffle a
+/// random restart out of the driver RNG) and refills it.
+pub struct HillClimbAdapter {
+    lattice: ConfigLattice,
+    known: HashMap<Vec<u32>, f64>,
+    queue: VecDeque<Vec<u32>>,
+    in_flight: usize,
+    /// A config that becomes the climb's current point once told (start or restart).
+    pending_move: Option<Vec<u32>>,
+    current: Option<(Vec<u32>, f64)>,
+    /// Full neighbour list of `current`, in lattice order (the decision scans all of it).
+    neighborhood: Vec<Vec<u32>>,
+    done: bool,
+}
+
+impl HillClimbAdapter {
+    /// An adapter starting from `start_config` (falling back to the lattice midpoint,
+    /// like the legacy loop).
+    pub fn new(lattice: ConfigLattice, start_config: Option<Vec<u32>>) -> Self {
+        let start = start_config
+            .filter(|c| lattice.contains(c))
+            .unwrap_or_else(|| Self::midpoint(lattice.bounds()));
+        HillClimbAdapter {
+            lattice,
+            known: HashMap::new(),
+            queue: VecDeque::from(vec![start.clone()]),
+            in_flight: 0,
+            pending_move: Some(start),
+            current: None,
+            neighborhood: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn midpoint(bounds: &[u32]) -> Vec<u32> {
+        let mid: Vec<u32> = bounds.iter().map(|&b| b.div_ceil(2)).collect();
+        if mid.iter().all(|&c| c == 0) {
+            let mut m = mid;
+            m[0] = 1;
+            m
+        } else {
+            mid
+        }
+    }
+
+    fn set_current(&mut self, config: Vec<u32>, objective: f64) {
+        self.neighborhood = self.lattice.neighbors(&config);
+        self.queue = self
+            .neighborhood
+            .iter()
+            .filter(|n| !self.known.contains_key(*n))
+            .cloned()
+            .collect();
+        self.current = Some((config, objective));
+    }
+
+    /// The steepest-ascent decision: runs when the neighbourhood is fully told. Loops
+    /// because a move can land on a point whose neighbours are all known already.
+    fn advance(&mut self, rng: &mut dyn RngCore) {
+        loop {
+            let Some((_, current_obj)) = self.current.clone() else {
+                self.done = true;
+                return;
+            };
+            let mut best_neighbor: Option<(Vec<u32>, f64)> = None;
+            for n in &self.neighborhood {
+                let Some(&v) = self.known.get(n) else {
+                    // An untold neighbour means the driver stopped mid-step; no sound
+                    // decision can be made.
+                    self.done = true;
+                    return;
+                };
+                let better = match &best_neighbor {
+                    None => true,
+                    Some((_, b)) => v > *b,
+                };
+                if better {
+                    best_neighbor = Some((n.clone(), v));
+                }
+            }
+            match best_neighbor {
+                Some((config, obj)) if obj > current_obj => {
+                    self.set_current(config, obj);
+                    if !self.queue.is_empty() {
+                        return;
+                    }
+                    // Every neighbour of the new point is known: decide again.
+                }
+                _ => {
+                    // Local optimum: random restart at an unexplored configuration.
+                    let mut candidates: Vec<Vec<u32>> = self
+                        .lattice
+                        .enumerate()
+                        .into_iter()
+                        .filter(|c| !self.known.contains_key(c))
+                        .collect();
+                    if candidates.is_empty() {
+                        self.done = true;
+                        return;
+                    }
+                    candidates.shuffle(rng);
+                    let next = candidates[0].clone();
+                    self.pending_move = Some(next.clone());
+                    self.queue.push_back(next);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Optimizer for HillClimbAdapter {
+    fn ask(&mut self, rng: &mut dyn RngCore, q: usize) -> Result<Vec<Vec<u32>>, BoError> {
+        if self.queue.is_empty() && self.in_flight == 0 && !self.done {
+            self.advance(rng);
+        }
+        if self.done {
+            return Err(BoError::SpaceExhausted);
+        }
+        let take = q.max(1).min(self.queue.len());
+        let out: Vec<Vec<u32>> = self.queue.drain(..take).collect();
+        if out.is_empty() {
+            return Err(BoError::SpaceExhausted);
+        }
+        self.in_flight += out.len();
+        Ok(out)
+    }
+
+    fn tell(&mut self, outcome: Outcome) -> Result<bool, BoError> {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.known.insert(outcome.config.clone(), outcome.value);
+        if self.pending_move.as_ref() == Some(&outcome.config) {
+            self.pending_move = None;
+            self.set_current(outcome.config, outcome.value);
+        }
+        Ok(true)
+    }
+
+    fn forget(&mut self, config: &[u32]) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.queue.push_front(config.to_vec());
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl AskTellStrategy for HillClimbSearch {
+    fn optimizer(&self, evaluator: &ConfigEvaluator) -> Box<dyn Optimizer> {
+        Box::new(HillClimbAdapter::new(
+            evaluator.lattice(),
+            self.start_config.clone(),
+        ))
+    }
+
+    fn outcome_rule(&self, _evaluator: &ConfigEvaluator) -> Box<dyn Fn(&Evaluation) -> Outcome> {
+        Box::new(|e: &Evaluation| Outcome::new(e.config.clone(), e.objective))
+    }
+
+    fn budget(&self, _evaluator: &ConfigEvaluator) -> usize {
+        self.max_evaluations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RSM
+// ---------------------------------------------------------------------------
+
+enum RsmPhase {
+    Design,
+    Climb,
+}
+
+/// Ask/tell form of [`ResponseSurfaceSearch`]: the central-composite design as the first
+/// queue, then the legacy climb — batch-local best-neighbour moves, jumps to the best
+/// expandable point on stalls — with each decision deferred to the queue-drained moment.
+pub struct RsmAdapter {
+    lattice: ConfigLattice,
+    phase: RsmPhase,
+    queue: VecDeque<Vec<u32>>,
+    in_flight: usize,
+    explored: HashSet<Vec<u32>>,
+    /// Every told evaluation, in tell order (the legacy trace the jump rules scan).
+    evals: Vec<(Vec<u32>, f64)>,
+    /// Evaluations told since the current climb step began (the legacy `batch`).
+    round: Vec<(Vec<u32>, f64)>,
+    current: Option<(Vec<u32>, f64)>,
+    done: bool,
+}
+
+impl RsmAdapter {
+    /// An adapter whose first asks replay the face-centered central-composite design.
+    pub fn new(lattice: ConfigLattice) -> Self {
+        let design = ResponseSurfaceSearch::design_points(&lattice);
+        RsmAdapter {
+            lattice,
+            phase: RsmPhase::Design,
+            queue: design.into(),
+            in_flight: 0,
+            explored: HashSet::new(),
+            evals: Vec::new(),
+            round: Vec::new(),
+            current: None,
+            done: false,
+        }
+    }
+
+    /// The *last* maximal element, matching `Iterator::max_by` over the legacy trace.
+    fn last_max<'a, I>(iter: I) -> Option<(Vec<u32>, f64)>
+    where
+        I: Iterator<Item = &'a (Vec<u32>, f64)>,
+    {
+        let mut best: Option<(Vec<u32>, f64)> = None;
+        for (c, o) in iter {
+            let better = match &best {
+                None => true,
+                Some((_, b)) => *o >= *b,
+            };
+            if better {
+                best = Some((c.clone(), *o));
+            }
+        }
+        best
+    }
+
+    fn has_unexplored_neighbor(&self, config: &[u32]) -> bool {
+        self.lattice
+            .neighbors(config)
+            .iter()
+            .any(|n| !self.explored.contains(n))
+    }
+
+    fn set_current(&mut self, config: Vec<u32>, objective: f64) {
+        self.queue = self
+            .lattice
+            .neighbors(&config)
+            .into_iter()
+            .filter(|n| !self.explored.contains(n))
+            .collect();
+        self.current = Some((config, objective));
+        self.round.clear();
+    }
+
+    fn advance(&mut self) {
+        if matches!(self.phase, RsmPhase::Design) {
+            self.phase = RsmPhase::Climb;
+            // The climb starts at the best design point (last max, like the legacy
+            // `best_objective` scan).
+            match Self::last_max(self.evals.iter()) {
+                Some((config, obj)) => {
+                    self.set_current(config, obj);
+                    if !self.queue.is_empty() {
+                        return;
+                    }
+                }
+                None => {
+                    self.done = true;
+                    return;
+                }
+            }
+        }
+        loop {
+            let Some((current, current_obj)) = self.current.clone() else {
+                self.done = true;
+                return;
+            };
+            // Best neighbour of this step: first strict max in tell order (the legacy
+            // scan over `evaluate_many(&batch)`).
+            let mut best_neighbor: Option<(Vec<u32>, f64)> = None;
+            for (c, o) in &self.round {
+                let better = match &best_neighbor {
+                    None => true,
+                    Some((_, b)) => *o > *b,
+                };
+                if better {
+                    best_neighbor = Some((c.clone(), *o));
+                }
+            }
+            let advanced = !self.round.is_empty();
+            match best_neighbor {
+                Some((config, obj)) if obj > current_obj => {
+                    self.set_current(config, obj);
+                    if !self.queue.is_empty() {
+                        return;
+                    }
+                }
+                _ if advanced => {
+                    // Neighbourhood explored without improvement: jump to the best
+                    // explored-but-not-yet-expanded point overall.
+                    let next = Self::last_max(
+                        self.evals
+                            .iter()
+                            .filter(|(c, _)| *c != current)
+                            .filter(|(c, _)| self.has_unexplored_neighbor(c)),
+                    );
+                    match next {
+                        Some((config, obj)) => {
+                            self.set_current(config, obj);
+                            if !self.queue.is_empty() {
+                                return;
+                            }
+                        }
+                        None => {
+                            self.done = true;
+                            return;
+                        }
+                    }
+                }
+                _ => {
+                    // No unexplored neighbours at all: move to the best expandable point.
+                    let next = Self::last_max(
+                        self.evals
+                            .iter()
+                            .filter(|(c, _)| self.has_unexplored_neighbor(c)),
+                    );
+                    match next {
+                        Some((config, obj)) if config != current => {
+                            self.set_current(config, obj);
+                            if !self.queue.is_empty() {
+                                return;
+                            }
+                        }
+                        _ => {
+                            self.done = true;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Optimizer for RsmAdapter {
+    fn ask(&mut self, _rng: &mut dyn RngCore, q: usize) -> Result<Vec<Vec<u32>>, BoError> {
+        if self.queue.is_empty() && self.in_flight == 0 && !self.done {
+            self.advance();
+        }
+        if self.done {
+            return Err(BoError::SpaceExhausted);
+        }
+        let take = q.max(1).min(self.queue.len());
+        let out: Vec<Vec<u32>> = self.queue.drain(..take).collect();
+        if out.is_empty() {
+            return Err(BoError::SpaceExhausted);
+        }
+        self.in_flight += out.len();
+        Ok(out)
+    }
+
+    fn tell(&mut self, outcome: Outcome) -> Result<bool, BoError> {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.explored.insert(outcome.config.clone());
+        self.evals.push((outcome.config.clone(), outcome.value));
+        if matches!(self.phase, RsmPhase::Climb) {
+            self.round.push((outcome.config, outcome.value));
+        }
+        Ok(true)
+    }
+
+    fn forget(&mut self, config: &[u32]) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.queue.push_front(config.to_vec());
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl AskTellStrategy for ResponseSurfaceSearch {
+    fn optimizer(&self, evaluator: &ConfigEvaluator) -> Box<dyn Optimizer> {
+        Box::new(RsmAdapter::new(evaluator.lattice()))
+    }
+
+    fn outcome_rule(&self, _evaluator: &ConfigEvaluator) -> Box<dyn Fn(&Evaluation) -> Outcome> {
+        Box::new(|e: &Evaluation| Outcome::new(e.config.clone(), e.objective))
+    }
+
+    fn budget(&self, _evaluator: &ConfigEvaluator) -> usize {
+        self.max_evaluations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive
+// ---------------------------------------------------------------------------
+
+/// Ask/tell form of [`ExhaustiveSearch`]: the lattice enumeration as one long queue.
+pub struct ExhaustiveAdapter {
+    queue: VecDeque<Vec<u32>>,
+}
+
+impl ExhaustiveAdapter {
+    /// An adapter enumerating the whole lattice (optionally capped).
+    pub fn new(lattice: &ConfigLattice, limit: Option<usize>) -> Self {
+        let mut configs = lattice.enumerate();
+        if let Some(limit) = limit {
+            configs.truncate(limit);
+        }
+        ExhaustiveAdapter {
+            queue: configs.into(),
+        }
+    }
+}
+
+impl Optimizer for ExhaustiveAdapter {
+    fn ask(&mut self, _rng: &mut dyn RngCore, q: usize) -> Result<Vec<Vec<u32>>, BoError> {
+        let take = q.max(1).min(self.queue.len());
+        let out: Vec<Vec<u32>> = self.queue.drain(..take).collect();
+        if out.is_empty() {
+            return Err(BoError::SpaceExhausted);
+        }
+        Ok(out)
+    }
+
+    fn tell(&mut self, _outcome: Outcome) -> Result<bool, BoError> {
+        Ok(true)
+    }
+
+    fn forget(&mut self, config: &[u32]) {
+        self.queue.push_front(config.to_vec());
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.queue.len())
+    }
+}
+
+impl AskTellStrategy for ExhaustiveSearch {
+    fn optimizer(&self, evaluator: &ConfigEvaluator) -> Box<dyn Optimizer> {
+        Box::new(ExhaustiveAdapter::new(&evaluator.lattice(), self.limit))
+    }
+
+    fn outcome_rule(&self, _evaluator: &ConfigEvaluator) -> Box<dyn Fn(&Evaluation) -> Outcome> {
+        Box::new(|e: &Evaluation| Outcome::new(e.config.clone(), e.objective))
+    }
+
+    fn budget(&self, evaluator: &ConfigEvaluator) -> usize {
+        self.limit.unwrap_or_else(|| evaluator.lattice().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{small_evaluator, tiny_evaluator};
+    use super::*;
+
+    fn configs(trace: &SearchTrace) -> Vec<Vec<u32>> {
+        trace
+            .evaluations()
+            .iter()
+            .map(|e| e.config.clone())
+            .collect()
+    }
+
+    #[test]
+    fn random_adapter_at_batch_1_matches_the_legacy_loop() {
+        let ev = small_evaluator();
+        for seed in [0, 5, 9] {
+            let legacy = RandomSearch::new(14).run_search(&ev, seed);
+            let driven = BatchedSearch::new(RandomSearch::new(14)).run_search(&ev, seed);
+            assert_eq!(legacy.evaluations, driven.evaluations, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_adapter_respects_dominance_at_any_batch() {
+        let ev = small_evaluator();
+        let driven = BatchedSearch::new(RandomSearch::new(20))
+            .with_batch(6)
+            .run_search(&ev, 7);
+        assert!(driven.len() <= 20);
+        let mut seen = HashSet::new();
+        for e in driven.evaluations() {
+            assert!(seen.insert(e.config.clone()), "duplicate {:?}", e.config);
+        }
+    }
+
+    #[test]
+    fn hill_climb_adapter_at_batch_1_matches_the_legacy_loop() {
+        let ev = small_evaluator();
+        for seed in [2, 3, 9] {
+            let legacy = HillClimbSearch::new(15).run_search(&ev, seed);
+            let driven = BatchedSearch::new(HillClimbSearch::new(15)).run_search(&ev, seed);
+            assert_eq!(legacy.evaluations, driven.evaluations, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rsm_adapter_at_batch_1_matches_the_legacy_loop() {
+        let ev = small_evaluator();
+        for budget in [5, 20, 40] {
+            let legacy = ResponseSurfaceSearch::new(budget).run_search(&ev, 0);
+            let driven = BatchedSearch::new(ResponseSurfaceSearch::new(budget)).run_search(&ev, 0);
+            assert_eq!(legacy.evaluations, driven.evaluations, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_adapter_covers_the_lattice_at_any_batch() {
+        let ev = tiny_evaluator();
+        let legacy = ExhaustiveSearch::full().run_search(&ev, 0);
+        let driven = BatchedSearch::new(ExhaustiveSearch::full()).run_search(&ev, 0);
+        assert_eq!(legacy.evaluations, driven.evaluations);
+        let batched = BatchedSearch::new(ExhaustiveSearch::full())
+            .with_batch(7)
+            .run_search(&ev, 0);
+        assert_eq!(configs(&legacy), configs(&batched));
+    }
+}

@@ -10,18 +10,31 @@
 //! * [`ResponseSurfaceSearch`] — a 3-level face-centered central-composite design followed by
 //!   local exploration around the best design point;
 //! * [`ExhaustiveSearch`] — evaluates the entire lattice (ground truth / normalization);
+//! * [`TpeSearch`] — a tree-structured Parzen estimator running natively through the
+//!   ask/tell driver;
 //! * [`crate::RibbonSearch`] — Ribbon itself (defined in [`crate::search`], re-exported here
 //!   through the trait).
+//!
+//! Every baseline also implements [`AskTellStrategy`]: wrapped in [`BatchedSearch`] it
+//! runs through the [`crate::search::SearchDriver`] as an ask/tell [`ribbon_bo::Optimizer`]
+//! state machine, pipelining batched asks into the parallel evaluator (bit-identical to
+//! the legacy loop at `batch = 1`).
 
+mod adapters;
 mod exhaustive;
 mod hill_climb;
 mod random;
 mod rsm;
+mod tpe;
 
+pub use adapters::{
+    AskTellStrategy, BatchedSearch, ExhaustiveAdapter, HillClimbAdapter, RandomAdapter, RsmAdapter,
+};
 pub use exhaustive::ExhaustiveSearch;
 pub use hill_climb::HillClimbSearch;
 pub use random::RandomSearch;
 pub use rsm::ResponseSurfaceSearch;
+pub use tpe::TpeSearch;
 
 use crate::evaluator::ConfigEvaluator;
 use crate::search::{RibbonSearch, SearchTrace};

@@ -1,0 +1,236 @@
+//! Differential suite for the ask/tell search driver.
+//!
+//! Two families of pins:
+//!
+//! 1. **Batch-1 bit-identity** — every strategy routed through the
+//!    [`ribbon::search::SearchDriver`] at `batch = 1` must reproduce its legacy
+//!    one-suggestion-at-a-time loop bit for bit: RIBBON's BO engine against the verbatim
+//!    historical loop ([`RibbonSearch::run_legacy_with`]), TPE's seeded-random fallback
+//!    against the BO initial phase, and the RANDOM / Hill-Climb / RSM / exhaustive
+//!    baselines through their [`AskTellStrategy`] adapters against their legacy
+//!    `run_search` loops.
+//! 2. **Successive-halving soundness** — a proptest that multi-fidelity promotion never
+//!    discards a configuration that full-fidelity evaluation would have ranked best:
+//!    every discarded estimate's true full-stream objective is at most the best full
+//!    objective the trace kept.
+
+use proptest::prelude::*;
+use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
+use ribbon::search::SearchTrace;
+use ribbon::strategies::{
+    BatchedSearch, ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch,
+    SearchStrategy, TpeSearch,
+};
+use ribbon::{RibbonSearch, RibbonSettings};
+use ribbon_models::{ModelKind, Workload};
+use std::sync::OnceLock;
+
+fn build_small_evaluator() -> ConfigEvaluator {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = 800;
+    ConfigEvaluator::new(
+        &w,
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![6, 4, 6]),
+            ..Default::default()
+        },
+    )
+}
+
+/// A small MT-WND evaluator (800 queries, 6×4×6 lattice) shared by the deterministic
+/// bit-identity tests. Kept separate from the multi-fidelity proptests' instance so the
+/// deterministic tests never contend with hundreds of concurrent proptest cases for the
+/// simulation cache.
+fn small_evaluator() -> &'static ConfigEvaluator {
+    static EV: OnceLock<ConfigEvaluator> = OnceLock::new();
+    EV.get_or_init(build_small_evaluator)
+}
+
+/// A second instance shared across the multi-fidelity proptest cases, so the simulation
+/// caches amortize repeated configurations between cases.
+fn fidelity_evaluator() -> &'static ConfigEvaluator {
+    static EV: OnceLock<ConfigEvaluator> = OnceLock::new();
+    EV.get_or_init(build_small_evaluator)
+}
+
+/// An even smaller lattice for the exhaustive comparison.
+fn tiny_evaluator() -> ConfigEvaluator {
+    let mut w = Workload::standard(ModelKind::MtWnd);
+    w.num_queries = 600;
+    ConfigEvaluator::new(
+        &w,
+        EvaluatorSettings {
+            explicit_bounds: Some(vec![5, 0, 4]),
+            ..Default::default()
+        },
+    )
+}
+
+fn assert_bit_identical(driver: &SearchTrace, legacy: &SearchTrace, label: &str) {
+    assert_eq!(
+        driver.evaluations, legacy.evaluations,
+        "{label}: driver trace diverges from the legacy loop"
+    );
+    assert!(
+        driver.estimates.is_empty(),
+        "{label}: full-fidelity run produced estimates"
+    );
+    assert_eq!(
+        driver.fidelity.prefix_evaluations, 0,
+        "{label}: full-fidelity run spent prefix simulations"
+    );
+}
+
+#[test]
+fn ribbon_driver_at_batch_1_is_bit_identical_to_the_legacy_loop() {
+    let ev = small_evaluator();
+    for seed in [1u64, 7, 42] {
+        let search = RibbonSearch::new(RibbonSettings {
+            max_evaluations: 12,
+            ..RibbonSettings::fast()
+        });
+        let mut bo = search.make_optimizer(ev);
+        let driver = search.run_with(ev, &mut bo, seed);
+        let mut bo = search.make_optimizer(ev);
+        let legacy = search.run_legacy_with(ev, &mut bo, seed);
+        assert_bit_identical(&driver, &legacy, &format!("RIBBON seed {seed}"));
+    }
+}
+
+#[test]
+fn ribbon_driver_matches_the_legacy_loop_with_a_start_config() {
+    let ev = small_evaluator();
+    let search = RibbonSearch::new(RibbonSettings {
+        max_evaluations: 10,
+        start_config: Some(vec![3, 2, 3]),
+        ..RibbonSettings::fast()
+    });
+    let mut bo = search.make_optimizer(ev);
+    let driver = search.run_with(ev, &mut bo, 5);
+    let mut bo = search.make_optimizer(ev);
+    let legacy = search.run_legacy_with(ev, &mut bo, 5);
+    assert_bit_identical(&driver, &legacy, "RIBBON with start config");
+}
+
+/// TPE's seeded-random fallback (the phase before enough observations exist to fit the
+/// Parzen densities) asks the same configurations as the BO engine's random initial
+/// phase: pinning a TPE run that never leaves the fallback against the legacy RIBBON
+/// loop that never leaves its initial phase compares both, evaluation for evaluation.
+#[test]
+fn tpe_random_fallback_is_bit_identical_to_the_legacy_initial_phase() {
+    let ev = small_evaluator();
+    for seed in [0u64, 3, 11] {
+        let budget = 10;
+        let mut tpe = TpeSearch::new(budget);
+        tpe.settings.initial_samples = budget; // never leaves the random fallback
+        let driver = tpe.run_search(ev, seed);
+
+        let search = RibbonSearch::new(RibbonSettings {
+            max_evaluations: budget,
+            initial_samples: budget, // never leaves the random initial phase
+            ..RibbonSettings::fast()
+        });
+        let mut bo = search.make_optimizer(ev);
+        let legacy = search.run_legacy_with(ev, &mut bo, seed);
+        assert_bit_identical(&driver, &legacy, &format!("TPE fallback seed {seed}"));
+    }
+}
+
+#[test]
+fn baseline_adapters_at_batch_1_are_bit_identical_to_their_legacy_loops() {
+    let ev = small_evaluator();
+    for seed in [0u64, 5, 9] {
+        for budget in [6usize, 14] {
+            let legacy = RandomSearch::new(budget).run_search(ev, seed);
+            let driver = BatchedSearch::new(RandomSearch::new(budget)).run_search(ev, seed);
+            assert_bit_identical(&driver, &legacy, &format!("RANDOM seed {seed}/{budget}"));
+
+            let legacy = HillClimbSearch::new(budget).run_search(ev, seed);
+            let driver = BatchedSearch::new(HillClimbSearch::new(budget)).run_search(ev, seed);
+            assert_bit_identical(
+                &driver,
+                &legacy,
+                &format!("Hill-Climb seed {seed}/{budget}"),
+            );
+
+            let legacy = ResponseSurfaceSearch::new(budget).run_search(ev, seed);
+            let driver =
+                BatchedSearch::new(ResponseSurfaceSearch::new(budget)).run_search(ev, seed);
+            assert_bit_identical(&driver, &legacy, &format!("RSM seed {seed}/{budget}"));
+        }
+    }
+}
+
+#[test]
+fn exhaustive_adapter_is_bit_identical_at_any_batch() {
+    let ev = tiny_evaluator();
+    let legacy = ExhaustiveSearch::default().run_search(&ev, 0);
+    for batch in [1usize, 4] {
+        let driver = BatchedSearch::new(ExhaustiveSearch::default())
+            .with_batch(batch)
+            .run_search(&ev, 0);
+        assert_eq!(
+            driver.evaluations, legacy.evaluations,
+            "exhaustive diverges at batch {batch}"
+        );
+    }
+}
+
+proptest! {
+
+    /// Successive halving is sound: whatever the seed, batch size, fidelity fraction, and
+    /// budget, no discarded candidate's true full-fidelity objective exceeds the best full
+    /// objective the trace kept — the multi-fidelity stage can only drop provable losers.
+    #[test]
+    fn sh_never_discards_the_best(
+        seed in 0u64..200,
+        batch in 2usize..7,
+        budget in 6usize..12,
+        fidelity_pct in 10u32..80,
+    ) {
+        let ev = fidelity_evaluator();
+        let trace = RibbonSearch::new(RibbonSettings {
+            max_evaluations: budget,
+            batch,
+            fidelity: Some(f64::from(fidelity_pct) / 100.0),
+            ..RibbonSettings::fast()
+        })
+        .run(ev, seed);
+        prop_assert!(!trace.is_empty());
+        prop_assert!(trace.len() <= budget);
+        let best_full = trace
+            .evaluations()
+            .iter()
+            .map(|e| e.objective)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for est in &trace.estimates {
+            let full = ev.evaluate(&est.config);
+            prop_assert!(
+                full.objective <= best_full,
+                "discarded {:?} (full objective {}) beats the best kept ({best_full})",
+                est.config,
+                full.objective
+            );
+        }
+    }
+
+    /// The batched TPE strategy obeys the same soundness bound.
+    #[test]
+    fn sh_is_sound_under_tpe(seed in 0u64..100, batch in 2usize..6) {
+        let ev = fidelity_evaluator();
+        let trace = TpeSearch::new(10)
+            .with_batch(batch)
+            .with_fidelity(Some(0.25))
+            .run_search(ev, seed);
+        prop_assert!(!trace.is_empty());
+        let best_full = trace
+            .evaluations()
+            .iter()
+            .map(|e| e.objective)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for est in &trace.estimates {
+            let full = ev.evaluate(&est.config);
+            prop_assert!(full.objective <= best_full);
+        }
+    }
+}
