@@ -1,7 +1,7 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR7.json` with wall times for the instrumented hot paths:
+//! `BENCH_PR8.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
@@ -33,7 +33,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfsnap                    # timing suite, writes BENCH_PR7.json
+//! perfsnap                    # timing suite, writes BENCH_PR8.json
 //! perfsnap --check            # also verify the three golden traces (CI mode) and the
 //!                             # fleet trace's shard invariance
 //! perfsnap --bless            # rewrite all three golden trace files
@@ -45,7 +45,7 @@
 //! Timings are machine-dependent and informational; the **traces** are deterministic and
 //! are what `--check` pins. The `--compare` gate and the snapshot schema are documented
 //! in `crates/bench/README.md`; subsequent PRs diff their own snapshot against the
-//! committed `BENCH_PR6.json` (and its predecessors) to keep the perf trajectory
+//! committed `BENCH_PR7.json` (and its predecessors) to keep the perf trajectory
 //! visible.
 
 use ribbon_bench::perf::{
@@ -63,7 +63,7 @@ use std::time::Instant;
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
 const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
 const FLEET_GOLDEN_PATH: &str = "crates/bench/golden/fleet_trace.txt";
-const OUT_PATH: &str = "BENCH_PR7.json";
+const OUT_PATH: &str = "BENCH_PR8.json";
 
 /// A hot-path metric regresses when it is worse than the prior snapshot by more than
 /// this factor (times for lower-is-better, throughput for higher-is-better).
@@ -532,7 +532,7 @@ fn main() {
         .collect();
     let json = format!(
         r#"{{
-  "pr": 7,
+  "pr": 8,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},

@@ -390,7 +390,7 @@ pub fn run_streaming_scale(
     streams: &[Vec<Query>],
     shards: usize,
 ) -> FleetRunOutcome {
-    let models: Vec<FleetModelConfig> = (0..STREAMING_SCALE_MODELS)
+    let models: Vec<FleetModelConfig<'_>> = (0..STREAMING_SCALE_MODELS)
         .map(|m| FleetModelConfig {
             pool: PoolSpec::new(
                 vec![InstanceType::G4dn, InstanceType::C5],

@@ -36,7 +36,7 @@ use rand::{Rng, RngCore};
 use ribbon_gp::{
     fit_gp, FitConfig, GaussianProcess, GpError, IncrementalGridGp, Matern52, Rounded,
 };
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Errors from the BO loop.
@@ -145,7 +145,7 @@ pub struct BoOptimizer {
     lattice: ConfigLattice,
     settings: BoSettings,
     observations: Vec<Observation>,
-    explored: HashSet<Config>,
+    explored: BTreeSet<Config>,
     prune: PruneSet,
     /// Un-explored, un-pruned lattice points in lexicographic enumeration order —
     /// maintained incrementally by `record` / `prune_below` / `prune_above` so `suggest`
@@ -169,7 +169,7 @@ impl BoOptimizer {
             lattice,
             settings,
             observations: Vec::new(),
-            explored: HashSet::new(),
+            explored: BTreeSet::new(),
             prune: PruneSet::new(),
             open,
             pending: Vec::new(),

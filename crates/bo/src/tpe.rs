@@ -24,7 +24,7 @@ use crate::optimizer::{BoError, Observation};
 use crate::space::{dominated_by, Config, ConfigLattice, PruneSet};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Tunable settings of the TPE engine.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ pub struct TpeOptimizer {
     lattice: ConfigLattice,
     settings: TpeSettings,
     observations: Vec<Observation>,
-    explored: HashSet<Config>,
+    explored: BTreeSet<Config>,
     prune: PruneSet,
     /// Un-explored, un-pruned lattice points in enumeration order (same invariant as
     /// `BoOptimizer::open`).
@@ -77,7 +77,7 @@ impl TpeOptimizer {
             lattice,
             settings,
             observations: Vec::new(),
-            explored: HashSet::new(),
+            explored: BTreeSet::new(),
             prune: PruneSet::new(),
             open,
             pending: Vec::new(),
@@ -366,7 +366,7 @@ mod tests {
             3,
         );
         assert_eq!(trace.len(), 20);
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for c in &trace {
             assert!(lattice.contains(c));
             assert!(seen.insert(c.clone()), "duplicate {c:?}");

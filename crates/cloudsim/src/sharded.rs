@@ -217,8 +217,9 @@ pub fn simulate_fleet_sharded(
     // The shared slice bills fleet-wide whether or not any group dispatches to it.
     let shared_hourly = shared.as_ref().map_or(0.0, |p| p.hourly_cost());
 
-    let mut config_slots: Vec<Option<FleetModelConfig>> = models.into_iter().map(Some).collect();
-    let tasks: Vec<GroupTask> = groups
+    let mut config_slots: Vec<Option<FleetModelConfig<'_>>> =
+        models.into_iter().map(Some).collect();
+    let tasks: Vec<GroupTask<'_>> = groups
         .iter()
         .map(|g| GroupTask {
             members: g.clone(),

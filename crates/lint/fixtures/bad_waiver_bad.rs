@@ -1,0 +1,4 @@
+pub fn sloppy() -> u32 {
+    // lint:allow(hash-iter)
+    42
+}

@@ -1,0 +1,4 @@
+pub fn roll() -> u64 {
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rand::Rng::gen(&mut rng)
+}

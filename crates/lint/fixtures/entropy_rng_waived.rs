@@ -1,0 +1,5 @@
+pub fn roll_jittered() -> u64 {
+    // lint:allow(entropy-rng): operator-facing jitter knob; never inside a seeded run
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rand::Rng::gen(&mut rng)
+}

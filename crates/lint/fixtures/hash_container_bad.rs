@@ -1,0 +1,5 @@
+use std::collections::HashSet;
+
+pub struct Frontier {
+    pub explored: HashSet<Vec<u32>>,
+}

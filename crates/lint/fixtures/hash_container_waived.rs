@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+pub struct Memo {
+    // lint:allow(hash-container): lookup-only memo (insert/get by exact key); never iterated
+    pub cache: HashMap<u64, f64>,
+}

@@ -1,0 +1,12 @@
+use std::collections::HashMap;
+
+// lint:allow-file(hash-container): this fixture exercises the iteration rule alone
+pub fn order_leak() -> Vec<String> {
+    let names: HashMap<String, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for (k, _) in names.iter() {
+        out.push(k.clone());
+    }
+    out.extend(names.keys().cloned());
+    out
+}

@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+
+// lint:allow-file(hash-container): this fixture exercises the iteration waiver alone
+pub fn stable_order() -> Vec<String> {
+    let names: HashMap<String, u32> = HashMap::new();
+    let mut out = Vec::new();
+    // lint:allow(hash-iter): collected into a Vec and sorted before any observable use
+    for (k, _) in names.iter() {
+        out.push(k.clone());
+    }
+    out.sort();
+    out
+}

@@ -1,0 +1,6 @@
+pub fn parse_flag(text: &str) -> bool {
+    if text.is_empty() {
+        panic!("empty input");
+    }
+    text.parse().unwrap()
+}

@@ -1,0 +1,4 @@
+pub fn lattice_axis(bounds: &[u32]) -> u32 {
+    // lint:allow(no-panic): bounds are validated non-empty at construction
+    *bounds.first().unwrap()
+}

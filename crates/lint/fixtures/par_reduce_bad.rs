@@ -1,0 +1,3 @@
+pub fn total(xs: &[f64]) -> f64 {
+    parallel::par_map_vec(xs, 4, |x| x * 2.0).into_iter().sum()
+}

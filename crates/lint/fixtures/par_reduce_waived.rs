@@ -1,0 +1,4 @@
+pub fn total(xs: &[f64]) -> f64 {
+    // lint:allow(par-reduce): single-element chunks; combine order equals input order
+    parallel::par_map_vec(xs, 4, |x| x * 2.0).into_iter().sum()
+}

@@ -1,0 +1,3 @@
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

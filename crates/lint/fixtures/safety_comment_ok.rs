@@ -1,0 +1,5 @@
+pub fn first_byte(v: &[u8]) -> u8 {
+    debug_assert!(!v.is_empty());
+    // SAFETY: every caller checks `v` is non-empty before calling.
+    unsafe { *v.get_unchecked(0) }
+}

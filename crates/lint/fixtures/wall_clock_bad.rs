@@ -1,0 +1,4 @@
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}

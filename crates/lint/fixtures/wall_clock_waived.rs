@@ -1,0 +1,5 @@
+pub fn stamp_ms() -> u128 {
+    // lint:allow(wall-clock): progress logging only; never feeds simulated time
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,210 @@
+//! `lint.toml` — per-crate and per-path scoping of the lint rules.
+//!
+//! The committed `lint.toml` at the workspace root is the single source of
+//! truth for which crates are determinism-critical, which are allowed to read
+//! the wall clock, and which paths must be panic-free. Parsing goes through
+//! `ribbon-spec` (the same hand-rolled TOML subset the scenario layer uses),
+//! with strict unknown-key rejection so a typo cannot silently widen a scope.
+
+use crate::rules::ALL_RULES;
+use ribbon_spec::{toml, Value};
+use std::fmt;
+
+/// Scoping configuration for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates where `hash-iter` and `hash-container` apply (the
+    /// determinism-critical set).
+    pub hash_crates: Vec<String>,
+    /// Whether `hash-iter` also applies inside `#[cfg(test)]` code (order-
+    /// dependent assertions make tests flaky across processes).
+    pub hash_iter_include_tests: bool,
+    /// Crates allowed to read the wall clock (`wall-clock` exempt).
+    pub wall_clock_allow: Vec<String>,
+    /// Workspace-relative path prefixes where `no-panic` applies.
+    pub no_panic_paths: Vec<String>,
+    /// Hard ceiling on `no-panic` waivers across the tree.
+    pub no_panic_max_waivers: usize,
+    /// Path prefixes skipped entirely (the fixture corpus).
+    pub skip_paths: Vec<String>,
+}
+
+/// A configuration-file error with enough context to fix it.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl LintConfig {
+    /// Parses a `lint.toml` document.
+    pub fn from_toml_str(input: &str) -> Result<LintConfig, ConfigError> {
+        let root = toml::parse(input).map_err(|e| ConfigError(e.to_string()))?;
+        let mut cfg = LintConfig {
+            hash_crates: Vec::new(),
+            hash_iter_include_tests: true,
+            wall_clock_allow: Vec::new(),
+            no_panic_paths: Vec::new(),
+            no_panic_max_waivers: 10,
+            skip_paths: Vec::new(),
+        };
+        let table = root
+            .as_table()
+            .ok_or_else(|| ConfigError("top level must be a table".into()))?;
+        for (section, value) in table {
+            match section.as_str() {
+                "hash-iter" => {
+                    for (k, v) in entries(section, value)? {
+                        match k.as_str() {
+                            "crates" => cfg.hash_crates = string_list(section, k, v)?,
+                            "include_tests" => {
+                                cfg.hash_iter_include_tests = v.as_bool().ok_or_else(|| {
+                                    ConfigError(format!("[{section}] {k} must be a bool"))
+                                })?
+                            }
+                            _ => return Err(unknown(section, k)),
+                        }
+                    }
+                }
+                "wall-clock" => {
+                    for (k, v) in entries(section, value)? {
+                        match k.as_str() {
+                            "allow" => cfg.wall_clock_allow = string_list(section, k, v)?,
+                            _ => return Err(unknown(section, k)),
+                        }
+                    }
+                }
+                "no-panic" => {
+                    for (k, v) in entries(section, value)? {
+                        match k.as_str() {
+                            "paths" => cfg.no_panic_paths = string_list(section, k, v)?,
+                            "max_waivers" => {
+                                let n = v.as_i64().ok_or_else(|| {
+                                    ConfigError(format!("[{section}] {k} must be an integer"))
+                                })?;
+                                if n < 0 {
+                                    return Err(ConfigError(format!(
+                                        "[{section}] {k} must be non-negative"
+                                    )));
+                                }
+                                cfg.no_panic_max_waivers = n as usize;
+                            }
+                            _ => return Err(unknown(section, k)),
+                        }
+                    }
+                }
+                "skip" => {
+                    for (k, v) in entries(section, value)? {
+                        match k.as_str() {
+                            "paths" => cfg.skip_paths = string_list(section, k, v)?,
+                            _ => return Err(unknown(section, k)),
+                        }
+                    }
+                }
+                _ => {
+                    // Reject unknown sections, but name the valid ones — and the
+                    // rules that need no configuration — in the error.
+                    return Err(ConfigError(format!(
+                        "unknown section [{section}]; expected one of [hash-iter], \
+                         [wall-clock], [no-panic], [skip] (rules {} take no configuration)",
+                        ALL_RULES
+                            .iter()
+                            .filter(|r| !["hash-iter", "wall-clock", "no-panic"].contains(r))
+                            .map(|r| format!("`{r}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The scoping used by the unit tests: determinism-critical crates and
+    /// panic-free paths mirroring the committed `lint.toml`.
+    pub fn default_for_tests() -> LintConfig {
+        LintConfig {
+            hash_crates: ["cloudsim", "bo", "gp", "ribbon", "linalg"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            hash_iter_include_tests: true,
+            wall_clock_allow: vec!["bench".to_string(), "cli".to_string()],
+            no_panic_paths: vec![
+                "crates/spec/src".to_string(),
+                "crates/ribbon/src/scenario".to_string(),
+            ],
+            no_panic_max_waivers: 10,
+            skip_paths: vec!["crates/lint/fixtures".to_string()],
+        }
+    }
+}
+
+fn entries<'v>(
+    section: &str,
+    value: &'v Value,
+) -> Result<impl Iterator<Item = (&'v String, &'v Value)>, ConfigError> {
+    value
+        .as_table()
+        .map(|t| t.iter().map(|(k, v)| (k, v)))
+        .ok_or_else(|| ConfigError(format!("[{section}] must be a table")))
+}
+
+fn string_list(section: &str, key: &str, v: &Value) -> Result<Vec<String>, ConfigError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| ConfigError(format!("[{section}] {key} must be an array of strings")))?;
+    arr.iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ConfigError(format!("[{section}] {key} must contain only strings")))
+        })
+        .collect()
+}
+
+fn unknown(section: &str, key: &str) -> ConfigError {
+    ConfigError(format!("unknown key `{key}` in [{section}]"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let cfg = LintConfig::from_toml_str(
+            r#"
+[hash-iter]
+crates = ["bo", "ribbon"]
+include_tests = false
+
+[wall-clock]
+allow = ["bench"]
+
+[no-panic]
+paths = ["crates/spec/src"]
+max_waivers = 4
+
+[skip]
+paths = ["crates/lint/fixtures"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.hash_crates, vec!["bo", "ribbon"]);
+        assert!(!cfg.hash_iter_include_tests);
+        assert_eq!(cfg.no_panic_max_waivers, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(LintConfig::from_toml_str("[nope]\nx = 1\n").is_err());
+        assert!(LintConfig::from_toml_str("[hash-iter]\ncrate = []\n").is_err());
+        assert!(LintConfig::from_toml_str("[no-panic]\nmax_waivers = -1\n").is_err());
+    }
+}

@@ -1,0 +1,442 @@
+//! A comment-, string-, and raw-string-aware Rust token lexer.
+//!
+//! `ribbon-lint` cannot use `syn` (registries are unreachable in the build
+//! environment), so rules are written against a token stream produced by this
+//! hand-rolled lexer. It understands exactly enough Rust surface syntax that a
+//! token-pattern rule can never be fooled by program *text*: line and nested
+//! block comments, string literals with escapes, raw strings (`r#"…"#` at any
+//! hash depth), byte and raw-byte strings, char and byte-char literals,
+//! lifetimes (so `'a` is not half a char literal), and numeric literals
+//! (including `0..n`, where `..` must stay a range, not a fraction).
+//!
+//! Comments are not discarded: they are collected per line so the rule engine
+//! can resolve `// lint:allow(rule): reason` waivers and `// SAFETY:`
+//! justifications.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// A lifetime such as `'a` or `'static` (rules ignore these).
+    Lifetime,
+    /// A literal: string, char, number. The text of string literals is NOT
+    /// retained (rules must never match inside program data).
+    Literal,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Token text; empty for string/char literals.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), with the line it starts on.
+///
+/// The text excludes the comment markers themselves (`//`, `/*`, `*/`) but
+/// keeps inner content verbatim, so `// lint:allow(x): y` arrives as
+/// ` lint:allow(x): y`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    /// Last line the comment touches (equals `line` for line comments).
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated constructs
+/// consume to end-of-file, which is the most conservative recovery for a lint
+/// (no token can be silently skipped past).
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if peek(&chars, i + 1) == Some('/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: chars[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if peek(&chars, i + 1) == Some('*') => {
+                // Nested block comments, per the Rust grammar.
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && peek(&chars, j + 1) == Some('*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && peek(&chars, j + 1) == Some('/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: chars[start..end.min(chars.len())].iter().collect(),
+                });
+                i = j;
+            }
+            '"' => {
+                i = consume_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            '\'' => {
+                // Lifetime or char literal. `'\…'` and `'x'` are chars;
+                // `'ident` not closed by `'` is a lifetime.
+                if peek(&chars, i + 1) == Some('\\') {
+                    i = consume_char_literal(&chars, i, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else if peek(&chars, i + 2) == Some('\'') && peek(&chars, i + 1) != Some('\'') {
+                    let lit_line = line;
+                    if peek(&chars, i + 1) == Some('\n') {
+                        line += 1;
+                    }
+                    i += 3;
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line: lit_line,
+                    });
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[start..j].iter().collect(),
+                        line,
+                    });
+                    i = j.max(i + 1);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i = consume_number(&chars, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Check raw/byte string prefixes before taking this as an identifier.
+                if let Some(next) = raw_or_byte_string(&chars, i) {
+                    i = consume_prefixed_string(&chars, i, next, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    let mut j = i;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: chars[start..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn peek(chars: &[char], i: usize) -> Option<char> {
+    chars.get(i).copied()
+}
+
+/// What kind of prefixed string starts at `i`, if any: `r"`, `r#"`, `b"`,
+/// `br"`, `br#"`, `b'`. Returns the index of the first character after the
+/// alphabetic prefix (i.e. at the `#`, `"` or `'`).
+fn raw_or_byte_string(chars: &[char], i: usize) -> Option<usize> {
+    let c = chars[i];
+    let rest = |k: usize| peek(chars, k);
+    match c {
+        'r' => match rest(i + 1) {
+            Some('"') | Some('#') => {
+                // `r#ident` is a raw identifier, not a raw string: require a
+                // quote after the hashes.
+                let mut j = i + 1;
+                while peek(chars, j) == Some('#') {
+                    j += 1;
+                }
+                if peek(chars, j) == Some('"') {
+                    Some(i + 1)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        'b' => match rest(i + 1) {
+            Some('"') | Some('\'') => Some(i + 1),
+            Some('r') => {
+                let mut j = i + 2;
+                while peek(chars, j) == Some('#') {
+                    j += 1;
+                }
+                if peek(chars, j) == Some('"') {
+                    Some(i + 2)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Consumes a plain `"…"` string starting at the quote; returns the index past
+/// the closing quote. Tracks newlines (multi-line strings are legal).
+fn consume_string(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a `'…'` char literal starting at the quote (escape form); returns
+/// the index past the closing quote.
+fn consume_char_literal(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a raw / byte / raw-byte string whose prefix letters end at `body`
+/// (pointing at `#`, `"`, or `'`). Returns the index past the closing
+/// delimiter.
+fn consume_prefixed_string(chars: &[char], _start: usize, body: usize, line: &mut u32) -> usize {
+    // Byte char: b'x'
+    if chars[body] == '\'' {
+        return consume_char_literal(chars, body, line);
+    }
+    let mut hashes = 0usize;
+    let mut j = body;
+    while peek(chars, j) == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(peek(chars, j), Some('"'));
+    let is_raw = chars[_start..body].contains(&'r');
+    if !is_raw {
+        // b"…": ordinary escape rules.
+        return consume_string(chars, j, line);
+    }
+    // Raw string: scan for `"` followed by `hashes` hashes; no escapes.
+    j += 1;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && peek(chars, k) == Some('#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Consumes a numeric literal starting at a digit; returns the index past it.
+/// `0..n` stops before the range dots; `1.5e-3`, `0xff_u32`, `1_000.0f64` are
+/// single literals.
+fn consume_number(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    let mut seen_dot = false;
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_ascii_alphanumeric() || c == '_' {
+            // Exponent sign: `1e-3` / `1E+3`.
+            if (c == 'e' || c == 'E')
+                && matches!(peek(chars, j + 1), Some('+') | Some('-'))
+                && peek(chars, j + 2).is_some_and(|d| d.is_ascii_digit())
+            {
+                j += 2;
+                continue;
+            }
+            j += 1;
+        } else if c == '.' && !seen_dot && peek(chars, j + 1).is_some_and(|d| d.is_ascii_digit()) {
+            seen_dot = true;
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let x = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block */
+            let y = r#"HashMap in a raw string"#;
+            let z = b"HashMap bytes";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        let f = lex(src);
+        assert_eq!(f.comments.len(), 2);
+        assert!(f.comments[0].text.contains("HashMap in a line comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let e = '\\n'; x }";
+        let f = lex(src);
+        let lifetimes: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        let literals = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(literals, 2, "'x' and '\\n' are char literals");
+    }
+
+    #[test]
+    fn ranges_are_not_fractions() {
+        let src = "for i in 0..n { a[i] = 1.5e-3; }";
+        let f = lex(src);
+        // `0`, `1.5e-3` literals; `..` must remain two '.' puncts.
+        let dots = f.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1; /* c\nc */ let d = 2;";
+        let f = lex(src);
+        let b = f.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+        let d = f.tokens.iter().find(|t| t.is_ident("d")).unwrap();
+        assert_eq!(d.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("let r#type = 1; let r = 2;");
+        assert!(ids.iter().any(|s| s == "type"));
+    }
+}

@@ -1,0 +1,216 @@
+//! # ribbon-lint
+//!
+//! A hand-rolled, registry-free static analysis pass enforcing this
+//! repository's determinism and safety contract — the invariants every golden
+//! (`crates/bench/golden/*`), sharded-vs-serial differential, and batch-1
+//! ask/tell identity silently depends on:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `hash-iter` (D1) | no iteration over `HashMap`/`HashSet` in determinism-critical crates |
+//! | `hash-container` (D1b) | no hash-container bindings there either — `BTreeMap`/`BTreeSet` or a written waiver |
+//! | `wall-clock` (D2) | no `Instant::now` / `SystemTime` outside `bench`/`cli` |
+//! | `entropy-rng` (D3) | no entropy-seeded RNG construction outside `#[cfg(test)]` |
+//! | `par-reduce` (D4) | no reduction chained straight onto `par_map`/`par_map_vec` |
+//! | `no-panic` (P1) | no `unwrap`/`expect`/`panic!` in spec-parse / scenario-compile paths |
+//! | `safety-comment` (S1) | every `unsafe` carries a `// SAFETY:` comment |
+//!
+//! Sites that are provably order-independent carry a
+//! `// lint:allow(rule-id): reason` waiver; waivers are themselves counted,
+//! reported, and rejected when stale or reasonless. Scoping lives in the
+//! committed `lint.toml`. See `crates/lint/README.md` for the rule catalog and
+//! the concrete golden each rule protects.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{ConfigError, LintConfig};
+pub use rules::{analyze_file, Finding, Waived};
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One diagnostic, bound to its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The rustc-style `file:line: rule-id: message` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Waived findings with their justification, same order.
+    pub waived: Vec<(Diagnostic, String)>,
+    /// Files analyzed.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when the tree is clean AND within the waiver budget.
+    pub fn is_clean(&self, cfg: &LintConfig) -> bool {
+        self.diagnostics.is_empty() && self.no_panic_waivers() <= cfg.no_panic_max_waivers
+    }
+
+    /// Number of `no-panic` waivers in effect (budgeted by `lint.toml`).
+    pub fn no_panic_waivers(&self) -> usize {
+        self.waived
+            .iter()
+            .filter(|(d, _)| d.rule == rules::rule::NO_PANIC)
+            .count()
+    }
+
+    /// Waiver counts per rule, in rule order.
+    pub fn waiver_counts(&self) -> BTreeMap<&str, usize> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for (d, _) in &self.waived {
+            *counts.entry(d.rule.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the human-readable summary (diagnostics, then the waiver
+    /// ledger, then the verdict line).
+    pub fn render(&self, cfg: &LintConfig) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}", d.render());
+        }
+        if !self.waived.is_empty() {
+            let _ = writeln!(out, "waivers in effect ({}):", self.waived.len());
+            for (d, reason) in &self.waived {
+                let _ = writeln!(out, "  {}:{}: {}: {}", d.path, d.line, d.rule, reason);
+            }
+        }
+        let budget = self.no_panic_waivers();
+        let _ = writeln!(
+            out,
+            "ribbon-lint: {} files, {} violations, {} waivers ({} no-panic, budget {})",
+            self.files,
+            self.diagnostics.len(),
+            self.waived.len(),
+            budget,
+            cfg.no_panic_max_waivers,
+        );
+        if budget > cfg.no_panic_max_waivers {
+            let _ = writeln!(
+                out,
+                "ribbon-lint: no-panic waiver budget exceeded ({budget} > {})",
+                cfg.no_panic_max_waivers
+            );
+        }
+        out
+    }
+}
+
+/// Lints one in-memory source file (the unit the fixture tests drive).
+pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Report {
+    let analysis = rules::analyze_file(rel_path, src, cfg);
+    let to_diag = |f: &Finding| Diagnostic {
+        path: rel_path.to_string(),
+        line: f.line,
+        rule: f.rule.to_string(),
+        message: f.message.clone(),
+    };
+    Report {
+        diagnostics: analysis.findings.iter().map(to_diag).collect(),
+        waived: analysis
+            .waived
+            .iter()
+            .map(|w| (to_diag(&w.finding), w.reason.clone()))
+            .collect(),
+        files: 1,
+    }
+}
+
+/// Walks the workspace at `root` and lints every Rust file under
+/// `crates/*/src`, `crates/*/tests`, and the top-level `tests/` suite,
+/// honoring `[skip] paths` from the configuration.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            for sub in ["src", "tests"] {
+                collect_rs_files(&dir.join(sub), &mut files)?;
+            }
+        }
+    }
+    collect_rs_files(&root.join("tests"), &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if cfg.skip_paths.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        let src = std::fs::read_to_string(file)?;
+        let one = lint_source(&rel, &src, cfg);
+        report.diagnostics.extend(one.diagnostics);
+        report.waived.extend(one.waived);
+        report.files += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    report
+        .waived
+        .sort_by(|a, b| (&a.0.path, a.0.line, &a.0.rule).cmp(&(&b.0.path, b.0.line, &b.0.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted by the caller).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads `lint.toml` from the workspace root.
+pub fn load_config(root: &Path) -> Result<LintConfig, String> {
+    let path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    LintConfig::from_toml_str(&text).map_err(|e| e.to_string())
+}

@@ -1,0 +1,64 @@
+//! `ribbon-lint` — the CLI entry point.
+//!
+//! ```text
+//! ribbon-lint [--root <dir>] [--quiet]
+//! ```
+//!
+//! Walks the workspace (default: the current directory, which must hold
+//! `lint.toml`), prints rustc-style `file:line: rule-id: message` diagnostics
+//! plus the waiver ledger, and exits non-zero when the tree is not clean.
+//! Exit codes: 0 clean, 1 violations (or waiver budget exceeded), 2 usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("ribbon-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: ribbon-lint [--root <dir>] [--quiet]");
+                println!("lints crates/*/src, crates/*/tests, and tests/ against lint.toml");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ribbon-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = match ribbon_lint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("ribbon-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match ribbon_lint::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ribbon-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet || !report.is_clean(&cfg) {
+        print!("{}", report.render(&cfg));
+    }
+    if report.is_clean(&cfg) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,955 @@
+//! The token-pattern rule engine: determinism and safety rules D1–D4, P1, S1.
+//!
+//! Every rule is a scan over the [`crate::lexer`] token stream plus per-file
+//! context: `#[cfg(test)]` / `#[test]` regions (tracked by brace matching),
+//! `// lint:allow(rule): reason` waivers, and the containing crate (rules are
+//! scoped per crate or per path prefix by [`crate::config::LintConfig`]).
+//!
+//! The rules are deliberately *syntactic*: without type information a lexer
+//! cannot prove a binding is a `HashMap`, so `hash-iter`/`hash-container`
+//! track identifiers whose declaration in the same file names a hash type.
+//! That heuristic is exact on this codebase (fields and locals are declared
+//! where they are used) and fails *open* in the direction we want: renaming a
+//! container to dodge the lint requires deleting the type name, which the
+//! `hash-container` declaration rule catches first.
+
+use crate::config::LintConfig;
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Rule identifiers, as written in diagnostics and waivers.
+pub mod rule {
+    /// D1: no iteration over `HashMap`/`HashSet` in determinism-critical crates.
+    pub const HASH_ITER: &str = "hash-iter";
+    /// D1b: no `HashMap`/`HashSet` bindings in determinism-critical crates
+    /// (convert to `BTreeMap`/`BTreeSet` or waive with an order-independence
+    /// justification).
+    pub const HASH_CONTAINER: &str = "hash-container";
+    /// D2: no `Instant::now` / `SystemTime` outside `bench`/`cli`.
+    pub const WALL_CLOCK: &str = "wall-clock";
+    /// D3: no entropy-seeded RNG construction outside `#[cfg(test)]`.
+    pub const ENTROPY_RNG: &str = "entropy-rng";
+    /// D4: no reduction chained directly onto `par_map`/`par_map_vec`.
+    pub const PAR_REDUCE: &str = "par-reduce";
+    /// P1: no `unwrap`/`expect`/`panic!` in spec-parse / scenario-compile paths.
+    pub const NO_PANIC: &str = "no-panic";
+    /// S1: every `unsafe` requires a `// SAFETY:` comment.
+    pub const SAFETY_COMMENT: &str = "safety-comment";
+    /// Meta: a waiver comment that is malformed (unknown rule, missing reason).
+    pub const BAD_WAIVER: &str = "bad-waiver";
+    /// Meta: a waiver that matched no finding (stale waivers rot into lies).
+    pub const STALE_WAIVER: &str = "stale-waiver";
+}
+
+/// All real (non-meta) rules, for config validation and reporting.
+pub const ALL_RULES: &[&str] = &[
+    rule::HASH_ITER,
+    rule::HASH_CONTAINER,
+    rule::WALL_CLOCK,
+    rule::ENTROPY_RNG,
+    rule::PAR_REDUCE,
+    rule::NO_PANIC,
+    rule::SAFETY_COMMENT,
+];
+
+/// One lint finding before waiver resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// A waived finding, carrying the written justification.
+#[derive(Debug, Clone)]
+pub struct Waived {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// The per-file lint result.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Violations (post-waiver), in line order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a waiver, with the justification.
+    pub waived: Vec<Waived>,
+}
+
+#[derive(Debug)]
+struct Waiver {
+    line: u32,
+    rule: String,
+    reason: String,
+    file_level: bool,
+    used: bool,
+}
+
+/// Analyzes one file. `rel_path` is workspace-relative with `/` separators
+/// (it selects the crate and path scoping); `src` is the file contents.
+pub fn analyze_file(rel_path: &str, src: &str, cfg: &LintConfig) -> FileAnalysis {
+    let lexed = lex(src);
+    let crate_name = crate_of(rel_path);
+    let is_test_file = rel_path.contains("/tests/") || rel_path.starts_with("tests/");
+    let test_regions = find_test_regions(&lexed.tokens);
+    let in_test = |line: u32| -> bool {
+        is_test_file
+            || test_regions
+                .iter()
+                .any(|&(lo, hi)| line >= lo && line <= hi)
+    };
+
+    let (mut waivers, mut raw) = parse_waivers(&lexed);
+
+    // Collect raw findings from each rule that applies to this file.
+    if cfg.hash_crates.iter().any(|c| c == crate_name) {
+        let hash_idents = collect_hash_idents(&lexed.tokens);
+        raw.extend(rule_hash_iter(&lexed.tokens, &hash_idents, |l| {
+            !cfg.hash_iter_include_tests && in_test(l)
+        }));
+        raw.extend(rule_hash_container(&hash_idents, in_test));
+    }
+    if !cfg.wall_clock_allow.iter().any(|c| c == crate_name) {
+        raw.extend(rule_wall_clock(&lexed.tokens, in_test));
+    }
+    raw.extend(rule_entropy_rng(&lexed.tokens, in_test));
+    raw.extend(rule_par_reduce(&lexed.tokens));
+    if cfg
+        .no_panic_paths
+        .iter()
+        .any(|p| rel_path.starts_with(p.as_str()))
+    {
+        raw.extend(rule_no_panic(&lexed.tokens, in_test));
+    }
+    raw.extend(rule_safety_comment(&lexed));
+
+    // Resolve waivers: a line waiver covers findings of its rule on its own
+    // line or on the next line that holds code (blank and comment lines in
+    // between are allowed); a file waiver covers the whole file.
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    let mut out = FileAnalysis::default();
+    for f in raw {
+        let mut waived_by: Option<usize> = None;
+        for (wi, w) in waivers.iter().enumerate() {
+            if w.rule != f.rule {
+                continue;
+            }
+            let covers = if w.file_level {
+                true
+            } else {
+                w.line == f.line || (w.line < f.line && !has_code_between(&lexed, w.line, f.line))
+            };
+            if covers {
+                waived_by = Some(wi);
+                break;
+            }
+        }
+        match waived_by {
+            Some(wi) => {
+                waivers[wi].used = true;
+                out.waived.push(Waived {
+                    reason: waivers[wi].reason.clone(),
+                    finding: f,
+                });
+            }
+            None => out.findings.push(f),
+        }
+    }
+
+    // Stale waivers are violations too: a suppression that no longer
+    // suppresses anything claims an exemption the code does not need.
+    for w in &waivers {
+        if !w.used {
+            out.findings.push(Finding {
+                line: w.line,
+                rule: rule::STALE_WAIVER,
+                message: format!(
+                    "waiver for `{}` matched no finding{}; delete it",
+                    w.rule,
+                    if w.file_level {
+                        " in this file"
+                    } else {
+                        " on this or the next code line"
+                    }
+                ),
+            });
+        }
+    }
+    out.findings
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// The crate a workspace-relative path belongs to: `crates/<name>/…` maps to
+/// `<name>`, the root `tests/` tree maps to the pseudo-crate `tests`.
+pub fn crate_of(rel_path: &str) -> &str {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or(rest)
+    } else if rel_path.starts_with("tests/") {
+        "tests"
+    } else {
+        ""
+    }
+}
+
+/// True if any non-comment token lies on a line strictly between `lo` and `hi`
+/// (used to decide whether a waiver on line `lo` reaches a finding on `hi`).
+fn has_code_between(lexed: &LexedFile, lo: u32, hi: u32) -> bool {
+    lexed.tokens.iter().any(|t| t.line > lo && t.line < hi)
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// Parses `lint:allow(rule): reason` and `lint:allow-file(rule): reason`
+/// comments. Malformed waivers become `bad-waiver` findings immediately.
+fn parse_waivers(lexed: &LexedFile) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in &lexed.comments {
+        // Strip doc-comment markers (`///` lexes with a leading `/`, `//!`
+        // with `!`) so prose *mentioning* the waiver syntax is not a waiver —
+        // only a comment that IS the directive counts.
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        if !text.starts_with("lint:") {
+            continue;
+        }
+        let (file_level, rest) = if let Some(r) = text.strip_prefix("lint:allow-file(") {
+            (true, r)
+        } else if let Some(r) = text.strip_prefix("lint:allow(") {
+            (false, r)
+        } else {
+            findings.push(Finding {
+                line: c.line,
+                rule: rule::BAD_WAIVER,
+                message: "malformed waiver; use `lint:allow(rule-id): reason`".to_string(),
+            });
+            continue;
+        };
+        let Some((rule_id, reason)) = rest.split_once(')') else {
+            findings.push(Finding {
+                line: c.line,
+                rule: rule::BAD_WAIVER,
+                message: "malformed waiver; missing `)`".to_string(),
+            });
+            continue;
+        };
+        if !ALL_RULES.contains(&rule_id) {
+            findings.push(Finding {
+                line: c.line,
+                rule: rule::BAD_WAIVER,
+                message: format!("waiver names unknown rule `{rule_id}`"),
+            });
+            continue;
+        }
+        let reason = reason.trim_start_matches(':').trim();
+        if reason.is_empty() {
+            findings.push(Finding {
+                line: c.line,
+                rule: rule::BAD_WAIVER,
+                message: format!(
+                    "waiver for `{rule_id}` has no justification; write `lint:allow({rule_id}): <why this is order-independent / infallible>`"
+                ),
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            line: c.end_line,
+            rule: rule_id.to_string(),
+            reason: reason.to_string(),
+            file_level,
+            used: false,
+        });
+    }
+    (waivers, findings)
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Line ranges (inclusive) of items annotated `#[cfg(test)]` or `#[test]`.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute content to its matching `]`.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut content: Vec<&Token> = Vec::new();
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    content.push(&tokens[j]);
+                }
+                j += 1;
+            }
+            let names: Vec<&str> = content
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            let is_test_attr = names == ["test"]
+                || (names.first() == Some(&"cfg")
+                    && names.contains(&"test")
+                    && !names.contains(&"not"));
+            if is_test_attr {
+                pending = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        if pending {
+            if tokens[i].is_punct(';') {
+                // e.g. `#[cfg(test)] mod tests;` — out-of-line module, the
+                // walker sees its file independently.
+                pending = false;
+            } else if tokens[i].is_punct('{') {
+                let end = match_brace(tokens, i);
+                regions.push((tokens[i].line, tokens[end.min(tokens.len() - 1)].line));
+                pending = false;
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------------
+// D1: hash containers
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods whose call on a hash container observes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// A binding site of a hash-typed identifier.
+#[derive(Debug, Clone)]
+struct HashBinding {
+    name: String,
+    line: u32,
+    ty: &'static str,
+}
+
+/// Collects identifiers declared with a hash type in this file: struct fields
+/// and function parameters (`name: …HashMap…`), `let` bindings
+/// (`let [mut] name = …HashSet…;`), and `type` aliases.
+fn collect_hash_idents(tokens: &[Token]) -> Vec<HashBinding> {
+    let mut out: Vec<HashBinding> = Vec::new();
+    let mut push = |name: &str, line: u32, ty: &'static str| {
+        if !out.iter().any(|b| b.name == name && b.line == line) {
+            out.push(HashBinding {
+                name: name.to_string(),
+                line,
+                ty,
+            });
+        }
+    };
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name : … HashMap …` — field, parameter, or ascribed local. Skip
+        // path segments (`a::b`), which lex as `a : : b`.
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && !(i > 0 && tokens[i - 1].is_punct(':'))
+        {
+            if let Some(ty) = scan_for_hash_type(tokens, i + 2) {
+                push(&t.text, t.line, ty);
+            }
+        }
+        // `let [mut] name = … HashMap …;`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name_tok) = tokens.get(j).filter(|n| n.kind == TokenKind::Ident) {
+                if tokens.get(j + 1).is_some_and(|n| n.is_punct('=')) {
+                    if let Some(ty) = scan_for_hash_type(tokens, j + 2) {
+                        push(&name_tok.text, name_tok.line, ty);
+                    }
+                }
+            }
+        }
+        // `type Alias = … HashMap …;`
+        if t.is_ident("type")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident)
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            if let Some(ty) = scan_for_hash_type(tokens, i + 3) {
+                push(&tokens[i + 1].text, tokens[i + 1].line, ty);
+            }
+        }
+    }
+    out
+}
+
+/// Scans forward from `start` for a hash type name, stopping at the end of the
+/// current type/initializer position: `,` `;` `)` `=` `{` `}` at bracket depth
+/// zero, or after a bounded number of tokens.
+fn scan_for_hash_type(tokens: &[Token], start: usize) -> Option<&'static str> {
+    let mut depth = 0i32;
+    for t in tokens.iter().skip(start).take(48) {
+        match t.kind {
+            TokenKind::Punct => match t.text.as_bytes().first() {
+                Some(b'<') | Some(b'(') | Some(b'[') => depth += 1,
+                Some(b'>') | Some(b')') | Some(b']') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return None;
+                    }
+                }
+                Some(b',') | Some(b';') | Some(b'=') | Some(b'{') | Some(b'}') if depth == 0 => {
+                    return None;
+                }
+                _ => {}
+            },
+            TokenKind::Ident => {
+                if let Some(ty) = HASH_TYPES.iter().find(|h| t.is_ident(h)) {
+                    return Some(ty);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// D1: flags iteration over hash-typed identifiers — `x.iter()`, `x.keys()`,
+/// `for … in …x…`, and friends.
+fn rule_hash_iter<F: Fn(u32) -> bool>(
+    tokens: &[Token],
+    bindings: &[HashBinding],
+    exempt: F,
+) -> Vec<Finding> {
+    let names: BTreeSet<&str> = bindings.iter().map(|b| b.name.as_str()).collect();
+    let mut out = Vec::new();
+    let mut flagged_lines: BTreeSet<u32> = BTreeSet::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        // `hash.iter()` and friends.
+        if t.kind == TokenKind::Ident
+            && names.contains(t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+        {
+            if let Some(m) = tokens.get(i + 2) {
+                if ITER_METHODS.iter().any(|im| m.is_ident(im))
+                    && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+                    && !exempt(m.line)
+                    && flagged_lines.insert(m.line)
+                {
+                    out.push(Finding {
+                        line: m.line,
+                        rule: rule::HASH_ITER,
+                        message: format!(
+                            "`.{}()` on hash container `{}` observes nondeterministic order; \
+                             use a BTree collection or sort first",
+                            m.text, t.text
+                        ),
+                    });
+                }
+            }
+        }
+        // `for pat in <expr containing a hash ident> {`
+        if t.is_ident("for") {
+            let Some(in_idx) = find_in_keyword(tokens, i) else {
+                continue;
+            };
+            let mut j = in_idx + 1;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                let e = &tokens[j];
+                if e.is_punct('(') || e.is_punct('[') {
+                    depth += 1;
+                } else if e.is_punct(')') || e.is_punct(']') {
+                    depth -= 1;
+                } else if e.is_punct('{') && depth == 0 {
+                    break;
+                } else if e.kind == TokenKind::Ident
+                    && names.contains(e.text.as_str())
+                    && !exempt(e.line)
+                    && flagged_lines.insert(e.line)
+                {
+                    out.push(Finding {
+                        line: e.line,
+                        rule: rule::HASH_ITER,
+                        message: format!(
+                            "`for … in` over hash container `{}` observes nondeterministic \
+                             order; use a BTree collection or sort first",
+                            e.text
+                        ),
+                    });
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Index of the `in` keyword of a `for` loop starting at `for_idx`.
+fn find_in_keyword(tokens: &[Token], for_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(for_idx + 1).take(64) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.is_ident("in") && depth <= 0 {
+            return Some(k);
+        } else if t.is_punct('{') {
+            // `for` of a generic bound (`impl<T> … for …`) has no `in`.
+            return None;
+        }
+    }
+    None
+}
+
+/// D1b: flags the binding sites themselves (outside test code). Converting to
+/// `BTreeMap`/`BTreeSet` is the default fix; a waiver must state why hash
+/// order can never be observed.
+fn rule_hash_container<F: Fn(u32) -> bool>(bindings: &[HashBinding], in_test: F) -> Vec<Finding> {
+    bindings
+        .iter()
+        .filter(|b| !in_test(b.line))
+        .map(|b| Finding {
+            line: b.line,
+            rule: rule::HASH_CONTAINER,
+            message: format!(
+                "`{}` binds a `{}` in a determinism-critical crate; use \
+                 `BTree{}` or waive with an order-independence justification",
+                b.name,
+                b.ty,
+                b.ty.trim_start_matches("Hash")
+            ),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// D2: wall-clock reads
+// ---------------------------------------------------------------------------
+
+fn rule_wall_clock<F: Fn(u32) -> bool>(tokens: &[Token], in_test: F) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("now"))
+            && !in_test(t.line)
+        {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::WALL_CLOCK,
+                message: "`Instant::now` outside bench/cli breaks replayable simulation; \
+                          thread simulated time through instead"
+                    .to_string(),
+            });
+        }
+        if t.is_ident("SystemTime") && !in_test(t.line) {
+            // Skip the import itself only when it is the flagged use's `use`
+            // line? No: importing it at all invites use — flag every mention.
+            out.push(Finding {
+                line: t.line,
+                rule: rule::WALL_CLOCK,
+                message: "`SystemTime` outside bench/cli breaks replayable simulation".to_string(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D3: entropy-seeded RNGs
+// ---------------------------------------------------------------------------
+
+const ENTROPY_NAMES: &[&str] = &["thread_rng", "from_entropy", "OsRng", "from_os_rng"];
+
+fn rule_entropy_rng<F: Fn(u32) -> bool>(tokens: &[Token], in_test: F) -> Vec<Finding> {
+    tokens
+        .iter()
+        .filter(|t| {
+            t.kind == TokenKind::Ident
+                && ENTROPY_NAMES.iter().any(|n| t.is_ident(n))
+                && !in_test(t.line)
+        })
+        .map(|t| Finding {
+            line: t.line,
+            rule: rule::ENTROPY_RNG,
+            message: format!(
+                "`{}` seeds an RNG from entropy; every production RNG must derive from an \
+                 explicit `seed_from_u64` so runs replay bit-identically",
+                t.text
+            ),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// D4: reductions chained straight onto parallel maps
+// ---------------------------------------------------------------------------
+
+const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// Flags `par_map…( … ).…sum()`-style chains: the reduction must go through a
+/// materialized, input-ordered `Vec` (a `let` binding or `.collect()`), so the
+/// order the floats combine in is visibly the input order and stays bit-stable
+/// under any thread schedule.
+fn rule_par_reduce(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && (t.text == "par_map" || t.text == "par_map_vec")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let close = match_paren(tokens, i + 1);
+            // Walk the trailing method chain.
+            let mut j = close + 1;
+            let mut collected = false;
+            while j + 1 < tokens.len() && tokens[j].is_punct('.') {
+                let m = &tokens[j + 1];
+                if m.kind != TokenKind::Ident {
+                    break;
+                }
+                if m.is_ident("collect") {
+                    collected = true;
+                }
+                if !collected && REDUCERS.iter().any(|r| m.is_ident(r)) {
+                    out.push(Finding {
+                        line: m.line,
+                        rule: rule::PAR_REDUCE,
+                        message: format!(
+                            "`.{}()` chained directly onto `{}` hides the combine order; bind \
+                             the ordered Vec first (or `.collect()` it), then reduce",
+                            m.text, t.text
+                        ),
+                    });
+                    break;
+                }
+                // Skip past `::<…>` turbofish and the call arguments.
+                let mut k = j + 2;
+                if tokens.get(k).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(k + 2).is_some_and(|n| n.is_punct('<'))
+                {
+                    let mut depth = 0i32;
+                    k += 2;
+                    while k < tokens.len() {
+                        if tokens[k].is_punct('<') {
+                            depth += 1;
+                        } else if tokens[k].is_punct('>') {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                if tokens.get(k).is_some_and(|n| n.is_punct('(')) {
+                    k = match_paren(tokens, k) + 1;
+                }
+                j = k;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------------
+// P1: panic paths in spec parse / scenario compile code
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+fn rule_no_panic<F: Fn(u32) -> bool>(tokens: &[Token], in_test: F) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        if PANIC_METHODS.iter().any(|m| t.is_ident(m))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::NO_PANIC,
+                message: format!(
+                    "`.{}()` in a parse/compile path; user input must surface as a typed \
+                     error, not a panic",
+                    t.text
+                ),
+            });
+        }
+        if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::NO_PANIC,
+                message: format!(
+                    "`{}!` in a parse/compile path; user input must surface as a typed \
+                     error, not a panic",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// S1: SAFETY comments on unsafe
+// ---------------------------------------------------------------------------
+
+fn rule_safety_comment(lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in &lexed.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let justified = lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
+        });
+        if !justified {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::SAFETY_COMMENT,
+                message: "`unsafe` without a `// SAFETY:` comment within the preceding 3 lines"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+
+    fn cfg() -> LintConfig {
+        LintConfig::default_for_tests()
+    }
+
+    fn run(path: &str, src: &str) -> FileAnalysis {
+        analyze_file(path, src, &cfg())
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_and_membership_is_not() {
+        let src = "
+            use std::collections::HashSet;
+            fn f() {
+                let mut seen: HashSet<u32> = HashSet::new();
+                seen.insert(1);
+                assert!(seen.contains(&1));
+                for x in seen.iter() { drop(x); }
+            }
+        ";
+        let a = run("crates/bo/src/x.rs", src);
+        let iter: Vec<_> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule::HASH_ITER)
+            .collect();
+        assert_eq!(iter.len(), 1);
+        assert_eq!(iter[0].line, 7);
+    }
+
+    #[test]
+    fn for_loop_over_hash_is_flagged() {
+        let src = "
+            fn f(seen: std::collections::HashSet<u32>) {
+                for x in &seen { drop(x); }
+            }
+        ";
+        let a = run("crates/ribbon/src/x.rs", src);
+        assert!(a.findings.iter().any(|f| f.rule == rule::HASH_ITER));
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_container_rule() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let mut seen = std::collections::HashSet::new();
+                    seen.insert(1);
+                }
+            }
+        ";
+        let a = run("crates/bo/src/x.rs", src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn waivers_suppress_and_count() {
+        let src = "
+            fn f() {
+                // lint:allow(hash-container): members drained in sorted order below
+                let mut seen = std::collections::HashSet::new();
+                seen.insert(1u32);
+            }
+        ";
+        let a = run("crates/gp/src/x.rs", src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.waived.len(), 1);
+        assert_eq!(a.waived[0].finding.rule, rule::HASH_CONTAINER);
+    }
+
+    #[test]
+    fn stale_and_reasonless_waivers_are_violations() {
+        let src = "
+            // lint:allow(hash-iter): nothing here iterates
+            fn f() {}
+        ";
+        let a = run("crates/bo/src/x.rs", src);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, rule::STALE_WAIVER);
+
+        let src2 = "
+            fn g() {
+                // lint:allow(hash-container):
+                let mut s = std::collections::HashSet::new();
+                s.insert(1u32);
+            }
+        ";
+        let a2 = run("crates/bo/src/x.rs", src2);
+        assert!(a2.findings.iter().any(|f| f.rule == rule::BAD_WAIVER));
+    }
+
+    #[test]
+    fn wall_clock_scoping_follows_the_crate() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }";
+        assert!(!run("crates/bench/src/x.rs", src)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::WALL_CLOCK));
+        assert!(run("crates/cloudsim/src/x.rs", src)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::WALL_CLOCK));
+    }
+
+    #[test]
+    fn par_reduce_requires_materialization() {
+        let bad = "fn f() { let s: f64 = par_map_vec(v, 4, f).into_iter().sum(); }";
+        assert!(run("crates/cloudsim/src/x.rs", bad)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::PAR_REDUCE));
+        let good = "fn f() { let out = par_map_vec(v, 4, f); let s: f64 = out.iter().sum(); }";
+        assert!(!run("crates/cloudsim/src/x.rs", good)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::PAR_REDUCE));
+    }
+
+    #[test]
+    fn no_panic_applies_only_to_configured_paths() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run("crates/spec/src/x.rs", src)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::NO_PANIC));
+        assert!(!run("crates/cloudsim/src/x.rs", src)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::NO_PANIC));
+    }
+
+    #[test]
+    fn unsafe_needs_a_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert!(run("crates/cloudsim/src/x.rs", bad)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::SAFETY_COMMENT));
+        let good = "fn f(p: *const u8) -> u8 {\n // SAFETY: caller guarantees p is valid\n unsafe { *p } }";
+        assert!(!run("crates/cloudsim/src/x.rs", good)
+            .findings
+            .iter()
+            .any(|f| f.rule == rule::SAFETY_COMMENT));
+    }
+
+    #[test]
+    fn integration_test_files_are_test_scope() {
+        let src = "fn helper() { let mut s = std::collections::HashSet::new(); s.insert(1u32); }";
+        let a = run("tests/foo.rs", src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+}

@@ -1,0 +1,245 @@
+//! Exact-diagnostics tests over the fixture corpus in `crates/lint/fixtures/`.
+//!
+//! Each known-bad fixture must produce *exactly* its expected `(line, rule)`
+//! set — no more, no less — and each waived twin must be violation-free with
+//! the waiver recorded in the ledger. The fixtures are linted under the
+//! **committed** `lint.toml`, so these tests also pin the scoping: a config
+//! edit that silently exempts a determinism-critical crate fails here.
+
+use ribbon_lint::{lint_source, LintConfig, Report};
+use std::path::Path;
+
+fn committed_config() -> LintConfig {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    ribbon_lint::load_config(&root).expect("the committed lint.toml must load")
+}
+
+fn lint_fixture(rel_path: &str, fixture: &str, cfg: &LintConfig) -> Report {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join(fixture))
+        .unwrap_or_else(|e| panic!("fixture {fixture}: {e}"));
+    lint_source(rel_path, &src, cfg)
+}
+
+/// The `(line, rule)` pairs of a report's violations, in report order.
+fn pairs(report: &Report) -> Vec<(u32, &str)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule.as_str()))
+        .collect()
+}
+
+#[test]
+fn hash_iter_bad_flags_every_iteration_site() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/ribbon/src/fixture.rs", "hash_iter_bad.rs", &cfg);
+    assert_eq!(
+        pairs(&r),
+        vec![(7, "hash-iter"), (10, "hash-iter")],
+        "{}",
+        r.render(&cfg)
+    );
+}
+
+#[test]
+fn hash_iter_waiver_clears_the_loop_and_is_recorded() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/ribbon/src/fixture.rs", "hash_iter_waived.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+    assert_eq!(
+        r.waived.len(),
+        2,
+        "file waiver + line waiver: {}",
+        r.render(&cfg)
+    );
+    assert!(r
+        .waived
+        .iter()
+        .any(|(d, _)| d.rule == "hash-iter" && d.line == 8));
+}
+
+#[test]
+fn hash_container_bad_flags_the_binding() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bo/src/fixture.rs", "hash_container_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![(4, "hash-container")], "{}", r.render(&cfg));
+}
+
+#[test]
+fn hash_container_waiver_is_recorded() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bo/src/fixture.rs", "hash_container_waived.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+    assert_eq!(r.waived.len(), 1);
+    assert_eq!(r.waived[0].0.rule, "hash-container");
+}
+
+#[test]
+fn hash_rules_do_not_apply_outside_determinism_critical_crates() {
+    let cfg = committed_config();
+    // Same source, non-listed crate: the CLI may hold hash containers freely.
+    let r = lint_fixture("crates/cli/src/fixture.rs", "hash_container_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+}
+
+#[test]
+fn wall_clock_bad_flags_instant_now() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/cloudsim/src/fixture.rs", "wall_clock_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![(2, "wall-clock")], "{}", r.render(&cfg));
+}
+
+#[test]
+fn wall_clock_is_allowed_in_bench_and_cli() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bench/src/fixture.rs", "wall_clock_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+}
+
+#[test]
+fn wall_clock_waiver_is_recorded() {
+    let cfg = committed_config();
+    let r = lint_fixture(
+        "crates/cloudsim/src/fixture.rs",
+        "wall_clock_waived.rs",
+        &cfg,
+    );
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+    assert_eq!(r.waived.len(), 1);
+    assert_eq!(r.waived[0].0.rule, "wall-clock");
+}
+
+#[test]
+fn entropy_rng_bad_flags_from_entropy() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bo/src/fixture.rs", "entropy_rng_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![(2, "entropy-rng")], "{}", r.render(&cfg));
+}
+
+#[test]
+fn entropy_rng_is_exempt_in_test_files() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bo/tests/fixture.rs", "entropy_rng_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+}
+
+#[test]
+fn entropy_rng_waiver_is_recorded() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bo/src/fixture.rs", "entropy_rng_waived.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+    assert_eq!(r.waived.len(), 1);
+    assert_eq!(r.waived[0].0.rule, "entropy-rng");
+}
+
+#[test]
+fn par_reduce_bad_flags_the_chained_sum() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/linalg/src/fixture.rs", "par_reduce_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![(2, "par-reduce")], "{}", r.render(&cfg));
+}
+
+#[test]
+fn par_reduce_waiver_is_recorded() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/linalg/src/fixture.rs", "par_reduce_waived.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+    assert_eq!(r.waived.len(), 1);
+    assert_eq!(r.waived[0].0.rule, "par-reduce");
+}
+
+#[test]
+fn no_panic_bad_flags_panic_and_unwrap() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/spec/src/fixture.rs", "no_panic_bad.rs", &cfg);
+    assert_eq!(
+        pairs(&r),
+        vec![(3, "no-panic"), (5, "no-panic")],
+        "{}",
+        r.render(&cfg)
+    );
+}
+
+#[test]
+fn no_panic_only_applies_to_configured_paths() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/gp/src/fixture.rs", "no_panic_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+}
+
+#[test]
+fn no_panic_waiver_counts_toward_the_budget() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/spec/src/fixture.rs", "no_panic_waived.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+    assert_eq!(r.no_panic_waivers(), 1);
+}
+
+#[test]
+fn safety_comment_bad_flags_bare_unsafe() {
+    let cfg = committed_config();
+    let r = lint_fixture(
+        "crates/linalg/src/fixture.rs",
+        "safety_comment_bad.rs",
+        &cfg,
+    );
+    assert_eq!(pairs(&r), vec![(2, "safety-comment")], "{}", r.render(&cfg));
+}
+
+#[test]
+fn safety_comment_ok_is_clean() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/linalg/src/fixture.rs", "safety_comment_ok.rs", &cfg);
+    assert_eq!(pairs(&r), vec![], "{}", r.render(&cfg));
+}
+
+#[test]
+fn stale_waiver_is_itself_a_violation() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bo/src/fixture.rs", "stale_waiver_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![(2, "stale-waiver")], "{}", r.render(&cfg));
+}
+
+#[test]
+fn reasonless_waiver_is_itself_a_violation() {
+    let cfg = committed_config();
+    let r = lint_fixture("crates/bo/src/fixture.rs", "bad_waiver_bad.rs", &cfg);
+    assert_eq!(pairs(&r), vec![(2, "bad-waiver")], "{}", r.render(&cfg));
+}
+
+#[test]
+fn every_bad_fixture_fails_and_every_waived_fixture_passes() {
+    let cfg = committed_config();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 16, "fixture corpus shrank: {names:?}");
+    for name in names {
+        // Place each fixture where its rule is in scope.
+        let rel = if name.starts_with("no_panic") {
+            "crates/spec/src/fixture.rs"
+        } else {
+            "crates/ribbon/src/fixture.rs"
+        };
+        let r = lint_fixture(rel, &name, &cfg);
+        if name.ends_with("_bad.rs") {
+            assert!(
+                !r.diagnostics.is_empty(),
+                "{name} must violate its rule:\n{}",
+                r.render(&cfg)
+            );
+        } else {
+            assert!(
+                r.diagnostics.is_empty(),
+                "{name} must be clean:\n{}",
+                r.render(&cfg)
+            );
+        }
+    }
+}

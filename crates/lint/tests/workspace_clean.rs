@@ -1,0 +1,19 @@
+//! The workspace self-check: the committed tree must be lint-clean under the
+//! committed `lint.toml`. This is the same gate CI's `lint` job runs via the
+//! `ribbon-lint` binary; having it as a test too means a plain `cargo test`
+//! catches a determinism/safety regression before a PR is ever opened.
+
+use std::path::Path;
+
+#[test]
+fn the_committed_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = ribbon_lint::load_config(&root).expect("lint.toml must load");
+    let report = ribbon_lint::lint_workspace(&root, &cfg).expect("workspace walk");
+    assert!(report.files > 90, "walked too few files: {}", report.files);
+    assert!(
+        report.is_clean(&cfg),
+        "the tree must stay lint-clean:\n{}",
+        report.render(&cfg)
+    );
+}

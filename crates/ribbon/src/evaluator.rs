@@ -31,7 +31,7 @@ use ribbon_bo::ConfigLattice;
 use ribbon_cloudsim::{parallel, simulate_stats, PoolSpec, QosEvidence, QosPolicy, Query};
 use ribbon_models::{ModelProfile, Workload};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -110,10 +110,12 @@ pub struct ConfigEvaluator {
     objective: RibbonObjective,
     bounds: Vec<u32>,
     threads: usize,
+    // lint:allow(hash-container): lookup-only memo (insert/get by exact key); never iterated
     cache: Mutex<HashMap<Vec<u32>, Evaluation>>,
     simulations: AtomicUsize,
     /// Reduced-fidelity cache tier, keyed by `(prefix length, config)` so different rungs
     /// never collide with each other or with the full-fidelity cache above.
+    // lint:allow(hash-container): lookup-only memo (insert/get by exact key); never iterated
     prefix_cache: Mutex<HashMap<(usize, Vec<u32>), PrefixEvaluation>>,
     prefix_simulations: AtomicUsize,
     prefix_queries: AtomicUsize,
@@ -175,8 +177,10 @@ impl ConfigEvaluator {
             objective,
             bounds,
             threads,
+            // lint:allow(hash-container): lookup-only memo; never iterated
             cache: Mutex::new(HashMap::new()),
             simulations: AtomicUsize::new(0),
+            // lint:allow(hash-container): lookup-only memo; never iterated
             prefix_cache: Mutex::new(HashMap::new()),
             prefix_simulations: AtomicUsize::new(0),
             prefix_queries: AtomicUsize::new(0),
@@ -334,7 +338,7 @@ impl ConfigEvaluator {
         let mut misses: Vec<Vec<u32>> = Vec::new();
         {
             let cache = self.cache.lock();
-            let mut queued: HashSet<&[u32]> = HashSet::new();
+            let mut queued: BTreeSet<&[u32]> = BTreeSet::new();
             for (slot, config) in results.iter_mut().zip(configs) {
                 if let Some(hit) = cache.get(config.as_slice()) {
                     *slot = Some(hit.clone());
@@ -354,7 +358,7 @@ impl ConfigEvaluator {
             }
         }
 
-        let by_config: HashMap<&[u32], &Evaluation> =
+        let by_config: BTreeMap<&[u32], &Evaluation> =
             fresh.iter().map(|e| (e.config.as_slice(), e)).collect();
         results
             .into_iter()
@@ -449,7 +453,7 @@ impl ConfigEvaluator {
         let mut misses: Vec<Vec<u32>> = Vec::new();
         {
             let cache = self.prefix_cache.lock();
-            let mut queued: HashSet<&[u32]> = HashSet::new();
+            let mut queued: BTreeSet<&[u32]> = BTreeSet::new();
             for (slot, config) in results.iter_mut().zip(configs) {
                 if let Some(hit) = cache.get(&(k, config.clone())) {
                     *slot = Some(hit.clone());
@@ -471,7 +475,7 @@ impl ConfigEvaluator {
             }
         }
 
-        let by_config: HashMap<&[u32], &PrefixEvaluation> = fresh
+        let by_config: BTreeMap<&[u32], &PrefixEvaluation> = fresh
             .iter()
             .map(|pe| (pe.evaluation.config.as_slice(), pe))
             .collect();

@@ -32,7 +32,7 @@ use parking_lot::Mutex;
 use ribbon_cloudsim::router::{FleetModelConfig, FleetSim, TaggedQuery};
 use ribbon_cloudsim::{parallel, InstanceType, PoolSpec, QosEvidence, WindowConfig};
 use ribbon_models::ModelProfile;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -77,6 +77,7 @@ pub struct FleetEvaluator {
     max_cost: f64,
     merged: Vec<TaggedQuery>,
     threads: usize,
+    // lint:allow(hash-container): lookup-only memo (insert/get by exact key); never iterated
     cache: Mutex<HashMap<Vec<u32>, FleetEvaluation>>,
     simulations: AtomicUsize,
 }
@@ -139,6 +140,7 @@ impl FleetEvaluator {
             max_cost,
             merged,
             threads,
+            // lint:allow(hash-container): lookup-only memo; never iterated
             cache: Mutex::new(HashMap::new()),
             simulations: AtomicUsize::new(0),
         })
@@ -249,7 +251,7 @@ impl FleetEvaluator {
         let mut misses: Vec<Vec<u32>> = Vec::new();
         {
             let cache = self.cache.lock();
-            let mut queued: HashSet<&[u32]> = HashSet::new();
+            let mut queued: BTreeSet<&[u32]> = BTreeSet::new();
             for (slot, config) in results.iter_mut().zip(configs) {
                 if let Some(hit) = cache.get(config.as_slice()) {
                     *slot = Some(hit.clone());
@@ -266,7 +268,7 @@ impl FleetEvaluator {
                 cache.insert(eval.config.clone(), eval.clone());
             }
         }
-        let by_config: HashMap<&[u32], &FleetEvaluation> =
+        let by_config: BTreeMap<&[u32], &FleetEvaluation> =
             fresh.iter().map(|e| (e.config.as_slice(), e)).collect();
         results
             .into_iter()
@@ -330,12 +332,12 @@ impl FleetEvaluator {
             let included: Vec<usize> = (0..self.members.len())
                 .filter(|&m| slices[m].iter().any(|&c| c > 0) || self.members[m].share_weight > 0.0)
                 .collect();
-            let sim_index: HashMap<usize, usize> = included
+            let sim_index: BTreeMap<usize, usize> = included
                 .iter()
                 .enumerate()
                 .map(|(si, &m)| (m, si))
                 .collect();
-            let model_configs: Vec<FleetModelConfig> = included
+            let model_configs: Vec<FleetModelConfig<'_>> = included
                 .iter()
                 .map(|&m| {
                     let state = &self.members[m];

@@ -33,7 +33,7 @@ mod spec;
 pub use evaluator::{FleetEvaluation, FleetEvaluator};
 pub use planner::{
     serve_fleet, FleetMemberReport, FleetMemberServe, FleetPlanner, FleetReport, FleetServeTotals,
-    RibbonFleetPlanner,
+    RibbonFleetPlanner, JOINT_BO_LATTICE_CAP,
 };
 pub use spec::{FleetModelSpec, FleetSpec};
 

@@ -467,12 +467,12 @@ impl RibbonFleetPlanner {
         });
         let mut rng = StdRng::seed_from_u64(fleet.spec.seed);
         let mut trace: Vec<FleetEvaluation> = Vec::new();
-        let mut explored: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+        let mut explored: std::collections::BTreeSet<Vec<u32>> = std::collections::BTreeSet::new();
 
         let evaluate_and_record =
             |config: Vec<u32>,
              bo: &mut Option<BoOptimizer>,
-             explored: &mut std::collections::HashSet<Vec<u32>>,
+             explored: &mut std::collections::BTreeSet<Vec<u32>>,
              trace: &mut Vec<FleetEvaluation>| {
                 let eval = evaluator.evaluate(&config);
                 explored.insert(config.clone());
@@ -865,7 +865,7 @@ pub fn serve_fleet(
         .iter()
         .map(|m| m.scenario.workload.profile())
         .collect();
-    let model_configs: Vec<FleetModelConfig> = fleet
+    let model_configs: Vec<FleetModelConfig<'_>> = fleet
         .members
         .iter()
         .enumerate()
@@ -932,10 +932,10 @@ pub fn serve_fleet(
         .max(1);
     let shared_hourly = shared_pool.as_ref().map_or(0.0, |p| p.hourly_cost());
 
-    let mut config_slots: Vec<Option<FleetModelConfig>> =
+    let mut config_slots: Vec<Option<FleetModelConfig<'_>>> =
         model_configs.into_iter().map(Some).collect();
     let mut controller_slots = controllers;
-    let tasks: Vec<GroupServeTask> = groups
+    let tasks: Vec<GroupServeTask<'_>> = groups
         .iter()
         .map(|g| GroupServeTask {
             members: g.clone(),

@@ -833,6 +833,8 @@ impl ScenarioSpec {
     /// Serializes the spec as TOML.
     pub fn to_toml_string(&self) -> String {
         ribbon_spec::toml::to_string(&self.to_value())
+            // lint:allow(no-panic): serialises a tree built by to_value(), not user input;
+            // the round-trip test pins that it is always TOML-expressible
             .expect("a spec value tree is always TOML-expressible")
     }
 

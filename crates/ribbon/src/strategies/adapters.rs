@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngCore, SeedableRng};
 use ribbon_bo::{BoError, ConfigLattice, Optimizer, Outcome, PruneSet};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A [`SearchStrategy`] that can also run through the ask/tell [`SearchDriver`]:
 /// it knows how to build its [`Optimizer`] state machine, how an [`Evaluation`] maps to
@@ -198,7 +198,7 @@ impl AskTellStrategy for RandomSearch {
 /// random restart out of the driver RNG) and refills it.
 pub struct HillClimbAdapter {
     lattice: ConfigLattice,
-    known: HashMap<Vec<u32>, f64>,
+    known: BTreeMap<Vec<u32>, f64>,
     queue: VecDeque<Vec<u32>>,
     in_flight: usize,
     /// A config that becomes the climb's current point once told (start or restart).
@@ -218,7 +218,7 @@ impl HillClimbAdapter {
             .unwrap_or_else(|| Self::midpoint(lattice.bounds()));
         HillClimbAdapter {
             lattice,
-            known: HashMap::new(),
+            known: BTreeMap::new(),
             queue: VecDeque::from(vec![start.clone()]),
             in_flight: 0,
             pending_move: Some(start),
@@ -376,7 +376,7 @@ pub struct RsmAdapter {
     phase: RsmPhase,
     queue: VecDeque<Vec<u32>>,
     in_flight: usize,
-    explored: HashSet<Vec<u32>>,
+    explored: BTreeSet<Vec<u32>>,
     /// Every told evaluation, in tell order (the legacy trace the jump rules scan).
     evals: Vec<(Vec<u32>, f64)>,
     /// Evaluations told since the current climb step began (the legacy `batch`).
@@ -394,7 +394,7 @@ impl RsmAdapter {
             phase: RsmPhase::Design,
             queue: design.into(),
             in_flight: 0,
-            explored: HashSet::new(),
+            explored: BTreeSet::new(),
             evals: Vec::new(),
             round: Vec::new(),
             current: None,
@@ -668,7 +668,7 @@ mod tests {
             .with_batch(6)
             .run_search(&ev, 7);
         assert!(driven.len() <= 20);
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for e in driven.evaluations() {
             assert!(seen.insert(e.config.clone()), "duplicate {:?}", e.config);
         }

@@ -12,7 +12,7 @@ use crate::search::SearchTrace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Steepest-ascent hill climbing with random restarts.
 #[derive(Debug, Clone)]
@@ -64,11 +64,11 @@ impl SearchStrategy for HillClimbSearch {
         let mut trace = SearchTrace::new(self.name());
         // Objective values of configurations evaluated by *this* search (the evaluator also
         // caches, but the trace must only count evaluations this strategy asked for).
-        let mut known: HashMap<Vec<u32>, f64> = HashMap::new();
+        let mut known: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
 
         let evaluate = |config: &Vec<u32>,
                         trace: &mut SearchTrace,
-                        known: &mut HashMap<Vec<u32>, f64>|
+                        known: &mut BTreeMap<Vec<u32>, f64>|
          -> Option<Evaluation> {
             if let Some(&v) = known.get(config) {
                 // Already evaluated by this search: reuse without consuming budget.

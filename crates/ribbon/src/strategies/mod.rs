@@ -89,7 +89,7 @@ pub(crate) mod test_support {
     use ribbon_models::{ModelKind, Workload};
 
     /// A small MT-WND evaluator shared by the strategy tests: 800 queries, 6x4x6 lattice.
-    pub fn small_evaluator() -> ConfigEvaluator {
+    pub(crate) fn small_evaluator() -> ConfigEvaluator {
         let mut w = Workload::standard(ModelKind::MtWnd);
         w.num_queries = 800;
         ConfigEvaluator::new(
@@ -102,7 +102,7 @@ pub(crate) mod test_support {
     }
 
     /// An even smaller lattice for exhaustive comparisons.
-    pub fn tiny_evaluator() -> ConfigEvaluator {
+    pub(crate) fn tiny_evaluator() -> ConfigEvaluator {
         let mut w = Workload::standard(ModelKind::MtWnd);
         w.num_queries = 600;
         ConfigEvaluator::new(

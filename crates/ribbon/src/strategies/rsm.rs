@@ -13,7 +13,7 @@ use super::SearchStrategy;
 use crate::evaluator::ConfigEvaluator;
 use crate::search::SearchTrace;
 use ribbon_bo::ConfigLattice;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Central-composite-design response-surface exploration.
 #[derive(Debug, Clone)]
@@ -63,7 +63,7 @@ impl ResponseSurfaceSearch {
             points.push(corner);
         }
 
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         points
             .into_iter()
             .filter(|p| lattice.contains(p) && seen.insert(p.clone()))
@@ -79,7 +79,7 @@ impl SearchStrategy for ResponseSurfaceSearch {
     fn run_search(&self, evaluator: &ConfigEvaluator, _seed: u64) -> SearchTrace {
         let lattice = evaluator.lattice();
         let mut trace = SearchTrace::new(self.name());
-        let mut explored: HashSet<Vec<u32>> = HashSet::new();
+        let mut explored: BTreeSet<Vec<u32>> = BTreeSet::new();
 
         // Phase 1: evaluate the design as one parallel batch (truncated to the budget —
         // identical to the serial loop, which stops at the budget check before each point).
@@ -196,7 +196,7 @@ mod tests {
         assert!(pts.contains(&vec![6, 4, 6]), "all-high corner");
         assert!(!pts.contains(&vec![0, 0, 0]), "all-zero corner excluded");
         // All distinct and valid.
-        let set: HashSet<_> = pts.iter().cloned().collect();
+        let set: BTreeSet<_> = pts.iter().cloned().collect();
         assert_eq!(set.len(), pts.len());
         assert!(pts.iter().all(|p| lattice.contains(p)));
     }
@@ -240,7 +240,7 @@ mod tests {
     fn never_evaluates_duplicates() {
         let ev = small_evaluator();
         let trace = ResponseSurfaceSearch::new(40).run_search(&ev, 0);
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for e in trace.evaluations() {
             assert!(seen.insert(e.config.clone()), "duplicate {:?}", e.config);
         }

@@ -239,12 +239,7 @@ fn parse_key_path(s: &str, line: usize) -> Result<Vec<String>, SpecError> {
     loop {
         p.skip_ws();
         let seg = match p.peek() {
-            Some('"') | Some('\'') => {
-                let Value::Str(s) = p.parse_string()? else {
-                    unreachable!("parse_string returns Str")
-                };
-                s
-            }
+            Some('"') | Some('\'') => p.parse_string()?,
             Some(c) if is_bare_key_char(c) => {
                 let mut seg = String::new();
                 while let Some(c) = p.peek() {
@@ -294,14 +289,14 @@ fn enter<'a>(node: &'a mut Value, seg: &str, line: usize) -> Result<&'a mut Valu
     let Value::Table(entries) = node else {
         return Err(SpecError::syntax(line, format!("`{seg}` is not a table")));
     };
-    if !entries.iter().any(|(k, _)| k == seg) {
-        entries.push((seg.to_string(), Value::table()));
-    }
-    let slot = entries
-        .iter_mut()
-        .find(|(k, _)| k == seg)
-        .map(|(_, v)| v)
-        .expect("just inserted");
+    let idx = match entries.iter().position(|(k, _)| k == seg) {
+        Some(i) => i,
+        None => {
+            entries.push((seg.to_string(), Value::table()));
+            entries.len() - 1
+        }
+    };
+    let slot = &mut entries[idx].1;
     match slot {
         Value::Table(_) => Ok(slot),
         Value::Array(items) => match items.last_mut() {
@@ -337,10 +332,12 @@ fn navigate<'a>(
 /// `[[x]]` is a single/double-bracket mix-up that must error, not silently merge keys
 /// into the last array element.
 fn define_table(root: &mut Value, path: &[String], line: usize) -> Result<(), SpecError> {
-    let (last, parents) = path.split_last().expect("key paths are non-empty");
+    let Some((last, parents)) = path.split_last() else {
+        return Err(SpecError::syntax(line, "empty table header"));
+    };
     let parent = navigate(root, parents, line)?;
     let Value::Table(entries) = parent else {
-        unreachable!("navigate returns tables")
+        return Err(SpecError::syntax(line, "header path does not name a table"));
     };
     match entries.iter_mut().find(|(k, _)| k == last) {
         None => {
@@ -361,10 +358,12 @@ fn define_table(root: &mut Value, path: &[String], line: usize) -> Result<(), Sp
 
 /// Appends a fresh element to the array of tables at `path` for a `[[path]]` header.
 fn append_array_table(root: &mut Value, path: &[String], line: usize) -> Result<(), SpecError> {
-    let (last, parents) = path.split_last().expect("key paths are non-empty");
+    let Some((last, parents)) = path.split_last() else {
+        return Err(SpecError::syntax(line, "empty table header"));
+    };
     let parent = navigate(root, parents, line)?;
     let Value::Table(entries) = parent else {
-        unreachable!("navigate returns tables")
+        return Err(SpecError::syntax(line, "header path does not name a table"));
     };
     match entries.iter_mut().find(|(k, _)| k == last) {
         None => {
@@ -389,10 +388,12 @@ fn insert_at(
     value: Value,
     line: usize,
 ) -> Result<(), SpecError> {
-    let (last, parents) = key_path.split_last().expect("key paths are non-empty");
+    let Some((last, parents)) = key_path.split_last() else {
+        return Err(SpecError::syntax(line, "empty key"));
+    };
     let target = navigate(table, parents, line)?;
     let Value::Table(entries) = target else {
-        unreachable!("navigate returns tables")
+        return Err(SpecError::syntax(line, "key path does not name a table"));
     };
     if entries.iter().any(|(k, _)| k == last) {
         return Err(SpecError::syntax(line, format!("duplicate key `{last}`")));
@@ -455,7 +456,7 @@ impl Parser {
     fn parse_value(&mut self) -> Result<Value, SpecError> {
         self.skip_ws();
         match self.peek() {
-            Some('"') | Some('\'') => self.parse_string(),
+            Some('"') | Some('\'') => self.parse_string().map(Value::Str),
             Some('[') => self.parse_array(),
             Some('{') => self.parse_inline_table(),
             Some(c) if c == 't' || c == 'f' => self.parse_keyword(),
@@ -467,13 +468,15 @@ impl Parser {
         }
     }
 
-    fn parse_string(&mut self) -> Result<Value, SpecError> {
-        let quote = self.advance().expect("caller peeked a quote");
+    fn parse_string(&mut self) -> Result<String, SpecError> {
+        let Some(quote) = self.advance() else {
+            return Err(self.err("expected a quoted string"));
+        };
         let mut out = String::new();
         loop {
             match self.advance() {
                 None => return Err(self.err("unterminated string")),
-                Some(c) if c == quote => return Ok(Value::Str(out)),
+                Some(c) if c == quote => return Ok(out),
                 Some('\\') if quote == '"' => match self.advance() {
                     Some('n') => out.push('\n'),
                     Some('t') => out.push('\t'),
@@ -534,10 +537,7 @@ impl Parser {
             }
             // Key: bare or quoted (no dotted keys inside inline tables — keep it strict).
             let key = match self.peek() {
-                Some('"') | Some('\'') => match self.parse_string()? {
-                    Value::Str(s) => s,
-                    _ => unreachable!(),
-                },
+                Some('"') | Some('\'') => self.parse_string()?,
                 Some(c) if is_bare_key_char(c) => {
                     let mut k = String::new();
                     while let Some(c) = self.peek() {
@@ -658,24 +658,30 @@ fn emit_table(
         out.push('\n');
     }
     for (key, value) in entries {
-        if is_section(value) {
-            path.push(key.clone());
-            out.push('\n');
-            out.push('[');
-            out.push_str(&format_path(path));
-            out.push_str("]\n");
-            emit_table(out, path, value.as_table().expect("is_section"))?;
-            path.pop();
-        } else if is_section_array(value) {
-            path.push(key.clone());
-            for item in value.as_array().expect("is_section_array") {
+        match value {
+            Value::Table(inner) => {
+                path.push(key.clone());
                 out.push('\n');
-                out.push_str("[[");
+                out.push('[');
                 out.push_str(&format_path(path));
-                out.push_str("]]\n");
-                emit_table(out, path, item.as_table().expect("all tables"))?;
+                out.push_str("]\n");
+                emit_table(out, path, inner)?;
+                path.pop();
             }
-            path.pop();
+            Value::Array(items) if is_section_array(value) => {
+                path.push(key.clone());
+                for item in items {
+                    // `is_section_array` established every item is a table.
+                    let Value::Table(inner) = item else { continue };
+                    out.push('\n');
+                    out.push_str("[[");
+                    out.push_str(&format_path(path));
+                    out.push_str("]]\n");
+                    emit_table(out, path, inner)?;
+                }
+                path.pop();
+            }
+            _ => {}
         }
     }
     Ok(())

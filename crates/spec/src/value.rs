@@ -103,6 +103,8 @@ impl Value {
                     entries.push((key, value));
                 }
             }
+            // lint:allow(no-panic): builder-API contract violation (documented above);
+            // unreachable from parsed user input, which only inserts under tables.
             _ => panic!("Value::insert on a non-table value"),
         }
     }
