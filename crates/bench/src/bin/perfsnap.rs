@@ -1,7 +1,7 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR8.json` with wall times for the instrumented hot paths:
+//! `BENCH_PR9.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
@@ -24,7 +24,11 @@
 //! 7. **batched_search** — the PR 7 tentpole scenario: the same 30-evaluation hot-path
 //!    search driven through the ask/tell `SearchDriver` with `batch = 8` parallel asks
 //!    and `fidelity = 0.25` successive halving, timed unconditionally every run and
-//!    reported with its exact reduced-fidelity spend.
+//!    reported with its exact reduced-fidelity spend;
+//! 8. **variant_search** — the PR 9 tentpole scenario: the joint variant × pool search
+//!    over MT-WND's three-entry precision palette (a six-dimensional
+//!    `[c_0..c_2, v_0..v_2]` lattice), reporting the mixed-precision plan's cost,
+//!    chosen per-type variants, and worst served accuracy.
 //!
 //! The search, online, and fleet scenarios all run **through the declarative façades**
 //! (`ribbon::scenario` / `ribbon::fleet`), so the pinned goldens cover spec compilation
@@ -33,7 +37,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfsnap                    # timing suite, writes BENCH_PR8.json
+//! perfsnap                    # timing suite, writes BENCH_PR9.json
 //! perfsnap --check            # also verify the three golden traces (CI mode) and the
 //!                             # fleet trace's shard invariance
 //! perfsnap --bless            # rewrite all three golden trace files
@@ -45,16 +49,17 @@
 //! Timings are machine-dependent and informational; the **traces** are deterministic and
 //! are what `--check` pins. The `--compare` gate and the snapshot schema are documented
 //! in `crates/bench/README.md`; subsequent PRs diff their own snapshot against the
-//! committed `BENCH_PR7.json` (and its predecessors) to keep the perf trajectory
+//! committed `BENCH_PR8.json` (and its predecessors) to keep the perf trajectory
 //! visible.
 
 use ribbon_bench::perf::{
     fleet_trace_lines, hotpath_evaluator, hotpath_workload, online_trace_lines,
     run_batched_hotpath_search, run_fleet_scenario_with_shards, run_hotpath_search,
-    run_online_scenario, run_streaming_scale, streaming_scale_profile, streaming_scale_streams,
-    trace_lines, BATCHED_SEARCH_BATCH, BATCHED_SEARCH_FIDELITY, FLEET_SEED, HOTPATH_BOUND,
-    HOTPATH_EVALUATIONS, HOTPATH_QUERIES, HOTPATH_SEED, ONLINE_DURATION_S, ONLINE_SEED,
-    STREAMING_SCALE_MODELS, STREAMING_SCALE_QUERIES,
+    run_online_scenario, run_streaming_scale, run_variant_search, streaming_scale_profile,
+    streaming_scale_streams, trace_lines, BATCHED_SEARCH_BATCH, BATCHED_SEARCH_FIDELITY,
+    FLEET_SEED, HOTPATH_BOUND, HOTPATH_EVALUATIONS, HOTPATH_QUERIES, HOTPATH_SEED,
+    ONLINE_DURATION_S, ONLINE_SEED, STREAMING_SCALE_MODELS, STREAMING_SCALE_QUERIES,
+    VARIANT_SEARCH_EVALUATIONS, VARIANT_SEARCH_SEED,
 };
 use ribbon_cloudsim::parallel::default_threads;
 use ribbon_cloudsim::{sim, simulate_stats, PoolSpec};
@@ -63,7 +68,7 @@ use std::time::Instant;
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
 const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
 const FLEET_GOLDEN_PATH: &str = "crates/bench/golden/fleet_trace.txt";
-const OUT_PATH: &str = "BENCH_PR8.json";
+const OUT_PATH: &str = "BENCH_PR9.json";
 
 /// A hot-path metric regresses when it is worse than the prior snapshot by more than
 /// this factor (times for lower-is-better, throughput for higher-is-better).
@@ -316,7 +321,7 @@ fn main() {
          {HOTPATH_QUERIES} queries, {HOTPATH_EVALUATIONS} evaluations, seed {HOTPATH_SEED}"
     );
 
-    println!("[1/7] simulate: reference scan vs event-driven heap vs lean stats ...");
+    println!("[1/8] simulate: reference scan vs event-driven heap vs lean stats ...");
     let simu = run_simulate_scenario();
     println!(
         "      reference {:.2} ms | heap {:.2} ms ({:.2}x) | stats {:.2} ms ({:.2}x)",
@@ -327,11 +332,11 @@ fn main() {
         simu.reference_ms / simu.stats_ms,
     );
 
-    println!("[2/7] evaluate_many: 16-configuration parallel batch ...");
+    println!("[2/8] evaluate_many: 16-configuration parallel batch ...");
     let (batch, evaluate_many_ms) = run_evaluate_many_scenario();
     println!("      {evaluate_many_ms:.2} ms for {batch} configurations");
 
-    println!("[3/7] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
+    println!("[3/8] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
     let t = Instant::now();
     let incremental_trace = run_hotpath_search(true);
     let incremental_ms = ms(t);
@@ -363,7 +368,7 @@ fn main() {
     };
 
     println!(
-        "[4/7] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
+        "[4/8] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
     );
     let t = Instant::now();
     let online = run_online_scenario();
@@ -384,7 +389,7 @@ fn main() {
         );
     }
 
-    println!("[5/7] fleet_serving: two-model joint plan + sharded serve, seed {FLEET_SEED} ...");
+    println!("[5/8] fleet_serving: two-model joint plan + sharded serve, seed {FLEET_SEED} ...");
     let t = Instant::now();
     let fleet = run_fleet_scenario_with_shards(None);
     let fleet_ms = ms(t);
@@ -426,7 +431,7 @@ fn main() {
 
     let scale_shards = default_threads();
     println!(
-        "[6/7] streaming_scale: {STREAMING_SCALE_MODELS} lanes x {STREAMING_SCALE_QUERIES} \
+        "[6/8] streaming_scale: {STREAMING_SCALE_MODELS} lanes x {STREAMING_SCALE_QUERIES} \
          queries through the sharded engine, {scale_shards} shard(s) ..."
     );
     let scale_profile = streaming_scale_profile();
@@ -446,7 +451,7 @@ fn main() {
     drop(scale);
 
     println!(
-        "[7/7] batched_search: {HOTPATH_EVALUATIONS}-evaluation search, batch \
+        "[7/8] batched_search: {HOTPATH_EVALUATIONS}-evaluation search, batch \
          {BATCHED_SEARCH_BATCH}, fidelity {BATCHED_SEARCH_FIDELITY} ..."
     );
     let t = Instant::now();
@@ -464,6 +469,30 @@ fn main() {
         batched_trace.fidelity.full_equivalents(),
         batched_best.hourly_cost,
         incremental_ms / batched_ms,
+    );
+
+    println!(
+        "[8/8] variant_search: {VARIANT_SEARCH_EVALUATIONS}-evaluation joint variant x pool \
+         search, seed {VARIANT_SEARCH_SEED} ..."
+    );
+    let t = Instant::now();
+    let variant_plan = run_variant_search();
+    let variant_ms = ms(t);
+    let variant_names = variant_plan
+        .variants
+        .clone()
+        .expect("the variant scenario fills per-type variants");
+    println!(
+        "      {variant_ms:.2} ms: {} evaluations, best ${:.4}/hr serving {} \
+         (worst accuracy {:.4})",
+        variant_plan.trace.len(),
+        variant_plan
+            .best_hourly_cost
+            .expect("the variant search finds a satisfying plan"),
+        variant_names.join(" / "),
+        variant_plan
+            .worst_accuracy
+            .expect("the variant scenario fills worst accuracy"),
     );
 
     let lines = trace_lines(&incremental_trace);
@@ -530,9 +559,11 @@ fn main() {
             )
         })
         .collect();
+    let variant_names_json: Vec<String> =
+        variant_names.iter().map(|n| format!("\"{n}\"")).collect();
     let json = format!(
         r#"{{
-  "pr": 8,
+  "pr": 9,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},
@@ -596,6 +627,16 @@ fn main() {
     "wall_ms": {:.2},
     "speedup_vs_incremental": {:.2}
   }},
+  "variant_search": {{
+    "scenario": "mtwnd-variant-plan",
+    "seed": {VARIANT_SEARCH_SEED},
+    "evaluations": {},
+    "best_hourly_cost": {:.4},
+    "best_hourly_cost_bits": "{:#018x}",
+    "variants": [{}],
+    "worst_accuracy": {:.4},
+    "wall_ms": {:.2}
+  }},
   "bo_search": {{
     "baseline_full_refit_ms": {},
     "incremental_ms": {:.2},
@@ -641,6 +682,12 @@ fn main() {
         batched_best.hourly_cost,
         batched_ms,
         incremental_ms / batched_ms,
+        variant_plan.trace.len(),
+        variant_plan.best_hourly_cost.unwrap(),
+        variant_plan.best_hourly_cost.unwrap().to_bits(),
+        variant_names_json.join(", "),
+        variant_plan.worst_accuracy.unwrap(),
+        variant_ms,
         fmt_ms(baseline_ms),
         incremental_ms,
         fmt_ms(baseline_ms.map(|b| b / incremental_ms)),
@@ -679,6 +726,11 @@ fn main() {
             Metric {
                 path: "batched_search.wall_ms",
                 current: batched_ms,
+                higher_better: false,
+            },
+            Metric {
+                path: "variant_search.wall_ms",
+                current: variant_ms,
                 higher_better: false,
             },
         ];

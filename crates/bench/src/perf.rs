@@ -1,5 +1,5 @@
 //! The fixed perf-trajectory scenarios shared by the `search_hotpath` Criterion bench and
-//! the `perfsnap` binary (which writes `BENCH_PR5.json`).
+//! the `perfsnap` binary (which writes `BENCH_PR9.json`).
 //!
 //! The scenario is deliberately *large* — six instance types, per-type bounds of 10
 //! (a ~1.77 M-point lattice), 20 000-query streams — so the hot paths PR 2 rebuilt
@@ -148,6 +148,66 @@ pub fn run_batched_hotpath_search() -> SearchTrace {
         .expect("the batched hot-path spec compiles");
     let report = scenario.run().expect("the batched hot-path search runs");
     report.plan.expect("plan mode fills the plan section").trace
+}
+
+/// Seed of the joint variant × pool search perf scenario.
+pub const VARIANT_SEARCH_SEED: u64 = 7;
+
+/// Evaluation budget of the variant-search scenario.
+pub const VARIANT_SEARCH_EVALUATIONS: usize = 80;
+
+/// The joint variant × pool search as a declarative spec — the programmatic twin of
+/// `scenarios/mtwnd_variant_plan.toml` (a test pins the two compiling identically).
+/// A three-entry variant palette doubles the lattice dimension to six
+/// (`[c_0..c_2, v_0..v_2]`), so this stage times the [`ribbon::VariantEvaluator`]
+/// joint search the PR 9 subsystem added: GP fits over the joint lattice, per-type
+/// variant speed factors in the simulated streams, and accuracy-floor filtering.
+pub fn variant_search_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mtwnd-variant-plan".to_string(),
+        description:
+            "MT-WND joint variant x pool search: mixed precision beats every single-variant plan"
+                .to_string(),
+        mode: RunMode::Plan,
+        seed: VARIANT_SEARCH_SEED,
+        catalog: None,
+        workload: WorkloadSpec {
+            model: "MT-WND".to_string(),
+            qps: Some(1700.0),
+            num_queries: Some(1500),
+            variants: Some(vec![
+                "fp32-b1".to_string(),
+                "fp16-b8".to_string(),
+                "int8-compiled".to_string(),
+            ]),
+            min_accuracy: Some(0.79),
+            ..Default::default()
+        },
+        qos: None,
+        planner: PlannerSpec {
+            name: "ribbon".to_string(),
+            budget: VARIANT_SEARCH_EVALUATIONS,
+            baseline: false,
+            ..Default::default()
+        },
+        evaluator: EvaluatorSpec {
+            bounds: Some(vec![3, 3, 3]),
+            ..Default::default()
+        },
+        traffic: None,
+        online: OnlineSpec::default(),
+    }
+}
+
+/// Runs the joint variant × pool search through the scenario façade (fresh evaluator per
+/// run, like [`run_hotpath_search`]) and returns the full plan section — cost, chosen
+/// per-type variants, worst served accuracy, and the trace.
+pub fn run_variant_search() -> ribbon::scenario::PlanReport {
+    let scenario = variant_search_spec()
+        .compile()
+        .expect("the variant-search spec compiles");
+    let report = scenario.run().expect("the variant search runs");
+    report.plan.expect("plan mode fills the plan section")
 }
 
 /// Seed of the online-serving scenario (bootstrap search + controller replans).
@@ -402,6 +462,7 @@ pub fn run_streaming_scale(
             window: WindowConfig::tumbling(5.0),
             share_weight: 0.0,
             spin_up_factor: 1.0,
+            variant_policy: None,
         })
         .collect();
     simulate_fleet_sharded(models, None, streams, shards, false)
@@ -554,6 +615,16 @@ mod tests {
         let mut bundled = ribbon::fleet::FleetSpec::load_file(path).expect("bundled file loads");
         bundled.catalog = None;
         assert_eq!(bundled, fleet_spec());
+    }
+
+    #[test]
+    fn variant_spec_is_the_twin_of_the_bundled_file() {
+        let path = "../../scenarios/mtwnd_variant_plan.toml";
+        let mut bundled = ribbon::scenario::Scenario::load(path)
+            .expect("bundled file loads")
+            .spec;
+        bundled.catalog = None;
+        assert_eq!(bundled, variant_search_spec());
     }
 
     #[test]

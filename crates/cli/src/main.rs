@@ -301,7 +301,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 );
                 for member in &fleet.members {
                     println!(
-                        "  model {} ({}) | qos {} | pool [{}] | share weight {}",
+                        "  model {} ({}) | qos {} | pool [{}] | share weight {}{}",
                         member.name,
                         member.scenario.workload.model.name(),
                         member.scenario.policy.describe(),
@@ -314,6 +314,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                             .collect::<Vec<_>>()
                             .join(", "),
                         member.share_weight,
+                        variant_summary(&member.scenario.workload),
                     );
                 }
                 if fleet.has_shared() {
@@ -341,7 +342,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 scenario.spec.seed,
             );
             println!(
-                "  model {} | qos {} | pool [{}] | catalog {} entries",
+                "  model {} | qos {} | pool [{}] | catalog {} entries{}",
                 scenario.workload.model.name(),
                 scenario.policy.describe(),
                 scenario
@@ -352,6 +353,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     .collect::<Vec<_>>()
                     .join(", "),
                 scenario.catalog.entries().len(),
+                variant_summary(&scenario.workload),
             );
             if let Some(traffic) = &scenario.traffic {
                 println!(
@@ -367,13 +369,25 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// ` | variants [a, b, ...] (min accuracy x)` for workloads with a palette, `""` otherwise.
+fn variant_summary(workload: &ribbon_models::Workload) -> String {
+    if !workload.has_variant_axis() {
+        return String::new();
+    }
+    let names: Vec<&str> = workload.variants.iter().map(|v| v.name()).collect();
+    let floor = workload
+        .min_accuracy
+        .map_or(String::new(), |m| format!(" (min accuracy {m})"));
+    format!(" | variants [{}]{}", names.join(", "), floor)
+}
+
 fn compare_summary(reports: &[ScenarioReport]) {
     println!("\ncomparison ({}):", reports[0].scenario);
     for r in reports {
         match (&r.plan, &r.serve) {
             (_, Some(serve)) => println!(
                 "  {:<12} total ${:.4} over {:.0} s (mean ${:.2}/hr), satisfaction {}, \
-                 {} reconfig(s)",
+                 {} reconfig(s){}",
                 r.planner,
                 serve.total_cost_usd,
                 serve.duration_s,
@@ -382,17 +396,25 @@ fn compare_summary(reports: &[ScenarioReport]) {
                     .satisfaction_rate
                     .map_or("n/a".to_string(), |x| format!("{x:.4}")),
                 serve.events.len(),
+                if serve.variant_events.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} variant switch(es)", serve.variant_events.len())
+                },
             ),
             (Some(plan), None) => match (&plan.best_pool, plan.best_hourly_cost) {
                 (Some(pool), Some(cost)) => println!(
                     "  {:<12} best {} at ${:.2}/hr ({} evaluations, {} violating, \
-                     exploration ${:.2})",
+                     exploration ${:.2}){}",
                     r.planner,
                     pool,
                     cost,
                     plan.trace.len(),
                     plan.violations,
                     plan.exploration_cost,
+                    plan.variants
+                        .as_ref()
+                        .map_or(String::new(), |v| format!(" serving {}", v.join(" / "))),
                 ),
                 _ => println!(
                     "  {:<12} no QoS-satisfying configuration in {} evaluations",

@@ -263,6 +263,252 @@ impl Catalog {
     }
 }
 
+/// One model variant as described by a variant data file (`data/variants.toml`).
+///
+/// The engine is model-agnostic: `model` is the display name of the served model
+/// ("MT-WND", …) and the latency facts are *relative speed factors* per instance
+/// family, applied to the model's calibrated baseline coefficients. The accuracy-best
+/// baseline variant always has factor 1.0 on every family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantEntry {
+    /// Display name of the model this variant belongs to (e.g. "MT-WND").
+    pub model: String,
+    /// Variant name scenario files use (e.g. "fp32-b1", "fp16-b8", "int8-compiled").
+    pub name: String,
+    /// Task accuracy of this variant (model-specific metric, in [0, 1]).
+    pub accuracy: f64,
+    /// Instance families the factors below are parallel to.
+    pub families: Vec<String>,
+    /// Service-time multiplier per family in `families` (1.0 = baseline speed).
+    pub factors: Vec<f64>,
+}
+
+impl VariantEntry {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.model.is_empty() || self.name.is_empty() {
+            return Err(ConfigError::new(
+                "variant entry with an empty model or variant name",
+            ));
+        }
+        let tag = format!("{}/{}", self.model, self.name);
+        if !(self.accuracy.is_finite() && (0.0..=1.0).contains(&self.accuracy)) {
+            return Err(ConfigError::new(format!(
+                "{tag}: accuracy must be within [0, 1]"
+            )));
+        }
+        if self.families.is_empty() || self.families.len() != self.factors.len() {
+            return Err(ConfigError::new(format!(
+                "{tag}: families and factors must be non-empty parallel lists \
+                 ({} families, {} factors)",
+                self.families.len(),
+                self.factors.len()
+            )));
+        }
+        for (family, factor) in self.families.iter().zip(&self.factors) {
+            if InstanceType::from_family(family).is_none() {
+                return Err(ConfigError::new(format!(
+                    "{tag}: unknown instance family `{family}`"
+                )));
+            }
+            if !(factor.is_finite() && *factor > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "{tag}: factor for `{family}` must be positive"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The speed factor for an instance family, if listed.
+    pub fn factor_for(&self, family: &str) -> Option<f64> {
+        self.families
+            .iter()
+            .position(|f| f == family)
+            .map(|i| self.factors[i])
+    }
+}
+
+/// A validated model-variant catalog (the `[[variant]]` tables of `data/variants.toml`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantCatalog {
+    entries: Vec<VariantEntry>,
+}
+
+impl VariantCatalog {
+    /// Builds a catalog from entries, rejecting duplicate `(model, name)` pairs and
+    /// invalid rows. Duplicates are an error here — not last-wins — so a data file
+    /// that lists a variant twice fails at parse time.
+    pub fn from_entries(entries: Vec<VariantEntry>) -> Result<VariantCatalog, ConfigError> {
+        if entries.is_empty() {
+            return Err(ConfigError::new(
+                "a variant catalog needs at least one entry",
+            ));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            e.validate()?;
+            let dup = entries[..i]
+                .iter()
+                .any(|other| other.model == e.model && other.name == e.name);
+            if dup {
+                return Err(ConfigError::new(format!(
+                    "duplicate variant `{}` for model `{}`",
+                    e.name, e.model
+                )));
+            }
+        }
+        Ok(VariantCatalog { entries })
+    }
+
+    /// The entries, in file order.
+    pub fn entries(&self) -> &[VariantEntry] {
+        &self.entries
+    }
+
+    /// All entries for one model, in file order (the model's variant palette).
+    pub fn for_model(&self, model: &str) -> Vec<&VariantEntry> {
+        self.entries.iter().filter(|e| e.model == model).collect()
+    }
+
+    /// Looks one variant up by `(model, name)`.
+    pub fn entry(&self, model: &str, name: &str) -> Option<&VariantEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.model == model && e.name == name)
+    }
+
+    /// Rejects drift against a reference catalog (the builtin table the simulator's
+    /// latency math actually reads). Every entry in `self` must exist in `reference`
+    /// with identical accuracy and factors: a data file that silently disagreed with
+    /// the engine would make every reported latency a lie.
+    pub fn ensure_matches(&self, reference: &VariantCatalog) -> Result<(), ConfigError> {
+        for e in &self.entries {
+            let tag = format!("{}/{}", e.model, e.name);
+            let r = reference.entry(&e.model, &e.name).ok_or_else(|| {
+                ConfigError::new(format!(
+                    "{tag}: variant is not in the engine's builtin variant table"
+                ))
+            })?;
+            if e.accuracy != r.accuracy {
+                return Err(ConfigError::new(format!(
+                    "{tag}: catalog accuracy {} disagrees with the engine's {}",
+                    e.accuracy, r.accuracy
+                )));
+            }
+            for (family, factor) in e.families.iter().zip(&e.factors) {
+                match r.factor_for(family) {
+                    None => {
+                        return Err(ConfigError::new(format!(
+                            "{tag}: family `{family}` is not in the engine's variant table"
+                        )));
+                    }
+                    Some(rf) if rf != *factor => {
+                        return Err(ConfigError::new(format!(
+                            "{tag}: catalog factor {factor} for `{family}` disagrees \
+                             with the engine's {rf}"
+                        )));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a variant catalog from a value tree of the shape `data/variants.toml`
+    /// uses: a top-level `[[variant]]` array of tables.
+    pub fn from_value(root: &Value) -> Result<VariantCatalog, ConfigError> {
+        let variants = root
+            .get("variant")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ConfigError::new("variant file needs a [[variant]] list"))?;
+        let mut entries = Vec::with_capacity(variants.len());
+        for (i, item) in variants.iter().enumerate() {
+            let path = format!("variant[{i}]");
+            let get_str = |key: &str| -> Result<String, ConfigError> {
+                item.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| ConfigError::new(format!("{path}.{key}: expected a string")))
+            };
+            let get_f64 = |key: &str| -> Result<f64, ConfigError> {
+                item.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ConfigError::new(format!("{path}.{key}: expected a number")))
+            };
+            let families = item
+                .get("families")
+                .and_then(Value::as_array)
+                .ok_or_else(|| {
+                    ConfigError::new(format!("{path}.families: expected a list of strings"))
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        ConfigError::new(format!("{path}.families: expected a list of strings"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let factors = item
+                .get("factors")
+                .and_then(Value::as_array)
+                .ok_or_else(|| {
+                    ConfigError::new(format!("{path}.factors: expected a list of numbers"))
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        ConfigError::new(format!("{path}.factors: expected a list of numbers"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            entries.push(VariantEntry {
+                model: get_str("model")?,
+                name: get_str("name")?,
+                accuracy: get_f64("accuracy")?,
+                families,
+                factors,
+            });
+        }
+        VariantCatalog::from_entries(entries)
+    }
+
+    /// Serializes the catalog to the `[[variant]]` value-tree shape.
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        let items: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut t = Value::table();
+                t.insert("model", Value::from(e.model.as_str()));
+                t.insert("name", Value::from(e.name.as_str()));
+                t.insert("accuracy", Value::from(e.accuracy));
+                t.insert(
+                    "families",
+                    Value::Array(e.families.iter().map(|f| Value::from(f.as_str())).collect()),
+                );
+                t.insert(
+                    "factors",
+                    Value::Array(e.factors.iter().map(|&f| Value::from(f)).collect()),
+                );
+                t
+            })
+            .collect();
+        root.insert("variant", Value::Array(items));
+        root
+    }
+
+    /// Loads a variant catalog from a TOML or JSON data file.
+    pub fn load(path: &str) -> Result<VariantCatalog, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::new(format!("cannot read variant catalog {path}: {e}")))?;
+        let value = Format::from_path(path)
+            .parse(&text)
+            .map_err(|e: SpecError| ConfigError::new(format!("{path}: {e}")))?;
+        VariantCatalog::from_value(&value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +598,108 @@ mod tests {
         assert!(e.message().contains("instance[0]."), "{e}");
         let e = Catalog::from_value(&toml::parse("x = 1\n").unwrap()).unwrap_err();
         assert!(e.message().contains("[[instance]]"), "{e}");
+    }
+
+    fn sample_variant_entries() -> Vec<VariantEntry> {
+        vec![
+            VariantEntry {
+                model: "TOY".into(),
+                name: "fp32-b1".into(),
+                accuracy: 0.80,
+                families: vec!["g4dn".into(), "t3".into()],
+                factors: vec![1.0, 1.0],
+            },
+            VariantEntry {
+                model: "TOY".into(),
+                name: "int8-compiled".into(),
+                accuracy: 0.79,
+                families: vec!["g4dn".into(), "t3".into()],
+                factors: vec![0.9, 0.7],
+            },
+        ]
+    }
+
+    #[test]
+    fn variant_catalog_round_trips_through_toml() {
+        let c = VariantCatalog::from_entries(sample_variant_entries()).unwrap();
+        let text = toml::to_string(&c.to_value()).unwrap();
+        let back = VariantCatalog::from_value(&toml::parse(&text).unwrap()).unwrap();
+        assert_eq!(c, back);
+        assert_eq!(c.for_model("TOY").len(), 2);
+        assert_eq!(c.entry("TOY", "int8-compiled").unwrap().accuracy, 0.79);
+        assert_eq!(
+            c.entry("TOY", "int8-compiled").unwrap().factor_for("t3"),
+            Some(0.7)
+        );
+    }
+
+    #[test]
+    fn duplicate_variant_names_error_at_parse_time() {
+        let mut entries = sample_variant_entries();
+        entries.push(entries[0].clone());
+        let e = VariantCatalog::from_entries(entries).unwrap_err();
+        assert!(e.message().contains("duplicate variant"), "{e}");
+        // And straight from a value tree — no last-wins.
+        let text = "[[variant]]\nmodel = \"TOY\"\nname = \"fp32-b1\"\naccuracy = 0.8\n\
+                    families = [\"t3\"]\nfactors = [1.0]\n\
+                    [[variant]]\nmodel = \"TOY\"\nname = \"fp32-b1\"\naccuracy = 0.7\n\
+                    families = [\"t3\"]\nfactors = [0.5]\n";
+        let e = VariantCatalog::from_value(&toml::parse(text).unwrap()).unwrap_err();
+        assert!(e.message().contains("duplicate variant"), "{e}");
+    }
+
+    #[test]
+    fn variant_entry_validation_rejects_bad_rows() {
+        let mut bad = sample_variant_entries();
+        bad[0].accuracy = 1.5;
+        assert!(VariantCatalog::from_entries(bad).is_err());
+
+        let mut bad = sample_variant_entries();
+        bad[1].factors = vec![0.9];
+        let e = VariantCatalog::from_entries(bad).unwrap_err();
+        assert!(e.message().contains("parallel lists"), "{e}");
+
+        let mut bad = sample_variant_entries();
+        bad[0].families[0] = "p4d".into();
+        let e = VariantCatalog::from_entries(bad).unwrap_err();
+        assert!(e.message().contains("unknown instance family"), "{e}");
+
+        let mut bad = sample_variant_entries();
+        bad[1].factors[0] = -0.1;
+        assert!(VariantCatalog::from_entries(bad).is_err());
+    }
+
+    #[test]
+    fn variant_drift_is_rejected() {
+        let reference = VariantCatalog::from_entries(sample_variant_entries()).unwrap();
+        let same = VariantCatalog::from_entries(sample_variant_entries()).unwrap();
+        assert!(same.ensure_matches(&reference).is_ok());
+
+        let mut drifted = sample_variant_entries();
+        drifted[1].factors[1] = 0.65;
+        let c = VariantCatalog::from_entries(drifted).unwrap();
+        let e = c.ensure_matches(&reference).unwrap_err();
+        assert!(e.message().contains("disagrees"), "{e}");
+
+        let mut drifted = sample_variant_entries();
+        drifted[0].accuracy = 0.81;
+        let c = VariantCatalog::from_entries(drifted).unwrap();
+        let e = c.ensure_matches(&reference).unwrap_err();
+        assert!(e.message().contains("disagrees"), "{e}");
+
+        let mut extra = sample_variant_entries();
+        extra[1].name = "fp16-b8".into();
+        let c = VariantCatalog::from_entries(extra).unwrap();
+        let e = c.ensure_matches(&reference).unwrap_err();
+        assert!(e.message().contains("builtin variant table"), "{e}");
+    }
+
+    #[test]
+    fn variant_from_value_reports_field_paths() {
+        let v = toml::parse("[[variant]]\nmodel = \"TOY\"\n").unwrap();
+        let e = VariantCatalog::from_value(&v).unwrap_err();
+        assert!(e.message().contains("variant[0]."), "{e}");
+        let e = VariantCatalog::from_value(&toml::parse("x = 1\n").unwrap()).unwrap_err();
+        assert!(e.message().contains("[[variant]]"), "{e}");
     }
 }

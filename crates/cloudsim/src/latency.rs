@@ -12,6 +12,20 @@ pub trait LatencyModel: Send + Sync {
     /// excluding any queueing delay.
     fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64;
 
+    /// Service time of the query when served by model variant `variant` (precision /
+    /// batch-engine alternatives à la INFaaS). Variant `0` is always the accuracy-best
+    /// baseline; models without variants ignore the index and serve the baseline.
+    fn service_time_variant(&self, variant: u32, instance: InstanceType, batch_size: u32) -> f64 {
+        let _ = variant;
+        self.service_time(instance, batch_size)
+    }
+
+    /// How many variants this model exposes. `1` means the model is variant-less and
+    /// `service_time_variant` collapses to `service_time`.
+    fn num_variants(&self) -> u32 {
+        1
+    }
+
     /// Human-readable name of the served model (used in experiment output).
     fn name(&self) -> &str {
         "unnamed-model"
@@ -49,6 +63,14 @@ impl<M: LatencyModel + ?Sized> LatencyModel for &M {
         (**self).service_time(instance, batch_size)
     }
 
+    fn service_time_variant(&self, variant: u32, instance: InstanceType, batch_size: u32) -> f64 {
+        (**self).service_time_variant(variant, instance, batch_size)
+    }
+
+    fn num_variants(&self) -> u32 {
+        (**self).num_variants()
+    }
+
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -57,6 +79,15 @@ impl<M: LatencyModel + ?Sized> LatencyModel for &M {
 impl LatencyModel for Box<dyn LatencyModel> {
     fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64 {
         self.as_ref().service_time(instance, batch_size)
+    }
+
+    fn service_time_variant(&self, variant: u32, instance: InstanceType, batch_size: u32) -> f64 {
+        self.as_ref()
+            .service_time_variant(variant, instance, batch_size)
+    }
+
+    fn num_variants(&self) -> u32 {
+        self.as_ref().num_variants()
     }
 
     fn name(&self) -> &str {
@@ -101,5 +132,45 @@ mod tests {
             }
         }
         assert_eq!(Bare.name(), "unnamed-model");
+    }
+
+    #[test]
+    fn default_variant_methods_collapse_to_the_baseline() {
+        let m = FnLatencyModel::new("toy", |_, b| b as f64);
+        assert_eq!(m.num_variants(), 1);
+        assert_eq!(
+            m.service_time_variant(3, InstanceType::C5, 7),
+            m.service_time(InstanceType::C5, 7)
+        );
+    }
+
+    #[test]
+    fn reference_and_boxed_models_forward_variant_overrides() {
+        struct TwoSpeed;
+        impl LatencyModel for TwoSpeed {
+            fn service_time(&self, _: InstanceType, _: u32) -> f64 {
+                1.0
+            }
+            fn service_time_variant(&self, variant: u32, _: InstanceType, _: u32) -> f64 {
+                if variant == 1 {
+                    0.5
+                } else {
+                    1.0
+                }
+            }
+            fn num_variants(&self) -> u32 {
+                2
+            }
+        }
+        // The blanket impls must forward the variant overrides, not fall back to the
+        // trait defaults — otherwise every `&dyn LatencyModel` hop erases the variants.
+        let direct = TwoSpeed;
+        let as_ref: &dyn LatencyModel = &direct;
+        let boxed: Box<dyn LatencyModel> = Box::new(TwoSpeed);
+        for m in [&as_ref as &dyn LatencyModel, &boxed] {
+            assert_eq!(m.num_variants(), 2);
+            assert_eq!(m.service_time_variant(1, InstanceType::T3, 4), 0.5);
+            assert_eq!(m.service_time_variant(0, InstanceType::T3, 4), 1.0);
+        }
     }
 }

@@ -48,7 +48,7 @@ pub mod sharded;
 pub mod sim;
 pub mod streaming;
 
-pub use catalog::{Catalog, CatalogEntry};
+pub use catalog::{Catalog, CatalogEntry, VariantCatalog, VariantEntry};
 pub use error::ConfigError;
 pub use instance::{InstanceCategory, InstanceType, PoolSpec, ALL_INSTANCE_TYPES};
 pub use latency::LatencyModel;
@@ -59,6 +59,7 @@ pub use phased::{PhasedArrivalProcess, PhasedQueryStream, PhasedStreamConfig, Ra
 pub use query::{Query, QueryStream, StreamConfig};
 pub use router::{
     merge_tagged, merge_tagged_slices, FleetModelConfig, FleetSim, SharedServer, TaggedQuery,
+    VariantPolicy, VariantSwitch,
 };
 pub use sharded::{
     partition_groups, simulate_fleet_serial, simulate_fleet_sharded, FleetRunOutcome,

@@ -110,6 +110,87 @@ pub struct FleetModelConfig<'a> {
     pub share_weight: f64,
     /// Multiplier on per-type spin-up delays of this lane's reconfigurations.
     pub spin_up_factor: f64,
+    /// Per-query variant routing policy for the dedicated lane; `None` serves the
+    /// accuracy-best baseline for every query (bit-identical to a variant-less run).
+    pub variant_policy: Option<VariantPolicy>,
+}
+
+/// Deterministic per-query variant selection for a model's dedicated lane.
+///
+/// The router prefers the accuracy-best variant (palette index 0). When the rolling
+/// mean of the lane's recent latencies approaches the QoS bound it *degrades* one
+/// palette step (cheaper, faster variant); when the rolling mean falls well below the
+/// bound it *upgrades* one step back. The asymmetric thresholds
+/// (`upgrade_ratio < degrade_ratio`) plus a dwell count between switches give the
+/// hysteresis that keeps the router from flapping at a threshold. Decisions read only
+/// already-observed latencies and query counts, so routing is bit-reproducible.
+///
+/// The shared slice always serves the baseline variant — it is sized by the joint
+/// planner for accuracy-best service and is not under any single member's control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantPolicy {
+    /// Palette size (valid serving variants are `0..num_variants`).
+    pub num_variants: u32,
+    /// Degrade one step when the rolling mean latency exceeds
+    /// `degrade_ratio × target_latency_s`.
+    pub degrade_ratio: f64,
+    /// Upgrade one step when the rolling mean latency falls below
+    /// `upgrade_ratio × target_latency_s`. Must be below `degrade_ratio`.
+    pub upgrade_ratio: f64,
+    /// Rolling-mean window, in dedicated-lane queries.
+    pub window: u32,
+    /// Minimum dedicated-lane queries between two switches (hysteresis dwell).
+    pub dwell: u32,
+}
+
+impl VariantPolicy {
+    /// The default policy for a palette of `num_variants`: degrade at 70 % of the QoS
+    /// bound, upgrade below 35 %, over a 32-query rolling mean with a 64-query dwell.
+    pub fn new(num_variants: u32) -> Self {
+        VariantPolicy {
+            num_variants,
+            degrade_ratio: 0.70,
+            upgrade_ratio: 0.35,
+            window: 32,
+            dwell: 64,
+        }
+    }
+
+    fn validate(&self) -> Result<(), crate::error::ConfigError> {
+        use crate::error::ConfigError;
+        if self.num_variants == 0 {
+            return Err(ConfigError::new(
+                "variant policy needs at least one variant",
+            ));
+        }
+        if self.window == 0 || self.dwell == 0 {
+            return Err(ConfigError::new(
+                "variant policy window and dwell must be positive",
+            ));
+        }
+        let ratios_ok = self.upgrade_ratio.is_finite()
+            && self.degrade_ratio.is_finite()
+            && 0.0 < self.upgrade_ratio
+            && self.upgrade_ratio < self.degrade_ratio;
+        if !ratios_ok {
+            return Err(ConfigError::new(format!(
+                "variant policy needs 0 < upgrade_ratio < degrade_ratio, got {} and {}",
+                self.upgrade_ratio, self.degrade_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One serving-variant switch applied by the router or a controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantSwitch {
+    /// Stream time of the switch (arrival time of the triggering query).
+    pub at_s: f64,
+    /// Palette index before the switch.
+    pub from: u32,
+    /// Palette index after the switch.
+    pub to: u32,
 }
 
 /// A shared busy slot: min-heap by `(free_at, rank)` via reversed comparison.
@@ -248,6 +329,12 @@ struct ModelState<'a> {
     tail_percentile: f64,
     window: WindowConfig,
     share_weight: f64,
+    // Variant routing (None ⇒ always the baseline, zero bookkeeping on the hot path).
+    variant_policy: Option<VariantPolicy>,
+    variant_recent: Vec<f64>,
+    variant_recent_pos: usize,
+    variant_since_switch: u32,
+    variant_switches: Vec<VariantSwitch>,
     // Whole-stream accumulators, maintained in exactly `StreamingSim`'s order.
     latencies: Vec<f64>,
     latency_sum: f64,
@@ -263,6 +350,63 @@ struct ModelState<'a> {
 }
 
 impl ModelState<'_> {
+    /// Applies the variant policy's degrade/upgrade rule before a dedicated dispatch:
+    /// once the rolling window is full and the dwell has elapsed, a rolling mean above
+    /// `degrade_ratio × target` steps one variant down the palette (cheaper), a mean
+    /// below `upgrade_ratio × target` steps one back up. Each switch resets both the
+    /// evidence window and the dwell counter.
+    fn maybe_switch_variant(&mut self, at_s: f64) {
+        let Some(policy) = self.variant_policy else {
+            return;
+        };
+        let Some(lane) = self.lane.as_mut() else {
+            return;
+        };
+        if policy.num_variants <= 1
+            || self.variant_recent.len() < policy.window as usize
+            || self.variant_since_switch < policy.dwell
+        {
+            return;
+        }
+        let mean = self.variant_recent.iter().sum::<f64>() / self.variant_recent.len() as f64;
+        let current = lane.serving_variant();
+        let next = if mean > policy.degrade_ratio * self.target_latency_s
+            && current + 1 < policy.num_variants
+        {
+            Some(current + 1)
+        } else if mean < policy.upgrade_ratio * self.target_latency_s && current > 0 {
+            Some(current - 1)
+        } else {
+            None
+        };
+        if let Some(to) = next {
+            lane.set_serving_variant(to);
+            self.variant_switches.push(VariantSwitch {
+                at_s,
+                from: current,
+                to,
+            });
+            self.variant_since_switch = 0;
+            self.variant_recent.clear();
+            self.variant_recent_pos = 0;
+        }
+    }
+
+    /// Feeds one dedicated-lane latency into the policy's rolling window (ring buffer).
+    fn observe_lane_latency(&mut self, latency: f64) {
+        let Some(policy) = self.variant_policy else {
+            return;
+        };
+        let window = policy.window as usize;
+        if self.variant_recent.len() < window {
+            self.variant_recent.push(latency);
+        } else {
+            self.variant_recent[self.variant_recent_pos] = latency;
+            self.variant_recent_pos = (self.variant_recent_pos + 1) % window;
+        }
+        self.variant_since_switch = self.variant_since_switch.saturating_add(1);
+    }
+
     fn window_start(&self, index: u64) -> f64 {
         index as f64 * self.window.step_s
     }
@@ -320,12 +464,29 @@ impl<'a> FleetSim<'a> {
                     "fleet model {i} has neither dedicated capacity nor shared access"
                 );
                 m.window.try_validate().unwrap_or_else(|e| panic!("{e}"));
+                if let Some(policy) = m.variant_policy {
+                    policy
+                        .validate()
+                        .unwrap_or_else(|e| panic!("fleet model {i}: {e}"));
+                    let palette = m.profile.num_variants().max(1);
+                    assert!(
+                        policy.num_variants <= palette,
+                        "fleet model {i}: variant policy routes over {} variants but the \
+                         profile's palette has {palette}",
+                        policy.num_variants
+                    );
+                }
                 ModelState {
                     lane,
                     target_latency_s: m.target_latency_s,
                     tail_percentile: m.tail_percentile,
                     window: m.window,
                     share_weight: m.share_weight,
+                    variant_policy: m.variant_policy,
+                    variant_recent: Vec::new(),
+                    variant_recent_pos: 0,
+                    variant_since_switch: 0,
+                    variant_switches: Vec::new(),
                     latencies: Vec::new(),
                     latency_sum: 0.0,
                     satisfied: 0,
@@ -369,6 +530,34 @@ impl<'a> FleetSim<'a> {
     /// How many of a model's queries were served by the shared slice so far.
     pub fn shared_queries(&self, model: usize) -> usize {
         self.models[model].shared_queries
+    }
+
+    /// The palette index a model's dedicated lane is currently serving (`0` — the
+    /// accuracy-best baseline — when the model has no lane or no variant policy).
+    pub fn serving_variant(&self, model: usize) -> u32 {
+        self.models[model]
+            .lane
+            .as_ref()
+            .map_or(0, |l| l.serving_variant())
+    }
+
+    /// Per-variant serve counts for one model, indexed by palette position. Dedicated
+    /// dispatches count under the variant that timed them; shared-slice dispatches
+    /// always serve the baseline and fold into index 0.
+    pub fn variant_served(&self, model: usize) -> Vec<u64> {
+        let m = &self.models[model];
+        let mut counts = match (&m.lane, m.variant_policy) {
+            (Some(lane), _) => lane.variant_served().to_vec(),
+            (None, Some(policy)) => vec![0; policy.num_variants.max(1) as usize],
+            (None, None) => vec![0],
+        };
+        counts[0] += m.shared_queries as u64;
+        counts
+    }
+
+    /// The variant switches the router applied on one model's lane, in stream order.
+    pub fn variant_switches(&self, model: usize) -> &[VariantSwitch] {
+        &self.models[model].variant_switches
     }
 
     /// Fleet-wide hourly cost of the currently deployed pools (lanes + shared).
@@ -451,11 +640,14 @@ impl<'a> FleetSim<'a> {
         };
         let (completion, latency) = match route {
             Route::Dedicated => {
+                state.maybe_switch_variant(q.arrival);
                 let lane = state.lane.as_mut().expect("dedicated route has a lane");
                 let mut none = Vec::new();
                 lane.push_into(q, &mut none);
                 debug_assert!(none.is_empty(), "lane windows are practically infinite");
-                (lane.last_completion(), lane.last_latency())
+                let served = (lane.last_completion(), lane.last_latency());
+                state.observe_lane_latency(served.1);
+                served
             }
             Route::Shared => {
                 state.shared_queries += 1;
@@ -688,6 +880,7 @@ mod tests {
             window: WindowConfig::tumbling(1.0),
             share_weight,
             spin_up_factor: 1.0,
+            variant_policy: None,
         }
     }
 
@@ -936,5 +1129,133 @@ mod tests {
             )],
             None,
         );
+    }
+
+    /// A two-variant profile with flat, batch-independent service times: the baseline
+    /// at `slow` seconds, the degraded variant at `fast`.
+    struct StepVariantModel {
+        slow: f64,
+        fast: f64,
+    }
+    impl LatencyModel for StepVariantModel {
+        fn service_time(&self, _: InstanceType, _: u32) -> f64 {
+            self.slow
+        }
+        fn service_time_variant(&self, variant: u32, _: InstanceType, _: u32) -> f64 {
+            if variant == 0 {
+                self.slow
+            } else {
+                self.fast
+            }
+        }
+        fn num_variants(&self) -> u32 {
+            2
+        }
+    }
+
+    fn spaced_queries(spacings: &[(usize, f64)]) -> Vec<Query> {
+        let mut queries = Vec::new();
+        let mut t = 0.0;
+        for &(n, gap) in spacings {
+            for _ in 0..n {
+                queries.push(Query {
+                    id: queries.len() as u64,
+                    arrival: t,
+                    batch_size: 1,
+                });
+                t += gap;
+            }
+        }
+        queries
+    }
+
+    #[test]
+    fn single_variant_policy_is_bit_identical_to_no_policy() {
+        let m = model();
+        let pool = PoolSpec::new(vec![InstanceType::G4dn, InstanceType::C5], vec![1, 2]);
+        let queries = stream(500.0, 2000, 11);
+
+        let mut plain = FleetSim::new(vec![member(pool.clone(), &m, 0.0)], None);
+        let mut routed_cfg = member(pool, &m, 0.0);
+        routed_cfg.variant_policy = Some(VariantPolicy::new(1));
+        let mut routed = FleetSim::new(vec![routed_cfg], None);
+
+        let (mut pw, mut rw) = (Vec::new(), Vec::new());
+        for q in &queries {
+            let tq = TaggedQuery {
+                model: 0,
+                query: *q,
+            };
+            plain.push_into(&tq, &mut pw);
+            routed.push_into(&tq, &mut rw);
+        }
+        pw.extend(plain.finish_windows());
+        rw.extend(routed.finish_windows());
+        assert_eq!(pw, rw, "a one-variant palette must never change a dispatch");
+
+        let ps = plain.stats(0);
+        let rs = routed.stats(0);
+        assert_eq!(ps.mean_latency_s.to_bits(), rs.mean_latency_s.to_bits());
+        assert_eq!(ps.tail_latency_s.to_bits(), rs.tail_latency_s.to_bits());
+        assert_eq!(routed.serving_variant(0), 0);
+        assert_eq!(routed.variant_served(0), vec![queries.len() as u64]);
+        assert!(routed.variant_switches(0).is_empty());
+    }
+
+    #[test]
+    fn router_degrades_under_load_and_upgrades_back() {
+        // Baseline service 10 ms vs a 20 ms QoS bound: a 5 ms arrival gap overloads the
+        // single slot (queue grows without bound) until the router degrades to the 1 ms
+        // variant; the closing 50 ms-gap phase leaves the lane idle so the rolling mean
+        // falls below the upgrade threshold and the router steps back to the baseline.
+        let m = StepVariantModel {
+            slow: 0.010,
+            fast: 0.001,
+        };
+        let mut cfg = member(PoolSpec::homogeneous(InstanceType::T3, 1), &m, 0.0);
+        cfg.variant_policy = Some(VariantPolicy::new(2));
+        let mut fleet = FleetSim::new(vec![cfg], None);
+
+        let queries = spaced_queries(&[(400, 0.005), (200, 0.05)]);
+        for q in &queries {
+            fleet.push(&TaggedQuery {
+                model: 0,
+                query: *q,
+            });
+        }
+
+        let switches = fleet.variant_switches(0);
+        assert!(
+            !switches.is_empty(),
+            "the overload phase must trigger a degradation"
+        );
+        assert_eq!((switches[0].from, switches[0].to), (0, 1));
+        for pair in switches.windows(2) {
+            assert!(pair[0].at_s <= pair[1].at_s);
+            assert_eq!(
+                pair[1].from, pair[0].to,
+                "switches step through the palette"
+            );
+        }
+        let served = fleet.variant_served(0);
+        assert!(
+            served[0] > 0 && served[1] > 0,
+            "both variants served: {served:?}"
+        );
+        assert_eq!(served.iter().sum::<u64>(), queries.len() as u64);
+        assert_eq!(
+            fleet.serving_variant(0),
+            0,
+            "the quiet tail must upgrade back to the accuracy-best baseline"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "palette has 1")]
+    fn policy_wider_than_the_palette_is_rejected() {
+        let m = model();
+        let mut cfg = member(PoolSpec::homogeneous(InstanceType::C5, 1), &m, 0.0);
+        cfg.variant_policy = Some(VariantPolicy::new(2));
+        let _ = FleetSim::new(vec![cfg], None);
     }
 }

@@ -332,6 +332,11 @@ pub struct StreamingSim<'a, M: LatencyModel + ?Sized> {
     satisfied: usize,
     num_queries: usize,
     record_per_query: bool,
+    // Variant serving: which palette index of `model` times new dispatches, plus how
+    // many queries each variant served. Index 0 (the accuracy-best baseline) keeps the
+    // timing math bit-identical to the variant-less simulator.
+    serving_variant: u32,
+    variant_served: Vec<u64>,
     // Windowing.
     window_buf: WindowBuf,
     win_lats: Vec<f64>,
@@ -384,6 +389,8 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             satisfied: 0,
             num_queries: 0,
             record_per_query: true,
+            serving_variant: 0,
+            variant_served: vec![0; model.num_variants().max(1) as usize],
             window_buf: WindowBuf::default(),
             win_lats: Vec::new(),
             next_window: 0,
@@ -405,6 +412,32 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
     /// The stream clock: arrival time of the last pushed query.
     pub fn clock(&self) -> f64 {
         self.last_arrival
+    }
+
+    /// The palette index of the variant currently timing new dispatches.
+    pub fn serving_variant(&self) -> u32 {
+        self.serving_variant
+    }
+
+    /// Switches the serving variant for every *subsequent* dispatch (in-flight queries
+    /// keep the timing they were dispatched with). Index 0 is the accuracy-best
+    /// baseline; while it is selected the simulation is bit-identical to a variant-less
+    /// run.
+    ///
+    /// # Panics
+    /// Panics when `variant` is outside the model's palette.
+    pub fn set_serving_variant(&mut self, variant: u32) {
+        assert!(
+            variant < self.model.num_variants().max(1),
+            "variant {variant} is outside the model's palette of {}",
+            self.model.num_variants()
+        );
+        self.serving_variant = variant;
+    }
+
+    /// Queries served per variant palette index, over the whole stream so far.
+    pub fn variant_served(&self) -> &[u64] {
+        &self.variant_served
     }
 
     /// The current pool configuration.
@@ -541,7 +574,16 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             }
         };
         let slot = &mut self.slots[slot_idx];
-        let service = self.model.service_time(slot.ty, batch_size).max(0.0);
+        // Variant 0 takes the plain entry point so a variant-less run never depends on
+        // a model's `service_time_variant` override being baseline-exact at index 0.
+        let service = if self.serving_variant == 0 {
+            self.model.service_time(slot.ty, batch_size).max(0.0)
+        } else {
+            self.model
+                .service_time_variant(self.serving_variant, slot.ty, batch_size)
+                .max(0.0)
+        };
+        self.variant_served[self.serving_variant as usize] += 1;
         let completion = start + service;
         slot.free_at = completion;
         slot.load += 1;
@@ -1224,6 +1266,66 @@ mod tests {
                 "post-hoc billing must replicate the mid-run sample at t={t}"
             );
         }
+    }
+
+    struct VariantModel;
+    impl LatencyModel for VariantModel {
+        fn service_time(&self, _: InstanceType, b: u32) -> f64 {
+            0.004 + 45e-5 * b as f64
+        }
+        fn service_time_variant(&self, variant: u32, ty: InstanceType, b: u32) -> f64 {
+            let f = if variant == 1 { 0.5 } else { 1.0 };
+            self.service_time(ty, b) * f
+        }
+        fn num_variants(&self) -> u32 {
+            2
+        }
+    }
+
+    #[test]
+    fn serving_variant_times_subsequent_dispatches_and_counts_queries() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 2);
+        let queries = stream(100.0, 1000, 19);
+        let mid = queries.len() / 2;
+
+        // Staying at variant 0 is bit-identical to a model without variants.
+        let plain = FnLatencyModel::new("plain", |_, b| 0.004 + 45e-5 * b as f64);
+        let mut base = StreamingSim::new(&pool, &plain, cfg(1.0));
+        let vm = VariantModel;
+        let mut same = StreamingSim::new(&pool, &vm, cfg(1.0));
+        for q in &queries {
+            base.push(q);
+            same.push(q);
+        }
+        assert_eq!(base.latencies(), same.latencies());
+        assert_eq!(same.variant_served(), &[queries.len() as u64, 0]);
+
+        // Degrading mid-stream speeds up every subsequent dispatch and splits counts.
+        let mut degraded = StreamingSim::new(&pool, &vm, cfg(1.0));
+        for (i, q) in queries.iter().enumerate() {
+            if i == mid {
+                degraded.set_serving_variant(1);
+            }
+            degraded.push(q);
+        }
+        assert_eq!(degraded.serving_variant(), 1);
+        assert_eq!(
+            degraded.variant_served(),
+            &[mid as u64, (queries.len() - mid) as u64]
+        );
+        // The first half is untouched; the degraded half is never slower.
+        assert_eq!(&degraded.latencies()[..mid], &base.latencies()[..mid]);
+        let sum = |v: &[f64]| v.iter().sum::<f64>();
+        assert!(sum(&degraded.latencies()[mid..]) < sum(&base.latencies()[mid..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the model's palette")]
+    fn out_of_palette_variant_is_rejected() {
+        let pool = PoolSpec::homogeneous(InstanceType::T3, 1);
+        let m = model();
+        let mut s = StreamingSim::new(&pool, &m, cfg(1.0));
+        s.set_serving_variant(1);
     }
 
     #[test]

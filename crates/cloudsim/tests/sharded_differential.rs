@@ -142,6 +142,7 @@ fn build_configs<'a>(
                 window: WindowConfig::tumbling(d.window_s),
                 share_weight: d.share_weight,
                 spin_up_factor: 1.0,
+                variant_policy: None,
             })
         })
         .collect()

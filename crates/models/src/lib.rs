@@ -21,10 +21,18 @@
 //! [`traces`] adds the canonical time-varying traffic scenarios (diurnal, flash crowd,
 //! slow ramp, load drop) that drive the online serving runtime.
 
+//! [`variants`] adds the model-less serving axis (INFaaS): per-model variant palettes
+//! (precision / compiled-engine alternatives) with per-family speed factors and accuracy.
+
 pub mod profiles;
 pub mod traces;
+pub mod variants;
 pub mod workloads;
 
 pub use profiles::{ModelKind, ModelProfile, ALL_MODELS};
 pub use traces::{TrafficScenario, ALL_SCENARIOS};
+pub use variants::{
+    builtin_variant_catalog, AssignedVariantProfile, VariantKind, VariantSetProfile,
+    ALL_VARIANT_KINDS,
+};
 pub use workloads::{BatchShape, Workload};

@@ -1,0 +1,469 @@
+//! Model variants à la INFaaS: precision / batch-engine alternatives of each model with
+//! distinct latency and accuracy points per instance family.
+//!
+//! RIBBON fixes the model binary; INFaaS ("A Model-less and Managed Inference Serving
+//! System", arxiv 1905.13348) shows the bigger win comes from also choosing among *model
+//! variants*. This module adds that axis to the calibrated profiles:
+//!
+//! * [`VariantKind`] names the three variant archetypes shipped with the reproduction:
+//!   the accuracy-best baseline (`fp32-b1`), a half-precision batched engine (`fp16-b8`)
+//!   that shines on the GPU, and a quantized compiled engine (`int8-compiled`) that
+//!   shines on CPU families with fast integer paths;
+//! * [`speed_factor`] gives the per-`(variant, instance family)` service-time multiplier
+//!   applied to the baseline [`crate::profiles::coefficients`]. The factors are
+//!   deliberately *non-uniform across families* — no variant dominates everywhere —
+//!   which is what makes a mixed per-type variant assignment strictly cheaper than the
+//!   best uniform one on heterogeneous pools;
+//! * [`accuracy`] gives the per-`(model, variant)` task accuracy; quantization costs
+//!   roughly a point, half precision a tenth of one;
+//! * [`VariantSetProfile`] is a [`LatencyModel`] whose baseline `service_time` is
+//!   **bit-identical** to [`ModelProfile`](crate::profiles::ModelProfile) and whose
+//!   `service_time_variant` applies the variant factors — the serving-side profile;
+//! * [`AssignedVariantProfile`] freezes a per-instance-type variant assignment into a
+//!   plain [`LatencyModel`] — the planning-side profile the joint variant × pool
+//!   evaluator simulates with;
+//! * [`builtin_variant_catalog`] exports the table as a
+//!   [`VariantCatalog`] so `data/variants.toml` can be drift-checked against the code.
+
+use crate::profiles::{coefficients, LatencyCoefficients, ModelKind, ALL_MODELS};
+use ribbon_cloudsim::{InstanceType, LatencyModel, VariantCatalog, VariantEntry};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The variant archetypes shipped with the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VariantKind {
+    /// Full-precision, batch-1-optimized engine: the accuracy-best baseline. Factor 1.0
+    /// everywhere — bit-identical to the variant-less profile.
+    Fp32B1,
+    /// Half-precision engine with an 8-way batching kernel: large speedup on the GPU's
+    /// tensor cores, mild gains on wide-SIMD CPUs, a slight *slowdown* on the burstable
+    /// family (no fast fp16 path, conversion overhead).
+    Fp16B8,
+    /// Int8-quantized, ahead-of-time-compiled engine: the big win on compute-optimized
+    /// CPUs (VNNI-style integer paths), modest on the GPU which is already fast.
+    Int8Compiled,
+}
+
+/// All variant archetypes, in degradation order (accuracy-best first).
+pub const ALL_VARIANT_KINDS: [VariantKind; 3] = [
+    VariantKind::Fp32B1,
+    VariantKind::Fp16B8,
+    VariantKind::Int8Compiled,
+];
+
+impl VariantKind {
+    /// The stable name scenario files and `data/variants.toml` use.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VariantKind::Fp32B1 => "fp32-b1",
+            VariantKind::Fp16B8 => "fp16-b8",
+            VariantKind::Int8Compiled => "int8-compiled",
+        }
+    }
+
+    /// Looks a variant up by its stable name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<VariantKind> {
+        ALL_VARIANT_KINDS
+            .iter()
+            .copied()
+            .find(|v| v.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for VariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The variants each model ships with, in degradation order (accuracy-best first).
+///
+/// CANDLE's fully-connected stack loses too much accuracy under int8 quantization, so it
+/// ships only the fp16 alternative — which also exercises the "not every model has every
+/// variant" path in the spec layer.
+pub fn supported_variants(model: ModelKind) -> &'static [VariantKind] {
+    match model {
+        ModelKind::Candle => &[VariantKind::Fp32B1, VariantKind::Fp16B8],
+        _ => &ALL_VARIANT_KINDS,
+    }
+}
+
+/// Service-time multiplier of a variant on an instance family (1.0 = baseline speed).
+///
+/// No variant dominates every family: `fp16-b8` is strongest on the GPU but *slower*
+/// than baseline on the burstable t3, while `int8-compiled` is strongest on the
+/// compute-optimized CPUs but nearly neutral on the GPU.
+pub fn speed_factor(variant: VariantKind, instance: InstanceType) -> f64 {
+    use InstanceType::*;
+    match variant {
+        VariantKind::Fp32B1 => 1.0,
+        VariantKind::Fp16B8 => match instance {
+            G4dn => 0.55,
+            C5 => 0.88,
+            C5a => 0.86,
+            M5 => 0.95,
+            M5n => 0.93,
+            R5 => 0.97,
+            R5n => 0.95,
+            T3 => 1.06,
+        },
+        VariantKind::Int8Compiled => match instance {
+            G4dn => 0.90,
+            C5 => 0.62,
+            C5a => 0.60,
+            M5 => 0.76,
+            M5n => 0.74,
+            R5 => 0.82,
+            R5n => 0.80,
+            T3 => 0.70,
+        },
+    }
+}
+
+/// Task accuracy of a `(model, variant)` pair (model-specific metric, in [0, 1]).
+///
+/// Full-precision baselines; half precision costs ~0.002, int8 ~0.011. The values are
+/// spelled out as literals (not computed) so `data/variants.toml` can mirror them with
+/// exact floating-point equality under the drift rule.
+pub fn accuracy(model: ModelKind, variant: VariantKind) -> f64 {
+    use VariantKind::*;
+    match (model, variant) {
+        (ModelKind::Candle, Fp32B1) => 0.901,
+        (ModelKind::Candle, Fp16B8) => 0.899,
+        (ModelKind::Candle, Int8Compiled) => 0.890,
+        (ModelKind::ResNet50, Fp32B1) => 0.761,
+        (ModelKind::ResNet50, Fp16B8) => 0.759,
+        (ModelKind::ResNet50, Int8Compiled) => 0.750,
+        (ModelKind::Vgg19, Fp32B1) => 0.742,
+        (ModelKind::Vgg19, Fp16B8) => 0.740,
+        (ModelKind::Vgg19, Int8Compiled) => 0.731,
+        (ModelKind::MtWnd, Fp32B1) => 0.802,
+        (ModelKind::MtWnd, Fp16B8) => 0.800,
+        (ModelKind::MtWnd, Int8Compiled) => 0.791,
+        (ModelKind::Dien, Fp32B1) => 0.846,
+        (ModelKind::Dien, Fp16B8) => 0.844,
+        (ModelKind::Dien, Int8Compiled) => 0.835,
+    }
+}
+
+/// Calibrated coefficients for a `(model, variant, instance)` triple.
+///
+/// The baseline variant returns [`coefficients`] verbatim (zero added float operations,
+/// preserving bit-identity with the variant-less profile); other variants scale every
+/// coefficient by the family's [`speed_factor`].
+pub fn variant_coefficients(
+    model: ModelKind,
+    variant: VariantKind,
+    instance: InstanceType,
+) -> LatencyCoefficients {
+    let base = coefficients(model, instance);
+    if variant == VariantKind::Fp32B1 {
+        return base;
+    }
+    let f = speed_factor(variant, instance);
+    LatencyCoefficients {
+        base_ms: base.base_ms * f,
+        per_item_ms: base.per_item_ms * f,
+        quad_ms: base.quad_ms * f,
+    }
+}
+
+/// A [`LatencyModel`] serving one model with a palette of variants.
+///
+/// Variant indices are positions in the palette (`variants()[i]`); index 0 is the
+/// serving default. `service_time` (the variant-less entry point) is bit-identical to
+/// [`ModelProfile`](crate::profiles::ModelProfile)'s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSetProfile {
+    kind: ModelKind,
+    variants: Vec<VariantKind>,
+}
+
+impl VariantSetProfile {
+    /// Creates a profile serving `variants` of `model`, in the given degradation order.
+    ///
+    /// # Panics
+    /// Panics when `variants` is empty or lists a variant the model does not support —
+    /// the spec layer validates upstream with path-tagged errors.
+    pub fn new(kind: ModelKind, variants: Vec<VariantKind>) -> Self {
+        assert!(!variants.is_empty(), "a variant palette cannot be empty");
+        for v in &variants {
+            assert!(
+                supported_variants(kind).contains(v),
+                "{} does not support variant {v}",
+                kind.name()
+            );
+        }
+        VariantSetProfile { kind, variants }
+    }
+
+    /// The baseline palette: only the accuracy-best variant.
+    pub fn baseline(kind: ModelKind) -> Self {
+        VariantSetProfile::new(kind, vec![VariantKind::Fp32B1])
+    }
+
+    /// Which model this profile serves.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The variant palette, in degradation order.
+    pub fn variants(&self) -> &[VariantKind] {
+        &self.variants
+    }
+
+    /// Accuracy of the palette entry at `index` (clamped to the palette).
+    pub fn accuracy_of(&self, index: u32) -> f64 {
+        accuracy(self.kind, self.variant_at(index))
+    }
+
+    fn variant_at(&self, index: u32) -> VariantKind {
+        self.variants
+            .get(index as usize)
+            .copied()
+            .unwrap_or(self.variants[0])
+    }
+}
+
+impl LatencyModel for VariantSetProfile {
+    fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64 {
+        // Same expression as ModelProfile::service_time — bit-identical baseline.
+        coefficients(self.kind, instance).latency_ms(batch_size) / 1000.0
+    }
+
+    fn service_time_variant(&self, variant: u32, instance: InstanceType, batch_size: u32) -> f64 {
+        let kind = self.variant_at(variant);
+        if kind == VariantKind::Fp32B1 {
+            return self.service_time(instance, batch_size);
+        }
+        variant_coefficients(self.kind, kind, instance).latency_ms(batch_size) / 1000.0
+    }
+
+    fn num_variants(&self) -> u32 {
+        self.variants.len() as u32
+    }
+
+    fn name(&self) -> &str {
+        self.kind.name()
+    }
+}
+
+/// A [`LatencyModel`] with a frozen per-instance-type variant assignment.
+///
+/// This is the planning-side view: the joint variant × pool evaluator picks one palette
+/// index per instance type of the pool and simulates the assignment through the plain
+/// `service_time` entry point, so the whole simulator stack is reused unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignedVariantProfile {
+    profile: VariantSetProfile,
+    /// Palette index per engine instance-type index (`InstanceType::index()`).
+    by_type: [u32; 8],
+}
+
+impl AssignedVariantProfile {
+    /// Freezes `assignment` (palette index per `(type, index)` pair) onto the profile.
+    /// Types not listed serve palette index 0.
+    pub fn new(profile: VariantSetProfile, assignment: &[(InstanceType, u32)]) -> Self {
+        let mut by_type = [0u32; 8];
+        for &(ty, variant) in assignment {
+            by_type[ty.index()] = variant;
+        }
+        AssignedVariantProfile { profile, by_type }
+    }
+
+    /// The palette index assigned to an instance type.
+    pub fn assigned(&self, ty: InstanceType) -> u32 {
+        self.by_type[ty.index()]
+    }
+}
+
+impl LatencyModel for AssignedVariantProfile {
+    fn service_time(&self, instance: InstanceType, batch_size: u32) -> f64 {
+        self.profile
+            .service_time_variant(self.by_type[instance.index()], instance, batch_size)
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name()
+    }
+}
+
+/// The builtin variant table as a [`VariantCatalog`] — the reference
+/// `data/variants.toml` is drift-checked against.
+pub fn builtin_variant_catalog() -> VariantCatalog {
+    let families: Vec<String> = ribbon_cloudsim::ALL_INSTANCE_TYPES
+        .iter()
+        .map(|t| t.family().to_string())
+        .collect();
+    let mut entries = Vec::new();
+    for model in ALL_MODELS {
+        for &variant in supported_variants(model) {
+            entries.push(VariantEntry {
+                model: model.name().to_string(),
+                name: variant.name().to_string(),
+                accuracy: accuracy(model, variant),
+                families: families.clone(),
+                factors: ribbon_cloudsim::ALL_INSTANCE_TYPES
+                    .iter()
+                    .map(|&t| speed_factor(variant, t))
+                    .collect(),
+            });
+        }
+    }
+    VariantCatalog::from_entries(entries).expect("builtin variant table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelProfile;
+    use ribbon_cloudsim::ALL_INSTANCE_TYPES;
+
+    #[test]
+    fn variant_names_roundtrip() {
+        for v in ALL_VARIANT_KINDS {
+            assert_eq!(VariantKind::from_name(v.name()), Some(v));
+            assert_eq!(VariantKind::from_name(&v.name().to_uppercase()), Some(v));
+        }
+        assert_eq!(VariantKind::from_name("fp64"), None);
+    }
+
+    #[test]
+    fn every_model_ships_two_to_four_variants_with_the_baseline_first() {
+        for m in ALL_MODELS {
+            let vs = supported_variants(m);
+            assert!((2..=4).contains(&vs.len()), "{m}");
+            assert_eq!(vs[0], VariantKind::Fp32B1, "{m}");
+        }
+    }
+
+    #[test]
+    fn baseline_factors_are_exactly_one_and_others_positive() {
+        for t in ALL_INSTANCE_TYPES {
+            assert_eq!(speed_factor(VariantKind::Fp32B1, t), 1.0);
+            for v in [VariantKind::Fp16B8, VariantKind::Int8Compiled] {
+                let f = speed_factor(v, t);
+                assert!(f > 0.0 && f.is_finite(), "{v} {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_variant_dominates_every_family() {
+        // fp16 wins on the GPU, int8 wins on compute-optimized CPUs, and fp16 actually
+        // loses to baseline on t3 — the non-uniformity the mixed plan exploits.
+        assert!(
+            speed_factor(VariantKind::Fp16B8, InstanceType::G4dn)
+                < speed_factor(VariantKind::Int8Compiled, InstanceType::G4dn)
+        );
+        assert!(
+            speed_factor(VariantKind::Int8Compiled, InstanceType::C5)
+                < speed_factor(VariantKind::Fp16B8, InstanceType::C5)
+        );
+        assert!(speed_factor(VariantKind::Fp16B8, InstanceType::T3) > 1.0);
+    }
+
+    #[test]
+    fn accuracy_degrades_from_the_baseline() {
+        for m in ALL_MODELS {
+            let base = accuracy(m, VariantKind::Fp32B1);
+            assert!(accuracy(m, VariantKind::Fp16B8) < base, "{m}");
+            assert!(accuracy(m, VariantKind::Int8Compiled) < accuracy(m, VariantKind::Fp16B8));
+            for v in ALL_VARIANT_KINDS {
+                assert!((0.0..=1.0).contains(&accuracy(m, v)), "{m} {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_variant_is_bit_identical_to_the_model_profile() {
+        for m in ALL_MODELS {
+            let plain = ModelProfile::new(m);
+            let set = VariantSetProfile::new(m, supported_variants(m).to_vec());
+            for t in ALL_INSTANCE_TYPES {
+                for b in [1, 7, 32, 128, 512] {
+                    let expected = plain.service_time(t, b);
+                    assert_eq!(set.service_time(t, b).to_bits(), expected.to_bits());
+                    assert_eq!(
+                        set.service_time_variant(0, t, b).to_bits(),
+                        expected.to_bits(),
+                        "{m} {t} b{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_baseline_variants_scale_the_coefficients() {
+        let m = ModelKind::MtWnd;
+        let set = VariantSetProfile::new(m, ALL_VARIANT_KINDS.to_vec());
+        for t in ALL_INSTANCE_TYPES {
+            let f = speed_factor(VariantKind::Fp16B8, t);
+            let base = set.service_time(t, 64);
+            let v = set.service_time_variant(1, t, 64);
+            assert!((v - base * f).abs() < 1e-12, "{t}");
+        }
+        // Out-of-range indices serve the default (index 0) rather than panicking.
+        assert_eq!(
+            set.service_time_variant(99, InstanceType::C5, 8).to_bits(),
+            set.service_time(InstanceType::C5, 8).to_bits()
+        );
+        assert_eq!(set.num_variants(), 3);
+        assert_eq!(set.name(), "MT-WND");
+    }
+
+    #[test]
+    fn assigned_profile_applies_the_per_type_assignment() {
+        let set = VariantSetProfile::new(ModelKind::MtWnd, ALL_VARIANT_KINDS.to_vec());
+        let assigned = AssignedVariantProfile::new(
+            set.clone(),
+            &[(InstanceType::G4dn, 1), (InstanceType::C5, 2)],
+        );
+        assert_eq!(assigned.assigned(InstanceType::G4dn), 1);
+        assert_eq!(assigned.assigned(InstanceType::C5), 2);
+        assert_eq!(assigned.assigned(InstanceType::R5n), 0);
+        for b in [1, 16, 256] {
+            assert_eq!(
+                assigned.service_time(InstanceType::G4dn, b).to_bits(),
+                set.service_time_variant(1, InstanceType::G4dn, b).to_bits()
+            );
+            assert_eq!(
+                assigned.service_time(InstanceType::C5, b).to_bits(),
+                set.service_time_variant(2, InstanceType::C5, b).to_bits()
+            );
+            assert_eq!(
+                assigned.service_time(InstanceType::R5n, b).to_bits(),
+                set.service_time(InstanceType::R5n, b).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_variants_are_rejected() {
+        let _ = VariantSetProfile::new(ModelKind::Candle, vec![VariantKind::Int8Compiled]);
+    }
+
+    #[test]
+    fn builtin_catalog_mirrors_the_code_table() {
+        let c = builtin_variant_catalog();
+        let expected: usize = ALL_MODELS
+            .iter()
+            .map(|&m| supported_variants(m).len())
+            .sum();
+        assert_eq!(c.entries().len(), expected);
+        let e = c.entry("MT-WND", "int8-compiled").unwrap();
+        assert_eq!(
+            e.accuracy,
+            accuracy(ModelKind::MtWnd, VariantKind::Int8Compiled)
+        );
+        assert_eq!(
+            e.factor_for("c5"),
+            Some(speed_factor(VariantKind::Int8Compiled, InstanceType::C5))
+        );
+        assert!(c.entry("CANDLE", "int8-compiled").is_none());
+        assert!(c.ensure_matches(&c).is_ok());
+    }
+}

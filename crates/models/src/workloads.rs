@@ -3,6 +3,7 @@
 //! five-type pool used by the Fig. 8 pool-cardinality study.
 
 use crate::profiles::{ModelKind, ModelProfile};
+use crate::variants::{VariantKind, VariantSetProfile};
 use ribbon_cloudsim::dist::{ArrivalProcess, BatchDistribution};
 use ribbon_cloudsim::{InstanceType, PoolSpec, QosTarget, StreamConfig};
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,14 @@ pub struct Workload {
     pub diverse_pool: Vec<InstanceType>,
     /// An extended five-type pool used by the pool-cardinality study (Fig. 8).
     pub extended_pool: Vec<InstanceType>,
+    /// Variant palette in degradation order; empty means "baseline only, no variant
+    /// axis" (everything behaves exactly as before variants existed).
+    #[serde(default)]
+    pub variants: Vec<VariantKind>,
+    /// Optional accuracy floor: variants whose accuracy falls below this are rejected
+    /// at scenario-compile time.
+    #[serde(default)]
+    pub min_accuracy: Option<f64>,
 }
 
 impl Workload {
@@ -86,6 +95,8 @@ impl Workload {
             base_type,
             diverse_pool,
             extended_pool,
+            variants: Vec::new(),
+            min_accuracy: None,
         }
     }
 
@@ -110,6 +121,27 @@ impl Workload {
     /// The latency profile of this workload's model.
     pub fn profile(&self) -> ModelProfile {
         ModelProfile::new(self.model)
+    }
+
+    /// How many variants this workload serves (1 when the variant axis is off).
+    pub fn num_variants(&self) -> u32 {
+        self.variants.len().max(1) as u32
+    }
+
+    /// `true` when a variant palette with more than one entry is configured.
+    pub fn has_variant_axis(&self) -> bool {
+        self.variants.len() > 1
+    }
+
+    /// The variant-aware latency profile: the configured palette, or the baseline-only
+    /// palette when the variant axis is off. Its baseline `service_time` is
+    /// bit-identical to [`Workload::profile`]'s.
+    pub fn variant_profile(&self) -> VariantSetProfile {
+        if self.variants.is_empty() {
+            VariantSetProfile::baseline(self.model)
+        } else {
+            VariantSetProfile::new(self.model, self.variants.clone())
+        }
     }
 
     /// The batch-size distribution of this workload.
@@ -356,5 +388,37 @@ mod tests {
         for m in ALL_MODELS {
             assert_eq!(Workload::standard(m).profile().kind(), m);
         }
+    }
+
+    #[test]
+    fn standard_workloads_have_no_variant_axis() {
+        use crate::variants::VariantKind;
+        use ribbon_cloudsim::LatencyModel;
+        for m in ALL_MODELS {
+            let w = Workload::standard(m);
+            assert!(w.variants.is_empty());
+            assert_eq!(w.num_variants(), 1);
+            assert!(!w.has_variant_axis());
+            assert_eq!(w.min_accuracy, None);
+            // The baseline variant profile is bit-identical to the plain profile.
+            let plain = w.profile();
+            let vp = w.variant_profile();
+            assert_eq!(vp.num_variants(), 1);
+            for t in &w.diverse_pool {
+                assert_eq!(
+                    vp.service_time(*t, 64).to_bits(),
+                    plain.service_time(*t, 64).to_bits()
+                );
+            }
+        }
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.variants = vec![
+            VariantKind::Fp32B1,
+            VariantKind::Fp16B8,
+            VariantKind::Int8Compiled,
+        ];
+        assert_eq!(w.num_variants(), 3);
+        assert!(w.has_variant_axis());
+        assert_eq!(w.variant_profile().variants().len(), 3);
     }
 }

@@ -101,6 +101,60 @@ pub struct PrefixEvaluation {
     pub objective_upper_bound: f64,
 }
 
+/// The evaluator interface the ask/tell search machinery drives: a cached, batch-parallel
+/// mapping from lattice configurations to [`Evaluation`]s, with a reduced-fidelity prefix
+/// tier whose objective upper bounds are *sound* (never below the configuration's true
+/// full-stream objective — the invariant successive halving's discards rely on).
+///
+/// [`ConfigEvaluator`] is the pool-only implementation; `VariantEvaluator` extends the
+/// lattice with a per-type serving-variant axis. The search driver and [`RibbonSearch`]
+/// accept `&dyn BatchEvaluator`, so `&ConfigEvaluator` call sites coerce unchanged.
+///
+/// [`RibbonSearch`]: crate::search::RibbonSearch
+pub trait BatchEvaluator {
+    /// Length of the full query stream (the denominator for fidelity accounting).
+    fn num_queries(&self) -> usize;
+    /// The prefix length (in queries) of a fidelity fraction in `(0, 1]`, at least 1 and
+    /// at most the full stream.
+    fn prefix_len(&self, fidelity: f64) -> usize;
+    /// The configuration lattice the optimizer searches.
+    fn lattice(&self) -> ConfigLattice;
+    /// The QoS target rate that pruning verdicts compare satisfaction against.
+    fn target_rate(&self) -> f64;
+    /// Evaluates one configuration (cached).
+    fn evaluate(&self, config: &[u32]) -> Evaluation;
+    /// Evaluates a batch of configurations, order-preserving and bit-identical to calling
+    /// [`BatchEvaluator::evaluate`] serially.
+    fn evaluate_many(&self, configs: &[Vec<u32>]) -> Vec<Evaluation>;
+    /// Reduced-fidelity batch evaluation against the first `k` queries, with sound
+    /// full-stream objective upper bounds.
+    fn evaluate_many_prefix(&self, configs: &[Vec<u32>], k: usize) -> Vec<PrefixEvaluation>;
+}
+
+impl BatchEvaluator for ConfigEvaluator {
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+    fn prefix_len(&self, fidelity: f64) -> usize {
+        ConfigEvaluator::prefix_len(self, fidelity)
+    }
+    fn lattice(&self) -> ConfigLattice {
+        ConfigEvaluator::lattice(self)
+    }
+    fn target_rate(&self) -> f64 {
+        self.objective.target_rate()
+    }
+    fn evaluate(&self, config: &[u32]) -> Evaluation {
+        ConfigEvaluator::evaluate(self, config)
+    }
+    fn evaluate_many(&self, configs: &[Vec<u32>]) -> Vec<Evaluation> {
+        ConfigEvaluator::evaluate_many(self, configs)
+    }
+    fn evaluate_many_prefix(&self, configs: &[Vec<u32>], k: usize) -> Vec<PrefixEvaluation> {
+        ConfigEvaluator::evaluate_many_prefix(self, configs, k)
+    }
+}
+
 /// Evaluates pool configurations for one workload on the simulated cloud.
 pub struct ConfigEvaluator {
     workload: Workload,

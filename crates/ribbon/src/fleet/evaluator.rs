@@ -351,6 +351,7 @@ impl FleetEvaluator {
                         window: WindowConfig::tumbling(1e18),
                         share_weight: state.share_weight,
                         spin_up_factor: 1.0,
+                        variant_policy: None,
                     }
                 })
                 .collect();

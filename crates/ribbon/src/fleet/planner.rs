@@ -40,12 +40,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ribbon_bo::{BoOptimizer, BoSettings, ConfigLattice, Optimizer, Outcome};
 use ribbon_cloudsim::parallel::{default_threads, par_map_vec};
-use ribbon_cloudsim::router::{FleetModelConfig, FleetSim};
+use ribbon_cloudsim::router::{FleetModelConfig, FleetSim, VariantPolicy, VariantSwitch};
 use ribbon_cloudsim::{
-    cost_from_billing, merge_tagged_slices, partition_groups, CostModel, PoolSpec, Query, SimStats,
-    SlotBilling, WindowStats,
+    cost_from_billing, merge_tagged_slices, partition_groups, CostModel, LatencyModel, PoolSpec,
+    Query, SimStats, SlotBilling, WindowStats,
 };
-use ribbon_models::ModelProfile;
+use ribbon_models::{ModelProfile, VariantSetProfile};
 use ribbon_spec::Value;
 
 /// A fleet-level planner: `plan` searches the joint allocation space, `serve` deploys
@@ -86,6 +86,11 @@ pub struct FleetMemberServe {
     pub satisfaction_rate: Option<f64>,
     /// Every applied reconfiguration of this member's slice, in order.
     pub events: Vec<EventReport>,
+    /// Lane queries served per variant palette index (members with a palette only).
+    pub variant_served: Option<Vec<u64>>,
+    /// Serving-variant switches the lane router applied, in order (members with a
+    /// palette only).
+    pub variant_switches: Vec<VariantSwitch>,
     /// Every monitoring window observed for this member, in order (kept in memory for
     /// analysis and the single-model differential; not serialized by `to_value`).
     pub window_stats: Vec<WindowStats>,
@@ -108,6 +113,8 @@ pub struct FleetServeTotals {
     pub final_hourly_cost: f64,
     /// Total applied reconfigurations across the fleet.
     pub reconfigurations: usize,
+    /// Total serving-variant switches the lane routers applied across the fleet.
+    pub variant_switches: usize,
 }
 
 /// One member's section of a [`FleetReport`].
@@ -865,6 +872,19 @@ pub fn serve_fleet(
         .iter()
         .map(|m| m.scenario.workload.profile())
         .collect();
+    // Members with a variant palette time their lane dispatches by the palette's
+    // latency model and get the deterministic per-lane variant router; variant-less
+    // members keep the plain profile — the exact pre-variant code path.
+    let variant_profiles: Vec<Option<VariantSetProfile>> = fleet
+        .members
+        .iter()
+        .map(|m| {
+            m.scenario
+                .workload
+                .has_variant_axis()
+                .then(|| m.scenario.workload.variant_profile())
+        })
+        .collect();
     let model_configs: Vec<FleetModelConfig<'_>> = fleet
         .members
         .iter()
@@ -873,7 +893,10 @@ pub fn serve_fleet(
             let os = &member.scenario.online_settings;
             FleetModelConfig {
                 pool: member.scenario.workload.diverse_pool_spec(&init_slices[m]),
-                profile: &profiles[m],
+                profile: match &variant_profiles[m] {
+                    Some(vp) => vp as &dyn LatencyModel,
+                    None => &profiles[m],
+                },
                 target_latency_s: member.scenario.policy.deadline_s(),
                 tail_percentile: member.scenario.policy.tail_percentile(),
                 window: os.window,
@@ -883,6 +906,9 @@ pub fn serve_fleet(
                     0.0
                 },
                 spin_up_factor: os.spin_up_factor,
+                variant_policy: variant_profiles[m]
+                    .as_ref()
+                    .map(|vp| VariantPolicy::new(vp.variants().len() as u32)),
             }
         })
         .collect();
@@ -963,6 +989,8 @@ pub fn serve_fleet(
     let mut member_events: Vec<Vec<ReconfigEvent>> = vec![Vec::new(); n];
     let mut member_stats: Vec<Option<SimStats>> = vec![None; n];
     let mut shared_queries = vec![0usize; n];
+    let mut member_variant_served: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut member_variant_switches: Vec<Vec<VariantSwitch>> = vec![Vec::new(); n];
     let mut lane_billing: Vec<Option<Vec<SlotBilling>>> = vec![None; n];
     let mut lane_timeline: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
     let mut controllers: Vec<Option<OnlineController>> = (0..n).map(|_| None).collect();
@@ -977,6 +1005,8 @@ pub fn serve_fleet(
             member_events[m] = std::mem::take(&mut result.events[gi]);
             member_stats[m] = Some(result.stats[gi]);
             shared_queries[m] = result.shared_queries[gi];
+            member_variant_served[m] = std::mem::take(&mut result.variant_served[gi]);
+            member_variant_switches[m] = std::mem::take(&mut result.variant_switches[gi]);
             lane_billing[m] = result.lane_billing[gi].take();
             lane_timeline[m] = std::mem::take(&mut result.lane_timeline[gi]);
             controllers[m] = result.controllers[gi].take();
@@ -1039,6 +1069,7 @@ pub fn serve_fleet(
     let mut total_queries = 0usize;
     let mut total_windows = 0usize;
     let mut total_events = 0usize;
+    let mut total_variant_switches = 0usize;
     for m in 0..n {
         let stats = &member_stats[m];
         total_queries += stats.num_queries;
@@ -1057,6 +1088,7 @@ pub fn serve_fleet(
                 transition_cost_usd: e.transition_cost_usd,
             })
             .collect();
+        total_variant_switches += member_variant_switches[m].len();
         report.models[m].serve = Some(FleetMemberServe {
             initial_config: init_slices[m].clone(),
             final_config: match &controllers[m] {
@@ -1068,6 +1100,12 @@ pub fn serve_fleet(
             shared_queries: shared_queries[m],
             satisfaction_rate: stats.satisfaction_rate(),
             events,
+            variant_served: fleet.members[m]
+                .scenario
+                .workload
+                .has_variant_axis()
+                .then(|| std::mem::take(&mut member_variant_served[m])),
+            variant_switches: std::mem::take(&mut member_variant_switches[m]),
             window_stats: std::mem::take(&mut member_windows[m]),
         });
     }
@@ -1079,6 +1117,7 @@ pub fn serve_fleet(
         mean_hourly_cost: mean_hourly_cost(total_cost_usd, duration_s),
         final_hourly_cost,
         reconfigurations: total_events,
+        variant_switches: total_variant_switches,
     });
     Ok(report)
 }
@@ -1108,6 +1147,8 @@ struct GroupServe {
     events: Vec<Vec<ReconfigEvent>>,
     stats: Vec<SimStats>,
     shared_queries: Vec<usize>,
+    variant_served: Vec<Vec<u64>>,
+    variant_switches: Vec<Vec<VariantSwitch>>,
     lane_billing: Vec<Option<Vec<SlotBilling>>>,
     /// Per member lane: `(effective time, pool hourly cost after the change)`, seeded
     /// with the initial deployment and appended at every reconfiguration.
@@ -1221,6 +1262,8 @@ fn drive_group(fleet: &Fleet, task: GroupServeTask<'_>, t_last: f64) -> GroupSer
         end_clock: sim.clock(),
         stats: (0..k).map(|g| sim.stats(g)).collect(),
         shared_queries: (0..k).map(|g| sim.shared_queries(g)).collect(),
+        variant_served: (0..k).map(|g| sim.variant_served(g)).collect(),
+        variant_switches: (0..k).map(|g| sim.variant_switches(g).to_vec()).collect(),
         lane_billing: (0..k).map(|g| sim.lane_billing(g)).collect(),
         controllers,
         windows,
@@ -1399,6 +1442,26 @@ impl FleetReport {
                         })
                         .collect();
                     st.insert("events", Value::Array(events));
+                    if let Some(served) = &serve.variant_served {
+                        st.insert(
+                            "variant_served",
+                            Value::Array(served.iter().map(|&q| Value::from(q)).collect()),
+                        );
+                    }
+                    if !serve.variant_switches.is_empty() {
+                        let switches: Vec<Value> = serve
+                            .variant_switches
+                            .iter()
+                            .map(|s| {
+                                let mut vt = Value::table();
+                                vt.insert("at_s", Value::from(s.at_s));
+                                vt.insert("from", Value::from(s.from));
+                                vt.insert("to", Value::from(s.to));
+                                vt
+                            })
+                            .collect();
+                        st.insert("variant_switches", Value::Array(switches));
+                    }
                     t.insert("serve", st);
                 }
                 t
@@ -1415,6 +1478,9 @@ impl FleetReport {
             st.insert("mean_hourly_cost", Value::from(serve.mean_hourly_cost));
             st.insert("final_hourly_cost", Value::from(serve.final_hourly_cost));
             st.insert("reconfigurations", Value::from(serve.reconfigurations));
+            if serve.variant_switches > 0 {
+                st.insert("variant_switches", Value::from(serve.variant_switches));
+            }
             root.insert("serve", st);
         }
         root
@@ -1490,6 +1556,13 @@ impl FleetReport {
                     lines.push(format!(
                         "        w{} {} -> {:?} (planned {:.0} qps, transition ~${:.4})",
                         e.window_index, e.trigger, e.config, e.planned_qps, e.transition_cost_usd
+                    ));
+                }
+                if let Some(served) = &serve.variant_served {
+                    lines.push(format!(
+                        "      variants: served per palette index {:?}, {} switch(es)",
+                        served,
+                        serve.variant_switches.len()
                     ));
                 }
             }

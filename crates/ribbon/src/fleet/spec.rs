@@ -233,6 +233,21 @@ impl FleetSpec {
             let path = format!("model[{i}]");
             models.push(Self::model_from(item).map_err(|e| e.prefix_path(&path))?);
         }
+        // Report lines, routing weights, and per-member reconfigurations are all keyed by
+        // the member's display name — two members resolving to the same name would alias.
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, m) in models.iter().enumerate() {
+            let name = m.name.clone().unwrap_or_else(|| m.workload.model.clone());
+            if !seen.insert(name.clone()) {
+                return Err(ScenarioError::invalid(
+                    format!("model[{i}].name"),
+                    format!(
+                        "duplicate model name `{name}` (give each [[model]] entry serving \
+                         the same model a distinct `name`)"
+                    ),
+                ));
+            }
+        }
 
         Ok(FleetSpec {
             name,

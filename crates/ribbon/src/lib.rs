@@ -57,19 +57,21 @@ pub mod online;
 pub mod scenario;
 pub mod search;
 pub mod strategies;
+pub mod variant;
 
 pub use accounting::{homogeneous_optimum, HomogeneousOptimum, TraceMetrics};
 pub use adapt::{inject_pseudo_observations, AdaptationOutcome, AdaptationStep, LoadAdapter};
 pub use bounds::find_bounds;
-pub use evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
+pub use evaluator::{BatchEvaluator, ConfigEvaluator, Evaluation, EvaluatorSettings};
 pub use fleet::{
     serve_fleet, Fleet, FleetEvaluation, FleetEvaluator, FleetMember, FleetModelSpec, FleetPlanner,
     FleetReport, FleetSpec, RibbonFleetPlanner,
 };
 pub use objective::RibbonObjective;
 pub use online::{
-    serve_online, serve_online_with_policy, OnlineController, OnlineControllerSettings,
-    OnlineOutcome, OnlineRunSettings, ReconfigEvent, ReconfigTrigger,
+    serve_online, serve_online_with_policy, ControllerAction, OnlineController,
+    OnlineControllerSettings, OnlineOutcome, OnlineRunSettings, ReconfigEvent, ReconfigTrigger,
+    VariantSwitchEvent,
 };
 pub use scenario::{
     planner_by_name, Planner, RibbonPlanner, Scenario, ScenarioError, ScenarioReport, ScenarioSpec,
@@ -79,6 +81,7 @@ pub use search::{RibbonSearch, RibbonSettings, SearchTrace};
 pub use strategies::{
     ExhaustiveSearch, HillClimbSearch, RandomSearch, ResponseSurfaceSearch, SearchStrategy,
 };
+pub use variant::VariantEvaluator;
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {

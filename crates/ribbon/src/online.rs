@@ -107,6 +107,41 @@ pub struct PlannedReconfig {
     pub expected: Evaluation,
 }
 
+/// A decision of [`OnlineController::observe_action`]: either a pool reconfiguration or
+/// a serving-variant switch (the cheaper first resort on workloads with a variant
+/// palette — no search, no spin-up, no transition cost).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerAction {
+    /// Reconfigure the pool (make-before-break, billed transition).
+    Reconfig(PlannedReconfig),
+    /// Switch the serving variant of the deployed pool.
+    SwitchVariant {
+        /// Palette index served before the switch.
+        from: u32,
+        /// Palette index to serve from now on.
+        to: u32,
+        /// What tripped the hysteresis.
+        trigger: ReconfigTrigger,
+        /// Index of the monitoring window that made the decision.
+        window_index: u64,
+    },
+}
+
+/// One applied serving-variant switch, as reported by [`serve_online`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantSwitchEvent {
+    /// What tripped the hysteresis.
+    pub trigger: ReconfigTrigger,
+    /// Index of the window that tripped the decision.
+    pub window_index: u64,
+    /// Stream time the switch took effect (the deciding window's end).
+    pub at_s: f64,
+    /// Palette index served before the switch.
+    pub from: u32,
+    /// Palette index served after the switch.
+    pub to: u32,
+}
+
 /// The window-watching controller. Feed it every closed [`WindowStats`] via
 /// [`OnlineController::observe`]; apply any returned [`PlannedReconfig`] to the stream.
 pub struct OnlineController {
@@ -125,6 +160,11 @@ pub struct OnlineController {
     overprov_qps_sum: f64,
     cooldown: usize,
     replans: usize,
+    /// Size of the workload's serving-variant palette (1 when it has none — every
+    /// variant branch below is then dead and the controller is bit-identical to the
+    /// pre-variant implementation).
+    num_variants: u32,
+    serving_variant: u32,
 }
 
 impl OnlineController {
@@ -176,6 +216,8 @@ impl OnlineController {
             overprov_qps_sum: 0.0,
             cooldown: 0,
             replans: 0,
+            num_variants: workload.num_variants().max(1),
+            serving_variant: 0,
         })
     }
 
@@ -216,6 +258,8 @@ impl OnlineController {
             overprov_qps_sum: 0.0,
             cooldown: 0,
             replans: 0,
+            num_variants: workload.num_variants().max(1),
+            serving_variant: 0,
         }
     }
 
@@ -239,10 +283,36 @@ impl OnlineController {
         self.replans
     }
 
+    /// The palette index the controller currently serves (always 0 without a palette).
+    pub fn serving_variant(&self) -> u32 {
+        self.serving_variant
+    }
+
     /// Feeds one closed monitoring window to the hysteresis logic. Returns a
     /// reconfiguration plan when a threshold trips *and* the replan picks a configuration
     /// different from the current one.
+    ///
+    /// On a workload with a variant palette, a tripped threshold may instead be absorbed
+    /// by a serving-variant switch; this legacy entry point reports those as `None`. Use
+    /// [`OnlineController::observe_action`] to see both decision kinds.
     pub fn observe(&mut self, window: &WindowStats) -> Option<PlannedReconfig> {
+        match self.observe_action(window)? {
+            ControllerAction::Reconfig(plan) => Some(plan),
+            ControllerAction::SwitchVariant { .. } => None,
+        }
+    }
+
+    /// Feeds one closed monitoring window to the hysteresis logic and returns the
+    /// controller's decision, if any.
+    ///
+    /// With a variant palette, switching the serving variant is the **cheaper first
+    /// resort**: a sustained violation degrades one palette step (no search, no
+    /// spin-up) and only replans the pool once the worst variant is already serving;
+    /// sustained over-provisioning symmetrically upgrades back toward the accuracy-best
+    /// variant before it will shrink the pool. Palette entries below the scenario's
+    /// `min_accuracy` floor were rejected at compile time, so every step stays
+    /// accuracy-admissible.
+    pub fn observe_action(&mut self, window: &WindowStats) -> Option<ControllerAction> {
         if self.cooldown > 0 {
             self.cooldown -= 1;
             return None;
@@ -256,11 +326,20 @@ impl OnlineController {
             self.consecutive_overprov = 0;
             self.overprov_qps_sum = 0.0;
             if self.consecutive_violations >= self.settings.violation_windows {
+                if self.serving_variant + 1 < self.num_variants {
+                    return Some(self.switch_variant(
+                        self.serving_variant + 1,
+                        ReconfigTrigger::QosViolation,
+                        window.index,
+                    ));
+                }
                 let observed = self.violating_qps_sum / self.consecutive_violations as f64;
                 // Plan for the observed load with a safety margin, and never for less
                 // than the load already planned for.
                 let target = (observed * self.settings.scale_up_margin).max(self.planned_qps);
-                return self.replan(target, window.index, ReconfigTrigger::QosViolation);
+                return self
+                    .replan(target, window.index, ReconfigTrigger::QosViolation)
+                    .map(ControllerAction::Reconfig);
             }
         } else {
             self.consecutive_violations = 0;
@@ -269,10 +348,19 @@ impl OnlineController {
                 self.consecutive_overprov += 1;
                 self.overprov_qps_sum += window.arrival_qps;
                 if self.consecutive_overprov >= self.settings.overprovision_windows {
+                    if self.serving_variant > 0 {
+                        return Some(self.switch_variant(
+                            self.serving_variant - 1,
+                            ReconfigTrigger::OverProvisioning,
+                            window.index,
+                        ));
+                    }
                     let observed = self.overprov_qps_sum / self.consecutive_overprov as f64;
                     // Plan with headroom, but stay a scale-down.
                     let target = (observed * self.settings.scale_down_margin).min(self.planned_qps);
-                    return self.replan(target, window.index, ReconfigTrigger::OverProvisioning);
+                    return self
+                        .replan(target, window.index, ReconfigTrigger::OverProvisioning)
+                        .map(ControllerAction::Reconfig);
                 }
             } else {
                 self.consecutive_overprov = 0;
@@ -280,6 +368,30 @@ impl OnlineController {
             }
         }
         None
+    }
+
+    /// Applies a serving-variant switch: like a replan it resets every hysteresis
+    /// counter and starts the cooldown (the switched pool needs fresh evidence), but it
+    /// burns no search budget and leaves the planned load untouched.
+    fn switch_variant(
+        &mut self,
+        to: u32,
+        trigger: ReconfigTrigger,
+        window_index: u64,
+    ) -> ControllerAction {
+        self.consecutive_violations = 0;
+        self.violating_qps_sum = 0.0;
+        self.consecutive_overprov = 0;
+        self.overprov_qps_sum = 0.0;
+        self.cooldown = self.settings.cooldown_windows;
+        let from = self.serving_variant;
+        self.serving_variant = to;
+        ControllerAction::SwitchVariant {
+            from,
+            to,
+            trigger,
+            window_index,
+        }
     }
 
     /// Runs a warm-started search for `target_qps` and updates the controller state.
@@ -433,6 +545,12 @@ pub struct OnlineOutcome {
     pub windows: Vec<WindowStats>,
     /// Every applied reconfiguration, in order.
     pub events: Vec<ReconfigEvent>,
+    /// Every applied serving-variant switch, in order (empty without a palette).
+    pub variant_events: Vec<VariantSwitchEvent>,
+    /// Queries served per palette index (a single entry without a palette).
+    pub variant_served: Vec<u64>,
+    /// Palette index serving when the stream ended.
+    pub final_variant: u32,
     /// Whole-stream aggregate statistics.
     pub stats: SimStats,
     /// Exact accrued cost in USD over the whole run (per-slot billing).
@@ -491,7 +609,17 @@ pub fn serve_online_with_policy(
         policy.clone(),
     )?;
     let initial_config = controller.current_config().to_vec();
-    let profile = workload.profile();
+    // With a variant palette the simulator times dispatches by the palette's latency
+    // model (index 0, the initial serving variant, is the accuracy-best entry); without
+    // one, the plain profile — the exact pre-variant code path.
+    let base_profile = workload.profile();
+    let variant_profile = workload
+        .has_variant_axis()
+        .then(|| workload.variant_profile());
+    let model: &dyn ribbon_cloudsim::LatencyModel = match &variant_profile {
+        Some(vp) => vp,
+        None => &base_profile,
+    };
     let pool = workload.diverse_pool_spec(&initial_config);
     let sim_config = StreamingSimConfig {
         target_latency_s: policy.deadline_s(),
@@ -499,10 +627,11 @@ pub fn serve_online_with_policy(
         window: settings.window,
         spin_up_factor: settings.spin_up_factor,
     };
-    let mut sim = StreamingSim::new(&pool, &profile, sim_config);
+    let mut sim = StreamingSim::new(&pool, model, sim_config);
 
     let mut windows = Vec::new();
     let mut events: Vec<ReconfigEvent> = Vec::new();
+    let mut variant_events: Vec<VariantSwitchEvent> = Vec::new();
     // Deferred retire phase of a make-before-break transition: (final pool, apply at,
     // index of the event it completes).
     let mut pending: Option<(ribbon_cloudsim::PoolSpec, f64, usize)> = None;
@@ -520,7 +649,23 @@ pub fn serve_online_with_policy(
         sim.push_into(&q, &mut closed);
         for w in closed.drain(..) {
             let end_s = w.end_s;
-            if let Some(plan) = controller.observe(&w) {
+            let action = controller.observe_action(&w);
+            if let Some(ControllerAction::SwitchVariant {
+                from,
+                to,
+                trigger,
+                window_index,
+            }) = action
+            {
+                sim.set_serving_variant(to);
+                variant_events.push(VariantSwitchEvent {
+                    trigger,
+                    window_index,
+                    at_s: end_s,
+                    from,
+                    to,
+                });
+            } else if let Some(ControllerAction::Reconfig(plan)) = action {
                 // A new decision supersedes any not-yet-completed retire phase.
                 pending = None;
                 let new_pool = workload.diverse_pool_spec(&plan.config);
@@ -574,6 +719,9 @@ pub fn serve_online_with_policy(
         initial_config,
         windows,
         events,
+        variant_events,
+        variant_served: sim.variant_served().to_vec(),
+        final_variant: sim.serving_variant(),
         total_cost_usd: sim.cost_so_far(duration_s),
         duration_s,
         final_config: controller.current_config().to_vec(),

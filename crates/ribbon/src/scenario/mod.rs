@@ -74,7 +74,10 @@ use ribbon_cloudsim::{
     QosPolicy, QosTarget, RatePhase, WindowConfig,
 };
 use ribbon_gp::FitConfig;
-use ribbon_models::{BatchShape, ModelKind, TrafficScenario, Workload, ALL_MODELS};
+use ribbon_models::variants::{accuracy, supported_variants};
+use ribbon_models::{
+    BatchShape, ModelKind, TrafficScenario, VariantKind, Workload, ALL_MODELS, ALL_VARIANT_KINDS,
+};
 use ribbon_spec::Format;
 use std::path::Path;
 use std::sync::Arc;
@@ -237,6 +240,77 @@ impl ScenarioSpec {
                     .resolve(ty.family())
                     .map_err(|e| ScenarioError::from_config("workload.diverse_pool", e))?;
             }
+        }
+        if let Some(names) = &w.variants {
+            if names.is_empty() {
+                return Err(ScenarioError::invalid(
+                    "workload.variants",
+                    "a variant palette needs at least one entry",
+                ));
+            }
+            let supported = supported_variants(kind);
+            let mut palette: Vec<VariantKind> = Vec::with_capacity(names.len());
+            for (i, name) in names.iter().enumerate() {
+                let path = format!("workload.variants[{i}]");
+                let v = VariantKind::from_name(name).ok_or_else(|| {
+                    ScenarioError::invalid(
+                        &path,
+                        format!(
+                            "unknown variant `{name}` (known: {})",
+                            ALL_VARIANT_KINDS.map(|v| v.name()).join(", ")
+                        ),
+                    )
+                })?;
+                if !supported.contains(&v) {
+                    return Err(ScenarioError::invalid(
+                        &path,
+                        format!("model {} does not ship a `{name}` variant", kind.name()),
+                    ));
+                }
+                if palette.contains(&v) {
+                    return Err(ScenarioError::invalid(
+                        &path,
+                        format!("duplicate variant `{name}` in the palette"),
+                    ));
+                }
+                // The planner's baseline config and the router's upgrade target are both
+                // palette index 0, so the palette must lead with its best accuracy.
+                if let Some(&prev) = palette.last() {
+                    if accuracy(kind, v) > accuracy(kind, prev) {
+                        return Err(ScenarioError::invalid(
+                            &path,
+                            format!(
+                                "palette must be ordered accuracy-best first (`{name}` \
+                                 outranks `{}`)",
+                                prev.name()
+                            ),
+                        ));
+                    }
+                }
+                palette.push(v);
+            }
+            workload.variants = palette;
+        }
+        if let Some(min) = w.min_accuracy {
+            if !min.is_finite() || !(0.0..=1.0).contains(&min) {
+                return Err(ScenarioError::invalid(
+                    "workload.min_accuracy",
+                    "must be a number in [0, 1]",
+                ));
+            }
+            for (i, &v) in workload.variants.iter().enumerate() {
+                let acc = accuracy(kind, v);
+                if acc < min {
+                    return Err(ScenarioError::invalid(
+                        format!("workload.variants[{i}]"),
+                        format!(
+                            "variant `{}` serves accuracy {acc} below min_accuracy {min}",
+                            v.name()
+                        ),
+                    ));
+                }
+            }
+            workload.min_accuracy = Some(min);
         }
 
         let policy: Arc<dyn QosPolicy> = match &self.qos {
@@ -528,6 +602,19 @@ impl Scenario {
     /// Builds the configuration evaluator this scenario describes.
     pub fn build_evaluator(&self) -> ConfigEvaluator {
         ConfigEvaluator::with_policy(
+            &self.workload,
+            self.evaluator_settings.clone(),
+            self.policy.clone(),
+        )
+    }
+
+    /// Builds the joint variant × pool evaluator of a variant scenario.
+    ///
+    /// # Panics
+    /// Panics when the workload declares no variant palette — callers branch on
+    /// [`Workload::has_variant_axis`](ribbon_models::Workload::has_variant_axis) first.
+    pub fn build_variant_evaluator(&self) -> crate::variant::VariantEvaluator {
+        crate::variant::VariantEvaluator::with_policy(
             &self.workload,
             self.evaluator_settings.clone(),
             self.policy.clone(),

@@ -76,6 +76,8 @@ fn plan_report(scenario: &Scenario, evaluator: &ConfigEvaluator, trace: SearchTr
         saving_percent,
         violations: trace.num_violations(),
         exploration_cost: trace.exploration_cost(),
+        variants: None,
+        worst_accuracy: None,
         trace,
     }
 }
@@ -99,12 +101,51 @@ fn report_shell(scenario: &Scenario, planner: &str, mode: RunMode) -> ScenarioRe
 #[derive(Debug, Clone, Default)]
 pub struct RibbonPlanner;
 
+impl RibbonPlanner {
+    /// Plans a scenario whose workload declares a variant palette: the BO search runs on
+    /// the joint variant × pool lattice of a
+    /// [`VariantEvaluator`](crate::variant::VariantEvaluator), while the homogeneous
+    /// baseline stays pool-only at the accuracy-best variant — the deployment a
+    /// variant-unaware operator would pick, and thus the honest saving denominator.
+    fn plan_variants(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        let evaluator = scenario.build_variant_evaluator();
+        let search = RibbonSearch::new(scenario.search_settings.clone());
+        let trace = search.run(&evaluator, scenario.spec.seed);
+
+        // Reuse the probed pool bounds so the baseline evaluator skips its own probe.
+        let mut pool_settings = scenario.evaluator_settings.clone();
+        pool_settings.explicit_bounds = Some(evaluator.pool_bounds().to_vec());
+        let pool_evaluator = ConfigEvaluator::with_policy(
+            &scenario.workload,
+            pool_settings,
+            scenario.policy.clone(),
+        );
+        let mut plan = plan_report(scenario, &pool_evaluator, trace);
+        if let Some(config) = plan.best_config.clone() {
+            plan.variants = Some(
+                evaluator
+                    .assigned_variants(&config)
+                    .iter()
+                    .map(|v| v.name().to_string())
+                    .collect(),
+            );
+            plan.worst_accuracy = Some(evaluator.worst_accuracy(&config));
+        }
+        let mut report = report_shell(scenario, self.name(), RunMode::Plan);
+        report.plan = Some(plan);
+        Ok(report)
+    }
+}
+
 impl Planner for RibbonPlanner {
     fn name(&self) -> &str {
         "RIBBON"
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        if scenario.workload.has_variant_axis() {
+            return self.plan_variants(scenario);
+        }
         let evaluator = scenario.build_evaluator();
         let search = RibbonSearch::new(scenario.search_settings.clone());
         let trace = search.run(&evaluator, scenario.spec.seed);
@@ -145,6 +186,20 @@ impl SearchPlanner {
     pub fn new(strategy: Box<dyn SearchStrategy + Send + Sync>) -> SearchPlanner {
         SearchPlanner { strategy }
     }
+
+    /// The baseline strategies search pool counts only — a variant palette needs the
+    /// joint lattice (and the online variant router) that only the `ribbon` planner
+    /// drives.
+    fn reject_variants(&self, scenario: &Scenario) -> Result<(), ScenarioError> {
+        if scenario.workload.has_variant_axis() {
+            return Err(ScenarioError::Run(format!(
+                "planner `{}` searches pool counts only and cannot plan a variant \
+                 palette; use the `ribbon` planner for variant scenarios",
+                self.name()
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Planner for SearchPlanner {
@@ -153,6 +208,7 @@ impl Planner for SearchPlanner {
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        self.reject_variants(scenario)?;
         let evaluator = scenario.build_evaluator();
         let trace = self.strategy.run_search(&evaluator, scenario.spec.seed);
         let mut report = report_shell(scenario, self.name(), RunMode::Plan);
@@ -161,6 +217,7 @@ impl Planner for SearchPlanner {
     }
 
     fn serve(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        self.reject_variants(scenario)?;
         let traffic = scenario.require_traffic()?;
         let evaluator = scenario.build_evaluator();
         let trace = self.strategy.run_search(&evaluator, scenario.spec.seed);
@@ -204,6 +261,9 @@ impl Planner for SearchPlanner {
             mean_hourly_cost: crate::accounting::mean_hourly_cost(total_cost_usd, duration_s),
             final_hourly_cost: pool.hourly_cost(),
             events: Vec::new(),
+            variant_events: Vec::new(),
+            variant_served: None,
+            final_variant: None,
         });
         report.plan = Some(plan);
         Ok(report)

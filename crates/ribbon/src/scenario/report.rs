@@ -35,8 +35,26 @@ pub struct PlanReport {
     pub violations: usize,
     /// Exploration-cost proxy: summed hourly cost of every evaluated pool.
     pub exploration_cost: f64,
+    /// Chosen serving-variant name per pool type (variant scenarios only).
+    pub variants: Option<Vec<String>>,
+    /// Worst accuracy any populated type serves under the best plan (variant
+    /// scenarios only).
+    pub worst_accuracy: Option<f64>,
     /// The full search trace, in evaluation order.
     pub trace: SearchTrace,
+}
+
+/// One applied mid-stream serving-variant switch (variant scenarios only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantEventReport {
+    /// Index of the monitoring window that tripped the decision.
+    pub window_index: u64,
+    /// `"qos-violation"` (degrade) or `"over-provisioning"` (upgrade).
+    pub trigger: String,
+    /// Palette index served before the switch.
+    pub from: u32,
+    /// Palette index served after the switch.
+    pub to: u32,
 }
 
 /// One applied mid-stream reconfiguration.
@@ -77,6 +95,12 @@ pub struct ServeReport {
     pub final_hourly_cost: f64,
     /// Every applied reconfiguration, in order.
     pub events: Vec<EventReport>,
+    /// Every applied serving-variant switch, in order (variant scenarios only).
+    pub variant_events: Vec<VariantEventReport>,
+    /// Queries served per palette index (variant scenarios only).
+    pub variant_served: Option<Vec<u64>>,
+    /// Palette index serving when the stream ended (variant scenarios only).
+    pub final_variant: Option<u32>,
 }
 
 impl ServeReport {
@@ -109,6 +133,24 @@ impl ServeReport {
                     transition_cost_usd: e.transition_cost_usd,
                 })
                 .collect(),
+            variant_events: outcome
+                .variant_events
+                .iter()
+                .map(|e| VariantEventReport {
+                    window_index: e.window_index,
+                    trigger: match e.trigger {
+                        ReconfigTrigger::QosViolation => "qos-violation".to_string(),
+                        ReconfigTrigger::OverProvisioning => "over-provisioning".to_string(),
+                    },
+                    from: e.from,
+                    to: e.to,
+                })
+                .collect(),
+            // A single-entry histogram is the variant-less degenerate case: report the
+            // variant dimension only when there is an actual palette.
+            variant_served: (outcome.variant_served.len() > 1)
+                .then(|| outcome.variant_served.clone()),
+            final_variant: (outcome.variant_served.len() > 1).then_some(outcome.final_variant),
         }
     }
 }
@@ -170,6 +212,15 @@ impl ScenarioReport {
             if let Some(s) = plan.saving_percent {
                 pt.insert("saving_percent", Value::from(s));
             }
+            if let Some(variants) = &plan.variants {
+                pt.insert(
+                    "variants",
+                    Value::Array(variants.iter().map(|v| Value::from(v.as_str())).collect()),
+                );
+            }
+            if let Some(acc) = plan.worst_accuracy {
+                pt.insert("worst_accuracy", Value::from(acc));
+            }
             pt.insert("evaluations", Value::from(plan.trace.len()));
             pt.insert("violations", Value::from(plan.violations));
             pt.insert("exploration_cost", Value::from(plan.exploration_cost));
@@ -218,6 +269,30 @@ impl ScenarioReport {
                 })
                 .collect();
             st.insert("events", Value::Array(events));
+            if !serve.variant_events.is_empty() {
+                let switches: Vec<Value> = serve
+                    .variant_events
+                    .iter()
+                    .map(|e| {
+                        let mut t = Value::table();
+                        t.insert("window", Value::from(e.window_index));
+                        t.insert("trigger", Value::from(e.trigger.as_str()));
+                        t.insert("from", Value::from(e.from));
+                        t.insert("to", Value::from(e.to));
+                        t
+                    })
+                    .collect();
+                st.insert("variant_events", Value::Array(switches));
+            }
+            if let Some(served) = &serve.variant_served {
+                st.insert(
+                    "variant_served",
+                    Value::Array(served.iter().map(|&n| Value::from(n)).collect()),
+                );
+            }
+            if let Some(v) = serve.final_variant {
+                st.insert("final_variant", Value::from(v));
+            }
             root.insert("serve", st);
         }
         root
@@ -255,6 +330,13 @@ impl ScenarioReport {
                         ));
                     }
                     lines.push(line);
+                    if let Some(variants) = &plan.variants {
+                        let mut line = format!("  variants: {}", variants.join(" / "));
+                        if let Some(acc) = plan.worst_accuracy {
+                            line.push_str(&format!(" (worst accuracy {acc:.3})"));
+                        }
+                        lines.push(line);
+                    }
                 }
                 _ => lines.push(format!(
                     "  plan: no QoS-satisfying configuration within {} evaluations",
@@ -280,6 +362,19 @@ impl ScenarioReport {
                 lines.push(format!(
                     "    w{} {} -> {:?} (planned {:.0} qps, transition ~${:.4})",
                     e.window_index, e.trigger, e.config, e.planned_qps, e.transition_cost_usd
+                ));
+            }
+            if let Some(served) = &serve.variant_served {
+                lines.push(format!(
+                    "  variants: served per palette index {:?}, final index {}",
+                    served,
+                    serve.final_variant.unwrap_or(0)
+                ));
+            }
+            for e in &serve.variant_events {
+                lines.push(format!(
+                    "    w{} {} variant {} -> {}",
+                    e.window_index, e.trigger, e.from, e.to
                 ));
             }
         }

@@ -60,6 +60,11 @@ pub struct WorkloadSpec {
     pub base_type: Option<String>,
     /// Diverse-pool instance families in dispatch-preference order.
     pub diverse_pool: Option<Vec<String>>,
+    /// Serving-variant palette in preference order (index 0 is the accuracy-best
+    /// variant the planner and router fall back to). Unset = no variant axis.
+    pub variants: Option<Vec<String>>,
+    /// Minimum acceptable serving accuracy; every listed variant must meet it.
+    pub min_accuracy: Option<f64>,
 }
 
 /// `[qos]`: the acceptance criterion (defaults to the model's standard p99 target).
@@ -491,6 +496,8 @@ impl ScenarioSpec {
                 "stream_seed",
                 "base_type",
                 "diverse_pool",
+                "variants",
+                "min_accuracy",
             ],
         )?;
         Ok(WorkloadSpec {
@@ -503,6 +510,8 @@ impl ScenarioSpec {
             stream_seed: opt_unsigned(t, "workload", "stream_seed")?,
             base_type: opt_str(t, "workload", "base_type")?,
             diverse_pool: opt_str_list(t, "workload", "diverse_pool")?,
+            variants: opt_str_list(t, "workload", "variants")?,
+            min_accuracy: opt_f64(t, "workload", "min_accuracy")?,
         })
     }
 
@@ -681,6 +690,16 @@ pub(crate) fn workload_to_value(w: &WorkloadSpec) -> Value {
                 .collect::<Vec<_>>()
         }),
     );
+    put(
+        &mut wt,
+        "variants",
+        w.variants.as_ref().map(|p| {
+            p.iter()
+                .map(|s| Value::from(s.as_str()))
+                .collect::<Vec<_>>()
+        }),
+    );
+    put(&mut wt, "min_accuracy", w.min_accuracy);
     wt
 }
 

@@ -22,8 +22,11 @@
 //! bound falls below the best full evaluation so far are discarded as estimates, and only
 //! the survivors are promoted to full simulations. Fidelity spend is accounted exactly in
 //! [`SearchTrace::fidelity`].
+//!
+//! [`ConfigEvaluator`]: crate::evaluator::ConfigEvaluator
+//! [`ConfigEvaluator::evaluate_many`]: crate::evaluator::ConfigEvaluator::evaluate_many
 
-use crate::evaluator::{ConfigEvaluator, Evaluation};
+use crate::evaluator::{BatchEvaluator, Evaluation};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use ribbon_bo::{Acquisition, BoError, BoOptimizer, BoSettings, Optimizer, Outcome};
@@ -222,14 +225,14 @@ impl SearchTrace {
 /// to ask and the `outcome_of` rule owns how an [`Evaluation`] maps to the strategy's
 /// [`Outcome`] (objective value + pruning verdicts).
 pub struct SearchDriver<'a> {
-    evaluator: &'a ConfigEvaluator,
+    evaluator: &'a dyn BatchEvaluator,
     batch: usize,
     fidelity: Option<f64>,
 }
 
 impl<'a> SearchDriver<'a> {
     /// A driver with the historical one-at-a-time behaviour (`batch = 1`, full fidelity).
-    pub fn new(evaluator: &'a ConfigEvaluator) -> Self {
+    pub fn new(evaluator: &'a dyn BatchEvaluator) -> Self {
         SearchDriver {
             evaluator,
             batch: 1,
@@ -268,7 +271,7 @@ impl<'a> SearchDriver<'a> {
         outcome_of: &dyn Fn(&Evaluation) -> Outcome,
         trace: &mut SearchTrace,
     ) {
-        let full_len = self.evaluator.queries().len().max(1);
+        let full_len = self.evaluator.num_queries().max(1);
         let mut prefix_evaluations: usize = 0;
         let mut prefix_queries: usize = 0;
 
@@ -408,14 +411,14 @@ impl RibbonSearch {
     }
 
     /// Runs the search from scratch on an evaluator.
-    pub fn run(&self, evaluator: &ConfigEvaluator, seed: u64) -> SearchTrace {
+    pub fn run(&self, evaluator: &dyn BatchEvaluator, seed: u64) -> SearchTrace {
         let mut bo = self.make_optimizer(evaluator);
         self.run_with(evaluator, &mut bo, seed)
     }
 
     /// Builds the BO optimizer for an evaluator's lattice (exposed so the load adapter can
     /// warm-start it with estimates and pruning before running).
-    pub fn make_optimizer(&self, evaluator: &ConfigEvaluator) -> BoOptimizer {
+    pub fn make_optimizer(&self, evaluator: &dyn BatchEvaluator) -> BoOptimizer {
         BoOptimizer::new(
             evaluator.lattice(),
             BoSettings {
@@ -433,9 +436,9 @@ impl RibbonSearch {
     /// under a `rate < T_qos − θ` violator, the dominating box above any satisfier).
     pub fn outcome_rule(
         &self,
-        evaluator: &ConfigEvaluator,
+        evaluator: &dyn BatchEvaluator,
     ) -> impl Fn(&Evaluation) -> Outcome + 'static {
-        let target_rate = evaluator.objective().target_rate();
+        let target_rate = evaluator.target_rate();
         let threshold = self.settings.prune_threshold;
         move |e: &Evaluation| {
             Outcome::new(e.config.clone(), e.objective)
@@ -450,7 +453,7 @@ impl RibbonSearch {
     /// At most `max_evaluations` *new* evaluations are performed in this call.
     pub fn run_with(
         &self,
-        evaluator: &ConfigEvaluator,
+        evaluator: &dyn BatchEvaluator,
         bo: &mut BoOptimizer,
         seed: u64,
     ) -> SearchTrace {
@@ -484,13 +487,13 @@ impl RibbonSearch {
     /// [`RibbonSearch::run_with`] at `batch = 1` bit-identical to this).
     pub fn run_legacy_with(
         &self,
-        evaluator: &ConfigEvaluator,
+        evaluator: &dyn BatchEvaluator,
         bo: &mut BoOptimizer,
         seed: u64,
     ) -> SearchTrace {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut trace = SearchTrace::new("RIBBON");
-        let target_rate = evaluator.objective().target_rate();
+        let target_rate = evaluator.target_rate();
 
         if let Some(start) = &self.settings.start_config {
             if bo.lattice().contains(start) && !bo.is_explored(start) {
@@ -511,7 +514,7 @@ impl RibbonSearch {
 
     fn evaluate_and_record(
         &self,
-        evaluator: &ConfigEvaluator,
+        evaluator: &dyn BatchEvaluator,
         bo: &mut BoOptimizer,
         config: Vec<u32>,
         target_rate: f64,
@@ -534,7 +537,7 @@ impl RibbonSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::EvaluatorSettings;
+    use crate::evaluator::{ConfigEvaluator, EvaluatorSettings};
     use ribbon_models::{ModelKind, Workload};
 
     fn small_evaluator() -> ConfigEvaluator {

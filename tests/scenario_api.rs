@@ -187,6 +187,23 @@ fn catalog_data_file_matches_the_builtin_table() {
 }
 
 #[test]
+fn variants_data_file_matches_the_builtin_table() {
+    use ribbon_cloudsim::VariantCatalog;
+    let path = repo_root().join("data/variants.toml");
+    let loaded = VariantCatalog::load(&path.to_string_lossy())
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let builtin = ribbon_models::variants::builtin_variant_catalog();
+    loaded
+        .ensure_matches(&builtin)
+        .unwrap_or_else(|e| panic!("data/variants.toml drifted from ribbon_models::variants: {e}"));
+    assert_eq!(
+        loaded.entries().len(),
+        builtin.entries().len(),
+        "data/variants.toml must list the full builtin variant table, not a subset"
+    );
+}
+
+#[test]
 fn a_quick_bundled_scenario_actually_runs_end_to_end() {
     // The smallest bundled plan scenario, shrunk further so the debug-mode test stays
     // fast: the file's structure is exercised verbatim, only stream size and budget drop.

@@ -60,6 +60,7 @@ spin_up_factor = 0.5
 planning_queries = 1200
 
 [[model]]
+name = "dien-solo"
 bounds = [4, 2, 4]
 share_weight = 0.0
 

@@ -1,0 +1,374 @@
+//! Variant-serving suite (INFaaS-style model-less serving): the joint variant × pool
+//! planner, the per-lane degrade/upgrade router, and the differential guarantees that
+//! make the variant axis safe to ship.
+//!
+//! Three families of pins:
+//!
+//! * **acceptance** — the bundled `mtwnd_variant_plan` scenario's joint plan is
+//!   *strictly* cheaper than the best single-variant plan (computed exhaustively over
+//!   the uniform-assignment sub-lattice), and the bundled `fleet_variant_flash` crowd
+//!   is absorbed entirely by palette degradation — zero pool reconfigurations;
+//! * **differential** — a single-entry palette (`variants = ["fp32-b1"]`) is the
+//!   variant-less pipeline bit for bit, for single-model serve and for sharded fleets
+//!   alike, so turning the axis *on* without using it changes nothing;
+//! * **properties** — spec round-trips preserve the palette keys, and the joint
+//!   evaluator's split/accuracy helpers hold on random configurations.
+
+use proptest::prelude::*;
+use ribbon::evaluator::{BatchEvaluator, EvaluatorSettings};
+use ribbon::fleet::{FleetPlanner, FleetReport, FleetSpec, RibbonFleetPlanner};
+use ribbon::scenario::{Scenario, ScenarioReport, ScenarioSpec};
+use ribbon::VariantEvaluator;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // Integration tests run with CWD = crates/ribbon; artifacts live two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: the bundled scenarios do what their headers promise.
+// ---------------------------------------------------------------------------
+
+/// The joint variant × pool plan of `scenarios/mtwnd_variant_plan.toml` meets QoS on a
+/// pool *strictly* cheaper than the best plan restricted to a single serving variant.
+/// The single-variant optimum is computed exhaustively (uniform palette assignments
+/// over the full pool lattice), so the comparison is against the true frontier, not
+/// against another search's luck.
+#[test]
+fn joint_variant_plan_beats_every_single_variant_plan() {
+    let path = repo_root().join("scenarios/mtwnd_variant_plan.toml");
+    let scenario = Scenario::load(&path.to_string_lossy()).expect("bundled scenario loads");
+    let report = scenario.run().expect("the plan runs");
+    let plan = report.plan.expect("plan mode produces a plan section");
+    let best = plan
+        .best_config
+        .expect("the search finds a QoS-meeting plan");
+    let joint_cost = plan.best_hourly_cost.expect("a best plan has a cost");
+
+    // The chosen plan actually mixes variants across populated types.
+    let names = plan
+        .variants
+        .expect("variant scenarios report an assignment");
+    let evaluator = scenario.build_variant_evaluator();
+    let (counts, _) = evaluator.split(&best);
+    let populated: std::collections::BTreeSet<&str> = counts
+        .iter()
+        .zip(&names)
+        .filter(|(&c, _)| c > 0)
+        .map(|(_, n)| n.as_str())
+        .collect();
+    assert!(
+        populated.len() >= 2,
+        "the winning plan must mix variants, got {names:?} over pool {counts:?}"
+    );
+    let min_accuracy = scenario
+        .workload
+        .min_accuracy
+        .expect("scenario sets a floor");
+    assert!(plan.worst_accuracy.expect("reported") >= min_accuracy);
+
+    // Exhaustive single-variant frontier: every pool point, every *uniform* assignment.
+    let bounds = evaluator.pool_bounds().to_vec();
+    let palette = scenario.workload.variants.len() as u32;
+    let mut uniform = Vec::new();
+    for c0 in 0..=bounds[0] {
+        for c1 in 0..=bounds[1] {
+            for c2 in 0..=bounds[2] {
+                if c0 + c1 + c2 == 0 {
+                    continue;
+                }
+                for v in 0..palette {
+                    uniform.push(vec![c0, c1, c2, v, v, v]);
+                }
+            }
+        }
+    }
+    let best_uniform = evaluator
+        .evaluate_many(&uniform)
+        .into_iter()
+        .filter(|e| e.meets_qos)
+        .map(|e| e.hourly_cost)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_uniform.is_finite(),
+        "some single-variant plan must meet QoS for the comparison to mean anything"
+    );
+    assert!(
+        joint_cost < best_uniform,
+        "joint plan (${joint_cost:.4}/hr) must beat the single-variant frontier \
+         (${best_uniform:.4}/hr) strictly"
+    );
+}
+
+/// The `fleet_variant_flash` crowd is absorbed by the MT-WND lane stepping down its
+/// palette: non-zero degraded-query counts and router switches, *zero* pool
+/// reconfigurations anywhere in the fleet — degradation is the cheaper first resort.
+#[test]
+fn fleet_flash_crowd_is_absorbed_by_degradation_not_reconfiguration() {
+    let path = repo_root().join("scenarios/fleet_variant_flash.toml");
+    let fleet = ribbon::fleet::Fleet::load(&path.to_string_lossy()).expect("fleet loads");
+    let report = RibbonFleetPlanner.serve(&fleet).expect("the fleet serves");
+
+    let totals = report.serve.as_ref().expect("serve totals");
+    assert_eq!(
+        totals.reconfigurations, 0,
+        "the crowd must not force a replan"
+    );
+    assert!(
+        totals.variant_switches > 0,
+        "the crowd must trip the router"
+    );
+
+    let mt = report.models[0].serve.as_ref().expect("serve section");
+    assert!(mt.events.is_empty(), "no slice reconfigurations for MT-WND");
+    assert!(!mt.variant_switches.is_empty());
+    let served = mt.variant_served.as_ref().expect("palette members report");
+    assert_eq!(served.len(), 3, "one counter per palette entry");
+    assert!(served[0] > 0, "baseline serves outside the crowd");
+    assert!(
+        served[1] + served[2] > 0,
+        "the crowd is served degraded: {served:?}"
+    );
+
+    // The fixed-precision member neither degrades nor reports a palette.
+    let dien = report.models[1].serve.as_ref().expect("serve section");
+    assert!(dien.events.is_empty());
+    assert!(dien.variant_served.is_none());
+    assert!(dien.variant_switches.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Differential: a single-entry palette is the variant-less pipeline, bit for bit.
+// ---------------------------------------------------------------------------
+
+fn serve_scenario_toml() -> &'static str {
+    r#"
+[scenario]
+name = "variant-differential"
+mode = "serve"
+seed = 11
+
+[workload]
+model = "MT-WND"
+num_queries = 900
+
+[planner]
+name = "ribbon"
+budget = 8
+baseline = false
+
+[evaluator]
+bounds = [3, 2, 3]
+
+[traffic]
+phases = [
+  { duration_s = 8.0, qps = 1300.0 },
+  { duration_s = 6.0, qps = 1500.0 },
+]
+
+[online]
+window_s = 2.0
+spin_up_factor = 0.5
+planning_queries = 1200
+"#
+}
+
+fn run_serve(palette: Option<&[&str]>) -> ScenarioReport {
+    let mut spec = ScenarioSpec::from_toml_str(serve_scenario_toml()).unwrap();
+    spec.workload.variants = palette.map(|p| p.iter().map(|s| s.to_string()).collect());
+    spec.compile().unwrap().run().unwrap()
+}
+
+/// `variants = ["fp32-b1"]` declares the axis without ever leaving the baseline: the
+/// whole serve report — every window, every reconfiguration, every cost bit — must
+/// equal the variant-less run, and no variant fields may appear.
+#[test]
+fn single_entry_palette_serve_is_bit_identical_to_variantless() {
+    let baseline = run_serve(None);
+    let pinned = run_serve(Some(&["fp32-b1"]));
+    assert_eq!(baseline, pinned, "a one-entry palette must change nothing");
+    let serve = baseline.serve.expect("serve section");
+    assert!(serve.variant_events.is_empty());
+    assert!(serve.variant_served.is_none());
+    assert!(serve.final_variant.is_none());
+
+    // And the money fields agree to the bit, not just under f64 PartialEq.
+    let a = run_serve(None).serve.unwrap();
+    let b = run_serve(Some(&["fp32-b1"])).serve.unwrap();
+    assert_eq!(a.total_cost_usd.to_bits(), b.total_cost_usd.to_bits());
+    assert_eq!(a.mean_hourly_cost.to_bits(), b.mean_hourly_cost.to_bits());
+    assert_eq!(a.final_hourly_cost.to_bits(), b.final_hourly_cost.to_bits());
+}
+
+fn fleet_toml() -> &'static str {
+    r#"
+[fleet]
+name = "variant-fleet-differential"
+mode = "serve"
+seed = 7
+budget = 14
+baseline = false
+shared_pool = ["g4dn", "r5n"]
+shared_bounds = [6, 6]
+
+[[model]]
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "MT-WND"
+num_queries = 900
+
+[model.traffic]
+phases = [
+  { duration_s = 8.0, qps = 1300.0 },
+  { duration_s = 6.0, qps = 1500.0 },
+]
+
+[model.online]
+window_s = 2.0
+spin_up_factor = 0.5
+planning_queries = 1200
+
+[[model]]
+bounds = [4, 2, 4]
+
+[model.workload]
+model = "DIEN"
+num_queries = 800
+
+[model.traffic]
+phases = [
+  { duration_s = 14.0, qps = 1150.0 },
+]
+
+[model.online]
+window_s = 2.0
+spin_up_factor = 0.5
+planning_queries = 1200
+"#
+}
+
+fn serve_fleet(palette: Option<&[&str]>, shards: Option<usize>) -> FleetReport {
+    let mut spec = FleetSpec::from_toml_str(fleet_toml()).unwrap();
+    spec.shards = shards;
+    for m in &mut spec.models {
+        m.workload.variants = palette.map(|p| p.iter().map(|s| s.to_string()).collect());
+    }
+    let fleet = spec.compile().unwrap();
+    RibbonFleetPlanner.serve(&fleet).expect("the fleet serves")
+}
+
+/// The same guarantee for fleets, at every shard count the drive distinguishes: a
+/// one-entry palette on every member reproduces the variant-less fleet report exactly,
+/// so sharding and the variant axis cannot interact.
+#[test]
+fn single_entry_palette_fleet_is_bit_identical_at_every_shard_count() {
+    for shards in [Some(1), Some(2), Some(4)] {
+        let baseline = serve_fleet(None, shards);
+        let pinned = serve_fleet(Some(&["fp32-b1"]), shards);
+        assert_eq!(
+            baseline, pinned,
+            "shards={shards:?}: a one-entry palette must change nothing"
+        );
+        for m in &baseline.models {
+            let serve = m.serve.as_ref().expect("serve section");
+            assert!(serve.variant_served.is_none());
+            assert!(serve.variant_switches.is_empty());
+        }
+        assert_eq!(baseline.serve.as_ref().unwrap().variant_switches, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-layer guarantees and evaluator properties.
+// ---------------------------------------------------------------------------
+
+/// Unknown variant names are rejected at compile time with the offending index in the
+/// error path, and palettes violating the accuracy floor name the violating entry.
+#[test]
+fn bad_palettes_fail_with_path_tagged_errors() {
+    let mut spec = ScenarioSpec::from_toml_str(serve_scenario_toml()).unwrap();
+    spec.workload.variants = Some(vec!["fp32-b1".into(), "fp4-turbo".into()]);
+    let err = spec.compile().unwrap_err().to_string();
+    assert!(err.contains("workload.variants[1]"), "{err}");
+    assert!(err.contains("fp4-turbo"), "{err}");
+
+    let mut spec = ScenarioSpec::from_toml_str(serve_scenario_toml()).unwrap();
+    spec.workload.variants = Some(vec!["fp32-b1".into(), "int8-compiled".into()]);
+    spec.workload.min_accuracy = Some(0.7995);
+    let err = spec.compile().unwrap_err().to_string();
+    assert!(err.contains("workload.variants[1]"), "{err}");
+    assert!(err.contains("min_accuracy"), "{err}");
+}
+
+proptest! {
+    /// Any subset of the supported palette (baseline first) plus any representable
+    /// accuracy floor round-trips through both serialization formats unchanged.
+    #[test]
+    fn prop_variant_keys_round_trip_through_toml_and_json(
+        take_fp16 in 0u32..2,
+        take_int8 in 0u32..2,
+        has_floor in 0u32..2,
+        floor_val in 0.70f64..0.79,
+    ) {
+        let mut palette = vec!["fp32-b1".to_string()];
+        if take_fp16 == 1 {
+            palette.push("fp16-b8".to_string());
+        }
+        if take_int8 == 1 {
+            palette.push("int8-compiled".to_string());
+        }
+        let floor = (has_floor == 1).then_some(floor_val);
+        let mut spec = ScenarioSpec::from_toml_str(serve_scenario_toml()).unwrap();
+        spec.workload.variants = Some(palette);
+        spec.workload.min_accuracy = floor;
+        let via_toml = ScenarioSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+        prop_assert_eq!(&spec, &via_toml);
+        let via_json = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+        prop_assert_eq!(&spec, &via_json);
+        // The compiled workload keeps the palette in declaration order.
+        let scenario = spec.compile().unwrap();
+        prop_assert_eq!(
+            scenario.workload.variants.len(),
+            spec.workload.variants.as_ref().unwrap().len()
+        );
+    }
+
+    /// Joint-lattice helper invariants on random configurations: `split` inverts
+    /// `baseline_config`, and `worst_accuracy` is the min over populated types only.
+    #[test]
+    fn prop_split_and_worst_accuracy_hold_on_random_configs(
+        c0 in 0u32..4, c1 in 0u32..4, c2 in 0u32..4,
+        v0 in 0u32..3, v1 in 0u32..3, v2 in 0u32..3,
+    ) {
+        use ribbon_models::{ModelKind, Workload, ALL_VARIANT_KINDS};
+        let mut w = Workload::standard(ModelKind::MtWnd);
+        w.num_queries = 50; // helpers only — no simulation below
+        w.variants = ALL_VARIANT_KINDS.to_vec();
+        let ev = VariantEvaluator::new(&w, EvaluatorSettings {
+            explicit_bounds: Some(vec![4, 4, 4]),
+            ..Default::default()
+        });
+        let counts = [c0, c1, c2];
+        let joint = [c0, c1, c2, v0, v1, v2];
+        let (pool, vars) = ev.split(&joint);
+        prop_assert_eq!(pool, &counts[..]);
+        prop_assert_eq!(vars, &[v0, v1, v2][..]);
+        let base = ev.baseline_config(&counts);
+        prop_assert_eq!(&base[..3], &counts[..]);
+        prop_assert_eq!(&base[3..], &[0u32, 0, 0][..]);
+
+        let acc_of = |v: u32| ribbon_models::variants::accuracy(
+            ModelKind::MtWnd,
+            ALL_VARIANT_KINDS[v as usize],
+        );
+        let expected = counts
+            .iter()
+            .zip([v0, v1, v2])
+            .filter(|(&c, _)| c > 0)
+            .map(|(_, v)| acc_of(v))
+            .fold(acc_of(0), f64::min);
+        prop_assert_eq!(ev.worst_accuracy(&joint), expected);
+    }
+}
