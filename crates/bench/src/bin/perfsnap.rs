@@ -1,7 +1,7 @@
 //! `perfsnap` — the perf-trajectory snapshot harness.
 //!
 //! Runs the fixed hot-path scenario suite of [`ribbon_bench::perf`] and writes
-//! `BENCH_PR9.json` with wall times for the instrumented hot paths:
+//! `BENCH_PR10.json` with wall times for the instrumented hot paths:
 //!
 //! 1. **simulate** — one 20 000-query stream on a 40-instance six-type pool: reference
 //!    linear scan vs. event-driven heap vs. the lean stats path;
@@ -28,7 +28,11 @@
 //! 8. **variant_search** — the PR 9 tentpole scenario: the joint variant × pool search
 //!    over MT-WND's three-entry precision palette (a six-dimensional
 //!    `[c_0..c_2, v_0..v_2]` lattice), reporting the mixed-precision plan's cost,
-//!    chosen per-type variants, and worst served accuracy.
+//!    chosen per-type variants, and worst served accuracy;
+//! 9. **tiered_serving** — the PR 10 tentpole scenario: the flash-crowd trace split into
+//!    premium / standard / best-effort QoS tiers, served with tier-aware dispatch
+//!    (premium firm-clock preemption, best-effort admission caps), reporting per-tier
+//!    satisfaction, admission drops, and preemptions.
 //!
 //! The search, online, and fleet scenarios all run **through the declarative façades**
 //! (`ribbon::scenario` / `ribbon::fleet`), so the pinned goldens cover spec compilation
@@ -37,7 +41,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfsnap                    # timing suite, writes BENCH_PR9.json
+//! perfsnap                    # timing suite, writes BENCH_PR10.json
 //! perfsnap --check            # also verify the three golden traces (CI mode) and the
 //!                             # fleet trace's shard invariance
 //! perfsnap --bless            # rewrite all three golden trace files
@@ -49,17 +53,17 @@
 //! Timings are machine-dependent and informational; the **traces** are deterministic and
 //! are what `--check` pins. The `--compare` gate and the snapshot schema are documented
 //! in `crates/bench/README.md`; subsequent PRs diff their own snapshot against the
-//! committed `BENCH_PR8.json` (and its predecessors) to keep the perf trajectory
+//! committed `BENCH_PR9.json` (and its predecessors) to keep the perf trajectory
 //! visible.
 
 use ribbon_bench::perf::{
     fleet_trace_lines, hotpath_evaluator, hotpath_workload, online_trace_lines,
     run_batched_hotpath_search, run_fleet_scenario_with_shards, run_hotpath_search,
-    run_online_scenario, run_streaming_scale, run_variant_search, streaming_scale_profile,
-    streaming_scale_streams, trace_lines, BATCHED_SEARCH_BATCH, BATCHED_SEARCH_FIDELITY,
-    FLEET_SEED, HOTPATH_BOUND, HOTPATH_EVALUATIONS, HOTPATH_QUERIES, HOTPATH_SEED,
-    ONLINE_DURATION_S, ONLINE_SEED, STREAMING_SCALE_MODELS, STREAMING_SCALE_QUERIES,
-    VARIANT_SEARCH_EVALUATIONS, VARIANT_SEARCH_SEED,
+    run_online_scenario, run_streaming_scale, run_tiered_scenario, run_variant_search,
+    streaming_scale_profile, streaming_scale_streams, trace_lines, BATCHED_SEARCH_BATCH,
+    BATCHED_SEARCH_FIDELITY, FLEET_SEED, HOTPATH_BOUND, HOTPATH_EVALUATIONS, HOTPATH_QUERIES,
+    HOTPATH_SEED, ONLINE_DURATION_S, ONLINE_SEED, STREAMING_SCALE_MODELS, STREAMING_SCALE_QUERIES,
+    TIERED_DURATION_S, TIERED_SEED, VARIANT_SEARCH_EVALUATIONS, VARIANT_SEARCH_SEED,
 };
 use ribbon_cloudsim::parallel::default_threads;
 use ribbon_cloudsim::{sim, simulate_stats, PoolSpec};
@@ -68,7 +72,7 @@ use std::time::Instant;
 const GOLDEN_PATH: &str = "crates/bench/golden/search_trace.txt";
 const ONLINE_GOLDEN_PATH: &str = "crates/bench/golden/online_trace.txt";
 const FLEET_GOLDEN_PATH: &str = "crates/bench/golden/fleet_trace.txt";
-const OUT_PATH: &str = "BENCH_PR9.json";
+const OUT_PATH: &str = "BENCH_PR10.json";
 
 /// A hot-path metric regresses when it is worse than the prior snapshot by more than
 /// this factor (times for lower-is-better, throughput for higher-is-better).
@@ -207,6 +211,46 @@ fn snapshot_f64(root: &ribbon_spec::Value, path: &str) -> Option<f64> {
     root.get(section)?.get(key)?.as_f64()
 }
 
+/// Renders one comparison row and says whether the metric regressed.
+///
+/// A prior value that is absent (older schema) is "new"; one that is non-positive or
+/// non-finite is "skipped" — the JSON writer maps non-finite floats to `null` and the
+/// parser reads `null` back as NaN, and every NaN comparison is false, so without the
+/// finiteness guard a null-keyed prior would silently disable the gate for that row
+/// *and* render a NaN change column.
+fn metric_row(prior_v: Option<f64>, m: &Metric) -> (String, bool) {
+    match prior_v {
+        None => (
+            format!("| `{}` | — | {:.2} | — | new |", m.path, m.current),
+            false,
+        ),
+        Some(prior_v) if !prior_v.is_finite() || prior_v <= 0.0 => (
+            format!(
+                "| `{}` | {prior_v:.2} | {:.2} | — | skipped |",
+                m.path, m.current
+            ),
+            false,
+        ),
+        Some(prior_v) => {
+            let ratio = m.current / prior_v;
+            let regressed = if m.higher_better {
+                m.current * REGRESSION_FACTOR < prior_v
+            } else {
+                m.current > prior_v * REGRESSION_FACTOR
+            };
+            let change = format!("{:+.1}%", (ratio - 1.0) * 100.0);
+            let status = if regressed { "**REGRESSED**" } else { "ok" };
+            (
+                format!(
+                    "| `{}` | {prior_v:.2} | {:.2} | {change} | {status} |",
+                    m.path, m.current
+                ),
+                regressed,
+            )
+        }
+    }
+}
+
 /// Diffs this run's hot-path metrics against a prior snapshot: prints a markdown table
 /// (appended to `$GITHUB_STEP_SUMMARY` when set) and returns `false` when any metric
 /// regressed by more than [`REGRESSION_FACTOR`]. Metrics the prior snapshot lacks
@@ -235,34 +279,8 @@ fn compare_snapshots(prior_path: &str, metrics: &[Metric]) -> bool {
     ];
     let mut ok = true;
     for m in metrics {
-        let row = match snapshot_f64(&prior, m.path) {
-            None => format!("| `{}` | — | {:.2} | — | new |", m.path, m.current),
-            Some(prior_v) if prior_v <= 0.0 => {
-                format!(
-                    "| `{}` | {prior_v:.2} | {:.2} | — | skipped |",
-                    m.path, m.current
-                )
-            }
-            Some(prior_v) => {
-                let ratio = m.current / prior_v;
-                let regressed = if m.higher_better {
-                    m.current * REGRESSION_FACTOR < prior_v
-                } else {
-                    m.current > prior_v * REGRESSION_FACTOR
-                };
-                let change = format!("{:+.1}%", (ratio - 1.0) * 100.0);
-                let status = if regressed {
-                    ok = false;
-                    "**REGRESSED**"
-                } else {
-                    "ok"
-                };
-                format!(
-                    "| `{}` | {prior_v:.2} | {:.2} | {change} | {status} |",
-                    m.path, m.current
-                )
-            }
-        };
+        let (row, regressed) = metric_row(snapshot_f64(&prior, m.path), m);
+        ok &= !regressed;
         table.push(row);
     }
     table.push(String::new());
@@ -321,7 +339,7 @@ fn main() {
          {HOTPATH_QUERIES} queries, {HOTPATH_EVALUATIONS} evaluations, seed {HOTPATH_SEED}"
     );
 
-    println!("[1/8] simulate: reference scan vs event-driven heap vs lean stats ...");
+    println!("[1/9] simulate: reference scan vs event-driven heap vs lean stats ...");
     let simu = run_simulate_scenario();
     println!(
         "      reference {:.2} ms | heap {:.2} ms ({:.2}x) | stats {:.2} ms ({:.2}x)",
@@ -332,11 +350,11 @@ fn main() {
         simu.reference_ms / simu.stats_ms,
     );
 
-    println!("[2/8] evaluate_many: 16-configuration parallel batch ...");
+    println!("[2/9] evaluate_many: 16-configuration parallel batch ...");
     let (batch, evaluate_many_ms) = run_evaluate_many_scenario();
     println!("      {evaluate_many_ms:.2} ms for {batch} configurations");
 
-    println!("[3/8] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
+    println!("[3/9] bo_search: {HOTPATH_EVALUATIONS}-evaluation RIBBON search ...");
     let t = Instant::now();
     let incremental_trace = run_hotpath_search(true);
     let incremental_ms = ms(t);
@@ -368,7 +386,7 @@ fn main() {
     };
 
     println!(
-        "[4/8] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
+        "[4/9] online_serving: flash-crowd trace, {ONLINE_DURATION_S:.0} s, seed {ONLINE_SEED} ..."
     );
     let t = Instant::now();
     let online = run_online_scenario();
@@ -389,7 +407,7 @@ fn main() {
         );
     }
 
-    println!("[5/8] fleet_serving: two-model joint plan + sharded serve, seed {FLEET_SEED} ...");
+    println!("[5/9] fleet_serving: two-model joint plan + sharded serve, seed {FLEET_SEED} ...");
     let t = Instant::now();
     let fleet = run_fleet_scenario_with_shards(None);
     let fleet_ms = ms(t);
@@ -431,7 +449,7 @@ fn main() {
 
     let scale_shards = default_threads();
     println!(
-        "[6/8] streaming_scale: {STREAMING_SCALE_MODELS} lanes x {STREAMING_SCALE_QUERIES} \
+        "[6/9] streaming_scale: {STREAMING_SCALE_MODELS} lanes x {STREAMING_SCALE_QUERIES} \
          queries through the sharded engine, {scale_shards} shard(s) ..."
     );
     let scale_profile = streaming_scale_profile();
@@ -451,7 +469,7 @@ fn main() {
     drop(scale);
 
     println!(
-        "[7/8] batched_search: {HOTPATH_EVALUATIONS}-evaluation search, batch \
+        "[7/9] batched_search: {HOTPATH_EVALUATIONS}-evaluation search, batch \
          {BATCHED_SEARCH_BATCH}, fidelity {BATCHED_SEARCH_FIDELITY} ..."
     );
     let t = Instant::now();
@@ -472,7 +490,7 @@ fn main() {
     );
 
     println!(
-        "[8/8] variant_search: {VARIANT_SEARCH_EVALUATIONS}-evaluation joint variant x pool \
+        "[8/9] variant_search: {VARIANT_SEARCH_EVALUATIONS}-evaluation joint variant x pool \
          search, seed {VARIANT_SEARCH_SEED} ..."
     );
     let t = Instant::now();
@@ -493,6 +511,36 @@ fn main() {
         variant_plan
             .worst_accuracy
             .expect("the variant scenario fills worst accuracy"),
+    );
+
+    println!(
+        "[9/9] tiered_serving: flash-crowd trace split into QoS tiers, \
+         {TIERED_DURATION_S:.0} s, seed {TIERED_SEED} ..."
+    );
+    let t = Instant::now();
+    let tiered = run_tiered_scenario();
+    let tiered_ms = ms(t);
+    assert!(
+        !tiered.tiers.is_empty(),
+        "the tiered scenario reports per-tier rows"
+    );
+    for row in &tiered.tiers {
+        println!(
+            "      tier {} ({}): {} served, satisfaction {}, {} dropped, {} preemption(s)",
+            row.name,
+            row.class,
+            row.served,
+            row.satisfaction_rate
+                .map_or("n/a".to_string(), |r| format!("{r:.4}")),
+            row.admission_drops,
+            row.preemptions,
+        );
+    }
+    println!(
+        "      {tiered_ms:.2} ms: {} queries, {} windows, {} reconfigurations",
+        tiered.queries,
+        tiered.windows,
+        tiered.events.len(),
     );
 
     let lines = trace_lines(&incremental_trace);
@@ -561,9 +609,24 @@ fn main() {
         .collect();
     let variant_names_json: Vec<String> =
         variant_names.iter().map(|n| format!("\"{n}\"")).collect();
+    let tiered_rows_json: Vec<String> = tiered
+        .tiers
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{\"name\": \"{}\", \"class\": \"{}\", \"served\": {}, \"satisfaction_bits\": \"{:#018x}\", \"admission_drops\": {}, \"preemptions\": {}}}",
+                row.name,
+                row.class,
+                row.served,
+                row.satisfaction_rate.unwrap_or(f64::NAN).to_bits(),
+                row.admission_drops,
+                row.preemptions
+            )
+        })
+        .collect();
     let json = format!(
         r#"{{
-  "pr": 9,
+  "pr": 10,
   "scenario": {{
     "types": 6,
     "per_type_bound": {HOTPATH_BOUND},
@@ -637,6 +700,20 @@ fn main() {
     "worst_accuracy": {:.4},
     "wall_ms": {:.2}
   }},
+  "tiered_serving": {{
+    "scenario": "mtwnd-tiered-flash",
+    "seed": {TIERED_SEED},
+    "duration_s": {TIERED_DURATION_S:.1},
+    "queries": {},
+    "windows": {},
+    "reconfigurations": {},
+    "satisfaction_bits": "{:#018x}",
+    "total_cost_usd": {:.6},
+    "wall_ms": {:.2},
+    "tiers": [
+{}
+    ]
+  }},
   "bo_search": {{
     "baseline_full_refit_ms": {},
     "incremental_ms": {:.2},
@@ -688,6 +765,13 @@ fn main() {
         variant_names_json.join(", "),
         variant_plan.worst_accuracy.unwrap(),
         variant_ms,
+        tiered.queries,
+        tiered.windows,
+        tiered.events.len(),
+        tiered.satisfaction_rate.unwrap_or(f64::NAN).to_bits(),
+        tiered.total_cost_usd,
+        tiered_ms,
+        tiered_rows_json.join(",\n"),
         fmt_ms(baseline_ms),
         incremental_ms,
         fmt_ms(baseline_ms.map(|b| b / incremental_ms)),
@@ -733,10 +817,69 @@ fn main() {
                 current: variant_ms,
                 higher_better: false,
             },
+            Metric {
+                path: "tiered_serving.wall_ms",
+                current: tiered_ms,
+                higher_better: false,
+            },
         ];
         if !compare_snapshots(&prior, &metrics) {
             eprintln!("perfsnap --compare: hot-path regression beyond 25% — failing");
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(path: &'static str, current: f64, higher_better: bool) -> Metric {
+        Metric {
+            path,
+            current,
+            higher_better,
+        }
+    }
+
+    /// A prior snapshot written by an older run can hold `null` where a metric was
+    /// non-finite (the JSON writer maps NaN/inf there); the parser reads it back as
+    /// NaN. Such rows must be skipped, not silently compared (every NaN comparison is
+    /// false, which would render a NaN change column and disable the gate unnoticed).
+    #[test]
+    fn null_keyed_prior_rows_are_skipped() {
+        let prior = ribbon_spec::Format::Json
+            .parse(r#"{"pr": 9, "online_serving": {"wall_ms": null}}"#)
+            .unwrap();
+        let m = metric("online_serving.wall_ms", 120.0, false);
+        let prior_v = snapshot_f64(&prior, m.path).expect("the key is present");
+        assert!(prior_v.is_nan(), "null parses to NaN by contract");
+        let (row, regressed) = metric_row(Some(prior_v), &m);
+        assert!(!regressed, "a skipped row never fails the gate");
+        assert!(row.contains("skipped"), "row: {row}");
+        assert!(!row.contains("NaN%"), "no NaN change column: {row}");
+    }
+
+    #[test]
+    fn missing_and_nonpositive_priors_never_gate() {
+        let m = metric("simulate.heap_ms", 50.0, false);
+        let (row, regressed) = metric_row(None, &m);
+        assert!(row.contains("new") && !regressed);
+        let (row, regressed) = metric_row(Some(0.0), &m);
+        assert!(row.contains("skipped") && !regressed);
+    }
+
+    #[test]
+    fn finite_priors_gate_in_the_right_direction() {
+        // Wall time: 25% slower than prior fails, faster never does.
+        let slow = metric("simulate.heap_ms", 130.0, false);
+        assert!(metric_row(Some(100.0), &slow).1, "30% slower regresses");
+        let fast = metric("simulate.heap_ms", 80.0, false);
+        assert!(!metric_row(Some(100.0), &fast).1);
+        // Throughput: lower is the regression.
+        let dropped = metric("streaming_scale.queries_per_s", 70.0, true);
+        assert!(metric_row(Some(100.0), &dropped).1, "30% lower regresses");
+        let raised = metric("streaming_scale.queries_per_s", 130.0, true);
+        assert!(!metric_row(Some(100.0), &raised).1);
     }
 }

@@ -30,6 +30,7 @@ pub fn standard_spec(model: ModelKind) -> ScenarioSpec {
             ..Default::default()
         },
         qos: None,
+        qos_tiers: None,
         planner: PlannerSpec {
             budget: 40,
             ..Default::default()

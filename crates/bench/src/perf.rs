@@ -18,8 +18,8 @@
 
 use ribbon::evaluator::{ConfigEvaluator, EvaluatorSettings};
 use ribbon::scenario::{
-    EvaluatorSpec, OnlineSpec, PlannerSpec, RunMode, ScenarioSpec, ServeReport, TrafficSpec,
-    WorkloadSpec,
+    EvaluatorSpec, OnlineSpec, PlannerSpec, RunMode, ScenarioSpec, ServeReport, TierSpecDef,
+    TrafficSpec, WorkloadSpec,
 };
 use ribbon::search::SearchTrace;
 use ribbon_cloudsim::dist::{ArrivalProcess, BatchDistribution};
@@ -92,6 +92,7 @@ pub fn hotpath_spec(reuse_surrogate: bool) -> ScenarioSpec {
             ..Default::default()
         },
         qos: None,
+        qos_tiers: None,
         planner: PlannerSpec {
             name: "ribbon".to_string(),
             budget: HOTPATH_EVALUATIONS,
@@ -184,6 +185,7 @@ pub fn variant_search_spec() -> ScenarioSpec {
             ..Default::default()
         },
         qos: None,
+        qos_tiers: None,
         planner: PlannerSpec {
             name: "ribbon".to_string(),
             budget: VARIANT_SEARCH_EVALUATIONS,
@@ -234,6 +236,7 @@ pub fn online_spec() -> ScenarioSpec {
             ..Default::default()
         },
         qos: None,
+        qos_tiers: None,
         planner: PlannerSpec {
             name: "ribbon".to_string(),
             budget: 30,
@@ -262,6 +265,92 @@ pub fn online_spec() -> ScenarioSpec {
 pub fn run_online_scenario() -> ServeReport {
     let scenario = online_spec().compile().expect("the online spec compiles");
     let report = scenario.run().expect("the online scenario serves");
+    report.serve.expect("serve mode fills the serve section")
+}
+
+/// Seed of the tiered flash-crowd serve scenario (PR 10).
+pub const TIERED_SEED: u64 = 7;
+
+/// Simulated duration of the tiered serve scenario in seconds.
+pub const TIERED_DURATION_S: f64 = 60.0;
+
+/// The tiered QoS serve scenario: the flash-crowd trace of [`online_spec`] with the
+/// stream split into premium (20 %), standard (50 %), and best-effort batch (30 %,
+/// 10 ms admission cap) tiers. The programmatic twin of
+/// `scenarios/mtwnd_tiered_flash.toml`; the per-tier outcome (premium shielded every
+/// window, best-effort shedding at admission) is the pinned behaviour.
+pub fn tiered_online_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mtwnd-tiered-flash".to_string(),
+        description: "MT-WND tiered serving through a flash crowd; best-effort absorbs the surge"
+            .to_string(),
+        mode: RunMode::Serve,
+        seed: TIERED_SEED,
+        catalog: None,
+        workload: WorkloadSpec {
+            model: "MT-WND".to_string(),
+            ..Default::default()
+        },
+        qos: None,
+        qos_tiers: Some(vec![
+            TierSpecDef {
+                name: "premium".to_string(),
+                class: "premium".to_string(),
+                weight: Some(3.0),
+                share: 0.2,
+                target_rate: None,
+                latency_ms: None,
+                admission_cap_ms: None,
+            },
+            TierSpecDef {
+                name: "standard".to_string(),
+                class: "standard".to_string(),
+                weight: Some(1.0),
+                share: 0.5,
+                target_rate: None,
+                latency_ms: None,
+                admission_cap_ms: None,
+            },
+            TierSpecDef {
+                name: "batch".to_string(),
+                class: "best_effort".to_string(),
+                weight: Some(0.0),
+                share: 0.3,
+                target_rate: None,
+                latency_ms: None,
+                admission_cap_ms: Some(10.0),
+            },
+        ]),
+        planner: PlannerSpec {
+            name: "ribbon".to_string(),
+            budget: 30,
+            ..Default::default()
+        },
+        evaluator: EvaluatorSpec {
+            bounds: Some(vec![7, 4, 7]),
+            ..Default::default()
+        },
+        traffic: Some(TrafficSpec {
+            scenario: Some("flash-crowd".to_string()),
+            phases: None,
+            duration_s: Some(TIERED_DURATION_S),
+        }),
+        online: OnlineSpec {
+            window_s: Some(2.0),
+            spin_up_factor: Some(0.5),
+            planning_queries: Some(2500),
+            ..Default::default()
+        },
+    }
+}
+
+/// Runs the tiered serve scenario through the façade, returning the serve section with
+/// its per-tier rows (served/satisfaction/drops/preemptions per tier).
+pub fn run_tiered_scenario() -> ServeReport {
+    let scenario = tiered_online_spec()
+        .compile()
+        .expect("the tiered spec compiles");
+    let report = scenario.run().expect("the tiered scenario serves");
     report.serve.expect("serve mode fills the serve section")
 }
 
@@ -321,6 +410,7 @@ pub fn fleet_spec() -> ribbon::fleet::FleetSpec {
             ..Default::default()
         },
         qos: None,
+        qos_tiers: None,
         traffic: Some(TrafficSpec {
             scenario: None,
             phases: Some(phases),
@@ -463,6 +553,7 @@ pub fn run_streaming_scale(
             share_weight: 0.0,
             spin_up_factor: 1.0,
             variant_policy: None,
+            tiers: None,
         })
         .collect();
     simulate_fleet_sharded(models, None, streams, shards, false)
@@ -625,6 +716,16 @@ mod tests {
             .spec;
         bundled.catalog = None;
         assert_eq!(bundled, variant_search_spec());
+    }
+
+    #[test]
+    fn tiered_spec_is_the_twin_of_the_bundled_file() {
+        let path = "../../scenarios/mtwnd_tiered_flash.toml";
+        let mut bundled = ribbon::scenario::Scenario::load(path)
+            .expect("bundled file loads")
+            .spec;
+        bundled.catalog = None;
+        assert_eq!(bundled, tiered_online_spec());
     }
 
     #[test]

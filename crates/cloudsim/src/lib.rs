@@ -47,6 +47,7 @@ pub mod router;
 pub mod sharded;
 pub mod sim;
 pub mod streaming;
+pub mod tier;
 
 pub use catalog::{Catalog, CatalogEntry, VariantCatalog, VariantEntry};
 pub use error::ConfigError;
@@ -62,10 +63,12 @@ pub use router::{
     VariantPolicy, VariantSwitch,
 };
 pub use sharded::{
-    partition_groups, simulate_fleet_serial, simulate_fleet_sharded, FleetRunOutcome,
+    partition_groups, simulate_fleet_serial, simulate_fleet_sharded, tag_tier, tier_assigners,
+    FleetRunOutcome,
 };
 pub use sim::{simulate, simulate_many, simulate_stats, PoolSimulator, SimResult, SimStats};
 pub use streaming::{
-    cost_from_billing, Reconfiguration, SlotBilling, StreamingSim, StreamingSimConfig,
+    cost_from_billing, Reconfiguration, SlotBilling, StreamingSim, StreamingSimConfig, TierPush,
     WindowConfig, WindowStats,
 };
+pub use tier::{AdmissionClass, TierAssigner, TierSet, TierSpec, TierTotals, TierWindowStats};

@@ -37,9 +37,10 @@ use crate::latency::LatencyModel;
 use crate::query::Query;
 use crate::sim::SimStats;
 use crate::streaming::{
-    Reconfiguration, SlotBilling, StreamingSim, StreamingSimConfig, WindowBuf, WindowConfig,
-    WindowStats,
+    Reconfiguration, SlotBilling, StreamingSim, StreamingSimConfig, TierLedger, TierPush,
+    WindowBuf, WindowConfig, WindowStats,
 };
+use crate::tier::{AdmissionClass, TierSet, TierTotals};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -50,6 +51,20 @@ pub struct TaggedQuery {
     pub model: usize,
     /// The query itself.
     pub query: Query,
+    /// Priority-tier index within the model's tier set (`0` for untiered members —
+    /// the only valid value when the member has no tiers configured).
+    pub tier: u32,
+}
+
+impl TaggedQuery {
+    /// An untiered tag (tier 0) — the only tier untiered members accept.
+    pub fn new(model: usize, query: Query) -> Self {
+        TaggedQuery {
+            model,
+            query,
+            tier: 0,
+        }
+    }
 }
 
 /// Merges per-model query streams into one arrival-ordered tagged stream.
@@ -81,10 +96,7 @@ pub fn merge_tagged_slices(streams: &[&[Query]]) -> Vec<TaggedQuery> {
             }
         }
         let (_, m) = best.expect("total counts remaining queries");
-        merged.push(TaggedQuery {
-            model: m,
-            query: streams[m][cursors[m]],
-        });
+        merged.push(TaggedQuery::new(m, streams[m][cursors[m]]));
         cursors[m] += 1;
     }
     merged
@@ -113,6 +125,9 @@ pub struct FleetModelConfig<'a> {
     /// Per-query variant routing policy for the dedicated lane; `None` serves the
     /// accuracy-best baseline for every query (bit-identical to a variant-less run).
     pub variant_policy: Option<VariantPolicy>,
+    /// Priority tiers for this model's traffic; `None` (or a single plain standard
+    /// tier) serves bit-identically to an untiered run.
+    pub tiers: Option<TierSet>,
 }
 
 /// Deterministic per-query variant selection for a model's dedicated lane.
@@ -146,14 +161,26 @@ pub struct VariantPolicy {
 impl VariantPolicy {
     /// The default policy for a palette of `num_variants`: degrade at 70 % of the QoS
     /// bound, upgrade below 35 %, over a 32-query rolling mean with a 64-query dwell.
+    ///
+    /// # Panics
+    /// Panics on an empty palette (`num_variants == 0`) — a policy with nothing to
+    /// route over is a configuration error, not something to clamp around. Spec-file
+    /// paths use [`VariantPolicy::try_new`] and surface the error instead.
     pub fn new(num_variants: u32) -> Self {
-        VariantPolicy {
+        Self::try_new(num_variants).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating form of [`VariantPolicy::new`] — the spec-file path.
+    pub fn try_new(num_variants: u32) -> Result<Self, crate::error::ConfigError> {
+        let policy = VariantPolicy {
             num_variants,
             degrade_ratio: 0.70,
             upgrade_ratio: 0.35,
             window: 32,
             dwell: 64,
-        }
+        };
+        policy.validate()?;
+        Ok(policy)
     }
 
     fn validate(&self) -> Result<(), crate::error::ConfigError> {
@@ -218,6 +245,44 @@ impl PartialOrd for SharedBusy {
     }
 }
 
+/// Earliest start time at or after `at` under per-slot clocks: `at` when some clock is
+/// at or before `at`, otherwise the minimum clock.
+fn scan_clocks(clocks: &[f64], at: f64) -> f64 {
+    let mut earliest = f64::INFINITY;
+    for &c in clocks {
+        if c <= at {
+            return at;
+        }
+        if c < earliest {
+            earliest = c;
+        }
+    }
+    if earliest.is_finite() {
+        earliest
+    } else {
+        at
+    }
+}
+
+/// Tiered shared-slot selection under per-slot clocks, replicating the two-heap rule:
+/// the lowest-indexed slot whose clock is at or before `arrival` starts it at
+/// `arrival`; otherwise the slot minimising `(clock, index)` (via `total_cmp`) starts
+/// it at its clock. Shared-slot ranks equal indices (the slice never reconfigures).
+fn select_shared(clocks: &[f64], arrival: f64) -> (usize, f64) {
+    for (i, &c) in clocks.iter().enumerate() {
+        if c <= arrival {
+            return (i, arrival);
+        }
+    }
+    let mut best = 0usize;
+    for i in 1..clocks.len() {
+        if clocks[i].total_cmp(&clocks[best]) == std::cmp::Ordering::Less {
+            best = i;
+        }
+    }
+    (best, clocks[best])
+}
+
 /// The shared slice of a fleet pool: slots that serve queries of *any* model, each query
 /// timed by its own model's latency profile. Same two-heap FCFS dispatch as the
 /// single-model simulator; no mid-stream reconfiguration (the shared slice is sized by
@@ -229,6 +294,11 @@ pub struct SharedServer<'a> {
     load: Vec<u64>,
     idle: BinaryHeap<Reverse<(usize, usize)>>,
     busy: BinaryHeap<SharedBusy>,
+    // Tiered clocks (see `enable_tiered_clocks`): per-slot full and firm completion
+    // times. Empty until tiered mode is enabled; from then on the heaps are bypassed.
+    tiered: bool,
+    free_at: Vec<f64>,
+    firm_free_at: Vec<f64>,
 }
 
 impl<'a> SharedServer<'a> {
@@ -251,7 +321,25 @@ impl<'a> SharedServer<'a> {
             idle: (0..n).map(|i| Reverse((i, i))).collect(),
             busy: BinaryHeap::new(),
             types,
+            tiered: false,
+            free_at: Vec::new(),
+            firm_free_at: Vec::new(),
         }
+    }
+
+    /// Switches the shared slice to tiered dispatch: per-slot full and firm clocks
+    /// replace the two heaps, so premium queries (of any model) can overtake queued
+    /// best-effort work. Must be called before the first push. A fleet whose every
+    /// query dispatches as standard behaves bit-identically to the untiered heaps.
+    pub(crate) fn enable_tiered_clocks(&mut self) {
+        debug_assert!(
+            self.load.iter().all(|&l| l == 0),
+            "tiered clocks must be enabled before the first shared dispatch"
+        );
+        let n = self.types.len();
+        self.tiered = true;
+        self.free_at = vec![0.0; n];
+        self.firm_free_at = vec![0.0; n];
     }
 
     /// The shared pool.
@@ -266,6 +354,9 @@ impl<'a> SharedServer<'a> {
 
     /// Earliest time at or after `at` when a shared slot could start a query.
     pub fn next_available_at(&self, at: f64) -> f64 {
+        if self.tiered {
+            return scan_clocks(&self.free_at, at);
+        }
         if !self.idle.is_empty() {
             return at;
         }
@@ -273,6 +364,16 @@ impl<'a> SharedServer<'a> {
             Some(b) => b.free_at.max(at),
             None => at,
         }
+    }
+
+    /// Earliest time at or after `at` when a shared slot could start a *premium*
+    /// query — it waits only on the firm clock. Untiered slices answer like
+    /// [`SharedServer::next_available_at`].
+    pub fn next_available_at_premium(&self, at: f64) -> f64 {
+        if self.tiered {
+            return scan_clocks(&self.firm_free_at, at);
+        }
+        self.next_available_at(at)
     }
 
     /// Dispatches one query of `model`, returning `(completion, latency)`.
@@ -306,6 +407,49 @@ impl<'a> SharedServer<'a> {
             slot,
         });
         (completion, completion - q.arrival)
+    }
+
+    /// Tiered dispatch of one query of `model`: premium dispatches against the firm
+    /// clocks and may overtake (preempt) queued best-effort work; best-effort honours
+    /// `cap` (its admission cap) and never advances the firm clocks; standard is the
+    /// plain FCFS rule. Returns `None` when the query was dropped at admission,
+    /// otherwise `(completion, latency, preempted)`.
+    fn push_tiered(
+        &mut self,
+        model: usize,
+        q: &Query,
+        class: AdmissionClass,
+        cap: Option<f64>,
+    ) -> Option<(f64, f64, bool)> {
+        debug_assert!(self.tiered, "tiered shared dispatch needs tiered clocks");
+        let (slot, start) = match class {
+            AdmissionClass::Premium => select_shared(&self.firm_free_at, q.arrival),
+            _ => select_shared(&self.free_at, q.arrival),
+        };
+        if class == AdmissionClass::BestEffort {
+            if let Some(cap) = cap {
+                if start - q.arrival > cap {
+                    return None;
+                }
+            }
+        }
+        let preempted = class == AdmissionClass::Premium && start < self.free_at[slot];
+        let service = self.profiles[model]
+            .service_time(self.types[slot], q.batch_size)
+            .max(0.0);
+        let completion = start + service;
+        if preempted {
+            // Forward-only preemption: the displaced best-effort backlog is pushed
+            // back by the premium query's service time (see the tier module docs).
+            self.free_at[slot] += service;
+        } else {
+            self.free_at[slot] = completion;
+        }
+        if class != AdmissionClass::BestEffort {
+            self.firm_free_at[slot] = completion;
+        }
+        self.load[slot] += 1;
+        Some((completion, completion - q.arrival, preempted))
     }
 
     /// Accrued cost of the (static) shared slice up to `t`.
@@ -347,6 +491,8 @@ struct ModelState<'a> {
     window_buf: WindowBuf,
     win_lats: Vec<f64>,
     next_window: u64,
+    // Per-tier accounting covering lane + shared dispatches (None ⇒ untiered member).
+    tier: Option<TierLedger>,
 }
 
 impl ModelState<'_> {
@@ -392,8 +538,10 @@ impl ModelState<'_> {
         }
     }
 
-    /// Feeds one dedicated-lane latency into the policy's rolling window (ring buffer).
-    fn observe_lane_latency(&mut self, latency: f64) {
+    /// Feeds one served latency into the policy's rolling window (ring buffer).
+    /// Both routes feed it — a member served mostly through the shared slice must
+    /// still accumulate evidence, or it would never degrade under load.
+    fn observe_latency(&mut self, latency: f64) {
         let Some(policy) = self.variant_policy else {
             return;
         };
@@ -433,9 +581,18 @@ impl<'a> FleetSim<'a> {
     /// Panics if some model has neither dedicated capacity nor shared access, or if a
     /// window config is invalid.
     pub fn new(models: Vec<FleetModelConfig<'a>>, shared: Option<PoolSpec>) -> Self {
+        // Any tiered member switches the *shared* slice to tiered clocks (its slots
+        // serve every model, so premium overtaking must see one consistent clock set);
+        // untiered members' queries then dispatch there as plain standard, which is
+        // bit-identical to the heaps. Dedicated lanes stay per-member.
+        let fleet_tiered = models.iter().any(|m| m.tiers.is_some());
         let shared = shared.filter(|p| p.total_instances() > 0).map(|pool| {
             let profiles: Vec<&'a dyn LatencyModel> = models.iter().map(|m| m.profile).collect();
-            SharedServer::new(&pool, profiles)
+            let mut server = SharedServer::new(&pool, profiles);
+            if fleet_tiered {
+                server.enable_tiered_clocks();
+            }
+            server
         });
         let states: Vec<ModelState<'a>> = models
             .into_iter()
@@ -451,11 +608,12 @@ impl<'a> FleetSim<'a> {
                         window: WindowConfig::tumbling(1e18),
                         spin_up_factor: m.spin_up_factor,
                     };
-                    Some(StreamingSim::new(
-                        &m.pool,
-                        m.profile as &dyn LatencyModel,
-                        lane_config,
-                    ))
+                    let mut lane =
+                        StreamingSim::new(&m.pool, m.profile as &dyn LatencyModel, lane_config);
+                    if let Some(set) = &m.tiers {
+                        lane.enable_tiers(set.clone());
+                    }
+                    Some(lane)
                 } else {
                     None
                 };
@@ -497,6 +655,7 @@ impl<'a> FleetSim<'a> {
                     window_buf: WindowBuf::default(),
                     win_lats: Vec::new(),
                     next_window: 0,
+                    tier: m.tiers.map(TierLedger::new),
                 }
             })
             .collect();
@@ -546,9 +705,10 @@ impl<'a> FleetSim<'a> {
     /// always serve the baseline and fold into index 0.
     pub fn variant_served(&self, model: usize) -> Vec<u64> {
         let m = &self.models[model];
+        // A validated policy always has at least one variant, so no clamp is needed.
         let mut counts = match (&m.lane, m.variant_policy) {
             (Some(lane), _) => lane.variant_served().to_vec(),
-            (None, Some(policy)) => vec![0; policy.num_variants.max(1) as usize],
+            (None, Some(policy)) => vec![0; policy.num_variants as usize],
             (None, None) => vec![0],
         };
         counts[0] += m.shared_queries as u64;
@@ -558,6 +718,20 @@ impl<'a> FleetSim<'a> {
     /// The variant switches the router applied on one model's lane, in stream order.
     pub fn variant_switches(&self, model: usize) -> &[VariantSwitch] {
         &self.models[model].variant_switches
+    }
+
+    /// One model's tier set, when the member is tiered.
+    pub fn tier_set(&self, model: usize) -> Option<&TierSet> {
+        self.models[model].tier.as_ref().map(|ledger| &ledger.set)
+    }
+
+    /// One model's whole-stream per-tier totals (lane + shared dispatches), in
+    /// tier-set order; empty for untiered members.
+    pub fn tier_totals(&self, model: usize) -> &[TierTotals] {
+        self.models[model]
+            .tier
+            .as_ref()
+            .map_or(&[], |ledger| &ledger.totals)
     }
 
     /// Fleet-wide hourly cost of the currently deployed pools (lanes + shared).
@@ -601,7 +775,11 @@ impl<'a> FleetSim<'a> {
     /// Non-allocating form of [`FleetSim::push`]: closed windows are appended to
     /// `closed` (which the caller typically `drain`s and reuses), keeping the hot path
     /// free of per-query heap allocation.
-    pub fn push_into(&mut self, tq: &TaggedQuery, closed: &mut Vec<(usize, WindowStats)>) {
+    ///
+    /// Returns `false` when the query — a best-effort one over its tier's admission
+    /// cap — was dropped at admission instead of served (`true` for every untiered
+    /// query).
+    pub fn push_into(&mut self, tq: &TaggedQuery, closed: &mut Vec<(usize, WindowStats)>) -> bool {
         let q = &tq.query;
         debug_assert!(
             q.arrival >= self.clock,
@@ -615,11 +793,36 @@ impl<'a> FleetSim<'a> {
         }
 
         let state = &mut self.models[tq.model];
+        let tiered = state.tier.is_some();
+        let (class, cap) = match &state.tier {
+            Some(ledger) => {
+                let spec = &ledger.set.tiers()[tq.tier as usize];
+                (spec.class, spec.admission_cap_s)
+            }
+            None => {
+                debug_assert_eq!(tq.tier, 0, "untiered members only accept tier 0");
+                (AdmissionClass::Standard, None)
+            }
+        };
         let route = match (&state.lane, &self.shared) {
             (None, Some(_)) => Route::Shared,
             (Some(lane), Some(shared)) if state.share_weight > 0.0 => {
-                let lane_wait = lane.next_available_at(q.arrival) - q.arrival;
-                let shared_wait = shared.next_available_at(q.arrival) - q.arrival;
+                // A premium query waits only on each side's firm clock (it may
+                // overtake queued best-effort work); every other class waits on the
+                // full clock — which for untiered members is the plain availability.
+                let (lane_avail, shared_avail) = if class == AdmissionClass::Premium {
+                    (
+                        lane.next_available_at_tier(q.arrival, tq.tier),
+                        shared.next_available_at_premium(q.arrival),
+                    )
+                } else {
+                    (
+                        lane.next_available_at(q.arrival),
+                        shared.next_available_at(q.arrival),
+                    )
+                };
+                let lane_wait = lane_avail - q.arrival;
+                let shared_wait = shared_avail - q.arrival;
                 // Weight ≥ 1 prefers the shared slice on ties (the shared slots hold
                 // the premium types and the lane is the spillover); weight < 1 keeps
                 // strict overflow semantics (the lane serves unless the shared side is
@@ -638,26 +841,59 @@ impl<'a> FleetSim<'a> {
             (Some(_), _) => Route::Dedicated,
             (None, None) => unreachable!("constructor guarantees capacity for every model"),
         };
-        let (completion, latency) = match route {
+        // Evaluate the variant policy on every arrival, whichever side serves it: a
+        // member routed mostly through the shared slice still accumulates evidence,
+        // and the switch must fire from shared completions too. Routing above never
+        // looks at the serving variant, so evaluating here keeps the dedicated path's
+        // dispatch timing unchanged.
+        state.maybe_switch_variant(q.arrival);
+        // `None` ⇒ dropped at admission (best-effort over its cap).
+        let served: Option<(f64, f64, bool)> = match route {
             Route::Dedicated => {
-                state.maybe_switch_variant(q.arrival);
                 let lane = state.lane.as_mut().expect("dedicated route has a lane");
                 let mut none = Vec::new();
-                lane.push_into(q, &mut none);
+                let outcome = if tiered {
+                    lane.push_tiered_into(q, tq.tier, &mut none)
+                } else {
+                    lane.push_into(q, &mut none);
+                    TierPush::Served { preempted: false }
+                };
                 debug_assert!(none.is_empty(), "lane windows are practically infinite");
-                let served = (lane.last_completion(), lane.last_latency());
-                state.observe_lane_latency(served.1);
-                served
+                match outcome {
+                    TierPush::Served { preempted } => {
+                        Some((lane.last_completion(), lane.last_latency(), preempted))
+                    }
+                    TierPush::Dropped => None,
+                }
             }
             Route::Shared => {
-                state.shared_queries += 1;
-                self.shared
+                let shared = self
+                    .shared
                     .as_mut()
-                    .expect("shared route has a shared slice")
-                    .push(tq.model, q)
+                    .expect("shared route has a shared slice");
+                let outcome = if shared.tiered {
+                    shared.push_tiered(tq.model, q, class, cap)
+                } else {
+                    let (completion, latency) = shared.push(tq.model, q);
+                    Some((completion, latency, false))
+                };
+                if outcome.is_some() {
+                    state.shared_queries += 1;
+                }
+                outcome
             }
         };
 
+        let Some((completion, latency, preempted)) = served else {
+            state
+                .tier
+                .as_mut()
+                .expect("only tiered members drop at admission")
+                .record_drop(tq.tier, q.arrival);
+            self.clock = q.arrival;
+            return false;
+        };
+        state.observe_latency(latency);
         state.latency_sum += latency;
         if latency <= state.target_latency_s {
             state.satisfied += 1;
@@ -669,8 +905,22 @@ impl<'a> FleetSim<'a> {
         if completion > state.makespan {
             state.makespan = completion;
         }
-        state.window_buf.push(q.arrival, completion, latency);
+        if let Some(ledger) = state.tier.as_mut() {
+            state
+                .window_buf
+                .push_tiered(q.arrival, completion, latency, tq.tier);
+            ledger.record_serve(
+                tq.tier,
+                q.arrival,
+                latency,
+                state.target_latency_s,
+                preempted,
+            );
+        } else {
+            state.window_buf.push(q.arrival, completion, latency);
+        }
         self.clock = q.arrival;
+        true
     }
 
     /// Replaces one model's dedicated slice mid-stream (drain/retire + spin-up, exactly
@@ -739,8 +989,14 @@ impl<'a> FleetSim<'a> {
     pub fn finish_windows(&mut self) -> Vec<(usize, WindowStats)> {
         let mut out = Vec::new();
         for m in 0..self.models.len() {
+            // A final window may hold admission drops alone, so undrained tier
+            // events keep the flush going too.
             while self.models[m].window_start(self.models[m].next_window) <= self.clock
-                && !self.models[m].window_buf.is_empty()
+                && (!self.models[m].window_buf.is_empty()
+                    || self.models[m]
+                        .tier
+                        .as_ref()
+                        .is_some_and(|ledger| ledger.has_events()))
             {
                 let w = self.close_next_window(m, false);
                 out.push((m, w));
@@ -819,9 +1075,23 @@ impl<'a> FleetSim<'a> {
         } else {
             end.min(fleet_makespan.max(clock))
         };
+        // The per-tier breakdown runs after (and never perturbs) the shared fields.
+        let tiers = match m.tier.as_mut() {
+            Some(ledger) => ledger.close_window(
+                &m.window_buf,
+                start,
+                end,
+                m.target_latency_s,
+                m.tail_percentile,
+            ),
+            None => Vec::new(),
+        };
         m.next_window += 1;
         let horizon = m.window_start(m.next_window);
         m.window_buf.evict_before(horizon);
+        if let Some(ledger) = m.tier.as_mut() {
+            ledger.evict_before(horizon);
+        }
         WindowStats {
             index,
             start_s: start,
@@ -835,6 +1105,7 @@ impl<'a> FleetSim<'a> {
             throughput_qps: completed_in_window as f64 / span,
             pool_hourly_cost: fleet_hourly,
             cost_so_far_usd: self.cost_so_far(cost_horizon),
+            tiers,
         }
     }
 }
@@ -881,6 +1152,7 @@ mod tests {
             share_weight,
             spin_up_factor: 1.0,
             variant_policy: None,
+            tiers: None,
         }
     }
 
@@ -940,10 +1212,7 @@ mod tests {
         let mut fleet = FleetSim::new(vec![member(pool.clone(), &m, 0.0)], None);
         let mut fleet_windows = Vec::new();
         for q in &queries {
-            for (mi, w) in fleet.push(&TaggedQuery {
-                model: 0,
-                query: *q,
-            }) {
+            for (mi, w) in fleet.push(&TaggedQuery::new(0, *q)) {
                 assert_eq!(mi, 0);
                 fleet_windows.push(w);
             }
@@ -973,10 +1242,7 @@ mod tests {
         let run = |shared: Option<PoolSpec>| {
             let mut fleet = FleetSim::new(vec![member(lane_pool.clone(), &m, 1.0)], shared);
             for q in &queries {
-                fleet.push(&TaggedQuery {
-                    model: 0,
-                    query: *q,
-                });
+                fleet.push(&TaggedQuery::new(0, *q));
             }
             (fleet.stats(0), fleet.shared_queries(0))
         };
@@ -1004,10 +1270,7 @@ mod tests {
             Some(PoolSpec::homogeneous(InstanceType::G4dn, 2)),
         );
         for q in &queries {
-            fleet.push(&TaggedQuery {
-                model: 0,
-                query: *q,
-            });
+            fleet.push(&TaggedQuery::new(0, *q));
         }
         assert_eq!(fleet.shared_queries(0), 0);
         assert_eq!(fleet.shared().unwrap().per_slot_load(), &[0, 0]);
@@ -1026,10 +1289,7 @@ mod tests {
             Some(PoolSpec::homogeneous(InstanceType::G4dn, 2)),
         );
         for q in &queries {
-            fleet.push(&TaggedQuery {
-                model: 0,
-                query: *q,
-            });
+            fleet.push(&TaggedQuery::new(0, *q));
         }
         assert_eq!(fleet.shared_queries(0), queries.len());
         let stats = fleet.stats(0);
@@ -1182,10 +1442,7 @@ mod tests {
 
         let (mut pw, mut rw) = (Vec::new(), Vec::new());
         for q in &queries {
-            let tq = TaggedQuery {
-                model: 0,
-                query: *q,
-            };
+            let tq = TaggedQuery::new(0, *q);
             plain.push_into(&tq, &mut pw);
             routed.push_into(&tq, &mut rw);
         }
@@ -1218,10 +1475,7 @@ mod tests {
 
         let queries = spaced_queries(&[(400, 0.005), (200, 0.05)]);
         for q in &queries {
-            fleet.push(&TaggedQuery {
-                model: 0,
-                query: *q,
-            });
+            fleet.push(&TaggedQuery::new(0, *q));
         }
 
         let switches = fleet.variant_switches(0);
@@ -1257,5 +1511,54 @@ mod tests {
         let mut cfg = member(PoolSpec::homogeneous(InstanceType::C5, 1), &m, 0.0);
         cfg.variant_policy = Some(VariantPolicy::new(2));
         let _ = FleetSim::new(vec![cfg], None);
+    }
+
+    #[test]
+    fn shared_slice_completions_feed_the_variant_policy() {
+        // Regression: the rolling variant window used to be fed by dedicated-lane
+        // completions only, so a member served mostly through the shared slice never
+        // accumulated evidence and never degraded. Here share_weight = 1 prefers the
+        // shared slice on ties and arrivals are spaced far enough apart that both
+        // sides are always idle — every query is served shared at 30 ms against a
+        // 20 ms bound, the lane serves nothing, and the degradation must still fire.
+        let m = StepVariantModel {
+            slow: 0.030,
+            fast: 0.001,
+        };
+        let mut cfg = member(PoolSpec::homogeneous(InstanceType::T3, 1), &m, 1.0);
+        cfg.variant_policy = Some(VariantPolicy::new(2));
+        let mut fleet = FleetSim::new(vec![cfg], Some(PoolSpec::homogeneous(InstanceType::T3, 1)));
+
+        let queries = spaced_queries(&[(200, 0.04)]);
+        for q in &queries {
+            fleet.push(&TaggedQuery::new(0, *q));
+        }
+
+        assert_eq!(
+            fleet.shared_queries(0),
+            queries.len(),
+            "ties must route every query through the shared slice"
+        );
+        let switches = fleet.variant_switches(0);
+        assert!(
+            !switches.is_empty(),
+            "shared-slice completions must fill the policy window and degrade"
+        );
+        assert_eq!((switches[0].from, switches[0].to), (0, 1));
+    }
+
+    #[test]
+    fn zero_variant_palette_is_a_typed_spec_error() {
+        let err = VariantPolicy::try_new(0).unwrap_err();
+        assert!(
+            err.to_string().contains("at least one variant"),
+            "the error names the problem: {err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variant")]
+    fn zero_variant_palette_panics_in_the_infallible_constructor() {
+        let _ = VariantPolicy::new(0);
     }
 }

@@ -44,6 +44,28 @@ use crate::query::Query;
 use crate::router::{merge_tagged_slices, FleetModelConfig, FleetSim, TaggedQuery};
 use crate::sim::SimStats;
 use crate::streaming::{cost_from_billing, SlotBilling, WindowStats};
+use crate::tier::{TierAssigner, TierTotals};
+
+/// Per-member tier assigners for a drive: tier tags depend only on the member and the
+/// member-local query index (largest-remainder rotation), so the serial and sharded
+/// drives — where each member's stream is replayed in order inside exactly one group —
+/// assign identical tiers at every shard count.
+pub fn tier_assigners(models: &[FleetModelConfig<'_>]) -> Vec<Option<TierAssigner>> {
+    models
+        .iter()
+        .map(|m| m.tiers.as_ref().map(|set| set.assigner()))
+        .collect()
+}
+
+/// Stamps a merged-stream query with its member's next tier (untiered members keep
+/// tier 0).
+pub fn tag_tier(tq: &TaggedQuery, assigners: &mut [Option<TierAssigner>]) -> TaggedQuery {
+    let mut tq = *tq;
+    if let Some(assigner) = assigners[tq.model].as_mut() {
+        tq.tier = assigner.next_tier();
+    }
+    tq
+}
 
 /// Partitions fleet members into coupling groups (see the module docs): with
 /// `has_shared`, all members with positive share weight form one group, everyone else
@@ -78,6 +100,9 @@ pub struct FleetRunOutcome {
     pub stats: Vec<SimStats>,
     /// Per model: queries served by the shared slice.
     pub shared_queries: Vec<usize>,
+    /// Per model: whole-stream per-tier totals, in tier-set order (empty for
+    /// untiered members).
+    pub tier_totals: Vec<Vec<TierTotals>>,
     /// Fleet-wide hourly cost of the deployed pools at the end of the run.
     pub hourly_cost: f64,
     /// Run horizon: the later of the fleet makespan and the last arrival.
@@ -96,6 +121,7 @@ pub fn simulate_fleet_serial(
 ) -> FleetRunOutcome {
     let n = models.len();
     assert_eq!(streams.len(), n, "one stream per fleet member");
+    let mut assigners = tier_assigners(&models);
     let mut sim = FleetSim::new(models, shared);
     sim.set_record_per_query(record_per_query);
     let slices: Vec<&[Query]> = streams.iter().map(Vec::as_slice).collect();
@@ -103,7 +129,8 @@ pub fn simulate_fleet_serial(
     let mut windows: Vec<Vec<WindowStats>> = vec![Vec::new(); n];
     let mut closed = Vec::new();
     for tq in &merged {
-        sim.push_into(tq, &mut closed);
+        let tq = tag_tier(tq, &mut assigners);
+        sim.push_into(&tq, &mut closed);
         for (m, w) in closed.drain(..) {
             windows[m].push(w);
         }
@@ -115,6 +142,7 @@ pub fn simulate_fleet_serial(
     FleetRunOutcome {
         stats: (0..n).map(|m| sim.stats(m)).collect(),
         shared_queries: (0..n).map(|m| sim.shared_queries(m)).collect(),
+        tier_totals: (0..n).map(|m| sim.tier_totals(m).to_vec()).collect(),
         hourly_cost: sim.current_hourly_cost(),
         total_cost_usd: sim.cost_so_far(duration_s),
         duration_s,
@@ -138,12 +166,14 @@ struct GroupResult {
     num_complete: Vec<usize>,
     stats: Vec<SimStats>,
     shared_queries: Vec<usize>,
+    tier_totals: Vec<Vec<TierTotals>>,
     lane_billing: Vec<Option<Vec<SlotBilling>>>,
     lane_hourly: Vec<Option<f64>>,
 }
 
 fn run_group(task: GroupTask<'_>, t_last: f64) -> GroupResult {
     let k = task.members.len();
+    let mut assigners = tier_assigners(&task.configs);
     let mut sim = FleetSim::new(task.configs, task.shared);
     sim.set_record_per_query(task.record_per_query);
     let mut windows: Vec<Vec<WindowStats>> = vec![Vec::new(); k];
@@ -151,10 +181,7 @@ fn run_group(task: GroupTask<'_>, t_last: f64) -> GroupResult {
     if k == 1 {
         // Singleton fast path: no merge materialization, the lane sees its own stream.
         for query in task.streams[0] {
-            let tq = TaggedQuery {
-                model: 0,
-                query: *query,
-            };
+            let tq = tag_tier(&TaggedQuery::new(0, *query), &mut assigners);
             sim.push_into(&tq, &mut closed);
             for (m, w) in closed.drain(..) {
                 windows[m].push(w);
@@ -162,7 +189,8 @@ fn run_group(task: GroupTask<'_>, t_last: f64) -> GroupResult {
         }
     } else {
         for tq in &merge_tagged_slices(&task.streams) {
-            sim.push_into(tq, &mut closed);
+            let tq = tag_tier(tq, &mut assigners);
+            sim.push_into(&tq, &mut closed);
             for (m, w) in closed.drain(..) {
                 windows[m].push(w);
             }
@@ -181,6 +209,7 @@ fn run_group(task: GroupTask<'_>, t_last: f64) -> GroupResult {
         num_complete,
         stats: (0..k).map(|m| sim.stats(m)).collect(),
         shared_queries: (0..k).map(|m| sim.shared_queries(m)).collect(),
+        tier_totals: (0..k).map(|m| sim.tier_totals(m).to_vec()).collect(),
         lane_billing: (0..k).map(|m| sim.lane_billing(m)).collect(),
         lane_hourly: (0..k)
             .map(|m| sim.lane(m).map(|l| l.current_pool().hourly_cost()))
@@ -245,6 +274,7 @@ pub fn simulate_fleet_sharded(
     let mut num_complete = vec![0usize; n];
     let mut stats: Vec<Option<SimStats>> = vec![None; n];
     let mut shared_queries = vec![0usize; n];
+    let mut tier_totals: Vec<Vec<TierTotals>> = vec![Vec::new(); n];
     let mut lane_billing: Vec<Option<Vec<SlotBilling>>> = vec![None; n];
     let mut lane_hourly: Vec<Option<f64>> = vec![None; n];
     for (g, mut result) in groups.iter().zip(results) {
@@ -253,6 +283,7 @@ pub fn simulate_fleet_sharded(
             num_complete[m] = result.num_complete[gi];
             stats[m] = Some(result.stats[gi]);
             shared_queries[m] = result.shared_queries[gi];
+            tier_totals[m] = std::mem::take(&mut result.tier_totals[gi]);
             lane_billing[m] = result.lane_billing[gi].take();
             lane_hourly[m] = result.lane_hourly[gi];
         }
@@ -292,6 +323,7 @@ pub fn simulate_fleet_sharded(
         windows,
         stats,
         shared_queries,
+        tier_totals,
         hourly_cost,
         duration_s,
         total_cost_usd: cost_at(duration_s),

@@ -36,6 +36,7 @@ use crate::instance::{InstanceType, PoolSpec};
 use crate::latency::LatencyModel;
 use crate::query::Query;
 use crate::sim::SimStats;
+use crate::tier::{AdmissionClass, TierSet, TierTotals, TierWindowStats};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -128,6 +129,11 @@ pub struct WindowStats {
     /// for a partial final window), including drain/spin-up overlap billing of any
     /// reconfigurations.
     pub cost_so_far_usd: f64,
+    /// Per-tier breakdown of the window, in tier-set order. Empty for untiered runs
+    /// (the field never perturbs untiered comparisons or serialized output). Per-tier
+    /// `num_queries` sum to the window's `num_queries`; admission drops are extra.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tiers: Vec<TierWindowStats>,
 }
 
 impl WindowStats {
@@ -243,6 +249,48 @@ impl PartialOrd for BusySlot {
     }
 }
 
+/// Tiered-mode slot selection under an arbitrary per-slot clock, replicating the
+/// two-heap rule exactly: if any active slot's clock is at or before `arrival`, the
+/// lowest-ranked such slot starts the query at `arrival` (the idle heap's answer);
+/// otherwise the slot minimising `(clock, rank)` — `total_cmp` on the clock, rank as
+/// the tiebreak, the busy heap's ordering — starts it at its clock.
+fn select_tiered(
+    slots: &[Slot],
+    arrival: f64,
+    clock: impl Fn(usize, &Slot) -> f64,
+) -> (usize, f64) {
+    let mut idle_best: Option<(usize, usize)> = None; // (rank, index)
+    let mut busy_best: Option<(f64, usize, usize)> = None; // (clock, rank, index)
+    for (i, slot) in slots.iter().enumerate() {
+        if slot.retired {
+            continue;
+        }
+        let c = clock(i, slot);
+        if c <= arrival {
+            if idle_best.is_none_or(|(rank, _)| slot.rank < rank) {
+                idle_best = Some((slot.rank, i));
+            }
+        } else if idle_best.is_none() {
+            let better = match busy_best {
+                None => true,
+                Some((bc, brank, _)) => match c.total_cmp(&bc) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => slot.rank < brank,
+                },
+            };
+            if better {
+                busy_best = Some((c, slot.rank, i));
+            }
+        }
+    }
+    if let Some((_, i)) = idle_best {
+        return (i, arrival);
+    }
+    let (c, _, i) = busy_best.expect("a non-empty pool has an active slot");
+    (i, c)
+}
+
 /// Struct-of-arrays buffer of the monitoring records awaiting window close.
 ///
 /// One logical entry per pushed query — `(arrival, completion, latency)` — stored
@@ -255,6 +303,9 @@ pub(crate) struct WindowBuf {
     pub(crate) arrival: VecDeque<f64>,
     pub(crate) completion: VecDeque<f64>,
     pub(crate) latency: VecDeque<f64>,
+    /// Tier tag per entry — populated only by tiered pushes, so it is either empty
+    /// (untiered runs pay nothing) or exactly as long as the other columns.
+    pub(crate) tier: VecDeque<u32>,
 }
 
 impl WindowBuf {
@@ -262,6 +313,11 @@ impl WindowBuf {
         self.arrival.push_back(arrival);
         self.completion.push_back(completion);
         self.latency.push_back(latency);
+    }
+
+    pub(crate) fn push_tiered(&mut self, arrival: f64, completion: f64, latency: f64, tier: u32) {
+        self.push(arrival, completion, latency);
+        self.tier.push_back(tier);
     }
 
     pub(crate) fn is_empty(&self) -> bool {
@@ -275,6 +331,188 @@ impl WindowBuf {
                 self.arrival.pop_front();
                 self.completion.pop_front();
                 self.latency.pop_front();
+                if !self.tier.is_empty() {
+                    self.tier.pop_front();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Outcome of one tiered push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierPush {
+    /// The query was dispatched. `preempted` marks a premium dispatch that overtook
+    /// queued best-effort work (the displaced backlog is delayed, never revised).
+    Served {
+        /// Whether this dispatch overtook queued best-effort work.
+        preempted: bool,
+    },
+    /// A best-effort query dropped at admission: its queueing wait exceeded the
+    /// tier's cap. Dropped queries advance the stream clock but are never served.
+    Dropped,
+}
+
+impl TierPush {
+    /// `true` unless the query was dropped at admission.
+    pub fn served(&self) -> bool {
+        matches!(self, TierPush::Served { .. })
+    }
+}
+
+/// Per-tier bookkeeping shared by the streaming simulator and the fleet router's
+/// per-model accounting: whole-stream totals, the drop/preemption event log (attributed
+/// by arrival, evicted with the window buffer), and the per-window breakdown scan.
+pub(crate) struct TierLedger {
+    pub(crate) set: TierSet,
+    // Drop/preemption events by arrival time (arrival-ordered, like the window buffer).
+    ev_arrival: VecDeque<f64>,
+    ev_tier: VecDeque<u32>,
+    ev_kind: VecDeque<EventKind>,
+    pub(crate) totals: Vec<TierTotals>,
+    // Per-tier latency scratch reused across window closes.
+    scratch_lats: Vec<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    AdmissionDrop,
+    Preemption,
+}
+
+impl TierLedger {
+    pub(crate) fn new(set: TierSet) -> Self {
+        let n = set.len();
+        TierLedger {
+            set,
+            ev_arrival: VecDeque::new(),
+            ev_tier: VecDeque::new(),
+            ev_kind: VecDeque::new(),
+            totals: vec![TierTotals::default(); n],
+            scratch_lats: vec![Vec::new(); n],
+        }
+    }
+
+    /// Accounts one served query: totals plus, for a preempting dispatch, an event.
+    pub(crate) fn record_serve(
+        &mut self,
+        tier: u32,
+        arrival: f64,
+        latency: f64,
+        model_target_s: f64,
+        preempted: bool,
+    ) {
+        let t = &mut self.totals[tier as usize];
+        t.served += 1;
+        if latency <= self.set.effective_latency(tier as usize, model_target_s) {
+            t.satisfied += 1;
+        }
+        t.latency_sum += latency;
+        if preempted {
+            t.preemptions += 1;
+            self.ev_arrival.push_back(arrival);
+            self.ev_tier.push_back(tier);
+            self.ev_kind.push_back(EventKind::Preemption);
+        }
+    }
+
+    /// Accounts one admission drop.
+    pub(crate) fn record_drop(&mut self, tier: u32, arrival: f64) {
+        self.totals[tier as usize].admission_drops += 1;
+        self.ev_arrival.push_back(arrival);
+        self.ev_tier.push_back(tier);
+        self.ev_kind.push_back(EventKind::AdmissionDrop);
+    }
+
+    /// Whether undrained drop/preemption events remain (a final window may consist of
+    /// drops alone, with nothing in the window buffer).
+    pub(crate) fn has_events(&self) -> bool {
+        !self.ev_arrival.is_empty()
+    }
+
+    /// The per-tier breakdown of the window `[start, end)` over `buf` (whose tier
+    /// column the tiered push populated). Runs *after* the window's shared fields so
+    /// the untiered accumulation order is untouched.
+    pub(crate) fn close_window(
+        &mut self,
+        buf: &WindowBuf,
+        start: f64,
+        end: f64,
+        model_target_s: f64,
+        tail_percentile: f64,
+    ) -> Vec<TierWindowStats> {
+        let n = self.set.len();
+        let mut num = vec![0usize; n];
+        let mut satisfied = vec![0usize; n];
+        let mut sum = vec![0.0f64; n];
+        for lats in &mut self.scratch_lats {
+            lats.clear();
+        }
+        debug_assert_eq!(buf.tier.len(), buf.arrival.len());
+        for i in 0..buf.arrival.len() {
+            let arrival = buf.arrival[i];
+            if arrival >= end {
+                break; // buffer is arrival-ordered
+            }
+            if arrival < start {
+                continue;
+            }
+            let t = buf.tier[i] as usize;
+            let latency = buf.latency[i];
+            num[t] += 1;
+            sum[t] += latency;
+            if latency <= self.set.effective_latency(t, model_target_s) {
+                satisfied[t] += 1;
+            }
+            self.scratch_lats[t].push(latency);
+        }
+        let mut drops = vec![0usize; n];
+        let mut preempts = vec![0usize; n];
+        for i in 0..self.ev_arrival.len() {
+            let arrival = self.ev_arrival[i];
+            if arrival >= end {
+                break; // event log is arrival-ordered
+            }
+            if arrival < start {
+                continue;
+            }
+            let t = self.ev_tier[i] as usize;
+            match self.ev_kind[i] {
+                EventKind::AdmissionDrop => drops[t] += 1,
+                EventKind::Preemption => preempts[t] += 1,
+            }
+        }
+        (0..n)
+            .map(|t| {
+                let tail = ribbon_linalg::stats::percentile_in_place(
+                    &mut self.scratch_lats[t],
+                    tail_percentile,
+                );
+                TierWindowStats {
+                    name: self.set.tiers()[t].name.clone(),
+                    class: self.set.tiers()[t].class,
+                    num_queries: num[t],
+                    satisfied: satisfied[t],
+                    satisfaction_rate: (num[t] > 0).then(|| satisfied[t] as f64 / num[t] as f64),
+                    mean_latency_s: (num[t] > 0).then(|| sum[t] / num[t] as f64),
+                    tail_latency_s: tail,
+                    admission_drops: drops[t],
+                    preemptions: preempts[t],
+                }
+            })
+            .collect()
+    }
+
+    /// Drops every leading event strictly before `horizon` (same rule as the window
+    /// buffer's eviction).
+    pub(crate) fn evict_before(&mut self, horizon: f64) {
+        while let Some(&front) = self.ev_arrival.front() {
+            if front < horizon {
+                self.ev_arrival.pop_front();
+                self.ev_tier.pop_front();
+                self.ev_kind.pop_front();
             } else {
                 break;
             }
@@ -343,6 +581,16 @@ pub struct StreamingSim<'a, M: LatencyModel + ?Sized> {
     next_window: u64,
     // History.
     reconfigurations: Vec<Reconfiguration>,
+    // Tiered serving (None ⇒ untiered: the two-heap hot path, zero new work).
+    tier: Option<TierRuntime>,
+}
+
+/// Tiered-mode state: the ledger plus the per-slot *firm* clock — the completion time
+/// of the slot's premium/standard work only (`firm_free_at[i] ≤ slots[i].free_at`
+/// always; the gap is queued best-effort work that premium may overtake).
+struct TierRuntime {
+    ledger: TierLedger,
+    firm_free_at: Vec<f64>,
 }
 
 impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
@@ -395,7 +643,37 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             win_lats: Vec::new(),
             next_window: 0,
             reconfigurations: Vec::new(),
+            tier: None,
         }
+    }
+
+    /// Switches the simulator into tiered mode. Must be called before the first push;
+    /// from then on queries are pushed with [`StreamingSim::push_tiered_into`] and
+    /// every closed window carries a per-tier breakdown. A set consisting of a single
+    /// plain standard tier serves bit-identically to the untiered simulator.
+    ///
+    /// # Panics
+    /// Panics if queries were already pushed.
+    pub fn enable_tiers(&mut self, set: TierSet) {
+        assert!(
+            self.num_queries == 0 && self.window_buf.is_empty(),
+            "tiers must be enabled before the first query"
+        );
+        let firm_free_at = self.slots.iter().map(|s| s.free_at).collect();
+        self.tier = Some(TierRuntime {
+            ledger: TierLedger::new(set),
+            firm_free_at,
+        });
+    }
+
+    /// The tier set, when tiered mode is enabled.
+    pub fn tier_set(&self) -> Option<&TierSet> {
+        self.tier.as_ref().map(|rt| &rt.ledger.set)
+    }
+
+    /// Whole-stream per-tier totals, in tier-set order; empty when untiered.
+    pub fn tier_totals(&self) -> &[TierTotals] {
+        self.tier.as_ref().map_or(&[], |rt| &rt.ledger.totals)
     }
 
     /// Toggles per-query recording (the O(stream) `latencies`/`assigned` vectors).
@@ -498,12 +776,54 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
     /// instance sits in the busy heap until ready). Used by the fleet router's
     /// availability-based routing; never mutates the heaps.
     pub fn next_available_at(&self, at: f64) -> f64 {
+        // Tiered pushes bypass the heaps (see `push_tiered_into`), so tiered mode
+        // answers from a slot scan; the scan returns exactly the heap answer for any
+        // `at` at or past the stream clock.
+        if self.tier.is_some() {
+            return self.scan_available(at, |_, slot| slot.free_at);
+        }
         if !self.idle.is_empty() {
             return at;
         }
         match self.busy.peek() {
             Some(b) => b.free_at.max(at),
             None => at,
+        }
+    }
+
+    /// Tier-aware form of [`StreamingSim::next_available_at`]: a premium query waits
+    /// only on the firm clock (it may overtake queued best-effort work), every other
+    /// class waits on the full clock. Falls back to the plain answer when untiered.
+    pub fn next_available_at_tier(&self, at: f64, tier: u32) -> f64 {
+        let Some(rt) = &self.tier else {
+            return self.next_available_at(at);
+        };
+        match rt.ledger.set.tiers()[tier as usize].class {
+            AdmissionClass::Premium => self.scan_available(at, |i, _| rt.firm_free_at[i]),
+            _ => self.scan_available(at, |_, slot| slot.free_at),
+        }
+    }
+
+    /// Earliest start time at or after `at` under the given per-slot clock: `at` when
+    /// some active slot's clock is at or before `at`, otherwise the minimum clock.
+    fn scan_available(&self, at: f64, clock: impl Fn(usize, &Slot) -> f64) -> f64 {
+        let mut earliest = f64::INFINITY;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.retired {
+                continue;
+            }
+            let c = clock(i, slot);
+            if c <= at {
+                return at;
+            }
+            if c < earliest {
+                earliest = c;
+            }
+        }
+        if earliest.is_finite() {
+            earliest
+        } else {
+            at
         }
     }
 
@@ -612,6 +932,115 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
         self.last_arrival = arrival;
     }
 
+    /// Advances a **tiered** simulation by one query of the given tier (see
+    /// [`StreamingSim::enable_tiers`]); closed windows are appended to `closed`.
+    ///
+    /// Dispatch follows the tier's [`AdmissionClass`]: standard replicates the untiered
+    /// FCFS rule float-for-float; premium dispatches against the firm clock and may
+    /// overtake (preempt) queued best-effort work, pushing that backlog back by its
+    /// service time; best-effort dispatches FCFS but never advances the firm clock, and
+    /// is dropped at admission when its queueing wait would exceed the tier's cap.
+    /// A dropped query advances the stream clock but is not served (it appears in drop
+    /// counts, never in `num_queries`).
+    ///
+    /// # Panics
+    /// Panics when tiers are not enabled or `tier` is outside the set.
+    pub fn push_tiered_into(
+        &mut self,
+        q: &Query,
+        tier: u32,
+        closed: &mut Vec<WindowStats>,
+    ) -> TierPush {
+        let (arrival, batch_size) = (q.arrival, q.batch_size);
+        debug_assert!(
+            arrival >= self.last_arrival,
+            "queries must be pushed in arrival order"
+        );
+        assert!(
+            self.tier.is_some(),
+            "push_tiered_into requires enable_tiers"
+        );
+        while arrival >= self.window_end(self.next_window) {
+            let w = self.close_next_window(true);
+            closed.push(w);
+        }
+
+        let rt = self.tier.as_ref().expect("tiered mode is enabled");
+        let spec = &rt.ledger.set.tiers()[tier as usize];
+        let class = spec.class;
+        let cap = spec.admission_cap_s;
+        let (slot_idx, start) = match class {
+            AdmissionClass::Premium => {
+                let firm = &rt.firm_free_at;
+                select_tiered(&self.slots, arrival, |i, _| firm[i])
+            }
+            _ => select_tiered(&self.slots, arrival, |_, slot| slot.free_at),
+        };
+
+        if class == AdmissionClass::BestEffort {
+            if let Some(cap) = cap {
+                if start - arrival > cap {
+                    let rt = self.tier.as_mut().expect("tiered mode is enabled");
+                    rt.ledger.record_drop(tier, arrival);
+                    self.last_arrival = arrival;
+                    return TierPush::Dropped;
+                }
+            }
+        }
+        let preempted = class == AdmissionClass::Premium && start < self.slots[slot_idx].free_at;
+
+        let ty = self.slots[slot_idx].ty;
+        let service = if self.serving_variant == 0 {
+            self.model.service_time(ty, batch_size).max(0.0)
+        } else {
+            self.model
+                .service_time_variant(self.serving_variant, ty, batch_size)
+                .max(0.0)
+        };
+        self.variant_served[self.serving_variant as usize] += 1;
+        let completion = start + service;
+        {
+            let slot = &mut self.slots[slot_idx];
+            if preempted {
+                // The premium query runs now; the displaced best-effort backlog (the
+                // gap between the firm and full clocks) is pushed back by its service
+                // time. Already-reported best-effort completions stand (forward-only
+                // preemption — see the tier module docs).
+                slot.free_at += service;
+            } else {
+                slot.free_at = completion;
+            }
+            slot.load += 1;
+        }
+        if completion > self.makespan {
+            self.makespan = completion;
+        }
+
+        self.last_completion = completion;
+        let latency = completion - arrival;
+        self.last_latency = latency;
+        self.latency_sum += latency;
+        if latency <= self.config.target_latency_s {
+            self.satisfied += 1;
+        }
+        self.num_queries += 1;
+        if self.record_per_query {
+            self.latencies.push(latency);
+            self.assigned.push(slot_idx);
+        }
+        self.window_buf
+            .push_tiered(arrival, completion, latency, tier);
+        let target = self.config.target_latency_s;
+        let rt = self.tier.as_mut().expect("tiered mode is enabled");
+        if class != AdmissionClass::BestEffort {
+            rt.firm_free_at[slot_idx] = completion;
+        }
+        rt.ledger
+            .record_serve(tier, arrival, latency, target, preempted);
+        self.last_arrival = arrival;
+        TierPush::Served { preempted }
+    }
+
     /// Replaces the serving pool mid-stream.
     ///
     /// Effective at `max(at_s, clock)`. Instances of each type beyond the new count are
@@ -695,6 +1124,13 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             }
         }
         self.pool = new_pool.clone();
+        // Tiered mode: survivors keep their firm clock; a launched slot's firm clock is
+        // its spin-up readiness (its `free_at`), like any other firm work.
+        if let Some(rt) = self.tier.as_mut() {
+            for i in rt.firm_free_at.len()..self.slots.len() {
+                rt.firm_free_at.push(self.slots[i].free_at);
+            }
+        }
 
         let event = Reconfiguration {
             at_s: at,
@@ -747,9 +1183,12 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
     /// its `end_s` can extend past the final arrival). Call once after the stream ends.
     pub fn finish_windows(&mut self) -> Vec<WindowStats> {
         let mut out = Vec::new();
-        // `<=` so an arrival landing exactly on a window boundary still gets its window.
+        // `<=` so an arrival landing exactly on a window boundary still gets its
+        // window. A final window may hold admission drops alone (every arrival in it
+        // dropped), so undrained tier events keep the flush going too.
         while self.window_start(self.next_window) <= self.last_arrival
-            && !self.window_buf.is_empty()
+            && (!self.window_buf.is_empty()
+                || self.tier.as_ref().is_some_and(|rt| rt.ledger.has_events()))
         {
             out.push(self.close_next_window(false));
         }
@@ -834,6 +1273,17 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
         } else {
             observed
         };
+        // The per-tier breakdown runs after (and never perturbs) the shared fields.
+        let tiers = match self.tier.as_mut() {
+            Some(rt) => rt.ledger.close_window(
+                &self.window_buf,
+                start,
+                end,
+                self.config.target_latency_s,
+                self.config.tail_percentile,
+            ),
+            None => Vec::new(),
+        };
         let stats = WindowStats {
             index,
             start_s: start,
@@ -853,12 +1303,16 @@ impl<'a, M: LatencyModel + ?Sized> StreamingSim<'a, M> {
             } else {
                 end.min(self.makespan.max(self.last_arrival))
             }),
+            tiers,
         };
 
         // Entries arriving before the next window's start are never needed again.
         self.next_window += 1;
         let horizon = self.window_start(self.next_window);
         self.window_buf.evict_before(horizon);
+        if let Some(rt) = self.tier.as_mut() {
+            rt.ledger.evict_before(horizon);
+        }
         stats
     }
 }

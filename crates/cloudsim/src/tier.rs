@@ -1,0 +1,466 @@
+//! Per-request priority tiers: named QoS classes sharing one pool.
+//!
+//! A production fleet rarely treats every query alike: paying customers get a firm
+//! latency contract, internal traffic gets the normal one, and batch/backfill work is
+//! welcome to whatever is left. A [`TierSet`] names those classes and attaches to each
+//! an [`AdmissionClass`] that fixes its scheduling behaviour:
+//!
+//! * **premium** — dispatches against the *firm* clock of each slot (the completion
+//!   time of all premium/standard work), so it may overtake queued best-effort work.
+//!   An overtake is counted as a *preemption*: the displaced best-effort backlog is
+//!   pushed back by the premium query's service time. Already-reported best-effort
+//!   completions are **not** revised — reported completions are admission-time
+//!   estimates, and the displacement only delays best-effort work that has not yet
+//!   been dispatched (a deliberate forward-only approximation that keeps the engine
+//!   single-pass and resumable);
+//! * **standard** — plain FCFS against the full clock, exactly the untiered
+//!   dispatch. A tier set consisting of one standard tier is bit-identical to not
+//!   configuring tiers at all;
+//! * **best_effort** — plain FCFS, but never advances the firm clock (premium may
+//!   overtake it), and an optional *admission cap* drops the query outright when its
+//!   queueing wait would exceed the cap — the tier absorbs overflow instead of
+//!   stretching the queue without bound.
+//!
+//! Tier assignment over a query stream is deterministic: [`TierAssigner`] realises the
+//! configured shares by largest-remainder quota rotation, so the same stream always
+//! splits into the same per-tier subsequences on every run, platform, and shard count.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// The scheduling behaviour of a tier. See the module docs for the semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AdmissionClass {
+    /// May overtake queued best-effort work (firm-clock dispatch).
+    Premium,
+    /// Plain FCFS — the untiered behaviour.
+    Standard,
+    /// Plain FCFS that premium may overtake; optionally dropped at admission when
+    /// the queueing wait exceeds the tier's cap.
+    BestEffort,
+}
+
+impl AdmissionClass {
+    /// The spec-file spelling (`premium` / `standard` / `best_effort`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionClass::Premium => "premium",
+            AdmissionClass::Standard => "standard",
+            AdmissionClass::BestEffort => "best_effort",
+        }
+    }
+
+    /// Parses the spec-file spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "premium" => Some(AdmissionClass::Premium),
+            "standard" => Some(AdmissionClass::Standard),
+            "best_effort" => Some(AdmissionClass::BestEffort),
+            _ => None,
+        }
+    }
+
+    /// Whether this class *gates* QoS: premium and standard violations count against
+    /// the plan, best-effort rides the slack and never fails a pool on its own.
+    pub fn gates_qos(&self) -> bool {
+        !matches!(self, AdmissionClass::BestEffort)
+    }
+}
+
+/// One named priority tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Tier name (unique within a set; reporting key).
+    pub name: String,
+    /// Scheduling behaviour.
+    pub class: AdmissionClass,
+    /// Weight of the tier in the tier-weighted objective (premium/standard only;
+    /// best-effort weights are accepted but never gate).
+    pub weight: f64,
+    /// Fraction of the model's traffic assigned to the tier. Shares must sum to 1.
+    pub share: f64,
+    /// Per-tier satisfaction-rate target override; `None` inherits the model's.
+    pub target_rate: Option<f64>,
+    /// Per-tier latency-bound override in seconds, for the tier's own satisfaction
+    /// accounting; `None` inherits the model's QoS latency target.
+    pub target_latency_s: Option<f64>,
+    /// Best-effort admission cap in seconds: a query whose queueing wait would exceed
+    /// this is dropped at admission instead of queued. Only valid on best-effort tiers.
+    pub admission_cap_s: Option<f64>,
+}
+
+impl TierSpec {
+    /// A plain tier of the given class with unit weight and the given traffic share.
+    pub fn new(name: impl Into<String>, class: AdmissionClass, weight: f64, share: f64) -> Self {
+        TierSpec {
+            name: name.into(),
+            class,
+            weight,
+            share,
+            target_rate: None,
+            target_latency_s: None,
+            admission_cap_s: None,
+        }
+    }
+}
+
+/// A validated, ordered set of priority tiers. Order is the spec order; tier indices
+/// into the set are the tags carried by tagged queries and window statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSet {
+    tiers: Vec<TierSpec>,
+}
+
+impl TierSet {
+    /// Validates and builds a tier set.
+    ///
+    /// Requirements: at least one tier, at least one *gating* (premium/standard) tier,
+    /// unique non-empty names, finite non-negative weights with a positive gating sum,
+    /// positive shares summing to 1 (within 1e-6), positive overrides, and admission
+    /// caps only on best-effort tiers.
+    pub fn try_new(tiers: Vec<TierSpec>) -> Result<Self, ConfigError> {
+        if tiers.is_empty() {
+            return Err(ConfigError::new("a tier set needs at least one tier"));
+        }
+        if !tiers.iter().any(|t| t.class.gates_qos()) {
+            return Err(ConfigError::new(
+                "a tier set needs at least one premium or standard tier to gate QoS",
+            ));
+        }
+        let mut share_sum = 0.0;
+        let mut gating_weight = 0.0;
+        for (i, t) in tiers.iter().enumerate() {
+            if t.name.is_empty() {
+                return Err(ConfigError::new(format!("tier {i} has an empty name")));
+            }
+            if tiers[..i].iter().any(|u| u.name == t.name) {
+                return Err(ConfigError::new(format!(
+                    "duplicate tier name '{}'",
+                    t.name
+                )));
+            }
+            if !(t.weight.is_finite() && t.weight >= 0.0) {
+                return Err(ConfigError::new(format!(
+                    "tier '{}' needs a finite non-negative weight, got {}",
+                    t.name, t.weight
+                )));
+            }
+            if !(t.share.is_finite() && t.share > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "tier '{}' needs a positive traffic share, got {}",
+                    t.name, t.share
+                )));
+            }
+            if let Some(r) = t.target_rate {
+                if !(r.is_finite() && 0.0 < r && r <= 1.0) {
+                    return Err(ConfigError::new(format!(
+                        "tier '{}' target_rate must be in (0, 1], got {r}",
+                        t.name
+                    )));
+                }
+            }
+            if let Some(l) = t.target_latency_s {
+                if !(l.is_finite() && l > 0.0) {
+                    return Err(ConfigError::new(format!(
+                        "tier '{}' target_latency_s must be positive, got {l}",
+                        t.name
+                    )));
+                }
+            }
+            if let Some(c) = t.admission_cap_s {
+                if t.class != AdmissionClass::BestEffort {
+                    return Err(ConfigError::new(format!(
+                        "tier '{}' sets admission_cap_s but is not best_effort",
+                        t.name
+                    )));
+                }
+                if !(c.is_finite() && c >= 0.0) {
+                    return Err(ConfigError::new(format!(
+                        "tier '{}' admission_cap_s must be non-negative, got {c}",
+                        t.name
+                    )));
+                }
+            }
+            share_sum += t.share;
+            if t.class.gates_qos() {
+                gating_weight += t.weight;
+            }
+        }
+        if (share_sum - 1.0).abs() > 1e-6 {
+            return Err(ConfigError::new(format!(
+                "tier shares must sum to 1, got {share_sum}"
+            )));
+        }
+        if gating_weight <= 0.0 {
+            return Err(ConfigError::new(
+                "premium/standard tier weights must sum to a positive value",
+            ));
+        }
+        Ok(TierSet { tiers })
+    }
+
+    /// The tiers, in spec order.
+    pub fn tiers(&self) -> &[TierSpec] {
+        &self.tiers
+    }
+
+    /// Number of tiers.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Never true — `try_new` rejects empty sets — but clippy wants the pair.
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// `true` for the degenerate set — a single standard tier with no per-tier
+    /// overrides — whose serving behaviour is bit-identical to no tiers at all.
+    /// Planners use this to collapse such a set onto the untiered objective.
+    pub fn is_single_standard(&self) -> bool {
+        self.tiers.len() == 1 && {
+            let t = &self.tiers[0];
+            t.class == AdmissionClass::Standard
+                && t.target_rate.is_none()
+                && t.target_latency_s.is_none()
+                && t.admission_cap_s.is_none()
+        }
+    }
+
+    /// The tier's effective latency bound given the model's own target.
+    pub fn effective_latency(&self, tier: usize, model_target_s: f64) -> f64 {
+        self.tiers[tier].target_latency_s.unwrap_or(model_target_s)
+    }
+
+    /// The tier's effective satisfaction-rate target given the model's own target.
+    pub fn effective_rate(&self, tier: usize, model_target_rate: f64) -> f64 {
+        self.tiers[tier].target_rate.unwrap_or(model_target_rate)
+    }
+
+    /// A fresh deterministic share-realising assigner over this set.
+    pub fn assigner(&self) -> TierAssigner {
+        TierAssigner {
+            shares: self.tiers.iter().map(|t| t.share).collect(),
+            counts: vec![0; self.tiers.len()],
+            total: 0,
+        }
+    }
+}
+
+/// Deterministic tier assignment by largest-remainder quota rotation: query `n`
+/// (0-based) goes to the tier maximising `share·(n+1) − assigned_so_far`, ties to the
+/// lowest tier index. Over any prefix the realised per-tier counts track the shares
+/// within one query — no RNG, so assignment is identical on every run and shard count.
+#[derive(Debug, Clone)]
+pub struct TierAssigner {
+    shares: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl TierAssigner {
+    /// Assigns the next query, returning its tier index.
+    pub fn next_tier(&mut self) -> u32 {
+        let n1 = (self.total + 1) as f64;
+        let mut best = 0usize;
+        let mut best_deficit = f64::NEG_INFINITY;
+        for (i, &share) in self.shares.iter().enumerate() {
+            let deficit = share * n1 - self.counts[i] as f64;
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = i;
+            }
+        }
+        self.counts[best] += 1;
+        self.total += 1;
+        best as u32
+    }
+
+    /// Queries assigned so far, per tier.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Whole-stream per-tier serving totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TierTotals {
+    /// Queries of the tier actually served (admission drops excluded).
+    pub served: u64,
+    /// Of those, how many met the tier's effective latency bound.
+    pub satisfied: u64,
+    /// Sum of served latencies (for mean reconstruction).
+    pub latency_sum: f64,
+    /// Best-effort queries dropped at admission.
+    pub admission_drops: u64,
+    /// Premium dispatches that overtook queued best-effort work.
+    pub preemptions: u64,
+}
+
+impl TierTotals {
+    /// `satisfied / served`, or `None` when the tier served nothing (no evidence —
+    /// an unserved tier must never read as "QoS met").
+    pub fn satisfaction_rate(&self) -> Option<f64> {
+        (self.served > 0).then(|| self.satisfied as f64 / self.served as f64)
+    }
+
+    /// Folds another total into this one (sharded recombination).
+    pub fn merge(&mut self, other: &TierTotals) {
+        self.served += other.served;
+        self.satisfied += other.satisfied;
+        self.latency_sum += other.latency_sum;
+        self.admission_drops += other.admission_drops;
+        self.preemptions += other.preemptions;
+    }
+}
+
+/// One tier's slice of a monitoring window — the per-tier row of
+/// [`WindowStats`](crate::streaming::WindowStats). Served counts sum to the window's
+/// `num_queries`; admission drops are additional (dropped queries are never served).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierWindowStats {
+    /// Tier name (the set's reporting key).
+    pub name: String,
+    /// The tier's scheduling class.
+    pub class: AdmissionClass,
+    /// Queries of the tier that arrived in the window and were served.
+    pub num_queries: usize,
+    /// Of those, how many met the tier's effective latency bound.
+    pub satisfied: usize,
+    /// `satisfied / num_queries`, or `None` when the tier saw no served query in the
+    /// window — silence is evidence of nothing, exactly as for the window itself.
+    pub satisfaction_rate: Option<f64>,
+    /// Mean latency of the tier's served queries, or `None` when empty.
+    pub mean_latency_s: Option<f64>,
+    /// Nearest-rank tail latency of the tier's served queries, or `None` when empty.
+    pub tail_latency_s: Option<f64>,
+    /// Best-effort queries of the tier dropped at admission in the window.
+    pub admission_drops: usize,
+    /// Premium dispatches of the tier that overtook queued best-effort work.
+    pub preemptions: usize,
+}
+
+impl TierWindowStats {
+    /// Whether the tier's window satisfaction meets `target_rate`; `None` when the
+    /// tier served nothing in the window.
+    pub fn meets_rate(&self, target_rate: f64) -> Option<bool> {
+        self.satisfaction_rate.map(|r| r >= target_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trio() -> Vec<TierSpec> {
+        vec![
+            TierSpec::new("gold", AdmissionClass::Premium, 3.0, 0.2),
+            TierSpec::new("std", AdmissionClass::Standard, 1.0, 0.5),
+            TierSpec::new("bulk", AdmissionClass::BestEffort, 0.0, 0.3),
+        ]
+    }
+
+    #[test]
+    fn valid_trio_builds() {
+        let set = TierSet::try_new(trio()).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_single_standard());
+        assert_eq!(set.effective_latency(1, 0.02), 0.02);
+        assert_eq!(set.effective_rate(0, 0.95), 0.95);
+    }
+
+    #[test]
+    fn empty_and_duplicate_and_share_errors() {
+        assert!(TierSet::try_new(vec![]).is_err());
+        let mut dup = trio();
+        dup[1].name = "gold".into();
+        assert!(TierSet::try_new(dup)
+            .unwrap_err()
+            .message()
+            .contains("duplicate"));
+        let mut bad = trio();
+        bad[0].share = 0.5; // shares sum to 1.3
+        assert!(TierSet::try_new(bad)
+            .unwrap_err()
+            .message()
+            .contains("sum to 1"));
+    }
+
+    #[test]
+    fn best_effort_only_set_is_rejected() {
+        let only = vec![TierSpec::new("bulk", AdmissionClass::BestEffort, 1.0, 1.0)];
+        assert!(TierSet::try_new(only)
+            .unwrap_err()
+            .message()
+            .contains("premium or standard"));
+    }
+
+    #[test]
+    fn admission_cap_is_best_effort_only() {
+        let mut bad = trio();
+        bad[0].admission_cap_s = Some(1.0);
+        assert!(TierSet::try_new(bad)
+            .unwrap_err()
+            .message()
+            .contains("admission_cap_s"));
+        let mut ok = trio();
+        ok[2].admission_cap_s = Some(1.0);
+        assert!(TierSet::try_new(ok).is_ok());
+    }
+
+    #[test]
+    fn single_standard_detection() {
+        let one = TierSet::try_new(vec![TierSpec::new(
+            "all",
+            AdmissionClass::Standard,
+            1.0,
+            1.0,
+        )])
+        .unwrap();
+        assert!(one.is_single_standard());
+        let mut overridden = vec![TierSpec::new("all", AdmissionClass::Standard, 1.0, 1.0)];
+        overridden[0].target_rate = Some(0.99);
+        assert!(!TierSet::try_new(overridden).unwrap().is_single_standard());
+    }
+
+    #[test]
+    fn assigner_tracks_shares_deterministically() {
+        let set = TierSet::try_new(trio()).unwrap();
+        let mut a = set.assigner();
+        let picks: Vec<u32> = (0..1000).map(|_| a.next_tier()).collect();
+        // Replays identically.
+        let mut b = set.assigner();
+        let again: Vec<u32> = (0..1000).map(|_| b.next_tier()).collect();
+        assert_eq!(picks, again);
+        // Counts track shares within one query at every prefix length.
+        let mut counts = [0u64; 3];
+        for (n, &t) in picks.iter().enumerate() {
+            counts[t as usize] += 1;
+            let n1 = (n + 1) as f64;
+            for (i, &share) in [0.2, 0.5, 0.3].iter().enumerate() {
+                let err = (counts[i] as f64 - share * n1).abs();
+                assert!(err <= 1.0, "prefix {n1}: tier {i} off by {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_tier_assigner_always_picks_zero() {
+        let set = TierSet::try_new(vec![TierSpec::new(
+            "all",
+            AdmissionClass::Standard,
+            1.0,
+            1.0,
+        )])
+        .unwrap();
+        let mut a = set.assigner();
+        assert!((0..100).all(|_| a.next_tier() == 0));
+    }
+
+    #[test]
+    fn empty_totals_report_no_evidence() {
+        let t = TierTotals::default();
+        assert_eq!(t.satisfaction_rate(), None, "silence must not look healthy");
+    }
+}

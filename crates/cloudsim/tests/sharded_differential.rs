@@ -143,6 +143,7 @@ fn build_configs<'a>(
                 share_weight: d.share_weight,
                 spin_up_factor: 1.0,
                 variant_policy: None,
+                tiers: None,
             })
         })
         .collect()

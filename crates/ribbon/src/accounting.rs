@@ -254,6 +254,7 @@ mod tests {
                 objective: if *meets { 0.8 } else { 0.2 },
                 mean_latency_s: 0.01,
                 tail_latency_s: 0.02,
+                tier_totals: Vec::new(),
             });
         }
         t

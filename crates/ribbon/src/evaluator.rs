@@ -28,7 +28,10 @@ use crate::bounds::{find_bounds, BoundSettings};
 use crate::objective::RibbonObjective;
 use parking_lot::Mutex;
 use ribbon_bo::ConfigLattice;
-use ribbon_cloudsim::{parallel, simulate_stats, PoolSpec, QosEvidence, QosPolicy, Query};
+use ribbon_cloudsim::{
+    parallel, simulate_stats, PoolSpec, QosEvidence, QosPolicy, Query, StreamingSim,
+    StreamingSimConfig, TierSet, TierTotals, WindowConfig,
+};
 use ribbon_models::{ModelProfile, Workload};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -81,6 +84,10 @@ pub struct Evaluation {
     pub mean_latency_s: f64,
     /// Tail latency at the QoS percentile, in seconds.
     pub tail_latency_s: f64,
+    /// Per-tier whole-stream totals (tier-set order) when the workload declares
+    /// `[[qos.tiers]]`; empty — and absent from serialized traces — otherwise.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tier_totals: Vec<TierTotals>,
 }
 
 /// A reduced-fidelity evaluation of a configuration against a **prefix** of the query
@@ -163,6 +170,7 @@ pub struct ConfigEvaluator {
     queries: Vec<Query>,
     objective: RibbonObjective,
     bounds: Vec<u32>,
+    tiers: Option<TierSet>,
     threads: usize,
     // lint:allow(hash-container): lookup-only memo (insert/get by exact key); never iterated
     cache: Mutex<HashMap<Vec<u32>, Evaluation>>,
@@ -194,6 +202,23 @@ impl ConfigEvaluator {
         workload: &Workload,
         settings: EvaluatorSettings,
         policy: Arc<dyn QosPolicy>,
+    ) -> Self {
+        Self::with_policy_tiered(workload, settings, policy, None)
+    }
+
+    /// Builds an evaluator that additionally scores configurations by the tier-weighted
+    /// Eq. 2: the planning stream is split across the tier set's priority classes
+    /// (deterministic largest-remainder assignment) and simulated through the tiered
+    /// serving engine, so premium preemption, best-effort admission drops, and per-tier
+    /// deadlines all shape the plan. `tiers: None` is exactly [`with_policy`] —
+    /// bit-identical evaluations through the untiered fast path.
+    ///
+    /// [`with_policy`]: ConfigEvaluator::with_policy
+    pub fn with_policy_tiered(
+        workload: &Workload,
+        settings: EvaluatorSettings,
+        policy: Arc<dyn QosPolicy>,
+        tiers: Option<TierSet>,
     ) -> Self {
         let profile = workload.profile();
         let queries = workload.stream_config().generate();
@@ -230,6 +255,7 @@ impl ConfigEvaluator {
             queries,
             objective,
             bounds,
+            tiers,
             threads,
             // lint:allow(hash-container): lookup-only memo; never iterated
             cache: Mutex::new(HashMap::new()),
@@ -264,6 +290,11 @@ impl ConfigEvaluator {
     /// The Eq. 2 objective.
     pub fn objective(&self) -> &RibbonObjective {
         &self.objective
+    }
+
+    /// The tier set configurations are scored against, when the workload is tiered.
+    pub fn tiers(&self) -> Option<&TierSet> {
+        self.tiers.as_ref()
     }
 
     /// Number of distinct pool simulations run so far (cache misses).
@@ -324,6 +355,9 @@ impl ConfigEvaluator {
     /// [`ribbon_cloudsim::SimResult`] carries. The resulting `Evaluation` is bit-identical
     /// to one computed from the full trace (pinned by `evaluation_matches_full_simulation`).
     fn simulate_config(&self, config: &[u32]) -> Evaluation {
+        if let Some(set) = &self.tiers {
+            return self.simulate_config_tiered(config, set, &self.queries);
+        }
         let pool = PoolSpec::from_counts(&self.workload.diverse_pool, config);
         let stats = simulate_stats(
             &pool,
@@ -349,6 +383,57 @@ impl ConfigEvaluator {
             objective: self.objective.value(config, rate),
             mean_latency_s: stats.mean_latency_s,
             tail_latency_s: stats.tail_latency_s,
+            tier_totals: Vec::new(),
+            pool,
+        }
+    }
+
+    /// The tiered twin of [`simulate_config`](Self::simulate_config): drives the given
+    /// query slice through the tiered serving engine (premium preemption, best-effort
+    /// admission drops) and scores the tier-weighted Eq. 2 over the per-tier
+    /// satisfaction rates. Only gating tiers (premium/standard) decide `meets_qos`;
+    /// best-effort rides the slack, and its admission drops are reported in
+    /// [`Evaluation::tier_totals`] rather than folded into a gating rate.
+    fn simulate_config_tiered(
+        &self,
+        config: &[u32],
+        set: &TierSet,
+        queries: &[Query],
+    ) -> Evaluation {
+        let pool = PoolSpec::from_counts(&self.workload.diverse_pool, config);
+        // Plan-time evaluation needs no windowed monitoring: one never-closing window.
+        let mut sim = StreamingSim::new(
+            &pool,
+            &self.profile,
+            StreamingSimConfig::new(
+                self.policy.deadline_s(),
+                self.policy.tail_percentile(),
+                WindowConfig::tumbling(1e18),
+            ),
+        );
+        sim.enable_tiers(set.clone());
+        let mut assigner = set.assigner();
+        let mut closed = Vec::new();
+        for q in queries {
+            sim.push_tiered_into(q, assigner.next_tier(), &mut closed);
+        }
+        let stats = sim.stats();
+        let tier_totals = sim.tier_totals().to_vec();
+        let tier_rates: Vec<Option<f64>> =
+            tier_totals.iter().map(|t| t.satisfaction_rate()).collect();
+        let rate = self
+            .policy
+            .score(&QosEvidence::from_stats(&stats))
+            .unwrap_or(1.0);
+        Evaluation {
+            config: config.to_vec(),
+            hourly_cost: pool.hourly_cost(),
+            satisfaction_rate: rate,
+            meets_qos: self.objective.meets_tiered_qos(&tier_rates, set),
+            objective: self.objective.tier_value(config, &tier_rates, set),
+            mean_latency_s: stats.mean_latency_s,
+            tail_latency_s: stats.tail_latency_s,
+            tier_totals,
             pool,
         }
     }
@@ -454,6 +539,30 @@ impl ConfigEvaluator {
     /// Runs the reduced-fidelity simulation of one configuration on the first `k` queries.
     fn simulate_config_prefix(&self, config: &[u32], k: usize) -> PrefixEvaluation {
         let k = k.min(self.queries.len());
+        if let Some(set) = &self.tiers {
+            let set = set.clone();
+            let evaluation = self.simulate_config_tiered(config, &set, &self.queries[..k]);
+            let remaining = (self.queries.len() - k) as u64;
+            // Sound per-tier bound: every remaining query could land in tier t and be
+            // satisfied, and (sat + x)/(n + x) is nondecreasing in x for sat ≤ n — so
+            // this dominates every possible assignment of the suffix. The tier-weighted
+            // objective is monotone nondecreasing in each rate, so bounding the rates
+            // bounds the objective.
+            let ub_rates: Vec<Option<f64>> = evaluation
+                .tier_totals
+                .iter()
+                .map(|t| {
+                    (t.served > 0)
+                        .then(|| (t.satisfied + remaining) as f64 / (t.served + remaining) as f64)
+                })
+                .collect();
+            let objective_upper_bound = self.objective.tier_value(config, &ub_rates, &set);
+            return PrefixEvaluation {
+                evaluation,
+                prefix_len: k,
+                objective_upper_bound,
+            };
+        }
         let pool = PoolSpec::from_counts(&self.workload.diverse_pool, config);
         let stats = simulate_stats(
             &pool,
@@ -480,6 +589,7 @@ impl ConfigEvaluator {
                 objective: self.objective.value(config, rate),
                 mean_latency_s: stats.mean_latency_s,
                 tail_latency_s: stats.tail_latency_s,
+                tier_totals: Vec::new(),
                 pool,
             },
             prefix_len: k,

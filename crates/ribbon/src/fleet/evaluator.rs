@@ -296,6 +296,7 @@ impl FleetEvaluator {
             objective: 0.0,
             mean_latency_s: f64::INFINITY,
             tail_latency_s: f64::INFINITY,
+            tier_totals: Vec::new(),
             pool,
         }
     }
@@ -352,16 +353,16 @@ impl FleetEvaluator {
                         share_weight: state.share_weight,
                         spin_up_factor: 1.0,
                         variant_policy: None,
+                        // Plan-time sizing scores the blended stream; the tier-weighted
+                        // objective re-weights it downstream (see fleet::objective).
+                        tiers: None,
                     }
                 })
                 .collect();
             let mut sim = FleetSim::new(model_configs, Some(shared_pool));
             for tq in &self.merged {
                 if let Some(&si) = sim_index.get(&tq.model) {
-                    sim.push(&TaggedQuery {
-                        model: si,
-                        query: tq.query,
-                    });
+                    sim.push(&TaggedQuery::new(si, tq.query));
                 }
             }
             (0..self.members.len())
@@ -390,6 +391,7 @@ impl FleetEvaluator {
                             objective: objective.value(slices[m], rate),
                             mean_latency_s: stats.mean_latency_s,
                             tail_latency_s: stats.tail_latency_s,
+                            tier_totals: Vec::new(),
                         }
                     }
                 })

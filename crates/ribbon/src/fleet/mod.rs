@@ -129,6 +129,7 @@ impl FleetSpec {
                 catalog: self.catalog.clone(),
                 workload: m.workload.clone(),
                 qos: m.qos.clone(),
+                qos_tiers: m.qos_tiers.clone(),
                 planner: PlannerSpec {
                     name: "ribbon".to_string(),
                     budget: member_budget,

@@ -34,7 +34,7 @@ use crate::accounting::transition_overlap_cost;
 use crate::evaluator::Evaluation;
 use crate::fleet::{Fleet, FleetEvaluation, FleetEvaluator};
 use crate::online::{OnlineController, ReconfigEvent, ReconfigTrigger};
-use crate::scenario::{EventReport, RunMode, ScenarioError};
+use crate::scenario::{EventReport, RunMode, ScenarioError, TierReport};
 use crate::search::RibbonSearch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,8 +42,8 @@ use ribbon_bo::{BoOptimizer, BoSettings, ConfigLattice, Optimizer, Outcome};
 use ribbon_cloudsim::parallel::{default_threads, par_map_vec};
 use ribbon_cloudsim::router::{FleetModelConfig, FleetSim, VariantPolicy, VariantSwitch};
 use ribbon_cloudsim::{
-    cost_from_billing, merge_tagged_slices, partition_groups, CostModel, LatencyModel, PoolSpec,
-    Query, SimStats, SlotBilling, WindowStats,
+    cost_from_billing, merge_tagged_slices, partition_groups, tag_tier, tier_assigners, CostModel,
+    LatencyModel, PoolSpec, Query, SimStats, SlotBilling, TierTotals, WindowStats,
 };
 use ribbon_models::{ModelProfile, VariantSetProfile};
 use ribbon_spec::Value;
@@ -94,6 +94,8 @@ pub struct FleetMemberServe {
     /// Every monitoring window observed for this member, in order (kept in memory for
     /// analysis and the single-model differential; not serialized by `to_value`).
     pub window_stats: Vec<WindowStats>,
+    /// Whole-stream per-tier outcome of this member (tiered members only).
+    pub tiers: Vec<TierReport>,
 }
 
 /// Fleet-wide serve totals.
@@ -115,6 +117,10 @@ pub struct FleetServeTotals {
     pub reconfigurations: usize,
     /// Total serving-variant switches the lane routers applied across the fleet.
     pub variant_switches: usize,
+    /// Best-effort queries dropped at admission across the fleet (tiered members only).
+    pub admission_drops: u64,
+    /// Premium dispatches that overtook queued best-effort work across the fleet.
+    pub preemptions: u64,
 }
 
 /// One member's section of a [`FleetReport`].
@@ -799,16 +805,19 @@ pub fn serve_fleet(
             } else {
                 1.0
             };
-            controllers.push(Some(OnlineController::from_plan(
-                &member.scenario.workload,
-                os.controller.clone(),
-                seed,
-                member.scenario.policy.clone(),
-                record,
-                slice,
-                planned.best.per_model[m].clone(),
-                member.scenario.workload.qps * lane_fraction,
-            )));
+            controllers.push(Some(
+                OnlineController::from_plan(
+                    &member.scenario.workload,
+                    os.controller.clone(),
+                    seed,
+                    member.scenario.policy.clone(),
+                    record,
+                    slice,
+                    planned.best.per_model[m].clone(),
+                    member.scenario.workload.qps * lane_fraction,
+                )
+                .with_tiers(member.scenario.tiers.clone()),
+            ));
         }
         planned
     } else {
@@ -831,7 +840,7 @@ pub fn serve_fleet(
                     os.initial_search.max_evaluations
                 ))
             })?;
-            controllers.push(Some(controller));
+            controllers.push(Some(controller.with_tiers(member.scenario.tiers.clone())));
         }
         // A joint evaluation of the bootstrapped deployment anchors the plan section of
         // the report (it does not influence serving).
@@ -909,6 +918,7 @@ pub fn serve_fleet(
                 variant_policy: variant_profiles[m]
                     .as_ref()
                     .map(|vp| VariantPolicy::new(vp.variants().len() as u32)),
+                tiers: member.scenario.tiers.clone(),
             }
         })
         .collect();
@@ -993,6 +1003,7 @@ pub fn serve_fleet(
     let mut member_variant_switches: Vec<Vec<VariantSwitch>> = vec![Vec::new(); n];
     let mut lane_billing: Vec<Option<Vec<SlotBilling>>> = vec![None; n];
     let mut lane_timeline: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    let mut member_tier_totals: Vec<Vec<TierTotals>> = vec![Vec::new(); n];
     let mut controllers: Vec<Option<OnlineController>> = (0..n).map(|_| None).collect();
     let mut makespan = 0.0f64;
     let mut end_clock = 0.0f64;
@@ -1009,6 +1020,7 @@ pub fn serve_fleet(
             member_variant_switches[m] = std::mem::take(&mut result.variant_switches[gi]);
             lane_billing[m] = result.lane_billing[gi].take();
             lane_timeline[m] = std::mem::take(&mut result.lane_timeline[gi]);
+            member_tier_totals[m] = std::mem::take(&mut result.tier_totals[gi]);
             controllers[m] = result.controllers[gi].take();
         }
     }
@@ -1070,6 +1082,8 @@ pub fn serve_fleet(
     let mut total_windows = 0usize;
     let mut total_events = 0usize;
     let mut total_variant_switches = 0usize;
+    let mut total_admission_drops = 0u64;
+    let mut total_preemptions = 0u64;
     for m in 0..n {
         let stats = &member_stats[m];
         total_queries += stats.num_queries;
@@ -1089,6 +1103,14 @@ pub fn serve_fleet(
             })
             .collect();
         total_variant_switches += member_variant_switches[m].len();
+        let tier_rows = fleet.members[m]
+            .scenario
+            .tiers
+            .as_ref()
+            .map(|set| TierReport::rows(set, &member_tier_totals[m]))
+            .unwrap_or_default();
+        total_admission_drops += tier_rows.iter().map(|t| t.admission_drops).sum::<u64>();
+        total_preemptions += tier_rows.iter().map(|t| t.preemptions).sum::<u64>();
         report.models[m].serve = Some(FleetMemberServe {
             initial_config: init_slices[m].clone(),
             final_config: match &controllers[m] {
@@ -1107,6 +1129,7 @@ pub fn serve_fleet(
                 .then(|| std::mem::take(&mut member_variant_served[m])),
             variant_switches: std::mem::take(&mut member_variant_switches[m]),
             window_stats: std::mem::take(&mut member_windows[m]),
+            tiers: tier_rows,
         });
     }
     report.serve = Some(FleetServeTotals {
@@ -1118,6 +1141,8 @@ pub fn serve_fleet(
         final_hourly_cost,
         reconfigurations: total_events,
         variant_switches: total_variant_switches,
+        admission_drops: total_admission_drops,
+        preemptions: total_preemptions,
     });
     Ok(report)
 }
@@ -1153,6 +1178,7 @@ struct GroupServe {
     /// Per member lane: `(effective time, pool hourly cost after the change)`, seeded
     /// with the initial deployment and appended at every reconfiguration.
     lane_timeline: Vec<Vec<(f64, f64)>>,
+    tier_totals: Vec<Vec<TierTotals>>,
     makespan: f64,
     end_clock: f64,
 }
@@ -1168,6 +1194,10 @@ fn lane_hourly(sim: &FleetSim<'_>, g: usize) -> f64 {
 fn drive_group(fleet: &Fleet, task: GroupServeTask<'_>, t_last: f64) -> GroupServe {
     let k = task.members.len();
     let mut controllers = task.controllers;
+    // Assigners are built before `FleetSim::new` consumes the configs; tagging the
+    // merged stream per member in arrival order replays each member's stream in
+    // member-local order — the exact sequence the plan-time assigner produced.
+    let mut assigners = tier_assigners(&task.configs);
     let mut sim = FleetSim::new(task.configs, task.shared);
     sim.set_record_per_query(false);
     let mut windows: Vec<Vec<WindowStats>> = vec![Vec::new(); k];
@@ -1198,7 +1228,8 @@ fn drive_group(fleet: &Fleet, task: GroupServeTask<'_>, t_last: f64) -> GroupSer
                 }
             }
         }
-        sim.push_into(tq, &mut closed);
+        let tq = tag_tier(tq, &mut assigners);
+        sim.push_into(&tq, &mut closed);
         for (g, w) in closed.drain(..) {
             observe_window(
                 fleet,
@@ -1265,6 +1296,7 @@ fn drive_group(fleet: &Fleet, task: GroupServeTask<'_>, t_last: f64) -> GroupSer
         variant_served: (0..k).map(|g| sim.variant_served(g)).collect(),
         variant_switches: (0..k).map(|g| sim.variant_switches(g).to_vec()).collect(),
         lane_billing: (0..k).map(|g| sim.lane_billing(g)).collect(),
+        tier_totals: (0..k).map(|g| sim.tier_totals(g).to_vec()).collect(),
         controllers,
         windows,
         num_complete,
@@ -1448,6 +1480,12 @@ impl FleetReport {
                             Value::Array(served.iter().map(|&q| Value::from(q)).collect()),
                         );
                     }
+                    if !serve.tiers.is_empty() {
+                        st.insert(
+                            "tiers",
+                            Value::Array(serve.tiers.iter().map(TierReport::to_value).collect()),
+                        );
+                    }
                     if !serve.variant_switches.is_empty() {
                         let switches: Vec<Value> = serve
                             .variant_switches
@@ -1480,6 +1518,12 @@ impl FleetReport {
             st.insert("reconfigurations", Value::from(serve.reconfigurations));
             if serve.variant_switches > 0 {
                 st.insert("variant_switches", Value::from(serve.variant_switches));
+            }
+            if serve.admission_drops > 0 {
+                st.insert("admission_drops", Value::from(serve.admission_drops));
+            }
+            if serve.preemptions > 0 {
+                st.insert("preemptions", Value::from(serve.preemptions));
             }
             root.insert("serve", st);
         }
@@ -1552,6 +1596,19 @@ impl FleetReport {
                         .map_or("n/a".to_string(), |r| format!("{r:.4}")),
                     serve.events.len()
                 ));
+                for t in &serve.tiers {
+                    lines.push(format!(
+                        "        tier {} ({}): {} served, satisfaction {}, {} dropped, \
+                         {} preemption(s)",
+                        t.name,
+                        t.class,
+                        t.served,
+                        t.satisfaction_rate
+                            .map_or("n/a".to_string(), |r| format!("{r:.4}")),
+                        t.admission_drops,
+                        t.preemptions
+                    ));
+                }
                 for e in &serve.events {
                     lines.push(format!(
                         "        w{} {} -> {:?} (planned {:.0} qps, transition ~${:.4})",

@@ -33,9 +33,12 @@
 //! the scenario conventions: strict unknown-key rejection, dotted error paths
 //! (`model[1].qos.latency_ms`), lossless parse → serialize → parse round-trips.
 
-use crate::scenario::spec::{online_to_value, qos_to_value, traffic_to_value, workload_to_value};
+use crate::scenario::spec::{
+    online_to_value, qos_section_to_value, traffic_to_value, workload_to_value,
+};
 use crate::scenario::{
-    OnlineSpec, QosSpec, RunMode, ScenarioError, ScenarioSpec, TrafficSpec, WorkloadSpec,
+    OnlineSpec, QosSpec, RunMode, ScenarioError, ScenarioSpec, TierSpecDef, TrafficSpec,
+    WorkloadSpec,
 };
 use ribbon_spec::{Format, Value};
 use serde::{Deserialize, Serialize};
@@ -56,6 +59,9 @@ pub struct FleetModelSpec {
     pub workload: WorkloadSpec,
     /// QoS policy (same schema as a scenario's `[qos]`).
     pub qos: Option<QosSpec>,
+    /// `[[model.qos.tiers]]`: optional priority classes (same schema as a scenario's
+    /// `[[qos.tiers]]`).
+    pub qos_tiers: Option<Vec<TierSpecDef>>,
     /// Traffic trace for serve mode (same schema as a scenario's `[traffic]`).
     pub traffic: Option<TrafficSpec>,
     /// Online-serving knobs (same schema as a scenario's `[online]`).
@@ -298,9 +304,9 @@ impl FleetSpec {
             .get("workload")
             .ok_or_else(|| ScenarioError::invalid("workload", "missing workload section"))?;
         let workload = ScenarioSpec::workload_from(workload_table)?;
-        let qos = match t.get("qos") {
-            None => None,
-            Some(q) => Some(ScenarioSpec::qos_from(q)?),
+        let (qos, qos_tiers) = match t.get("qos") {
+            None => (None, None),
+            Some(q) => ScenarioSpec::qos_section_from(q, "qos")?,
         };
         let traffic = match t.get("traffic") {
             None => None,
@@ -317,6 +323,7 @@ impl FleetSpec {
             bounds: get_u32_list(t, "", "bounds")?,
             workload,
             qos,
+            qos_tiers,
             traffic,
             online,
         })
@@ -396,8 +403,8 @@ impl FleetSpec {
                     );
                 }
                 t.insert("workload", workload_to_value(&m.workload));
-                if let Some(q) = &m.qos {
-                    t.insert("qos", qos_to_value(q));
+                if let Some(qt) = qos_section_to_value(m.qos.as_ref(), m.qos_tiers.as_deref()) {
+                    t.insert("qos", qt);
                 }
                 if let Some(tr) = &m.traffic {
                     t.insert("traffic", traffic_to_value(tr));

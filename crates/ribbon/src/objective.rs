@@ -14,7 +14,7 @@
 //! configurations score higher, and that the function stays smooth on both sides of the QoS
 //! boundary — the properties Sec. 4 argues are necessary for the BO to converge.
 
-use ribbon_cloudsim::InstanceType;
+use ribbon_cloudsim::{InstanceType, TierSet};
 use serde::{Deserialize, Serialize};
 
 /// The objective function over a fixed pool type-order and per-type bounds.
@@ -119,6 +119,56 @@ impl RibbonObjective {
         } else {
             0.5 + 0.5 * (1.0 - self.cost(config) / self.max_cost())
         }
+    }
+
+    /// Whether per-tier satisfaction rates meet the tiered QoS: every *gating* tier
+    /// (premium and standard classes — best-effort never gates) must reach its
+    /// effective target rate. A tier that served nothing (`None`) trivially gates.
+    pub fn meets_tiered_qos(&self, tier_rates: &[Option<f64>], tiers: &TierSet) -> bool {
+        tiers.tiers().iter().enumerate().all(|(t, spec)| {
+            !spec.class.gates_qos()
+                || tier_rates[t].is_none_or(|r| r >= tiers.effective_rate(t, self.target_rate))
+        })
+    }
+
+    /// Evaluates the tier-weighted Eq. 2 for a configuration with per-tier measured
+    /// satisfaction rates.
+    ///
+    /// The satisfying branch is unchanged — once every gating tier meets its target,
+    /// only cost differentiates configurations. The violating branch generalizes
+    /// `½ · R_sat / T_qos` to a weight-normalized mean of per-tier progress,
+    ///
+    /// ```text
+    /// ½ · Σ_t w_t · min(1, R_t / T_t) / Σ_t w_t      over gating tiers t
+    /// ```
+    ///
+    /// so a premium tier with triple weight pulls the search toward configurations
+    /// that fix premium shortfalls first, while best-effort rides the slack without
+    /// ever holding the score below ½. Keeps the ordering invariant: every satisfying
+    /// configuration scores ≥ ½ and every violating one < ½ (some gating tier has
+    /// `min(1, R_t/T_t) < 1`, and weights over gating tiers have a positive sum).
+    pub fn tier_value(&self, config: &[u32], tier_rates: &[Option<f64>], tiers: &TierSet) -> f64 {
+        assert_eq!(
+            tier_rates.len(),
+            tiers.len(),
+            "one satisfaction rate per tier"
+        );
+        if self.meets_tiered_qos(tier_rates, tiers) {
+            return 0.5 + 0.5 * (1.0 - self.cost(config) / self.max_cost());
+        }
+        let mut weight_sum = 0.0;
+        let mut progress = 0.0;
+        for (t, spec) in tiers.tiers().iter().enumerate() {
+            if !spec.class.gates_qos() {
+                continue;
+            }
+            let target = tiers.effective_rate(t, self.target_rate);
+            let rate = tier_rates[t].unwrap_or(1.0).clamp(0.0, 1.0);
+            weight_sum += spec.weight;
+            progress += spec.weight * (rate / target).min(1.0);
+        }
+        // TierSet::try_new guarantees a positive gating weight sum.
+        0.5 * progress / weight_sum
     }
 }
 

@@ -31,7 +31,10 @@ use crate::adapt::inject_pseudo_observations;
 use crate::evaluator::{ConfigEvaluator, Evaluation, EvaluatorSettings};
 use crate::search::{RibbonSearch, RibbonSettings};
 use ribbon_cloudsim::streaming::{Reconfiguration, StreamingSim, StreamingSimConfig};
-use ribbon_cloudsim::{PhasedStreamConfig, QosPolicy, SimStats, WindowConfig, WindowStats};
+use ribbon_cloudsim::{
+    AdmissionClass, PhasedStreamConfig, QosPolicy, SimStats, TierSet, TierTotals, WindowConfig,
+    WindowStats,
+};
 use ribbon_models::Workload;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -165,6 +168,14 @@ pub struct OnlineController {
     /// pre-variant implementation).
     num_variants: u32,
     serving_variant: u32,
+    /// The workload's tier set, when it serves differentiated QoS tiers. `None` keeps
+    /// every tier branch dead and the controller bit-identical to the untiered one.
+    tiers: Option<TierSet>,
+    /// Consecutive windows in which a premium tier (with served evidence) missed its
+    /// effective rate target. Premium runs on a shorter fuse than the blended policy:
+    /// see [`OnlineController::premium_patience`].
+    consecutive_premium: usize,
+    premium_qps_sum: f64,
 }
 
 impl OnlineController {
@@ -218,6 +229,9 @@ impl OnlineController {
             replans: 0,
             num_variants: workload.num_variants().max(1),
             serving_variant: 0,
+            tiers: None,
+            consecutive_premium: 0,
+            premium_qps_sum: 0.0,
         })
     }
 
@@ -260,7 +274,25 @@ impl OnlineController {
             replans: 0,
             num_variants: workload.num_variants().max(1),
             serving_variant: 0,
+            tiers: None,
+            consecutive_premium: 0,
+            premium_qps_sum: 0.0,
         }
+    }
+
+    /// Attaches the workload's tier set: premium-tier violations then trip the
+    /// controller on a shorter fuse than the blended policy (see
+    /// [`OnlineController::premium_patience`]). `None` is the untiered behaviour.
+    pub fn with_tiers(mut self, tiers: Option<TierSet>) -> Self {
+        self.tiers = tiers;
+        self
+    }
+
+    /// Consecutive premium-violating windows before the controller reacts: half the
+    /// blended patience (at least one window), so a premium breach triggers the
+    /// variant-degrade/replan ladder *before* a standard one would.
+    pub fn premium_patience(&self) -> usize {
+        (self.settings.violation_windows / 2).max(1)
     }
 
     /// The configuration the controller currently believes is deployed.
@@ -320,6 +352,37 @@ impl OnlineController {
         // Empty window: no evidence either way — hold every counter where it is.
         let met = window.meets_policy(self.policy.as_ref())?;
 
+        // Premium fast path (tiered serving only): a premium breach escalates on the
+        // shorter premium patience, through the same degrade-then-replan ladder, even
+        // while the blended policy still reads healthy — the firm contract must not
+        // wait for the whole stream to sour.
+        match self.premium_window_violated(window) {
+            Some(true) => {
+                self.consecutive_premium += 1;
+                self.premium_qps_sum += window.arrival_qps;
+                if self.consecutive_premium >= self.premium_patience() {
+                    if self.serving_variant + 1 < self.num_variants {
+                        return Some(self.switch_variant(
+                            self.serving_variant + 1,
+                            ReconfigTrigger::QosViolation,
+                            window.index,
+                        ));
+                    }
+                    let observed = self.premium_qps_sum / self.consecutive_premium as f64;
+                    let target = (observed * self.settings.scale_up_margin).max(self.planned_qps);
+                    return self
+                        .replan(target, window.index, ReconfigTrigger::QosViolation)
+                        .map(ControllerAction::Reconfig);
+                }
+            }
+            Some(false) => {
+                self.consecutive_premium = 0;
+                self.premium_qps_sum = 0.0;
+            }
+            // A silent premium slice is evidence of nothing — hold the streak.
+            None => {}
+        }
+
         if !met {
             self.consecutive_violations += 1;
             self.violating_qps_sum += window.arrival_qps;
@@ -370,6 +433,26 @@ impl OnlineController {
         None
     }
 
+    /// Whether a premium tier with served evidence missed its effective rate target in
+    /// `window`: `Some(true)` when any did, `Some(false)` when all premium evidence is
+    /// healthy, `None` when there is none (untiered controller, untiered window, or a
+    /// window whose premium slices are all empty).
+    fn premium_window_violated(&self, window: &WindowStats) -> Option<bool> {
+        let set = self.tiers.as_ref()?;
+        let mut verdict = None;
+        for (t, spec) in set.tiers().iter().enumerate() {
+            if spec.class != AdmissionClass::Premium {
+                continue;
+            }
+            let Some(rate) = window.tiers.get(t).and_then(|tw| tw.satisfaction_rate) else {
+                continue;
+            };
+            let target = set.effective_rate(t, self.policy.threshold());
+            verdict = Some(verdict.unwrap_or(false) || rate < target);
+        }
+        verdict
+    }
+
     /// Applies a serving-variant switch: like a replan it resets every hysteresis
     /// counter and starts the cooldown (the switched pool needs fresh evidence), but it
     /// burns no search budget and leaves the planned load untouched.
@@ -383,6 +466,8 @@ impl OnlineController {
         self.violating_qps_sum = 0.0;
         self.consecutive_overprov = 0;
         self.overprov_qps_sum = 0.0;
+        self.consecutive_premium = 0;
+        self.premium_qps_sum = 0.0;
         self.cooldown = self.settings.cooldown_windows;
         let from = self.serving_variant;
         self.serving_variant = to;
@@ -405,6 +490,8 @@ impl OnlineController {
         self.violating_qps_sum = 0.0;
         self.consecutive_overprov = 0;
         self.overprov_qps_sum = 0.0;
+        self.consecutive_premium = 0;
+        self.premium_qps_sum = 0.0;
         self.cooldown = self.settings.cooldown_windows;
         self.replans += 1;
 
@@ -561,6 +648,10 @@ pub struct OnlineOutcome {
     pub final_config: Vec<u32>,
     /// Hourly cost of the final pool.
     pub final_hourly_cost: f64,
+    /// The tier set the run served, when tiered (reporting key for `tier_totals`).
+    pub tiers: Option<TierSet>,
+    /// Whole-stream per-tier totals, index-aligned with `tiers` (empty when untiered).
+    pub tier_totals: Vec<TierTotals>,
 }
 
 impl OnlineOutcome {
@@ -601,13 +692,30 @@ pub fn serve_online_with_policy(
     seed: u64,
     policy: Arc<dyn QosPolicy>,
 ) -> Option<OnlineOutcome> {
+    serve_online_tiered(workload, traffic, settings, seed, policy, None)
+}
+
+/// [`serve_online_with_policy`] over a tiered stream: queries are tagged by the set's
+/// deterministic [`TierAssigner`](ribbon_cloudsim::TierAssigner), the simulator runs
+/// tier-aware dispatch (premium firm-clock preemption, best-effort admission caps), and
+/// the controller watches premium windows on its shorter fuse. `tiers: None` is exactly
+/// [`serve_online_with_policy`].
+pub fn serve_online_tiered(
+    workload: &Workload,
+    traffic: &PhasedStreamConfig,
+    settings: &OnlineRunSettings,
+    seed: u64,
+    policy: Arc<dyn QosPolicy>,
+    tiers: Option<TierSet>,
+) -> Option<OnlineOutcome> {
     let mut controller = OnlineController::bootstrap_with_policy(
         workload,
         &settings.initial_search,
         settings.controller.clone(),
         seed,
         policy.clone(),
-    )?;
+    )?
+    .with_tiers(tiers.clone());
     let initial_config = controller.current_config().to_vec();
     // With a variant palette the simulator times dispatches by the palette's latency
     // model (index 0, the initial serving variant, is the accuracy-best entry); without
@@ -628,6 +736,10 @@ pub fn serve_online_with_policy(
         spin_up_factor: settings.spin_up_factor,
     };
     let mut sim = StreamingSim::new(&pool, model, sim_config);
+    let mut assigner = tiers.as_ref().map(|set| {
+        sim.enable_tiers(set.clone());
+        set.assigner()
+    });
 
     let mut windows = Vec::new();
     let mut events: Vec<ReconfigEvent> = Vec::new();
@@ -646,7 +758,12 @@ pub fn serve_online_with_policy(
                 pending = Some((final_pool, apply_at, event_idx));
             }
         }
-        sim.push_into(&q, &mut closed);
+        match assigner.as_mut() {
+            Some(a) => {
+                sim.push_tiered_into(&q, a.next_tier(), &mut closed);
+            }
+            None => sim.push_into(&q, &mut closed),
+        }
         for w in closed.drain(..) {
             let end_s = w.end_s;
             let action = controller.observe_action(&w);
@@ -726,6 +843,8 @@ pub fn serve_online_with_policy(
         duration_s,
         final_config: controller.current_config().to_vec(),
         final_hourly_cost: sim.current_pool().hourly_cost(),
+        tier_totals: sim.tier_totals().to_vec(),
+        tiers,
         stats,
     })
 }
@@ -769,6 +888,7 @@ mod tests {
             throughput_qps: qps,
             pool_hourly_cost: 2.0,
             cost_so_far_usd: 0.1,
+            tiers: Vec::new(),
         }
     }
 

@@ -60,18 +60,20 @@ pub(crate) mod spec;
 
 pub use error::ScenarioError;
 pub use planner::{planner_by_name, Planner, RibbonPlanner, SearchPlanner, ALL_PLANNER_NAMES};
-pub use report::{BaselineReport, EventReport, PlanReport, ScenarioReport, ServeReport};
+pub use report::{
+    BaselineReport, EventReport, PlanReport, ScenarioReport, ServeReport, TierReport,
+};
 pub use spec::{
-    EvaluatorSpec, OnlineSpec, PhaseSpec, PlannerSpec, QosSpec, RunMode, ScenarioSpec, TrafficSpec,
-    WorkloadSpec,
+    EvaluatorSpec, OnlineSpec, PhaseSpec, PlannerSpec, QosSpec, RunMode, ScenarioSpec, TierSpecDef,
+    TrafficSpec, WorkloadSpec,
 };
 
 use crate::evaluator::{ConfigEvaluator, EvaluatorSettings};
 use crate::online::{OnlineControllerSettings, OnlineRunSettings};
 use crate::search::RibbonSettings;
 use ribbon_cloudsim::{
-    Catalog, DeadlinePolicy, MeanLatencyPolicy, PhasedArrivalProcess, PhasedStreamConfig,
-    QosPolicy, QosTarget, RatePhase, WindowConfig,
+    AdmissionClass, Catalog, DeadlinePolicy, MeanLatencyPolicy, PhasedArrivalProcess,
+    PhasedStreamConfig, QosPolicy, QosTarget, RatePhase, TierSet, TierSpec, WindowConfig,
 };
 use ribbon_gp::FitConfig;
 use ribbon_models::variants::{accuracy, supported_variants};
@@ -101,6 +103,11 @@ pub struct Scenario {
     pub online_settings: OnlineRunSettings,
     /// The compiled traffic trace, when the spec declares one.
     pub traffic: Option<PhasedStreamConfig>,
+    /// The compiled `[[qos.tiers]]` priority classes. `None` for untiered specs *and*
+    /// for the degenerate single default-`standard` tier, which is the untiered
+    /// semantics exactly — compiling it away keeps such specs byte-identical to
+    /// untiered runs.
+    pub tiers: Option<TierSet>,
 }
 
 fn pos_f64(path: &str, v: f64) -> Result<f64, ScenarioError> {
@@ -142,6 +149,7 @@ impl ScenarioSpec {
         let search_settings = self.compile_search(&workload)?;
         let online_settings = self.compile_online(&evaluator_settings, &search_settings)?;
         let traffic = self.compile_traffic(&workload)?;
+        let tiers = self.compile_tiers()?;
         if self.mode == RunMode::Serve && traffic.is_none() {
             return Err(ScenarioError::invalid(
                 "traffic",
@@ -158,7 +166,50 @@ impl ScenarioSpec {
             search_settings,
             online_settings,
             traffic,
+            tiers,
         })
+    }
+
+    /// Compiles `[[qos.tiers]]` into a validated [`TierSet`]. A single
+    /// default-`standard` tier is the untiered semantics exactly and compiles to
+    /// `None`, so such specs keep reproducing untiered output byte for byte.
+    fn compile_tiers(&self) -> Result<Option<TierSet>, ScenarioError> {
+        let Some(defs) = &self.qos_tiers else {
+            return Ok(None);
+        };
+        let mut specs = Vec::with_capacity(defs.len());
+        for (i, d) in defs.iter().enumerate() {
+            let path = format!("qos.tiers[{i}]");
+            let class = AdmissionClass::from_name(&d.class).ok_or_else(|| {
+                ScenarioError::invalid(
+                    format!("{path}.class"),
+                    format!(
+                        "unknown admission class `{}` (premium, standard, best_effort)",
+                        d.class
+                    ),
+                )
+            })?;
+            let mut spec = TierSpec::new(&d.name, class, d.weight.unwrap_or(1.0), d.share);
+            spec.target_rate = d.target_rate;
+            spec.target_latency_s = match d.latency_ms {
+                None => None,
+                Some(ms) => Some(pos_f64(&format!("{path}.latency_ms"), ms)? / 1000.0),
+            };
+            spec.admission_cap_s = match d.admission_cap_ms {
+                None => None,
+                Some(ms) if ms.is_finite() && ms >= 0.0 => Some(ms / 1000.0),
+                Some(_) => {
+                    return Err(ScenarioError::invalid(
+                        format!("{path}.admission_cap_ms"),
+                        "must be a non-negative number",
+                    ))
+                }
+            };
+            specs.push(spec);
+        }
+        let set = TierSet::try_new(specs)
+            .map_err(|e| ScenarioError::invalid("qos.tiers", e.message()))?;
+        Ok((!set.is_single_standard()).then_some(set))
     }
 
     fn compile_workload(
@@ -599,12 +650,15 @@ impl Scenario {
         spec.compile_with_base(Path::new(path).parent())
     }
 
-    /// Builds the configuration evaluator this scenario describes.
+    /// Builds the configuration evaluator this scenario describes. A tiered scenario
+    /// gets the tier-weighted objective over the tiered serving engine; untiered
+    /// scenarios keep the historical evaluator bit for bit.
     pub fn build_evaluator(&self) -> ConfigEvaluator {
-        ConfigEvaluator::with_policy(
+        ConfigEvaluator::with_policy_tiered(
             &self.workload,
             self.evaluator_settings.clone(),
             self.policy.clone(),
+            self.tiers.clone(),
         )
     }
 

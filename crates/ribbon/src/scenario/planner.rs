@@ -10,12 +10,12 @@
 //!   compared against.
 
 use super::error::ScenarioError;
-use super::report::{BaselineReport, PlanReport, ScenarioReport, ServeReport};
+use super::report::{BaselineReport, PlanReport, ScenarioReport, ServeReport, TierReport};
 use super::spec::RunMode;
 use super::Scenario;
 use crate::accounting::homogeneous_optimum;
 use crate::evaluator::ConfigEvaluator;
-use crate::online::serve_online_with_policy;
+use crate::online::serve_online_tiered;
 use crate::search::{RibbonSearch, SearchTrace};
 use crate::strategies::{
     AskTellStrategy, BatchedSearch, ExhaustiveSearch, HillClimbSearch, RandomSearch,
@@ -68,6 +68,12 @@ fn plan_report(scenario: &Scenario, evaluator: &ConfigEvaluator, trace: SearchTr
         (Some(b), Some(best)) => Some(CostModel::saving_percent(b.hourly_cost, best.hourly_cost)),
         _ => None,
     };
+    // Per-tier rows of the chosen plan: the planning evaluation already ran the tiered
+    // stream, so the rows are free — they just need the set's names.
+    let tiers = match (&scenario.tiers, &best) {
+        (Some(set), Some(b)) if !b.tier_totals.is_empty() => TierReport::rows(set, &b.tier_totals),
+        _ => Vec::new(),
+    };
     PlanReport {
         best_config: best.as_ref().map(|e| e.config.clone()),
         best_pool: best.as_ref().map(|e| e.pool.describe()),
@@ -79,6 +85,7 @@ fn plan_report(scenario: &Scenario, evaluator: &ConfigEvaluator, trace: SearchTr
         variants: None,
         worst_accuracy: None,
         trace,
+        tiers,
     }
 }
 
@@ -156,12 +163,13 @@ impl Planner for RibbonPlanner {
 
     fn serve(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
         let traffic = scenario.require_traffic()?;
-        let outcome = serve_online_with_policy(
+        let outcome = serve_online_tiered(
             &scenario.workload,
             traffic,
             &scenario.online_settings,
             scenario.spec.seed,
             scenario.policy.clone(),
+            scenario.tiers.clone(),
         )
         .ok_or_else(|| {
             ScenarioError::Run(format!(
@@ -240,9 +248,20 @@ impl Planner for SearchPlanner {
             spin_up_factor: scenario.online_settings.spin_up_factor,
         };
         let mut sim = StreamingSim::new(&pool, &profile, sim_config);
+        let mut assigner = scenario.tiers.as_ref().map(|set| {
+            sim.enable_tiers(set.clone());
+            set.assigner()
+        });
         let mut windows = Vec::new();
+        let mut closed = Vec::new();
         for q in PhasedQueryStream::new(traffic.clone()) {
-            windows.extend(sim.push(&q));
+            match assigner.as_mut() {
+                Some(a) => {
+                    sim.push_tiered_into(&q, a.next_tier(), &mut closed);
+                }
+                None => sim.push_into(&q, &mut closed),
+            }
+            windows.append(&mut closed);
         }
         windows.extend(sim.finish_windows());
         let stats = sim.stats();
@@ -264,6 +283,11 @@ impl Planner for SearchPlanner {
             variant_events: Vec::new(),
             variant_served: None,
             final_variant: None,
+            tiers: scenario
+                .tiers
+                .as_ref()
+                .map(|set| TierReport::rows(set, sim.tier_totals()))
+                .unwrap_or_default(),
         });
         report.plan = Some(plan);
         Ok(report)

@@ -5,7 +5,73 @@
 use super::spec::RunMode;
 use crate::online::{OnlineOutcome, ReconfigTrigger};
 use crate::search::SearchTrace;
+use ribbon_cloudsim::{TierSet, TierTotals};
 use ribbon_spec::Value;
+
+/// One tier's aggregate outcome — the per-tier row of a plan or serve section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierReport {
+    /// Tier name (the set's reporting key).
+    pub name: String,
+    /// Admission class spelling (`premium` / `standard` / `best_effort`).
+    pub class: String,
+    /// Queries of the tier actually served (admission drops excluded).
+    pub served: u64,
+    /// Of those, how many met the tier's effective latency bound.
+    pub satisfied: u64,
+    /// `satisfied / served`, or `None` when the tier served nothing.
+    pub satisfaction_rate: Option<f64>,
+    /// Best-effort queries dropped at admission.
+    pub admission_drops: u64,
+    /// Premium dispatches that overtook queued best-effort work.
+    pub preemptions: u64,
+}
+
+impl TierReport {
+    /// Builds the per-tier rows for a tier set and its index-aligned totals.
+    pub fn rows(set: &TierSet, totals: &[TierTotals]) -> Vec<TierReport> {
+        set.tiers()
+            .iter()
+            .zip(totals)
+            .map(|(spec, t)| TierReport {
+                name: spec.name.clone(),
+                class: spec.class.name().to_string(),
+                served: t.served,
+                satisfied: t.satisfied,
+                satisfaction_rate: t.satisfaction_rate(),
+                admission_drops: t.admission_drops,
+                preemptions: t.preemptions,
+            })
+            .collect()
+    }
+
+    pub(crate) fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("name", Value::from(self.name.as_str()));
+        t.insert("class", Value::from(self.class.as_str()));
+        t.insert("served", Value::from(self.served));
+        t.insert("satisfied", Value::from(self.satisfied));
+        if let Some(rate) = self.satisfaction_rate {
+            t.insert("satisfaction_rate", Value::from(rate));
+        }
+        t.insert("admission_drops", Value::from(self.admission_drops));
+        t.insert("preemptions", Value::from(self.preemptions));
+        t
+    }
+
+    fn summary_line(&self) -> String {
+        format!(
+            "    tier {} ({}): {} served, satisfaction {}, {} dropped, {} preemption(s)",
+            self.name,
+            self.class,
+            self.served,
+            self.satisfaction_rate
+                .map_or("n/a".to_string(), |r| format!("{r:.4}")),
+            self.admission_drops,
+            self.preemptions
+        )
+    }
+}
 
 /// The homogeneous-baseline comparison of a plan run.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +108,8 @@ pub struct PlanReport {
     pub worst_accuracy: Option<f64>,
     /// The full search trace, in evaluation order.
     pub trace: SearchTrace,
+    /// Per-tier outcome of the best plan's evaluation (tiered scenarios only).
+    pub tiers: Vec<TierReport>,
 }
 
 /// One applied mid-stream serving-variant switch (variant scenarios only).
@@ -101,6 +169,8 @@ pub struct ServeReport {
     pub variant_served: Option<Vec<u64>>,
     /// Palette index serving when the stream ended (variant scenarios only).
     pub final_variant: Option<u32>,
+    /// Whole-stream per-tier outcome (tiered scenarios only).
+    pub tiers: Vec<TierReport>,
 }
 
 impl ServeReport {
@@ -151,6 +221,11 @@ impl ServeReport {
             variant_served: (outcome.variant_served.len() > 1)
                 .then(|| outcome.variant_served.clone()),
             final_variant: (outcome.variant_served.len() > 1).then_some(outcome.final_variant),
+            tiers: outcome
+                .tiers
+                .as_ref()
+                .map(|set| TierReport::rows(set, &outcome.tier_totals))
+                .unwrap_or_default(),
         }
     }
 }
@@ -220,6 +295,12 @@ impl ScenarioReport {
             }
             if let Some(acc) = plan.worst_accuracy {
                 pt.insert("worst_accuracy", Value::from(acc));
+            }
+            if !plan.tiers.is_empty() {
+                pt.insert(
+                    "tiers",
+                    Value::Array(plan.tiers.iter().map(TierReport::to_value).collect()),
+                );
             }
             pt.insert("evaluations", Value::from(plan.trace.len()));
             pt.insert("violations", Value::from(plan.violations));
@@ -293,6 +374,12 @@ impl ScenarioReport {
             if let Some(v) = serve.final_variant {
                 st.insert("final_variant", Value::from(v));
             }
+            if !serve.tiers.is_empty() {
+                st.insert(
+                    "tiers",
+                    Value::Array(serve.tiers.iter().map(TierReport::to_value).collect()),
+                );
+            }
             root.insert("serve", st);
         }
         root
@@ -337,6 +424,9 @@ impl ScenarioReport {
                         }
                         lines.push(line);
                     }
+                    for t in &plan.tiers {
+                        lines.push(t.summary_line());
+                    }
                 }
                 _ => lines.push(format!(
                     "  plan: no QoS-satisfying configuration within {} evaluations",
@@ -358,6 +448,9 @@ impl ScenarioReport {
                 serve.mean_hourly_cost,
                 serve.events.len()
             ));
+            for t in &serve.tiers {
+                lines.push(t.summary_line());
+            }
             for e in &serve.events {
                 lines.push(format!(
                     "    w{} {} -> {:?} (planned {:.0} qps, transition ~${:.4})",

@@ -92,6 +92,33 @@ pub enum QosSpec {
     },
 }
 
+/// One `[[qos.tiers]]` entry: a named priority class sharing the model's pool.
+///
+/// Tiers split the model's query stream into weighted priority classes served from the
+/// same slots: `premium` dispatches on the firm clock (and may preempt queued
+/// best-effort work), `standard` keeps the untiered dispatch exactly, and
+/// `best_effort` absorbs overflow queueing and may be admission-dropped past
+/// `admission_cap_ms`. A single default-`standard` tier compiles away entirely, so
+/// such a spec stays byte-identical to an untiered one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSpecDef {
+    /// Tier name, unique within the model (used in reports).
+    pub name: String,
+    /// Admission class: `"premium"`, `"standard"`, or `"best_effort"`.
+    pub class: String,
+    /// Objective weight of the tier in the tier-weighted Eq. 2 (default 1.0).
+    pub weight: Option<f64>,
+    /// Fraction of the model's queries assigned to the tier; shares must sum to 1.
+    pub share: f64,
+    /// Per-tier in-deadline rate override (defaults to the model's QoS target rate).
+    pub target_rate: Option<f64>,
+    /// Per-tier deadline override in milliseconds (defaults to the model's deadline).
+    pub latency_ms: Option<f64>,
+    /// Best-effort only: maximum queueing delay in milliseconds before a query is
+    /// admission-dropped instead of served.
+    pub admission_cap_ms: Option<f64>,
+}
+
 /// `[planner]`: which planner runs the scenario and its search knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlannerSpec {
@@ -223,6 +250,8 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// The acceptance criterion (default: the model's standard tail-rate target).
     pub qos: Option<QosSpec>,
+    /// `[[qos.tiers]]`: optional priority classes splitting the query stream.
+    pub qos_tiers: Option<Vec<TierSpecDef>>,
     /// The planner and its knobs.
     pub planner: PlannerSpec,
     /// Evaluator construction knobs.
@@ -446,9 +475,9 @@ impl ScenarioSpec {
         let workload_table = section(root, "workload")?
             .ok_or_else(|| ScenarioError::invalid("workload", "missing [workload] section"))?;
         let workload = Self::workload_from(workload_table)?;
-        let qos = match section(root, "qos")? {
-            None => None,
-            Some(t) => Some(Self::qos_from(t)?),
+        let (qos, qos_tiers) = match section(root, "qos")? {
+            None => (None, None),
+            Some(t) => Self::qos_section_from(t, "qos")?,
         };
         let planner = match section(root, "planner")? {
             None => PlannerSpec::default(),
@@ -475,11 +504,78 @@ impl ScenarioSpec {
             catalog,
             workload,
             qos,
+            qos_tiers,
             planner,
             evaluator,
             traffic,
             online,
         })
+    }
+
+    /// Parses a full `[qos]` section: the policy (when any policy key is present) plus
+    /// the optional `[[qos.tiers]]` priority classes. A section holding *only* tiers
+    /// keeps the model's default policy.
+    pub(crate) fn qos_section_from(
+        t: &Value,
+        path: &str,
+    ) -> Result<(Option<QosSpec>, Option<Vec<TierSpecDef>>), ScenarioError> {
+        let tiers = Self::qos_tiers_from(t, path)?;
+        let has_policy_keys = t.keys().iter().any(|&k| k != "tiers");
+        let qos = if has_policy_keys {
+            Some(Self::qos_from(t)?)
+        } else {
+            None
+        };
+        Ok((qos, tiers))
+    }
+
+    fn qos_tiers_from(t: &Value, path: &str) -> Result<Option<Vec<TierSpecDef>>, ScenarioError> {
+        let tiers_path = field_path(path, "tiers");
+        let Some(v) = t.get("tiers") else {
+            return Ok(None);
+        };
+        let items = v.as_array().ok_or_else(|| {
+            ScenarioError::invalid(
+                tiers_path.clone(),
+                format!(
+                    "expected an array of [[{tiers_path}]] tables, found {}",
+                    v.type_name()
+                ),
+            )
+        })?;
+        let mut defs = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let entry_path = format!("{tiers_path}[{i}]");
+            if item.as_table().is_none() {
+                return Err(ScenarioError::invalid(
+                    entry_path,
+                    format!("expected a tier table, found {}", item.type_name()),
+                ));
+            }
+            check_keys(
+                item,
+                &entry_path,
+                &[
+                    "name",
+                    "class",
+                    "weight",
+                    "share",
+                    "target_rate",
+                    "latency_ms",
+                    "admission_cap_ms",
+                ],
+            )?;
+            defs.push(TierSpecDef {
+                name: req_str(item, &entry_path, "name")?,
+                class: req_str(item, &entry_path, "class")?,
+                weight: opt_f64(item, &entry_path, "weight")?,
+                share: req_f64(item, &entry_path, "share")?,
+                target_rate: opt_f64(item, &entry_path, "target_rate")?,
+                latency_ms: opt_f64(item, &entry_path, "latency_ms")?,
+                admission_cap_ms: opt_f64(item, &entry_path, "admission_cap_ms")?,
+            });
+        }
+        Ok(Some(defs))
     }
 
     pub(crate) fn workload_from(t: &Value) -> Result<WorkloadSpec, ScenarioError> {
@@ -521,14 +617,18 @@ impl ScenarioSpec {
         // misunderstanding that must error, not a knob to silently drop.
         match policy.as_str() {
             "tail-rate" => {
-                check_keys(t, "qos", &["policy", "latency_ms", "target_rate"])?;
+                check_keys(t, "qos", &["policy", "latency_ms", "target_rate", "tiers"])?;
                 Ok(QosSpec::TailRate {
                     latency_ms: req_f64(t, "qos", "latency_ms")?,
                     target_rate: opt_f64(t, "qos", "target_rate")?.unwrap_or(0.99),
                 })
             }
             "mean-latency" => {
-                check_keys(t, "qos", &["policy", "mean_target_ms", "latency_ms"])?;
+                check_keys(
+                    t,
+                    "qos",
+                    &["policy", "mean_target_ms", "latency_ms", "tiers"],
+                )?;
                 let mean_target_ms = req_f64(t, "qos", "mean_target_ms")?;
                 Ok(QosSpec::MeanLatency {
                     mean_target_ms,
@@ -537,7 +637,7 @@ impl ScenarioSpec {
                 })
             }
             "deadline" => {
-                check_keys(t, "qos", &["policy", "latency_ms"])?;
+                check_keys(t, "qos", &["policy", "latency_ms", "tiers"])?;
                 Ok(QosSpec::Deadline {
                     latency_ms: req_f64(t, "qos", "latency_ms")?,
                 })
@@ -731,6 +831,42 @@ pub(crate) fn qos_to_value(qos: &QosSpec) -> Value {
     qt
 }
 
+/// Serializes a `[[qos.tiers]]` list (shared with the fleet spec's `[[model]]`
+/// entries).
+pub(crate) fn tiers_to_value(tiers: &[TierSpecDef]) -> Value {
+    let items: Vec<Value> = tiers
+        .iter()
+        .map(|tier| {
+            let mut t = Value::table();
+            t.insert("name", Value::from(tier.name.as_str()));
+            t.insert("class", Value::from(tier.class.as_str()));
+            put(&mut t, "weight", tier.weight);
+            t.insert("share", Value::from(tier.share));
+            put(&mut t, "target_rate", tier.target_rate);
+            put(&mut t, "latency_ms", tier.latency_ms);
+            put(&mut t, "admission_cap_ms", tier.admission_cap_ms);
+            t
+        })
+        .collect();
+    Value::Array(items)
+}
+
+/// Serializes a full `[qos]` section: the policy plus any `[[qos.tiers]]` entries.
+/// Returns `None` when neither is set, so a sparse spec stays sparse.
+pub(crate) fn qos_section_to_value(
+    qos: Option<&QosSpec>,
+    tiers: Option<&[TierSpecDef]>,
+) -> Option<Value> {
+    let mut qt = match qos {
+        Some(q) => qos_to_value(q),
+        None => Value::table(),
+    };
+    if let Some(tiers) = tiers {
+        qt.insert("tiers", tiers_to_value(tiers));
+    }
+    (qos.is_some() || tiers.is_some()).then_some(qt)
+}
+
 /// Serializes a `[traffic]` section (shared with the fleet spec's `[[model]]` entries).
 pub(crate) fn traffic_to_value(traffic: &TrafficSpec) -> Value {
     let mut tt = Value::table();
@@ -787,8 +923,8 @@ impl ScenarioSpec {
 
         root.insert("workload", workload_to_value(&self.workload));
 
-        if let Some(qos) = &self.qos {
-            root.insert("qos", qos_to_value(qos));
+        if let Some(qt) = qos_section_to_value(self.qos.as_ref(), self.qos_tiers.as_deref()) {
+            root.insert("qos", qt);
         }
 
         let p = &self.planner;

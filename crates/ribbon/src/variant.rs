@@ -257,6 +257,7 @@ impl VariantEvaluator {
             objective: self.objective.value(counts, rate),
             mean_latency_s: stats.mean_latency_s,
             tail_latency_s: stats.tail_latency_s,
+            tier_totals: Vec::new(),
             pool,
         }
     }
@@ -290,6 +291,7 @@ impl VariantEvaluator {
                 objective: self.objective.value(counts, rate),
                 mean_latency_s: stats.mean_latency_s,
                 tail_latency_s: stats.tail_latency_s,
+                tier_totals: Vec::new(),
                 pool,
             },
             prefix_len: k,

@@ -252,6 +252,7 @@ fn synthetic_window(index: u64, rate: Option<f64>, qps: f64) -> ribbon_cloudsim:
         throughput_qps: qps,
         pool_hourly_cost: 2.0,
         cost_so_far_usd: 0.1,
+        tiers: Vec::new(),
     }
 }
 
